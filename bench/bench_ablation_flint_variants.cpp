@@ -1,0 +1,85 @@
+// Ablation: the three runtime FLInt formulations inside the native-tree
+// interpreter, against the hardware-float interpreter, on trained forests.
+//
+// This separates the paper's two contributions: the comparison operator
+// (Theorem 1 vs Theorem 2 vs the offline-encoded Theorem 2 vs radix keys)
+// from the if-else compilation strategy benchmarked in Figures 3/4.
+#include <cstdio>
+#include <string>
+
+#include "data/split.hpp"
+#include "data/synth.hpp"
+#include "exec/interpreter.hpp"
+#include "harness/machine_info.hpp"
+#include "harness/stats.hpp"
+#include "harness/timer.hpp"
+#include "trees/forest.hpp"
+
+int main() {
+  using flint::exec::FlintForestEngine;
+  using flint::exec::FlintVariant;
+  using flint::exec::FloatForestEngine;
+
+  std::printf("=== Ablation: FLInt runtime formulations (interpreter) ===\n");
+  std::printf("host: %s\n\n",
+              flint::harness::to_string(flint::harness::query_machine_info()).c_str());
+  std::printf("%-12s %-6s %-10s %-10s %-10s %-10s %-10s\n", "dataset", "depth",
+              "float", "encoded", "theorem1", "theorem2", "radix");
+
+  for (const char* name : {"eye", "magic", "sensorless"}) {
+    const auto spec = flint::data::spec_by_name(name);
+    const auto full = flint::data::generate<float>(spec, 42, 4000);
+    const auto split = flint::data::train_test_split(full, 0.25, 42);
+    for (const int depth : {5, 15, 30}) {
+      flint::trees::ForestOptions fopt;
+      fopt.n_trees = 10;
+      fopt.tree.max_depth = depth;
+      fopt.tree.max_features = flint::trees::TrainOptions::kSqrtFeatures;
+      const auto forest = flint::trees::train_forest(split.train, fopt);
+
+      const FloatForestEngine<float> float_engine(forest);
+      auto time_engine = [&](const auto& engine) {
+        long long sink = 0;
+        const auto t = flint::harness::measure(
+            [&] {
+              for (std::size_t r = 0; r < split.test.rows(); ++r) {
+                sink += engine.predict(split.test.row(r));
+              }
+            },
+            0.02, 3);
+        if (sink == -1) std::abort();
+        return t.seconds_per_iteration /
+               static_cast<double>(split.test.rows()) * 1e9;
+      };
+
+      const double t_float = time_engine(float_engine);
+      std::printf("%-12s %-6d %-10.1f", name, depth, t_float);
+      for (const auto variant :
+           {FlintVariant::Encoded, FlintVariant::Theorem1, FlintVariant::Theorem2,
+            FlintVariant::RadixKey}) {
+        const FlintForestEngine<float> engine(forest, variant);
+        // Equivalence guard: ablation numbers are only meaningful if the
+        // engines agree everywhere.
+        for (std::size_t r = 0; r < split.test.rows(); ++r) {
+          if (engine.predict(split.test.row(r)) !=
+              float_engine.predict(split.test.row(r))) {
+            std::fprintf(stderr, "prediction mismatch: %s\n",
+                         flint::exec::to_string(variant));
+            return 1;
+          }
+        }
+        const double t = time_engine(engine);
+        std::printf(" %-10s", (std::to_string(t / t_float).substr(0, 4) + "x").c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "\n(float column: ns/sample; variant columns: ratio vs float engine)\n"
+      "shape: in *interpreted* traversal the node loads dominate, so every\n"
+      "formulation sits near 1.0x of hardware float -- the FLInt win the\n"
+      "paper reports comes from *compiled* trees, where the split constant\n"
+      "becomes an integer immediate instead of a memory-loaded float\n"
+      "(see bench_fig3_depth_sweep).  This ablation pins that attribution.\n");
+  return 0;
+}

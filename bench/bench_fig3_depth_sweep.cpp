@@ -1,0 +1,46 @@
+// Figure 3: normalized execution time vs maximal tree depth for the four
+// implementations of Section V-A — Naive, CAGS, FLInt, CAGS(FLInt) —
+// geometric-mean aggregated across datasets and ensemble sizes, with
+// variance.  The paper shows one panel per machine; this binary reproduces
+// the panel for the host (see bench_table1_machine for its details).
+//
+// Defaults use the scaled-down grid (about a minute); set FLINT_BENCH_FULL=1
+// for the paper's full grid (5 datasets x 9 ensemble sizes x 7 depths).
+// Raw records are written to fig3_records.csv for external plotting.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/machine_info.hpp"
+#include "harness/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flint::harness;
+  if (argc > 1 && std::string(argv[1]) == "--help") {
+    std::printf(
+        "bench_fig3_depth_sweep: reproduces Figure 3 (normalized time vs\n"
+        "maximal depth for Naive/CAGS/FLInt/CAGS(FLInt)).\n"
+        "FLINT_BENCH_FULL=1 selects the paper's full grid.\n");
+    return 0;
+  }
+  GridConfig config = config_from_env();
+  const auto info = query_machine_info();
+  std::printf("=== Figure 3 (normalized time vs max depth) ===\n");
+  std::printf("host: %s\n", to_string(info).c_str());
+  std::printf("grid: %zu datasets x %zu ensemble sizes x %zu depths\n\n",
+              config.datasets.size(), config.ensemble_sizes.size(),
+              config.depths.size());
+
+  const auto records = run_grid(config, &std::cerr);
+
+  const Impl impls[] = {Impl::Naive, Impl::Cags, Impl::Flint, Impl::CagsFlint};
+  print_depth_table(std::cout, records, impls,
+                    "\nNormalized to naive implementation on " +
+                        info.architecture + " host");
+
+  std::ofstream csv("fig3_records.csv");
+  write_csv(csv, records);
+  std::printf("\nraw records: fig3_records.csv (%zu rows)\n", records.size());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 4: normalized execution time of the direct assembly FLInt backend
+// vs the C-based FLInt implementation, against the naive baseline, as a
+// function of maximal tree depth.
+//
+// The paper's observation: the assembly version loses for small trees
+// (no compiler optimization across the tree) but wins for deep trees.
+// Raw records are written to fig4_records.csv.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/machine_info.hpp"
+#include "harness/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flint::harness;
+  if (argc > 1 && std::string(argv[1]) == "--help") {
+    std::printf(
+        "bench_fig4_asm: reproduces Figure 4 (FLInt C vs FLInt ASM\n"
+        "normalized time vs depth).  FLINT_BENCH_FULL=1 for the paper grid.\n");
+    return 0;
+  }
+  GridConfig config = config_from_env();
+  config.impls = {Impl::Naive, Impl::Flint, Impl::FlintAsm};
+
+  std::printf("=== Figure 4 (assembly vs C FLInt implementation) ===\n");
+  std::printf("host: %s\n\n", to_string(query_machine_info()).c_str());
+
+  const auto records = run_grid(config, &std::cerr);
+  const Impl impls[] = {Impl::Naive, Impl::Flint, Impl::FlintAsm};
+  print_depth_table(std::cout, records, impls,
+                    "\nNormalized to naive implementation (x86-64 host)");
+
+  std::ofstream csv("fig4_records.csv");
+  write_csv(csv, records);
+  std::printf("\nraw records: fig4_records.csv (%zu rows)\n", records.size());
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Micro-benchmark of the comparison operator itself (google-benchmark):
+// hardware float <= vs the three FLInt formulations, over arrays, isolating
+// the per-comparison cost from tree traversal effects.
+//
+// Expected shape on x86-64: all integer formulations are at least as fast
+// as the float comparison; Theorem 1 (branch-free XOR) and the encoded
+// threshold form dominate; the radix remap amortizes when one operand is
+// reused (the RemappedArray case).
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "core/flint.hpp"
+
+namespace {
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1000.0f, 1000.0f);
+  std::vector<float> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+constexpr std::size_t kN = 1 << 14;
+
+void BM_HardwareFloatLE(benchmark::State& state) {
+  const auto a = random_floats(kN, 1);
+  const auto b = random_floats(kN, 2);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      count += a[i] <= b[i] ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_HardwareFloatLE);
+
+void BM_FlintTheorem1(benchmark::State& state) {
+  const auto a = random_floats(kN, 1);
+  const auto b = random_floats(kN, 2);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      count += flint::core::le(a[i], b[i]) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_FlintTheorem1);
+
+void BM_FlintTheorem2(benchmark::State& state) {
+  const auto a = random_floats(kN, 1);
+  const auto b = random_floats(kN, 2);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      count += flint::core::ge_theorem2(b[i], a[i]) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_FlintTheorem2);
+
+void BM_FlintEncodedThreshold(benchmark::State& state) {
+  // One constant threshold against an array — the tree-node situation.
+  const auto a = random_floats(kN, 1);
+  const auto enc = flint::core::encode_threshold_le(12.5f);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      count += enc.le(a[i]) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_FlintEncodedThreshold);
+
+void BM_FlintEncodedThresholdNegative(benchmark::State& state) {
+  // SignFlip path (one extra xor per comparison).
+  const auto a = random_floats(kN, 1);
+  const auto enc = flint::core::encode_threshold_le(-12.5f);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      count += enc.le(a[i]) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_FlintEncodedThresholdNegative);
+
+void BM_FlintRadixRemapped(benchmark::State& state) {
+  // Remap both arrays once, then compare keys — the amortized regime.
+  const auto a = random_floats(kN, 1);
+  const auto b = random_floats(kN, 2);
+  std::vector<std::int32_t> ka(kN), kb(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ka[i] = flint::core::to_radix_key(a[i]);
+    kb[i] = flint::core::to_radix_key(b[i]);
+  }
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      count += ka[i] <= kb[i] ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_FlintRadixRemapped);
+
+void BM_FlintRadixInclRemap(benchmark::State& state) {
+  // Remap on the fly: the cost when keys are not reused.
+  const auto a = random_floats(kN, 1);
+  const auto b = random_floats(kN, 2);
+  for (auto _ : state) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      count += flint::core::ge_radix(b[i], a[i]) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kN);
+}
+BENCHMARK(BM_FlintRadixInclRemap);
+
+}  // namespace
+
+BENCHMARK_MAIN();

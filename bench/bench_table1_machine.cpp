@@ -1,0 +1,25 @@
+// Table I analog: machine details of the host the benchmarks run on.
+//
+// The paper's Table I lists its four evaluation systems (X86/ARMv8 x
+// server/desktop).  This container provides exactly one machine, so the
+// harness prints the same fields for the host and documents the
+// substitution (see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "harness/machine_info.hpp"
+
+int main() {
+  const auto info = flint::harness::query_machine_info();
+  std::printf("=== Table I (machine details, host substitution) ===\n");
+  std::printf("%-14s %s\n", "architecture", info.architecture.c_str());
+  std::printf("%-14s %s\n", "cpu", info.cpu_model.c_str());
+  std::printf("%-14s %d\n", "cores", info.logical_cores);
+  std::printf("%-14s %ld MB\n", "ram", info.ram_mb);
+  std::printf("%-14s %s\n", "kernel", info.kernel.c_str());
+  std::printf("%-14s %s\n", "hostname", info.hostname.c_str());
+  std::printf("\nPaper reference systems: X86 server (2x EPYC 7742), X86 desktop\n"
+              "(i7-10700), ARMv8 server (2x ThunderX2), ARMv8 desktop (Apple M1).\n"
+              "This run reproduces the X86 panels natively; the ARMv8 backend is\n"
+              "exercised through the assembly generator's structural tests.\n");
+  return 0;
+}

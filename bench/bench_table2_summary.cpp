@@ -1,0 +1,35 @@
+// Table II: average (geometric mean) normalized execution time per
+// implementation, overall and restricted to deep ensembles (D >= 20).
+//
+// Shares the Figure 3 grid; the paper reports, per machine:
+//   CAGS ~0.85-1.14x, FLInt ~0.77-0.85x, CAGS(FLInt) ~0.70-0.76x overall,
+// with the D>=20 restriction improving every FLInt row.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/machine_info.hpp"
+#include "harness/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flint::harness;
+  if (argc > 1 && std::string(argv[1]) == "--help") {
+    std::printf(
+        "bench_table2_summary: reproduces Table II (geomean normalized time,\n"
+        "overall and D>=20).  FLINT_BENCH_FULL=1 selects the paper grid.\n");
+    return 0;
+  }
+  GridConfig config = config_from_env();
+  std::printf("=== Table II (geomean normalized execution time) ===\n");
+  std::printf("host: %s\n\n",
+              to_string(query_machine_info()).c_str());
+
+  const auto records = run_grid(config, &std::cerr);
+  const Impl impls[] = {Impl::Cags, Impl::Flint, Impl::CagsFlint};
+  print_summary_table(std::cout, records, impls,
+                      "geomean normalized time (1.00x = naive if-else)");
+  std::printf(
+      "\npaper X86 server reference: CAGS 0.88x/0.83x, FLInt 0.81x/0.79x,\n"
+      "CAGS(FLInt) 0.71x/0.66x (overall / D>=20)\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Table III: average normalized execution time of the assembly FLInt
+// implementation, overall and for deep ensembles (D >= 20).
+//
+// Paper X86 server reference: FLInt ASM 0.89x overall, 0.70x for D>=20 —
+// i.e. the assembly backend pays off only once trees are deep enough that
+// compiler optimization of the nested-if C code stops mattering.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/machine_info.hpp"
+#include "harness/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace flint::harness;
+  if (argc > 1 && std::string(argv[1]) == "--help") {
+    std::printf(
+        "bench_table3_asm_summary: reproduces Table III (FLInt ASM geomean\n"
+        "normalized time, overall and D>=20).  FLINT_BENCH_FULL=1 for the\n"
+        "paper grid.\n");
+    return 0;
+  }
+  GridConfig config = config_from_env();
+  config.impls = {Impl::Naive, Impl::Flint, Impl::FlintAsm};
+
+  std::printf("=== Table III (assembly implementation summary) ===\n");
+  std::printf("host: %s\n\n", to_string(query_machine_info()).c_str());
+
+  const auto records = run_grid(config, &std::cerr);
+  const Impl impls[] = {Impl::Flint, Impl::FlintAsm};
+  print_summary_table(std::cout, records, impls,
+                      "geomean normalized time (1.00x = naive if-else)");
+  std::printf("\npaper X86 server reference: FLInt ASM 0.89x overall, 0.70x D>=20\n");
+  return 0;
+}

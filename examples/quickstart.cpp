@@ -1,0 +1,87 @@
+// quickstart — the 60-second tour of the library:
+//   1. generate a dataset (synthetic MAGIC-telescope equivalent),
+//   2. train a random forest,
+//   3. run inference three ways — hardware-float interpreter, FLInt
+//      integer-only interpreter, and JIT-compiled FLInt if-else code —
+//   4. confirm the predictions are bit-identical and compare speed.
+//
+// Build: part of the default cmake build; run: ./examples/quickstart
+#include <cstdio>
+
+#include "codegen/cgen_ifelse.hpp"
+#include "data/split.hpp"
+#include "data/synth.hpp"
+#include "exec/interpreter.hpp"
+#include "harness/timer.hpp"
+#include "jit/jit.hpp"
+#include "trees/forest.hpp"
+
+int main() {
+  // 1. Data: 3000 rows of the MAGIC-equivalent generator, 75/25 split.
+  const auto dataset =
+      flint::data::generate<float>(flint::data::magic_spec(), /*seed=*/7, 3000);
+  const auto split = flint::data::train_test_split(dataset, 0.25, /*seed=*/7);
+  std::printf("dataset '%s': %zu rows, %zu features, %d classes\n",
+              dataset.name().c_str(), dataset.rows(), dataset.cols(),
+              dataset.num_classes());
+
+  // 2. Train a 25-tree forest, depth <= 12 (sklearn-like defaults).
+  flint::trees::ForestOptions options;
+  options.n_trees = 25;
+  options.tree.max_depth = 12;
+  options.tree.max_features = flint::trees::TrainOptions::kSqrtFeatures;
+  options.tree.seed = 7;
+  const auto forest = flint::trees::train_forest(split.train, options);
+  std::printf("forest: %zu trees, %zu nodes, max depth %zu, test accuracy %.3f\n",
+              forest.size(), forest.total_nodes(), forest.max_depth(),
+              flint::trees::accuracy(forest, split.test));
+
+  // 3a. Reference: hardware floating-point comparisons.
+  const flint::exec::FloatForestEngine<float> float_engine(forest);
+  // 3b. FLInt: the same model, executed with integer comparisons only.
+  const flint::exec::FlintForestEngine<float> flint_engine(
+      forest, flint::exec::FlintVariant::Encoded);
+  // 3c. Compiled: FLInt if-else C code, built and loaded at runtime.
+  flint::codegen::CGenOptions cgen;
+  cgen.flint = true;
+  const auto code = flint::codegen::generate_ifelse(forest, cgen);
+  const auto module = flint::jit::compile(code);
+  auto* classify =
+      module.function<flint::jit::ClassifyFn<float>>(code.classify_symbol);
+
+  // 4. Bit-exact equivalence on the full test set...
+  std::size_t mismatches = 0;
+  for (std::size_t r = 0; r < split.test.rows(); ++r) {
+    const auto x = split.test.row(r);
+    const auto expected = float_engine.predict(x);
+    if (flint_engine.predict(x) != expected) ++mismatches;
+    if (classify(x.data()) != expected) ++mismatches;
+  }
+  std::printf("prediction mismatches across %zu test rows: %zu (must be 0)\n",
+              split.test.rows(), mismatches);
+
+  // ...and a quick relative timing.
+  auto time_it = [&](auto&& fn) {
+    long long sink = 0;
+    const auto t = flint::harness::measure(
+        [&] {
+          for (std::size_t r = 0; r < split.test.rows(); ++r) {
+            sink += fn(split.test.row(r));
+          }
+        },
+        0.05, 3);
+    if (sink == -1) return 0.0;
+    return t.seconds_per_iteration / static_cast<double>(split.test.rows()) * 1e9;
+  };
+  const double t_float =
+      time_it([&](std::span<const float> x) { return float_engine.predict(x); });
+  const double t_flint =
+      time_it([&](std::span<const float> x) { return flint_engine.predict(x); });
+  const double t_jit =
+      time_it([&](std::span<const float> x) { return classify(x.data()); });
+  std::printf("\nns/sample:  float interpreter %.0f | FLInt interpreter %.0f | "
+              "compiled FLInt %.0f\n", t_float, t_flint, t_jit);
+  std::printf("compiled FLInt speedup vs float interpreter: %.2fx\n",
+              t_float / t_jit);
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,284 @@
+#include "cli/cli.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "codegen/asm_arm.hpp"
+#include "codegen/asm_x86.hpp"
+#include "codegen/cgen_cags.hpp"
+#include "codegen/cgen_ifelse.hpp"
+#include "codegen/cgen_native.hpp"
+#include "data/csv.hpp"
+#include "data/split.hpp"
+#include "data/synth.hpp"
+#include "exec/interpreter.hpp"
+#include "trees/forest.hpp"
+#include "trees/serialize.hpp"
+#include "trees/tree_stats.hpp"
+
+namespace flint::cli {
+
+namespace {
+
+/// Minimal --key value parser; positional[0] is the subcommand.
+class Args {
+ public:
+  explicit Args(std::span<const std::string> args) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& a = args[i];
+      if (a.rfind("--", 0) == 0) {
+        const std::string key = a.substr(2);
+        if (i + 1 >= args.size()) {
+          throw std::invalid_argument("missing value for --" + key);
+        }
+        options_[key] = args[++i];
+      } else {
+        positional_.push_back(a);
+      }
+    }
+  }
+
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto it = options_.find(key);
+    if (it == options_.end()) {
+      throw std::invalid_argument("missing required option --" + key);
+    }
+    mark_used(key);
+    return it->second;
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = options_.find(key);
+    mark_used(key);
+    return it == options_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] long get_long(const std::string& key, long fallback) const {
+    const auto it = options_.find(key);
+    mark_used(key);
+    if (it == options_.end()) return fallback;
+    std::size_t pos = 0;
+    const long v = std::stol(it->second, &pos);
+    if (pos != it->second.size()) {
+      throw std::invalid_argument("option --" + key + " expects an integer");
+    }
+    return v;
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  /// Rejects typo'd options: every provided --key must have been consumed.
+  void check_all_used() const {
+    for (const auto& [key, value] : options_) {
+      if (!used_.count(key)) {
+        throw std::invalid_argument("unknown option --" + key);
+      }
+    }
+  }
+
+ private:
+  void mark_used(const std::string& key) const { used_.insert(key); }
+
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> used_;
+};
+
+int cmd_gen(const Args& args, std::ostream& out) {
+  const auto spec = data::spec_by_name(args.require("dataset"));
+  const auto rows = static_cast<std::size_t>(args.get_long("rows", 0));
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  const std::string path = args.require("out");
+  args.check_all_used();
+  const auto dataset = data::generate<float>(spec, seed, rows);
+  data::save_csv(path, dataset);
+  out << "wrote " << dataset.rows() << " rows x " << dataset.cols()
+      << " features (" << spec.classes << " classes) to " << path << "\n";
+  return 0;
+}
+
+int cmd_train(const Args& args, std::ostream& out) {
+  const auto dataset = data::load_csv<float>(args.require("data"));
+  trees::ForestOptions options;
+  options.n_trees = static_cast<int>(args.get_long("trees", 10));
+  options.tree.max_depth = static_cast<int>(args.get_long("depth", 10));
+  options.tree.seed = static_cast<std::uint64_t>(args.get_long("seed", 42));
+  options.tree.max_features =
+      args.get("features", "sqrt") == "all" ? 0
+                                            : trees::TrainOptions::kSqrtFeatures;
+  const std::string model_path = args.require("out");
+  args.check_all_used();
+  const auto forest = trees::train_forest(dataset, options);
+  trees::save_forest(model_path, forest);
+  out << "trained " << forest.size() << " trees (" << forest.total_nodes()
+      << " nodes, max depth " << forest.max_depth() << ") on "
+      << dataset.rows() << " rows; training accuracy "
+      << trees::accuracy(forest, dataset) << "\n"
+      << "model saved to " << model_path << "\n";
+  return 0;
+}
+
+int cmd_predict(const Args& args, std::ostream& out) {
+  const auto forest = trees::load_forest<float>(args.require("model"));
+  const auto dataset = data::load_csv<float>(args.require("data"));
+  const std::string engine_name = args.get("engine", "flint");
+  const bool print_labels = args.get("labels", "no") == "yes";
+  args.check_all_used();
+  if (dataset.cols() < forest.feature_count()) {
+    throw std::invalid_argument("data has fewer features than the model");
+  }
+
+  std::vector<std::int32_t> predictions(dataset.rows());
+  if (engine_name == "float") {
+    const exec::FloatForestEngine<float> engine(forest);
+    engine.predict_batch(dataset, predictions);
+  } else {
+    exec::FlintVariant variant = exec::FlintVariant::Encoded;
+    if (engine_name == "flint" || engine_name == "encoded") {
+      variant = exec::FlintVariant::Encoded;
+    } else if (engine_name == "theorem1") {
+      variant = exec::FlintVariant::Theorem1;
+    } else if (engine_name == "theorem2") {
+      variant = exec::FlintVariant::Theorem2;
+    } else if (engine_name == "radix") {
+      variant = exec::FlintVariant::RadixKey;
+    } else {
+      throw std::invalid_argument("unknown engine '" + engine_name +
+                                  "' (float|flint|theorem1|theorem2|radix)");
+    }
+    const exec::FlintForestEngine<float> engine(forest, variant);
+    engine.predict_batch(dataset, predictions);
+  }
+
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    if (predictions[r] == dataset.label(r)) ++hits;
+    if (print_labels) out << predictions[r] << "\n";
+  }
+  out << "accuracy " << (static_cast<double>(hits) /
+                         static_cast<double>(dataset.rows()))
+      << " over " << dataset.rows() << " rows (engine: " << engine_name << ")\n";
+  return 0;
+}
+
+int cmd_codegen(const Args& args, std::ostream& out) {
+  const auto forest = trees::load_forest<float>(args.require("model"));
+  const std::string flavor = args.get("flavor", "ifelse-flint");
+  const std::string out_dir = args.require("out");
+  const std::string stats_csv = args.get("train-data", "");
+  codegen::CGenOptions options;
+  options.prefix = args.get("prefix", "forest");
+  options.kernel_budget_bytes =
+      static_cast<int>(args.get_long("kernel-budget", 4096));
+  args.check_all_used();
+
+  codegen::GeneratedCode code;
+  if (flavor == "ifelse-float" || flavor == "ifelse-flint") {
+    options.flint = flavor == "ifelse-flint";
+    code = codegen::generate_ifelse(forest, options);
+  } else if (flavor == "cags-float" || flavor == "cags-flint") {
+    if (stats_csv.empty()) {
+      throw std::invalid_argument(
+          "CAGS flavors need --train-data <csv> for branch statistics");
+    }
+    const auto train = data::load_csv<float>(stats_csv);
+    const auto stats = trees::collect_branch_stats(forest, train);
+    options.flint = flavor == "cags-flint";
+    code = codegen::generate_cags(forest, stats, options);
+  } else if (flavor == "native-float" || flavor == "native-flint") {
+    options.flint = flavor == "native-flint";
+    code = codegen::generate_native(forest, options);
+  } else if (flavor == "asm-x86") {
+    code = codegen::generate_asm_x86(forest, options);
+  } else if (flavor == "asm-armv8") {
+    code = codegen::generate_asm_armv8(forest, options);
+  } else {
+    throw std::invalid_argument(
+        "unknown flavor '" + flavor +
+        "' (ifelse-float|ifelse-flint|cags-float|cags-flint|native-float|"
+        "native-flint|asm-x86|asm-armv8)");
+  }
+
+  std::filesystem::create_directories(out_dir);
+  for (const auto& file : code.files) {
+    const auto path = std::filesystem::path(out_dir) / file.name;
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot write " + path.string());
+    f << file.content;
+    out << "wrote " << path.string() << " (" << file.content.size()
+        << " bytes)\n";
+  }
+  out << "entry point: int " << code.classify_symbol << "(const float* pX)\n";
+  return 0;
+}
+
+int cmd_inspect(const Args& args, std::ostream& out) {
+  const auto forest = trees::load_forest<float>(args.require("model"));
+  args.check_all_used();
+  out << "forest: " << forest.size() << " trees, " << forest.num_classes()
+      << " classes, " << forest.feature_count() << " features, "
+      << forest.total_nodes() << " nodes\n";
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    const auto shape = trees::tree_shape(forest.tree(t));
+    out << "  tree " << t << ": " << shape.nodes << " nodes, " << shape.leaves
+        << " leaves, depth " << shape.depth << ", " << shape.negative_splits
+        << " negative splits\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "flint-forest — random forest training, inference and FLInt code "
+      "generation\n"
+      "\n"
+      "usage: flint-forest <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  gen      --dataset <eye|gas|magic|sensorless|wine> --out <csv>\n"
+      "           [--rows N] [--seed N]\n"
+      "  train    --data <csv> --out <model> [--trees N] [--depth N]\n"
+      "           [--seed N] [--features sqrt|all]\n"
+      "  predict  --model <model> --data <csv>\n"
+      "           [--engine float|flint|theorem1|theorem2|radix]\n"
+      "           [--labels yes|no]\n"
+      "  codegen  --model <model> --out <dir> [--flavor <flavor>]\n"
+      "           [--prefix name] [--train-data <csv>] [--kernel-budget N]\n"
+      "           flavors: ifelse-float ifelse-flint cags-float cags-flint\n"
+      "                    native-float native-flint asm-x86 asm-armv8\n"
+      "  inspect  --model <model>\n";
+}
+
+int run(std::span<const std::string> args, std::ostream& out, std::ostream& err) {
+  if (args.empty() || args[0] == "--help" || args[0] == "help") {
+    out << usage();
+    return args.empty() ? 2 : 0;
+  }
+  const std::string command = args[0];
+  const std::span<const std::string> rest = args.subspan(1);
+  try {
+    const Args parsed(rest);
+    if (command == "gen") return cmd_gen(parsed, out);
+    if (command == "train") return cmd_train(parsed, out);
+    if (command == "predict") return cmd_predict(parsed, out);
+    if (command == "codegen") return cmd_codegen(parsed, out);
+    if (command == "inspect") return cmd_inspect(parsed, out);
+    err << "unknown command '" << command << "'\n\n" << usage();
+    return 2;
+  } catch (const std::exception& e) {
+    err << "flint-forest " << command << ": " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace flint::cli

@@ -1,0 +1,30 @@
+// cli — the `flint-forest` command-line tool, as a testable library.
+//
+// Subcommands mirror the arch-forest workflow the paper builds on:
+//
+//   gen      synthesize a UCI-equivalent dataset to CSV
+//   train    train a random forest from CSV and save the model
+//   predict  run a model over CSV rows with a selectable engine
+//   codegen  emit C or assembly for a model (all five flavors + both ISAs)
+//   inspect  structural report of a saved model
+//
+// `run` is the whole tool: it parses `args` (excluding argv[0]), writes
+// human output to `out`, diagnostics to `err`, and returns the process exit
+// code.  main() in tools/flint_forest_main.cpp is a two-line wrapper, so
+// every code path is exercisable in-process by the test suite.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+namespace flint::cli {
+
+/// Entry point; never throws (errors become exit code 2 + message on err).
+[[nodiscard]] int run(std::span<const std::string> args, std::ostream& out,
+                      std::ostream& err);
+
+/// The --help text (also printed on unknown commands).
+[[nodiscard]] std::string usage();
+
+}  // namespace flint::cli

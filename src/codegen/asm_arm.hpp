@@ -1,0 +1,28 @@
+// codegen/asm_arm — direct ARMv8 (AArch64) assembly FLInt backend.
+//
+// Mirrors the paper's Listing 5: the feature word is loaded with ldrsw from
+// the feature-vector pointer (x0), the split constant is materialized with
+// movz/movk, and cmp + b.gt realizes the FLInt comparison.  Negative split
+// values flip the loaded sign bit with an eor before comparing.
+//
+// This container is x86-64, so the ARMv8 output cannot be executed here; it
+// is validated structurally (golden tests against the Listing 5 shape) and
+// documented as such in EXPERIMENTS.md.
+#pragma once
+
+#include "codegen/emit.hpp"
+#include "trees/forest.hpp"
+
+namespace flint::codegen {
+
+/// Generates {<prefix>.s, <prefix>_driver.c} for AArch64.  Always FLInt.
+template <core::FlintFloat T>
+[[nodiscard]] GeneratedCode generate_asm_armv8(const trees::Forest<T>& forest,
+                                               const CGenOptions& options);
+
+/// Single-tree assembly text (tests/examples).
+template <core::FlintFloat T>
+[[nodiscard]] std::string asm_armv8_tree(const trees::Tree<T>& tree,
+                                         const std::string& symbol);
+
+}  // namespace flint::codegen

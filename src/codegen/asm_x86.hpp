@@ -1,0 +1,28 @@
+// codegen/asm_x86 — direct x86-64 assembly FLInt backend (paper §IV-C).
+//
+// Each tree becomes a SysV-ABI function in AT&T syntax: the feature value is
+// loaded with a plain integer mov from the feature-vector pointer (%rdi),
+// the split constant is a signed-integer immediate, and one cmp +
+// conditional jump implements the FLInt comparison — no floating-point
+// instruction appears anywhere in the module (asserted by the no-FPU tests
+// via objdump).  A small C driver provides the voting classify function.
+#pragma once
+
+#include "codegen/emit.hpp"
+#include "trees/forest.hpp"
+
+namespace flint::codegen {
+
+/// Generates {<prefix>.s, <prefix>_driver.c}.  Always FLInt (the paper's
+/// assembly backend exists precisely to avoid float instructions).
+/// binary32 and binary64 feature types are both supported.
+template <core::FlintFloat T>
+[[nodiscard]] GeneratedCode generate_asm_x86(const trees::Forest<T>& forest,
+                                             const CGenOptions& options);
+
+/// Single-tree assembly text (tests/examples).
+template <core::FlintFloat T>
+[[nodiscard]] std::string asm_x86_tree(const trees::Tree<T>& tree,
+                                       const std::string& symbol);
+
+}  // namespace flint::codegen

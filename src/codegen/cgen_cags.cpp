@@ -1,0 +1,159 @@
+#include "codegen/cgen_cags.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+namespace flint::codegen {
+
+namespace {
+
+template <core::FlintFloat T>
+class CagsEmitter {
+ public:
+  CagsEmitter(CodeWriter& w, const trees::Tree<T>& tree,
+              const trees::BranchStats& stats, const CGenOptions& options)
+      : w_(w), tree_(tree), stats_(stats), options_(options),
+        emitted_(tree.size(), false), needs_label_(tree.size(), false) {}
+
+  void run() {
+    pending_kernels_.push_back(0);
+    bool first_kernel = true;
+    while (!pending_kernels_.empty()) {
+      const std::int32_t start = pending_kernels_.front();
+      pending_kernels_.pop_front();
+      if (emitted_[static_cast<std::size_t>(start)]) continue;
+      if (!first_kernel) w_.line("/* --- kernel boundary --- */");
+      first_kernel = false;
+      emit_kernel(start);
+    }
+  }
+
+ private:
+  [[nodiscard]] int node_cost(const trees::Node<T>& n) const {
+    if (n.is_leaf()) return options_.leaf_bytes;
+    return options_.flint ? options_.flint_node_bytes : options_.float_node_bytes;
+  }
+
+  [[nodiscard]] std::string label(std::int32_t idx) const {
+    return "L" + std::to_string(idx);
+  }
+
+  void emit_kernel(std::int32_t start) {
+    int budget = options_.kernel_budget_bytes;
+    std::vector<std::int32_t> local{start};
+    while (!local.empty()) {
+      std::int32_t cur = local.back();
+      local.pop_back();
+      if (emitted_[static_cast<std::size_t>(cur)]) continue;
+      // Walk the hot trace from `cur` inline until a leaf or budget cut.
+      while (true) {
+        const auto& n = tree_.node(cur);
+        const int cost = node_cost(n);
+        if (budget < cost) {
+          // Kernel full: continue this node in a later kernel.
+          needs_label_[static_cast<std::size_t>(cur)] = true;
+          w_.line("goto " + label(cur) + ";");
+          pending_kernels_.push_back(cur);
+          break;
+        }
+        budget -= cost;
+        emitted_[static_cast<std::size_t>(cur)] = true;
+        if (needs_label_[static_cast<std::size_t>(cur)]) {
+          w_.raw(label(cur) + ":\n");
+        }
+        if (n.is_leaf()) {
+          w_.line("return " + std::to_string(n.prediction) + ";");
+          break;
+        }
+        // Swapping: the likelier edge falls through, the colder edge jumps.
+        const double p_left = stats_.left_probability[static_cast<std::size_t>(cur)];
+        const bool left_hot = p_left >= 0.5;
+        const std::int32_t hot = left_hot ? n.left : n.right;
+        const std::int32_t cold = left_hot ? n.right : n.left;
+        // Condition that sends execution to the *cold* child.
+        std::string cond = left_hot
+                               ? condition_gt(options_, n.feature, n.split)
+                               : condition_le(options_, n.feature, n.split);
+        if (options_.use_builtin_expect) {
+          cond = "__builtin_expect(" + cond + ", 0)";
+        }
+        needs_label_[static_cast<std::size_t>(cold)] = true;
+        w_.line("if (" + cond + ") goto " + label(cold) + ";");
+        local.push_back(cold);  // emit cold branch later in this kernel
+        cur = hot;              // fall through into the hot child
+        if (emitted_[static_cast<std::size_t>(cur)]) {
+          // Cannot happen in a proper tree (single parent); guard anyway.
+          w_.line("goto " + label(cur) + ";");
+          break;
+        }
+      }
+    }
+  }
+
+  CodeWriter& w_;
+  const trees::Tree<T>& tree_;
+  const trees::BranchStats& stats_;
+  const CGenOptions& options_;
+  std::vector<bool> emitted_;
+  std::vector<bool> needs_label_;
+  std::deque<std::int32_t> pending_kernels_;
+};
+
+}  // namespace
+
+template <core::FlintFloat T>
+std::string cags_tree_body(const trees::Tree<T>& tree,
+                           const trees::BranchStats& stats,
+                           const CGenOptions& options) {
+  if (tree.empty()) throw std::invalid_argument("cags_tree_body: empty tree");
+  if (stats.size() != tree.size()) {
+    throw std::invalid_argument("cags_tree_body: stats/tree size mismatch");
+  }
+  CodeWriter w;
+  CagsEmitter<T>(w, tree, stats, options).run();
+  return w.take();
+}
+
+template <core::FlintFloat T>
+GeneratedCode generate_cags(const trees::Forest<T>& forest,
+                            const std::vector<trees::BranchStats>& stats,
+                            const CGenOptions& options) {
+  if (forest.empty()) throw std::invalid_argument("generate_cags: empty forest");
+  if (stats.size() != forest.size()) {
+    throw std::invalid_argument("generate_cags: need one BranchStats per tree");
+  }
+  CodeWriter w;
+  emit_c_prologue<T>(w, options);
+  const std::string scalar = c_scalar_name<T>();
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    w.open("static int " + options.prefix + "_tree_" + std::to_string(t) +
+           "(const " + scalar + "* pX) {");
+    w.raw(cags_tree_body(forest.tree(t), stats[t], options));
+    w.close();
+    w.blank();
+  }
+  emit_c_vote_driver<T>(w, options, forest.size(), forest.num_classes(),
+                        /*extern_trees=*/false);
+
+  GeneratedCode out;
+  out.files.push_back({options.prefix + ".c", w.take()});
+  out.classify_symbol = options.prefix + "_classify";
+  out.flavor = options.flint ? "cags-flint" : "cags-float";
+  return out;
+}
+
+template GeneratedCode generate_cags<float>(const trees::Forest<float>&,
+                                            const std::vector<trees::BranchStats>&,
+                                            const CGenOptions&);
+template GeneratedCode generate_cags<double>(const trees::Forest<double>&,
+                                             const std::vector<trees::BranchStats>&,
+                                             const CGenOptions&);
+template std::string cags_tree_body<float>(const trees::Tree<float>&,
+                                           const trees::BranchStats&,
+                                           const CGenOptions&);
+template std::string cags_tree_body<double>(const trees::Tree<double>&,
+                                            const trees::BranchStats&,
+                                            const CGenOptions&);
+
+}  // namespace flint::codegen

@@ -1,0 +1,41 @@
+// codegen/cgen_cags — cache-aware grouping and swapping (CAGS) generator.
+//
+// Reimplementation of the layout strategy of Buschjaeger et al. (ICDM'18)
+// as refined by Chen et al. (TECS'22), the state-of-the-art baseline the
+// paper integrates FLInt into:
+//
+//   * swapping — at every inner node the branch taken more often on the
+//     training set becomes the fall-through edge, the colder branch is a
+//     forward goto;
+//   * grouping — the hot trace is emitted contiguously until a byte budget
+//     (modelling the cache-resident code chunk) is exhausted; the remainder
+//     continues behind a goto in a fresh "kernel", so the frequently
+//     executed prefix of the tree stays packed in few instruction-cache
+//     lines.
+//
+// Branch probabilities come from trees::collect_branch_stats on the training
+// set.  With options.flint=true the node conditions use the FLInt integer
+// form — that is exactly the paper's "CAGS (FLInt)" configuration.
+#pragma once
+
+#include "codegen/emit.hpp"
+#include "trees/forest.hpp"
+#include "trees/tree_stats.hpp"
+
+namespace flint::codegen {
+
+/// Generates the complete CAGS module for a forest.  `stats` must hold one
+/// BranchStats per tree (from trees::collect_branch_stats); throws
+/// std::invalid_argument on size mismatch or empty forest.
+template <core::FlintFloat T>
+[[nodiscard]] GeneratedCode generate_cags(const trees::Forest<T>& forest,
+                                          const std::vector<trees::BranchStats>& stats,
+                                          const CGenOptions& options);
+
+/// Single-tree body (goto/label structured), exposed for tests/examples.
+template <core::FlintFloat T>
+[[nodiscard]] std::string cags_tree_body(const trees::Tree<T>& tree,
+                                         const trees::BranchStats& stats,
+                                         const CGenOptions& options);
+
+}  // namespace flint::codegen

@@ -1,0 +1,70 @@
+#include "codegen/cgen_ifelse.hpp"
+
+#include <stdexcept>
+
+namespace flint::codegen {
+
+namespace {
+
+/// Emits the subtree rooted at `idx` as nested if/else blocks.  The trainer
+/// caps depth (paper grid max 50), so recursion depth is bounded and small.
+template <core::FlintFloat T>
+void emit_subtree(CodeWriter& w, const trees::Tree<T>& tree, std::int32_t idx,
+                  const CGenOptions& options) {
+  const auto& n = tree.node(idx);
+  if (n.is_leaf()) {
+    w.line("return " + std::to_string(n.prediction) + ";");
+    return;
+  }
+  w.open("if (" + condition_le(options, n.feature, n.split) + ") {");
+  emit_subtree(w, tree, n.left, options);
+  w.reopen("} else {");
+  emit_subtree(w, tree, n.right, options);
+  w.close();
+}
+
+}  // namespace
+
+template <core::FlintFloat T>
+std::string ifelse_tree_body(const trees::Tree<T>& tree,
+                             const CGenOptions& options) {
+  if (tree.empty()) throw std::invalid_argument("ifelse_tree_body: empty tree");
+  CodeWriter w;
+  emit_subtree(w, tree, 0, options);
+  return w.take();
+}
+
+template <core::FlintFloat T>
+GeneratedCode generate_ifelse(const trees::Forest<T>& forest,
+                              const CGenOptions& options) {
+  if (forest.empty()) throw std::invalid_argument("generate_ifelse: empty forest");
+  CodeWriter w;
+  emit_c_prologue<T>(w, options);
+  const std::string scalar = c_scalar_name<T>();
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    w.open("static int " + options.prefix + "_tree_" + std::to_string(t) +
+           "(const " + scalar + "* pX) {");
+    emit_subtree(w, forest.tree(t), 0, options);
+    w.close();
+    w.blank();
+  }
+  emit_c_vote_driver<T>(w, options, forest.size(), forest.num_classes(),
+                        /*extern_trees=*/false);
+
+  GeneratedCode out;
+  out.files.push_back({options.prefix + ".c", w.take()});
+  out.classify_symbol = options.prefix + "_classify";
+  out.flavor = options.flint ? "ifelse-flint" : "ifelse-float";
+  return out;
+}
+
+template GeneratedCode generate_ifelse<float>(const trees::Forest<float>&,
+                                              const CGenOptions&);
+template GeneratedCode generate_ifelse<double>(const trees::Forest<double>&,
+                                               const CGenOptions&);
+template std::string ifelse_tree_body<float>(const trees::Tree<float>&,
+                                             const CGenOptions&);
+template std::string ifelse_tree_body<double>(const trees::Tree<double>&,
+                                              const CGenOptions&);
+
+}  // namespace flint::codegen

@@ -1,0 +1,28 @@
+// codegen/cgen_ifelse — the paper's standard if-else tree generator
+// (Listing 1) and its FLInt counterpart (Listing 2/4, options.flint=true).
+//
+// Each tree becomes a static function of nested if/else blocks: the branch
+// condition compares the feature value against the split constant, the left
+// subtree fills the if-block, the right subtree the else-block.  With
+// options.flint the comparison is the codegen-time-resolved integer form of
+// Theorem 2 (see core::encode_threshold_le).
+#pragma once
+
+#include "codegen/emit.hpp"
+#include "trees/forest.hpp"
+
+namespace flint::codegen {
+
+/// Generates the complete module (tree functions + vote driver) for a
+/// forest.  Throws std::invalid_argument on empty forests.
+template <core::FlintFloat T>
+[[nodiscard]] GeneratedCode generate_ifelse(const trees::Forest<T>& forest,
+                                            const CGenOptions& options);
+
+/// Generates the nested if/else body of a single tree (used by tests and
+/// the codegen_tour example to show Listing-style snippets).
+template <core::FlintFloat T>
+[[nodiscard]] std::string ifelse_tree_body(const trees::Tree<T>& tree,
+                                           const CGenOptions& options);
+
+}  // namespace flint::codegen

@@ -1,0 +1,108 @@
+#include "codegen/cgen_native.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace flint::codegen {
+
+namespace {
+
+/// Emits `static const <type> name[] = { ... };` wrapping rows of 12 values.
+void emit_array(CodeWriter& w, const std::string& type, const std::string& name,
+                const std::vector<std::string>& values) {
+  w.open("static const " + type + " " + name + "[] = {");
+  std::string row;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    row += values[i];
+    row += ',';
+    if ((i + 1) % 12 == 0 || i + 1 == values.size()) {
+      w.line(row);
+      row.clear();
+    } else {
+      row += ' ';
+    }
+  }
+  w.close("};");
+}
+
+}  // namespace
+
+template <core::FlintFloat T>
+GeneratedCode generate_native(const trees::Forest<T>& forest,
+                              const CGenOptions& options) {
+  if (forest.empty()) throw std::invalid_argument("generate_native: empty forest");
+  CodeWriter w;
+  emit_c_prologue<T>(w, options);
+  const std::string scalar = c_scalar_name<T>();
+  const std::string int_type = core::FloatTraits<T>::c_int_type;
+
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    const auto& tree = forest.tree(t);
+    const std::string p = options.prefix + "_t" + std::to_string(t);
+    std::vector<std::string> feat, split, flip, left, right, pred;
+    feat.reserve(tree.size());
+    for (const auto& n : tree.nodes()) {
+      feat.push_back(std::to_string(n.feature));
+      left.push_back(std::to_string(n.left));
+      right.push_back(std::to_string(n.right));
+      pred.push_back(std::to_string(n.is_leaf() ? n.prediction : -1));
+      if (options.flint) {
+        const auto enc = core::encode_threshold_le(n.is_leaf() ? T{0} : n.split);
+        split.push_back("(" + int_type + ")" + core::immediate_hex(enc));
+        flip.push_back(enc.mode == core::ThresholdMode::SignFlip ? "1" : "0");
+      } else {
+        split.push_back(c_float_literal(n.is_leaf() ? T{0} : n.split));
+      }
+    }
+    emit_array(w, "int32_t", p + "_feat", feat);
+    emit_array(w, options.flint ? int_type : scalar, p + "_split", split);
+    if (options.flint) emit_array(w, "uint8_t", p + "_flip", flip);
+    emit_array(w, "int32_t", p + "_left", left);
+    emit_array(w, "int32_t", p + "_right", right);
+    emit_array(w, "int32_t", p + "_pred", pred);
+    w.blank();
+
+    w.open("static int " + options.prefix + "_tree_" + std::to_string(t) +
+           "(const " + scalar + "* pX) {");
+    w.line("int32_t i = 0;");
+    w.open("while (" + p + "_feat[i] >= 0) {");
+    if (options.flint) {
+      w.line(int_type + " x = " + options.prefix + "_ld(pX + " + p + "_feat[i]);");
+      // Branchless select of the comparison form; both forms evaluate the
+      // same `<=` relation resolved by the per-node flip flag.
+      char sign_hex[32];
+      if constexpr (sizeof(T) == 4) {
+        std::snprintf(sign_hex, sizeof sign_hex, "0x%08x",
+                      static_cast<unsigned>(core::FloatTraits<T>::sign_mask));
+      } else {
+        std::snprintf(sign_hex, sizeof sign_hex, "0x%016llx",
+                      static_cast<unsigned long long>(core::FloatTraits<T>::sign_mask));
+      }
+      w.line("int go_left = " + p + "_flip[i] ? (" + p + "_split[i] <= (x ^ ((" +
+             int_type + ")" + std::string(sign_hex) + "))) : (x <= " + p +
+             "_split[i]);");
+    } else {
+      w.line("int go_left = pX[" + p + "_feat[i]] <= " + p + "_split[i];");
+    }
+    w.line("i = go_left ? " + p + "_left[i] : " + p + "_right[i];");
+    w.close();
+    w.line("return " + p + "_pred[i];");
+    w.close();
+    w.blank();
+  }
+  emit_c_vote_driver<T>(w, options, forest.size(), forest.num_classes(),
+                        /*extern_trees=*/false);
+
+  GeneratedCode out;
+  out.files.push_back({options.prefix + ".c", w.take()});
+  out.classify_symbol = options.prefix + "_classify";
+  out.flavor = options.flint ? "native-flint" : "native-float";
+  return out;
+}
+
+template GeneratedCode generate_native<float>(const trees::Forest<float>&,
+                                              const CGenOptions&);
+template GeneratedCode generate_native<double>(const trees::Forest<double>&,
+                                               const CGenOptions&);
+
+}  // namespace flint::codegen

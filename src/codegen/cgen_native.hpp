@@ -1,0 +1,22 @@
+// codegen/cgen_native — "native tree" generator (Asadi et al., paper §IV-A):
+// nodes become constant arrays and a narrow loop walks them by index.
+//
+// Included for completeness of the arch-forest reproduction (the paper notes
+// "FLInts can also be integrated to native tree implementations in C without
+// further issues") and used by the ablation benches to separate the
+// comparison-operator effect from the if-else-compilation effect.
+#pragma once
+
+#include "codegen/emit.hpp"
+#include "trees/forest.hpp"
+
+namespace flint::codegen {
+
+/// Generates the array-walking module for a forest.  With options.flint the
+/// split array holds pre-encoded integer immediates plus a sign-flip flag
+/// array (Theorem 2 resolved at generation time, as in the if-else flavor).
+template <core::FlintFloat T>
+[[nodiscard]] GeneratedCode generate_native(const trees::Forest<T>& forest,
+                                            const CGenOptions& options);
+
+}  // namespace flint::codegen

@@ -1,0 +1,115 @@
+// codegen/emit — shared infrastructure for the source-code generators.
+//
+// All generators turn a trained Forest into compilable text (C99 or GNU
+// assembly) exposing one external symbol `<prefix>_classify` with the ABI
+// `int <prefix>_classify(const float|double* pX)`.  The arch-forest
+// framework the paper extends works the same way, one translation unit per
+// forest, one function per tree, plus a voting driver.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/flint.hpp"
+
+namespace flint::codegen {
+
+/// One file of generated text handed to the JIT (or written to disk by the
+/// no-FPU export example).  `name` is a relative file name whose extension
+/// selects the language (.c / .s).
+struct SourceFile {
+  std::string name;
+  std::string content;
+};
+
+/// A complete generated module.
+struct GeneratedCode {
+  std::vector<SourceFile> files;
+  std::string classify_symbol;  ///< e.g. "forest_classify"
+  std::string flavor;           ///< human-readable generator id for reports
+};
+
+/// Options shared by every generator.
+struct CGenOptions {
+  std::string prefix = "forest";
+  /// Emit FLInt integer comparisons instead of floating-point ones.
+  bool flint = false;
+  /// CAGS: kernel byte budget before the trace is cut and continued behind a
+  /// goto (models the instruction-cache-resident code chunk of Chen et al.).
+  int kernel_budget_bytes = 4096;
+  /// CAGS: per-node machine-code size estimates (bytes) used against the
+  /// kernel budget; defaults measured from gcc -O2 x86-64 output.
+  int float_node_bytes = 24;
+  int flint_node_bytes = 18;
+  int leaf_bytes = 10;
+  /// CAGS: annotate the cold edge with __builtin_expect so the C compiler
+  /// preserves the probability-derived layout.
+  bool use_builtin_expect = true;
+};
+
+/// Simple indentation-aware text sink.
+class CodeWriter {
+ public:
+  /// Appends one indented line (no embedded newlines).
+  void line(const std::string& text);
+  /// Appends a blank line.
+  void blank();
+  /// line(text) then increase indentation (e.g. "if (...) {").
+  void open(const std::string& text);
+  /// Decrease indentation then line(text) (e.g. "}").
+  void close(const std::string& text = "}");
+  /// Decrease, line(text), increase again (e.g. "} else {").
+  void reopen(const std::string& text);
+  /// Appends raw text verbatim.
+  void raw(const std::string& text);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(out_); }
+
+ private:
+  std::string out_;
+  int indent_ = 0;
+};
+
+/// Exact C literal for a float/double value ("10.0743475f", "1e-05", ...).
+/// Uses max_digits10 so the compiled constant reproduces the trained split
+/// bit pattern exactly.  Not valid for NaN/inf (forests never contain them);
+/// throws std::invalid_argument on such input.
+[[nodiscard]] std::string c_float_literal(float v);
+[[nodiscard]] std::string c_float_literal(double v);
+
+/// Scalar type name in generated C ("float" / "double").
+template <core::FlintFloat T>
+[[nodiscard]] const char* c_scalar_name() {
+  if constexpr (sizeof(T) == 4) return "float";
+  else return "double";
+}
+
+/// Standard prologue of every generated C file: includes plus the memcpy
+/// based reinterpreting load (strict-aliasing-safe version of the paper's
+/// `*(((int*)(pX))+3)`; compiles to one integer load at -O1).
+template <core::FlintFloat T>
+void emit_c_prologue(CodeWriter& w, const CGenOptions& options);
+
+/// The voting driver: `int <prefix>_classify(const T* pX)` calling
+/// `<prefix>_tree_<k>` for every tree and returning the argmax class
+/// (lowest id wins ties, matching Forest::predict).
+template <core::FlintFloat T>
+void emit_c_vote_driver(CodeWriter& w, const CGenOptions& options,
+                        std::size_t n_trees, int num_classes,
+                        bool extern_trees);
+
+/// Condition text for `x[feature] <= split` in the selected mode.
+/// `flint == false`: "pX[3] <= 10.074347f"  (Listing 1)
+/// `flint == true`:  "forest_ld32(pX + 3) <= (int32_t)0x41213087"  (Listing 2)
+/// or the sign-flipped form for negative splits    (Listing 4).
+template <core::FlintFloat T>
+[[nodiscard]] std::string condition_le(const CGenOptions& options, int feature, T split);
+
+/// Negation of condition_le (used for branch-swapped CAGS edges): the
+/// generators must not emit `!(...)` around FLInt comparisons because the
+/// integer relations have exact complements (<= vs >).
+template <core::FlintFloat T>
+[[nodiscard]] std::string condition_gt(const CGenOptions& options, int feature, T split);
+
+}  // namespace flint::codegen

@@ -1,0 +1,50 @@
+#include "core/flint.hpp"
+
+#include <cstdio>
+
+namespace flint::core {
+
+namespace {
+
+template <typename S>
+std::string hex_literal(S value) {
+  using U = std::make_unsigned_t<S>;
+  char buf[32];
+  if constexpr (sizeof(S) == 4) {
+    std::snprintf(buf, sizeof buf, "0x%08x", static_cast<unsigned>(static_cast<U>(value)));
+  } else {
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(static_cast<U>(value)));
+  }
+  return buf;
+}
+
+}  // namespace
+
+template <FlintFloat T>
+std::string immediate_hex(const EncodedThreshold<T>& t) {
+  return hex_literal(t.immediate);
+}
+
+template <FlintFloat T>
+std::string to_c_expression(const EncodedThreshold<T>& t,
+                            const std::string& feature_expr) {
+  const char* int_type = FloatTraits<T>::c_int_type;
+  const std::string imm =
+      "((" + std::string(int_type) + ")" + hex_literal(t.immediate) + ")";
+  if (t.mode == ThresholdMode::Direct) {
+    return "(" + feature_expr + " <= " + imm + ")";
+  }
+  const std::string sign = hex_literal(FloatTraits<T>::sign_mask);
+  return "(" + imm + " <= (" + feature_expr + " ^ ((" + int_type + ")" + sign +
+         ")))";
+}
+
+template std::string immediate_hex<float>(const EncodedThreshold<float>&);
+template std::string immediate_hex<double>(const EncodedThreshold<double>&);
+template std::string to_c_expression<float>(const EncodedThreshold<float>&,
+                                            const std::string&);
+template std::string to_c_expression<double>(const EncodedThreshold<double>&,
+                                             const std::string&);
+
+}  // namespace flint::core

@@ -1,0 +1,107 @@
+#include "data/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace flint::data {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& name, std::size_t line, const std::string& what) {
+  throw std::runtime_error("csv: " + name + ":" + std::to_string(line) + ": " + what);
+}
+
+template <typename T>
+T parse_scalar(std::string_view field, const std::string& name, std::size_t line) {
+  T value{};
+  const char* first = field.data();
+  const char* last = field.data() + field.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc{} || ptr != last) {
+    fail(name, line, "bad numeric field '" + std::string(field) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+template <typename T>
+Dataset<T> read_csv(std::istream& in, const std::string& name) {
+  Dataset<T> out;
+  out.set_name(name);
+  std::string line;
+  std::size_t line_no = 0;
+  std::vector<T> features;
+  bool cols_known = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    features.clear();
+    std::size_t start = 0;
+    std::vector<std::string_view> fields;
+    while (start <= line.size()) {
+      const std::size_t comma = line.find(',', start);
+      const std::size_t end = (comma == std::string::npos) ? line.size() : comma;
+      fields.emplace_back(line.data() + start, end - start);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+    if (fields.size() < 2) fail(name, line_no, "need at least one feature and a label");
+    if (!cols_known) {
+      out.set_cols(fields.size() - 1);
+      cols_known = true;
+    } else if (fields.size() - 1 != out.cols()) {
+      fail(name, line_no,
+           "expected " + std::to_string(out.cols()) + " features, got " +
+               std::to_string(fields.size() - 1));
+    }
+    for (std::size_t i = 0; i + 1 < fields.size(); ++i) {
+      features.push_back(parse_scalar<T>(fields[i], name, line_no));
+    }
+    const int label = parse_scalar<int>(fields.back(), name, line_no);
+    if (label < 0) fail(name, line_no, "negative class label");
+    out.add_row(features, label);
+  }
+  return out;
+}
+
+template <typename T>
+Dataset<T> load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv: cannot open '" + path + "'");
+  return read_csv<T>(in, path);
+}
+
+template <typename T>
+void write_csv(std::ostream& out, const Dataset<T>& dataset) {
+  std::ostringstream line;
+  line.precision(std::numeric_limits<T>::max_digits10);
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    line.str({});
+    for (const T v : dataset.row(r)) line << v << ',';
+    line << dataset.label(r) << '\n';
+    out << line.str();
+  }
+}
+
+template <typename T>
+void save_csv(const std::string& path, const Dataset<T>& dataset) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv: cannot open '" + path + "' for writing");
+  write_csv(out, dataset);
+}
+
+template Dataset<float> read_csv<float>(std::istream&, const std::string&);
+template Dataset<double> read_csv<double>(std::istream&, const std::string&);
+template Dataset<float> load_csv<float>(const std::string&);
+template Dataset<double> load_csv<double>(const std::string&);
+template void write_csv<float>(std::ostream&, const Dataset<float>&);
+template void write_csv<double>(std::ostream&, const Dataset<double>&);
+template void save_csv<float>(const std::string&, const Dataset<float>&);
+template void save_csv<double>(const std::string&, const Dataset<double>&);
+
+}  // namespace flint::data

@@ -1,0 +1,35 @@
+// data/csv — minimal CSV reader/writer for datasets.
+//
+// Format: one row per line, comma-separated feature values followed by the
+// integer class label in the last column.  An optional header line starting
+// with '#' is skipped.  This mirrors the flat files the arch-forest tooling
+// consumes for the UCI datasets.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace flint::data {
+
+/// Parses a dataset from a stream.  `name` is attached to the result.
+/// Throws std::runtime_error with a 1-based line number on malformed input
+/// (wrong column count, non-numeric field, non-integer/negative label).
+template <typename T>
+[[nodiscard]] Dataset<T> read_csv(std::istream& in, const std::string& name);
+
+/// Loads a dataset from a file path.  Throws std::runtime_error if the file
+/// cannot be opened.
+template <typename T>
+[[nodiscard]] Dataset<T> load_csv(const std::string& path);
+
+/// Writes `dataset` in the same format (full precision round-trip: floats
+/// are printed with enough digits to restore the exact value).
+template <typename T>
+void write_csv(std::ostream& out, const Dataset<T>& dataset);
+
+template <typename T>
+void save_csv(const std::string& path, const Dataset<T>& dataset);
+
+}  // namespace flint::data

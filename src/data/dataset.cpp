@@ -1,0 +1,56 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flint::data {
+
+template <typename T>
+void Dataset<T>::add_row(std::span<const T> features, int label) {
+  if (features.size() != cols_) {
+    throw std::invalid_argument("Dataset::add_row: expected " +
+                                std::to_string(cols_) + " features, got " +
+                                std::to_string(features.size()));
+  }
+  if (label < 0) {
+    throw std::invalid_argument("Dataset::add_row: negative label");
+  }
+  values_.insert(values_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+template <typename T>
+int Dataset<T>::num_classes() const noexcept {
+  int max_label = -1;
+  for (int l : labels_) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+template <typename T>
+std::vector<std::size_t> Dataset<T>::class_histogram() const {
+  std::vector<std::size_t> hist(static_cast<std::size_t>(num_classes()), 0);
+  for (int l : labels_) ++hist[static_cast<std::size_t>(l)];
+  return hist;
+}
+
+template <typename T>
+Dataset<T> Dataset<T>::subset(std::span<const std::size_t> indices) const {
+  Dataset out(name_, cols_);
+  out.values_.reserve(indices.size() * cols_);
+  out.labels_.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    if (idx >= rows()) {
+      throw std::out_of_range("Dataset::subset: index " + std::to_string(idx) +
+                              " out of range (rows=" + std::to_string(rows()) + ")");
+    }
+    const auto r = row(idx);
+    out.values_.insert(out.values_.end(), r.begin(), r.end());
+    out.labels_.push_back(labels_[idx]);
+  }
+  return out;
+}
+
+template class Dataset<float>;
+template class Dataset<double>;
+
+}  // namespace flint::data

@@ -1,0 +1,67 @@
+// data/dataset — dense row-major feature matrix with integer class labels.
+//
+// The paper trains on five UCI datasets whose feature vectors are floating
+// point; this container is the in-memory form used by the trainer, the
+// interpreters and the benchmark harness.  It is templated on the feature
+// scalar (float for the paper's main pipeline, double for the binary64
+// code paths) and instantiated for both.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace flint::data {
+
+/// Row-major dataset: `rows x cols` feature values plus one class label per
+/// row.  Labels are dense class ids in [0, num_classes).
+template <typename T>
+class Dataset {
+ public:
+  Dataset() = default;
+  Dataset(std::string name, std::size_t cols) : name_(std::move(name)), cols_(cols) {}
+
+  /// Appends one row; `features.size()` must equal cols().  Throws
+  /// std::invalid_argument on shape mismatch.
+  void add_row(std::span<const T> features, int label);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return labels_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] bool empty() const noexcept { return labels_.empty(); }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Number of distinct classes = max(label)+1 (labels are dense ids).
+  [[nodiscard]] int num_classes() const noexcept;
+
+  [[nodiscard]] std::span<const T> row(std::size_t r) const {
+    return {values_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] int label(std::size_t r) const { return labels_[r]; }
+  [[nodiscard]] std::span<const T> values() const noexcept { return values_; }
+  [[nodiscard]] std::span<const int> labels() const noexcept { return labels_; }
+
+  /// Per-class row counts (length num_classes()).
+  [[nodiscard]] std::vector<std::size_t> class_histogram() const;
+
+  /// Builds a new dataset from a subset of row indices (with repetition
+  /// allowed — used for bootstrap resampling).
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Direct mutable access for generators.
+  std::vector<T>& mutable_values() noexcept { return values_; }
+  std::vector<int>& mutable_labels() noexcept { return labels_; }
+  void set_cols(std::size_t c) noexcept { cols_ = c; }
+
+ private:
+  std::string name_;
+  std::size_t cols_ = 0;
+  std::vector<T> values_;
+  std::vector<int> labels_;
+};
+
+extern template class Dataset<float>;
+extern template class Dataset<double>;
+
+}  // namespace flint::data

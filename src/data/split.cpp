@@ -1,0 +1,40 @@
+#include "data/split.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace flint::data {
+
+template <typename T>
+TrainTestSplit<T> train_test_split(const Dataset<T>& dataset,
+                                   double test_fraction, std::uint64_t seed) {
+  if (!(test_fraction > 0.0 && test_fraction < 1.0)) {
+    throw std::invalid_argument("train_test_split: fraction must be in (0,1)");
+  }
+  if (dataset.rows() < 2) {
+    throw std::invalid_argument("train_test_split: need at least 2 rows");
+  }
+  std::vector<std::size_t> order(dataset.rows());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  auto n_test = static_cast<std::size_t>(
+      static_cast<double>(dataset.rows()) * test_fraction);
+  n_test = std::clamp<std::size_t>(n_test, 1, dataset.rows() - 1);
+
+  const std::span<const std::size_t> test_idx(order.data(), n_test);
+  const std::span<const std::size_t> train_idx(order.data() + n_test,
+                                               order.size() - n_test);
+  return {dataset.subset(train_idx), dataset.subset(test_idx)};
+}
+
+template TrainTestSplit<float> train_test_split<float>(const Dataset<float>&,
+                                                       double, std::uint64_t);
+template TrainTestSplit<double> train_test_split<double>(const Dataset<double>&,
+                                                         double, std::uint64_t);
+
+}  // namespace flint::data

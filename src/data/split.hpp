@@ -1,0 +1,29 @@
+// data/split — deterministic shuffled train/test partitioning.
+//
+// The paper splits every dataset 75% train / 25% test and measures inference
+// time only on the unseen test rows (Section V-A).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "data/dataset.hpp"
+
+namespace flint::data {
+
+template <typename T>
+struct TrainTestSplit {
+  Dataset<T> train;
+  Dataset<T> test;
+};
+
+/// Shuffles row indices with the given seed and splits off `test_fraction`
+/// of the rows (rounded down, at least 1 row on each side for non-trivial
+/// inputs).  Throws std::invalid_argument for fractions outside (0, 1) or
+/// datasets with fewer than 2 rows.
+template <typename T>
+[[nodiscard]] TrainTestSplit<T> train_test_split(const Dataset<T>& dataset,
+                                                 double test_fraction,
+                                                 std::uint64_t seed);
+
+}  // namespace flint::data

@@ -1,0 +1,247 @@
+#include "exec/interpreter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flint::exec {
+
+const char* to_string(FlintVariant v) {
+  switch (v) {
+    case FlintVariant::Encoded: return "encoded";
+    case FlintVariant::Theorem1: return "theorem1";
+    case FlintVariant::Theorem2: return "theorem2";
+    case FlintVariant::RadixKey: return "radix";
+  }
+  return "?";
+}
+
+namespace {
+
+/// -0.0 split values are normalized to +0.0 before any encoding; see
+/// core::encode_threshold_le.
+template <typename T>
+T normalize_zero(T split) {
+  return split == T{0} ? T{0} : split;
+}
+
+}  // namespace
+
+template <typename T>
+FlintForestEngine<T>::FlintForestEngine(const trees::Forest<T>& forest,
+                                        FlintVariant variant)
+    : variant_(variant),
+      num_classes_(forest.num_classes()),
+      feature_count_(forest.feature_count()) {
+  if (forest.empty()) {
+    throw std::invalid_argument("FlintForestEngine: empty forest");
+  }
+  nodes_.reserve(forest.total_nodes());
+  roots_.reserve(forest.size());
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    const auto& tree = forest.tree(t);
+    const std::size_t base = nodes_.size();
+    roots_.push_back(base);
+    for (const auto& n : tree.nodes()) {
+      PackedNode<T> p;
+      p.feature = n.feature;
+      if (n.is_leaf()) {
+        p.payload = static_cast<Signed>(n.prediction);
+      } else {
+        p.left = n.left + static_cast<std::int32_t>(base);
+        p.right = n.right + static_cast<std::int32_t>(base);
+        const T split = normalize_zero(n.split);
+        switch (variant_) {
+          case FlintVariant::Encoded: {
+            const auto enc = core::encode_threshold_le(split);
+            p.payload = enc.immediate;
+            p.sign_flip = enc.mode == core::ThresholdMode::SignFlip ? 1 : 0;
+            break;
+          }
+          case FlintVariant::RadixKey:
+            p.payload = core::to_radix_key(split);
+            break;
+          case FlintVariant::Theorem1:
+          case FlintVariant::Theorem2:
+            p.payload = core::si_bits(split);
+            break;
+        }
+      }
+      nodes_.push_back(p);
+    }
+  }
+  if (variant_ == FlintVariant::RadixKey) {
+    key_scratch_.resize(feature_count_);
+  }
+  vote_scratch_.assign(static_cast<std::size_t>(std::max(num_classes_, 1)), 0);
+}
+
+template <typename T>
+template <FlintVariant V>
+std::int32_t FlintForestEngine<T>::predict_tree_impl(
+    std::size_t root, std::span<const T> x,
+    std::span<const Signed> keys) const {
+  // The variant is a template parameter so the hot loop carries exactly one
+  // comparison sequence and no runtime dispatch.
+  std::size_t i = root;
+  while (true) {
+    const PackedNode<T>& n = nodes_[i];
+    if (n.feature < 0) return static_cast<std::int32_t>(n.payload);
+    const auto f = static_cast<std::size_t>(n.feature);
+    bool go_left;
+    if constexpr (V == FlintVariant::Encoded) {
+      const Signed xi = core::si_bits(x[f]);
+      go_left = n.sign_flip
+                    ? (n.payload <= (xi ^ core::FloatTraits<T>::sign_mask))
+                    : (xi <= n.payload);
+    } else if constexpr (V == FlintVariant::Theorem1) {
+      // x <= s  <=>  s >= x.
+      go_left = core::ge_theorem1(core::from_si_bits<T>(n.payload), x[f]);
+    } else if constexpr (V == FlintVariant::Theorem2) {
+      go_left = core::ge_theorem2(core::from_si_bits<T>(n.payload), x[f]);
+    } else {
+      go_left = keys[f] <= n.payload;
+    }
+    i = static_cast<std::size_t>(go_left ? n.left : n.right);
+  }
+}
+
+template <typename T>
+template <FlintVariant V>
+std::int32_t FlintForestEngine<T>::predict_impl(
+    std::span<const T> x, std::span<const Signed> keys) const {
+  // Vote accumulation mirrors Forest::predict (argmax, lowest id on ties).
+  std::int32_t best_class = 0;
+  int best_votes = 0;
+  std::fill(vote_scratch_.begin(), vote_scratch_.end(), 0);
+  for (const std::size_t root : roots_) {
+    const std::int32_t c = predict_tree_impl<V>(root, x, keys);
+    const int v = ++vote_scratch_[static_cast<std::size_t>(c)];
+    if (v > best_votes || (v == best_votes && c < best_class)) {
+      best_votes = v;
+      best_class = c;
+    }
+  }
+  return best_class;
+}
+
+template <typename T>
+std::int32_t FlintForestEngine<T>::predict(std::span<const T> x) const {
+  switch (variant_) {
+    case FlintVariant::Encoded:
+      return predict_impl<FlintVariant::Encoded>(x, {});
+    case FlintVariant::Theorem1:
+      return predict_impl<FlintVariant::Theorem1>(x, {});
+    case FlintVariant::Theorem2:
+      return predict_impl<FlintVariant::Theorem2>(x, {});
+    case FlintVariant::RadixKey: {
+      for (std::size_t f = 0; f < feature_count_; ++f) {
+        key_scratch_[f] = core::to_radix_key(x[f]);
+      }
+      return predict_impl<FlintVariant::RadixKey>(x, key_scratch_);
+    }
+  }
+  return 0;  // unreachable
+}
+
+template <typename T>
+void FlintForestEngine<T>::predict_batch(const data::Dataset<T>& dataset,
+                                         std::span<std::int32_t> out) const {
+  if (out.size() < dataset.rows()) {
+    throw std::invalid_argument("predict_batch: output span too small");
+  }
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    out[r] = predict(dataset.row(r));
+  }
+}
+
+template <typename T>
+double FlintForestEngine<T>::accuracy(const data::Dataset<T>& dataset) const {
+  if (dataset.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    if (predict(dataset.row(r)) == dataset.label(r)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(dataset.rows());
+}
+
+template <typename T>
+FloatForestEngine<T>::FloatForestEngine(const trees::Forest<T>& forest)
+    : num_classes_(forest.num_classes()) {
+  if (forest.empty()) {
+    throw std::invalid_argument("FloatForestEngine: empty forest");
+  }
+  nodes_.reserve(forest.total_nodes());
+  roots_.reserve(forest.size());
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    const auto& tree = forest.tree(t);
+    const std::size_t base = nodes_.size();
+    roots_.push_back(base);
+    for (const auto& n : tree.nodes()) {
+      FloatNode p;
+      p.feature = n.feature;
+      if (n.is_leaf()) {
+        p.feature = -1;
+        p.left = n.prediction;  // payload reuse for leaves
+      } else {
+        p.split = n.split;
+        p.left = n.left + static_cast<std::int32_t>(base);
+        p.right = n.right + static_cast<std::int32_t>(base);
+      }
+      nodes_.push_back(p);
+    }
+  }
+  vote_scratch_.assign(static_cast<std::size_t>(std::max(num_classes_, 1)), 0);
+}
+
+template <typename T>
+std::int32_t FloatForestEngine<T>::predict(std::span<const T> x) const {
+  std::int32_t best_class = 0;
+  int best_votes = 0;
+  std::fill(vote_scratch_.begin(), vote_scratch_.end(), 0);
+  for (const std::size_t root : roots_) {
+    std::size_t i = root;
+    while (true) {
+      const FloatNode& n = nodes_[i];
+      if (n.feature < 0) {
+        const std::int32_t c = n.left;
+        const int v = ++vote_scratch_[static_cast<std::size_t>(c)];
+        if (v > best_votes || (v == best_votes && c < best_class)) {
+          best_votes = v;
+          best_class = c;
+        }
+        break;
+      }
+      i = static_cast<std::size_t>(
+          x[static_cast<std::size_t>(n.feature)] <= n.split ? n.left : n.right);
+    }
+  }
+  return best_class;
+}
+
+template <typename T>
+void FloatForestEngine<T>::predict_batch(const data::Dataset<T>& dataset,
+                                         std::span<std::int32_t> out) const {
+  if (out.size() < dataset.rows()) {
+    throw std::invalid_argument("predict_batch: output span too small");
+  }
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    out[r] = predict(dataset.row(r));
+  }
+}
+
+template <typename T>
+double FloatForestEngine<T>::accuracy(const data::Dataset<T>& dataset) const {
+  if (dataset.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    if (predict(dataset.row(r)) == dataset.label(r)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(dataset.rows());
+}
+
+template class FlintForestEngine<float>;
+template class FlintForestEngine<double>;
+template class FloatForestEngine<float>;
+template class FloatForestEngine<double>;
+
+}  // namespace flint::exec

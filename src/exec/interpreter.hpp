@@ -1,0 +1,120 @@
+// exec/interpreter — native-tree execution engines (paper Section IV:
+// "native trees where nodes become an array-like data structure and a
+// narrow loop reads out the node values").
+//
+// Four engines run the same model:
+//
+//   * FloatEngine           — hardware floating-point comparisons (reference)
+//   * FlintVariant::Encoded — thresholds pre-resolved offline into
+//                             EncodedThreshold (Theorem 2 at build time);
+//                             the hot loop is a single integer compare.
+//   * FlintVariant::Theorem1 / Theorem2 — the runtime formulations, kept for
+//                             the ablation benches.
+//   * FlintVariant::RadixKey — splits pre-mapped to monotone keys; the
+//                             feature vector is remapped once per sample.
+//
+// All engines are bit-exactly equivalent to Forest::predict for every
+// non-NaN input (property-tested); the paper's headline claim is that this
+// equivalence costs nothing — the benches quantify it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/flint.hpp"
+#include "trees/forest.hpp"
+
+namespace flint::exec {
+
+enum class FlintVariant { Encoded, Theorem1, Theorem2, RadixKey };
+
+[[nodiscard]] const char* to_string(FlintVariant v);
+
+/// Flat node of the packed execution arrays.  For leaves `feature == -1`
+/// and `payload` is the class id; for inner nodes `payload` is the encoded
+/// immediate (Encoded/RadixKey engines) or the raw split bits (Theorem
+/// engines).
+template <typename T>
+struct PackedNode {
+  using Signed = typename core::FloatTraits<T>::Signed;
+  Signed payload = 0;
+  std::int32_t feature = -1;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  std::uint8_t sign_flip = 0;  ///< Encoded engine: ThresholdMode::SignFlip
+};
+
+/// Forest inference engine with a selectable comparison strategy.
+/// The engine keeps a packed copy of the forest; the source Forest object
+/// does not need to outlive it.
+template <typename T>
+class FlintForestEngine {
+ public:
+  FlintForestEngine(const trees::Forest<T>& forest, FlintVariant variant);
+
+  [[nodiscard]] FlintVariant variant() const noexcept { return variant_; }
+  [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] std::size_t tree_count() const noexcept { return roots_.size(); }
+
+  /// Majority-vote class for one sample.
+  [[nodiscard]] std::int32_t predict(std::span<const T> x) const;
+
+  /// Batch prediction; `out` must have one slot per row.
+  void predict_batch(const data::Dataset<T>& dataset, std::span<std::int32_t> out) const;
+
+  /// Fraction of dataset rows classified as labeled.
+  [[nodiscard]] double accuracy(const data::Dataset<T>& dataset) const;
+
+ private:
+  using Signed = typename core::FloatTraits<T>::Signed;
+
+  template <FlintVariant V>
+  [[nodiscard]] std::int32_t predict_tree_impl(std::size_t root,
+                                               std::span<const T> x,
+                                               std::span<const Signed> keys) const;
+  template <FlintVariant V>
+  [[nodiscard]] std::int32_t predict_impl(std::span<const T> x,
+                                          std::span<const Signed> keys) const;
+
+  FlintVariant variant_;
+  int num_classes_ = 0;
+  std::size_t feature_count_ = 0;
+  std::vector<PackedNode<T>> nodes_;   ///< all trees concatenated
+  std::vector<std::size_t> roots_;     ///< root index of each tree in nodes_
+  mutable std::vector<Signed> key_scratch_;  ///< RadixKey per-sample remap buffer
+  mutable std::vector<int> vote_scratch_;    ///< per-call vote counts (no allocation)
+};
+
+/// Reference engine: hardware float comparisons over the same packed layout
+/// (so engine-vs-engine benches isolate the comparison operator, not memory
+/// layout differences).
+template <typename T>
+class FloatForestEngine {
+ public:
+  explicit FloatForestEngine(const trees::Forest<T>& forest);
+
+  [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] std::int32_t predict(std::span<const T> x) const;
+  void predict_batch(const data::Dataset<T>& dataset, std::span<std::int32_t> out) const;
+  [[nodiscard]] double accuracy(const data::Dataset<T>& dataset) const;
+
+ private:
+  struct FloatNode {
+    T split = T{0};
+    std::int32_t feature = -1;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+  int num_classes_ = 0;
+  std::vector<FloatNode> nodes_;
+  std::vector<std::size_t> roots_;
+  mutable std::vector<int> vote_scratch_;    ///< per-call vote counts (no allocation)
+};
+
+extern template class FlintForestEngine<float>;
+extern template class FlintForestEngine<double>;
+extern template class FloatForestEngine<float>;
+extern template class FloatForestEngine<double>;
+
+}  // namespace flint::exec

@@ -1,0 +1,186 @@
+#include "fpformat/fpformat.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace flint::fpformat {
+
+std::string to_string(FpClass c) {
+  switch (c) {
+    case FpClass::Zero: return "zero";
+    case FpClass::Denormal: return "denormal";
+    case FpClass::Normal: return "normal";
+    case FpClass::Infinity: return "infinity";
+    case FpClass::NaN: return "nan";
+  }
+  return "?";
+}
+
+std::uint64_t ui_value(std::uint64_t bits, const FormatSpec& spec) noexcept {
+  return bits & spec.value_mask();
+}
+
+std::int64_t signed_value(std::uint64_t bits, const FormatSpec& spec) noexcept {
+  const int k = spec.total_bits();
+  const std::uint64_t v = bits & spec.value_mask();
+  if (k == 64) return static_cast<std::int64_t>(v);
+  // Sign-extend from bit k-1 (Definition 2, Eq. 1: MSB carries weight -2^(k-1)).
+  const std::uint64_t sign = std::uint64_t{1} << (k - 1);
+  if (v & sign) {
+    return static_cast<std::int64_t>(v | ~spec.value_mask());
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+bool sign_bit(std::uint64_t bits, const FormatSpec& spec) noexcept {
+  return (bits & spec.sign_mask()) != 0;
+}
+
+std::uint64_t exponent_field(std::uint64_t bits, const FormatSpec& spec) noexcept {
+  return (bits & spec.exponent_mask()) >> spec.mantissa_bits;
+}
+
+std::uint64_t mantissa_field(std::uint64_t bits, const FormatSpec& spec) noexcept {
+  return bits & spec.mantissa_mask();
+}
+
+std::uint64_t compose(bool sign, std::uint64_t exponent, std::uint64_t mantissa,
+                      const FormatSpec& spec) noexcept {
+  std::uint64_t b = (exponent << spec.mantissa_bits) & spec.exponent_mask();
+  b |= mantissa & spec.mantissa_mask();
+  if (sign) b |= spec.sign_mask();
+  return b;
+}
+
+FpClass classify(std::uint64_t bits, const FormatSpec& spec) noexcept {
+  const std::uint64_t e = exponent_field(bits, spec);
+  const std::uint64_t m = mantissa_field(bits, spec);
+  const std::uint64_t e_max = (std::uint64_t{1} << spec.exponent_bits) - 1;
+  if (e == 0) return m == 0 ? FpClass::Zero : FpClass::Denormal;
+  if (e == e_max) return m == 0 ? FpClass::Infinity : FpClass::NaN;
+  return FpClass::Normal;
+}
+
+long double fp_abs_value(std::uint64_t bits, const FormatSpec& spec) noexcept {
+  const std::uint64_t e = exponent_field(bits, spec);
+  const std::uint64_t m = mantissa_field(bits, spec);
+  const int x = spec.mantissa_bits;
+  const auto bias = spec.bias();
+  switch (classify(bits, spec)) {
+    case FpClass::Zero:
+      return 0.0L;
+    case FpClass::Denormal:
+      // Exponent reads as -bias + 1, mantissa without the implicit 1.
+      return std::ldexp(static_cast<long double>(m),
+                        static_cast<int>(-bias + 1 - x));
+    case FpClass::Normal: {
+      // (1 + m * 2^-x) * 2^(e - bias)  ==  (2^x + m) * 2^(e - bias - x)
+      const auto significand = static_cast<long double>((std::uint64_t{1} << x) + m);
+      return std::ldexp(significand, static_cast<int>(static_cast<std::int64_t>(e) - bias - x));
+    }
+    case FpClass::Infinity:
+      return std::numeric_limits<long double>::infinity();
+    case FpClass::NaN:
+      return std::numeric_limits<long double>::quiet_NaN();
+  }
+  return 0.0L;
+}
+
+long double fp_value(std::uint64_t bits, const FormatSpec& spec) noexcept {
+  const long double magnitude = fp_abs_value(bits, spec);
+  return sign_bit(bits, spec) ? -magnitude : magnitude;
+}
+
+std::uint64_t positive_zero(const FormatSpec&) noexcept { return 0; }
+
+std::uint64_t negative_zero(const FormatSpec& spec) noexcept {
+  return spec.sign_mask();
+}
+
+std::uint64_t positive_infinity(const FormatSpec& spec) noexcept {
+  return spec.exponent_mask();
+}
+
+std::uint64_t negative_infinity(const FormatSpec& spec) noexcept {
+  return spec.exponent_mask() | spec.sign_mask();
+}
+
+std::uint64_t smallest_denormal(const FormatSpec&) noexcept { return 1; }
+
+std::uint64_t largest_denormal(const FormatSpec& spec) noexcept {
+  return spec.mantissa_mask();
+}
+
+std::uint64_t smallest_normal(const FormatSpec& spec) noexcept {
+  return std::uint64_t{1} << spec.mantissa_bits;
+}
+
+std::uint64_t largest_normal(const FormatSpec& spec) noexcept {
+  // Exponent one below all-ones, mantissa all-ones.
+  const std::uint64_t e_max_minus_1 = (std::uint64_t{1} << spec.exponent_bits) - 2;
+  return compose(false, e_max_minus_1, spec.mantissa_mask(), spec);
+}
+
+bool is_ordered(std::uint64_t bits, const FormatSpec& spec) noexcept {
+  return classify(bits, spec) != FpClass::NaN;
+}
+
+std::int64_t order_key(std::uint64_t bits, const FormatSpec& spec) noexcept {
+  // Mirror of core::to_radix_key at arbitrary width: positive-signed
+  // patterns keep their value; negative-signed patterns flip all bits (so
+  // larger magnitudes sort lower) and shift below zero.  The subtraction is
+  // performed in unsigned arithmetic and wraps to the correct two's
+  // complement value even at k = 64.
+  const std::uint64_t v = bits & spec.value_mask();
+  const std::uint64_t sign = spec.sign_mask();
+  if (v & sign) {
+    return static_cast<std::int64_t>((spec.value_mask() ^ v) - sign);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+bool next_up(std::uint64_t bits, const FormatSpec& spec,
+             std::uint64_t& out) noexcept {
+  if (!is_ordered(bits, spec)) return false;
+  if ((bits & spec.value_mask()) == positive_infinity(spec)) return false;
+  const std::uint64_t v = bits & spec.value_mask();
+  // Walk one step along the total order in pattern space: negatives step
+  // down toward -0, -0 steps to +0, positives step up.
+  out = (v & spec.sign_mask()) ? (v == negative_zero(spec) ? positive_zero(spec)
+                                                           : v - 1)
+                               : v + 1;
+  return true;
+}
+
+bool next_down(std::uint64_t bits, const FormatSpec& spec,
+               std::uint64_t& out) noexcept {
+  if (!is_ordered(bits, spec)) return false;
+  if ((bits & spec.value_mask()) == negative_infinity(spec)) return false;
+  const std::uint64_t v = bits & spec.value_mask();
+  out = (v & spec.sign_mask()) ? v + 1
+                               : (v == positive_zero(spec) ? negative_zero(spec)
+                                                           : v - 1);
+  return true;
+}
+
+std::uint64_t ulp_distance(std::uint64_t a, std::uint64_t b,
+                           const FormatSpec& spec) noexcept {
+  const std::int64_t ka = order_key(a, spec);
+  const std::int64_t kb = order_key(b, spec);
+  const std::int64_t d = ka > kb ? ka - kb : kb - ka;
+  return d == 0 ? 0 : static_cast<std::uint64_t>(d) - 1;
+}
+
+std::string format_bits(std::uint64_t bits, const FormatSpec& spec) {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(spec.total_bits()) + 2);
+  for (int i = spec.total_bits() - 1; i >= 0; --i) {
+    out.push_back((bits >> i) & 1 ? '1' : '0');
+    if (i == spec.total_bits() - 1 || i == spec.mantissa_bits) {
+      if (i != 0) out.push_back('|');
+    }
+  }
+  return out;
+}
+
+}  // namespace flint::fpformat

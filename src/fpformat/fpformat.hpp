@@ -1,0 +1,164 @@
+// fpformat — bit-level model of binary floating-point and two's-complement
+// integer interpretations of fixed-width bit vectors.
+//
+// This module is the executable form of Definitions 1-4 of the FLInt paper:
+// a k-bit vector B can be read as an unsigned integer UI(B), a signed
+// two's-complement integer SI(B), or a binary floating-point number FP(B)
+// with j exponent bits and x mantissa bits (k = 1 + j + x).  The generic
+// format is parameterized so that the paper's lemmas can be checked not only
+// for IEEE-754 binary32/binary64 but exhaustively for tiny widths (e.g. k=8),
+// where the full cross product of bit vectors is testable.
+//
+// All value-level interpretation here is deliberately *independent* of the
+// host FPU: FP(B) is computed with integer decomposition + std::ldexp, so the
+// lemma tests do not assume the property they are proving.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace flint::fpformat {
+
+/// Width description of a generic binary floating-point format.
+/// k = 1 (sign) + exponent_bits + mantissa_bits total bits, k <= 64.
+struct FormatSpec {
+  int exponent_bits = 8;
+  int mantissa_bits = 23;
+
+  [[nodiscard]] constexpr int total_bits() const noexcept {
+    return 1 + exponent_bits + mantissa_bits;
+  }
+  /// Exponent bias: 2^(j-1) - 1 (Definition 3).
+  [[nodiscard]] constexpr std::int64_t bias() const noexcept {
+    return (std::int64_t{1} << (exponent_bits - 1)) - 1;
+  }
+  [[nodiscard]] constexpr std::uint64_t exponent_mask() const noexcept {
+    return ((std::uint64_t{1} << exponent_bits) - 1) << mantissa_bits;
+  }
+  [[nodiscard]] constexpr std::uint64_t mantissa_mask() const noexcept {
+    return (std::uint64_t{1} << mantissa_bits) - 1;
+  }
+  [[nodiscard]] constexpr std::uint64_t sign_mask() const noexcept {
+    return std::uint64_t{1} << (exponent_bits + mantissa_bits);
+  }
+  /// Mask of all representable bits (low k bits set).
+  [[nodiscard]] constexpr std::uint64_t value_mask() const noexcept {
+    return total_bits() == 64 ? ~std::uint64_t{0}
+                              : (std::uint64_t{1} << total_bits()) - 1;
+  }
+
+  [[nodiscard]] static constexpr FormatSpec binary32() noexcept { return {8, 23}; }
+  [[nodiscard]] static constexpr FormatSpec binary64() noexcept { return {11, 52}; }
+  [[nodiscard]] static constexpr FormatSpec binary16() noexcept { return {5, 10}; }
+  [[nodiscard]] static constexpr FormatSpec bfloat16() noexcept { return {8, 7}; }
+  /// Minimal useful format for exhaustive lemma checks: k = 8 bits.
+  [[nodiscard]] static constexpr FormatSpec tiny8() noexcept { return {4, 3}; }
+
+  friend constexpr bool operator==(const FormatSpec&, const FormatSpec&) = default;
+};
+
+/// Classification of a bit pattern under a FormatSpec (IEEE-754 classes).
+enum class FpClass {
+  Zero,        ///< all exponent and mantissa bits zero (either sign)
+  Denormal,    ///< exponent all-zero, mantissa non-zero
+  Normal,      ///< exponent neither all-zero nor all-one
+  Infinity,    ///< exponent all-one, mantissa zero
+  NaN,         ///< exponent all-one, mantissa non-zero
+};
+
+[[nodiscard]] std::string to_string(FpClass c);
+
+/// Unsigned integer interpretation UI(B) (Definition 2, Eq. 2).
+/// Bits above the format width must be zero.
+[[nodiscard]] std::uint64_t ui_value(std::uint64_t bits, const FormatSpec& spec) noexcept;
+
+/// Signed two's-complement interpretation SI(B) (Definition 2, Eq. 1).
+/// The value is sign-extended from the format's MSB.
+[[nodiscard]] std::int64_t signed_value(std::uint64_t bits, const FormatSpec& spec) noexcept;
+
+/// Floating-point interpretation FP(B) (Definition 3), including the
+/// denormalized format and signed zeros.  Returns +/-inf and NaN for the
+/// reserved exponent patterns.  Computed via integer decomposition and
+/// std::ldexp on long double, exact for mantissas up to 63 bits.
+[[nodiscard]] long double fp_value(std::uint64_t bits, const FormatSpec& spec) noexcept;
+
+/// |FP(B)| per Definition 4 (sign bit ignored).
+[[nodiscard]] long double fp_abs_value(std::uint64_t bits, const FormatSpec& spec) noexcept;
+
+[[nodiscard]] FpClass classify(std::uint64_t bits, const FormatSpec& spec) noexcept;
+
+/// Field accessors.
+[[nodiscard]] bool sign_bit(std::uint64_t bits, const FormatSpec& spec) noexcept;
+[[nodiscard]] std::uint64_t exponent_field(std::uint64_t bits, const FormatSpec& spec) noexcept;
+[[nodiscard]] std::uint64_t mantissa_field(std::uint64_t bits, const FormatSpec& spec) noexcept;
+
+/// Composes a bit vector from fields (inverse of the accessors).
+[[nodiscard]] std::uint64_t compose(bool sign, std::uint64_t exponent,
+                                    std::uint64_t mantissa, const FormatSpec& spec) noexcept;
+
+/// Named special patterns of a format.
+[[nodiscard]] std::uint64_t positive_zero(const FormatSpec& spec) noexcept;
+[[nodiscard]] std::uint64_t negative_zero(const FormatSpec& spec) noexcept;
+[[nodiscard]] std::uint64_t positive_infinity(const FormatSpec& spec) noexcept;
+[[nodiscard]] std::uint64_t negative_infinity(const FormatSpec& spec) noexcept;
+[[nodiscard]] std::uint64_t smallest_denormal(const FormatSpec& spec) noexcept;
+[[nodiscard]] std::uint64_t largest_denormal(const FormatSpec& spec) noexcept;
+[[nodiscard]] std::uint64_t smallest_normal(const FormatSpec& spec) noexcept;
+[[nodiscard]] std::uint64_t largest_normal(const FormatSpec& spec) noexcept;
+
+/// True iff the pattern participates in the FLInt total order proofs,
+/// i.e. it is not NaN (infinities are allowed: they order as extreme values).
+[[nodiscard]] bool is_ordered(std::uint64_t bits, const FormatSpec& spec) noexcept;
+
+/// Renders the bit vector as "s|eeee|mmm" for diagnostics.
+[[nodiscard]] std::string format_bits(std::uint64_t bits, const FormatSpec& spec);
+
+// ---------------------------------------------------------------------------
+// Order navigation on the FLInt total order (-0 < +0, NaN excluded).
+// These are the generic-format analogs of core::to_radix_key and of
+// nextafter, used by the boundary property tests.
+// ---------------------------------------------------------------------------
+
+/// Monotone integer key: k(B1) < k(B2) iff FP(B1) precedes FP(B2) in the
+/// FLInt total order.  Negative-signed patterns map below positive ones.
+[[nodiscard]] std::int64_t order_key(std::uint64_t bits, const FormatSpec& spec) noexcept;
+
+/// Successor in the total order: the smallest ordered pattern strictly
+/// greater than `bits`.  Returns true and writes `out`; false at the top
+/// (+infinity) or if `bits` is NaN.
+[[nodiscard]] bool next_up(std::uint64_t bits, const FormatSpec& spec,
+                           std::uint64_t& out) noexcept;
+
+/// Predecessor in the total order; false at the bottom (-infinity) / NaN.
+[[nodiscard]] bool next_down(std::uint64_t bits, const FormatSpec& spec,
+                             std::uint64_t& out) noexcept;
+
+/// Number of ordered patterns strictly between a and b (distance along the
+/// total order); 0 for equal inputs.  Both inputs must be ordered (non-NaN).
+[[nodiscard]] std::uint64_t ulp_distance(std::uint64_t a, std::uint64_t b,
+                                         const FormatSpec& spec) noexcept;
+
+// ---------------------------------------------------------------------------
+// Native-width helpers (IEEE-754 binary32/binary64 via the host layout).
+// These are the production entry points used by core/flint.hpp; the generic
+// routines above exist to *validate* them.
+// ---------------------------------------------------------------------------
+
+/// Bit pattern of a float as a signed 32-bit integer (SI interpretation).
+[[nodiscard]] constexpr std::int32_t float_bits(float v) noexcept {
+  return std::bit_cast<std::int32_t>(v);
+}
+/// Bit pattern of a double as a signed 64-bit integer (SI interpretation).
+[[nodiscard]] constexpr std::int64_t double_bits(double v) noexcept {
+  return std::bit_cast<std::int64_t>(v);
+}
+[[nodiscard]] constexpr float float_from_bits(std::int32_t bits) noexcept {
+  return std::bit_cast<float>(bits);
+}
+[[nodiscard]] constexpr double double_from_bits(std::int64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+}  // namespace flint::fpformat

@@ -1,0 +1,84 @@
+// harness/experiment — the full evaluation driver (paper Section V-A).
+//
+// For every (dataset, ensemble size, max depth) cell of the grid the driver
+// trains one forest, generates every requested implementation flavor from
+// that same model, JIT-compiles them (in parallel — compilation is the
+// arch-forest offline step, not part of the measurement), verifies that all
+// flavors produce bit-identical predictions on the full test set, and then
+// times single-sample inference over the test rows.  Normalized time is
+// time(flavor) / time(Naive) per cell, exactly as in Figures 3/4 and
+// Tables II/III.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace flint::harness {
+
+/// Implementation flavors of the evaluation (paper Section V-A items 1-4
+/// plus the Section IV-C assembly backend and the native-tree ablations).
+enum class Impl {
+  Naive,        ///< standard if-else tree, float comparisons (baseline)
+  Cags,         ///< cache-aware grouping and swapping, float comparisons
+  Flint,        ///< standard if-else tree with FLInt comparisons
+  CagsFlint,    ///< CAGS with FLInt comparisons
+  FlintAsm,     ///< direct x86-64 assembly FLInt backend
+  NativeFloat,  ///< array-walking native tree, float comparisons
+  NativeFlint,  ///< array-walking native tree, FLInt comparisons
+};
+
+[[nodiscard]] const char* to_string(Impl impl);
+[[nodiscard]] Impl impl_from_string(const std::string& name);
+
+struct GridConfig {
+  std::vector<std::string> datasets;      ///< synth spec names
+  std::vector<int> ensemble_sizes;        ///< trees per forest
+  std::vector<int> depths;                ///< max depth grid
+  std::vector<Impl> impls;                ///< flavors to build and time
+  std::size_t dataset_rows = 3000;        ///< generated rows per dataset
+  double test_fraction = 0.25;            ///< paper: 25% test
+  std::uint64_t seed = 42;
+  int jit_opt_level = 2;                  ///< for generated code
+  int cags_kernel_budget = 4096;          ///< bytes per CAGS kernel
+  double min_measure_seconds = 0.05;      ///< per timing repetition
+  int repetitions = 3;                    ///< min-of-N policy
+  unsigned compile_threads = 0;           ///< 0 = hardware_concurrency
+  bool verify_predictions = true;         ///< cross-check all flavors
+};
+
+/// One timed (cell, flavor) measurement.
+struct RunRecord {
+  std::string dataset;
+  int n_trees = 0;
+  int depth = 0;
+  Impl impl = Impl::Naive;
+  double ns_per_sample = 0.0;
+  double normalized = 0.0;       ///< vs Impl::Naive of the same cell
+  std::size_t test_rows = 0;
+  std::size_t total_nodes = 0;   ///< model size (all trees)
+  std::size_t object_bytes = 0;  ///< compiled .so size
+  bool verified = false;         ///< bit-identical to the reference engine
+};
+
+/// Runs the whole grid.  Progress lines (one per cell) go to `progress` if
+/// non-null.  Throws std::runtime_error if verification fails anywhere —
+/// "accuracy unchanged" is the paper's core claim, so a mismatch is a bug,
+/// not a data point.
+[[nodiscard]] std::vector<RunRecord> run_grid(const GridConfig& config,
+                                              std::ostream* progress = nullptr);
+
+/// Small default grid: 3 datasets x {1,5} trees x depths {1,5,10,15,20,30},
+/// sized so a bench binary finishes in roughly a minute on a laptop.
+[[nodiscard]] GridConfig default_config();
+
+/// The full grid of Section V-A: 5 datasets x {1,5,10,15,20,30,50,80,100}
+/// trees x depths {1,5,10,15,20,30,50}.  Hours of compile+measure time.
+[[nodiscard]] GridConfig paper_config();
+
+/// default_config(), upgraded to paper_config() when FLINT_BENCH_FULL=1 is
+/// set in the environment (documented in every bench --help).
+[[nodiscard]] GridConfig config_from_env();
+
+}  // namespace flint::harness

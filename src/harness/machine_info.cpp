@@ -1,0 +1,62 @@
+#include "harness/machine_info.hpp"
+
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace flint::harness {
+
+namespace {
+
+std::string proc_field(const std::string& path, const std::string& key) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(key, 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      auto value = line.substr(colon + 1);
+      const auto first = value.find_first_not_of(" \t");
+      if (first == std::string::npos) return {};
+      return value.substr(first);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+MachineInfo query_machine_info() {
+  MachineInfo info;
+  utsname uts{};
+  if (::uname(&uts) == 0) {
+    info.architecture = uts.machine;
+    info.kernel = std::string(uts.sysname) + " " + uts.release;
+    info.hostname = uts.nodename;
+  }
+  info.cpu_model = proc_field("/proc/cpuinfo", "model name");
+  if (info.cpu_model.empty()) info.cpu_model = "unknown";
+  info.logical_cores = static_cast<int>(std::thread::hardware_concurrency());
+
+  const std::string mem = proc_field("/proc/meminfo", "MemTotal");
+  if (!mem.empty()) {
+    std::istringstream ss(mem);
+    long kb = 0;
+    ss >> kb;
+    info.ram_mb = kb / 1024;
+  }
+  return info;
+}
+
+std::string to_string(const MachineInfo& info) {
+  std::ostringstream out;
+  out << info.architecture << ", " << info.cpu_model << ", "
+      << info.logical_cores << " cores, " << info.ram_mb << " MB RAM, "
+      << info.kernel;
+  return out.str();
+}
+
+}  // namespace flint::harness

@@ -1,0 +1,26 @@
+// harness/machine_info — host introspection for the Table I analog.
+//
+// The paper's Table I lists the four evaluation machines (system, CPU, RAM,
+// kernel).  This module reads the same fields for the host the benchmarks
+// actually run on, so every report is self-describing.
+#pragma once
+
+#include <string>
+
+namespace flint::harness {
+
+struct MachineInfo {
+  std::string architecture;  ///< uname -m (e.g. "x86_64")
+  std::string kernel;        ///< uname -r/-s
+  std::string cpu_model;     ///< /proc/cpuinfo "model name" (or "unknown")
+  int logical_cores = 0;
+  long ram_mb = 0;           ///< /proc/meminfo MemTotal
+  std::string hostname;
+};
+
+[[nodiscard]] MachineInfo query_machine_info();
+
+/// One-line summary for bench headers.
+[[nodiscard]] std::string to_string(const MachineInfo& info);
+
+}  // namespace flint::harness

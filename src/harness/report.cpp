@@ -1,0 +1,117 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "harness/stats.hpp"
+
+namespace flint::harness {
+
+std::vector<SeriesPoint> depth_series(std::span<const RunRecord> records,
+                                      Impl impl) {
+  std::map<int, std::vector<double>> by_depth;
+  for (const auto& rec : records) {
+    if (rec.impl == impl && rec.normalized > 0.0) {
+      by_depth[rec.depth].push_back(rec.normalized);
+    }
+  }
+  std::vector<SeriesPoint> series;
+  series.reserve(by_depth.size());
+  for (const auto& [depth, values] : by_depth) {
+    SeriesPoint p;
+    p.depth = depth;
+    p.geomean = geometric_mean(values);
+    p.variance = variance(values);
+    p.count = values.size();
+    series.push_back(p);
+  }
+  return series;
+}
+
+double summary_geomean(std::span<const RunRecord> records, Impl impl,
+                       int min_depth) {
+  std::vector<double> values;
+  for (const auto& rec : records) {
+    if (rec.impl == impl && rec.depth >= min_depth && rec.normalized > 0.0) {
+      values.push_back(rec.normalized);
+    }
+  }
+  if (values.empty()) return 0.0;
+  return geometric_mean(values);
+}
+
+void write_csv(std::ostream& out, std::span<const RunRecord> records) {
+  out << "dataset,n_trees,depth,impl,ns_per_sample,normalized,test_rows,"
+         "total_nodes,object_bytes,verified\n";
+  for (const auto& r : records) {
+    out << r.dataset << ',' << r.n_trees << ',' << r.depth << ','
+        << to_string(r.impl) << ',' << r.ns_per_sample << ',' << r.normalized
+        << ',' << r.test_rows << ',' << r.total_nodes << ',' << r.object_bytes
+        << ',' << (r.verified ? 1 : 0) << '\n';
+  }
+}
+
+void print_depth_table(std::ostream& out, std::span<const RunRecord> records,
+                       std::span<const Impl> impls, const std::string& title) {
+  out << title << '\n';
+  out << "normalized elapsed time (geomean over datasets x ensemble sizes; "
+         "variance in parentheses)\n";
+  out << std::left << std::setw(8) << "depth";
+  for (const Impl impl : impls) {
+    out << std::setw(22) << to_string(impl);
+  }
+  out << '\n';
+
+  // Collect the union of depths in ascending order.
+  std::vector<int> depths;
+  for (const auto& rec : records) {
+    if (std::find(depths.begin(), depths.end(), rec.depth) == depths.end()) {
+      depths.push_back(rec.depth);
+    }
+  }
+  std::sort(depths.begin(), depths.end());
+
+  std::map<Impl, std::vector<SeriesPoint>> series;
+  for (const Impl impl : impls) series[impl] = depth_series(records, impl);
+
+  for (const int depth : depths) {
+    out << std::left << std::setw(8) << depth;
+    for (const Impl impl : impls) {
+      const auto& s = series[impl];
+      const auto it = std::find_if(s.begin(), s.end(), [&](const SeriesPoint& p) {
+        return p.depth == depth;
+      });
+      if (it == s.end()) {
+        out << std::setw(22) << "-";
+      } else {
+        std::ostringstream cell;
+        cell << std::fixed << std::setprecision(3) << it->geomean << " ("
+             << std::setprecision(4) << it->variance << ")";
+        out << std::setw(22) << cell.str();
+      }
+    }
+    out << '\n';
+  }
+}
+
+void print_summary_table(std::ostream& out, std::span<const RunRecord> records,
+                         std::span<const Impl> impls, const std::string& title) {
+  out << title << '\n';
+  out << std::left << std::setw(24) << "implementation" << std::setw(12)
+      << "overall" << std::setw(12) << "D>=20" << '\n';
+  for (const Impl impl : impls) {
+    const double overall = summary_geomean(records, impl, 0);
+    const double deep = summary_geomean(records, impl, 20);
+    out << std::left << std::setw(24) << to_string(impl);
+    std::ostringstream a, b;
+    a << std::fixed << std::setprecision(2) << overall << "x";
+    b << std::fixed << std::setprecision(2) << deep << "x";
+    out << std::setw(12) << (overall > 0 ? a.str() : "-") << std::setw(12)
+        << (deep > 0 ? b.str() : "-") << '\n';
+  }
+}
+
+}  // namespace flint::harness

@@ -1,0 +1,51 @@
+// harness/report — aggregation + rendering of run_grid records in the
+// paper's presentation formats.
+//
+// Figure 3/4 series: normalized execution time per maximal tree depth,
+// geometric-mean aggregated across datasets and ensemble sizes, with the
+// variance across those configurations.  Table II/III: overall geometric
+// mean and the D>=20 restriction.  Everything is also exportable as CSV so
+// the plots can be regenerated outside this binary.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace flint::harness {
+
+/// One point of a Figure 3/4 series.
+struct SeriesPoint {
+  int depth = 0;
+  double geomean = 0.0;   ///< geometric mean of normalized time
+  double variance = 0.0;  ///< across datasets x ensemble sizes
+  std::size_t count = 0;  ///< configurations aggregated
+};
+
+/// Aggregates `records` of one implementation into a depth-indexed series
+/// (ascending depth).  Records of other implementations are ignored.
+[[nodiscard]] std::vector<SeriesPoint> depth_series(
+    std::span<const RunRecord> records, Impl impl);
+
+/// Geometric mean of normalized time over all records of `impl` with
+/// depth >= min_depth (Table II rows; min_depth=0 for the overall row).
+/// Returns 0 when no record matches.
+[[nodiscard]] double summary_geomean(std::span<const RunRecord> records,
+                                     Impl impl, int min_depth = 0);
+
+/// Raw records as CSV (header + one line per record).
+void write_csv(std::ostream& out, std::span<const RunRecord> records);
+
+/// Figure 3/4 style ASCII table: one row per depth, one column per
+/// implementation, cells "geomean (variance)".
+void print_depth_table(std::ostream& out, std::span<const RunRecord> records,
+                       std::span<const Impl> impls, const std::string& title);
+
+/// Table II/III style summary: overall and D>=20 geometric means.
+void print_summary_table(std::ostream& out, std::span<const RunRecord> records,
+                         std::span<const Impl> impls, const std::string& title);
+
+}  // namespace flint::harness

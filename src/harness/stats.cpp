@@ -1,0 +1,68 @@
+#include "harness/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flint::harness {
+
+namespace {
+
+void require_nonempty(std::span<const double> values, const char* what) {
+  if (values.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty input");
+  }
+}
+
+}  // namespace
+
+double geometric_mean(std::span<const double> values) {
+  require_nonempty(values, "geometric_mean");
+  double log_sum = 0.0;
+  for (const double v : values) {
+    if (!(v > 0.0)) {
+      throw std::invalid_argument("geometric_mean: non-positive value");
+    }
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double mean(std::span<const double> values) {
+  require_nonempty(values, "mean");
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  require_nonempty(values, "variance");
+  const double m = mean(values);
+  double acc = 0.0;
+  for (const double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double median(std::vector<double> values) {
+  require_nonempty(values, "median");
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+double min_value(std::span<const double> values) {
+  require_nonempty(values, "min_value");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  require_nonempty(values, "max_value");
+  return *std::max_element(values.begin(), values.end());
+}
+
+}  // namespace flint::harness

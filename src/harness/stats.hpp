@@ -1,0 +1,31 @@
+// harness/stats — the summary statistics used in the paper's evaluation:
+// geometric mean across configurations (Table II/III, Figure 3/4 series)
+// and the per-point variance shown as error bars.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace flint::harness {
+
+/// Geometric mean of strictly positive values.  Throws std::invalid_argument
+/// on empty input or non-positive entries (a normalized time of zero means a
+/// measurement bug; surface it, don't average it away).
+[[nodiscard]] double geometric_mean(std::span<const double> values);
+
+/// Arithmetic mean; throws on empty input.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Population variance (the paper reports variance across data sets and
+/// ensemble sizes); throws on empty input.
+[[nodiscard]] double variance(std::span<const double> values);
+
+[[nodiscard]] double stddev(std::span<const double> values);
+
+/// Median (average of middle pair for even sizes); throws on empty input.
+[[nodiscard]] double median(std::vector<double> values);
+
+[[nodiscard]] double min_value(std::span<const double> values);
+[[nodiscard]] double max_value(std::span<const double> values);
+
+}  // namespace flint::harness

@@ -1,0 +1,3 @@
+// timer.hpp is header-only; this TU anchors the module in the library and
+// keeps a place for future non-inline additions.
+#include "harness/timer.hpp"

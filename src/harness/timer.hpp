@@ -1,0 +1,57 @@
+// harness/timer — steady-clock measurement with adaptive repetition.
+//
+// Policy: the measured closure is repeated until at least `min_seconds` of
+// wall time accumulates (so short workloads are not noise-dominated), the
+// whole measurement is re-run `repetitions` times, and the *minimum* per-
+// iteration time is reported — the standard estimator for "cost without
+// interference" on a multi-tasking host.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+
+namespace flint::harness {
+
+struct TimingResult {
+  double seconds_per_iteration = 0.0;  ///< best (minimum) across repetitions
+  double total_seconds = 0.0;          ///< wall time spent measuring
+  std::uint64_t iterations = 0;        ///< iterations of the final repetition
+};
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] inline double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Measures `fn` (callable with no arguments; its return value, if any, is
+/// discarded — keep a sink inside the closure to prevent dead-code
+/// elimination).
+template <typename Fn>
+[[nodiscard]] TimingResult measure(Fn&& fn, double min_seconds = 0.02,
+                                   int repetitions = 3) {
+  TimingResult result;
+  const auto overall_start = Clock::now();
+  double best = -1.0;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    std::uint64_t iters = 0;
+    const auto start = Clock::now();
+    double elapsed = 0.0;
+    do {
+      fn();
+      ++iters;
+      elapsed = seconds_since(start);
+    } while (elapsed < min_seconds);
+    const double per_iter = elapsed / static_cast<double>(iters);
+    if (best < 0.0 || per_iter < best) {
+      best = per_iter;
+      result.iterations = iters;
+    }
+  }
+  result.seconds_per_iteration = best;
+  result.total_seconds = seconds_since(overall_start);
+  return result;
+}
+
+}  // namespace flint::harness

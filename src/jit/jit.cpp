@@ -1,0 +1,169 @@
+#include "jit/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace flint::jit {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Process-unique scratch directory under the configured base.
+fs::path make_scratch_dir(const JitOptions& options) {
+  static std::atomic<unsigned> counter{0};
+  fs::path base;
+  if (!options.scratch_base.empty()) {
+    base = options.scratch_base;
+  } else if (const char* tmp = std::getenv("TMPDIR"); tmp && *tmp) {
+    base = tmp;
+  } else {
+    base = "/tmp";
+  }
+  base /= "flint-jit";
+  const auto id = counter.fetch_add(1, std::memory_order_relaxed);
+  fs::path dir = base / (std::to_string(::getpid()) + "-" + std::to_string(id));
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    throw std::runtime_error("jit: cannot create scratch dir '" + dir.string() +
+                             "': " + ec.message());
+  }
+  return dir;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Minimal safety check: file names and flags are embedded in a shell
+/// command line, so restrict them to a conservative character set.
+void check_shell_safe(const std::string& s, const char* what) {
+  for (const char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.' || c == '/' || c == '=' || c == '+';
+    if (!ok) {
+      throw std::invalid_argument(std::string("jit: unsafe character in ") +
+                                  what + ": '" + s + "'");
+    }
+  }
+}
+
+}  // namespace
+
+JitModule::JitModule(JitModule&& other) noexcept
+    : handle_(other.handle_),
+      dir_(std::move(other.dir_)),
+      object_size_(other.object_size_),
+      keep_(other.keep_) {
+  other.handle_ = nullptr;
+  other.dir_.clear();
+}
+
+JitModule& JitModule::operator=(JitModule&& other) noexcept {
+  if (this != &other) {
+    this->~JitModule();
+    new (this) JitModule(std::move(other));
+  }
+  return *this;
+}
+
+JitModule::~JitModule() {
+  if (handle_ != nullptr) {
+    ::dlclose(handle_);
+    handle_ = nullptr;
+  }
+  if (!dir_.empty() && !keep_) {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);  // best effort; scratch lives under tmp anyway
+  }
+}
+
+void* JitModule::raw_symbol(const std::string& name) const {
+  if (handle_ == nullptr) {
+    throw std::runtime_error("jit: module not loaded");
+  }
+  ::dlerror();  // clear
+  void* sym = ::dlsym(handle_, name.c_str());
+  if (const char* err = ::dlerror(); err != nullptr || sym == nullptr) {
+    throw std::runtime_error("jit: symbol '" + name +
+                             "' not found: " + (err ? err : "null"));
+  }
+  return sym;
+}
+
+JitModule compile(std::span<const codegen::SourceFile> sources,
+                  const JitOptions& options) {
+  if (sources.empty()) {
+    throw std::invalid_argument("jit: no sources");
+  }
+  if (options.opt_level < 0 || options.opt_level > 3) {
+    throw std::invalid_argument("jit: opt_level must be 0..3");
+  }
+  check_shell_safe(options.compiler, "compiler");
+  const fs::path dir = make_scratch_dir(options);
+
+  std::string inputs;
+  for (const auto& src : sources) {
+    check_shell_safe(src.name, "source file name");
+    const fs::path p = dir / src.name;
+    std::ofstream out(p);
+    if (!out) {
+      throw std::runtime_error("jit: cannot write '" + p.string() + "'");
+    }
+    out << src.content;
+    out.close();
+    inputs += " ";
+    inputs += p.string();
+  }
+
+  const fs::path so_path = dir / "module.so";
+  const fs::path log_path = dir / "compile.log";
+  std::string cmd = options.compiler + " -O" + std::to_string(options.opt_level) +
+                    " -fPIC -shared";
+  for (const auto& flag : options.extra_flags) {
+    check_shell_safe(flag, "extra flag");
+    cmd += " " + flag;
+  }
+  cmd += " -o " + so_path.string() + inputs + " 2> " + log_path.string();
+
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    const std::string log = read_file(log_path);
+    std::error_code ec;
+    if (!options.keep_artifacts) fs::remove_all(dir, ec);
+    throw std::runtime_error("jit: compilation failed (exit " +
+                             std::to_string(rc) + "):\n" + log);
+  }
+
+  JitModule module;
+  module.dir_ = dir.string();
+  module.keep_ = options.keep_artifacts;
+  std::error_code ec;
+  module.object_size_ = static_cast<std::size_t>(fs::file_size(so_path, ec));
+  module.handle_ = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (module.handle_ == nullptr) {
+    const char* err = ::dlerror();
+    throw std::runtime_error("jit: dlopen failed: " +
+                             std::string(err ? err : "unknown"));
+  }
+  return module;
+}
+
+JitModule compile(const codegen::GeneratedCode& code, const JitOptions& options) {
+  return compile(std::span<const codegen::SourceFile>(code.files), options);
+}
+
+}  // namespace flint::jit

@@ -1,0 +1,133 @@
+#include "quant/quantized.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace flint::quant {
+
+template <typename T>
+QuantizationParams calibrate(const data::Dataset<T>& dataset, int bits) {
+  if (dataset.empty()) {
+    throw std::invalid_argument("quant::calibrate: empty dataset");
+  }
+  if (bits < 2 || bits > 31) {
+    throw std::invalid_argument("quant::calibrate: bits must be in [2, 31]");
+  }
+  QuantizationParams params;
+  params.bits = bits;
+  params.scale.assign(dataset.cols(), 1.0);
+  std::vector<double> max_abs(dataset.cols(), 0.0);
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    const auto row = dataset.row(r);
+    for (std::size_t f = 0; f < dataset.cols(); ++f) {
+      max_abs[f] = std::max(max_abs[f], std::abs(static_cast<double>(row[f])));
+    }
+  }
+  const double q_max = static_cast<double>((std::int64_t{1} << (bits - 1)) - 1);
+  for (std::size_t f = 0; f < dataset.cols(); ++f) {
+    params.scale[f] = max_abs[f] > 0.0 ? q_max / max_abs[f] : 1.0;
+  }
+  return params;
+}
+
+std::int32_t quantize(double value, double scale, int bits) noexcept {
+  const double q_max = static_cast<double>((std::int64_t{1} << (bits - 1)) - 1);
+  const double scaled = std::round(value * scale);
+  return static_cast<std::int32_t>(std::clamp(scaled, -q_max, q_max));
+}
+
+template <typename T>
+QuantizedForestEngine<T>::QuantizedForestEngine(const trees::Forest<T>& forest,
+                                                QuantizationParams params)
+    : params_(std::move(params)), num_classes_(forest.num_classes()) {
+  if (forest.empty()) {
+    throw std::invalid_argument("QuantizedForestEngine: empty forest");
+  }
+  if (params_.feature_count() < forest.feature_count()) {
+    throw std::invalid_argument(
+        "QuantizedForestEngine: params cover fewer features than the forest");
+  }
+  nodes_.reserve(forest.total_nodes());
+  roots_.reserve(forest.size());
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    const auto& tree = forest.tree(t);
+    const std::size_t base = nodes_.size();
+    roots_.push_back(base);
+    for (const auto& n : tree.nodes()) {
+      QNode q;
+      q.feature = n.feature;
+      if (n.is_leaf()) {
+        q.split_q = n.prediction;
+      } else {
+        q.split_q = quantize(static_cast<double>(n.split),
+                             params_.scale[static_cast<std::size_t>(n.feature)],
+                             params_.bits);
+        q.left = n.left + static_cast<std::int32_t>(base);
+        q.right = n.right + static_cast<std::int32_t>(base);
+      }
+      nodes_.push_back(q);
+    }
+  }
+  q_scratch_.resize(params_.feature_count());
+  vote_scratch_.assign(static_cast<std::size_t>(std::max(num_classes_, 1)), 0);
+}
+
+template <typename T>
+std::int32_t QuantizedForestEngine<T>::predict(std::span<const T> x) const {
+  for (std::size_t f = 0; f < q_scratch_.size() && f < x.size(); ++f) {
+    q_scratch_[f] =
+        quantize(static_cast<double>(x[f]), params_.scale[f], params_.bits);
+  }
+  std::int32_t best_class = 0;
+  int best_votes = 0;
+  std::fill(vote_scratch_.begin(), vote_scratch_.end(), 0);
+  for (const std::size_t root : roots_) {
+    std::size_t i = root;
+    while (true) {
+      const QNode& n = nodes_[i];
+      if (n.feature < 0) {
+        const std::int32_t c = n.split_q;
+        const int v = ++vote_scratch_[static_cast<std::size_t>(c)];
+        if (v > best_votes || (v == best_votes && c < best_class)) {
+          best_votes = v;
+          best_class = c;
+        }
+        break;
+      }
+      i = static_cast<std::size_t>(
+          q_scratch_[static_cast<std::size_t>(n.feature)] <= n.split_q
+              ? n.left
+              : n.right);
+    }
+  }
+  return best_class;
+}
+
+template <typename T>
+double QuantizedForestEngine<T>::mismatch_rate(const trees::Forest<T>& exact,
+                                               const data::Dataset<T>& dataset) const {
+  if (dataset.empty()) return 0.0;
+  std::size_t mismatches = 0;
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    if (predict(dataset.row(r)) != exact.predict(dataset.row(r))) ++mismatches;
+  }
+  return static_cast<double>(mismatches) / static_cast<double>(dataset.rows());
+}
+
+template <typename T>
+double QuantizedForestEngine<T>::accuracy(const data::Dataset<T>& dataset) const {
+  if (dataset.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    if (predict(dataset.row(r)) == dataset.label(r)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(dataset.rows());
+}
+
+template QuantizationParams calibrate<float>(const data::Dataset<float>&, int);
+template QuantizationParams calibrate<double>(const data::Dataset<double>&, int);
+template class QuantizedForestEngine<float>;
+template class QuantizedForestEngine<double>;
+
+}  // namespace flint::quant

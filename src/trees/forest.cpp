@@ -1,0 +1,87 @@
+#include "trees/forest.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace flint::trees {
+
+template <typename T>
+std::int32_t Forest<T>::predict(std::span<const T> x) const {
+  const std::vector<int> votes = vote(x);
+  const auto it = std::max_element(votes.begin(), votes.end());
+  return static_cast<std::int32_t>(it - votes.begin());
+}
+
+template <typename T>
+std::vector<int> Forest<T>::vote(std::span<const T> x) const {
+  std::vector<int> votes(static_cast<std::size_t>(std::max(num_classes_, 1)), 0);
+  for (const auto& t : trees_) {
+    const std::int32_t c = t.predict(x);
+    if (static_cast<std::size_t>(c) >= votes.size()) {
+      votes.resize(static_cast<std::size_t>(c) + 1, 0);
+    }
+    ++votes[static_cast<std::size_t>(c)];
+  }
+  return votes;
+}
+
+template <typename T>
+std::size_t Forest<T>::total_nodes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& t : trees_) n += t.size();
+  return n;
+}
+
+template <typename T>
+std::size_t Forest<T>::max_depth() const {
+  std::size_t d = 0;
+  for (const auto& t : trees_) d = std::max(d, t.depth());
+  return d;
+}
+
+template <typename T>
+Forest<T> train_forest(const data::Dataset<T>& dataset, const ForestOptions& options) {
+  if (options.n_trees <= 0) {
+    throw std::invalid_argument("train_forest: n_trees must be positive");
+  }
+  if (dataset.empty()) {
+    throw std::invalid_argument("train_forest: empty dataset");
+  }
+  std::vector<Tree<T>> trees;
+  trees.reserve(static_cast<std::size_t>(options.n_trees));
+  for (int t = 0; t < options.n_trees; ++t) {
+    TrainOptions per_tree = options.tree;
+    per_tree.seed = options.tree.seed + static_cast<std::uint64_t>(t);
+    if (options.bootstrap) {
+      std::mt19937_64 rng(per_tree.seed ^ 0x9e3779b97f4a7c15ull);
+      std::uniform_int_distribution<std::size_t> pick(0, dataset.rows() - 1);
+      std::vector<std::size_t> sample(dataset.rows());
+      for (auto& s : sample) s = pick(rng);
+      trees.push_back(train_tree(dataset.subset(sample), per_tree));
+    } else {
+      trees.push_back(train_tree(dataset, per_tree));
+    }
+  }
+  return Forest<T>(std::move(trees), dataset.num_classes());
+}
+
+template <typename T>
+double accuracy(const Forest<T>& forest, const data::Dataset<T>& dataset) {
+  if (dataset.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    if (forest.predict(dataset.row(r)) == dataset.label(r)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(dataset.rows());
+}
+
+template class Forest<float>;
+template class Forest<double>;
+template Forest<float> train_forest<float>(const data::Dataset<float>&, const ForestOptions&);
+template Forest<double> train_forest<double>(const data::Dataset<double>&, const ForestOptions&);
+template double accuracy<float>(const Forest<float>&, const data::Dataset<float>&);
+template double accuracy<double>(const Forest<double>&, const data::Dataset<double>&);
+
+}  // namespace flint::trees

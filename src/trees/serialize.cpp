@@ -1,0 +1,126 @@
+#include "trees/serialize.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace flint::trees {
+
+namespace {
+
+template <typename T>
+using BitsOf = std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("serialize: " + what);
+}
+
+std::string next_line(std::istream& in) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') return line;
+  }
+  fail("unexpected end of input");
+}
+
+}  // namespace
+
+template <typename T>
+void write_tree(std::ostream& out, const Tree<T>& tree) {
+  out << "tree " << tree.feature_count() << ' ' << tree.size() << '\n';
+  for (const auto& n : tree.nodes()) {
+    std::ostringstream hex;
+    hex << std::hex << static_cast<std::uint64_t>(std::bit_cast<BitsOf<T>>(n.split));
+    out << "n " << n.feature << ' ' << hex.str() << ' ' << n.left << ' '
+        << n.right << ' ' << n.prediction << '\n';
+  }
+}
+
+template <typename T>
+Tree<T> read_tree(std::istream& in) {
+  std::istringstream header(next_line(in));
+  std::string tag;
+  std::size_t feature_count = 0;
+  std::size_t n_nodes = 0;
+  if (!(header >> tag >> feature_count >> n_nodes) || tag != "tree") {
+    fail("expected 'tree <features> <nodes>' header");
+  }
+  Tree<T> tree(feature_count);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    std::istringstream ls(next_line(in));
+    std::string ntag, hex;
+    Node<T> node;
+    if (!(ls >> ntag >> node.feature >> hex >> node.left >> node.right >>
+          node.prediction) ||
+        ntag != "n") {
+      fail("bad node line " + std::to_string(i));
+    }
+    std::uint64_t bits = 0;
+    std::istringstream hs(hex);
+    if (!(hs >> std::hex >> bits)) fail("bad split bits on node " + std::to_string(i));
+    node.split = std::bit_cast<T>(static_cast<BitsOf<T>>(bits));
+    tree.add_node(node);
+  }
+  if (const std::string err = tree.validate(); !err.empty()) {
+    fail("invalid tree: " + err);
+  }
+  return tree;
+}
+
+template <typename T>
+void write_forest(std::ostream& out, const Forest<T>& forest) {
+  out << "forest v1 " << forest.num_classes() << ' ' << forest.size() << '\n';
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    write_tree(out, forest.tree(t));
+  }
+}
+
+template <typename T>
+Forest<T> read_forest(std::istream& in) {
+  std::istringstream header(next_line(in));
+  std::string tag, version;
+  int num_classes = 0;
+  std::size_t n_trees = 0;
+  if (!(header >> tag >> version >> num_classes >> n_trees) || tag != "forest" ||
+      version != "v1") {
+    fail("expected 'forest v1 <classes> <trees>' header");
+  }
+  std::vector<Tree<T>> trees;
+  trees.reserve(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    trees.push_back(read_tree<T>(in));
+  }
+  return Forest<T>(std::move(trees), num_classes);
+}
+
+template <typename T>
+void save_forest(const std::string& path, const Forest<T>& forest) {
+  std::ofstream out(path);
+  if (!out) fail("cannot open '" + path + "' for writing");
+  write_forest(out, forest);
+  if (!out) fail("write failure on '" + path + "'");
+}
+
+template <typename T>
+Forest<T> load_forest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open '" + path + "'");
+  return read_forest<T>(in);
+}
+
+template void write_tree<float>(std::ostream&, const Tree<float>&);
+template void write_tree<double>(std::ostream&, const Tree<double>&);
+template Tree<float> read_tree<float>(std::istream&);
+template Tree<double> read_tree<double>(std::istream&);
+template void write_forest<float>(std::ostream&, const Forest<float>&);
+template void write_forest<double>(std::ostream&, const Forest<double>&);
+template Forest<float> read_forest<float>(std::istream&);
+template Forest<double> read_forest<double>(std::istream&);
+template void save_forest<float>(const std::string&, const Forest<float>&);
+template void save_forest<double>(const std::string&, const Forest<double>&);
+template Forest<float> load_forest<float>(const std::string&);
+template Forest<double> load_forest<double>(const std::string&);
+
+}  // namespace flint::trees

@@ -1,0 +1,42 @@
+// trees/serialize — exact text serialization of trees and forests.
+//
+// Split values are stored as hexadecimal bit patterns, not decimal, so the
+// round trip is bit-exact; this matters because FLInt's threshold encoding
+// and the generated immediates are functions of the exact bits.
+//
+// Format (line-oriented, '#' comments allowed):
+//   forest v1 <num_classes> <n_trees>
+//   tree <feature_count> <n_nodes>
+//   n <feature> <split_bits_hex> <left> <right> <prediction>   (per node)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trees/forest.hpp"
+#include "trees/tree.hpp"
+
+namespace flint::trees {
+
+template <typename T>
+void write_tree(std::ostream& out, const Tree<T>& tree);
+
+template <typename T>
+[[nodiscard]] Tree<T> read_tree(std::istream& in);
+
+template <typename T>
+void write_forest(std::ostream& out, const Forest<T>& forest);
+
+template <typename T>
+[[nodiscard]] Forest<T> read_forest(std::istream& in);
+
+/// Convenience file wrappers; throw std::runtime_error on I/O failure or
+/// malformed content (including structurally invalid trees, which are
+/// rejected via Tree::validate()).
+template <typename T>
+void save_forest(const std::string& path, const Forest<T>& forest);
+
+template <typename T>
+[[nodiscard]] Forest<T> load_forest(const std::string& path);
+
+}  // namespace flint::trees

@@ -1,0 +1,240 @@
+#include "trees/train.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace flint::trees {
+
+namespace {
+
+/// Work item for the explicit-stack tree builder: a node slot to fill plus
+/// the index range of `order` it owns.
+struct BuildItem {
+  std::int32_t node_slot;
+  std::size_t begin;
+  std::size_t end;
+  int depth;
+};
+
+struct SplitChoice {
+  int feature;
+  double threshold;      // exact midpoint in double; narrowed to T at store
+  std::size_t left_size;
+  double gini_sum;       // weighted child impurity (lower = better)
+};
+
+/// Gini impurity times sample count: n * (1 - sum p_c^2) = n - sum(cnt^2)/n.
+double weighted_gini(const std::vector<std::size_t>& counts, std::size_t n) {
+  if (n == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const std::size_t c : counts) {
+    sum_sq += static_cast<double>(c) * static_cast<double>(c);
+  }
+  return static_cast<double>(n) - sum_sq / static_cast<double>(n);
+}
+
+int majority_class(const std::vector<std::size_t>& counts) {
+  std::size_t best = 0;
+  int best_class = 0;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    if (counts[c] > best) {
+      best = counts[c];
+      best_class = static_cast<int>(c);
+    }
+  }
+  return best_class;
+}
+
+}  // namespace
+
+template <typename T>
+Tree<T> train_tree(const data::Dataset<T>& dataset, const TrainOptions& options) {
+  if (dataset.empty()) {
+    throw std::invalid_argument("train_tree: empty dataset");
+  }
+  const std::size_t n_rows = dataset.rows();
+  const std::size_t n_features = dataset.cols();
+  const auto n_classes = static_cast<std::size_t>(dataset.num_classes());
+
+  int candidates_per_split = options.max_features;
+  if (candidates_per_split == TrainOptions::kSqrtFeatures) {
+    candidates_per_split = std::max(
+        1, static_cast<int>(std::sqrt(static_cast<double>(n_features))));
+  } else if (candidates_per_split <= 0 ||
+             candidates_per_split > static_cast<int>(n_features)) {
+    candidates_per_split = static_cast<int>(n_features);
+  }
+
+  std::mt19937_64 rng(options.seed);
+
+  Tree<T> tree(n_features);
+  // `order` holds the sample indices of the partition a node owns; children
+  // repartition their parent's range in place.
+  std::vector<std::size_t> order(n_rows);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  // Scratch buffers reused across nodes.
+  std::vector<std::size_t> total_counts(n_classes);
+  std::vector<std::size_t> left_counts(n_classes);
+  std::vector<int> feature_pool(n_features);
+  std::iota(feature_pool.begin(), feature_pool.end(), 0);
+  std::vector<std::pair<T, int>> sorted;  // (value, label) for one feature
+
+  const std::int32_t root = tree.add_leaf(0);  // shape fixed up by the loop
+  std::vector<BuildItem> stack{{root, 0, n_rows, 0}};
+
+  while (!stack.empty()) {
+    const BuildItem item = stack.back();
+    stack.pop_back();
+    const std::size_t n = item.end - item.begin;
+
+    std::fill(total_counts.begin(), total_counts.end(), std::size_t{0});
+    for (std::size_t i = item.begin; i < item.end; ++i) {
+      ++total_counts[static_cast<std::size_t>(dataset.label(order[i]))];
+    }
+    const int majority = majority_class(total_counts);
+    const bool pure =
+        total_counts[static_cast<std::size_t>(majority)] == n;
+
+    auto make_leaf = [&] {
+      auto& node = tree.node(item.node_slot);
+      node.feature = -1;
+      node.left = kNoChild;
+      node.right = kNoChild;
+      node.prediction = majority;
+    };
+
+    if (pure || n < options.min_samples_split || item.depth >= options.max_depth) {
+      make_leaf();
+      continue;
+    }
+
+    // Choose candidate features (without replacement).
+    for (int i = 0; i < candidates_per_split; ++i) {
+      std::uniform_int_distribution<std::size_t> pick(
+          static_cast<std::size_t>(i), n_features - 1);
+      std::swap(feature_pool[static_cast<std::size_t>(i)], feature_pool[pick(rng)]);
+    }
+
+    std::optional<SplitChoice> best;
+    for (int ci = 0; ci < candidates_per_split; ++ci) {
+      const int feature = feature_pool[static_cast<std::size_t>(ci)];
+      sorted.clear();
+      sorted.reserve(n);
+      for (std::size_t i = item.begin; i < item.end; ++i) {
+        const std::size_t row = order[i];
+        sorted.emplace_back(dataset.row(row)[static_cast<std::size_t>(feature)],
+                            dataset.label(row));
+      }
+      std::sort(sorted.begin(), sorted.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      if (sorted.front().first == sorted.back().first) continue;  // constant
+
+      std::fill(left_counts.begin(), left_counts.end(), std::size_t{0});
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        ++left_counts[static_cast<std::size_t>(sorted[i].second)];
+        if (sorted[i].first == sorted[i + 1].first) continue;  // not a boundary
+        const std::size_t n_left = i + 1;
+        const std::size_t n_right = n - n_left;
+        if (n_left < options.min_samples_leaf || n_right < options.min_samples_leaf) {
+          continue;
+        }
+        // Right counts derived from totals; impurity in O(classes).
+        double gini = weighted_gini(left_counts, n_left);
+        double right_sum_sq = 0.0;
+        for (std::size_t c = 0; c < n_classes; ++c) {
+          const auto rc = static_cast<double>(total_counts[c] - left_counts[c]);
+          right_sum_sq += rc * rc;
+        }
+        gini += static_cast<double>(n_right) -
+                right_sum_sq / static_cast<double>(n_right);
+        if (!best || gini < best->gini_sum) {
+          const double midpoint =
+              (static_cast<double>(sorted[i].first) +
+               static_cast<double>(sorted[i + 1].first)) / 2.0;
+          best = SplitChoice{feature, midpoint, n_left, gini};
+        }
+      }
+    }
+
+    if (!best) {  // all candidate features constant on this partition
+      make_leaf();
+      continue;
+    }
+
+    // The threshold must satisfy `value <= threshold` exactly for the left
+    // rows after narrowing to T; nudge down to the left maximum if the
+    // midpoint rounded up onto the right side (only possible at T's
+    // precision limit).
+    auto threshold = static_cast<T>(best->threshold);
+    {
+      T left_max = std::numeric_limits<T>::lowest();
+      T right_min = std::numeric_limits<T>::max();
+      for (std::size_t i = item.begin; i < item.end; ++i) {
+        const T v = dataset.row(order[i])[static_cast<std::size_t>(best->feature)];
+        // Partition membership is defined by the double-precision midpoint.
+        if (static_cast<double>(v) <= best->threshold) {
+          left_max = std::max(left_max, v);
+        } else {
+          right_min = std::min(right_min, v);
+        }
+      }
+      if (!(left_max <= threshold) || !(right_min > threshold)) {
+        threshold = left_max;
+      }
+      // Normalize -0.0 to +0.0: IEEE treats them as equal so the partition
+      // is unchanged, and FLInt engines (-0.0 < +0.0 total order) then agree
+      // with hardware-float traversal on every possible input (the paper
+      // applies the same rewrite during code generation, Section IV-B).
+      if (threshold == T{0}) threshold = T{0};
+    }
+
+    // Partition `order[begin,end)` by the chosen test (stable not required).
+    const auto mid_it = std::partition(
+        order.begin() + static_cast<std::ptrdiff_t>(item.begin),
+        order.begin() + static_cast<std::ptrdiff_t>(item.end),
+        [&](std::size_t row) {
+          return dataset.row(row)[static_cast<std::size_t>(best->feature)] <=
+                 threshold;
+        });
+    const auto mid =
+        static_cast<std::size_t>(mid_it - order.begin());
+    if (mid == item.begin || mid == item.end) {
+      // Degenerate split after narrowing; refuse to recurse unboundedly.
+      make_leaf();
+      continue;
+    }
+
+    auto& node = tree.node(item.node_slot);
+    node.feature = best->feature;
+    node.split = threshold;
+    node.prediction = -1;
+    const std::int32_t left = tree.add_leaf(0);
+    const std::int32_t right = tree.add_leaf(0);
+    tree.link(item.node_slot, left, right);
+    stack.push_back({right, mid, item.end, item.depth + 1});
+    stack.push_back({left, item.begin, mid, item.depth + 1});
+  }
+  return tree;
+}
+
+template <typename T>
+double accuracy(const Tree<T>& tree, const data::Dataset<T>& dataset) {
+  if (dataset.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    if (tree.predict(dataset.row(r)) == dataset.label(r)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(dataset.rows());
+}
+
+template Tree<float> train_tree<float>(const data::Dataset<float>&, const TrainOptions&);
+template Tree<double> train_tree<double>(const data::Dataset<double>&, const TrainOptions&);
+template double accuracy<float>(const Tree<float>&, const data::Dataset<float>&);
+template double accuracy<double>(const Tree<double>&, const data::Dataset<double>&);
+
+}  // namespace flint::trees

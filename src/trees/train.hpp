@@ -1,0 +1,47 @@
+// trees/train — CART decision-tree induction (Gini impurity).
+//
+// The paper trains its forests with scikit-learn's RandomForestClassifier in
+// the default configuration (Section V-A); this module rebuilds the relevant
+// parts of that inducer: greedy axis-aligned splits minimizing weighted Gini
+// impurity, midpoint thresholds between consecutive distinct feature values,
+// optional per-split feature subsampling (sqrt(d), the sklearn forest
+// default) and a max-depth cap.  Training is deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "data/dataset.hpp"
+#include "trees/tree.hpp"
+
+namespace flint::trees {
+
+struct TrainOptions {
+  /// Maximum tree depth in edges; 0 means a single leaf (sklearn depth 1 ==
+  /// one split == our value 1).  Use kUnlimitedDepth for no cap.
+  int max_depth = 10;
+  /// Minimum samples required to attempt a split (sklearn default 2).
+  std::size_t min_samples_split = 2;
+  /// Minimum samples in each child (sklearn default 1).
+  std::size_t min_samples_leaf = 1;
+  /// Number of candidate features per split; 0 = all features,
+  /// kSqrtFeatures = floor(sqrt(d)) (the RandomForestClassifier default).
+  int max_features = 0;
+  /// RNG seed for feature subsampling.
+  std::uint64_t seed = 0;
+
+  static constexpr int kUnlimitedDepth = 1 << 20;
+  static constexpr int kSqrtFeatures = -1;
+};
+
+/// Trains one CART tree.  Throws std::invalid_argument on empty datasets.
+template <typename T>
+[[nodiscard]] Tree<T> train_tree(const data::Dataset<T>& dataset,
+                                 const TrainOptions& options);
+
+/// Fraction of rows whose label the tree reproduces (training accuracy when
+/// called with the training set).
+template <typename T>
+[[nodiscard]] double accuracy(const Tree<T>& tree, const data::Dataset<T>& dataset);
+
+}  // namespace flint::trees

@@ -1,0 +1,125 @@
+#include "trees/tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace flint::trees {
+
+template <typename T>
+std::int32_t Tree<T>::add_node(const Node<T>& node) {
+  nodes_.push_back(node);
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+template <typename T>
+std::int32_t Tree<T>::add_leaf(std::int32_t prediction) {
+  Node<T> n;
+  n.feature = -1;
+  n.prediction = prediction;
+  return add_node(n);
+}
+
+template <typename T>
+std::int32_t Tree<T>::add_split(std::int32_t feature, T split) {
+  if (feature < 0) throw std::invalid_argument("Tree::add_split: negative feature");
+  Node<T> n;
+  n.feature = feature;
+  n.split = split;
+  return add_node(n);
+}
+
+template <typename T>
+void Tree<T>::link(std::int32_t parent, std::int32_t left, std::int32_t right) {
+  auto& p = node(parent);
+  p.left = left;
+  p.right = right;
+}
+
+template <typename T>
+std::int32_t Tree<T>::predict(std::span<const T> x) const {
+  return node(leaf_for(x)).prediction;
+}
+
+template <typename T>
+std::int32_t Tree<T>::leaf_for(std::span<const T> x) const {
+  std::int32_t i = 0;
+  const Node<T>* n = &node(i);
+  while (!n->is_leaf()) {
+    i = (x[static_cast<std::size_t>(n->feature)] <= n->split) ? n->left : n->right;
+    n = &node(i);
+  }
+  return i;
+}
+
+template <typename T>
+std::size_t Tree<T>::leaf_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [](const Node<T>& n) { return n.is_leaf(); }));
+}
+
+template <typename T>
+std::size_t Tree<T>::depth() const {
+  if (nodes_.empty()) return 0;
+  // Iterative DFS with explicit (node, depth) stack; trees can be deep.
+  std::size_t max_depth = 0;
+  std::vector<std::pair<std::int32_t, std::size_t>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [i, d] = stack.back();
+    stack.pop_back();
+    const Node<T>& n = node(i);
+    if (n.is_leaf()) {
+      max_depth = std::max(max_depth, d);
+    } else {
+      stack.emplace_back(n.left, d + 1);
+      stack.emplace_back(n.right, d + 1);
+    }
+  }
+  return max_depth;
+}
+
+template <typename T>
+std::string Tree<T>::validate() const {
+  if (nodes_.empty()) return "tree has no nodes";
+  const auto n_nodes = static_cast<std::int32_t>(nodes_.size());
+  std::vector<int> parents(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node<T>& n = nodes_[i];
+    if (n.is_leaf()) {
+      if (n.prediction < 0) {
+        return "leaf node " + std::to_string(i) + " has no prediction";
+      }
+      if (n.left != kNoChild || n.right != kNoChild) {
+        return "leaf node " + std::to_string(i) + " has children";
+      }
+      continue;
+    }
+    if (feature_count_ != 0 &&
+        static_cast<std::size_t>(n.feature) >= feature_count_) {
+      return "node " + std::to_string(i) + " feature index out of range";
+    }
+    if (n.left < 0 || n.left >= n_nodes || n.right < 0 || n.right >= n_nodes) {
+      return "node " + std::to_string(i) + " child index out of range";
+    }
+    if (n.left == n.right) {
+      return "node " + std::to_string(i) + " has identical children";
+    }
+    ++parents[static_cast<std::size_t>(n.left)];
+    ++parents[static_cast<std::size_t>(n.right)];
+  }
+  if (parents[0] != 0) return "root node has a parent";
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (parents[i] != 1) {
+      return "node " + std::to_string(i) + " has " + std::to_string(parents[i]) +
+             " parents (expected 1)";
+    }
+  }
+  return {};
+}
+
+template struct Node<float>;
+template struct Node<double>;
+template class Tree<float>;
+template class Tree<double>;
+
+}  // namespace flint::trees

@@ -1,0 +1,85 @@
+// trees/tree — decision-tree model structure (paper Section IV-A).
+//
+// Every node carries a feature index FI(n), split value SP(n), left/right
+// child links LC(n)/RC(n) and, for leaves, a prediction PR(n).  Traversal
+// follows the paper's rule:
+//
+//     next = (x[FI(n)] <= SP(n)) ? LC(n) : RC(n)
+//
+// Nodes are stored in a flat vector (index 0 = root) so the same model feeds
+// the native-tree interpreters and all code generators without conversion.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace flint::trees {
+
+inline constexpr std::int32_t kNoChild = -1;
+
+/// One tree node.  `feature == -1` marks a leaf.
+template <typename T>
+struct Node {
+  std::int32_t feature = -1;    ///< FI(n); -1 for leaves
+  T split = T{0};               ///< SP(n)
+  std::int32_t left = kNoChild;   ///< LC(n), node index
+  std::int32_t right = kNoChild;  ///< RC(n), node index
+  std::int32_t prediction = -1;   ///< PR(n), class id; valid for leaves
+
+  [[nodiscard]] bool is_leaf() const noexcept { return feature < 0; }
+};
+
+/// A single decision tree over feature vectors of fixed width.
+template <typename T>
+class Tree {
+ public:
+  Tree() = default;
+  explicit Tree(std::size_t feature_count) : feature_count_(feature_count) {}
+
+  /// Appends a node and returns its index.
+  std::int32_t add_node(const Node<T>& node);
+
+  /// Convenience builders used by the trainer and the tests.
+  std::int32_t add_leaf(std::int32_t prediction);
+  std::int32_t add_split(std::int32_t feature, T split);
+  void link(std::int32_t parent, std::int32_t left, std::int32_t right);
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] const Node<T>& node(std::int32_t i) const { return nodes_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] Node<T>& node(std::int32_t i) { return nodes_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] std::span<const Node<T>> nodes() const noexcept { return nodes_; }
+  [[nodiscard]] std::size_t feature_count() const noexcept { return feature_count_; }
+  void set_feature_count(std::size_t n) noexcept { feature_count_ = n; }
+
+  /// Single-sample inference with ordinary floating-point comparisons.
+  /// `x.size()` must be >= feature_count().
+  [[nodiscard]] std::int32_t predict(std::span<const T> x) const;
+
+  /// Index of the leaf reached for `x` (used by statistics collection).
+  [[nodiscard]] std::int32_t leaf_for(std::span<const T> x) const;
+
+  [[nodiscard]] std::size_t leaf_count() const noexcept;
+  [[nodiscard]] std::size_t inner_count() const noexcept { return size() - leaf_count(); }
+  /// Longest root-to-leaf edge count (a lone leaf has depth 0).
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Structural validation: children in range, exactly one parent per
+  /// non-root node, every leaf has a prediction, every inner node has both
+  /// children and a feature index inside feature_count().  Returns an empty
+  /// string if valid, else a description of the first violation.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::size_t feature_count_ = 0;
+  std::vector<Node<T>> nodes_;
+};
+
+extern template struct Node<float>;
+extern template struct Node<double>;
+extern template class Tree<float>;
+extern template class Tree<double>;
+
+}  // namespace flint::trees

@@ -1,0 +1,89 @@
+#include "trees/tree_stats.hpp"
+
+#include <utility>
+
+namespace flint::trees {
+
+template <typename T>
+BranchStats collect_branch_stats(const Tree<T>& tree,
+                                 const data::Dataset<T>& dataset) {
+  BranchStats stats;
+  stats.visits.assign(tree.size(), 0);
+  std::vector<std::uint64_t> lefts(tree.size(), 0);
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    const auto x = dataset.row(r);
+    std::int32_t i = 0;
+    while (true) {
+      ++stats.visits[static_cast<std::size_t>(i)];
+      const Node<T>& n = tree.node(i);
+      if (n.is_leaf()) break;
+      const bool go_left = x[static_cast<std::size_t>(n.feature)] <= n.split;
+      if (go_left) ++lefts[static_cast<std::size_t>(i)];
+      i = go_left ? n.left : n.right;
+    }
+  }
+  stats.left_probability.assign(tree.size(), 0.5);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (!tree.node(static_cast<std::int32_t>(i)).is_leaf() && stats.visits[i] > 0) {
+      stats.left_probability[i] = static_cast<double>(lefts[i]) /
+                                  static_cast<double>(stats.visits[i]);
+    }
+  }
+  return stats;
+}
+
+template <typename T>
+std::vector<BranchStats> collect_branch_stats(const Forest<T>& forest,
+                                              const data::Dataset<T>& dataset) {
+  std::vector<BranchStats> all;
+  all.reserve(forest.size());
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    all.push_back(collect_branch_stats(forest.tree(t), dataset));
+  }
+  return all;
+}
+
+template <typename T>
+TreeShape tree_shape(const Tree<T>& tree) {
+  TreeShape shape;
+  shape.nodes = tree.size();
+  shape.leaves = tree.leaf_count();
+  shape.depth = tree.depth();
+  if (tree.empty()) return shape;
+  // Leaf-depth average via DFS.
+  std::uint64_t depth_sum = 0;
+  std::vector<std::pair<std::int32_t, std::size_t>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [i, d] = stack.back();
+    stack.pop_back();
+    const Node<T>& n = tree.node(i);
+    if (n.is_leaf()) {
+      depth_sum += d;
+    } else {
+      if (n.split < T{0}) {
+        ++shape.negative_splits;
+      } else {
+        ++shape.nonnegative_splits;
+      }
+      stack.emplace_back(n.left, d + 1);
+      stack.emplace_back(n.right, d + 1);
+    }
+  }
+  shape.mean_leaf_depth =
+      shape.leaves ? static_cast<double>(depth_sum) / static_cast<double>(shape.leaves)
+                   : 0.0;
+  return shape;
+}
+
+template BranchStats collect_branch_stats<float>(const Tree<float>&,
+                                                 const data::Dataset<float>&);
+template BranchStats collect_branch_stats<double>(const Tree<double>&,
+                                                  const data::Dataset<double>&);
+template std::vector<BranchStats> collect_branch_stats<float>(
+    const Forest<float>&, const data::Dataset<float>&);
+template std::vector<BranchStats> collect_branch_stats<double>(
+    const Forest<double>&, const data::Dataset<double>&);
+template TreeShape tree_shape<float>(const Tree<float>&);
+template TreeShape tree_shape<double>(const Tree<double>&);
+
+}  // namespace flint::trees

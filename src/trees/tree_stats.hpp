@@ -1,0 +1,52 @@
+// trees/tree_stats — empirical branch statistics for cache-aware layout.
+//
+// The CAGS generator (Buschjaeger et al. ICDM'18, Chen et al. TECS'22, paper
+// Section V) lays trees out by the probability that execution takes each
+// branch, measured by pushing the *training* set through the tree.  This
+// module collects per-node visit counts and left-branch probabilities, plus
+// summary statistics used by the reports and the model_inspect example.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "trees/forest.hpp"
+#include "trees/tree.hpp"
+
+namespace flint::trees {
+
+/// Per-node empirical statistics, aligned with Tree::nodes() indices.
+struct BranchStats {
+  std::vector<std::uint64_t> visits;      ///< samples reaching each node
+  std::vector<double> left_probability;   ///< P(go left | reached); 0.5 for unseen/leaf
+
+  [[nodiscard]] std::size_t size() const noexcept { return visits.size(); }
+};
+
+/// Runs `dataset` through `tree`, counting node visits and left-edge takes.
+/// Nodes never visited get probability 0.5 (uninformative prior), as do
+/// leaves.
+template <typename T>
+[[nodiscard]] BranchStats collect_branch_stats(const Tree<T>& tree,
+                                               const data::Dataset<T>& dataset);
+
+/// One BranchStats per tree of the forest.
+template <typename T>
+[[nodiscard]] std::vector<BranchStats> collect_branch_stats(
+    const Forest<T>& forest, const data::Dataset<T>& dataset);
+
+/// Aggregate shape metrics for reporting.
+struct TreeShape {
+  std::size_t nodes = 0;
+  std::size_t leaves = 0;
+  std::size_t depth = 0;
+  double mean_leaf_depth = 0.0;          ///< averaged over leaves
+  std::size_t negative_splits = 0;       ///< split values < 0 (SignFlip path)
+  std::size_t nonnegative_splits = 0;
+};
+
+template <typename T>
+[[nodiscard]] TreeShape tree_shape(const Tree<T>& tree);
+
+}  // namespace flint::trees

@@ -1,0 +1,208 @@
+// Assembly backend tests.  x86-64 output is assembled, loaded and checked
+// for bit-exact equivalence on this host, and its disassembly is scanned to
+// prove no floating-point instruction survives (the paper's "no FPU" claim).
+// ARMv8 output is validated structurally against the paper's Listing 5.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/flint.hpp"
+
+#include "codegen/asm_arm.hpp"
+#include "codegen/asm_x86.hpp"
+#include "data/split.hpp"
+#include "data/synth.hpp"
+#include "exec/interpreter.hpp"
+#include "jit/jit.hpp"
+#include "trees/forest.hpp"
+
+namespace {
+
+using flint::trees::Tree;
+
+Tree<float> small_tree() {
+  using flint::core::from_si_bits;
+  Tree<float> t(4);
+  // The paper's exact Listing 2/4 bit patterns.
+  const auto root = t.add_split(3, from_si_bits<float>(0x41213087));
+  const auto neg =
+      t.add_split(1, from_si_bits<float>(static_cast<std::int32_t>(0xC03BDDDE)));
+  const auto l0 = t.add_leaf(0);
+  const auto l1 = t.add_leaf(1);
+  const auto l2 = t.add_leaf(2);
+  t.link(root, neg, l2);
+  t.link(neg, l0, l1);
+  return t;
+}
+
+TEST(AsmX86Golden, DirectAndSignFlipPatterns) {
+  const auto text = flint::codegen::asm_x86_tree(small_tree(), "t0");
+  // Positive split: single memory-operand immediate compare + jg.
+  EXPECT_NE(text.find("cmpl\t$0x41213087, 12(%rdi)"), std::string::npos) << text;
+  EXPECT_NE(text.find("jg\t"), std::string::npos);
+  // Negative split: load + xor sign flip + jl with the |s| immediate.
+  EXPECT_NE(text.find("movl\t4(%rdi), %eax"), std::string::npos);
+  EXPECT_NE(text.find("xorl\t$0x80000000, %eax"), std::string::npos);
+  EXPECT_NE(text.find("cmpl\t$0x403bddde, %eax"), std::string::npos);
+  EXPECT_NE(text.find("jl\t"), std::string::npos);
+  // Leaves.
+  EXPECT_NE(text.find("movl\t$2, %eax"), std::string::npos);
+}
+
+TEST(AsmArmGolden, Listing5Shape) {
+  const auto text = flint::codegen::asm_armv8_tree(small_tree(), "t0");
+  // Listing 5: ldrsw + movz/movk + cmp + b.gt for the positive split.
+  EXPECT_NE(text.find("ldrsw\tx1, [x0, 12]"), std::string::npos) << text;
+  EXPECT_NE(text.find("movz\tw2, #0x3087"), std::string::npos);
+  EXPECT_NE(text.find("movk\tw2, #0x4121, lsl 16"), std::string::npos);
+  EXPECT_NE(text.find("cmp\tw1, w2"), std::string::npos);
+  EXPECT_NE(text.find("b.gt\t"), std::string::npos);
+  // Negative split: eor sign flip + b.lt (paper Section IV-C).
+  EXPECT_NE(text.find("eor\tw1, w1, #0x80000000"), std::string::npos);
+  EXPECT_NE(text.find("b.lt\t"), std::string::npos);
+  EXPECT_NE(text.find(".type\tt0, %function"), std::string::npos);
+}
+
+TEST(AsmArmGolden, DeterministicOutput) {
+  const auto a = flint::codegen::asm_armv8_tree(small_tree(), "t0");
+  const auto b = flint::codegen::asm_armv8_tree(small_tree(), "t0");
+  EXPECT_EQ(a, b);
+}
+
+TEST(AsmArmGolden, DoubleWidthUsesXRegisters) {
+  Tree<double> t(2);
+  const auto root = t.add_split(1, -1.5);
+  const auto a = t.add_leaf(0);
+  const auto b = t.add_leaf(1);
+  t.link(root, a, b);
+  const auto text = flint::codegen::asm_armv8_tree(t, "d0");
+  EXPECT_NE(text.find("ldr\tx1, [x0, 8]"), std::string::npos) << text;
+  EXPECT_NE(text.find("eor\tx1, x1, #0x8000000000000000"), std::string::npos);
+  EXPECT_NE(text.find("cmp\tx1, x2"), std::string::npos);
+}
+
+class AsmX86Equivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AsmX86Equivalence, AssembledModuleMatchesReference) {
+  const auto spec = flint::data::spec_by_name(GetParam());
+  const auto full = flint::data::generate<float>(spec, 61, 900);
+  const auto split = flint::data::train_test_split(full, 0.3, 61);
+  flint::trees::ForestOptions fopt;
+  fopt.n_trees = 3;
+  fopt.tree.max_depth = 9;
+  const auto forest = flint::trees::train_forest(split.train, fopt);
+
+  flint::codegen::CGenOptions opt;
+  const auto code = flint::codegen::generate_asm_x86(forest, opt);
+  ASSERT_EQ(code.files.size(), 2u);
+  const auto module = flint::jit::compile(code);
+  auto* classify =
+      module.function<flint::jit::ClassifyFn<float>>(code.classify_symbol);
+  const flint::exec::FloatForestEngine<float> reference(forest);
+  for (std::size_t r = 0; r < split.test.rows(); ++r) {
+    ASSERT_EQ(classify(split.test.row(r).data()),
+              reference.predict(split.test.row(r)))
+        << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, AsmX86Equivalence,
+                         ::testing::Values("eye", "magic", "sensorless"));
+
+TEST(AsmX86Equivalence, DoubleWidth) {
+  const auto full = flint::data::generate<double>(flint::data::magic_spec(), 71, 700);
+  flint::trees::ForestOptions fopt;
+  fopt.n_trees = 2;
+  fopt.tree.max_depth = 7;
+  const auto forest = flint::trees::train_forest(full, fopt);
+  flint::codegen::CGenOptions opt;
+  const auto code = flint::codegen::generate_asm_x86(forest, opt);
+  const auto module = flint::jit::compile(code);
+  auto* classify =
+      module.function<flint::jit::ClassifyFn<double>>(code.classify_symbol);
+  for (std::size_t r = 0; r < full.rows(); ++r) {
+    ASSERT_EQ(classify(full.row(r).data()), forest.predict(full.row(r)));
+  }
+}
+
+TEST(NoFpu, DisassemblyContainsNoFloatInstructions) {
+  // The whole point of FLInt: the compiled module must not touch the FPU or
+  // SSE float paths for tree traversal.
+  if (std::system("which objdump > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "objdump not available";
+  }
+  const auto full = flint::data::generate<float>(flint::data::gas_spec(), 81, 600);
+  flint::trees::ForestOptions fopt;
+  fopt.n_trees = 2;
+  fopt.tree.max_depth = 8;
+  const auto forest = flint::trees::train_forest(full, fopt);
+  flint::codegen::CGenOptions opt;
+  const auto code = flint::codegen::generate_asm_x86(forest, opt);
+  flint::jit::JitOptions jopt;
+  jopt.keep_artifacts = true;
+  std::string dir;
+  {
+    const auto module = flint::jit::compile(code, jopt);
+    dir = module.dir();
+    // Disassemble only the tree functions (the libc startup stubs in the
+    // shared object are not generated code).
+    const std::string cmd = "objdump -d " + dir +
+                            "/module.so > " + dir + "/disasm.txt 2>/dev/null";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    std::ifstream in(dir + "/disasm.txt");
+    std::string line;
+    bool in_tree_function = false;
+    int tree_instructions = 0;
+    while (std::getline(in, line)) {
+      if (line.find("<forest_tree_") != std::string::npos &&
+          line.find(">:") != std::string::npos) {
+        in_tree_function = true;
+        continue;
+      }
+      if (in_tree_function && line.empty()) {
+        in_tree_function = false;
+        continue;
+      }
+      if (!in_tree_function) continue;
+      ++tree_instructions;
+      for (const char* fp_mnemonic :
+           {"ss ", "sd ", "ucomis", "cvtsi", "cvtss", "cvttss", "movaps",
+            "fld", "fst", "fcom"}) {
+        EXPECT_EQ(line.find(fp_mnemonic), std::string::npos)
+            << "float instruction in tree code: " << line;
+      }
+    }
+    EXPECT_GT(tree_instructions, 10);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(AsmGenerators, EmptyForestThrows) {
+  const flint::trees::Forest<float> empty;
+  flint::codegen::CGenOptions opt;
+  EXPECT_THROW((void)flint::codegen::generate_asm_x86(empty, opt),
+               std::invalid_argument);
+  EXPECT_THROW((void)flint::codegen::generate_asm_armv8(empty, opt),
+               std::invalid_argument);
+}
+
+TEST(AsmArm, FullModuleHasDriverAndTrees) {
+  const auto full = flint::data::generate<float>(flint::data::wine_spec(), 91, 300);
+  flint::trees::ForestOptions fopt;
+  fopt.n_trees = 2;
+  fopt.tree.max_depth = 4;
+  const auto forest = flint::trees::train_forest(full, fopt);
+  flint::codegen::CGenOptions opt;
+  const auto code = flint::codegen::generate_asm_armv8(forest, opt);
+  ASSERT_EQ(code.files.size(), 2u);
+  EXPECT_NE(code.files[0].content.find("forest_tree_0"), std::string::npos);
+  EXPECT_NE(code.files[0].content.find("forest_tree_1"), std::string::npos);
+  EXPECT_NE(code.files[1].content.find("forest_classify"), std::string::npos);
+  EXPECT_EQ(code.flavor, "asm-armv8-flint");
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// End-to-end tests of the flint-forest CLI (in-process via cli::run):
+// the full gen -> train -> predict -> codegen -> inspect workflow plus the
+// error paths (unknown commands/options/flavors, missing files).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::initializer_list<std::string> args) {
+  const std::vector<std::string> v(args);
+  std::ostringstream out, err;
+  const int code = flint::cli::run(v, out, err);
+  return {code, out.str(), err.str()};
+}
+
+class CliWorkflow : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "flint_cli_test";
+    fs::create_directories(dir_);
+    csv_ = (dir_ / "data.csv").string();
+    model_ = (dir_ / "model.forest").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::string csv_;
+  std::string model_;
+};
+
+TEST_F(CliWorkflow, GenTrainPredictInspectCodegen) {
+  auto gen = run_cli({"gen", "--dataset", "magic", "--rows", "800", "--seed",
+                      "5", "--out", csv_});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  EXPECT_NE(gen.out.find("800 rows x 10 features"), std::string::npos) << gen.out;
+  EXPECT_TRUE(fs::exists(csv_));
+
+  auto train = run_cli({"train", "--data", csv_, "--trees", "4", "--depth",
+                        "6", "--out", model_});
+  ASSERT_EQ(train.code, 0) << train.err;
+  EXPECT_NE(train.out.find("trained 4 trees"), std::string::npos);
+  EXPECT_TRUE(fs::exists(model_));
+
+  for (const char* engine : {"float", "flint", "theorem1", "theorem2", "radix"}) {
+    auto predict = run_cli({"predict", "--model", model_, "--data", csv_,
+                            "--engine", engine});
+    ASSERT_EQ(predict.code, 0) << engine << ": " << predict.err;
+    EXPECT_NE(predict.out.find("accuracy"), std::string::npos);
+  }
+
+  // All engines must report the same accuracy (bit-exact equivalence).
+  auto accuracy_token = [](const std::string& text) {
+    const auto pos = text.find("accuracy ");
+    const auto end = text.find(" over", pos);
+    return text.substr(pos, end - pos);
+  };
+  const auto acc_float =
+      run_cli({"predict", "--model", model_, "--data", csv_, "--engine", "float"});
+  const auto acc_flint =
+      run_cli({"predict", "--model", model_, "--data", csv_, "--engine", "flint"});
+  EXPECT_EQ(accuracy_token(acc_float.out), accuracy_token(acc_flint.out));
+
+  auto inspect = run_cli({"inspect", "--model", model_});
+  ASSERT_EQ(inspect.code, 0);
+  EXPECT_NE(inspect.out.find("forest: 4 trees"), std::string::npos);
+
+  const std::string gen_dir = (dir_ / "gen").string();
+  for (const char* flavor : {"ifelse-float", "ifelse-flint", "native-flint",
+                             "asm-x86", "asm-armv8"}) {
+    auto codegen = run_cli({"codegen", "--model", model_, "--out", gen_dir,
+                            "--flavor", flavor});
+    ASSERT_EQ(codegen.code, 0) << flavor << ": " << codegen.err;
+    EXPECT_NE(codegen.out.find("entry point"), std::string::npos);
+  }
+  EXPECT_TRUE(fs::exists(fs::path(gen_dir) / "forest.c"));
+  EXPECT_TRUE(fs::exists(fs::path(gen_dir) / "forest.s"));
+
+  // CAGS needs training data for branch statistics.
+  auto cags_missing = run_cli({"codegen", "--model", model_, "--out", gen_dir,
+                               "--flavor", "cags-flint"});
+  EXPECT_EQ(cags_missing.code, 2);
+  EXPECT_NE(cags_missing.err.find("train-data"), std::string::npos);
+  auto cags = run_cli({"codegen", "--model", model_, "--out", gen_dir,
+                       "--flavor", "cags-flint", "--train-data", csv_});
+  EXPECT_EQ(cags.code, 0) << cags.err;
+}
+
+TEST_F(CliWorkflow, PredictLabelsOutput) {
+  ASSERT_EQ(run_cli({"gen", "--dataset", "wine", "--rows", "60", "--out", csv_})
+                .code, 0);
+  ASSERT_EQ(run_cli({"train", "--data", csv_, "--trees", "2", "--depth", "3",
+                     "--out", model_}).code, 0);
+  auto labeled = run_cli({"predict", "--model", model_, "--data", csv_,
+                          "--labels", "yes"});
+  ASSERT_EQ(labeled.code, 0);
+  // 60 label lines + 1 accuracy line.
+  EXPECT_EQ(std::count(labeled.out.begin(), labeled.out.end(), '\n'), 61);
+}
+
+TEST(CliErrors, HelpAndUnknowns) {
+  auto empty = run_cli({});
+  EXPECT_EQ(empty.code, 2);
+  EXPECT_NE(empty.out.find("usage"), std::string::npos);
+
+  auto help = run_cli({"--help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("codegen"), std::string::npos);
+
+  auto unknown = run_cli({"frobnicate"});
+  EXPECT_EQ(unknown.code, 2);
+  EXPECT_NE(unknown.err.find("unknown command"), std::string::npos);
+
+  auto bad_option = run_cli({"gen", "--dataset", "eye", "--out", "/tmp/x.csv",
+                             "--bogus", "1"});
+  EXPECT_EQ(bad_option.code, 2);
+  EXPECT_NE(bad_option.err.find("unknown option --bogus"), std::string::npos);
+
+  auto missing_value = run_cli({"gen", "--dataset"});
+  EXPECT_EQ(missing_value.code, 2);
+  EXPECT_NE(missing_value.err.find("missing value"), std::string::npos);
+
+  auto missing_required = run_cli({"gen", "--dataset", "eye"});
+  EXPECT_EQ(missing_required.code, 2);
+  EXPECT_NE(missing_required.err.find("--out"), std::string::npos);
+
+  auto bad_dataset = run_cli({"gen", "--dataset", "mnist", "--out", "/tmp/x.csv"});
+  EXPECT_EQ(bad_dataset.code, 2);
+
+  auto bad_model = run_cli({"inspect", "--model", "/nonexistent.forest"});
+  EXPECT_EQ(bad_model.code, 2);
+
+  auto bad_engine = run_cli({"predict", "--model", "/nonexistent.forest",
+                             "--data", "/nonexistent.csv", "--engine", "warp"});
+  EXPECT_EQ(bad_engine.code, 2);
+
+  auto bad_int = run_cli({"gen", "--dataset", "eye", "--rows", "12x",
+                          "--out", "/tmp/x.csv"});
+  EXPECT_EQ(bad_int.code, 2);
+}
+
+}  // namespace

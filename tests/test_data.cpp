@@ -1,0 +1,227 @@
+// Unit tests for data/: dataset container, CSV I/O, synthetic generators,
+// train/test splitting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "data/csv.hpp"
+#include "data/dataset.hpp"
+#include "data/split.hpp"
+#include "data/synth.hpp"
+
+namespace {
+
+using flint::data::Dataset;
+
+TEST(Dataset, AddRowAndAccessors) {
+  Dataset<float> ds("demo", 3);
+  ds.add_row(std::vector<float>{1.0f, 2.0f, 3.0f}, 0);
+  ds.add_row(std::vector<float>{4.0f, 5.0f, 6.0f}, 2);
+  EXPECT_EQ(ds.rows(), 2u);
+  EXPECT_EQ(ds.cols(), 3u);
+  EXPECT_EQ(ds.num_classes(), 3);  // labels {0,2} -> dense ids up to 2
+  EXPECT_EQ(ds.label(1), 2);
+  EXPECT_EQ(ds.row(1)[0], 4.0f);
+  EXPECT_EQ(ds.name(), "demo");
+}
+
+TEST(Dataset, AddRowShapeMismatchThrows) {
+  Dataset<float> ds("demo", 3);
+  EXPECT_THROW(ds.add_row(std::vector<float>{1.0f}, 0), std::invalid_argument);
+  EXPECT_THROW(ds.add_row(std::vector<float>{1, 2, 3, 4}, 0), std::invalid_argument);
+  EXPECT_THROW(ds.add_row(std::vector<float>{1, 2, 3}, -1), std::invalid_argument);
+}
+
+TEST(Dataset, ClassHistogram) {
+  Dataset<float> ds("demo", 1);
+  for (const int l : {0, 1, 1, 2, 2, 2}) {
+    ds.add_row(std::vector<float>{0.0f}, l);
+  }
+  const auto hist = ds.class_histogram();
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 2u);
+  EXPECT_EQ(hist[2], 3u);
+}
+
+TEST(Dataset, SubsetWithRepetition) {
+  Dataset<float> ds("demo", 2);
+  ds.add_row(std::vector<float>{1, 2}, 0);
+  ds.add_row(std::vector<float>{3, 4}, 1);
+  const std::vector<std::size_t> idx{1, 1, 0};
+  const auto sub = ds.subset(idx);
+  EXPECT_EQ(sub.rows(), 3u);
+  EXPECT_EQ(sub.label(0), 1);
+  EXPECT_EQ(sub.label(2), 0);
+  EXPECT_EQ(sub.row(1)[1], 4.0f);
+}
+
+TEST(Dataset, SubsetOutOfRangeThrows) {
+  Dataset<float> ds("demo", 1);
+  ds.add_row(std::vector<float>{1.0f}, 0);
+  const std::vector<std::size_t> idx{5};
+  EXPECT_THROW((void)ds.subset(idx), std::out_of_range);
+}
+
+TEST(Csv, RoundTripExactBits) {
+  Dataset<float> ds("demo", 2);
+  ds.add_row(std::vector<float>{10.074347f, -2.935417f}, 0);
+  ds.add_row(std::vector<float>{1e-38f, 3.4e38f}, 1);
+  std::ostringstream out;
+  flint::data::write_csv(out, ds);
+  std::istringstream in(out.str());
+  const auto back = flint::data::read_csv<float>(in, "demo");
+  ASSERT_EQ(back.rows(), ds.rows());
+  ASSERT_EQ(back.cols(), ds.cols());
+  for (std::size_t r = 0; r < ds.rows(); ++r) {
+    EXPECT_EQ(back.label(r), ds.label(r));
+    for (std::size_t c = 0; c < ds.cols(); ++c) {
+      EXPECT_EQ(back.row(r)[c], ds.row(r)[c]) << r << "," << c;
+    }
+  }
+}
+
+TEST(Csv, SkipsCommentsAndEmptyLines) {
+  std::istringstream in("# header\n\n1.5,2.5,0\n# mid comment\n3.5,4.5,1\n");
+  const auto ds = flint::data::read_csv<float>(in, "t");
+  EXPECT_EQ(ds.rows(), 2u);
+  EXPECT_EQ(ds.cols(), 2u);
+}
+
+TEST(Csv, MalformedInputsReportLineNumbers) {
+  {
+    std::istringstream in("1.5,x,0\n");
+    EXPECT_THROW((void)flint::data::read_csv<float>(in, "t"), std::runtime_error);
+  }
+  {
+    std::istringstream in("1.5,2.0,0\n1.5,0\n");  // column count change
+    try {
+      (void)flint::data::read_csv<float>(in, "t");
+      FAIL() << "expected throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos) << e.what();
+    }
+  }
+  {
+    std::istringstream in("42\n");  // label only, no features
+    EXPECT_THROW((void)flint::data::read_csv<float>(in, "t"), std::runtime_error);
+  }
+  {
+    std::istringstream in("1.0,-3\n");  // negative label
+    EXPECT_THROW((void)flint::data::read_csv<float>(in, "t"), std::runtime_error);
+  }
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW((void)flint::data::load_csv<float>("/nonexistent/x.csv"),
+               std::runtime_error);
+}
+
+TEST(Synth, SpecTableMatchesPaperDatasets) {
+  // Feature/class counts of the five UCI datasets (paper Section V-A).
+  const struct { const char* name; int features; int classes; } expected[] = {
+      {"eye", 14, 2}, {"gas", 128, 6}, {"magic", 10, 2},
+      {"sensorless", 48, 11}, {"wine", 11, 7},
+  };
+  for (const auto& e : expected) {
+    const auto spec = flint::data::spec_by_name(e.name);
+    EXPECT_EQ(spec.features, e.features) << e.name;
+    EXPECT_EQ(spec.classes, e.classes) << e.name;
+  }
+  EXPECT_EQ(flint::data::all_specs().size(), 5u);
+  EXPECT_THROW((void)flint::data::spec_by_name("mnist"), std::invalid_argument);
+}
+
+TEST(Synth, DeterministicInSeed) {
+  const auto spec = flint::data::magic_spec();
+  const auto a = flint::data::generate<float>(spec, 7, 500);
+  const auto b = flint::data::generate<float>(spec, 7, 500);
+  const auto c = flint::data::generate<float>(spec, 8, 500);
+  ASSERT_EQ(a.rows(), b.rows());
+  EXPECT_TRUE(std::equal(a.values().begin(), a.values().end(),
+                         b.values().begin()));
+  EXPECT_FALSE(std::equal(a.values().begin(), a.values().end(),
+                          c.values().begin()));
+}
+
+TEST(Synth, AllClassesPresent) {
+  for (const auto& spec : flint::data::all_specs()) {
+    const auto ds = flint::data::generate<float>(spec, 1, 2000);
+    EXPECT_EQ(ds.rows(), 2000u);
+    EXPECT_EQ(static_cast<int>(ds.cols()), spec.features);
+    const auto hist = ds.class_histogram();
+    ASSERT_EQ(static_cast<int>(hist.size()), spec.classes) << spec.name;
+    for (std::size_t c = 0; c < hist.size(); ++c) {
+      EXPECT_GT(hist[c], 0u) << spec.name << " class " << c;
+    }
+  }
+}
+
+TEST(Synth, SignedSpecsProduceNegativeValues) {
+  // gas/magic/sensorless declare negative-valued features; trained trees on
+  // them exercise the SignFlip codegen path.
+  for (const char* name : {"gas", "magic", "sensorless"}) {
+    const auto ds = flint::data::generate<float>(
+        flint::data::spec_by_name(name), 3, 1000);
+    const bool has_negative =
+        std::any_of(ds.values().begin(), ds.values().end(),
+                    [](float v) { return v < 0.0f; });
+    EXPECT_TRUE(has_negative) << name;
+  }
+}
+
+TEST(Synth, AllValuesFinite) {
+  for (const auto& spec : flint::data::all_specs()) {
+    const auto ds = flint::data::generate<float>(spec, 5, 1000);
+    for (const float v : ds.values()) {
+      ASSERT_TRUE(std::isfinite(v)) << spec.name;
+    }
+  }
+}
+
+TEST(Split, FractionAndDisjointness) {
+  const auto ds = flint::data::generate<float>(flint::data::wine_spec(), 2, 1000);
+  const auto split = flint::data::train_test_split(ds, 0.25, 9);
+  EXPECT_EQ(split.test.rows(), 250u);
+  EXPECT_EQ(split.train.rows(), 750u);
+  EXPECT_EQ(split.train.cols(), ds.cols());
+  // Union preserves the total class histogram.
+  const auto h_all = ds.class_histogram();
+  const auto h_train = split.train.class_histogram();
+  const auto h_test = split.test.class_histogram();
+  for (std::size_t c = 0; c < h_all.size(); ++c) {
+    const std::size_t train_c = c < h_train.size() ? h_train[c] : 0;
+    const std::size_t test_c = c < h_test.size() ? h_test[c] : 0;
+    EXPECT_EQ(h_all[c], train_c + test_c);
+  }
+}
+
+TEST(Split, DeterministicInSeed) {
+  const auto ds = flint::data::generate<float>(flint::data::wine_spec(), 2, 400);
+  const auto a = flint::data::train_test_split(ds, 0.25, 1);
+  const auto b = flint::data::train_test_split(ds, 0.25, 1);
+  EXPECT_TRUE(std::equal(a.test.values().begin(), a.test.values().end(),
+                         b.test.values().begin()));
+}
+
+TEST(Split, InvalidArgumentsThrow) {
+  const auto ds = flint::data::generate<float>(flint::data::wine_spec(), 2, 100);
+  EXPECT_THROW((void)flint::data::train_test_split(ds, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)flint::data::train_test_split(ds, 1.0, 1), std::invalid_argument);
+  Dataset<float> tiny("tiny", 1);
+  tiny.add_row(std::vector<float>{1.0f}, 0);
+  EXPECT_THROW((void)flint::data::train_test_split(tiny, 0.5, 1), std::invalid_argument);
+}
+
+TEST(Split, ExtremeFractionsKeepBothSidesNonEmpty) {
+  const auto ds = flint::data::generate<float>(flint::data::wine_spec(), 2, 50);
+  const auto tiny_test = flint::data::train_test_split(ds, 0.001, 1);
+  EXPECT_GE(tiny_test.test.rows(), 1u);
+  const auto tiny_train = flint::data::train_test_split(ds, 0.999, 1);
+  EXPECT_GE(tiny_train.train.rows(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Unit tests for the shared emission layer: CodeWriter, literal formatting,
+// condition rendering, prologue/driver golden checks.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "codegen/emit.hpp"
+
+namespace {
+
+using namespace flint::codegen;
+
+TEST(CodeWriter, IndentationLifecycle) {
+  CodeWriter w;
+  w.open("if (x) {");
+  w.line("a();");
+  w.reopen("} else {");
+  w.line("b();");
+  w.close();
+  EXPECT_EQ(w.str(),
+            "if (x) {\n"
+            "  a();\n"
+            "} else {\n"
+            "  b();\n"
+            "}\n");
+}
+
+TEST(CodeWriter, BlankAndRaw) {
+  CodeWriter w;
+  w.line("x");
+  w.blank();
+  w.raw("raw\n");
+  EXPECT_EQ(w.str(), "x\n\nraw\n");
+}
+
+TEST(CodeWriter, CloseBelowZeroIsClamped) {
+  CodeWriter w;
+  w.close();
+  w.close();
+  w.line("x");
+  EXPECT_EQ(w.str(), "}\n}\nx\n");
+}
+
+TEST(CodeWriter, TakeMovesContent) {
+  CodeWriter w;
+  w.line("x");
+  const std::string s = w.take();
+  EXPECT_EQ(s, "x\n");
+}
+
+TEST(FloatLiteral, RoundTripsExactly) {
+  // std::stof rejects subnormals (ERANGE), so parse with strtof as the C
+  // compiler effectively does.
+  for (const float v : {10.0743475f, -2.9354167f, 1e-38f, 3.4e38f, 0.5f,
+                        -0.0f, 1234567.0f}) {
+    const std::string lit = c_float_literal(v);
+    EXPECT_EQ(std::strtof(lit.c_str(), nullptr), v) << lit;
+    EXPECT_EQ(lit.back(), 'f') << lit;
+  }
+}
+
+TEST(FloatLiteral, IntegerValuedFloatsGetDecimalPoint) {
+  EXPECT_EQ(c_float_literal(10.0f), "10.0f");
+  EXPECT_EQ(c_float_literal(-3.0f), "-3.0f");
+  EXPECT_EQ(c_float_literal(0.0f), "0.0f");
+}
+
+TEST(FloatLiteral, DoubleVariant) {
+  EXPECT_EQ(c_float_literal(1.5), "1.5");
+  EXPECT_EQ(std::stod(c_float_literal(0.1)), 0.1);
+  EXPECT_EQ(c_float_literal(2.0), "2.0");
+}
+
+TEST(FloatLiteral, NonFiniteThrows) {
+  EXPECT_THROW((void)c_float_literal(std::numeric_limits<float>::infinity()),
+               std::invalid_argument);
+  EXPECT_THROW((void)c_float_literal(std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(ScalarName, BothWidths) {
+  EXPECT_STREQ(c_scalar_name<float>(), "float");
+  EXPECT_STREQ(c_scalar_name<double>(), "double");
+}
+
+TEST(ConditionLe, FloatAndFlintForms) {
+  CGenOptions opt;
+  EXPECT_EQ(condition_le(opt, 3, 1.5f), "pX[3] <= 1.5f");
+  opt.flint = true;
+  opt.prefix = "m";
+  EXPECT_EQ(condition_le(opt, 3, 1.5f),
+            "(m_ld(pX + 3) <= ((int32_t)0x3fc00000))");
+  EXPECT_EQ(condition_le(opt, 0, -1.5f),
+            "(((int32_t)0x3fc00000) <= (m_ld(pX + 0) ^ ((int32_t)0x80000000)))");
+}
+
+TEST(ConditionGt, IsExactComplementForm) {
+  CGenOptions opt;
+  EXPECT_EQ(condition_gt(opt, 2, 1.5f), "pX[2] > 1.5f");
+  opt.flint = true;
+  opt.prefix = "m";
+  EXPECT_EQ(condition_gt(opt, 2, 1.5f),
+            "(m_ld(pX + 2) > ((int32_t)0x3fc00000))");
+  EXPECT_EQ(condition_gt(opt, 2, -1.5f),
+            "(((int32_t)0x3fc00000) > (m_ld(pX + 2) ^ ((int32_t)0x80000000)))");
+}
+
+TEST(ConditionForms, DoubleWidthUsesInt64) {
+  CGenOptions opt;
+  opt.flint = true;
+  opt.prefix = "m";
+  const auto le = condition_le(opt, 1, -1.5);
+  EXPECT_NE(le.find("int64_t"), std::string::npos);
+  EXPECT_NE(le.find("0x8000000000000000"), std::string::npos);
+}
+
+TEST(Prologue, FlintVersionDefinesLoader) {
+  CodeWriter w;
+  CGenOptions opt;
+  opt.flint = true;
+  opt.prefix = "m";
+  emit_c_prologue<float>(w, opt);
+  const std::string s = w.str();
+  EXPECT_NE(s.find("#include <stdint.h>"), std::string::npos);
+  EXPECT_NE(s.find("static inline int32_t m_ld(const float* p)"),
+            std::string::npos);
+  EXPECT_NE(s.find("memcpy"), std::string::npos);
+}
+
+TEST(Prologue, FloatVersionHasNoLoader) {
+  CodeWriter w;
+  CGenOptions opt;
+  emit_c_prologue<float>(w, opt);
+  EXPECT_EQ(w.str().find("_ld"), std::string::npos);
+}
+
+TEST(VoteDriver, GoldenShape) {
+  CodeWriter w;
+  CGenOptions opt;
+  opt.prefix = "m";
+  emit_c_vote_driver<float>(w, opt, 2, 3, /*extern_trees=*/false);
+  const std::string s = w.str();
+  EXPECT_NE(s.find("int m_classify(const float* pX) {"), std::string::npos);
+  EXPECT_NE(s.find("int votes[3] = {0};"), std::string::npos);
+  EXPECT_NE(s.find("++votes[m_tree_0(pX)];"), std::string::npos);
+  EXPECT_NE(s.find("++votes[m_tree_1(pX)];"), std::string::npos);
+  EXPECT_NE(s.find("if (votes[c] > votes[best]) best = c;"), std::string::npos);
+  EXPECT_EQ(s.find("extern"), std::string::npos);
+}
+
+TEST(VoteDriver, ExternVariantDeclaresTrees) {
+  CodeWriter w;
+  CGenOptions opt;
+  opt.prefix = "m";
+  emit_c_vote_driver<double>(w, opt, 1, 2, /*extern_trees=*/true);
+  EXPECT_NE(w.str().find("extern int m_tree_0(const double* pX);"),
+            std::string::npos);
+}
+
+}  // namespace

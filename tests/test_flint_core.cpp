@@ -1,0 +1,257 @@
+// Unit tests for the FLInt operator API: threshold encoding (the paper's
+// Listings 2 and 4), C expression rendering, radix keys and total order.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/flint.hpp"
+
+namespace {
+
+using namespace flint::core;
+
+TEST(EncodeThreshold, PositiveSplitIsDirect) {
+  // Listing 2: the paper's split constant has bit pattern 0x41213087
+  // (the printed decimal 10.074347 rounds to the neighbouring pattern, so
+  // the value is reconstructed from the paper's immediate).
+  const auto enc = encode_threshold_le(from_si_bits<float>(0x41213087));
+  EXPECT_EQ(enc.mode, ThresholdMode::Direct);
+  EXPECT_EQ(enc.immediate, 0x41213087);
+  EXPECT_EQ(immediate_hex(enc), "0x41213087");
+}
+
+TEST(EncodeThreshold, MoreListing2Immediates) {
+  EXPECT_EQ(encode_threshold_le(from_si_bits<float>(0x413F986E)).immediate,
+            0x413F986E);
+  EXPECT_EQ(encode_threshold_le(from_si_bits<float>(0x4622FA08)).immediate,
+            0x4622FA08);
+  // And the straightforward decimal-to-float path.
+  EXPECT_EQ(encode_threshold_le(11.974715f).immediate,
+            si_bits(11.974715f));
+}
+
+TEST(EncodeThreshold, NegativeSplitFlipsSign) {
+  // Listing 4: split -2.935417f -> immediate 0x403bddde (= bits of
+  // +2.935417f) compared against the sign-flipped feature load.
+  const auto enc = encode_threshold_le(
+      from_si_bits<float>(static_cast<std::int32_t>(0xC03BDDDE)));
+  EXPECT_EQ(enc.mode, ThresholdMode::SignFlip);
+  EXPECT_EQ(enc.immediate, 0x403BDDDE);
+}
+
+TEST(EncodeThreshold, NegativeZeroRewrittenToPositiveZero) {
+  const auto enc = encode_threshold_le(-0.0f);
+  EXPECT_EQ(enc.mode, ThresholdMode::Direct);
+  EXPECT_EQ(enc.immediate, 0);
+  // And the rewritten comparison matches IEEE `x <= -0.0f` everywhere.
+  for (const float x : {-1.0f, -0.0f, 0.0f, 1.0f,
+                        std::numeric_limits<float>::denorm_min(),
+                        -std::numeric_limits<float>::denorm_min()}) {
+    EXPECT_EQ(enc.le(x), x <= -0.0f) << "x=" << x;
+  }
+}
+
+TEST(EncodeThreshold, DoubleWidth) {
+  const auto enc = encode_threshold_le(1.5);
+  EXPECT_EQ(enc.mode, ThresholdMode::Direct);
+  EXPECT_EQ(enc.immediate, 0x3FF8000000000000ll);
+  const auto neg = encode_threshold_le(-1.5);
+  EXPECT_EQ(neg.mode, ThresholdMode::SignFlip);
+  EXPECT_EQ(neg.immediate, 0x3FF8000000000000ll);
+}
+
+template <typename T>
+class EncodedLeProperty : public ::testing::Test {};
+using Widths = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(EncodedLeProperty, Widths);
+
+TYPED_TEST(EncodedLeProperty, MatchesIEEEForRandomPairs) {
+  using S = typename FloatTraits<TypeParam>::Signed;
+  using U = typename FloatTraits<TypeParam>::Unsigned;
+  std::mt19937_64 rng(21);
+  int checked = 0;
+  for (int i = 0; i < 500'000; ++i) {
+    const auto split =
+        from_si_bits<TypeParam>(static_cast<S>(static_cast<U>(rng())));
+    const auto x = from_si_bits<TypeParam>(static_cast<S>(static_cast<U>(rng())));
+    if (std::isnan(split) || std::isnan(x)) continue;
+    ++checked;
+    const auto enc = encode_threshold_le(split);
+    ASSERT_EQ(enc.le(x), x <= split) << "x=" << x << " split=" << split;
+  }
+  EXPECT_GT(checked, 400'000);
+}
+
+TYPED_TEST(EncodedLeProperty, MatchesIEEEOnBoundary) {
+  // x exactly equal to the split must go left (<= is inclusive): this is
+  // the property the trainer's partition relies on.
+  using S = typename FloatTraits<TypeParam>::Signed;
+  using U = typename FloatTraits<TypeParam>::Unsigned;
+  std::mt19937_64 rng(23);
+  for (int i = 0; i < 100'000; ++i) {
+    const auto split =
+        from_si_bits<TypeParam>(static_cast<S>(static_cast<U>(rng())));
+    if (std::isnan(split) || std::isinf(split)) continue;
+    const auto enc = encode_threshold_le(split);
+    EXPECT_TRUE(enc.le(split));
+    // One ulp above must go right, one ulp below left (away from zero
+    // boundaries where the SI neighbor changes sign class).
+    const S bits = si_bits(split);
+    if (bits > 0 && bits < std::numeric_limits<S>::max()) {
+      const auto above = from_si_bits<TypeParam>(bits + 1);
+      const auto below = from_si_bits<TypeParam>(bits - 1);
+      if (!std::isnan(above)) EXPECT_FALSE(enc.le(above)) << split;
+      if (!std::isnan(below)) EXPECT_TRUE(enc.le(below)) << split;
+    }
+  }
+}
+
+TEST(CExpression, DirectForm) {
+  const auto enc = encode_threshold_le(from_si_bits<float>(0x41213087));
+  EXPECT_EQ(to_c_expression(enc, "x"), "(x <= ((int32_t)0x41213087))");
+}
+
+TEST(CExpression, SignFlipForm) {
+  const auto enc = encode_threshold_le(
+      from_si_bits<float>(static_cast<std::int32_t>(0xC03BDDDE)));
+  EXPECT_EQ(to_c_expression(enc, "x"),
+            "(((int32_t)0x403bddde) <= (x ^ ((int32_t)0x80000000)))");
+}
+
+TEST(CExpression, DoubleForms) {
+  const auto enc = encode_threshold_le(-1.5);
+  EXPECT_EQ(to_c_expression(enc, "x"),
+            "(((int64_t)0x3ff8000000000000) <= (x ^ "
+            "((int64_t)0x8000000000000000)))");
+}
+
+TEST(RadixKey, IsStrictlyMonotone) {
+  // Walking the FLInt total order by bit pattern, keys must strictly
+  // increase: negative patterns descending from 0xFFFFFFFF.., then -0, +0,
+  // then positive ascending.
+  const float seq[] = {-std::numeric_limits<float>::infinity(),
+                       -3.5f,
+                       -1.0f,
+                       -std::numeric_limits<float>::denorm_min(),
+                       -0.0f,
+                       0.0f,
+                       std::numeric_limits<float>::denorm_min(),
+                       1.0f,
+                       3.5f,
+                       std::numeric_limits<float>::infinity()};
+  for (std::size_t i = 0; i + 1 < std::size(seq); ++i) {
+    EXPECT_LT(to_radix_key(seq[i]), to_radix_key(seq[i + 1]))
+        << seq[i] << " vs " << seq[i + 1];
+  }
+}
+
+TEST(TotalOrder, ThreeWayResults) {
+  EXPECT_EQ(total_order(1.0f, 2.0f), -1);
+  EXPECT_EQ(total_order(2.0f, 1.0f), 1);
+  EXPECT_EQ(total_order(2.0f, 2.0f), 0);
+  EXPECT_EQ(total_order(-0.0f, 0.0f), -1);  // the documented deviation
+  EXPECT_EQ(total_order(0.0f, -0.0f), 1);
+}
+
+TEST(Equality, IsBitEquality) {
+  EXPECT_TRUE(eq(1.5f, 1.5f));
+  EXPECT_FALSE(eq(-0.0f, 0.0f));  // Lemma 1 with the -0 != +0 convention
+  EXPECT_FALSE(eq(1.5f, 1.5000001f));
+}
+
+TEST(SiBits, KnownPatterns) {
+  EXPECT_EQ(si_bits(0.0f), 0);
+  EXPECT_EQ(si_bits(-0.0f), std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(si_bits(1.0f), 0x3F800000);
+  EXPECT_EQ(from_si_bits<float>(0x3F800000), 1.0f);
+}
+
+// --- Generalized relations (Section III-C) ------------------------------- //
+
+template <typename T>
+class RelationProperty : public ::testing::Test {};
+TYPED_TEST_SUITE(RelationProperty, Widths);
+
+template <typename T>
+bool ieee_relation(Relation rel, T x, T s) {
+  switch (rel) {
+    case Relation::LE: return x <= s;
+    case Relation::LT: return x < s;
+    case Relation::GE: return x >= s;
+    case Relation::GT: return x > s;
+  }
+  return false;
+}
+
+TYPED_TEST(RelationProperty, AllFourRelationsMatchIEEEOnRandomPairs) {
+  using S = typename FloatTraits<TypeParam>::Signed;
+  using U = typename FloatTraits<TypeParam>::Unsigned;
+  std::mt19937_64 rng(29);
+  for (int i = 0; i < 200'000; ++i) {
+    const auto split =
+        from_si_bits<TypeParam>(static_cast<S>(static_cast<U>(rng())));
+    const auto x = from_si_bits<TypeParam>(static_cast<S>(static_cast<U>(rng())));
+    if (std::isnan(split) || std::isnan(x)) continue;
+    for (const Relation rel :
+         {Relation::LE, Relation::LT, Relation::GE, Relation::GT}) {
+      const auto pred = encode_relation(rel, split);
+      ASSERT_EQ(pred(x), ieee_relation(rel, x, split))
+          << to_string(rel) << " x=" << x << " split=" << split;
+    }
+  }
+}
+
+TYPED_TEST(RelationProperty, ZeroClusterExhaustive) {
+  // The signed-zero cluster is where naive encodings break; check every
+  // (x, split, relation) combination over the critical neighborhood.
+  const TypeParam denorm = std::numeric_limits<TypeParam>::denorm_min();
+  const TypeParam values[] = {TypeParam(-1), -denorm, TypeParam(-0.0),
+                              TypeParam(0.0), denorm, TypeParam(1)};
+  for (const TypeParam split : values) {
+    for (const TypeParam x : values) {
+      for (const Relation rel :
+           {Relation::LE, Relation::LT, Relation::GE, Relation::GT}) {
+        const auto pred = encode_relation(rel, split);
+        EXPECT_EQ(pred(x), ieee_relation(rel, x, split))
+            << to_string(rel) << " x=" << x << " split=" << split;
+      }
+    }
+  }
+}
+
+TYPED_TEST(RelationProperty, ComplementPairs) {
+  using S = typename FloatTraits<TypeParam>::Signed;
+  using U = typename FloatTraits<TypeParam>::Unsigned;
+  std::mt19937_64 rng(31);
+  for (int i = 0; i < 50'000; ++i) {
+    const auto split =
+        from_si_bits<TypeParam>(static_cast<S>(static_cast<U>(rng())));
+    const auto x = from_si_bits<TypeParam>(static_cast<S>(static_cast<U>(rng())));
+    if (std::isnan(split) || std::isnan(x)) continue;
+    EXPECT_NE(encode_relation(Relation::LE, split)(x),
+              encode_relation(Relation::GT, split)(x));
+    EXPECT_NE(encode_relation(Relation::GE, split)(x),
+              encode_relation(Relation::LT, split)(x));
+  }
+}
+
+TEST(RelationNames, ToString) {
+  EXPECT_STREQ(to_string(Relation::LE), "<=");
+  EXPECT_STREQ(to_string(Relation::LT), "<");
+  EXPECT_STREQ(to_string(Relation::GE), ">=");
+  EXPECT_STREQ(to_string(Relation::GT), ">");
+}
+
+TEST(Constexpr, OperatorsAreConstexpr) {
+  static_assert(ge_theorem1(2.0f, 1.0f));
+  static_assert(!ge_theorem1(-2.0f, 1.0f));
+  static_assert(ge_theorem2(2.0, 1.0));
+  static_assert(ge_radix(1.0f, -1.0f));
+  static_assert(encode_threshold_le(1.0f).mode == ThresholdMode::Direct);
+  static_assert(encode_threshold_le(-1.0f).mode == ThresholdMode::SignFlip);
+  static_assert(encode_threshold_le(1.0f).le(0.5f));
+  SUCCEED();
+}
+
+}  // namespace

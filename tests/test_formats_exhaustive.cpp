@@ -1,0 +1,154 @@
+// Format-generality suite: the paper states its lemmas for *arbitrary*
+// exponent/mantissa widths (Definition 3), not just binary32/64.  This file
+// verifies Theorem 1, Corollary 1 and the order-key/navigation utilities
+// EXHAUSTIVELY over every ordered pair of several small formats — millions
+// of pairs per format — via parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fpformat/fpformat.hpp"
+
+namespace {
+
+using namespace flint::fpformat;
+
+struct FormatCase {
+  const char* name;
+  FormatSpec spec;
+};
+
+class ExhaustiveFormat : public ::testing::TestWithParam<FormatCase> {
+ protected:
+  /// All non-NaN bit patterns of the format.
+  [[nodiscard]] std::vector<std::uint64_t> ordered_patterns() const {
+    const auto& spec = GetParam().spec;
+    std::vector<std::uint64_t> out;
+    const std::uint64_t count = std::uint64_t{1} << spec.total_bits();
+    out.reserve(count);
+    for (std::uint64_t b = 0; b < count; ++b) {
+      if (is_ordered(b, spec)) out.push_back(b);
+    }
+    return out;
+  }
+
+  /// FLInt total-order >= on two ordered patterns, from first principles.
+  [[nodiscard]] bool ref_ge(std::uint64_t x, std::uint64_t y) const {
+    const auto& spec = GetParam().spec;
+    const long double fx = fp_value(x, spec);
+    const long double fy = fp_value(y, spec);
+    if (fx != fy) return fx > fy;
+    const bool sx = sign_bit(x, spec);
+    const bool sy = sign_bit(y, spec);
+    if (sx != sy) return sy;  // -0 < +0
+    return true;
+  }
+};
+
+TEST_P(ExhaustiveFormat, Theorem1HoldsForAllPairs) {
+  const auto& spec = GetParam().spec;
+  const auto patterns = ordered_patterns();
+  for (const std::uint64_t x : patterns) {
+    const auto sx = signed_value(x, spec);
+    for (const std::uint64_t y : patterns) {
+      const auto sy = signed_value(y, spec);
+      const bool u = sx >= sy;
+      const bool v = sx < 0 && sy < 0 && sx != sy;
+      ASSERT_EQ(u != v, ref_ge(x, y))
+          << format_bits(x, spec) << " vs " << format_bits(y, spec);
+    }
+  }
+}
+
+TEST_P(ExhaustiveFormat, OrderKeyIsStrictlyMonotone) {
+  const auto& spec = GetParam().spec;
+  const auto patterns = ordered_patterns();
+  for (const std::uint64_t x : patterns) {
+    for (const std::uint64_t y : patterns) {
+      if (x == y) continue;
+      ASSERT_EQ(order_key(x, spec) > order_key(y, spec), ref_ge(x, y))
+          << format_bits(x, spec) << " vs " << format_bits(y, spec);
+    }
+  }
+}
+
+TEST_P(ExhaustiveFormat, NextUpWalksTheWholeOrder) {
+  const auto& spec = GetParam().spec;
+  const auto patterns = ordered_patterns();
+  // Starting from -infinity, next_up must enumerate every ordered pattern
+  // exactly once, in strictly increasing FP order, ending at +infinity.
+  std::uint64_t cur = negative_infinity(spec);
+  std::size_t visited = 1;
+  std::uint64_t next = 0;
+  while (next_up(cur, spec, next)) {
+    ASSERT_TRUE(is_ordered(next, spec)) << format_bits(next, spec);
+    ASSERT_TRUE(ref_ge(next, cur) && next != cur);
+    ASSERT_EQ(ulp_distance(cur, next, spec), 0u);  // adjacent
+    cur = next;
+    ++visited;
+    ASSERT_LE(visited, patterns.size()) << "next_up cycled";
+  }
+  EXPECT_EQ(cur, positive_infinity(spec));
+  EXPECT_EQ(visited, patterns.size());
+}
+
+TEST_P(ExhaustiveFormat, NextDownInvertsNextUp) {
+  const auto& spec = GetParam().spec;
+  for (const std::uint64_t b : ordered_patterns()) {
+    std::uint64_t up = 0;
+    if (!next_up(b, spec, up)) continue;
+    std::uint64_t back = 0;
+    ASSERT_TRUE(next_down(up, spec, back));
+    EXPECT_EQ(back, b) << format_bits(b, spec);
+  }
+}
+
+TEST_P(ExhaustiveFormat, NavigationRejectsEndpointsAndNaN) {
+  const auto& spec = GetParam().spec;
+  std::uint64_t out = 0;
+  EXPECT_FALSE(next_up(positive_infinity(spec), spec, out));
+  EXPECT_FALSE(next_down(negative_infinity(spec), spec, out));
+  const std::uint64_t nan = positive_infinity(spec) | 1;
+  EXPECT_FALSE(next_up(nan, spec, out));
+  EXPECT_FALSE(next_down(nan, spec, out));
+}
+
+TEST_P(ExhaustiveFormat, ZeroClusterIsAdjacent) {
+  const auto& spec = GetParam().spec;
+  std::uint64_t out = 0;
+  ASSERT_TRUE(next_up(negative_zero(spec), spec, out));
+  EXPECT_EQ(out, positive_zero(spec));
+  ASSERT_TRUE(next_down(positive_zero(spec), spec, out));
+  EXPECT_EQ(out, negative_zero(spec));
+  EXPECT_EQ(ulp_distance(negative_zero(spec), positive_zero(spec), spec), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TinyFormats, ExhaustiveFormat,
+    ::testing::Values(FormatCase{"e4m3", {4, 3}},      // the tiny8 default
+                      FormatCase{"e2m3", {2, 3}},      // minimal exponent
+                      FormatCase{"e5m2", {5, 2}},      // fp8-E5M2 layout
+                      FormatCase{"e3m4", {3, 4}},      // mantissa-heavy
+                      FormatCase{"e4m5", {4, 5}}),     // 10-bit format
+    [](const auto& info) { return std::string(info.param.name); });
+
+// ulp_distance sanity on binary32 against known neighbors.
+TEST(UlpDistance, Binary32KnownValues) {
+  const auto spec = FormatSpec::binary32();
+  const auto bits = [](float v) {
+    return static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(flint::fpformat::float_bits(v)));
+  };
+  EXPECT_EQ(ulp_distance(bits(1.0f), bits(1.0f), spec), 0u);
+  std::uint64_t up = 0;
+  ASSERT_TRUE(next_up(bits(1.0f), spec, up));
+  EXPECT_EQ(ulp_distance(bits(1.0f), up, spec), 0u);
+  std::uint64_t up2 = 0;
+  ASSERT_TRUE(next_up(up, spec, up2));
+  EXPECT_EQ(ulp_distance(bits(1.0f), up2, spec), 1u);
+  // Symmetry.
+  EXPECT_EQ(ulp_distance(up2, bits(1.0f), spec),
+            ulp_distance(bits(1.0f), up2, spec));
+}
+
+}  // namespace

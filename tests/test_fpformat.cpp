@@ -1,0 +1,187 @@
+// Unit + property tests for the generic binary floating-point format model
+// (Definitions 1-4 of the paper).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <random>
+
+#include "fpformat/fpformat.hpp"
+
+namespace {
+
+using namespace flint::fpformat;
+
+TEST(FormatSpec, KnownFormats) {
+  EXPECT_EQ(FormatSpec::binary32().total_bits(), 32);
+  EXPECT_EQ(FormatSpec::binary32().bias(), 127);
+  EXPECT_EQ(FormatSpec::binary64().total_bits(), 64);
+  EXPECT_EQ(FormatSpec::binary64().bias(), 1023);
+  EXPECT_EQ(FormatSpec::binary16().total_bits(), 16);
+  EXPECT_EQ(FormatSpec::binary16().bias(), 15);
+  EXPECT_EQ(FormatSpec::bfloat16().total_bits(), 16);
+  EXPECT_EQ(FormatSpec::bfloat16().bias(), 127);
+  EXPECT_EQ(FormatSpec::tiny8().total_bits(), 8);
+}
+
+TEST(FormatSpec, Masks) {
+  const auto spec = FormatSpec::binary32();
+  EXPECT_EQ(spec.sign_mask(), 0x80000000ull);
+  EXPECT_EQ(spec.exponent_mask(), 0x7F800000ull);
+  EXPECT_EQ(spec.mantissa_mask(), 0x007FFFFFull);
+  EXPECT_EQ(spec.value_mask(), 0xFFFFFFFFull);
+  EXPECT_EQ(FormatSpec::binary64().value_mask(), ~0ull);
+}
+
+TEST(Interpretation, SignedIntegerSignExtension) {
+  const auto spec = FormatSpec::tiny8();
+  EXPECT_EQ(signed_value(0x00, spec), 0);
+  EXPECT_EQ(signed_value(0x7F, spec), 127);
+  EXPECT_EQ(signed_value(0x80, spec), -128);
+  EXPECT_EQ(signed_value(0xFF, spec), -1);
+  EXPECT_EQ(ui_value(0xFF, spec), 255u);
+}
+
+TEST(Interpretation, TwosComplementMinusOnePlusOneWraps) {
+  // The paper's Section III-A example: (1,1,1,...) + 1 wraps to 0.
+  const auto spec = FormatSpec::tiny8();
+  const std::uint64_t minus_one = 0xFF;
+  EXPECT_EQ(signed_value(minus_one, spec), -1);
+  EXPECT_EQ(signed_value((minus_one + 1) & spec.value_mask(), spec), 0);
+}
+
+TEST(Interpretation, Binary32MatchesHost) {
+  // FP(B) computed from first principles must match the host's IEEE-754
+  // interpretation for every class of value.
+  const auto spec = FormatSpec::binary32();
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 200'000; ++i) {
+    const auto bits = static_cast<std::uint32_t>(rng());
+    const float host = std::bit_cast<float>(bits);
+    const long double model = fp_value(bits, spec);
+    if (std::isnan(host)) {
+      EXPECT_TRUE(std::isnan(static_cast<double>(model)));
+    } else {
+      EXPECT_EQ(static_cast<float>(model), host) << "bits=" << bits;
+    }
+    EXPECT_EQ(signed_value(bits, spec), std::bit_cast<std::int32_t>(bits));
+  }
+}
+
+TEST(Interpretation, Binary64MatchesHost) {
+  const auto spec = FormatSpec::binary64();
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 200'000; ++i) {
+    const std::uint64_t bits = rng();
+    const double host = std::bit_cast<double>(bits);
+    const long double model = fp_value(bits, spec);
+    if (std::isnan(host)) {
+      EXPECT_TRUE(std::isnan(static_cast<double>(model)));
+    } else {
+      EXPECT_EQ(static_cast<double>(model), host) << "bits=" << bits;
+    }
+    EXPECT_EQ(signed_value(bits, spec), std::bit_cast<std::int64_t>(bits));
+  }
+}
+
+TEST(Classify, AllClasses) {
+  const auto spec = FormatSpec::binary32();
+  EXPECT_EQ(classify(positive_zero(spec), spec), FpClass::Zero);
+  EXPECT_EQ(classify(negative_zero(spec), spec), FpClass::Zero);
+  EXPECT_EQ(classify(smallest_denormal(spec), spec), FpClass::Denormal);
+  EXPECT_EQ(classify(largest_denormal(spec), spec), FpClass::Denormal);
+  EXPECT_EQ(classify(smallest_normal(spec), spec), FpClass::Normal);
+  EXPECT_EQ(classify(largest_normal(spec), spec), FpClass::Normal);
+  EXPECT_EQ(classify(positive_infinity(spec), spec), FpClass::Infinity);
+  EXPECT_EQ(classify(negative_infinity(spec), spec), FpClass::Infinity);
+  EXPECT_EQ(classify(positive_infinity(spec) | 1, spec), FpClass::NaN);
+  EXPECT_FALSE(is_ordered(positive_infinity(spec) | 1, spec));
+  EXPECT_TRUE(is_ordered(positive_infinity(spec), spec));
+}
+
+TEST(Classify, SpecialPatternValues) {
+  const auto spec = FormatSpec::binary32();
+  EXPECT_EQ(static_cast<float>(fp_value(positive_zero(spec), spec)), 0.0f);
+  EXPECT_EQ(static_cast<float>(fp_value(negative_zero(spec), spec)), -0.0f);
+  EXPECT_TRUE(std::signbit(static_cast<float>(fp_value(negative_zero(spec), spec))));
+  EXPECT_EQ(static_cast<float>(fp_value(smallest_denormal(spec), spec)),
+            std::numeric_limits<float>::denorm_min());
+  EXPECT_EQ(static_cast<float>(fp_value(smallest_normal(spec), spec)),
+            std::numeric_limits<float>::min());
+  EXPECT_EQ(static_cast<float>(fp_value(largest_normal(spec), spec)),
+            std::numeric_limits<float>::max());
+}
+
+TEST(Classify, DenormalValueFormula) {
+  // Denormal: exponent reads as -bias+1, no implicit 1 (paper Section III-A).
+  const auto spec = FormatSpec::tiny8();  // j=4, x=3, bias=7
+  // bits 0b00000001 -> mantissa 1 -> 1 * 2^(-7+1-3) = 2^-9.
+  EXPECT_EQ(fp_value(0x01, spec), std::ldexp(1.0L, -9));
+  // largest denormal: mantissa 7 -> 7 * 2^-9.
+  EXPECT_EQ(fp_value(0x07, spec), std::ldexp(7.0L, -9));
+  // smallest normal: exponent 1 -> 1.0 * 2^(1-7) = 2^-6.
+  EXPECT_EQ(fp_value(0x08, spec), std::ldexp(1.0L, -6));
+}
+
+TEST(Compose, RoundTripsFields) {
+  const auto spec = FormatSpec::binary32();
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 100'000; ++i) {
+    const auto bits = static_cast<std::uint32_t>(rng());
+    const auto recomposed = compose(sign_bit(bits, spec),
+                                    exponent_field(bits, spec),
+                                    mantissa_field(bits, spec), spec);
+    EXPECT_EQ(recomposed, bits);
+  }
+}
+
+TEST(FormatBits, RendersSections) {
+  const auto spec = FormatSpec::tiny8();
+  EXPECT_EQ(format_bits(0b10110101, spec), "1|0110|101");
+  EXPECT_EQ(format_bits(0, spec), "0|0000|000");
+}
+
+TEST(NativeHelpers, BitCastRoundTrip) {
+  EXPECT_EQ(flint::fpformat::float_bits(1.0f), 0x3F800000);
+  EXPECT_EQ(flint::fpformat::float_from_bits(0x3F800000), 1.0f);
+  EXPECT_EQ(flint::fpformat::double_bits(1.0), 0x3FF0000000000000ll);
+  EXPECT_EQ(flint::fpformat::double_from_bits(0x3FF0000000000000ll), 1.0);
+  // The paper's Listing 2 immediates reconstruct to these values (the
+  // listing's printed decimals round to neighbouring patterns).
+  EXPECT_EQ(flint::fpformat::float_from_bits(0x41213087), 10.0743475f);
+  EXPECT_EQ(flint::fpformat::float_from_bits(0x413F986E), 11.9747143f);
+  EXPECT_EQ(flint::fpformat::float_from_bits(0x4622FA08), 10430.5078f);
+}
+
+TEST(ToString, ClassNames) {
+  EXPECT_EQ(to_string(FpClass::Zero), "zero");
+  EXPECT_EQ(to_string(FpClass::Denormal), "denormal");
+  EXPECT_EQ(to_string(FpClass::Normal), "normal");
+  EXPECT_EQ(to_string(FpClass::Infinity), "infinity");
+  EXPECT_EQ(to_string(FpClass::NaN), "nan");
+}
+
+// Figure 2 property: within each sign class the FP interpretation is
+// monotone in the SI interpretation (ascending bit walk).
+TEST(OrderingFigure2, MonotoneWithinSignClasses) {
+  const auto spec = FormatSpec::binary16();  // 2^16 patterns: exhaustive walk
+  long double prev = 0.0L;
+  bool have_prev = false;
+  // Positive class ascending: 0x0000 .. 0x7C00 (inf), skipping NaN.
+  for (std::uint64_t b = 0; b <= 0x7C00; ++b) {
+    const long double v = fp_value(b, spec);
+    if (have_prev) EXPECT_GT(v, prev) << "b=" << b;
+    prev = v;
+    have_prev = true;
+  }
+  // Negative class: ascending bit pattern = descending FP value.
+  have_prev = false;
+  for (std::uint64_t b = 0x8000; b <= 0xFC00; ++b) {
+    const long double v = fp_value(b, spec);
+    if (have_prev) EXPECT_LT(v, prev) << "b=" << b;
+    prev = v;
+    have_prev = true;
+  }
+}
+
+}  // namespace

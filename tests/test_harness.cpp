@@ -1,0 +1,171 @@
+// Tests for the harness substrate: statistics, timer policy, machine info,
+// report aggregation, and a miniature end-to-end run_grid execution.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hpp"
+#include "harness/machine_info.hpp"
+#include "harness/report.hpp"
+#include "harness/stats.hpp"
+#include "harness/timer.hpp"
+
+namespace {
+
+using namespace flint::harness;
+
+TEST(Stats, GeometricMeanKnownValues) {
+  const double v1[] = {4.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(v1), 4.0);
+  const double v2[] = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geometric_mean(v2), 2.0);
+  const double v3[] = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(geometric_mean(v3), 2.0, 1e-12);
+  // Geomean is invariant to reciprocal pairs.
+  const double v4[] = {0.5, 2.0};
+  EXPECT_NEAR(geometric_mean(v4), 1.0, 1e-12);
+}
+
+TEST(Stats, GeometricMeanRejectsBadInput) {
+  EXPECT_THROW((void)geometric_mean({}), std::invalid_argument);
+  const double z[] = {1.0, 0.0};
+  EXPECT_THROW((void)geometric_mean(z), std::invalid_argument);
+  const double n[] = {1.0, -2.0};
+  EXPECT_THROW((void)geometric_mean(n), std::invalid_argument);
+}
+
+TEST(Stats, MeanVarianceStddev) {
+  const double v[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+  EXPECT_THROW((void)mean({}), std::invalid_argument);
+  EXPECT_THROW((void)variance({}), std::invalid_argument);
+}
+
+TEST(Stats, MedianMinMax) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_THROW((void)median({}), std::invalid_argument);
+  const double v[] = {3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 3.0);
+}
+
+TEST(Timer, MeasuresAndRepeats) {
+  int calls = 0;
+  const auto result = measure([&] { ++calls; }, /*min_seconds=*/0.001,
+                              /*repetitions=*/2);
+  EXPECT_GT(calls, 0);
+  EXPECT_GT(result.iterations, 0u);
+  EXPECT_GT(result.seconds_per_iteration, 0.0);
+  EXPECT_GE(result.total_seconds, 0.002);
+}
+
+TEST(MachineInfo, QueryReturnsPlausibleData) {
+  const auto info = query_machine_info();
+  EXPECT_FALSE(info.architecture.empty());
+  EXPECT_GT(info.logical_cores, 0);
+  EXPECT_FALSE(to_string(info).empty());
+}
+
+TEST(ImplNames, RoundTrip) {
+  for (const Impl i : {Impl::Naive, Impl::Cags, Impl::Flint, Impl::CagsFlint,
+                       Impl::FlintAsm, Impl::NativeFloat, Impl::NativeFlint}) {
+    EXPECT_EQ(impl_from_string(to_string(i)), i);
+  }
+  EXPECT_THROW((void)impl_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(Configs, DefaultAndPaperShapes) {
+  const auto d = default_config();
+  EXPECT_FALSE(d.datasets.empty());
+  EXPECT_FALSE(d.depths.empty());
+  const auto p = paper_config();
+  EXPECT_EQ(p.datasets.size(), 5u);
+  EXPECT_EQ(p.ensemble_sizes.size(), 9u);  // {1,5,10,15,20,30,50,80,100}
+  EXPECT_EQ(p.depths.size(), 7u);          // {1,5,10,15,20,30,50}
+}
+
+TEST(RunGrid, RejectsEmptyDimensions) {
+  GridConfig config;  // all dims empty
+  EXPECT_THROW((void)run_grid(config), std::invalid_argument);
+}
+
+// Miniature end-to-end: one dataset, tiny forest, all four paper impls plus
+// the asm backend.  Exercises training, codegen, JIT, verification, timing
+// and normalization in one pass.
+class RunGridEndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GridConfig config;
+    config.datasets = {"wine"};
+    config.ensemble_sizes = {2};
+    config.depths = {3, 5};
+    config.impls = {Impl::Naive, Impl::Cags, Impl::Flint, Impl::CagsFlint,
+                    Impl::FlintAsm};
+    config.dataset_rows = 600;
+    config.min_measure_seconds = 0.002;
+    config.repetitions = 1;
+    records_ = new std::vector<RunRecord>(run_grid(config));
+  }
+  static void TearDownTestSuite() {
+    delete records_;
+    records_ = nullptr;
+  }
+  static std::vector<RunRecord>* records_;
+};
+
+std::vector<RunRecord>* RunGridEndToEnd::records_ = nullptr;
+
+TEST_F(RunGridEndToEnd, ProducesOneRecordPerCellAndImpl) {
+  EXPECT_EQ(records_->size(), 2u * 5u);  // 2 depths x 5 impls
+}
+
+TEST_F(RunGridEndToEnd, AllRecordsVerifiedAndTimed) {
+  for (const auto& rec : *records_) {
+    EXPECT_TRUE(rec.verified) << to_string(rec.impl);
+    EXPECT_GT(rec.ns_per_sample, 0.0);
+    EXPECT_GT(rec.test_rows, 0u);
+    EXPECT_GT(rec.total_nodes, 0u);
+    EXPECT_GT(rec.object_bytes, 0u);
+  }
+}
+
+TEST_F(RunGridEndToEnd, NaiveNormalizedToOne) {
+  for (const auto& rec : *records_) {
+    if (rec.impl == Impl::Naive) {
+      EXPECT_DOUBLE_EQ(rec.normalized, 1.0);
+    } else {
+      EXPECT_GT(rec.normalized, 0.0);
+    }
+  }
+}
+
+TEST_F(RunGridEndToEnd, ReportAggregationsWork) {
+  const auto series = depth_series(*records_, Impl::Flint);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].depth, 3);
+  EXPECT_EQ(series[1].depth, 5);
+  EXPECT_GT(series[0].geomean, 0.0);
+  EXPECT_EQ(series[0].count, 1u);
+
+  EXPECT_GT(summary_geomean(*records_, Impl::Naive), 0.0);
+  EXPECT_DOUBLE_EQ(summary_geomean(*records_, Impl::Naive), 1.0);
+  EXPECT_EQ(summary_geomean(*records_, Impl::Flint, 99), 0.0);  // no depth >= 99
+
+  std::ostringstream csv;
+  write_csv(csv, *records_);
+  EXPECT_NE(csv.str().find("dataset,n_trees,depth,impl"), std::string::npos);
+  EXPECT_NE(csv.str().find("wine"), std::string::npos);
+
+  const Impl impls[] = {Impl::Naive, Impl::Flint};
+  std::ostringstream table;
+  print_depth_table(table, *records_, impls, "t");
+  EXPECT_NE(table.str().find("depth"), std::string::npos);
+  std::ostringstream summary;
+  print_summary_table(summary, *records_, impls, "t");
+  EXPECT_NE(summary.str().find("FLInt"), std::string::npos);
+}
+
+}  // namespace

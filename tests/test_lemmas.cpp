@@ -1,0 +1,273 @@
+// Executable forms of the paper's formal results (Section III):
+// Lemma 1 (equality), Lemma 2 (same-sign magnitude order), Lemma 3 (both
+// positive), Lemma 4/6 (both negative), Lemma 5 (mixed signs), Corollary 1,
+// Theorem 1 (XOR operator) and Theorem 2 (swap/negate operator).
+//
+// Strategy: the generic fpformat model computes FP(B)/SI(B) from first
+// principles (integer decomposition + ldexp), independent of the host FPU,
+// so these checks do not assume what they prove.  The tiny 8-bit format is
+// checked EXHAUSTIVELY over all 2^16 ordered pairs; binary32/binary64 are
+// checked on seeded random pairs plus a structured edge-value set.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/flint.hpp"
+#include "fpformat/fpformat.hpp"
+
+namespace {
+
+using flint::fpformat::FormatSpec;
+using flint::fpformat::fp_value;
+using flint::fpformat::is_ordered;
+using flint::fpformat::signed_value;
+
+// The FLInt semantic total order on non-NaN patterns: reference comparison
+// of FP values with -0 < +0 refined by the sign bit on equal magnitudes.
+bool ref_ge(std::uint64_t x, std::uint64_t y, const FormatSpec& spec) {
+  const long double fx = fp_value(x, spec);
+  const long double fy = fp_value(y, spec);
+  if (fx != fy) return fx > fy;
+  // Equal real values: only +0 vs -0 can differ in bits; FLInt orders
+  // -0 < +0 (paper Section III-A).
+  const bool sx = flint::fpformat::sign_bit(x, spec);
+  const bool sy = flint::fpformat::sign_bit(y, spec);
+  if (sx != sy) return sy;  // x >= y unless x negative-signed, y positive
+  return true;
+}
+
+// --- Exhaustive check of the tiny 8-bit format --------------------------- //
+
+TEST(LemmasTiny8, Lemma1EqualityIsBitEquality) {
+  const FormatSpec spec = FormatSpec::tiny8();
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    if (!is_ordered(x, spec)) continue;
+    for (std::uint64_t y = 0; y < 256; ++y) {
+      if (!is_ordered(y, spec)) continue;
+      const bool fp_equal = fp_value(x, spec) == fp_value(y, spec) &&
+                            flint::fpformat::sign_bit(x, spec) ==
+                                flint::fpformat::sign_bit(y, spec);
+      // With -0 != +0 (the paper's convention) FP equality <=> bit equality.
+      EXPECT_EQ(fp_equal, x == y) << "x=" << x << " y=" << y;
+      EXPECT_EQ(x == y, signed_value(x, spec) == signed_value(y, spec));
+    }
+  }
+}
+
+TEST(LemmasTiny8, Lemma2SameSignMagnitudeOrder) {
+  const FormatSpec spec = FormatSpec::tiny8();
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    for (std::uint64_t y = 0; y < 256; ++y) {
+      if (!is_ordered(x, spec) || !is_ordered(y, spec)) continue;
+      if (flint::fpformat::sign_bit(x, spec) != flint::fpformat::sign_bit(y, spec)) {
+        continue;
+      }
+      const bool abs_greater =
+          flint::fpformat::fp_abs_value(x, spec) > flint::fpformat::fp_abs_value(y, spec);
+      const bool si_greater = signed_value(x, spec) > signed_value(y, spec);
+      if (flint::fpformat::sign_bit(x, spec)) {
+        // Negative sign: SI order equals UI order of magnitude bits, which
+        // matches |FP| order (Lemma 2 applies to the magnitude).
+        EXPECT_EQ(abs_greater, si_greater) << "x=" << x << " y=" << y;
+      } else {
+        EXPECT_EQ(abs_greater, si_greater) << "x=" << x << " y=" << y;
+      }
+    }
+  }
+}
+
+TEST(LemmasTiny8, Lemma3BothPositive) {
+  const FormatSpec spec = FormatSpec::tiny8();
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    for (std::uint64_t y = 0; y < 256; ++y) {
+      if (!is_ordered(x, spec) || !is_ordered(y, spec)) continue;
+      if (flint::fpformat::sign_bit(x, spec) || flint::fpformat::sign_bit(y, spec)) {
+        continue;
+      }
+      EXPECT_EQ(fp_value(x, spec) > fp_value(y, spec),
+                signed_value(x, spec) > signed_value(y, spec))
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(LemmasTiny8, Lemma6BothNegativeStrictlyDecreasing) {
+  const FormatSpec spec = FormatSpec::tiny8();
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    for (std::uint64_t y = 0; y < 256; ++y) {
+      if (!is_ordered(x, spec) || !is_ordered(y, spec)) continue;
+      if (!flint::fpformat::sign_bit(x, spec) || !flint::fpformat::sign_bit(y, spec)) {
+        continue;
+      }
+      if (x == y) continue;
+      // Strict FP order (with -0 distinct) inverts the SI order.
+      EXPECT_EQ(ref_ge(x, y, spec) && x != y,
+                signed_value(x, spec) < signed_value(y, spec))
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(LemmasTiny8, Lemma5MixedSigns) {
+  const FormatSpec spec = FormatSpec::tiny8();
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    for (std::uint64_t y = 0; y < 256; ++y) {
+      if (!is_ordered(x, spec) || !is_ordered(y, spec)) continue;
+      if (flint::fpformat::sign_bit(x, spec) == flint::fpformat::sign_bit(y, spec)) {
+        continue;
+      }
+      EXPECT_EQ(ref_ge(x, y, spec) && x != y,
+                signed_value(x, spec) > signed_value(y, spec))
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(LemmasTiny8, Theorem1ExhaustiveOperator) {
+  const FormatSpec spec = FormatSpec::tiny8();
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    for (std::uint64_t y = 0; y < 256; ++y) {
+      if (!is_ordered(x, spec) || !is_ordered(y, spec)) continue;
+      const auto sx = signed_value(x, spec);
+      const auto sy = signed_value(y, spec);
+      const bool u = sx >= sy;
+      const bool v = sx < 0 && sy < 0 && sx != sy;
+      EXPECT_EQ(u != v, ref_ge(x, y, spec)) << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+// --- Native float/double: random + structured pairs ---------------------- //
+
+template <typename T>
+std::vector<T> edge_values() {
+  using Traits = flint::core::FloatTraits<T>;
+  using S = typename Traits::Signed;
+  std::vector<T> edges = {
+      T(0.0), T(-0.0), T(1.0), T(-1.0), T(0.5), T(-0.5), T(2.0), T(-2.0),
+      std::numeric_limits<T>::min(), -std::numeric_limits<T>::min(),
+      std::numeric_limits<T>::max(), std::numeric_limits<T>::lowest(),
+      std::numeric_limits<T>::denorm_min(), -std::numeric_limits<T>::denorm_min(),
+      std::numeric_limits<T>::epsilon(), -std::numeric_limits<T>::epsilon(),
+      std::numeric_limits<T>::infinity(), -std::numeric_limits<T>::infinity(),
+  };
+  // Adjacent bit patterns around critical boundaries.
+  for (const T v : {T(0.0), T(1.0), T(-1.0), std::numeric_limits<T>::min()}) {
+    const S b = flint::core::si_bits(v);
+    edges.push_back(flint::core::from_si_bits<T>(b + 1));
+    if (b != 0) edges.push_back(flint::core::from_si_bits<T>(b - 1));
+  }
+  return edges;
+}
+
+/// IEEE >= refined with the FLInt -0 < +0 convention — the semantics the
+/// operators are proved against.
+template <typename T>
+bool flint_semantic_ge(T a, T b) {
+  if (a != b) return a > b;           // distinct real values (no NaN here)
+  const auto sa = flint::core::si_bits(a) < 0;
+  const auto sb = flint::core::si_bits(b) < 0;
+  if (sa != sb) return sb;            // -0 vs +0: a >= b iff b is the -0
+  return true;
+}
+
+template <typename T>
+class TheoremNative : public ::testing::Test {};
+
+using NativeTypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(TheoremNative, NativeTypes);
+
+TYPED_TEST(TheoremNative, Theorem1OnEdgePairs) {
+  const auto edges = edge_values<TypeParam>();
+  for (const TypeParam a : edges) {
+    for (const TypeParam b : edges) {
+      EXPECT_EQ(flint::core::ge_theorem1(a, b), flint_semantic_ge(a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TYPED_TEST(TheoremNative, Theorem2OnEdgePairs) {
+  const auto edges = edge_values<TypeParam>();
+  for (const TypeParam a : edges) {
+    for (const TypeParam b : edges) {
+      EXPECT_EQ(flint::core::ge_theorem2(a, b), flint_semantic_ge(a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TYPED_TEST(TheoremNative, RadixKeyOnEdgePairs) {
+  const auto edges = edge_values<TypeParam>();
+  for (const TypeParam a : edges) {
+    for (const TypeParam b : edges) {
+      EXPECT_EQ(flint::core::ge_radix(a, b), flint_semantic_ge(a, b))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TYPED_TEST(TheoremNative, AllFormulationsAgreeOnRandomPairs) {
+  using S = typename flint::core::FloatTraits<TypeParam>::Signed;
+  using U = typename flint::core::FloatTraits<TypeParam>::Unsigned;
+  std::mt19937_64 rng(7);
+  int checked = 0;
+  for (int i = 0; i < 2'000'000 && checked < 1'000'000; ++i) {
+    const auto a = flint::core::from_si_bits<TypeParam>(
+        static_cast<S>(static_cast<U>(rng())));
+    const auto b = flint::core::from_si_bits<TypeParam>(
+        static_cast<S>(static_cast<U>(rng())));
+    if (std::isnan(a) || std::isnan(b)) continue;
+    ++checked;
+    const bool expected = flint_semantic_ge(a, b);
+    ASSERT_EQ(flint::core::ge_theorem1(a, b), expected) << a << " vs " << b;
+    ASSERT_EQ(flint::core::ge_theorem2(a, b), expected) << a << " vs " << b;
+    ASSERT_EQ(flint::core::ge_radix(a, b), expected) << a << " vs " << b;
+  }
+  EXPECT_GE(checked, 900'000);  // NaN density is low; ensure real coverage
+}
+
+TYPED_TEST(TheoremNative, DerivedRelationsAreConsistent) {
+  using S = typename flint::core::FloatTraits<TypeParam>::Signed;
+  using U = typename flint::core::FloatTraits<TypeParam>::Unsigned;
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 200'000; ++i) {
+    const auto a = flint::core::from_si_bits<TypeParam>(
+        static_cast<S>(static_cast<U>(rng())));
+    const auto b = flint::core::from_si_bits<TypeParam>(
+        static_cast<S>(static_cast<U>(rng())));
+    if (std::isnan(a) || std::isnan(b)) continue;
+    EXPECT_EQ(flint::core::le(a, b), flint::core::ge(b, a));
+    EXPECT_EQ(flint::core::gt(a, b), !flint::core::le(a, b));
+    EXPECT_EQ(flint::core::lt(a, b), !flint::core::ge(a, b));
+    EXPECT_EQ(flint::core::eq(a, b),
+              flint::core::ge(a, b) && flint::core::le(a, b));
+  }
+}
+
+// Corollary 1 case split, directly transcribed.
+TYPED_TEST(TheoremNative, Corollary1CaseSplit) {
+  using S = typename flint::core::FloatTraits<TypeParam>::Signed;
+  using U = typename flint::core::FloatTraits<TypeParam>::Unsigned;
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 500'000; ++i) {
+    const auto a = flint::core::from_si_bits<TypeParam>(
+        static_cast<S>(static_cast<U>(rng())));
+    const auto b = flint::core::from_si_bits<TypeParam>(
+        static_cast<S>(static_cast<U>(rng())));
+    if (std::isnan(a) || std::isnan(b)) continue;
+    const S x = flint::core::si_bits(a);
+    const S y = flint::core::si_bits(b);
+    bool result;
+    if (x < 0 && y < 0 && x != y) {
+      result = x < y;  // first case of Corollary 1
+    } else {
+      result = x >= y;  // second case
+    }
+    EXPECT_EQ(result, flint_semantic_ge(a, b)) << a << " vs " << b;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for the fixed-point quantization baseline (the paper's motivating
+// counter-example): calibration, the quantizer itself, and the central
+// property — quantized inference *loses* predictions while FLInt does not.
+#include <gtest/gtest.h>
+
+#include "data/split.hpp"
+#include "data/synth.hpp"
+#include "exec/interpreter.hpp"
+#include "quant/quantized.hpp"
+#include "trees/forest.hpp"
+
+namespace {
+
+using flint::quant::calibrate;
+using flint::quant::QuantizedForestEngine;
+using flint::quant::quantize;
+
+TEST(Quantize, RoundsAndClamps) {
+  EXPECT_EQ(quantize(0.0, 100.0, 16), 0);
+  EXPECT_EQ(quantize(1.0, 100.0, 16), 100);
+  EXPECT_EQ(quantize(-1.004, 100.0, 16), -100);
+  EXPECT_EQ(quantize(1.006, 100.0, 16), 101);
+  // Clamp at the signed range edge.
+  EXPECT_EQ(quantize(1e9, 100.0, 16), 32767);
+  EXPECT_EQ(quantize(-1e9, 100.0, 16), -32767);
+}
+
+TEST(Calibrate, ScalesMapMaxToRangeEdge) {
+  flint::data::Dataset<float> ds("q", 2);
+  ds.add_row(std::vector<float>{2.0f, -8.0f}, 0);
+  ds.add_row(std::vector<float>{-4.0f, 1.0f}, 1);
+  const auto params = calibrate(ds, 8);
+  ASSERT_EQ(params.feature_count(), 2u);
+  // 8 bits -> q_max = 127; feature 0 max |v| = 4, feature 1 max |v| = 8.
+  EXPECT_DOUBLE_EQ(params.scale[0], 127.0 / 4.0);
+  EXPECT_DOUBLE_EQ(params.scale[1], 127.0 / 8.0);
+  EXPECT_EQ(quantize(4.0, params.scale[0], 8), 127);
+}
+
+TEST(Calibrate, ConstantZeroFeatureGetsUnitScale) {
+  flint::data::Dataset<float> ds("q", 1);
+  ds.add_row(std::vector<float>{0.0f}, 0);
+  ds.add_row(std::vector<float>{0.0f}, 1);
+  EXPECT_DOUBLE_EQ(calibrate(ds, 16).scale[0], 1.0);
+}
+
+TEST(Calibrate, RejectsBadArguments) {
+  flint::data::Dataset<float> empty("e", 1);
+  EXPECT_THROW((void)calibrate(empty, 16), std::invalid_argument);
+  flint::data::Dataset<float> ds("q", 1);
+  ds.add_row(std::vector<float>{1.0f}, 0);
+  EXPECT_THROW((void)calibrate(ds, 1), std::invalid_argument);
+  EXPECT_THROW((void)calibrate(ds, 32), std::invalid_argument);
+}
+
+TEST(QuantizedEngine, RejectsBadConstruction) {
+  const flint::trees::Forest<float> empty;
+  EXPECT_THROW((QuantizedForestEngine<float>(empty, {})), std::invalid_argument);
+
+  const auto ds = flint::data::generate<float>(flint::data::wine_spec(), 3, 300);
+  flint::trees::ForestOptions opt;
+  opt.n_trees = 1;
+  opt.tree.max_depth = 3;
+  const auto forest = flint::trees::train_forest(ds, opt);
+  flint::quant::QuantizationParams short_params;  // zero features
+  EXPECT_THROW((QuantizedForestEngine<float>(forest, short_params)),
+               std::invalid_argument);
+}
+
+class QuantizationLoss : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(QuantizationLoss, CoarseQuantizationFlipsPredictionsFlintDoesNot) {
+  const auto spec = flint::data::spec_by_name(GetParam());
+  const auto full = flint::data::generate<float>(spec, 13, 2000);
+  const auto split = flint::data::train_test_split(full, 0.25, 13);
+  flint::trees::ForestOptions opt;
+  opt.n_trees = 10;
+  opt.tree.max_depth = 12;
+  opt.tree.max_features = flint::trees::TrainOptions::kSqrtFeatures;
+  const auto forest = flint::trees::train_forest(split.train, opt);
+
+  // FLInt: exact by construction on every test row.
+  const flint::exec::FlintForestEngine<float> flint_engine(
+      forest, flint::exec::FlintVariant::Encoded);
+  for (std::size_t r = 0; r < split.test.rows(); ++r) {
+    ASSERT_EQ(flint_engine.predict(split.test.row(r)),
+              forest.predict(split.test.row(r)));
+  }
+
+  // Quantization: mismatch rate must not increase with precision, and the
+  // coarse end must actually lose predictions (the paper's motivation).
+  double previous = 1.0;
+  double coarse_rate = 0.0;
+  for (const int bits : {6, 10, 16, 24}) {
+    const auto params = calibrate(split.train, bits);
+    const QuantizedForestEngine<float> engine(forest, params);
+    const double rate = engine.mismatch_rate(forest, split.test);
+    if (bits == 6) coarse_rate = rate;
+    EXPECT_LE(rate, previous + 0.02)
+        << "mismatch rate grew with precision at " << bits << " bits";
+    previous = rate;
+  }
+  EXPECT_GT(coarse_rate, 0.0)
+      << "6-bit quantization lost no predictions; dataset too easy to "
+         "demonstrate the motivation";
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, QuantizationLoss,
+                         ::testing::Values("magic", "sensorless", "wine"));
+
+TEST(QuantizedEngine, HighPrecisionApproachesExact) {
+  const auto full = flint::data::generate<float>(flint::data::magic_spec(), 17, 1500);
+  const auto split = flint::data::train_test_split(full, 0.25, 17);
+  flint::trees::ForestOptions opt;
+  opt.n_trees = 5;
+  opt.tree.max_depth = 10;
+  const auto forest = flint::trees::train_forest(split.train, opt);
+  const auto params = calibrate(split.train, 30);
+  const QuantizedForestEngine<float> engine(forest, params);
+  EXPECT_LT(engine.mismatch_rate(forest, split.test), 0.02);
+}
+
+TEST(QuantizedEngine, AccuracyIsComputed) {
+  const auto full = flint::data::generate<float>(flint::data::eye_spec(), 23, 800);
+  flint::trees::ForestOptions opt;
+  opt.n_trees = 3;
+  opt.tree.max_depth = 8;
+  const auto forest = flint::trees::train_forest(full, opt);
+  const QuantizedForestEngine<float> engine(forest, calibrate(full, 16));
+  const double acc = engine.accuracy(full);
+  EXPECT_GT(acc, 0.4);
+  EXPECT_LE(acc, 1.0);
+}
+
+}  // namespace

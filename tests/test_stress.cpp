@@ -1,0 +1,251 @@
+// Stress and degenerate-structure tests: deep chain trees, wide forests,
+// many classes, hostile split-value distributions, concurrent JIT use —
+// the failure-injection layer of the suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <sstream>
+#include <thread>
+
+#include "codegen/asm_x86.hpp"
+#include "codegen/cgen_cags.hpp"
+#include "codegen/cgen_ifelse.hpp"
+#include "codegen/cgen_native.hpp"
+#include "data/synth.hpp"
+#include "exec/interpreter.hpp"
+#include "jit/jit.hpp"
+#include "trees/forest.hpp"
+#include "trees/serialize.hpp"
+#include "trees/tree_stats.hpp"
+
+namespace {
+
+using flint::trees::Forest;
+using flint::trees::Tree;
+
+/// Left-leaning chain: node i tests f0 <= thresholds[i]; right child leaf.
+Tree<float> chain_tree(int depth, float lo, float hi) {
+  Tree<float> t(1);
+  std::vector<std::int32_t> splits;
+  for (int i = 0; i < depth; ++i) {
+    // Descending thresholds so every level is reachable.
+    const float s = hi - (hi - lo) * static_cast<float>(i) /
+                             static_cast<float>(depth);
+    splits.push_back(t.add_split(0, s));
+  }
+  const auto deep_leaf = t.add_leaf(0);
+  for (int i = 0; i < depth; ++i) {
+    const auto right_leaf = t.add_leaf(1 + (i % 3));
+    const std::int32_t next =
+        (i + 1 < depth) ? splits[static_cast<std::size_t>(i + 1)] : deep_leaf;
+    t.link(splits[static_cast<std::size_t>(i)], next, right_leaf);
+  }
+  return t;
+}
+
+TEST(Stress, Depth500ChainTreePredictAndValidate) {
+  const auto t = chain_tree(500, -100.0f, 100.0f);
+  EXPECT_TRUE(t.validate().empty()) << t.validate();
+  EXPECT_EQ(t.depth(), 500u);
+  // A very small value walks the whole chain to the deep leaf.
+  EXPECT_EQ(t.predict(std::vector<float>{-1000.0f}), 0);
+  // A huge value exits right at the root.
+  EXPECT_EQ(t.predict(std::vector<float>{1000.0f}), 1);
+}
+
+TEST(Stress, Depth500ChainSurvivesAllEnginesAndSerialization) {
+  const auto t = chain_tree(500, -50.0f, 50.0f);
+  Forest<float> forest({t}, 4);
+  std::ostringstream s;
+  flint::trees::write_forest(s, forest);
+  std::istringstream in(s.str());
+  const auto back = flint::trees::read_forest<float>(in);
+  const flint::exec::FlintForestEngine<float> engine(
+      back, flint::exec::FlintVariant::Encoded);
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<float> dist(-60.0f, 60.0f);
+  for (int i = 0; i < 2000; ++i) {
+    const std::vector<float> x{dist(rng)};
+    ASSERT_EQ(engine.predict(x), forest.predict(x));
+  }
+}
+
+TEST(Stress, Depth500ChainCompilesInEveryFlavor) {
+  // Deep nesting stresses the emitters' recursion and the C compiler.
+  const auto t = chain_tree(500, -50.0f, 50.0f);
+  Forest<float> forest({t}, 4);
+  flint::trees::BranchStats stats;
+  stats.visits.assign(t.size(), 1);
+  stats.left_probability.assign(t.size(), 0.9);
+  const flint::exec::FloatForestEngine<float> reference(forest);
+
+  std::vector<flint::codegen::GeneratedCode> codes;
+  for (const bool use_flint : {false, true}) {
+    flint::codegen::CGenOptions opt;
+    opt.flint = use_flint;
+    codes.push_back(flint::codegen::generate_ifelse(forest, opt));
+    opt.kernel_budget_bytes = 512;
+    codes.push_back(flint::codegen::generate_cags(forest, {stats}, opt));
+    codes.push_back(flint::codegen::generate_native(forest, opt));
+  }
+  codes.push_back(flint::codegen::generate_asm_x86(forest, {}));
+
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<float> dist(-60.0f, 60.0f);
+  flint::jit::JitOptions jopt;
+  jopt.opt_level = 1;  // keep gcc fast on the 500-deep nest
+  for (const auto& code : codes) {
+    const auto module = flint::jit::compile(code, jopt);
+    auto* classify =
+        module.function<flint::jit::ClassifyFn<float>>(code.classify_symbol);
+    for (int i = 0; i < 500; ++i) {
+      const std::vector<float> x{dist(rng)};
+      ASSERT_EQ(classify(x.data()), reference.predict(x)) << code.flavor;
+    }
+  }
+}
+
+TEST(Stress, WideForestManyClasses) {
+  // 100 single-leaf trees voting across 50 classes; ties must resolve to
+  // the lowest class id everywhere.
+  std::vector<Tree<float>> trees;
+  for (int i = 0; i < 100; ++i) {
+    Tree<float> t(1);
+    t.add_leaf(i % 50);
+    trees.push_back(std::move(t));
+  }
+  Forest<float> forest(std::move(trees), 50);
+  EXPECT_EQ(forest.predict(std::vector<float>{0.0f}), 0);
+  const flint::exec::FlintForestEngine<float> engine(
+      forest, flint::exec::FlintVariant::Encoded);
+  EXPECT_EQ(engine.predict(std::vector<float>{0.0f}), 0);
+
+  const auto code = flint::codegen::generate_ifelse(forest, {});
+  const auto module = flint::jit::compile(code);
+  auto* classify =
+      module.function<flint::jit::ClassifyFn<float>>(code.classify_symbol);
+  const std::vector<float> x{0.0f};
+  EXPECT_EQ(classify(x.data()), 0);
+}
+
+TEST(Stress, AllNegativeSplitTree) {
+  // Every node takes the SignFlip path; all engines and generators must
+  // agree on dense probes around the thresholds.
+  Tree<float> t(2);
+  const auto n0 = t.add_split(0, -1.5f);
+  const auto n1 = t.add_split(1, -1e-30f);
+  const auto n2 = t.add_split(0, -3e30f);
+  const auto l0 = t.add_leaf(0);
+  const auto l1 = t.add_leaf(1);
+  const auto l2 = t.add_leaf(2);
+  const auto l3 = t.add_leaf(3);
+  t.link(n0, n1, n2);
+  t.link(n1, l0, l1);
+  t.link(n2, l2, l3);
+  Forest<float> forest({t}, 4);
+  const flint::exec::FloatForestEngine<float> reference(forest);
+
+  flint::codegen::CGenOptions opt;
+  opt.flint = true;
+  const auto code = flint::codegen::generate_ifelse(forest, opt);
+  EXPECT_NE(code.files[0].content.find("^"), std::string::npos)
+      << "SignFlip xor missing from generated code";
+  const auto module = flint::jit::compile(code);
+  auto* classify =
+      module.function<flint::jit::ClassifyFn<float>>(code.classify_symbol);
+
+  const float probes[] = {-4e30f, -3e30f, -1.6f, -1.5f, -1.4f, -1e-30f,
+                          -1e-31f, -0.0f, 0.0f, 1.0f, 4e30f};
+  for (const float a : probes) {
+    for (const float b : probes) {
+      const std::vector<float> x{a, b};
+      ASSERT_EQ(classify(x.data()), reference.predict(x)) << a << "," << b;
+    }
+  }
+}
+
+TEST(Stress, DenormalSplitValues) {
+  Tree<float> t(1);
+  const auto root = t.add_split(0, std::numeric_limits<float>::denorm_min());
+  const auto l0 = t.add_leaf(0);
+  const auto l1 = t.add_leaf(1);
+  t.link(root, l0, l1);
+  Forest<float> forest({t}, 2);
+  const flint::exec::FlintForestEngine<float> engine(
+      forest, flint::exec::FlintVariant::Encoded);
+  EXPECT_EQ(engine.predict(std::vector<float>{0.0f}), 0);
+  EXPECT_EQ(engine.predict(std::vector<float>{
+                std::numeric_limits<float>::denorm_min()}), 0);
+  EXPECT_EQ(engine.predict(std::vector<float>{
+                2 * std::numeric_limits<float>::denorm_min()}), 1);
+  EXPECT_EQ(engine.predict(std::vector<float>{-0.0f}), 0);
+}
+
+TEST(Stress, ParallelJitCompiles) {
+  // The experiment driver compiles from a thread pool; hammer that path.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> pool;
+  for (int thread_id = 0; thread_id < 8; ++thread_id) {
+    pool.emplace_back([thread_id, &failures] {
+      for (int i = 0; i < 5; ++i) {
+        const int value = thread_id * 100 + i;
+        const std::vector<flint::codegen::SourceFile> sources{
+            {"f.c", "int answer(void) { return " + std::to_string(value) +
+                        "; }\n"}};
+        try {
+          const auto module = flint::jit::compile(sources);
+          if (module.function<int(void)>("answer")() != value) ++failures;
+        } catch (const std::exception&) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Stress, TrainOnLargeManyClassDataset) {
+  const auto ds = flint::data::generate<float>(
+      flint::data::sensorless_spec(), 7, 6000);  // 11 classes, 48 features
+  flint::trees::ForestOptions opt;
+  opt.n_trees = 3;
+  opt.tree.max_depth = 25;
+  opt.tree.max_features = flint::trees::TrainOptions::kSqrtFeatures;
+  const auto forest = flint::trees::train_forest(ds, opt);
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    EXPECT_TRUE(forest.tree(t).validate().empty());
+  }
+  EXPECT_GT(flint::trees::accuracy(forest, ds), 0.8);
+}
+
+TEST(Stress, DuplicateFeatureValuesDoNotBreakTraining) {
+  // Highly discrete feature: only 3 distinct values, labels depend on them.
+  flint::data::Dataset<float> ds("discrete", 1);
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 300; ++i) {
+    const int bucket = static_cast<int>(rng() % 3);
+    ds.add_row(std::vector<float>{static_cast<float>(bucket)}, bucket);
+  }
+  flint::trees::TrainOptions opt;
+  opt.max_depth = 4;
+  const auto tree = flint::trees::train_tree(ds, opt);
+  EXPECT_EQ(flint::trees::accuracy(tree, ds), 1.0);
+  EXPECT_LE(tree.depth(), 2u);  // 3 buckets need exactly 2 splits
+}
+
+TEST(Stress, CagsHandlesDegenerateProbabilities) {
+  // All-left and all-right traffic plus NaN-free 0.5 priors.
+  const auto t = chain_tree(10, -5.0f, 5.0f);
+  for (const double p : {0.0, 0.5, 1.0}) {
+    flint::trees::BranchStats stats;
+    stats.visits.assign(t.size(), 0);
+    stats.left_probability.assign(t.size(), p);
+    flint::codegen::CGenOptions opt;
+    const auto body = flint::codegen::cags_tree_body(t, stats, opt);
+    EXPECT_NE(body.find("return"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,12 @@
+// flint-forest — command-line entry point; all logic lives in cli/cli.cpp
+// so it can be tested in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return flint::cli::run(args, std::cout, std::cerr);
+}
