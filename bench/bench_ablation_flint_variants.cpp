@@ -4,22 +4,22 @@
 // This separates the paper's two contributions: the comparison operator
 // (Theorem 1 vs Theorem 2 vs the offline-encoded Theorem 2 vs radix keys)
 // from the if-else compilation strategy benchmarked in Figures 3/4.
+//
+// All engines run behind the predict::Predictor batch API (blocked
+// execution), so the ablation also exercises the production inference path.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "data/split.hpp"
 #include "data/synth.hpp"
-#include "exec/interpreter.hpp"
 #include "harness/machine_info.hpp"
 #include "harness/stats.hpp"
 #include "harness/timer.hpp"
+#include "predict/predictor.hpp"
 #include "trees/forest.hpp"
 
 int main() {
-  using flint::exec::FlintForestEngine;
-  using flint::exec::FlintVariant;
-  using flint::exec::FloatForestEngine;
-
   std::printf("=== Ablation: FLInt runtime formulations (interpreter) ===\n");
   std::printf("host: %s\n\n",
               flint::harness::to_string(flint::harness::query_machine_info()).c_str());
@@ -37,38 +37,33 @@ int main() {
       fopt.tree.max_features = flint::trees::TrainOptions::kSqrtFeatures;
       const auto forest = flint::trees::train_forest(split.train, fopt);
 
-      const FloatForestEngine<float> float_engine(forest);
-      auto time_engine = [&](const auto& engine) {
-        long long sink = 0;
+      const auto float_predictor =
+          flint::predict::make_predictor(forest, "float");
+      std::vector<std::int32_t> reference(split.test.rows());
+      float_predictor->predict_batch(split.test, reference);
+
+      std::vector<std::int32_t> out(split.test.rows());
+      auto time_predictor = [&](const flint::predict::Predictor<float>& p) {
         const auto t = flint::harness::measure(
-            [&] {
-              for (std::size_t r = 0; r < split.test.rows(); ++r) {
-                sink += engine.predict(split.test.row(r));
-              }
-            },
-            0.02, 3);
-        if (sink == -1) std::abort();
+            [&] { p.predict_batch(split.test, out); }, 0.02, 3);
         return t.seconds_per_iteration /
                static_cast<double>(split.test.rows()) * 1e9;
       };
 
-      const double t_float = time_engine(float_engine);
+      const double t_float = time_predictor(*float_predictor);
       std::printf("%-12s %-6d %-10.1f", name, depth, t_float);
-      for (const auto variant :
-           {FlintVariant::Encoded, FlintVariant::Theorem1, FlintVariant::Theorem2,
-            FlintVariant::RadixKey}) {
-        const FlintForestEngine<float> engine(forest, variant);
+      for (const char* backend : {"encoded", "theorem1", "theorem2", "radix"}) {
+        const auto predictor = flint::predict::make_predictor(forest, backend);
         // Equivalence guard: ablation numbers are only meaningful if the
         // engines agree everywhere.
+        predictor->predict_batch(split.test, out);
         for (std::size_t r = 0; r < split.test.rows(); ++r) {
-          if (engine.predict(split.test.row(r)) !=
-              float_engine.predict(split.test.row(r))) {
-            std::fprintf(stderr, "prediction mismatch: %s\n",
-                         flint::exec::to_string(variant));
+          if (out[r] != reference[r]) {
+            std::fprintf(stderr, "prediction mismatch: %s\n", backend);
             return 1;
           }
         }
-        const double t = time_engine(engine);
+        const double t = time_predictor(*predictor);
         std::printf(" %-10s", (std::to_string(t / t_float).substr(0, 4) + "x").c_str());
       }
       std::printf("\n");

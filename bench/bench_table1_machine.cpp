@@ -3,7 +3,7 @@
 // The paper's Table I lists its four evaluation systems (X86/ARMv8 x
 // server/desktop).  This container provides exactly one machine, so the
 // harness prints the same fields for the host and documents the
-// substitution (see EXPERIMENTS.md).
+// substitution (see docs/BENCHMARKS.md).
 #include <cstdio>
 
 #include "harness/machine_info.hpp"

@@ -4,6 +4,10 @@
 // Shares the Figure 3 grid; the paper reports, per machine:
 //   CAGS ~0.85-1.14x, FLInt ~0.77-0.85x, CAGS(FLInt) ~0.70-0.76x overall,
 // with the D>=20 restriction improving every FLInt row.
+//
+// run_grid verifies and times every JIT'd flavor through the unified
+// predict::Predictor batch API (see src/predict/predictor.hpp), the same
+// path the CLI and bench_batch_throughput use.
 #include <cstdio>
 #include <iostream>
 

@@ -16,7 +16,7 @@
 #include "data/csv.hpp"
 #include "data/split.hpp"
 #include "data/synth.hpp"
-#include "exec/interpreter.hpp"
+#include "predict/predictor.hpp"
 #include "trees/forest.hpp"
 #include "trees/serialize.hpp"
 #include "trees/tree_stats.hpp"
@@ -64,9 +64,15 @@ class Args {
     mark_used(key);
     if (it == options_.end()) return fallback;
     std::size_t pos = 0;
-    const long v = std::stol(it->second, &pos);
-    if (pos != it->second.size()) {
-      throw std::invalid_argument("option --" + key + " expects an integer");
+    long v = 0;
+    try {
+      v = std::stol(it->second, &pos);
+    } catch (const std::exception&) {
+      pos = 0;
+    }
+    if (pos != it->second.size() || it->second.empty()) {
+      throw std::invalid_argument("option --" + key + " expects an integer, got '" +
+                                  it->second + "'");
     }
     return v;
   }
@@ -131,32 +137,41 @@ int cmd_predict(const Args& args, std::ostream& out) {
   const auto dataset = data::load_csv<float>(args.require("data"));
   const std::string engine_name = args.get("engine", "flint");
   const bool print_labels = args.get("labels", "no") == "yes";
+  const std::string stats_csv = args.get("train-data", "");
+  const long threads = args.get_long("threads", 1);
+  const long batch = args.get_long("batch", 64);
+  if (threads < 0) {
+    throw std::invalid_argument("--threads must be >= 0 (0 = all cores)");
+  }
+  if (batch < 1) {
+    throw std::invalid_argument("--batch must be >= 1");
+  }
+  predict::PredictorOptions popt;
+  popt.threads = static_cast<unsigned>(threads);
+  popt.block_size = static_cast<std::size_t>(batch);
   args.check_all_used();
+  // The CAGS codegen backends need branch statistics from training data.
+  std::vector<trees::BranchStats> stats;
+  if (engine_name.rfind("jit:cags", 0) == 0) {
+    if (stats_csv.empty()) {
+      throw std::invalid_argument(
+          "--engine " + engine_name + " needs --train-data <csv> for branch statistics");
+    }
+    const auto train = data::load_csv<float>(stats_csv);
+    if (train.cols() < forest.feature_count()) {
+      throw std::invalid_argument(
+          "--train-data has fewer features than the model");
+    }
+    stats = trees::collect_branch_stats(forest, train);
+    popt.branch_stats = stats;
+  }
   if (dataset.cols() < forest.feature_count()) {
     throw std::invalid_argument("data has fewer features than the model");
   }
 
+  const auto predictor = predict::make_predictor(forest, engine_name, popt);
   std::vector<std::int32_t> predictions(dataset.rows());
-  if (engine_name == "float") {
-    const exec::FloatForestEngine<float> engine(forest);
-    engine.predict_batch(dataset, predictions);
-  } else {
-    exec::FlintVariant variant = exec::FlintVariant::Encoded;
-    if (engine_name == "flint" || engine_name == "encoded") {
-      variant = exec::FlintVariant::Encoded;
-    } else if (engine_name == "theorem1") {
-      variant = exec::FlintVariant::Theorem1;
-    } else if (engine_name == "theorem2") {
-      variant = exec::FlintVariant::Theorem2;
-    } else if (engine_name == "radix") {
-      variant = exec::FlintVariant::RadixKey;
-    } else {
-      throw std::invalid_argument("unknown engine '" + engine_name +
-                                  "' (float|flint|theorem1|theorem2|radix)");
-    }
-    const exec::FlintForestEngine<float> engine(forest, variant);
-    engine.predict_batch(dataset, predictions);
-  }
+  predictor->predict_batch(dataset, predictions);
 
   std::size_t hits = 0;
   for (std::size_t r = 0; r < dataset.rows(); ++r) {
@@ -250,8 +265,15 @@ std::string usage() {
       "  train    --data <csv> --out <model> [--trees N] [--depth N]\n"
       "           [--seed N] [--features sqrt|all]\n"
       "  predict  --model <model> --data <csv>\n"
-      "           [--engine float|flint|theorem1|theorem2|radix]\n"
-      "           [--labels yes|no]\n"
+      "           [--engine <backend>] [--threads N] [--batch N]\n"
+      "           [--labels yes|no] [--train-data <csv>]\n"
+      "           backends: reference float flint encoded theorem1 theorem2\n"
+      "                     radix jit:ifelse-{float,flint}\n"
+      "                     jit:native-{float,flint} jit:cags-{float,flint}\n"
+      "                     jit:asm-x86\n"
+      "           (--threads 0 = all cores; --batch = samples per cache\n"
+      "           block; jit:cags-* needs --train-data; see\n"
+      "           docs/ARCHITECTURE.md)\n"
       "  codegen  --model <model> --out <dir> [--flavor <flavor>]\n"
       "           [--prefix name] [--train-data <csv>] [--kernel-budget N]\n"
       "           flavors: ifelse-float ifelse-flint cags-float cags-flint\n"

@@ -7,7 +7,7 @@
 //
 // This container is x86-64, so the ARMv8 output cannot be executed here; it
 // is validated structurally (golden tests against the Listing 5 shape) and
-// documented as such in EXPERIMENTS.md.
+// documented as such in docs/BENCHMARKS.md.
 #pragma once
 
 #include "codegen/emit.hpp"

@@ -45,7 +45,8 @@ struct SynthSpec {
   double separation = 1.0;
 };
 
-/// The five UCI-equivalent specs (see table in DESIGN.md Section 4).
+/// The five UCI-equivalent specs (see the file comment above for the
+/// properties each generator reproduces).
 [[nodiscard]] SynthSpec eye_spec();         ///< 14 features, 2 classes (EEG Eye State)
 [[nodiscard]] SynthSpec gas_spec();         ///< 128 features, 6 classes (Gas Sensor Drift)
 [[nodiscard]] SynthSpec magic_spec();       ///< 10 features, 2 classes (MAGIC Telescope)

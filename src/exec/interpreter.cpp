@@ -144,6 +144,31 @@ std::int32_t FlintForestEngine<T>::predict(std::span<const T> x) const {
 }
 
 template <typename T>
+std::int32_t FlintForestEngine<T>::predict_tree(
+    std::size_t t, std::span<const T> x, std::span<const Signed> keys) const {
+  const std::size_t root = roots_[t];
+  switch (variant_) {
+    case FlintVariant::Encoded:
+      return predict_tree_impl<FlintVariant::Encoded>(root, x, keys);
+    case FlintVariant::Theorem1:
+      return predict_tree_impl<FlintVariant::Theorem1>(root, x, keys);
+    case FlintVariant::Theorem2:
+      return predict_tree_impl<FlintVariant::Theorem2>(root, x, keys);
+    case FlintVariant::RadixKey:
+      return predict_tree_impl<FlintVariant::RadixKey>(root, x, keys);
+  }
+  return 0;  // unreachable
+}
+
+template <typename T>
+void FlintForestEngine<T>::remap_keys(std::span<const T> x,
+                                      std::span<Signed> out) const {
+  for (std::size_t f = 0; f < feature_count_; ++f) {
+    out[f] = core::to_radix_key(x[f]);
+  }
+}
+
+template <typename T>
 void FlintForestEngine<T>::predict_batch(const data::Dataset<T>& dataset,
                                          std::span<std::int32_t> out) const {
   if (out.size() < dataset.rows()) {
@@ -216,6 +241,18 @@ std::int32_t FloatForestEngine<T>::predict(std::span<const T> x) const {
     }
   }
   return best_class;
+}
+
+template <typename T>
+std::int32_t FloatForestEngine<T>::predict_tree(std::size_t t,
+                                                std::span<const T> x) const {
+  std::size_t i = roots_[t];
+  while (true) {
+    const FloatNode& n = nodes_[i];
+    if (n.feature < 0) return n.left;  // payload reuse for leaves
+    i = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(n.feature)] <= n.split ? n.left : n.right);
+  }
 }
 
 template <typename T>

@@ -2,9 +2,10 @@
 // "native trees where nodes become an array-like data structure and a
 // narrow loop reads out the node values").
 //
-// Four engines run the same model:
+// Five execution paths run the same model — FloatForestEngine plus the four
+// FlintForestEngine variants:
 //
-//   * FloatEngine           — hardware floating-point comparisons (reference)
+//   * FloatForestEngine     — hardware floating-point comparisons (reference)
 //   * FlintVariant::Encoded — thresholds pre-resolved offline into
 //                             EncodedThreshold (Theorem 2 at build time);
 //                             the hot loop is a single integer compare.
@@ -51,14 +52,33 @@ struct PackedNode {
 template <typename T>
 class FlintForestEngine {
  public:
+  using Signed = typename core::FloatTraits<T>::Signed;
+
   FlintForestEngine(const trees::Forest<T>& forest, FlintVariant variant);
 
   [[nodiscard]] FlintVariant variant() const noexcept { return variant_; }
   [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
   [[nodiscard]] std::size_t tree_count() const noexcept { return roots_.size(); }
+  [[nodiscard]] std::size_t feature_count() const noexcept { return feature_count_; }
 
   /// Majority-vote class for one sample.
   [[nodiscard]] std::int32_t predict(std::span<const T> x) const;
+
+  /// Class predicted by tree `t` alone.  Thread-safe (touches no mutable
+  /// scratch), which makes it the building block of the blocked batch path
+  /// in predict/.  The RadixKey variant reads the remapped feature vector
+  /// from `keys` (see remap_keys); the other variants ignore `keys`.
+  [[nodiscard]] std::int32_t predict_tree(std::size_t t, std::span<const T> x,
+                                          std::span<const Signed> keys = {}) const;
+
+  /// True iff predict_tree requires a remapped key vector (RadixKey).
+  [[nodiscard]] bool needs_keys() const noexcept {
+    return variant_ == FlintVariant::RadixKey;
+  }
+
+  /// Remaps one sample to monotone radix keys; `out` needs feature_count()
+  /// slots.  Thread-safe.  Only meaningful for the RadixKey variant.
+  void remap_keys(std::span<const T> x, std::span<Signed> out) const;
 
   /// Batch prediction; `out` must have one slot per row.
   void predict_batch(const data::Dataset<T>& dataset, std::span<std::int32_t> out) const;
@@ -67,8 +87,6 @@ class FlintForestEngine {
   [[nodiscard]] double accuracy(const data::Dataset<T>& dataset) const;
 
  private:
-  using Signed = typename core::FloatTraits<T>::Signed;
-
   template <FlintVariant V>
   [[nodiscard]] std::int32_t predict_tree_impl(std::size_t root,
                                                std::span<const T> x,
@@ -95,7 +113,10 @@ class FloatForestEngine {
   explicit FloatForestEngine(const trees::Forest<T>& forest);
 
   [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] std::size_t tree_count() const noexcept { return roots_.size(); }
   [[nodiscard]] std::int32_t predict(std::span<const T> x) const;
+  /// Class predicted by tree `t` alone.  Thread-safe.
+  [[nodiscard]] std::int32_t predict_tree(std::size_t t, std::span<const T> x) const;
   void predict_batch(const data::Dataset<T>& dataset, std::span<std::int32_t> out) const;
   [[nodiscard]] double accuracy(const data::Dataset<T>& dataset) const;
 

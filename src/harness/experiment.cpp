@@ -3,9 +3,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <functional>
+#include <memory>
 #include <tuple>
 #include <future>
-#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
@@ -16,9 +16,9 @@
 #include "codegen/cgen_native.hpp"
 #include "data/split.hpp"
 #include "data/synth.hpp"
-#include "exec/interpreter.hpp"
 #include "harness/timer.hpp"
 #include "jit/jit.hpp"
+#include "predict/predictor.hpp"
 #include "trees/tree_stats.hpp"
 
 namespace flint::harness {
@@ -172,18 +172,20 @@ std::vector<RunRecord> run_grid(const GridConfig& config, std::ostream* progress
   }
 
   // --- Phase 3: codegen + JIT compilation (parallel across cell x impl). ----
+  // Each compiled module is wrapped in a predict::JitPredictor so Phase 4
+  // verifies and times every flavor through the same batched API the CLI
+  // and benches use.
   const std::size_t n_jobs = cells.size() * config.impls.size();
-  std::vector<std::optional<jit::JitModule>> modules(n_jobs);
-  std::vector<std::size_t> object_sizes(n_jobs, 0);
+  std::vector<std::unique_ptr<predict::JitPredictor<float>>> predictors(n_jobs);
   jit::JitOptions jopt;
   jopt.opt_level = config.jit_opt_level;
   parallel_for(n_jobs, config.compile_threads, [&](std::size_t j) {
     const std::size_t cell_idx = j / config.impls.size();
     const Impl impl = config.impls[j % config.impls.size()];
-    const auto code = generate_for(cells[cell_idx], impl, config);
-    auto module = jit::compile(code, jopt);
-    object_sizes[j] = module.object_size();
-    modules[j] = std::move(module);
+    const Cell& cell = cells[cell_idx];
+    const auto code = generate_for(cell, impl, config);
+    predictors[j] = std::make_unique<predict::JitPredictor<float>>(
+        code, jopt, cell.forest.num_classes(), cell.forest.feature_count());
   });
 
   // --- Phase 4: verification + timing (serial for stable numbers). ----------
@@ -192,17 +194,18 @@ std::vector<RunRecord> run_grid(const GridConfig& config, std::ostream* progress
   for (std::size_t c = 0; c < cells.size(); ++c) {
     const Cell& cell = cells[c];
     const data::Dataset<float>& test = *cell.test;
-    // Reference predictions from the float interpreter.
+    // Reference predictions from the float interpreter backend.
+    const auto reference_predictor =
+        predict::make_predictor(cell.forest, "float");
     std::vector<std::int32_t> reference(test.rows());
-    const exec::FloatForestEngine<float> ref_engine(cell.forest);
-    ref_engine.predict_batch(test, reference);
+    reference_predictor->predict_batch(test, reference);
 
+    std::vector<std::int32_t> predictions(test.rows());
     double naive_ns = 0.0;
     for (std::size_t k = 0; k < config.impls.size(); ++k) {
       const Impl impl = config.impls[k];
       const std::size_t j = c * config.impls.size() + k;
-      auto* classify =
-          modules[j]->function<jit::ClassifyFn<float>>("forest_classify");
+      const predict::JitPredictor<float>& predictor = *predictors[j];
 
       RunRecord rec;
       rec.dataset = cell.dataset;
@@ -211,11 +214,12 @@ std::vector<RunRecord> run_grid(const GridConfig& config, std::ostream* progress
       rec.impl = impl;
       rec.test_rows = test.rows();
       rec.total_nodes = cell.forest.total_nodes();
-      rec.object_bytes = object_sizes[j];
+      rec.object_bytes = predictor.object_size();
 
       if (config.verify_predictions) {
+        predictor.predict_batch(test, predictions);
         for (std::size_t r = 0; r < test.rows(); ++r) {
-          if (classify(test.row(r).data()) != reference[r]) {
+          if (predictions[r] != reference[r]) {
             throw std::runtime_error(
                 std::string("run_grid: prediction mismatch: ") + to_string(impl) +
                 " on " + cell.dataset + " trees=" + std::to_string(cell.n_trees) +
@@ -226,17 +230,12 @@ std::vector<RunRecord> run_grid(const GridConfig& config, std::ostream* progress
         rec.verified = true;
       }
 
-      // Timed loop: classify every test row once per iteration; the sink
-      // accumulator prevents dead-code elimination.
-      long long sink = 0;
+      // Timed loop: one full batch over the test rows per iteration (the
+      // generated-code backends classify sample by sample under the batch
+      // API, so this is the paper's single-sample cost x rows).
       const auto timing = measure(
-          [&] {
-            for (std::size_t r = 0; r < test.rows(); ++r) {
-              sink += classify(test.row(r).data());
-            }
-          },
+          [&] { predictor.predict_batch(test, predictions); },
           config.min_measure_seconds, config.repetitions);
-      if (sink == -1) std::abort();  // keep `sink` observable
       rec.ns_per_sample = timing.seconds_per_iteration /
                           static_cast<double>(test.rows()) * 1e9;
       if (impl == Impl::Naive) naive_ns = rec.ns_per_sample;
@@ -251,7 +250,7 @@ std::vector<RunRecord> run_grid(const GridConfig& config, std::ostream* progress
     }
     // Free the cell's modules before timing the next cell.
     for (std::size_t k = 0; k < config.impls.size(); ++k) {
-      modules[c * config.impls.size() + k].reset();
+      predictors[c * config.impls.size() + k].reset();
     }
     if (progress != nullptr) {
       *progress << "[cell " << (c + 1) << "/" << cells.size() << "] "

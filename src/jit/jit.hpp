@@ -23,7 +23,7 @@ struct JitOptions {
   std::string compiler = "cc";
   /// Optimization level for the generated code (arch-forest uses -O3; the
   /// harness default is lower to keep large sweeps fast — the *relative*
-  /// comparison between flavors is preserved, see EXPERIMENTS.md).
+  /// comparison between flavors is preserved, see docs/BENCHMARKS.md).
   int opt_level = 2;
   std::vector<std::string> extra_flags;
   /// Keep the scratch directory (sources, .so, compiler log) on disk.

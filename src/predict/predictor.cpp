@@ -1,0 +1,562 @@
+#include "predict/predictor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "codegen/asm_x86.hpp"
+#include "codegen/cgen_cags.hpp"
+#include "codegen/cgen_ifelse.hpp"
+#include "codegen/cgen_native.hpp"
+#include "exec/interpreter.hpp"
+
+namespace flint::predict {
+
+// ---------------------------------------------------------------------------
+// Predictor base: shape validation + conveniences.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+void Predictor<T>::predict_batch(std::span<const T> features,
+                                 std::size_t n_samples,
+                                 std::span<std::int32_t> out) const {
+  if (features.size() != n_samples * feature_count()) {
+    throw std::invalid_argument(
+        "predict_batch: feature span holds " + std::to_string(features.size()) +
+        " values, expected " + std::to_string(n_samples * feature_count()) +
+        " (" + std::to_string(n_samples) + " samples x " +
+        std::to_string(feature_count()) + " features)");
+  }
+  if (out.size() < n_samples) {
+    throw std::invalid_argument("predict_batch: output span too small");
+  }
+  if (n_samples == 0) return;
+  do_predict_batch(features.data(), n_samples, out.data());
+}
+
+template <typename T>
+void Predictor<T>::predict_batch(const data::Dataset<T>& dataset,
+                                 std::span<std::int32_t> out) const {
+  if (dataset.cols() < feature_count()) {
+    throw std::invalid_argument(
+        "predict_batch: dataset has fewer features than the model");
+  }
+  if (out.size() < dataset.rows()) {
+    throw std::invalid_argument("predict_batch: output span too small");
+  }
+  if (dataset.cols() == feature_count()) {
+    predict_batch(dataset.values(), dataset.rows(), out);
+    return;
+  }
+  // Wider dataset: the row stride differs from the model width, so rows are
+  // classified one by one over their leading feature_count() values.
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    out[r] = predict_one(dataset.row(r).first(feature_count()));
+  }
+}
+
+template <typename T>
+std::int32_t Predictor<T>::predict_one(std::span<const T> x) const {
+  std::int32_t result = -1;
+  predict_batch(x.first(feature_count()), 1, {&result, 1});
+  return result;
+}
+
+template <typename T>
+double Predictor<T>::accuracy(const data::Dataset<T>& dataset) const {
+  if (dataset.empty()) return 0.0;
+  std::vector<std::int32_t> out(dataset.rows());
+  predict_batch(dataset, out);
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    if (out[r] == dataset.label(r)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(dataset.rows());
+}
+
+namespace {
+
+/// First-maximum argmax over one sample's vote row — the exact tie rule of
+/// Forest::predict (lowest class id wins on equal votes).
+std::int32_t argmax_votes(const int* votes, int num_classes) {
+  std::int32_t best = 0;
+  for (int c = 1; c < num_classes; ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return best;
+}
+
+/// Trees per inner group of the blocked loop: small enough that a group's
+/// node arrays and the block's vote matrix stay cache-resident together.
+constexpr std::size_t kTreeGroup = 16;
+
+// ---------------------------------------------------------------------------
+// Interpreter backends: blocked batch over engine.predict_tree.
+//
+// Layout of the hot loop (the tentpole's cache story): samples are cut into
+// blocks of `block_size`; within a block, trees are visited group by group
+// and each tree classifies every sample of the block before the next tree
+// is touched.  A tree's node array is therefore streamed through the cache
+// once per block instead of once per sample, and the B x C vote matrix is
+// the only state carried across groups.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class FlintEnginePredictor final : public Predictor<T> {
+ public:
+  FlintEnginePredictor(const trees::Forest<T>& forest,
+                       exec::FlintVariant variant, std::size_t block_size)
+      : engine_(forest, variant),
+        block_size_(std::max<std::size_t>(block_size, 1)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return exec::to_string(engine_.variant());
+  }
+  [[nodiscard]] int num_classes() const noexcept override {
+    return engine_.num_classes();
+  }
+  [[nodiscard]] std::size_t feature_count() const noexcept override {
+    return engine_.feature_count();
+  }
+
+ protected:
+  void do_predict_batch(const T* features, std::size_t n_samples,
+                        std::int32_t* out) const override {
+    using Signed = typename exec::FlintForestEngine<T>::Signed;
+    const std::size_t cols = engine_.feature_count();
+    const auto classes =
+        static_cast<std::size_t>(std::max(engine_.num_classes(), 1));
+    const std::size_t trees = engine_.tree_count();
+    std::vector<int> votes(block_size_ * classes);
+    std::vector<Signed> keys(engine_.needs_keys() ? block_size_ * cols : 0);
+
+    for (std::size_t base = 0; base < n_samples; base += block_size_) {
+      const std::size_t block = std::min(block_size_, n_samples - base);
+      std::fill(votes.begin(), votes.begin() + block * classes, 0);
+      if (engine_.needs_keys()) {
+        for (std::size_t s = 0; s < block; ++s) {
+          engine_.remap_keys({features + (base + s) * cols, cols},
+                             {keys.data() + s * cols, cols});
+        }
+      }
+      for (std::size_t group = 0; group < trees; group += kTreeGroup) {
+        const std::size_t group_end = std::min(group + kTreeGroup, trees);
+        for (std::size_t t = group; t < group_end; ++t) {
+          for (std::size_t s = 0; s < block; ++s) {
+            const std::span<const Signed> key_row =
+                keys.empty() ? std::span<const Signed>{}
+                             : std::span<const Signed>{keys.data() + s * cols,
+                                                       cols};
+            const std::int32_t c = engine_.predict_tree(
+                t, {features + (base + s) * cols, cols}, key_row);
+            ++votes[s * classes + static_cast<std::size_t>(c)];
+          }
+        }
+      }
+      for (std::size_t s = 0; s < block; ++s) {
+        out[base + s] = argmax_votes(votes.data() + s * classes,
+                                     static_cast<int>(classes));
+      }
+    }
+  }
+
+ private:
+  exec::FlintForestEngine<T> engine_;
+  std::size_t block_size_;
+};
+
+template <typename T>
+class FloatEnginePredictor final : public Predictor<T> {
+ public:
+  FloatEnginePredictor(const trees::Forest<T>& forest, std::size_t block_size)
+      : engine_(forest),
+        feature_count_(forest.feature_count()),
+        block_size_(std::max<std::size_t>(block_size, 1)) {}
+
+  [[nodiscard]] std::string name() const override { return "float"; }
+  [[nodiscard]] int num_classes() const noexcept override {
+    return engine_.num_classes();
+  }
+  [[nodiscard]] std::size_t feature_count() const noexcept override {
+    return feature_count_;
+  }
+
+ protected:
+  void do_predict_batch(const T* features, std::size_t n_samples,
+                        std::int32_t* out) const override {
+    const std::size_t cols = feature_count_;
+    const auto classes =
+        static_cast<std::size_t>(std::max(engine_.num_classes(), 1));
+    const std::size_t trees = engine_.tree_count();
+    std::vector<int> votes(block_size_ * classes);
+    for (std::size_t base = 0; base < n_samples; base += block_size_) {
+      const std::size_t block = std::min(block_size_, n_samples - base);
+      std::fill(votes.begin(), votes.begin() + block * classes, 0);
+      for (std::size_t group = 0; group < trees; group += kTreeGroup) {
+        const std::size_t group_end = std::min(group + kTreeGroup, trees);
+        for (std::size_t t = group; t < group_end; ++t) {
+          for (std::size_t s = 0; s < block; ++s) {
+            const std::int32_t c =
+                engine_.predict_tree(t, {features + (base + s) * cols, cols});
+            ++votes[s * classes + static_cast<std::size_t>(c)];
+          }
+        }
+      }
+      for (std::size_t s = 0; s < block; ++s) {
+        out[base + s] = argmax_votes(votes.data() + s * classes,
+                                     static_cast<int>(classes));
+      }
+    }
+  }
+
+ private:
+  exec::FloatForestEngine<T> engine_;
+  std::size_t feature_count_;
+  std::size_t block_size_;
+};
+
+/// Semantics baseline: per-sample Forest::predict over an owned model copy.
+template <typename T>
+class ReferencePredictor final : public Predictor<T> {
+ public:
+  explicit ReferencePredictor(trees::Forest<T> forest)
+      : forest_(std::move(forest)) {
+    if (forest_.empty()) {
+      throw std::invalid_argument("ReferencePredictor: empty forest");
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "reference"; }
+  [[nodiscard]] int num_classes() const noexcept override {
+    return forest_.num_classes();
+  }
+  [[nodiscard]] std::size_t feature_count() const noexcept override {
+    return forest_.feature_count();
+  }
+
+ protected:
+  void do_predict_batch(const T* features, std::size_t n_samples,
+                        std::int32_t* out) const override {
+    const std::size_t cols = forest_.feature_count();
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      out[s] = forest_.predict({features + s * cols, cols});
+    }
+  }
+
+ private:
+  trees::Forest<T> forest_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JitPredictor.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+JitPredictor<T>::JitPredictor(jit::JitModule module, const std::string& symbol,
+                              std::string flavor, int num_classes,
+                              std::size_t feature_count)
+    : module_(std::make_shared<jit::JitModule>(std::move(module))),
+      flavor_(std::move(flavor)),
+      num_classes_(num_classes),
+      feature_count_(feature_count) {
+  classify_ = module_->function<jit::ClassifyFn<T>>(symbol);
+}
+
+template <typename T>
+JitPredictor<T>::JitPredictor(const codegen::GeneratedCode& code,
+                              const jit::JitOptions& jopt, int num_classes,
+                              std::size_t feature_count)
+    : JitPredictor(jit::compile(code, jopt), code.classify_symbol, code.flavor,
+                   num_classes, feature_count) {}
+
+template <typename T>
+void JitPredictor<T>::do_predict_batch(const T* features, std::size_t n_samples,
+                                       std::int32_t* out) const {
+  const std::size_t cols = feature_count_;
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    out[s] = classify_(features + s * cols);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParallelPredictor: persistent jthread pool, atomic block cursor.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct ParallelPredictor<T>::Pool {
+  struct Job {
+    const T* features = nullptr;
+    std::int32_t* out = nullptr;
+    std::size_t n = 0;
+    std::size_t block = 1;
+    std::atomic<std::size_t> next{0};
+  };
+
+  Pool(const Predictor<T>& inner, unsigned workers) : inner(inner) {
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads.emplace_back([this](std::stop_token st) { worker_loop(st); });
+    }
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard lk(m);
+      for (auto& t : threads) t.request_stop();
+    }
+    cv.notify_all();
+    // jthread destructors join.
+  }
+
+  void worker_loop(std::stop_token st) {
+    std::uint64_t seen = 0;
+    while (true) {
+      Job* job = nullptr;
+      {
+        std::unique_lock lk(m);
+        cv.wait(lk, st, [&] { return generation != seen; });
+        if (generation == seen) return;  // woken by stop request
+        seen = generation;
+        job = current;
+      }
+      drain(*job);
+      {
+        std::lock_guard lk(m);
+        ++finished;
+      }
+      done_cv.notify_all();
+    }
+  }
+
+  /// Pulls blocks off the shared cursor until the job is exhausted.  Runs
+  /// on every worker and on the calling thread.
+  void drain(Job& job) {
+    const std::size_t cols = inner.feature_count();
+    while (true) {
+      const std::size_t start =
+          job.next.fetch_add(job.block, std::memory_order_relaxed);
+      if (start >= job.n) return;
+      const std::size_t count = std::min(job.block, job.n - start);
+      try {
+        inner.predict_batch({job.features + start * cols, count * cols}, count,
+                            {job.out + start, count});
+      } catch (...) {
+        std::lock_guard lk(m);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  }
+
+  /// Publishes the job, participates in it, waits for all workers, and
+  /// rethrows the first worker exception if any.
+  void run(Job& job) {
+    std::lock_guard serialize(job_mutex);  // one batch at a time per pool
+    {
+      std::lock_guard lk(m);
+      current = &job;
+      finished = 0;
+      error = nullptr;
+      ++generation;
+    }
+    cv.notify_all();
+    drain(job);
+    {
+      std::unique_lock lk(m);
+      done_cv.wait(lk, [&] { return finished == threads.size(); });
+      current = nullptr;
+      if (error) {
+        auto e = error;
+        error = nullptr;
+        std::rethrow_exception(e);
+      }
+    }
+  }
+
+  const Predictor<T>& inner;
+  std::mutex job_mutex;
+  std::mutex m;
+  std::condition_variable_any cv;
+  std::condition_variable done_cv;
+  std::uint64_t generation = 0;
+  std::size_t finished = 0;
+  Job* current = nullptr;
+  std::exception_ptr error;
+  std::vector<std::jthread> threads;
+};
+
+template <typename T>
+ParallelPredictor<T>::ParallelPredictor(std::unique_ptr<Predictor<T>> inner,
+                                        unsigned threads,
+                                        std::size_t block_size)
+    : inner_(std::move(inner)),
+      block_size_(std::max<std::size_t>(block_size, 1)) {
+  if (!inner_) {
+    throw std::invalid_argument("ParallelPredictor: null inner predictor");
+  }
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in every batch, so the pool itself only
+  // needs threads - 1 workers; one "thread" means plain inline execution.
+  pool_ = std::make_unique<Pool>(*inner_, threads - 1);
+}
+
+template <typename T>
+ParallelPredictor<T>::~ParallelPredictor() = default;
+
+template <typename T>
+std::string ParallelPredictor<T>::name() const {
+  return "parallel(" + inner_->name() + ",x" +
+         std::to_string(thread_count()) + ")";
+}
+
+template <typename T>
+unsigned ParallelPredictor<T>::thread_count() const noexcept {
+  return static_cast<unsigned>(pool_->threads.size()) + 1;
+}
+
+template <typename T>
+void ParallelPredictor<T>::do_predict_batch(const T* features,
+                                            std::size_t n_samples,
+                                            std::int32_t* out) const {
+  // Small batches are not worth the wakeup: run inline.
+  if (pool_->threads.empty() || n_samples <= block_size_) {
+    inner_->predict_batch({features, n_samples * inner_->feature_count()},
+                          n_samples, {out, n_samples});
+    return;
+  }
+  typename Pool::Job job;
+  job.features = features;
+  job.out = out;
+  job.n = n_samples;
+  job.block = block_size_;
+  pool_->run(job);
+}
+
+// ---------------------------------------------------------------------------
+// Factory.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> interpreter_backends() {
+  return {"reference", "float", "encoded", "theorem1", "theorem2", "radix"};
+}
+
+std::vector<std::string> jit_backends() {
+  return {"jit:ifelse-float", "jit:ifelse-flint", "jit:native-float",
+          "jit:native-flint", "jit:cags-float", "jit:cags-flint",
+          "jit:asm-x86"};
+}
+
+std::string backend_help() {
+  std::string help;
+  for (const auto& name : interpreter_backends()) {
+    if (!help.empty()) help += "|";
+    help += name;
+  }
+  help += "|flint";
+  for (const auto& name : jit_backends()) {
+    help += "|" + name;
+  }
+  return help;
+}
+
+namespace {
+
+template <typename T>
+std::unique_ptr<Predictor<T>> make_jit_predictor(
+    const trees::Forest<T>& forest, std::string_view flavor,
+    const PredictorOptions& options) {
+  codegen::CGenOptions copt;
+  copt.prefix = "forest";
+  codegen::GeneratedCode code;
+  if (flavor == "ifelse-float" || flavor == "ifelse-flint") {
+    copt.flint = flavor == "ifelse-flint";
+    code = codegen::generate_ifelse(forest, copt);
+  } else if (flavor == "native-float" || flavor == "native-flint") {
+    copt.flint = flavor == "native-flint";
+    code = codegen::generate_native(forest, copt);
+  } else if (flavor == "cags-float" || flavor == "cags-flint") {
+    if (options.branch_stats.size() != forest.size()) {
+      throw std::invalid_argument(
+          "make_predictor: jit:cags-* needs PredictorOptions::branch_stats "
+          "(one entry per tree; see trees::collect_branch_stats)");
+    }
+    copt.flint = flavor == "cags-flint";
+    code = codegen::generate_cags(
+        forest,
+        std::vector<trees::BranchStats>(options.branch_stats.begin(),
+                                        options.branch_stats.end()),
+        copt);
+  } else if (flavor == "asm-x86") {
+    code = codegen::generate_asm_x86(forest, copt);
+  } else {
+    throw std::invalid_argument("make_predictor: unknown backend 'jit:" +
+                                std::string(flavor) + "' (" + backend_help() +
+                                ")");
+  }
+  return std::make_unique<JitPredictor<T>>(code, options.jit,
+                                           forest.num_classes(),
+                                           forest.feature_count());
+}
+
+}  // namespace
+
+template <typename T>
+std::unique_ptr<Predictor<T>> make_predictor(const trees::Forest<T>& forest,
+                                             std::string_view backend,
+                                             const PredictorOptions& options) {
+  std::unique_ptr<Predictor<T>> predictor;
+  if (backend == "reference") {
+    predictor = std::make_unique<ReferencePredictor<T>>(forest);
+  } else if (backend == "float") {
+    predictor =
+        std::make_unique<FloatEnginePredictor<T>>(forest, options.block_size);
+  } else if (backend == "flint" || backend == "encoded") {
+    predictor = std::make_unique<FlintEnginePredictor<T>>(
+        forest, exec::FlintVariant::Encoded, options.block_size);
+  } else if (backend == "theorem1") {
+    predictor = std::make_unique<FlintEnginePredictor<T>>(
+        forest, exec::FlintVariant::Theorem1, options.block_size);
+  } else if (backend == "theorem2") {
+    predictor = std::make_unique<FlintEnginePredictor<T>>(
+        forest, exec::FlintVariant::Theorem2, options.block_size);
+  } else if (backend == "radix") {
+    predictor = std::make_unique<FlintEnginePredictor<T>>(
+        forest, exec::FlintVariant::RadixKey, options.block_size);
+  } else if (backend.rfind("jit:", 0) == 0) {
+    predictor = make_jit_predictor(forest, backend.substr(4), options);
+  } else {
+    throw std::invalid_argument("make_predictor: unknown backend '" +
+                                std::string(backend) + "' (" + backend_help() +
+                                ")");
+  }
+  if (options.threads != 1) {
+    // The parallel chunk must be at least the cache block, or the chunking
+    // would silently cap the blocked backends' block_size.
+    predictor = std::make_unique<ParallelPredictor<T>>(
+        std::move(predictor), options.threads,
+        std::max<std::size_t>(options.block_size, 256));
+  }
+  return predictor;
+}
+
+template class Predictor<float>;
+template class Predictor<double>;
+template class JitPredictor<float>;
+template class JitPredictor<double>;
+template class ParallelPredictor<float>;
+template class ParallelPredictor<double>;
+template std::unique_ptr<Predictor<float>> make_predictor<float>(
+    const trees::Forest<float>&, std::string_view, const PredictorOptions&);
+template std::unique_ptr<Predictor<double>> make_predictor<double>(
+    const trees::Forest<double>&, std::string_view, const PredictorOptions&);
+
+}  // namespace flint::predict

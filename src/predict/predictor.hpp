@@ -1,0 +1,198 @@
+// predict/predictor — the batched, backend-agnostic inference layer.
+//
+// Every way this repo can execute a forest — the float reference
+// interpreter, the four FLInt interpreter variants, per-sample
+// Forest::predict, and JIT-compiled generated code — is wrapped behind one
+// interface:
+//
+//     predictor->predict_batch(features, n_samples, out);
+//
+// so the CLI, the experiment harness, the benches and the tests stop
+// hand-rolling engine selection.  Backends are created by name through
+// make_predictor (see backend_help() for the vocabulary), and any predictor
+// can be wrapped in a ParallelPredictor to spread a batch over a worker
+// pool.
+//
+// Contracts every implementation obeys:
+//
+//   * predict_batch is bit-identical to per-sample Forest::predict on the
+//     same model for every non-NaN input (property-tested in
+//     tests/test_predictor.cpp) — the paper's "accuracy unchanged" claim
+//     extended to the batched path;
+//   * do_predict_batch is const-thread-safe: concurrent calls on one object
+//     from different threads must not race.  All vote/key scratch is
+//     function-local, which is what lets ParallelPredictor partition a
+//     batch without cloning backends.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "codegen/emit.hpp"
+#include "data/dataset.hpp"
+#include "jit/jit.hpp"
+#include "trees/forest.hpp"
+#include "trees/tree_stats.hpp"
+
+namespace flint::predict {
+
+/// Abstract batched forest classifier over feature scalar T.
+template <typename T>
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Backend id, e.g. "encoded", "jit:ifelse-flint", "parallel(float,x4)".
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual int num_classes() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t feature_count() const noexcept = 0;
+
+  /// Classifies `n_samples` row-major samples.  `features` must hold exactly
+  /// `n_samples * feature_count()` values and `out` at least one slot per
+  /// sample; throws std::invalid_argument otherwise.
+  void predict_batch(std::span<const T> features, std::size_t n_samples,
+                     std::span<std::int32_t> out) const;
+
+  /// Convenience overload over a Dataset's backing storage.
+  void predict_batch(const data::Dataset<T>& dataset,
+                     std::span<std::int32_t> out) const;
+
+  /// Single-sample convenience (a batch of one).
+  [[nodiscard]] std::int32_t predict_one(std::span<const T> x) const;
+
+  /// Fraction of dataset rows classified as labeled.
+  [[nodiscard]] double accuracy(const data::Dataset<T>& dataset) const;
+
+ protected:
+  /// Shape-checked batch hook; must be const-thread-safe (see file comment).
+  virtual void do_predict_batch(const T* features, std::size_t n_samples,
+                                std::int32_t* out) const = 0;
+};
+
+/// Knobs for make_predictor.
+struct PredictorOptions {
+  /// Samples per cache block of the blocked interpreter backends: each
+  /// block's votes are accumulated tree-group by tree-group so a tree's
+  /// node array is read once per block instead of once per sample.
+  std::size_t block_size = 64;
+  /// > 1 wraps the backend in a ParallelPredictor with this many workers;
+  /// 0 means hardware_concurrency().
+  unsigned threads = 1;
+  /// Compiler settings for the "jit:" backends.
+  jit::JitOptions jit;
+  /// Per-tree branch statistics; required by the "jit:cags-*" backends.
+  std::span<const trees::BranchStats> branch_stats;
+};
+
+/// Builds a predictor for `backend` from a trained forest.  The forest does
+/// not need to outlive the predictor.  Throws std::invalid_argument for an
+/// unknown backend name (message lists the vocabulary) and propagates JIT
+/// compilation failures.  Backends:
+///
+///   reference                 per-sample Forest::predict (votes allocated
+///                             per call; the semantics baseline)
+///   float                     FloatForestEngine, blocked batch
+///   flint | encoded           FlintForestEngine/Encoded, blocked batch
+///   theorem1 | theorem2       runtime Theorem formulations, blocked batch
+///   radix                     RadixKey remap engine, blocked batch
+///   jit:ifelse-float          generated if-else C, hardware-float compares
+///   jit:ifelse-flint          generated if-else C, FLInt integer compares
+///   jit:native-float          generated array-walking native tree, float
+///   jit:native-flint          generated native tree, FLInt
+///   jit:cags-float            CAGS kernel layout (needs branch_stats)
+///   jit:cags-flint            CAGS + FLInt (needs branch_stats)
+///   jit:asm-x86               direct x86-64 assembly backend
+template <typename T>
+[[nodiscard]] std::unique_ptr<Predictor<T>> make_predictor(
+    const trees::Forest<T>& forest, std::string_view backend,
+    const PredictorOptions& options = {});
+
+/// Backend names that need no JIT toolchain (interpreters + reference).
+[[nodiscard]] std::vector<std::string> interpreter_backends();
+/// Backend names routed through codegen + in-process compilation.
+[[nodiscard]] std::vector<std::string> jit_backends();
+/// One-line vocabulary string for CLI usage/error messages.
+[[nodiscard]] std::string backend_help();
+
+/// Wraps a JIT-loaded classify symbol (ABI: `int f(const T*)`).  Owns the
+/// module; copies of the predictor share it.  Used by make_predictor for
+/// the "jit:" backends and directly by the experiment harness, which
+/// compiles its grid of modules up front.
+template <typename T>
+class JitPredictor final : public Predictor<T> {
+ public:
+  /// Takes ownership of a loaded module and resolves `symbol` in it.
+  JitPredictor(jit::JitModule module, const std::string& symbol,
+               std::string flavor, int num_classes, std::size_t feature_count);
+  /// Compiles `code` and resolves its classify symbol.
+  JitPredictor(const codegen::GeneratedCode& code, const jit::JitOptions& jopt,
+               int num_classes, std::size_t feature_count);
+
+  [[nodiscard]] std::string name() const override { return "jit:" + flavor_; }
+  [[nodiscard]] int num_classes() const noexcept override { return num_classes_; }
+  [[nodiscard]] std::size_t feature_count() const noexcept override {
+    return feature_count_;
+  }
+  /// Size in bytes of the underlying shared object.
+  [[nodiscard]] std::size_t object_size() const noexcept {
+    return module_->object_size();
+  }
+
+ protected:
+  void do_predict_batch(const T* features, std::size_t n_samples,
+                        std::int32_t* out) const override;
+
+ private:
+  std::shared_ptr<jit::JitModule> module_;
+  jit::ClassifyFn<T>* classify_ = nullptr;
+  std::string flavor_;
+  int num_classes_ = 0;
+  std::size_t feature_count_ = 0;
+};
+
+/// Decorator that spreads predict_batch over a persistent std::jthread
+/// worker pool.  Samples are handed out in blocks through an atomic cursor,
+/// so results are bit-identical for every thread count (each sample's
+/// prediction is independent).  Vote scratch lives inside the inner
+/// backend's function-local buffers, one set per worker by construction.
+template <typename T>
+class ParallelPredictor final : public Predictor<T> {
+ public:
+  /// `threads == 0` means hardware_concurrency(); `block_size` is the unit
+  /// of work handed to a worker (samples).
+  ParallelPredictor(std::unique_ptr<Predictor<T>> inner, unsigned threads,
+                    std::size_t block_size = 256);
+  ~ParallelPredictor() override;
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int num_classes() const noexcept override {
+    return inner_->num_classes();
+  }
+  [[nodiscard]] std::size_t feature_count() const noexcept override {
+    return inner_->feature_count();
+  }
+  [[nodiscard]] unsigned thread_count() const noexcept;
+
+ protected:
+  void do_predict_batch(const T* features, std::size_t n_samples,
+                        std::int32_t* out) const override;
+
+ private:
+  struct Pool;  // jthread worker pool (definition in predictor.cpp)
+  std::unique_ptr<Predictor<T>> inner_;
+  std::unique_ptr<Pool> pool_;
+  std::size_t block_size_;
+};
+
+extern template class Predictor<float>;
+extern template class Predictor<double>;
+extern template class JitPredictor<float>;
+extern template class JitPredictor<double>;
+extern template class ParallelPredictor<float>;
+extern template class ParallelPredictor<double>;
+
+}  // namespace flint::predict

@@ -1,0 +1,256 @@
+// Property tests for the predict/ subsystem: predict_batch over every
+// backend must be bit-identical to per-sample Forest::predict on synthetic
+// forests — including adversarial inputs (exact split hits, signed zeros,
+// denormals, infinities) — and ParallelPredictor results must be invariant
+// under thread count and block size.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "data/split.hpp"
+#include "data/synth.hpp"
+#include "predict/predictor.hpp"
+#include "trees/forest.hpp"
+#include "trees/tree_stats.hpp"
+
+namespace {
+
+using flint::predict::make_predictor;
+using flint::predict::ParallelPredictor;
+using flint::predict::Predictor;
+using flint::predict::PredictorOptions;
+
+/// Builds an adversarial row-major feature matrix: a mix of the forest's
+/// own split values (boundary hits), special float patterns, and uniform
+/// randoms.  Deterministic in `seed`.
+std::vector<float> adversarial_features(const flint::trees::Forest<float>& forest,
+                                        std::size_t n_samples,
+                                        std::uint64_t seed) {
+  std::vector<float> splits;
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    for (const auto& n : forest.tree(t).nodes()) {
+      if (!n.is_leaf()) splits.push_back(n.split);
+    }
+  }
+  const float specials[] = {0.0f, -0.0f,
+                            std::numeric_limits<float>::denorm_min(),
+                            -std::numeric_limits<float>::denorm_min(),
+                            std::numeric_limits<float>::infinity(),
+                            -std::numeric_limits<float>::infinity(),
+                            std::numeric_limits<float>::max(),
+                            std::numeric_limits<float>::lowest()};
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick_split(0, splits.size() - 1);
+  std::uniform_int_distribution<std::size_t> pick_special(0, std::size(specials) - 1);
+  std::uniform_int_distribution<int> kind(0, 3);
+  std::uniform_real_distribution<float> uniform(-100.0f, 100.0f);
+  std::vector<float> features(n_samples * forest.feature_count());
+  for (auto& v : features) {
+    switch (kind(rng)) {
+      case 0: v = splits[pick_split(rng)]; break;
+      case 1: v = specials[pick_special(rng)]; break;
+      default: v = uniform(rng);
+    }
+  }
+  return features;
+}
+
+class TrainedForest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto full =
+        flint::data::generate<float>(flint::data::magic_spec(), 7, 1500);
+    split_ = flint::data::train_test_split(full, 0.25, 7);
+    flint::trees::ForestOptions opt;
+    opt.n_trees = 7;
+    opt.tree.max_depth = 9;
+    opt.tree.max_features = flint::trees::TrainOptions::kSqrtFeatures;
+    forest_ = flint::trees::train_forest(split_.train, opt);
+    stats_ = flint::trees::collect_branch_stats(forest_, split_.train);
+  }
+
+  /// Per-sample Forest::predict over a flat feature matrix — the reference.
+  std::vector<std::int32_t> reference(const std::vector<float>& features) const {
+    const std::size_t cols = forest_.feature_count();
+    std::vector<std::int32_t> out(features.size() / cols);
+    for (std::size_t s = 0; s < out.size(); ++s) {
+      out[s] = forest_.predict({features.data() + s * cols, cols});
+    }
+    return out;
+  }
+
+  flint::data::TrainTestSplit<float> split_;
+  flint::trees::Forest<float> forest_;
+  std::vector<flint::trees::BranchStats> stats_;
+};
+
+class BackendEquivalence
+    : public TrainedForest,
+      public ::testing::WithParamInterface<std::string> {};
+
+TEST_P(BackendEquivalence, BatchMatchesForestPredictOnAdversarialInputs) {
+  PredictorOptions opt;
+  opt.branch_stats = stats_;  // needed by jit:cags-*
+  const auto predictor = make_predictor(forest_, GetParam(), opt);
+  EXPECT_EQ(predictor->num_classes(), forest_.num_classes());
+  EXPECT_EQ(predictor->feature_count(), forest_.feature_count());
+
+  const std::size_t n = 700;  // not a multiple of the default block size
+  const auto features = adversarial_features(forest_, n, 99);
+  const auto expected = reference(features);
+  std::vector<std::int32_t> out(n, -1);
+  predictor->predict_batch(features, n, out);
+  for (std::size_t s = 0; s < n; ++s) {
+    ASSERT_EQ(out[s], expected[s])
+        << GetParam() << " diverges from Forest::predict at sample " << s;
+  }
+
+  // predict_one agrees with the batch path.
+  const std::size_t cols = forest_.feature_count();
+  for (std::size_t s = 0; s < 20; ++s) {
+    ASSERT_EQ(predictor->predict_one({features.data() + s * cols, cols}),
+              expected[s]);
+  }
+
+  // Dataset overload agrees on the real test split.
+  std::vector<std::int32_t> ds_out(split_.test.rows());
+  predictor->predict_batch(split_.test, ds_out);
+  for (std::size_t r = 0; r < split_.test.rows(); ++r) {
+    ASSERT_EQ(ds_out[r], forest_.predict(split_.test.row(r))) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InterpreterBackends, BackendEquivalence,
+    ::testing::Values("reference", "float", "flint", "encoded", "theorem1",
+                      "theorem2", "radix"),
+    [](const auto& info) { return info.param; });
+
+INSTANTIATE_TEST_SUITE_P(
+    JitBackends, BackendEquivalence,
+    ::testing::Values("jit:ifelse-float", "jit:ifelse-flint",
+                      "jit:native-float", "jit:native-flint", "jit:cags-float",
+                      "jit:cags-flint", "jit:asm-x86"),
+    [](const auto& info) {
+      std::string name = info.param.substr(4);
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST_F(TrainedForest, BlockSizeDoesNotChangeResults) {
+  const std::size_t n = 523;  // prime: exercises every partial-block path
+  const auto features = adversarial_features(forest_, n, 5);
+  const auto expected = reference(features);
+  for (const std::size_t block : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{64}, std::size_t{1024}}) {
+    PredictorOptions opt;
+    opt.block_size = block;
+    for (const char* backend : {"float", "encoded", "radix"}) {
+      const auto predictor = make_predictor(forest_, backend, opt);
+      std::vector<std::int32_t> out(n);
+      predictor->predict_batch(features, n, out);
+      ASSERT_EQ(out, expected) << backend << " block=" << block;
+    }
+  }
+}
+
+TEST_F(TrainedForest, ParallelPredictorInvariantUnderThreadCount) {
+  const std::size_t n = 2311;
+  const auto features = adversarial_features(forest_, n, 13);
+  const auto expected = reference(features);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    for (const char* backend : {"encoded", "float"}) {
+      // Small parallel block size so every worker count actually splits the
+      // batch into many chunks.
+      ParallelPredictor<float> parallel(make_predictor(forest_, backend),
+                                        threads, /*block_size=*/128);
+      EXPECT_EQ(parallel.thread_count(), threads);
+      std::vector<std::int32_t> out(n);
+      parallel.predict_batch(features, n, out);
+      ASSERT_EQ(out, expected) << backend << " threads=" << threads;
+    }
+  }
+}
+
+TEST_F(TrainedForest, ParallelViaFactoryAndRepeatedBatches) {
+  PredictorOptions opt;
+  opt.threads = 4;
+  const auto predictor = make_predictor(forest_, "encoded", opt);
+  EXPECT_EQ(predictor->name(), "parallel(encoded,x4)");
+  const auto features = adversarial_features(forest_, 900, 21);
+  const auto expected = reference(features);
+  // The pool is persistent: reuse across several batches must be stable.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::int32_t> out(900);
+    predictor->predict_batch(features, 900, out);
+    ASSERT_EQ(out, expected) << "round " << round;
+  }
+  // Tiny batches take the inline path.
+  EXPECT_EQ(predictor->predict_one({features.data(), forest_.feature_count()}),
+            expected[0]);
+}
+
+TEST_F(TrainedForest, ShapeValidation) {
+  const auto predictor = make_predictor(forest_, "encoded");
+  std::vector<float> features(forest_.feature_count() * 4);
+  std::vector<std::int32_t> out(4);
+  EXPECT_NO_THROW(predictor->predict_batch(features, 4, out));
+  // Wrong feature count for the sample count.
+  EXPECT_THROW(predictor->predict_batch(features, 5, out),
+               std::invalid_argument);
+  // Output too small.
+  std::vector<std::int32_t> small(3);
+  EXPECT_THROW(predictor->predict_batch(features, 4, small),
+               std::invalid_argument);
+}
+
+TEST_F(TrainedForest, UnknownBackendThrowsWithVocabulary) {
+  try {
+    (void)make_predictor(forest_, "warp");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("warp"), std::string::npos);
+    EXPECT_NE(message.find("theorem1"), std::string::npos) << message;
+  }
+  // jit:cags-* without branch stats is rejected up front.
+  EXPECT_THROW((void)make_predictor(forest_, "jit:cags-flint"),
+               std::invalid_argument);
+}
+
+TEST(PredictorDouble, DoubleWidthBackendsMatchForestPredict) {
+  const auto full =
+      flint::data::generate<double>(flint::data::wine_spec(), 3, 800);
+  flint::trees::ForestOptions opt;
+  opt.n_trees = 4;
+  opt.tree.max_depth = 8;
+  const auto forest = flint::trees::train_forest(full, opt);
+  for (const char* backend : {"reference", "float", "encoded", "theorem1",
+                              "theorem2", "radix", "jit:ifelse-flint"}) {
+    const auto predictor = make_predictor(forest, backend);
+    std::vector<std::int32_t> out(full.rows());
+    predictor->predict_batch(full, out);
+    for (std::size_t r = 0; r < full.rows(); ++r) {
+      ASSERT_EQ(out[r], forest.predict(full.row(r)))
+          << backend << " row " << r;
+    }
+  }
+}
+
+TEST(PredictorNames, BackendListsAreConsistent) {
+  const auto interp = flint::predict::interpreter_backends();
+  EXPECT_EQ(interp.size(), 6u);
+  const auto jit = flint::predict::jit_backends();
+  EXPECT_EQ(jit.size(), 7u);
+  const auto help = flint::predict::backend_help();
+  for (const auto& name : interp) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,40 @@
+#!/bin/sh
+# check_docs.sh — fail if sources or docs reference repo files that do not
+# exist.  Scans for mentions of markdown files and of the doc-suite paths in
+# comments; every referenced name must resolve somewhere in the tree.
+# Invoked by the CMake `docs-check` target and by CI.
+set -eu
+
+root=${1:-.}
+cd "$root"
+
+status=0
+
+# Every *.md file name mentioned in sources, docs, or the README family
+# must exist in the repository (anywhere — references are by file name).
+mentions=$(grep -rhoE '[A-Za-z0-9_./-]*[A-Za-z0-9_-]+\.md' \
+    --include='*.cpp' --include='*.hpp' --include='*.h' --include='*.md' \
+    --include='*.sh' --include='*.yml' --include='CMakeLists.txt' \
+    src bench tests tools examples docs README.md CMakeLists.txt \
+    2>/dev/null | sort -u)
+
+for ref in $mentions; do
+    name=$(basename "$ref")
+    if ! find . -path ./build -prune -o -name "$name" -print | grep -q .; then
+        echo "docs-check: dangling reference to '$ref' (no file named '$name' in the repo)" >&2
+        status=1
+    fi
+done
+
+# The doc suite itself must exist.
+for doc in README.md docs/ARCHITECTURE.md docs/BENCHMARKS.md; do
+    if [ ! -f "$doc" ]; then
+        echo "docs-check: required doc '$doc' is missing" >&2
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "docs-check: OK (all referenced doc files exist)"
+fi
+exit $status
