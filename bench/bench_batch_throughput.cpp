@@ -114,7 +114,8 @@ int main(int argc, char** argv) {
   std::printf("\n--- backend sweep (block=256, 1 thread) ---\n");
   std::printf("%-12s %-14s\n", "backend", "samples/sec");
   for (const char* backend :
-       {"reference", "float", "encoded", "theorem1", "theorem2", "radix"}) {
+       {"reference", "float", "encoded", "theorem1", "theorem2", "radix",
+        "simd:flint", "simd:float"}) {
     flint::predict::PredictorOptions opt;
     opt.block_size = 256;
     const auto p = flint::predict::make_predictor(forest, backend, opt);

@@ -1,0 +1,152 @@
+// SIMD SoA traversal throughput: sweeps batch size over the simd:* backends
+// against the blocked scalar `encoded` interpreter and reports samples/sec.
+//
+// This is the acceptance bench for the exec/simd subsystem: the lockstep
+// lane kernels (soa.hpp / kernels_*.cpp) must beat the blocked per-sample
+// FLInt interpreter by >= 2x at batch >= 1024, while staying bit-identical
+// to the reference — every configuration is verified against per-sample
+// Forest::predict before it is timed, and any divergence exits non-zero.
+//
+// Sweeps:
+//   1. batch size x {encoded, simd:flint, simd:float}, single thread;
+//   2. worker threads x simd:flint (threads x lanes parallelism).
+//
+// FLINT_BENCH_FULL=1 enlarges the dataset and the model.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synth.hpp"
+#include "exec/simd/simd_engine.hpp"
+#include "harness/machine_info.hpp"
+#include "harness/timer.hpp"
+#include "predict/predictor.hpp"
+#include "trees/forest.hpp"
+
+namespace {
+
+/// Throughput of predict_batch over the first `batch` rows, samples/sec.
+double samples_per_sec(const flint::predict::Predictor<float>& p,
+                       const std::vector<float>& features, std::size_t batch,
+                       std::vector<std::int32_t>& out) {
+  const std::size_t cols = p.feature_count();
+  const std::span<const float> span(features.data(), batch * cols);
+  const auto t = flint::harness::measure(
+      [&] { p.predict_batch(span, batch, {out.data(), batch}); }, 0.05, 3);
+  return static_cast<double>(batch) / t.seconds_per_iteration;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--help") {
+    std::printf(
+        "bench_simd_throughput: lockstep SoA lane-traversal throughput\n"
+        "(samples/sec) of the simd:* backends vs the blocked scalar encoded\n"
+        "interpreter.  Verifies bit-identity to Forest::predict first; a\n"
+        "divergence is a fatal error.  FLINT_BENCH_FULL=1 enlarges the "
+        "sweep.\n");
+    return 0;
+  }
+  const char* full_env = std::getenv("FLINT_BENCH_FULL");
+  const bool full = full_env != nullptr && full_env[0] == '1';
+
+  std::printf("=== SIMD SoA batch throughput (exec/simd) ===\n");
+  std::printf("host: %s (hardware_concurrency=%u)\n",
+              flint::harness::to_string(flint::harness::query_machine_info())
+                  .c_str(),
+              std::thread::hardware_concurrency());
+
+  const auto spec = flint::data::spec_by_name("magic");
+  const auto data =
+      flint::data::generate<float>(spec, 42, full ? 32768 : 8192);
+  flint::trees::ForestOptions fopt;
+  fopt.n_trees = full ? 100 : 50;
+  fopt.tree.max_depth = 15;
+  fopt.tree.max_features = flint::trees::TrainOptions::kSqrtFeatures;
+  const auto forest = flint::trees::train_forest(data, fopt);
+
+  {
+    const flint::exec::simd::SimdForestEngine<float> probe(
+        forest, flint::exec::simd::SimdMode::Flint);
+    std::printf("kernel: %s (%zu lanes)\n", probe.kernel_name(),
+                probe.lane_width());
+  }
+  std::printf("model: %d trees, depth<=15, %zu nodes; pool: %zu samples\n\n",
+              fopt.n_trees, forest.total_nodes(), data.rows());
+
+  // Bit-identity gate: every backend over the whole pool vs Forest::predict.
+  const std::size_t cols = forest.feature_count();
+  std::vector<std::int32_t> reference(data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    reference[r] = forest.predict(data.row(r));
+  }
+  std::vector<std::int32_t> out(data.rows());
+  const std::vector<float> features(data.values().begin(),
+                                    data.values().end());
+  auto verify = [&](const flint::predict::Predictor<float>& p) {
+    p.predict_batch(features, data.rows(), out);
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      if (out[r] != reference[r]) {
+        std::fprintf(stderr,
+                     "FATAL: %s diverges from Forest::predict at row %zu\n",
+                     p.name().c_str(), r);
+        std::exit(1);
+      }
+    }
+  };
+
+  // --- Sweep 1: batch size, single thread. --------------------------------
+  // The predictor configuration does not vary across batch sizes, so each
+  // backend is built and bit-verified once, before the sweep.
+  std::printf("--- batch-size sweep (1 thread) ---\n");
+  std::printf("%-8s %-14s %-14s %-14s %-12s\n", "batch", "encoded",
+              "simd:flint", "simd:float", "flint-speedup");
+  const char* backends[3] = {"encoded", "simd:flint", "simd:float"};
+  std::unique_ptr<flint::predict::Predictor<float>> predictors[3];
+  for (int b = 0; b < 3; ++b) {
+    flint::predict::PredictorOptions opt;
+    opt.block_size = 256;
+    predictors[b] = flint::predict::make_predictor(forest, backends[b], opt);
+    verify(*predictors[b]);
+  }
+  bool met_2x_at_1024 = false;
+  for (const std::size_t batch :
+       {std::size_t{64}, std::size_t{256}, std::size_t{1024},
+        std::size_t{4096}, data.rows()}) {
+    if (batch > data.rows()) continue;
+    double rate[3] = {0, 0, 0};
+    for (int b = 0; b < 3; ++b) {
+      rate[b] = samples_per_sec(*predictors[b], features, batch, out);
+    }
+    const double speedup = rate[1] / rate[0];
+    if (batch >= 1024 && speedup >= 2.0) met_2x_at_1024 = true;
+    std::printf("%-8zu %-14.0f %-14.0f %-14.0f %.2fx\n", batch, rate[0],
+                rate[1], rate[2], speedup);
+  }
+
+  // --- Sweep 2: threads x lanes (ParallelPredictor over simd:flint). ------
+  std::printf("\n--- thread sweep (backend: simd:flint, batch=%zu) ---\n",
+              data.rows());
+  std::printf("%-8s %-14s %-10s\n", "threads", "samples/sec", "speedup");
+  double serial = 0.0;
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    flint::predict::PredictorOptions opt;
+    opt.block_size = 256;
+    opt.threads = threads;
+    const auto p = flint::predict::make_predictor(forest, "simd:flint", opt);
+    verify(*p);
+    const double rate = samples_per_sec(*p, features, data.rows(), out);
+    if (threads == 1) serial = rate;
+    std::printf("%-8u %-14.0f %.2fx\n", threads, rate, rate / serial);
+  }
+
+  std::printf(
+      "\n(acceptance: simd:flint >= 2x encoded at batch >= 1024 -- %s;\n"
+      "the thread sweep saturates at the machine's core count.)\n",
+      met_2x_at_1024 ? "MET" : "NOT MET on this host");
+  return 0;
+}

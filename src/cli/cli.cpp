@@ -140,8 +140,11 @@ int cmd_predict(const Args& args, std::ostream& out) {
   const std::string stats_csv = args.get("train-data", "");
   const long threads = args.get_long("threads", 1);
   const long batch = args.get_long("batch", 64);
-  if (threads < 0) {
-    throw std::invalid_argument("--threads must be >= 0 (0 = all cores)");
+  if (threads < 0 || threads > 4096) {
+    // Upper bound also guards the long -> unsigned narrowing below, which
+    // would otherwise silently wrap (e.g. 2^32 -> 0 = "all cores").
+    throw std::invalid_argument(
+        "--threads must be in [0, 4096] (0 = all cores)");
   }
   if (batch < 1) {
     throw std::invalid_argument("--batch must be >= 1");
@@ -150,6 +153,21 @@ int cmd_predict(const Args& args, std::ostream& out) {
   popt.threads = static_cast<unsigned>(threads);
   popt.block_size = static_cast<std::size_t>(batch);
   args.check_all_used();
+  if (dataset.rows() == 0) {
+    // An empty CSV is a valid (if useless) input.  It never learns a column
+    // count, so the width check below would misreport it, and the accuracy
+    // quotient would divide by zero.  Still reject unknown backend names —
+    // by vocabulary, not by constructing the predictor, which for jit:*
+    // would run the whole codegen + compile + dlopen pipeline (and for
+    // jit:cags-* load the training CSV for branch stats) just to print
+    // "n/a".
+    if (!predict::is_known_backend(engine_name)) {
+      throw std::invalid_argument("unknown backend '" + engine_name + "' (" +
+                                  predict::backend_help() + ")");
+    }
+    out << "accuracy n/a over 0 rows (engine: " << engine_name << ")\n";
+    return 0;
+  }
   // The CAGS codegen backends need branch statistics from training data.
   std::vector<trees::BranchStats> stats;
   if (engine_name.rfind("jit:cags", 0) == 0) {
@@ -268,7 +286,8 @@ std::string usage() {
       "           [--engine <backend>] [--threads N] [--batch N]\n"
       "           [--labels yes|no] [--train-data <csv>]\n"
       "           backends: reference float flint encoded theorem1 theorem2\n"
-      "                     radix jit:ifelse-{float,flint}\n"
+      "                     radix simd:flint simd:float\n"
+      "                     jit:ifelse-{float,flint}\n"
       "                     jit:native-{float,flint} jit:cags-{float,flint}\n"
       "                     jit:asm-x86\n"
       "           (--threads 0 = all cores; --batch = samples per cache\n"

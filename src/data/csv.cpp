@@ -39,6 +39,11 @@ Dataset<T> read_csv(std::istream& in, const std::string& name) {
   bool cols_known = false;
   while (std::getline(in, line)) {
     ++line_no;
+    // Accept CRLF line endings: getline strips the '\n' but leaves the
+    // '\r', which would otherwise corrupt the last field of every row (and
+    // a file whose final row has no newline at all is handled by getline
+    // returning the remainder — covered by tests/test_data.cpp).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     features.clear();
     std::size_t start = 0;

@@ -2,8 +2,9 @@
 //
 // Format: one row per line, comma-separated feature values followed by the
 // integer class label in the last column.  An optional header line starting
-// with '#' is skipped.  This mirrors the flat files the arch-forest tooling
-// consumes for the UCI datasets.
+// with '#' is skipped.  Both LF and CRLF line endings are accepted, and the
+// final row does not need a trailing newline.  This mirrors the flat files
+// the arch-forest tooling consumes for the UCI datasets.
 #pragma once
 
 #include <iosfwd>

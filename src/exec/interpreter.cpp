@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "exec/pack_checks.hpp"
+
 namespace flint::exec {
 
 const char* to_string(FlintVariant v) {
@@ -45,6 +47,7 @@ FlintForestEngine<T>::FlintForestEngine(const trees::Forest<T>& forest,
       PackedNode<T> p;
       p.feature = n.feature;
       if (n.is_leaf()) {
+        check_leaf_class(n.prediction, num_classes_, t);
         p.payload = static_cast<Signed>(n.prediction);
       } else {
         p.left = n.left + static_cast<std::int32_t>(base);
@@ -205,6 +208,7 @@ FloatForestEngine<T>::FloatForestEngine(const trees::Forest<T>& forest)
       FloatNode p;
       p.feature = n.feature;
       if (n.is_leaf()) {
+        check_leaf_class(n.prediction, num_classes_, t);
         p.feature = -1;
         p.left = n.prediction;  // payload reuse for leaves
       } else {

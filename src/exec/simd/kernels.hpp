@@ -1,0 +1,44 @@
+// exec/simd/kernels — declarations of the architecture-specialized
+// lockstep traversal kernels.
+//
+// Which translation units exist is decided at configure time (CMake adds
+// kernels_avx2.cpp with -mavx2 on x86-64 toolchains that support it, and
+// kernels_neon.cpp on AArch64) and communicated through the
+// FLINT_SIMD_AVX2 / FLINT_SIMD_NEON compile definitions.  The scalar
+// template in kernels_scalar.hpp is always available; SimdForestEngine
+// picks the widest kernel the build *and* the running CPU support.
+//
+// All kernels share one contract (see predict_tiles_scalar): accumulate
+// per-lane votes for every tree of a SoaForest over feature-major tiles,
+// bit-identically to Forest::predict for every non-NaN input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "exec/simd/soa.hpp"
+
+namespace flint::exec::simd {
+
+#if defined(FLINT_SIMD_AVX2)
+/// Lanes per tile of the AVX2 float kernels (8 x int32/float in a ymm).
+inline constexpr std::size_t kAvx2Width = 8;
+/// True iff the running CPU executes AVX2 (the build supporting -mavx2
+/// does not guarantee the deployment host does).
+[[nodiscard]] bool avx2_supported() noexcept;
+void predict_tiles_flint_avx2(const SoaForest<float>& f, const float* tiles,
+                              std::size_t n_tiles, int* votes);
+void predict_tiles_float_avx2(const SoaForest<float>& f, const float* tiles,
+                              std::size_t n_tiles, int* votes);
+#endif
+
+#if defined(FLINT_SIMD_NEON)
+/// Lanes per tile of the NEON float kernels (4 x int32/float in a q reg).
+inline constexpr std::size_t kNeonWidth = 4;
+void predict_tiles_flint_neon(const SoaForest<float>& f, const float* tiles,
+                              std::size_t n_tiles, int* votes);
+void predict_tiles_float_neon(const SoaForest<float>& f, const float* tiles,
+                              std::size_t n_tiles, int* votes);
+#endif
+
+}  // namespace flint::exec::simd

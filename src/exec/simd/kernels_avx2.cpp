@@ -1,0 +1,99 @@
+// exec/simd/kernels_avx2 — AVX2 realization of the lockstep traversal
+// (8 float samples per tile).  Compiled with -mavx2 only when CMake
+// detects an x86-64 toolchain that supports it; callers must additionally
+// check avx2_supported() before dispatching here.
+//
+// Per tree level, per tile: five vpgatherdd loads fetch the lane vectors of
+// node fields and feature values, one integer (or float) compare decides
+// the direction, and one blend advances all 8 lane indices.  Leaves
+// self-loop (soa.hpp), so there is no per-lane active mask: the loop exits
+// when every lane's gathered feature index is negative.
+#include "exec/simd/kernels.hpp"
+
+#if defined(FLINT_SIMD_AVX2)
+
+#include <immintrin.h>
+
+namespace flint::exec::simd {
+
+bool avx2_supported() noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+template <bool Flint>
+void predict_tiles_avx2_impl(const SoaForest<float>& f, const float* tiles,
+                             std::size_t n_tiles, int* votes) {
+  constexpr std::size_t W = kAvx2Width;
+  const auto classes =
+      static_cast<std::size_t>(f.num_classes < 1 ? 1 : f.num_classes);
+  const std::size_t cols = f.feature_count;
+  const __m256i lane_ids = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i zero = _mm256_setzero_si256();
+  for (std::size_t t = 0; t < f.tree_count(); ++t) {
+    const __m256i root = _mm256_set1_epi32(f.roots[t]);
+    for (std::size_t tile = 0; tile < n_tiles; ++tile) {
+      const float* x = tiles + tile * cols * W;
+      __m256i idx = root;
+      while (true) {
+        const __m256i feat =
+            _mm256_i32gather_epi32(f.feature.data(), idx, 4);
+        // feature < 0 marks a leaf; all sign bits set => every lane done.
+        if (_mm256_movemask_ps(_mm256_castsi256_ps(feat)) == 0xFF) break;
+        // Leaf lanes clamp to feature column 0; their blend below is a
+        // self-loop so the value they gather is irrelevant.
+        const __m256i fcl = _mm256_max_epi32(feat, zero);
+        const __m256i off =
+            _mm256_add_epi32(_mm256_slli_epi32(fcl, 3), lane_ids);
+        const __m256i lft = _mm256_i32gather_epi32(f.left.data(), idx, 4);
+        const __m256i rgt = _mm256_i32gather_epi32(f.right.data(), idx, 4);
+        if constexpr (Flint) {
+          // Unified form: go_left = (si(x) ^ xor_mask) <= threshold, so the
+          // right mask is the signed greater-than.
+          const __m256i xi = _mm256_i32gather_epi32(
+              reinterpret_cast<const int*>(x), off, 4);
+          const __m256i msk =
+              _mm256_i32gather_epi32(f.xor_mask.data(), idx, 4);
+          const __m256i thr =
+              _mm256_i32gather_epi32(f.threshold.data(), idx, 4);
+          const __m256i go_right =
+              _mm256_cmpgt_epi32(_mm256_xor_si256(xi, msk), thr);
+          idx = _mm256_blendv_epi8(lft, rgt, go_right);
+        } else {
+          const __m256 xf = _mm256_i32gather_ps(x, off, 4);
+          const __m256 sp = _mm256_i32gather_ps(f.split.data(), idx, 4);
+          const __m256 go_left = _mm256_cmp_ps(xf, sp, _CMP_LE_OQ);
+          idx = _mm256_blendv_epi8(rgt, lft, _mm256_castps_si256(go_left));
+        }
+      }
+      const __m256i cls = _mm256_i32gather_epi32(f.threshold.data(), idx, 4);
+      alignas(32) std::int32_t cbuf[W];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(cbuf), cls);
+      int* vrow = votes + tile * W * classes;
+      for (std::size_t l = 0; l < W; ++l) {
+        ++vrow[l * classes + static_cast<std::size_t>(cbuf[l])];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void predict_tiles_flint_avx2(const SoaForest<float>& f, const float* tiles,
+                              std::size_t n_tiles, int* votes) {
+  predict_tiles_avx2_impl<true>(f, tiles, n_tiles, votes);
+}
+
+void predict_tiles_float_avx2(const SoaForest<float>& f, const float* tiles,
+                              std::size_t n_tiles, int* votes) {
+  predict_tiles_avx2_impl<false>(f, tiles, n_tiles, votes);
+}
+
+}  // namespace flint::exec::simd
+
+#endif  // FLINT_SIMD_AVX2

@@ -1,0 +1,95 @@
+// exec/simd/kernels_neon — AArch64 NEON realization of the lockstep
+// traversal (4 float samples per tile).  Compiled only when CMake targets
+// an AArch64 toolchain (NEON is architecturally guaranteed there, so no
+// runtime check is needed).
+//
+// NEON has no gather instruction, so node fields are fetched with four
+// scalar loads into a lane buffer; the compare and the left/right select
+// are vector ops (CMGT/FCMLE + BSL).  The four independent scalar loads
+// still overlap in the out-of-order window, which is the latency-hiding
+// half of the win; the vector compare/select is the throughput half.
+#include "exec/simd/kernels.hpp"
+
+#if defined(FLINT_SIMD_NEON)
+
+#include <arm_neon.h>
+
+namespace flint::exec::simd {
+
+namespace {
+
+template <bool Flint>
+void predict_tiles_neon_impl(const SoaForest<float>& f, const float* tiles,
+                             std::size_t n_tiles, int* votes) {
+  constexpr std::size_t W = kNeonWidth;
+  const auto classes =
+      static_cast<std::size_t>(f.num_classes < 1 ? 1 : f.num_classes);
+  const std::size_t cols = f.feature_count;
+  for (std::size_t t = 0; t < f.tree_count(); ++t) {
+    const std::int32_t root = f.roots[t];
+    for (std::size_t tile = 0; tile < n_tiles; ++tile) {
+      const float* x = tiles + tile * cols * W;
+      std::int32_t idx[W] = {root, root, root, root};
+      while (true) {
+        std::int32_t feat[W];
+        for (std::size_t l = 0; l < W; ++l) {
+          feat[l] = f.feature[static_cast<std::size_t>(idx[l])];
+        }
+        // All lanes at a leaf (feature < 0)?
+        if (vmaxvq_s32(vld1q_s32(feat)) < 0) break;
+        std::int32_t lft[W], rgt[W];
+        float xv[W];
+        // One of the two scratch pairs is dead per compare mode (discarded
+        // if-constexpr branch), hence maybe_unused.
+        [[maybe_unused]] std::int32_t thr[W], msk[W];
+        [[maybe_unused]] float sp[W];
+        for (std::size_t l = 0; l < W; ++l) {
+          const auto node = static_cast<std::size_t>(idx[l]);
+          const auto fi = static_cast<std::size_t>(feat[l] < 0 ? 0 : feat[l]);
+          xv[l] = x[fi * W + l];
+          lft[l] = f.left[node];
+          rgt[l] = f.right[node];
+          if constexpr (Flint) {
+            thr[l] = f.threshold[node];
+            msk[l] = f.xor_mask[node];
+          } else {
+            sp[l] = f.split[node];
+          }
+        }
+        int32x4_t next;
+        if constexpr (Flint) {
+          const int32x4_t xi =
+              veorq_s32(vreinterpretq_s32_f32(vld1q_f32(xv)), vld1q_s32(msk));
+          const uint32x4_t go_right = vcgtq_s32(xi, vld1q_s32(thr));
+          next = vbslq_s32(go_right, vld1q_s32(rgt), vld1q_s32(lft));
+        } else {
+          const uint32x4_t go_left = vcleq_f32(vld1q_f32(xv), vld1q_f32(sp));
+          next = vbslq_s32(go_left, vld1q_s32(lft), vld1q_s32(rgt));
+        }
+        vst1q_s32(idx, next);
+      }
+      int* vrow = votes + tile * W * classes;
+      for (std::size_t l = 0; l < W; ++l) {
+        const auto c = static_cast<std::size_t>(
+            f.threshold[static_cast<std::size_t>(idx[l])]);
+        ++vrow[l * classes + c];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void predict_tiles_flint_neon(const SoaForest<float>& f, const float* tiles,
+                              std::size_t n_tiles, int* votes) {
+  predict_tiles_neon_impl<true>(f, tiles, n_tiles, votes);
+}
+
+void predict_tiles_float_neon(const SoaForest<float>& f, const float* tiles,
+                              std::size_t n_tiles, int* votes) {
+  predict_tiles_neon_impl<false>(f, tiles, n_tiles, votes);
+}
+
+}  // namespace flint::exec::simd
+
+#endif  // FLINT_SIMD_NEON

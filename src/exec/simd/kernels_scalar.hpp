@@ -1,0 +1,77 @@
+// exec/simd/kernels_scalar — portable width-generic lockstep traversal.
+//
+// The reference realization of the SIMD traversal algorithm: W samples (one
+// tile, see soa.hpp) step through a tree level in lockstep, every lane
+// holding its own node index.  All lane operations are plain fixed-trip
+// loops over W, so the compiler is free to auto-vectorize them, and even
+// un-vectorized the W independent pointer-chase chains overlap in the
+// out-of-order window — which is where most of the speedup over the
+// per-sample scalar interpreter comes from.
+//
+// The AVX2/NEON translation of the same algorithm lives in
+// kernels_avx2.cpp / kernels_neon.cpp; this template is always built and is
+// the fallback on hardware without a specialized kernel (and the only
+// double-precision path).  All three produce bit-identical results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/flint.hpp"
+#include "exec/simd/soa.hpp"
+
+namespace flint::exec::simd {
+
+/// Runs every tree of `f` over `n_tiles` feature-major tiles of W lanes and
+/// accumulates per-lane votes: votes[(t*W + l) * num_classes + c] gains one
+/// count per tree that classifies lane l of tile t as class c.  The caller
+/// zero-initializes `votes` and computes the argmax.  `Flint` selects the
+/// unified integer compare (see soa.hpp); otherwise hardware float `<=`.
+/// Thread-safe: touches only its arguments.
+template <typename T, std::size_t W, bool Flint>
+void predict_tiles_scalar(const SoaForest<T>& f, const T* tiles,
+                          std::size_t n_tiles, int* votes) {
+  using Signed = typename core::FloatTraits<T>::Signed;
+  const auto classes =
+      static_cast<std::size_t>(f.num_classes < 1 ? 1 : f.num_classes);
+  const std::size_t cols = f.feature_count;
+  for (std::size_t t = 0; t < f.tree_count(); ++t) {
+    const std::int32_t root = f.roots[t];
+    for (std::size_t tile = 0; tile < n_tiles; ++tile) {
+      const T* x = tiles + tile * cols * W;
+      std::int32_t idx[W];
+      for (std::size_t l = 0; l < W; ++l) idx[l] = root;
+      while (true) {
+        std::int32_t feat[W];
+        bool any_inner = false;
+        for (std::size_t l = 0; l < W; ++l) {
+          feat[l] = f.feature[static_cast<std::size_t>(idx[l])];
+          any_inner |= feat[l] >= 0;
+        }
+        if (!any_inner) break;
+        for (std::size_t l = 0; l < W; ++l) {
+          const auto node = static_cast<std::size_t>(idx[l]);
+          // Leaf lanes read feature column 0 (any valid column) and then
+          // self-loop via left == right == node; see soa.hpp.
+          const auto fi = static_cast<std::size_t>(feat[l] < 0 ? 0 : feat[l]);
+          bool go_left;
+          if constexpr (Flint) {
+            const Signed xi = core::si_bits(x[fi * W + l]);
+            go_left = (xi ^ f.xor_mask[node]) <= f.threshold[node];
+          } else {
+            go_left = x[fi * W + l] <= f.split[node];
+          }
+          idx[l] = go_left ? f.left[node] : f.right[node];
+        }
+      }
+      int* vrow = votes + tile * W * classes;
+      for (std::size_t l = 0; l < W; ++l) {
+        const auto c = static_cast<std::size_t>(
+            f.threshold[static_cast<std::size_t>(idx[l])]);
+        ++vrow[l * classes + c];
+      }
+    }
+  }
+}
+
+}  // namespace flint::exec::simd

@@ -1,0 +1,96 @@
+#include "exec/simd/simd_engine.hpp"
+
+#include <algorithm>
+#include <type_traits>
+#include <vector>
+
+#include "exec/simd/kernels.hpp"
+#include "exec/simd/kernels_scalar.hpp"
+
+namespace flint::exec::simd {
+
+const char* to_string(SimdMode mode) {
+  return mode == SimdMode::Flint ? "flint" : "float";
+}
+
+namespace {
+
+/// Scalar fallback width: wide enough that the W independent traversal
+/// chains fill the out-of-order window, small enough that the lane state
+/// stays in registers.
+template <typename T>
+inline constexpr std::size_t kScalarWidth = sizeof(T) == 4 ? 8 : 4;
+
+}  // namespace
+
+template <typename T>
+SimdForestEngine<T>::SimdForestEngine(const trees::Forest<T>& forest,
+                                      SimdMode mode, std::size_t block_size)
+    : soa_(forest), mode_(mode) {
+  // Widest-first dispatch: specialized kernels exist for float only; double
+  // always runs the width-generic scalar template.
+  width_ = kScalarWidth<T>;
+  if (mode_ == SimdMode::Flint) {
+    kernel_ = &predict_tiles_scalar<T, kScalarWidth<T>, true>;
+  } else {
+    kernel_ = &predict_tiles_scalar<T, kScalarWidth<T>, false>;
+  }
+  if constexpr (std::is_same_v<T, float>) {
+#if defined(FLINT_SIMD_AVX2)
+    if (avx2_supported()) {
+      width_ = kAvx2Width;
+      kernel_ = mode_ == SimdMode::Flint ? &predict_tiles_flint_avx2
+                                         : &predict_tiles_float_avx2;
+      kernel_name_ = "avx2";
+    }
+#elif defined(FLINT_SIMD_NEON)
+    width_ = kNeonWidth;
+    kernel_ = mode_ == SimdMode::Flint ? &predict_tiles_flint_neon
+                                       : &predict_tiles_float_neon;
+    kernel_name_ = "neon";
+#endif
+  }
+  block_tiles_ = std::max<std::size_t>(
+      1, (std::max<std::size_t>(block_size, 1) + width_ - 1) / width_);
+}
+
+template <typename T>
+void SimdForestEngine<T>::predict_batch(const T* features,
+                                        std::size_t n_samples,
+                                        std::int32_t* out) const {
+  if (n_samples == 0) return;
+  const std::size_t W = width_;
+  const std::size_t cols = soa_.feature_count;
+  const auto classes =
+      static_cast<std::size_t>(std::max(soa_.num_classes, 1));
+  const std::size_t block_samples = block_tiles_ * W;
+  std::vector<T> tiles(block_tiles_ * cols * W);
+  std::vector<int> votes(block_samples * classes);
+  for (std::size_t base = 0; base < n_samples; base += block_samples) {
+    const std::size_t count = std::min(block_samples, n_samples - base);
+    const std::size_t n_tiles = (count + W - 1) / W;
+    transpose_tiles(features + base * cols, count, cols, W, tiles.data());
+    std::fill(votes.begin(), votes.begin() + n_tiles * W * classes, 0);
+    kernel_(soa_, tiles.data(), n_tiles, votes.data());
+    for (std::size_t s = 0; s < count; ++s) {
+      const int* vrow = votes.data() + s * classes;
+      std::int32_t best = 0;
+      for (std::size_t c = 1; c < classes; ++c) {
+        if (vrow[c] > vrow[best]) best = static_cast<std::int32_t>(c);
+      }
+      out[base + s] = best;
+    }
+  }
+}
+
+template <typename T>
+std::int32_t SimdForestEngine<T>::predict(std::span<const T> x) const {
+  std::int32_t result = -1;
+  predict_batch(x.data(), 1, &result);
+  return result;
+}
+
+template class SimdForestEngine<float>;
+template class SimdForestEngine<double>;
+
+}  // namespace flint::exec::simd

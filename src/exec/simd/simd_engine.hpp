@@ -1,0 +1,86 @@
+// exec/simd/simd_engine — data-parallel forest inference over the SoA
+// layout: the batched counterpart of exec/interpreter.hpp's per-sample
+// engines.
+//
+// SimdForestEngine owns a SoaForest (soa.hpp) and, per batch, cuts the
+// row-major samples into feature-major tiles of W lanes, then runs the
+// widest traversal kernel the build and the running CPU support:
+//
+//   * AVX2 (x86-64, 8 float lanes, gather-based) — kernels_avx2.cpp
+//   * NEON (AArch64, 4 float lanes)              — kernels_neon.cpp
+//   * portable width-generic scalar template      — kernels_scalar.hpp
+//     (always built; the only double-precision path, W = 4)
+//
+// The kernel is selected once at construction; kernel_name() reports which
+// one runs so benches and tests can label results.  predict_batch is
+// bit-identical to Forest::predict for every non-NaN input (the same
+// contract as every other engine, property-tested in tests/test_simd.cpp
+// and tests/test_predictor.cpp) and const-thread-safe: all tile/vote
+// scratch is function-local, so ParallelPredictor can partition a batch
+// across workers without cloning the engine (threads x lanes parallelism).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "exec/simd/soa.hpp"
+#include "trees/forest.hpp"
+
+namespace flint::exec::simd {
+
+/// Comparison mode of the traversal kernel: FLInt unified integer compare
+/// or hardware float <= (both bit-identical to Forest::predict).
+enum class SimdMode { Flint, Float };
+
+[[nodiscard]] const char* to_string(SimdMode mode);
+
+template <typename T>
+class SimdForestEngine {
+ public:
+  /// Packs `forest` into SoA form and selects the traversal kernel.
+  /// `block_size` is the number of samples transposed per outer block
+  /// (rounded up to a whole number of tiles); it bounds the function-local
+  /// scratch of predict_batch, not the result.
+  SimdForestEngine(const trees::Forest<T>& forest, SimdMode mode,
+                   std::size_t block_size = 256);
+
+  [[nodiscard]] SimdMode mode() const noexcept { return mode_; }
+  [[nodiscard]] int num_classes() const noexcept { return soa_.num_classes; }
+  [[nodiscard]] std::size_t feature_count() const noexcept {
+    return soa_.feature_count;
+  }
+  [[nodiscard]] std::size_t tree_count() const noexcept {
+    return soa_.tree_count();
+  }
+  /// "avx2", "neon" or "scalar" — which kernel predict_batch runs.
+  [[nodiscard]] const char* kernel_name() const noexcept { return kernel_name_; }
+  /// Samples stepped in lockstep per tile (8 for AVX2, 4 for NEON/double).
+  [[nodiscard]] std::size_t lane_width() const noexcept { return width_; }
+  /// The packed model (read-only); the serialize round-trip tests compare
+  /// threshold bit patterns through this.
+  [[nodiscard]] const SoaForest<T>& soa() const noexcept { return soa_; }
+
+  /// Classifies `n_samples` row-major samples into `out`.  Thread-safe
+  /// (function-local scratch only).  A zero-sample batch is a no-op.
+  void predict_batch(const T* features, std::size_t n_samples,
+                     std::int32_t* out) const;
+
+  /// Majority-vote class for one sample (a batch of one).
+  [[nodiscard]] std::int32_t predict(std::span<const T> x) const;
+
+ private:
+  using KernelFn = void (*)(const SoaForest<T>&, const T*, std::size_t, int*);
+
+  SoaForest<T> soa_;
+  SimdMode mode_;
+  KernelFn kernel_ = nullptr;
+  const char* kernel_name_ = "scalar";
+  std::size_t width_ = 1;
+  std::size_t block_tiles_ = 1;  ///< tiles transposed per outer block
+};
+
+extern template class SimdForestEngine<float>;
+extern template class SimdForestEngine<double>;
+
+}  // namespace flint::exec::simd

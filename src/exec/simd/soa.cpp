@@ -1,0 +1,65 @@
+#include "exec/simd/soa.hpp"
+
+#include <stdexcept>
+
+#include "exec/pack_checks.hpp"
+
+namespace flint::exec::simd {
+
+template <typename T>
+SoaForest<T>::SoaForest(const trees::Forest<T>& forest)
+    : num_classes(forest.num_classes()), feature_count(forest.feature_count()) {
+  if (forest.empty()) {
+    throw std::invalid_argument("SoaForest: empty forest");
+  }
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    total += forest.tree(t).size();
+  }
+  feature.reserve(total);
+  threshold.reserve(total);
+  xor_mask.reserve(total);
+  split.reserve(total);
+  left.reserve(total);
+  right.reserve(total);
+  roots.reserve(forest.size());
+
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    const auto& tree = forest.tree(t);
+    const auto base = static_cast<std::int32_t>(feature.size());
+    roots.push_back(base);
+    for (const auto& n : tree.nodes()) {
+      const auto self = static_cast<std::int32_t>(feature.size());
+      feature.push_back(n.feature);
+      if (n.is_leaf()) {
+        // The kernels index the vote matrix by this class id with no bounds
+        // check on the hot path; see exec/pack_checks.hpp.
+        check_leaf_class(n.prediction, num_classes, t);
+        threshold.push_back(static_cast<Signed>(n.prediction));
+        xor_mask.push_back(0);
+        split.push_back(T{0});
+        left.push_back(self);
+        right.push_back(self);
+      } else {
+        const auto enc = core::encode_threshold_le(n.split);
+        if (enc.mode == core::ThresholdMode::Direct) {
+          threshold.push_back(enc.immediate);
+          xor_mask.push_back(0);
+        } else {
+          // SignFlip unified via a >= b <=> ~a <= ~b; see soa.hpp.
+          threshold.push_back(static_cast<Signed>(~enc.immediate));
+          xor_mask.push_back(
+              static_cast<Signed>(core::FloatTraits<T>::abs_mask));
+        }
+        split.push_back(n.split);
+        left.push_back(n.left + base);
+        right.push_back(n.right + base);
+      }
+    }
+  }
+}
+
+template struct SoaForest<float>;
+template struct SoaForest<double>;
+
+}  // namespace flint::exec::simd

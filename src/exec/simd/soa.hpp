@@ -1,0 +1,112 @@
+// exec/simd/soa — structure-of-arrays forest layout and block transposer
+// for the data-parallel traversal kernels.
+//
+// The scalar interpreters (exec/interpreter.hpp) walk one sample at a time
+// through an array-of-structs PackedNode layout.  The SIMD kernels instead
+// step W samples through a tree level in lockstep, which needs two layout
+// changes:
+//
+//   * the forest becomes parallel arrays (feature / threshold / xor_mask /
+//     split / left / right) so one gather per array fetches a whole lane
+//     vector of node fields;
+//   * the sample block becomes feature-major "tiles": tile t holds lanes
+//     [t*W, t*W+W) with tile[c*W + l] = row (t*W+l) feature c, so the lane
+//     vector of feature values for any feature index is one contiguous (or
+//     one gathered) load.
+//
+// FLInt thresholds are stored in a *unified* single-compare form.  The
+// Encoded engine's two modes
+//
+//   Direct:    go_left =  si(x) <= imm
+//   SignFlip:  go_left =  imm <= (si(x) ^ sign_mask)
+//
+// branch on the mode per node; a lane vector mixes both modes, so the
+// kernels need one branch-free formula.  Using a >= b  <=>  ~a <= ~b (two's
+// complement bit-not reverses the order with no overflow), SignFlip
+// rewrites to
+//
+//   go_left = ~(si(x) ^ sign_mask) <= ~imm = (si(x) ^ abs_mask) <= ~imm
+//
+// so every node reduces to
+//
+//   go_left = (si(x) ^ xor_mask) <= threshold
+//
+// with (xor_mask, threshold) = (0, imm) for Direct and (abs_mask, ~imm) for
+// SignFlip.  This is algebraically identical to EncodedThreshold::le —
+// bit-identical results on every input, property-tested in tests/test_simd.
+//
+// Leaves self-loop (left == right == own index) and store their class id in
+// `threshold`, so kernels need no per-lane "active" mask: finished lanes
+// spin harmlessly on their leaf until the whole lane vector converges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flint.hpp"
+#include "trees/forest.hpp"
+
+namespace flint::exec::simd {
+
+/// Structure-of-arrays packing of a trained forest (all trees concatenated,
+/// `roots[t]` = root node index of tree t).  See the file comment for the
+/// unified FLInt threshold form and the leaf self-loop convention.
+template <typename T>
+struct SoaForest {
+  using Signed = typename core::FloatTraits<T>::Signed;
+
+  explicit SoaForest(const trees::Forest<T>& forest);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return feature.size(); }
+  [[nodiscard]] std::size_t tree_count() const noexcept { return roots.size(); }
+
+  int num_classes = 0;
+  std::size_t feature_count = 0;
+  std::vector<std::int32_t> feature;  ///< FI(n); -1 for leaves
+  std::vector<Signed> threshold;      ///< unified immediate; leaf: class id
+  std::vector<Signed> xor_mask;       ///< 0 (Direct) or abs_mask (SignFlip)
+  std::vector<T> split;               ///< raw split value (float kernels)
+  std::vector<std::int32_t> left;     ///< leaf: own index (self-loop)
+  std::vector<std::int32_t> right;    ///< leaf: own index (self-loop)
+  std::vector<std::int32_t> roots;
+};
+
+/// Transposes `n_rows` row-major rows (stride `cols`) into feature-major
+/// tiles of `lanes` lanes:
+///     tiles[t*cols*lanes + c*lanes + l] = rows[(t*lanes+l)*cols + c].
+/// `tiles` must hold ceil(n_rows/lanes)*cols*lanes values; lanes beyond
+/// n_rows are zero-filled so padded lanes still traverse on well-defined
+/// (ignored) inputs.  The FLInt kernels reinterpret the same tile bytes as
+/// integers (si_bits is a bit_cast), so one transpose serves both compare
+/// modes.  The lane count is a runtime parameter because SimdForestEngine
+/// picks it per dispatched kernel.
+template <typename T>
+void transpose_tiles(const T* rows, std::size_t n_rows, std::size_t cols,
+                     std::size_t lanes, T* tiles) {
+  const std::size_t n_tiles = (n_rows + lanes - 1) / lanes;
+  for (std::size_t t = 0; t < n_tiles; ++t) {
+    T* tile = tiles + t * cols * lanes;
+    const std::size_t valid =
+        n_rows - t * lanes < lanes ? n_rows - t * lanes : lanes;
+    for (std::size_t c = 0; c < cols; ++c) {
+      for (std::size_t l = 0; l < valid; ++l) {
+        tile[c * lanes + l] = rows[(t * lanes + l) * cols + c];
+      }
+      for (std::size_t l = valid; l < lanes; ++l) {
+        tile[c * lanes + l] = T{0};
+      }
+    }
+  }
+}
+
+/// Compile-time-width convenience for kernel tests and fixed-W callers.
+template <typename T, std::size_t W>
+void transpose_tiles(const T* rows, std::size_t n_rows, std::size_t cols,
+                     T* tiles) {
+  transpose_tiles(rows, n_rows, cols, W, tiles);
+}
+
+extern template struct SoaForest<float>;
+extern template struct SoaForest<double>;
+
+}  // namespace flint::exec::simd

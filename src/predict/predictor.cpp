@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
 #include <utility>
 
 #include "codegen/asm_x86.hpp"
@@ -14,6 +16,7 @@
 #include "codegen/cgen_ifelse.hpp"
 #include "codegen/cgen_native.hpp"
 #include "exec/interpreter.hpp"
+#include "exec/simd/simd_engine.hpp"
 
 namespace flint::predict {
 
@@ -36,6 +39,20 @@ void Predictor<T>::predict_batch(std::span<const T> features,
     throw std::invalid_argument("predict_batch: output span too small");
   }
   if (n_samples == 0) return;
+  // NaN gate: the FLInt engines order NaN bit patterns instead of comparing
+  // unordered, so NaN features are the one input class where backends could
+  // silently diverge from Forest::predict.  Rejecting them here keeps the
+  // bit-identical contract unconditional for every backend.
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (std::isnan(features[i])) {
+      throw std::invalid_argument(
+          "predict_batch: NaN feature at sample " +
+          std::to_string(i / feature_count()) + ", feature " +
+          std::to_string(i % feature_count()) +
+          " (FLInt's total order is NaN-free; see README \"NaN/zero "
+          "semantics\")");
+    }
+  }
   do_predict_batch(features.data(), n_samples, out.data());
 }
 
@@ -53,15 +70,28 @@ void Predictor<T>::predict_batch(const data::Dataset<T>& dataset,
     predict_batch(dataset.values(), dataset.rows(), out);
     return;
   }
-  // Wider dataset: the row stride differs from the model width, so rows are
-  // classified one by one over their leading feature_count() values.
+  // Wider dataset: the row stride differs from the model width.  Compact
+  // the leading feature_count() values of every row into a tight matrix
+  // once, so the batch still flows through the blocked/parallel fast path
+  // instead of degrading to one re-validated predict_one per row.
+  const std::size_t cols = feature_count();
+  std::vector<T> compact(dataset.rows() * cols);
   for (std::size_t r = 0; r < dataset.rows(); ++r) {
-    out[r] = predict_one(dataset.row(r).first(feature_count()));
+    const auto row = dataset.row(r);
+    std::copy(row.begin(), row.begin() + cols, compact.begin() + r * cols);
   }
+  predict_batch(compact, dataset.rows(), out);
 }
 
 template <typename T>
 std::int32_t Predictor<T>::predict_one(std::span<const T> x) const {
+  // first() below has an out-of-bounds precondition (UB), so the shape
+  // error must be thrown before slicing, not left to predict_batch.
+  if (x.size() < feature_count()) {
+    throw std::invalid_argument(
+        "predict_one: sample holds " + std::to_string(x.size()) +
+        " values, model needs " + std::to_string(feature_count()));
+  }
   std::int32_t result = -1;
   predict_batch(x.first(feature_count()), 1, {&result, 1});
   return result;
@@ -91,20 +121,79 @@ std::int32_t argmax_votes(const int* votes, int num_classes) {
   return best;
 }
 
-/// Trees per inner group of the blocked loop: small enough that a group's
-/// node arrays and the block's vote matrix stay cache-resident together.
-constexpr std::size_t kTreeGroup = 16;
-
 // ---------------------------------------------------------------------------
 // Interpreter backends: blocked batch over engine.predict_tree.
 //
 // Layout of the hot loop (the tentpole's cache story): samples are cut into
-// blocks of `block_size`; within a block, trees are visited group by group
-// and each tree classifies every sample of the block before the next tree
-// is touched.  A tree's node array is therefore streamed through the cache
-// once per block instead of once per sample, and the B x C vote matrix is
-// the only state carried across groups.
+// blocks of `block_size`; within a block, each tree classifies every sample
+// of the block before the next tree is touched.  A tree's node array is
+// therefore streamed through the cache once per block instead of once per
+// sample, and the B x C vote matrix is the only state carried across trees.
 // ---------------------------------------------------------------------------
+
+/// Detects the key-remap surface: FlintForestEngine exposes a Signed key
+/// type (RadixKey variant); FloatForestEngine does not.
+template <typename Engine, typename = void>
+struct EngineKeys {
+  static constexpr bool keyed = false;
+  using type = std::int32_t;  // placeholder; buffer stays empty
+};
+template <typename Engine>
+struct EngineKeys<Engine, std::void_t<typename Engine::Signed>> {
+  static constexpr bool keyed = true;
+  using type = typename Engine::Signed;
+};
+
+/// The one blocked batch loop both engine families share (see the section
+/// comment above).  `Engine` needs num_classes/tree_count/predict_tree;
+/// the key-remap step compiles in only for engines with a key type.
+template <typename T, typename Engine>
+void blocked_predict_batch(const Engine& engine, std::size_t cols,
+                           std::size_t block_size, const T* features,
+                           std::size_t n_samples, std::int32_t* out) {
+  using Keys = EngineKeys<Engine>;
+  const auto classes =
+      static_cast<std::size_t>(std::max(engine.num_classes(), 1));
+  const std::size_t trees = engine.tree_count();
+  std::vector<int> votes(block_size * classes);
+  std::vector<typename Keys::type> keys;
+  if constexpr (Keys::keyed) {
+    if (engine.needs_keys()) keys.resize(block_size * cols);
+  }
+
+  for (std::size_t base = 0; base < n_samples; base += block_size) {
+    const std::size_t block = std::min(block_size, n_samples - base);
+    std::fill(votes.begin(), votes.begin() + block * classes, 0);
+    if constexpr (Keys::keyed) {
+      if (!keys.empty()) {
+        for (std::size_t s = 0; s < block; ++s) {
+          engine.remap_keys({features + (base + s) * cols, cols},
+                            {keys.data() + s * cols, cols});
+        }
+      }
+    }
+    for (std::size_t t = 0; t < trees; ++t) {
+      for (std::size_t s = 0; s < block; ++s) {
+        const std::span<const T> row{features + (base + s) * cols, cols};
+        std::int32_t c;
+        if constexpr (Keys::keyed) {
+          const std::span<const typename Keys::type> key_row =
+              keys.empty() ? std::span<const typename Keys::type>{}
+                           : std::span<const typename Keys::type>{
+                                 keys.data() + s * cols, cols};
+          c = engine.predict_tree(t, row, key_row);
+        } else {
+          c = engine.predict_tree(t, row);
+        }
+        ++votes[s * classes + static_cast<std::size_t>(c)];
+      }
+    }
+    for (std::size_t s = 0; s < block; ++s) {
+      out[base + s] = argmax_votes(votes.data() + s * classes,
+                                   static_cast<int>(classes));
+    }
+  }
+}
 
 template <typename T>
 class FlintEnginePredictor final : public Predictor<T> {
@@ -127,42 +216,8 @@ class FlintEnginePredictor final : public Predictor<T> {
  protected:
   void do_predict_batch(const T* features, std::size_t n_samples,
                         std::int32_t* out) const override {
-    using Signed = typename exec::FlintForestEngine<T>::Signed;
-    const std::size_t cols = engine_.feature_count();
-    const auto classes =
-        static_cast<std::size_t>(std::max(engine_.num_classes(), 1));
-    const std::size_t trees = engine_.tree_count();
-    std::vector<int> votes(block_size_ * classes);
-    std::vector<Signed> keys(engine_.needs_keys() ? block_size_ * cols : 0);
-
-    for (std::size_t base = 0; base < n_samples; base += block_size_) {
-      const std::size_t block = std::min(block_size_, n_samples - base);
-      std::fill(votes.begin(), votes.begin() + block * classes, 0);
-      if (engine_.needs_keys()) {
-        for (std::size_t s = 0; s < block; ++s) {
-          engine_.remap_keys({features + (base + s) * cols, cols},
-                             {keys.data() + s * cols, cols});
-        }
-      }
-      for (std::size_t group = 0; group < trees; group += kTreeGroup) {
-        const std::size_t group_end = std::min(group + kTreeGroup, trees);
-        for (std::size_t t = group; t < group_end; ++t) {
-          for (std::size_t s = 0; s < block; ++s) {
-            const std::span<const Signed> key_row =
-                keys.empty() ? std::span<const Signed>{}
-                             : std::span<const Signed>{keys.data() + s * cols,
-                                                       cols};
-            const std::int32_t c = engine_.predict_tree(
-                t, {features + (base + s) * cols, cols}, key_row);
-            ++votes[s * classes + static_cast<std::size_t>(c)];
-          }
-        }
-      }
-      for (std::size_t s = 0; s < block; ++s) {
-        out[base + s] = argmax_votes(votes.data() + s * classes,
-                                     static_cast<int>(classes));
-      }
-    }
+    blocked_predict_batch(engine_, engine_.feature_count(), block_size_,
+                          features, n_samples, out);
   }
 
  private:
@@ -189,35 +244,45 @@ class FloatEnginePredictor final : public Predictor<T> {
  protected:
   void do_predict_batch(const T* features, std::size_t n_samples,
                         std::int32_t* out) const override {
-    const std::size_t cols = feature_count_;
-    const auto classes =
-        static_cast<std::size_t>(std::max(engine_.num_classes(), 1));
-    const std::size_t trees = engine_.tree_count();
-    std::vector<int> votes(block_size_ * classes);
-    for (std::size_t base = 0; base < n_samples; base += block_size_) {
-      const std::size_t block = std::min(block_size_, n_samples - base);
-      std::fill(votes.begin(), votes.begin() + block * classes, 0);
-      for (std::size_t group = 0; group < trees; group += kTreeGroup) {
-        const std::size_t group_end = std::min(group + kTreeGroup, trees);
-        for (std::size_t t = group; t < group_end; ++t) {
-          for (std::size_t s = 0; s < block; ++s) {
-            const std::int32_t c =
-                engine_.predict_tree(t, {features + (base + s) * cols, cols});
-            ++votes[s * classes + static_cast<std::size_t>(c)];
-          }
-        }
-      }
-      for (std::size_t s = 0; s < block; ++s) {
-        out[base + s] = argmax_votes(votes.data() + s * classes,
-                                     static_cast<int>(classes));
-      }
-    }
+    blocked_predict_batch(engine_, feature_count_, block_size_, features,
+                          n_samples, out);
   }
 
  private:
   exec::FloatForestEngine<T> engine_;
   std::size_t feature_count_;
   std::size_t block_size_;
+};
+
+/// Data-parallel SoA backend: SimdForestEngine steps lane-width samples
+/// through each tree in lockstep (exec/simd/).  The engine's predict_batch
+/// is already blocked and const-thread-safe, so this wrapper only adapts
+/// naming and shape plumbing.
+template <typename T>
+class SimdPredictor final : public Predictor<T> {
+ public:
+  SimdPredictor(const trees::Forest<T>& forest, exec::simd::SimdMode mode,
+                std::size_t block_size)
+      : engine_(forest, mode, block_size) {}
+
+  [[nodiscard]] std::string name() const override {
+    return std::string("simd:") + exec::simd::to_string(engine_.mode());
+  }
+  [[nodiscard]] int num_classes() const noexcept override {
+    return engine_.num_classes();
+  }
+  [[nodiscard]] std::size_t feature_count() const noexcept override {
+    return engine_.feature_count();
+  }
+
+ protected:
+  void do_predict_batch(const T* features, std::size_t n_samples,
+                        std::int32_t* out) const override {
+    engine_.predict_batch(features, n_samples, out);
+  }
+
+ private:
+  exec::simd::SimdForestEngine<T> engine_;
 };
 
 /// Semantics baseline: per-sample Forest::predict over an owned model copy.
@@ -336,7 +401,10 @@ struct ParallelPredictor<T>::Pool {
   }
 
   /// Pulls blocks off the shared cursor until the job is exhausted.  Runs
-  /// on every worker and on the calling thread.
+  /// on every worker and on the calling thread.  Blocks are sub-ranges of a
+  /// batch the outer predict_batch already shape- and NaN-validated, so
+  /// they dispatch straight to the inner hook instead of re-running the
+  /// gates per block.
   void drain(Job& job) {
     const std::size_t cols = inner.feature_count();
     while (true) {
@@ -345,8 +413,8 @@ struct ParallelPredictor<T>::Pool {
       if (start >= job.n) return;
       const std::size_t count = std::min(job.block, job.n - start);
       try {
-        inner.predict_batch({job.features + start * cols, count * cols}, count,
-                            {job.out + start, count});
+        inner.predict_batch_prevalidated(job.features + start * cols, count,
+                                         job.out + start);
       } catch (...) {
         std::lock_guard lk(m);
         if (!error) error = std::current_exception();
@@ -427,10 +495,10 @@ template <typename T>
 void ParallelPredictor<T>::do_predict_batch(const T* features,
                                             std::size_t n_samples,
                                             std::int32_t* out) const {
-  // Small batches are not worth the wakeup: run inline.
+  // Small batches are not worth the wakeup: run inline.  The base class
+  // already validated this batch, so dispatch straight to the inner hook.
   if (pool_->threads.empty() || n_samples <= block_size_) {
-    inner_->predict_batch({features, n_samples * inner_->feature_count()},
-                          n_samples, {out, n_samples});
+    inner_->predict_batch_prevalidated(features, n_samples, out);
     return;
   }
   typename Pool::Job job;
@@ -449,10 +517,25 @@ std::vector<std::string> interpreter_backends() {
   return {"reference", "float", "encoded", "theorem1", "theorem2", "radix"};
 }
 
+std::vector<std::string> simd_backends() {
+  return {"simd:flint", "simd:float"};
+}
+
 std::vector<std::string> jit_backends() {
   return {"jit:ifelse-float", "jit:ifelse-flint", "jit:native-float",
           "jit:native-flint", "jit:cags-float", "jit:cags-flint",
           "jit:asm-x86"};
+}
+
+bool is_known_backend(std::string_view backend) {
+  if (backend == "flint") return true;  // factory alias for "encoded"
+  for (const auto& list :
+       {interpreter_backends(), simd_backends(), jit_backends()}) {
+    for (const auto& name : list) {
+      if (name == backend) return true;
+    }
+  }
+  return false;
 }
 
 std::string backend_help() {
@@ -462,6 +545,9 @@ std::string backend_help() {
     help += name;
   }
   help += "|flint";
+  for (const auto& name : simd_backends()) {
+    help += "|" + name;
+  }
   for (const auto& name : jit_backends()) {
     help += "|" + name;
   }
@@ -531,6 +617,12 @@ std::unique_ptr<Predictor<T>> make_predictor(const trees::Forest<T>& forest,
   } else if (backend == "radix") {
     predictor = std::make_unique<FlintEnginePredictor<T>>(
         forest, exec::FlintVariant::RadixKey, options.block_size);
+  } else if (backend == "simd:flint") {
+    predictor = std::make_unique<SimdPredictor<T>>(
+        forest, exec::simd::SimdMode::Flint, options.block_size);
+  } else if (backend == "simd:float") {
+    predictor = std::make_unique<SimdPredictor<T>>(
+        forest, exec::simd::SimdMode::Float, options.block_size);
   } else if (backend.rfind("jit:", 0) == 0) {
     predictor = make_jit_predictor(forest, backend.substr(4), options);
   } else {

@@ -19,6 +19,12 @@
 //     same model for every non-NaN input (property-tested in
 //     tests/test_predictor.cpp) — the paper's "accuracy unchanged" claim
 //     extended to the batched path;
+//   * NaN features are rejected with std::invalid_argument at the batch
+//     boundary.  The FLInt engines order NaN bit patterns deterministically
+//     but differently from IEEE comparison, so a NaN input is the one case
+//     where backends could silently diverge; refusing it keeps the
+//     bit-identical contract unconditional (see README "NaN/zero
+//     semantics");
 //   * do_predict_batch is const-thread-safe: concurrent calls on one object
 //     from different threads must not race.  All vote/key scratch is
 //     function-local, which is what lets ParallelPredictor partition a
@@ -52,8 +58,9 @@ class Predictor {
   [[nodiscard]] virtual std::size_t feature_count() const noexcept = 0;
 
   /// Classifies `n_samples` row-major samples.  `features` must hold exactly
-  /// `n_samples * feature_count()` values and `out` at least one slot per
-  /// sample; throws std::invalid_argument otherwise.
+  /// `n_samples * feature_count()` values, none of them NaN, and `out` at
+  /// least one slot per sample; throws std::invalid_argument otherwise.
+  /// `n_samples == 0` is a valid no-op.
   void predict_batch(std::span<const T> features, std::size_t n_samples,
                      std::span<std::int32_t> out) const;
 
@@ -61,8 +68,21 @@ class Predictor {
   void predict_batch(const data::Dataset<T>& dataset,
                      std::span<std::int32_t> out) const;
 
-  /// Single-sample convenience (a batch of one).
+  /// Single-sample convenience (a batch of one).  `x` must hold at least
+  /// feature_count() values; throws std::invalid_argument otherwise.
   [[nodiscard]] std::int32_t predict_one(std::span<const T> x) const;
+
+  /// Runs the backend hook directly on a batch the *caller* has already
+  /// validated (shape and NaN gates skipped).  For decorators re-slicing a
+  /// validated batch (ParallelPredictor's worker blocks) and for timing
+  /// harnesses that hoist validation out of the measured region so the
+  /// timer sees traversal cost, not the O(n x d) boundary scan.  Passing
+  /// unvalidated data here is undefined behavior — use predict_batch.
+  void predict_batch_prevalidated(const T* features, std::size_t n_samples,
+                                  std::int32_t* out) const {
+    if (n_samples == 0) return;
+    do_predict_batch(features, n_samples, out);
+  }
 
   /// Fraction of dataset rows classified as labeled.
   [[nodiscard]] double accuracy(const data::Dataset<T>& dataset) const;
@@ -99,6 +119,10 @@ struct PredictorOptions {
 ///   flint | encoded           FlintForestEngine/Encoded, blocked batch
 ///   theorem1 | theorem2       runtime Theorem formulations, blocked batch
 ///   radix                     RadixKey remap engine, blocked batch
+///   simd:flint                SimdForestEngine, lockstep lane traversal
+///                             with FLInt integer compares (AVX2/NEON when
+///                             built and supported, scalar lanes otherwise)
+///   simd:float                SimdForestEngine, hardware-float compares
 ///   jit:ifelse-float          generated if-else C, hardware-float compares
 ///   jit:ifelse-flint          generated if-else C, FLInt integer compares
 ///   jit:native-float          generated array-walking native tree, float
@@ -113,10 +137,17 @@ template <typename T>
 
 /// Backend names that need no JIT toolchain (interpreters + reference).
 [[nodiscard]] std::vector<std::string> interpreter_backends();
+/// Backend names of the data-parallel SoA traversal engines (exec/simd).
+[[nodiscard]] std::vector<std::string> simd_backends();
 /// Backend names routed through codegen + in-process compilation.
 [[nodiscard]] std::vector<std::string> jit_backends();
 /// One-line vocabulary string for CLI usage/error messages.
 [[nodiscard]] std::string backend_help();
+/// True iff `backend` is a name make_predictor accepts (lists + aliases) —
+/// the single vocabulary check for callers that want to validate a name
+/// without constructing a predictor (e.g. the CLI on an empty dataset,
+/// where jit:* construction would compile and load code for nothing).
+[[nodiscard]] bool is_known_backend(std::string_view backend);
 
 /// Wraps a JIT-loaded classify symbol (ABI: `int f(const T*)`).  Owns the
 /// module; copies of the predictor share it.  Used by make_predictor for

@@ -91,6 +91,18 @@ Forest<T> read_forest(std::istream& in) {
   trees.reserve(n_trees);
   for (std::size_t t = 0; t < n_trees; ++t) {
     trees.push_back(read_tree<T>(in));
+    // Tree::validate cannot see the forest-level class count, but every
+    // engine family — interpreters, SoA kernels, and generated jit code —
+    // indexes a num_classes-wide vote array by leaf class ids without a
+    // hot-path bounds check, so a header that understates num_classes must
+    // be rejected here.
+    for (const auto& n : trees.back().nodes()) {
+      if (n.is_leaf() && n.prediction >= num_classes) {
+        fail("tree " + std::to_string(t) + ": leaf class " +
+             std::to_string(n.prediction) + " out of range for " +
+             std::to_string(num_classes) + " classes");
+      }
+    }
   }
   return Forest<T>(std::move(trees), num_classes);
 }

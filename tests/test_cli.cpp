@@ -100,6 +100,36 @@ TEST_F(CliWorkflow, GenTrainPredictInspectCodegen) {
   EXPECT_EQ(cags.code, 0) << cags.err;
 }
 
+// Regression: predicting over an empty CSV (comment-only, so zero rows and
+// no learned column count) must report "n/a", not divide by zero or trip
+// the feature-width check; simd backends included in the engine sweep.
+TEST_F(CliWorkflow, PredictEmptyDatasetAndSimdEngines) {
+  ASSERT_EQ(run_cli({"gen", "--dataset", "wine", "--rows", "80", "--out", csv_})
+                .code, 0);
+  ASSERT_EQ(run_cli({"train", "--data", csv_, "--trees", "2", "--depth", "3",
+                     "--out", model_}).code, 0);
+  const std::string empty_csv = (dir_ / "empty.csv").string();
+  {
+    std::ofstream f(empty_csv);
+    f << "# header only, no rows\n";
+  }
+  auto empty = run_cli({"predict", "--model", model_, "--data", empty_csv});
+  ASSERT_EQ(empty.code, 0) << empty.err;
+  EXPECT_NE(empty.out.find("accuracy n/a over 0 rows"), std::string::npos)
+      << empty.out;
+  // An unknown engine is still rejected on the empty path.
+  auto bad = run_cli({"predict", "--model", model_, "--data", empty_csv,
+                      "--engine", "warp"});
+  EXPECT_EQ(bad.code, 2);
+  // The simd backends are reachable from the shell.
+  for (const char* engine : {"simd:flint", "simd:float"}) {
+    auto predict = run_cli({"predict", "--model", model_, "--data", csv_,
+                            "--engine", engine, "--threads", "2"});
+    ASSERT_EQ(predict.code, 0) << engine << ": " << predict.err;
+    EXPECT_NE(predict.out.find("accuracy"), std::string::npos);
+  }
+}
+
 TEST_F(CliWorkflow, PredictLabelsOutput) {
   ASSERT_EQ(run_cli({"gen", "--dataset", "wine", "--rows", "60", "--out", csv_})
                 .code, 0);

@@ -2,8 +2,12 @@
 // train/test splitting.
 #include <gtest/gtest.h>
 
+#include <stdlib.h>  // mkdtemp (POSIX)
+
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 
@@ -118,6 +122,80 @@ TEST(Csv, MalformedInputsReportLineNumbers) {
 TEST(Csv, MissingFileThrows) {
   EXPECT_THROW((void)flint::data::load_csv<float>("/nonexistent/x.csv"),
                std::runtime_error);
+}
+
+// Regression: CRLF line endings used to leave a '\r' glued to the label
+// field of every row, and the parser rejected the file instead of reading
+// it.  Windows-edited CSVs are a routine input; both getline-visible line
+// ending styles must parse to the same dataset.
+TEST(Csv, AcceptsCrlfLineEndings) {
+  std::istringstream lf("# h\n1.5,2.5,0\n3.5,4.5,1\n");
+  std::istringstream crlf("# h\r\n1.5,2.5,0\r\n3.5,4.5,1\r\n");
+  const auto a = flint::data::read_csv<float>(lf, "lf");
+  const auto b = flint::data::read_csv<float>(crlf, "crlf");
+  ASSERT_EQ(a.rows(), 2u);
+  ASSERT_EQ(b.rows(), a.rows());
+  ASSERT_EQ(b.cols(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    EXPECT_EQ(b.label(r), a.label(r));
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_EQ(b.row(r)[c], a.row(r)[c]) << r << "," << c;
+    }
+  }
+  // Blank CRLF lines ("\r\n" -> "\r" after getline) are skipped, not rows.
+  std::istringstream blanks("\r\n1.0,2.0,0\r\n\r\n");
+  EXPECT_EQ(flint::data::read_csv<float>(blanks, "b").rows(), 1u);
+}
+
+// Regression: a final row without a trailing newline must not be dropped
+// or corrupted — with or without a CR from a CRLF-style file.
+TEST(Csv, LastRowWithoutTrailingNewline) {
+  std::istringstream plain("1.5,2.5,0\n3.5,4.5,1");
+  const auto a = flint::data::read_csv<float>(plain, "t");
+  ASSERT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.row(1)[0], 3.5f);
+  EXPECT_EQ(a.label(1), 1);
+  std::istringstream cr_tail("1.5,2.5,0\r\n3.5,4.5,1\r");
+  const auto b = flint::data::read_csv<float>(cr_tail, "t");
+  ASSERT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.row(1)[1], 4.5f);
+  EXPECT_EQ(b.label(1), 1);
+}
+
+// Same two regressions through the file path (load_csv), with fixture
+// files written byte-exactly so no text-mode layer can rewrite endings.
+TEST(Csv, CrlfAndNoTrailingNewlineFixtureFiles) {
+  namespace fs = std::filesystem;
+  // mkdtemp: a unique per-process directory, so concurrent suite runs
+  // (e.g. build/ and build-asan/ in parallel) cannot race on fixtures.
+  std::string tmpl =
+      (fs::temp_directory_path() / "flint_csv_fixtures_XXXXXX").string();
+  ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+  const fs::path dir = tmpl;
+  struct Fixture {
+    const char* name;
+    const char* bytes;
+  };
+  const Fixture fixtures[] = {
+      {"crlf.csv", "1.5,2.5,0\r\n3.5,4.5,1\r\n"},
+      {"no_trailing_newline.csv", "1.5,2.5,0\n3.5,4.5,1"},
+      {"crlf_no_trailing_newline.csv", "1.5,2.5,0\r\n3.5,4.5,1"},
+  };
+  for (const auto& f : fixtures) {
+    const fs::path path = dir / f.name;
+    {
+      std::ofstream out(path, std::ios::binary);
+      ASSERT_TRUE(out.is_open()) << path;
+      out << f.bytes;
+    }
+    const auto ds = flint::data::load_csv<float>(path.string());
+    ASSERT_EQ(ds.rows(), 2u) << f.name;
+    ASSERT_EQ(ds.cols(), 2u) << f.name;
+    EXPECT_EQ(ds.row(1)[0], 3.5f) << f.name;
+    EXPECT_EQ(ds.row(1)[1], 4.5f) << f.name;
+    EXPECT_EQ(ds.label(1), 1) << f.name;
+  }
+  fs::remove_all(dir);
 }
 
 TEST(Synth, SpecTableMatchesPaperDatasets) {

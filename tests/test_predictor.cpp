@@ -130,6 +130,11 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& info) { return info.param; });
 
 INSTANTIATE_TEST_SUITE_P(
+    SimdBackends, BackendEquivalence,
+    ::testing::Values("simd:flint", "simd:float"),
+    [](const auto& info) { return info.param.substr(5); });
+
+INSTANTIATE_TEST_SUITE_P(
     JitBackends, BackendEquivalence,
     ::testing::Values("jit:ifelse-float", "jit:ifelse-flint",
                       "jit:native-float", "jit:native-flint", "jit:cags-float",
@@ -150,7 +155,8 @@ TEST_F(TrainedForest, BlockSizeDoesNotChangeResults) {
                                   std::size_t{64}, std::size_t{1024}}) {
     PredictorOptions opt;
     opt.block_size = block;
-    for (const char* backend : {"float", "encoded", "radix"}) {
+    for (const char* backend :
+         {"float", "encoded", "radix", "simd:flint", "simd:float"}) {
       const auto predictor = make_predictor(forest_, backend, opt);
       std::vector<std::int32_t> out(n);
       predictor->predict_batch(features, n, out);
@@ -195,6 +201,102 @@ TEST_F(TrainedForest, ParallelViaFactoryAndRepeatedBatches) {
             expected[0]);
 }
 
+// Regression (empty batches): n_samples == 0 must be a no-op for every
+// backend shape — no division by zero in the blocked loops, no empty block
+// dispatched to pool workers, and the output span untouched.
+TEST_F(TrainedForest, EmptyBatchIsNoOp) {
+  for (const char* backend : {"reference", "encoded", "simd:flint"}) {
+    PredictorOptions opt;
+    const auto predictor = make_predictor(forest_, backend, opt);
+    std::vector<float> no_features;
+    std::vector<std::int32_t> out(3, -7);
+    EXPECT_NO_THROW(predictor->predict_batch(no_features, 0, out)) << backend;
+    EXPECT_EQ(out, (std::vector<std::int32_t>{-7, -7, -7})) << backend;
+  }
+  // Through the pool decorator too (threads > 1).
+  PredictorOptions popt;
+  popt.threads = 4;
+  const auto parallel = make_predictor(forest_, "encoded", popt);
+  std::vector<std::int32_t> out;
+  EXPECT_NO_THROW(parallel->predict_batch(std::vector<float>{}, 0, out));
+  // And through the Dataset overload with zero rows.
+  flint::data::Dataset<float> empty("empty", forest_.feature_count());
+  std::vector<std::int32_t> ds_out;
+  EXPECT_NO_THROW(parallel->predict_batch(empty, ds_out));
+  EXPECT_EQ(parallel->accuracy(empty), 0.0);
+}
+
+// NaN contract: the batch boundary rejects NaN features up front, because
+// the FLInt engines' bit-pattern order would otherwise silently diverge
+// from IEEE comparison semantics (README "NaN/zero semantics").
+TEST_F(TrainedForest, NanFeaturesAreRejected) {
+  const std::size_t cols = forest_.feature_count();
+  for (const char* backend : {"reference", "encoded", "simd:flint"}) {
+    const auto predictor = make_predictor(forest_, backend);
+    std::vector<float> features(cols * 3, 1.0f);
+    features[cols + 1] = std::numeric_limits<float>::quiet_NaN();
+    std::vector<std::int32_t> out(3);
+    try {
+      predictor->predict_batch(features, 3, out);
+      FAIL() << backend << ": expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("NaN"), std::string::npos)
+          << e.what();
+    }
+    // Signaling NaN and negative NaN payloads are NaN too.
+    features[cols + 1] = -std::numeric_limits<float>::signaling_NaN();
+    EXPECT_THROW(predictor->predict_batch(features, 3, out),
+                 std::invalid_argument)
+        << backend;
+    // Infinities remain valid inputs.
+    features[cols + 1] = std::numeric_limits<float>::infinity();
+    EXPECT_NO_THROW(predictor->predict_batch(features, 3, out)) << backend;
+  }
+  // The pool decorator inherits the gate (checked before dispatch).
+  PredictorOptions popt;
+  popt.threads = 2;
+  const auto parallel = make_predictor(forest_, "encoded", popt);
+  std::vector<float> features(cols, 0.0f);
+  features[0] = std::numeric_limits<float>::quiet_NaN();
+  std::vector<std::int32_t> out(1);
+  EXPECT_THROW(parallel->predict_batch(features, 1, out),
+               std::invalid_argument);
+}
+
+// Degenerate pool configurations: more threads than blocks, a block size
+// larger than the batch, and a 64-worker pool on any host must neither
+// deadlock, leave workers spinning, nor double-claim blocks (every sample
+// classified exactly once => results bit-identical to the reference).
+TEST_F(TrainedForest, ParallelDegenerateConfigsStress) {
+  const std::size_t n = 700;
+  const auto features = adversarial_features(forest_, n, 31);
+  const auto expected = reference(features);
+  struct Config {
+    unsigned threads;
+    std::size_t block;
+  };
+  const Config configs[] = {
+      {1, 64},    // no pool workers at all: inline drain
+      {2, 512},   // threads == block count
+      {2, 4096},  // block_size > n_samples: inline path
+      {64, 64},   // threads >> blocks on this batch
+      {64, 1},    // maximal contention on the atomic cursor
+  };
+  for (const auto& cfg : configs) {
+    ParallelPredictor<float> parallel(make_predictor(forest_, "encoded"),
+                                      cfg.threads, cfg.block);
+    EXPECT_EQ(parallel.thread_count(), cfg.threads);
+    // Repeat to exercise pool reuse with left-over generation state.
+    for (int round = 0; round < 2; ++round) {
+      std::vector<std::int32_t> out(n, -1);
+      parallel.predict_batch(features, n, out);
+      ASSERT_EQ(out, expected)
+          << "threads=" << cfg.threads << " block=" << cfg.block
+          << " round=" << round;
+    }
+  }
+}
+
 TEST_F(TrainedForest, ShapeValidation) {
   const auto predictor = make_predictor(forest_, "encoded");
   std::vector<float> features(forest_.feature_count() * 4);
@@ -206,6 +308,11 @@ TEST_F(TrainedForest, ShapeValidation) {
   // Output too small.
   std::vector<std::int32_t> small(3);
   EXPECT_THROW(predictor->predict_batch(features, 4, small),
+               std::invalid_argument);
+  // predict_one with a short sample throws instead of slicing out of
+  // bounds (span::first on a too-short span is UB).
+  std::vector<float> short_sample(forest_.feature_count() - 1);
+  EXPECT_THROW((void)predictor->predict_one(short_sample),
                std::invalid_argument);
 }
 
@@ -230,8 +337,9 @@ TEST(PredictorDouble, DoubleWidthBackendsMatchForestPredict) {
   opt.n_trees = 4;
   opt.tree.max_depth = 8;
   const auto forest = flint::trees::train_forest(full, opt);
-  for (const char* backend : {"reference", "float", "encoded", "theorem1",
-                              "theorem2", "radix", "jit:ifelse-flint"}) {
+  for (const char* backend :
+       {"reference", "float", "encoded", "theorem1", "theorem2", "radix",
+        "simd:flint", "simd:float", "jit:ifelse-flint"}) {
     const auto predictor = make_predictor(forest, backend);
     std::vector<std::int32_t> out(full.rows());
     predictor->predict_batch(full, out);
@@ -245,10 +353,15 @@ TEST(PredictorDouble, DoubleWidthBackendsMatchForestPredict) {
 TEST(PredictorNames, BackendListsAreConsistent) {
   const auto interp = flint::predict::interpreter_backends();
   EXPECT_EQ(interp.size(), 6u);
+  const auto simd = flint::predict::simd_backends();
+  EXPECT_EQ(simd.size(), 2u);
   const auto jit = flint::predict::jit_backends();
   EXPECT_EQ(jit.size(), 7u);
   const auto help = flint::predict::backend_help();
   for (const auto& name : interp) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+  for (const auto& name : simd) {
     EXPECT_NE(help.find(name), std::string::npos) << name;
   }
 }

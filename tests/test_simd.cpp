@@ -1,0 +1,366 @@
+// Tests for the exec/simd subsystem: the SoA packer's unified threshold
+// algebra, the block transposer, the lockstep kernels' bit-identity to
+// Forest::predict, and the serialize round-trip of adversarial thresholds
+// (negative zero, denormals, infinities) feeding the SoA packer bit-exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <type_traits>
+#include <vector>
+
+#include "core/flint.hpp"
+#include "data/synth.hpp"
+#include "exec/interpreter.hpp"
+#include "exec/simd/kernels.hpp"
+#include "exec/simd/kernels_scalar.hpp"
+#include "exec/simd/simd_engine.hpp"
+#include "exec/simd/soa.hpp"
+#include "trees/forest.hpp"
+#include "trees/serialize.hpp"
+#include "trees/train.hpp"
+
+namespace {
+
+using flint::core::encode_threshold_le;
+using flint::core::FloatTraits;
+using flint::core::si_bits;
+using flint::core::ThresholdMode;
+using flint::exec::simd::SimdForestEngine;
+using flint::exec::simd::SimdMode;
+using flint::exec::simd::SoaForest;
+using flint::exec::simd::transpose_tiles;
+
+/// The SoA packer's branch-free rewrite of EncodedThreshold (soa.hpp):
+///   Direct:   (mask, thr) = (0, imm)
+///   SignFlip: (mask, thr) = (abs_mask, ~imm)
+/// evaluated as (si(x) ^ mask) <= thr.
+template <typename T>
+bool unified_le(T split, T x) {
+  using S = typename FloatTraits<T>::Signed;
+  const auto enc = encode_threshold_le(split);
+  S mask = 0;
+  S thr = enc.immediate;
+  if (enc.mode == ThresholdMode::SignFlip) {
+    mask = static_cast<S>(FloatTraits<T>::abs_mask);
+    thr = static_cast<S>(~enc.immediate);
+  }
+  return (si_bits(x) ^ mask) <= thr;
+}
+
+template <typename T>
+std::vector<T> special_values() {
+  return {T{0.0},
+          T{-0.0},
+          std::numeric_limits<T>::denorm_min(),
+          -std::numeric_limits<T>::denorm_min(),
+          std::numeric_limits<T>::min(),
+          -std::numeric_limits<T>::min(),
+          std::numeric_limits<T>::infinity(),
+          -std::numeric_limits<T>::infinity(),
+          std::numeric_limits<T>::max(),
+          std::numeric_limits<T>::lowest(),
+          T{1.5},
+          T{-1.5}};
+}
+
+// The unified single-compare form must agree with EncodedThreshold::le —
+// and therefore with IEEE x <= split — for every (split, x) pair over the
+// special-value cluster and a random sweep, in both widths.
+TEST(UnifiedThreshold, MatchesEncodedThresholdAndIeee) {
+  const auto run = [](auto tag) {
+    using T = decltype(tag);
+    for (const T split : special_values<T>()) {
+      for (const T x : special_values<T>()) {
+        const auto enc = encode_threshold_le(split);
+        EXPECT_EQ(unified_le(split, x), enc.le(x))
+            << "split=" << split << " x=" << x;
+        EXPECT_EQ(unified_le(split, x), x <= split)
+            << "split=" << split << " x=" << x;
+      }
+    }
+    std::mt19937_64 rng(7);
+    std::uniform_real_distribution<T> dist(T{-1e6}, T{1e6});
+    for (int i = 0; i < 20000; ++i) {
+      const T split = dist(rng);
+      const T x = dist(rng);
+      ASSERT_EQ(unified_le(split, x), x <= split)
+          << "split=" << split << " x=" << x;
+    }
+  };
+  run(float{});
+  run(double{});
+}
+
+TEST(Transposer, CompileTimeWidthRoundTripAndPadding) {
+  // 3 rows x 2 cols with W = 2: two tiles, second tile half padded.
+  const float rows[] = {1, 2, 3, 4, 5, 6};
+  float tiles[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+  transpose_tiles<float, 2>(rows, 3, 2, tiles);
+  // Tile 0: feature 0 lanes {1,3}, feature 1 lanes {2,4}.
+  EXPECT_EQ(tiles[0], 1.0f);
+  EXPECT_EQ(tiles[1], 3.0f);
+  EXPECT_EQ(tiles[2], 2.0f);
+  EXPECT_EQ(tiles[3], 4.0f);
+  // Tile 1: lane 0 = row 2, lane 1 zero-padded.
+  EXPECT_EQ(tiles[4], 5.0f);
+  EXPECT_EQ(tiles[5], 0.0f);
+  EXPECT_EQ(tiles[6], 6.0f);
+  EXPECT_EQ(tiles[7], 0.0f);
+}
+
+TEST(Transposer, RuntimeWidthMatchesCompileTime) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<float> dist(-10.0f, 10.0f);
+  const std::size_t n = 13, cols = 5;
+  std::vector<float> rows(n * cols);
+  for (auto& v : rows) v = dist(rng);
+  const std::size_t tiles_len = ((n + 3) / 4) * cols * 4;
+  std::vector<float> a(tiles_len, -1.0f), b(tiles_len, -1.0f);
+  transpose_tiles<float, 4>(rows.data(), n, cols, a.data());
+  transpose_tiles(rows.data(), n, cols, 4, b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(SoaForestPacking, LeavesSelfLoopAndStoreClasses) {
+  flint::trees::Tree<float> tree(2);
+  const auto root = tree.add_split(0, 0.5f);
+  const auto l = tree.add_leaf(1);
+  const auto r = tree.add_leaf(0);
+  tree.link(root, l, r);
+  const flint::trees::Forest<float> forest({tree}, 2);
+  const SoaForest<float> soa(forest);
+  ASSERT_EQ(soa.node_count(), 3u);
+  ASSERT_EQ(soa.tree_count(), 1u);
+  EXPECT_EQ(soa.roots[0], 0);
+  EXPECT_EQ(soa.feature[0], 0);
+  EXPECT_EQ(soa.left[0], 1);
+  EXPECT_EQ(soa.right[0], 2);
+  // Leaves: feature -1, self-looping children, class id in threshold.
+  for (int i : {1, 2}) {
+    EXPECT_EQ(soa.feature[i], -1);
+    EXPECT_EQ(soa.left[i], i);
+    EXPECT_EQ(soa.right[i], i);
+  }
+  EXPECT_EQ(soa.threshold[1], 1);
+  EXPECT_EQ(soa.threshold[2], 0);
+}
+
+/// One split per adversarial threshold, classes = leaf side (x <= s -> 1).
+flint::trees::Forest<float> adversarial_threshold_forest() {
+  std::vector<flint::trees::Tree<float>> trees;
+  for (const float split : special_values<float>()) {
+    flint::trees::Tree<float> tree(1);
+    const auto root = tree.add_split(0, split);
+    const auto l = tree.add_leaf(1);
+    const auto r = tree.add_leaf(0);
+    tree.link(root, l, r);
+    trees.push_back(tree);
+  }
+  return flint::trees::Forest<float>(std::move(trees), 2);
+}
+
+// Satellite: serialize round-trip of adversarial thresholds feeding the SoA
+// packer.  The hex bit-pattern format must reproduce -0.0, denormals and
+// infinities exactly, the packed threshold/xor_mask arrays must be
+// bit-identical before and after the round trip, and the SIMD engines built
+// from the reloaded forest must still match Forest::predict everywhere.
+TEST(SerializeRoundTrip, AdversarialThresholdsFeedSoaPackerBitExact) {
+  const auto forest = adversarial_threshold_forest();
+  std::stringstream buf;
+  flint::trees::write_forest(buf, forest);
+  const auto reloaded = flint::trees::read_forest<float>(buf);
+  ASSERT_EQ(reloaded.size(), forest.size());
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    const float original = forest.tree(t).node(0).split;
+    const float back = reloaded.tree(t).node(0).split;
+    EXPECT_EQ(si_bits(original), si_bits(back))
+        << "split " << original << " did not round-trip bit-exactly";
+  }
+  const SoaForest<float> before(forest);
+  const SoaForest<float> after(reloaded);
+  ASSERT_EQ(after.node_count(), before.node_count());
+  EXPECT_EQ(after.threshold, before.threshold);
+  EXPECT_EQ(after.xor_mask, before.xor_mask);
+  EXPECT_EQ(after.feature, before.feature);
+  EXPECT_EQ(after.left, before.left);
+  EXPECT_EQ(after.right, before.right);
+  for (std::size_t i = 0; i < before.split.size(); ++i) {
+    EXPECT_EQ(si_bits(before.split[i]), si_bits(after.split[i])) << i;
+  }
+  // End to end: both engine modes on the reloaded model, adversarial inputs.
+  for (const SimdMode mode : {SimdMode::Flint, SimdMode::Float}) {
+    const SimdForestEngine<float> engine(reloaded, mode);
+    for (const float x : special_values<float>()) {
+      EXPECT_EQ(engine.predict({&x, 1}), forest.predict({&x, 1}))
+          << to_string(mode) << " x=" << x;
+    }
+  }
+}
+
+class SimdEngineOnTrainedForest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto data =
+        flint::data::generate<float>(flint::data::magic_spec(), 11, 900);
+    flint::trees::ForestOptions opt;
+    opt.n_trees = 5;
+    opt.tree.max_depth = 8;
+    forest_ = flint::trees::train_forest(data, opt);
+    std::mt19937_64 rng(17);
+    std::uniform_real_distribution<float> dist(-50.0f, 50.0f);
+    features_.resize(1003 * forest_.feature_count());  // odd tail vs any W
+    for (auto& v : features_) v = dist(rng);
+  }
+
+  flint::trees::Forest<float> forest_;
+  std::vector<float> features_;
+};
+
+// The engine must classify identically at every block size (tail tiles,
+// padded lanes) and in both compare modes, and report a coherent kernel.
+TEST_F(SimdEngineOnTrainedForest, BlockSizeAndModeInvariance) {
+  const std::size_t cols = forest_.feature_count();
+  const std::size_t n = features_.size() / cols;
+  std::vector<std::int32_t> expected(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    expected[s] = forest_.predict({features_.data() + s * cols, cols});
+  }
+  for (const SimdMode mode : {SimdMode::Flint, SimdMode::Float}) {
+    for (const std::size_t block : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{64}, std::size_t{4096}}) {
+      const SimdForestEngine<float> engine(forest_, mode, block);
+      EXPECT_GE(engine.lane_width(), 1u);
+      EXPECT_TRUE(std::string(engine.kernel_name()) == "avx2" ||
+                  std::string(engine.kernel_name()) == "neon" ||
+                  std::string(engine.kernel_name()) == "scalar")
+          << engine.kernel_name();
+      std::vector<std::int32_t> out(n, -1);
+      engine.predict_batch(features_.data(), n, out.data());
+      ASSERT_EQ(out, expected)
+          << to_string(mode) << " block=" << block << " kernel "
+          << engine.kernel_name();
+    }
+  }
+}
+
+// The scalar template must produce identical vote matrices at every lane
+// width (padding, tile seams); when an AVX2 kernel is built and the CPU
+// runs it, its votes are cross-checked against the template lane for lane.
+// (Engine-level bit-identity to Forest::predict for whichever kernel is
+// dispatched is covered by BlockSizeAndModeInvariance above.)
+TEST_F(SimdEngineOnTrainedForest, ScalarWidthInvarianceAndKernelVotes) {
+  const std::size_t cols = forest_.feature_count();
+  const std::size_t n = 96;  // multiple of all widths under test
+  const SoaForest<float> soa(forest_);
+  const auto classes = static_cast<std::size_t>(soa.num_classes);
+  const auto run_scalar = [&](auto width_tag, bool flint_mode) {
+    constexpr std::size_t W = decltype(width_tag)::value;
+    std::vector<float> tiles((n / W) * cols * W);
+    transpose_tiles<float, W>(features_.data(), n, cols, tiles.data());
+    std::vector<int> votes(n * classes, 0);
+    if (flint_mode) {
+      flint::exec::simd::predict_tiles_scalar<float, W, true>(
+          soa, tiles.data(), n / W, votes.data());
+    } else {
+      flint::exec::simd::predict_tiles_scalar<float, W, false>(
+          soa, tiles.data(), n / W, votes.data());
+    }
+    return votes;
+  };
+  for (const bool flint_mode : {true, false}) {
+    const auto v1 = run_scalar(std::integral_constant<std::size_t, 1>{},
+                               flint_mode);
+    const auto v4 = run_scalar(std::integral_constant<std::size_t, 4>{},
+                               flint_mode);
+    const auto v8 = run_scalar(std::integral_constant<std::size_t, 8>{},
+                               flint_mode);
+    EXPECT_EQ(v1, v4);
+    EXPECT_EQ(v1, v8);
+    // Vote totals per sample must equal the tree count.
+    for (std::size_t s = 0; s < n; ++s) {
+      int total = 0;
+      for (std::size_t c = 0; c < classes; ++c) total += v1[s * classes + c];
+      ASSERT_EQ(total, static_cast<int>(soa.tree_count())) << s;
+    }
+#if defined(FLINT_SIMD_AVX2)
+    if (flint::exec::simd::avx2_supported()) {
+      std::vector<float> tiles((n / 8) * cols * 8);
+      transpose_tiles<float, 8>(features_.data(), n, cols, tiles.data());
+      std::vector<int> votes(n * classes, 0);
+      if (flint_mode) {
+        flint::exec::simd::predict_tiles_flint_avx2(soa, tiles.data(), n / 8,
+                                                    votes.data());
+      } else {
+        flint::exec::simd::predict_tiles_float_avx2(soa, tiles.data(), n / 8,
+                                                    votes.data());
+      }
+      EXPECT_EQ(votes, v8) << "AVX2 kernel votes diverge from the scalar "
+                              "template (flint_mode="
+                           << flint_mode << ")";
+    }
+#endif
+  }
+}
+
+TEST(SimdEngineDouble, ScalarLanesMatchForestPredict) {
+  const auto data =
+      flint::data::generate<double>(flint::data::wine_spec(), 5, 600);
+  flint::trees::ForestOptions opt;
+  opt.n_trees = 4;
+  opt.tree.max_depth = 7;
+  const auto forest = flint::trees::train_forest(data, opt);
+  for (const SimdMode mode : {SimdMode::Flint, SimdMode::Float}) {
+    const SimdForestEngine<double> engine(forest, mode);
+    EXPECT_STREQ(engine.kernel_name(), "scalar");  // no double AVX2/NEON path
+    std::vector<std::int32_t> out(data.rows());
+    engine.predict_batch(data.values().data(), data.rows(), out.data());
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      ASSERT_EQ(out[r], forest.predict(data.row(r)))
+          << to_string(mode) << " row " << r;
+    }
+  }
+}
+
+// The kernels index vote rows by leaf class with no hot-path bounds check,
+// so a model whose header understates num_classes (constructible by hand
+// and reachable through read_forest) must be rejected at pack time — by
+// the SoA packer and by the per-sample engines alike — instead of writing
+// past the vote buffers.
+TEST(SimdEngineEdgeCases, OutOfRangeLeafClassRejectedAtPackTime) {
+  flint::trees::Tree<float> tree(1);
+  const auto root = tree.add_split(0, 0.0f);
+  tree.link(root, tree.add_leaf(0), tree.add_leaf(5));
+  const flint::trees::Forest<float> lying({tree}, /*num_classes=*/2);
+  EXPECT_THROW(SoaForest<float>{lying}, std::invalid_argument);
+  EXPECT_THROW(flint::exec::FlintForestEngine<float>(
+                   lying, flint::exec::FlintVariant::Encoded),
+               std::invalid_argument);
+  EXPECT_THROW(flint::exec::FloatForestEngine<float>{lying},
+               std::invalid_argument);
+  // And read_forest refuses such a model file outright, which also covers
+  // the jit backends (their generated code indexes the same vote array
+  // with no engine-side pack step).
+  std::stringstream buf;
+  flint::trees::write_forest(buf, lying);
+  EXPECT_THROW((void)flint::trees::read_forest<float>(buf),
+               std::runtime_error);
+}
+
+TEST(SimdEngineEdgeCases, EmptyBatchAndEmptyForest) {
+  flint::trees::Tree<float> tree(1);
+  const auto root = tree.add_split(0, 0.0f);
+  tree.link(root, tree.add_leaf(0), tree.add_leaf(1));
+  const flint::trees::Forest<float> forest({tree}, 2);
+  const SimdForestEngine<float> engine(forest, SimdMode::Flint);
+  std::vector<std::int32_t> out(2, -5);
+  engine.predict_batch(nullptr, 0, out.data());  // no-op, no deref
+  EXPECT_EQ(out[0], -5);
+  EXPECT_THROW(SimdForestEngine<float>(flint::trees::Forest<float>{},
+                                       SimdMode::Flint),
+               std::invalid_argument);
+}
+
+}  // namespace
