@@ -8,12 +8,14 @@
 #include <cstdio>
 #include <iostream>
 
+#include "harness/bench_json.hpp"
 #include "harness/experiment.hpp"
 #include "harness/machine_info.hpp"
 #include "harness/report.hpp"
 
 int main() {
   using namespace flint::harness;
+  BenchJson json("ablation_cags_kernel");
   std::printf("=== Ablation: CAGS kernel budget sweep ===\n");
   std::printf("host: %s\n\n", to_string(query_machine_info()).c_str());
   std::printf("%-10s %-14s %-14s %-16s %-16s\n", "budget", "CAGS", "CAGS(FLInt)",
@@ -39,6 +41,12 @@ int main() {
     }
     std::printf("%-10d %-13.3fx %-13.3fx %-16zu %-16zu\n", budget, cags,
                 cags_flint, obj_cags, obj_cags_flint);
+    json.add_row({{"budget", BenchValue::of(budget)},
+                  {"cags_normalized", BenchValue::of(cags)},
+                  {"cags_flint_normalized", BenchValue::of(cags_flint)},
+                  {"cags_object_bytes", BenchValue::of(obj_cags)},
+                  {"cags_flint_object_bytes",
+                   BenchValue::of(obj_cags_flint)}});
   }
   std::printf("\nshape: FLInt shrinks per-node code, so more of the hot tree\n"
               "prefix fits per kernel at equal budget (CAGS(FLInt) <= CAGS).\n");

@@ -13,6 +13,7 @@
 
 #include "data/split.hpp"
 #include "data/synth.hpp"
+#include "harness/bench_json.hpp"
 #include "harness/machine_info.hpp"
 #include "harness/stats.hpp"
 #include "harness/timer.hpp"
@@ -20,6 +21,7 @@
 #include "trees/forest.hpp"
 
 int main() {
+  flint::harness::BenchJson json("ablation_flint_variants");
   std::printf("=== Ablation: FLInt runtime formulations (interpreter) ===\n");
   std::printf("host: %s\n\n",
               flint::harness::to_string(flint::harness::query_machine_info()).c_str());
@@ -66,6 +68,11 @@ int main() {
 
       const double t_float = time_predictor(*float_predictor);
       std::printf("%-12s %-6d %-10.1f", name, depth, t_float);
+      json.add_row({{"dataset", flint::harness::BenchValue::of(name)},
+                    {"depth", flint::harness::BenchValue::of(depth)},
+                    {"backend", flint::harness::BenchValue::of("float")},
+                    {"ns_per_sample",
+                     flint::harness::BenchValue::of(t_float)}});
       for (const char* backend : {"encoded", "theorem1", "theorem2", "radix"}) {
         const auto predictor = flint::predict::make_predictor(forest, backend);
         // Equivalence guard: ablation numbers are only meaningful if the
@@ -79,6 +86,12 @@ int main() {
         }
         const double t = time_predictor(*predictor);
         std::printf(" %-10s", (std::to_string(t / t_float).substr(0, 4) + "x").c_str());
+        json.add_row({{"dataset", flint::harness::BenchValue::of(name)},
+                      {"depth", flint::harness::BenchValue::of(depth)},
+                      {"backend", flint::harness::BenchValue::of(backend)},
+                      {"ns_per_sample", flint::harness::BenchValue::of(t)},
+                      {"vs_float",
+                       flint::harness::BenchValue::of(t / t_float)}});
       }
       std::printf("\n");
     }

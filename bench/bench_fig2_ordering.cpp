@@ -10,6 +10,7 @@
 
 #include "core/flint.hpp"
 #include "fpformat/fpformat.hpp"
+#include "harness/bench_json.hpp"
 
 int main() {
   using flint::core::from_si_bits;
@@ -63,5 +64,9 @@ int main() {
                   std::numeric_limits<std::int32_t>::min() + 1)),
               static_cast<double>(
                   from_si_bits<float>(0x7F7FFFFF)));  // largest finite
+  flint::harness::BenchJson json("fig2_ordering");
+  json.set("points", points);
+  json.set("positive_class_violations", monotone_violations_pos);
+  json.set("negative_class_violations", monotone_violations_neg);
   return (monotone_violations_pos + monotone_violations_neg) == 0 ? 0 : 1;
 }

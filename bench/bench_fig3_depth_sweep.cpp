@@ -11,6 +11,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "harness/bench_json.hpp"
 #include "harness/experiment.hpp"
 #include "harness/machine_info.hpp"
 #include "harness/report.hpp"
@@ -42,5 +43,7 @@ int main(int argc, char** argv) {
   std::ofstream csv("fig3_records.csv");
   write_csv(csv, records);
   std::printf("\nraw records: fig3_records.csv (%zu rows)\n", records.size());
+  BenchJson json("fig3_depth_sweep");
+  add_run_records(json, records);
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "harness/bench_json.hpp"
 #include "harness/experiment.hpp"
 #include "harness/machine_info.hpp"
 #include "harness/report.hpp"
@@ -35,5 +36,7 @@ int main(int argc, char** argv) {
   std::ofstream csv("fig4_records.csv");
   write_csv(csv, records);
   std::printf("\nraw records: fig4_records.csv (%zu rows)\n", records.size());
+  BenchJson json("fig4_asm");
+  add_run_records(json, records);
   return 0;
 }

@@ -1,0 +1,224 @@
+// Deep-forest memory-bound throughput: the acceptance bench for the
+// exec/layout compact node formats (ISSUE 3).
+//
+// Trains a deep synthetic forest whose packed node image exceeds L2 — the
+// regime where the PR 2 simd:* gains flatten because node fetches, not
+// compares, dominate — and measures samples/sec for the wide interpreter,
+// the SoA lane kernels and the layout:* compact backends at the same
+// thread count.  Acceptance: layout:auto >= 1.3x the best of
+// {encoded, simd:flint} on the deep model.
+//
+// Every configuration is verified bit-identical to per-sample
+// Forest::predict before it is timed; any divergence exits non-zero (CI
+// runs this as a correctness gate with FLINT_BENCH_SMOKE=1).
+//
+// Emits BENCH_layout_throughput.json next to the text output.
+//
+//   FLINT_BENCH_SMOKE=1  tiny model, correctness-gate sized (CI)
+//   FLINT_BENCH_FULL=1   256 trees x depth 16 + larger pool
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synth.hpp"
+#include "exec/layout/plan.hpp"
+#include "harness/bench_json.hpp"
+#include "harness/machine_info.hpp"
+#include "harness/timer.hpp"
+#include "predict/predictor.hpp"
+#include "trees/forest.hpp"
+#include "trees/tree_stats.hpp"
+
+namespace {
+
+double samples_per_sec(const flint::predict::Predictor<float>& p,
+                       const std::vector<float>& features, std::size_t batch,
+                       std::vector<std::int32_t>& out) {
+  const std::size_t cols = p.feature_count();
+  const std::span<const float> span(features.data(), batch * cols);
+  const auto t = flint::harness::measure(
+      [&] { p.predict_batch(span, batch, {out.data(), batch}); }, 0.05, 3);
+  return static_cast<double>(batch) / t.seconds_per_iteration;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--help") {
+    std::printf(
+        "bench_layout_throughput: deep-forest (memory-bound) inference\n"
+        "throughput of the layout:* compact-node backends vs the encoded\n"
+        "interpreter and simd:flint.  Verifies bit-identity to\n"
+        "Forest::predict first; divergence exits non-zero.  Writes\n"
+        "BENCH_layout_throughput.json.  FLINT_BENCH_SMOKE=1 shrinks to a\n"
+        "CI correctness gate; FLINT_BENCH_FULL=1 enlarges the model.\n");
+    return 0;
+  }
+  const char* full_env = std::getenv("FLINT_BENCH_FULL");
+  const bool full = full_env != nullptr && full_env[0] == '1';
+  const char* smoke_env = std::getenv("FLINT_BENCH_SMOKE");
+  const bool smoke = smoke_env != nullptr && smoke_env[0] == '1';
+
+  std::printf("=== Deep-forest layout throughput (exec/layout) ===\n");
+  std::printf("host: %s (hardware_concurrency=%u)\n",
+              flint::harness::to_string(flint::harness::query_machine_info())
+                  .c_str(),
+              std::thread::hardware_concurrency());
+
+  const auto spec = flint::data::spec_by_name("magic");
+  const std::size_t rows = smoke ? 1500 : (full ? 20000 : 10000);
+  const int n_trees = smoke ? 16 : (full ? 256 : 128);
+  const int depth = smoke ? 8 : (full ? 16 : 14);
+  const auto data = flint::data::generate<float>(spec, 42, rows);
+  flint::trees::ForestOptions fopt;
+  fopt.n_trees = n_trees;
+  fopt.tree.max_depth = depth;
+  fopt.tree.max_features = flint::trees::TrainOptions::kSqrtFeatures;
+  const auto forest = flint::trees::train_forest(data, fopt);
+  const auto stats = flint::trees::forest_stats(forest);
+  const auto cache = flint::exec::layout::detect_cache_info();
+
+  const std::size_t wide_bytes = stats.total_nodes * 16;  // PackedNode<float>
+  std::printf(
+      "model: %d trees, depth<=%d (max %zu), %zu nodes\n"
+      "packed: wide %.1f KiB | c16 %.1f KiB | c8 %.1f KiB  (L2 %zu KiB, "
+      "LLC %zu KiB)\npool: %zu samples\n\n",
+      n_trees, depth, stats.max_depth, stats.total_nodes,
+      wide_bytes / 1024.0, stats.total_nodes * 16 / 1024.0,
+      stats.total_nodes * 8 / 1024.0, cache.l2_bytes / 1024,
+      cache.llc_bytes / 1024, data.rows());
+
+  flint::harness::BenchJson json("layout_throughput");
+  json.set("trees", n_trees);
+  json.set("max_depth", stats.max_depth);
+  json.set("total_nodes", stats.total_nodes);
+  json.set("pool_rows", data.rows());
+  json.set("l2_bytes", cache.l2_bytes);
+  json.set("llc_bytes", cache.llc_bytes);
+  json.set("mode", smoke ? "smoke" : (full ? "full" : "default"));
+
+  // Bit-identity gate vs per-sample Forest::predict.
+  std::vector<std::int32_t> reference(data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    reference[r] = forest.predict(data.row(r));
+  }
+  std::vector<std::int32_t> out(data.rows());
+  const std::vector<float> features(data.values().begin(),
+                                    data.values().end());
+  auto verify = [&](const flint::predict::Predictor<float>& p) {
+    p.predict_batch(features, data.rows(), out);
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      if (out[r] != reference[r]) {
+        std::fprintf(stderr,
+                     "FATAL: %s diverges from Forest::predict at row %zu\n",
+                     p.name().c_str(), r);
+        std::exit(1);
+      }
+    }
+  };
+
+  std::vector<std::string> backends = {"encoded", "simd:flint", "layout:c16",
+                                       "layout:c8", "layout:auto"};
+  std::vector<std::unique_ptr<flint::predict::Predictor<float>>> predictors;
+  std::printf("--- backends (verified bit-identical) ---\n");
+  for (std::size_t i = 0; i < backends.size();) {
+    flint::predict::PredictorOptions opt;
+    opt.block_size = 256;
+    try {
+      predictors.push_back(
+          flint::predict::make_predictor(forest, backends[i], opt));
+    } catch (const std::invalid_argument& e) {
+      // A pinned width can be unpackable (e.g. layout:c8 on a model with
+      // > 32767 distinct thresholds per feature); layout:auto still serves.
+      std::printf("  %-12s skipped (%s)\n", backends[i].c_str(), e.what());
+      backends.erase(backends.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    verify(*predictors.back());
+    std::printf("  %-12s -> %s\n", backends[i].c_str(),
+                predictors.back()->name().c_str());
+    ++i;
+  }
+
+  // --- Sweep 1: batch-size x backend, single thread. -----------------------
+  std::printf("\n--- batch-size sweep (1 thread, samples/sec) ---\n");
+  std::printf("%-8s", "batch");
+  for (const auto& b : backends) std::printf(" %-13s", b.c_str());
+  std::printf("\n");
+  double best_baseline = 0.0;  // encoded / simd:flint at the largest batch
+  double layout_auto_rate = 0.0;
+  for (const std::size_t batch :
+       {std::size_t{256}, std::size_t{4096}, data.rows()}) {
+    if (batch > data.rows()) continue;
+    std::printf("%-8zu", batch);
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      const double rate = samples_per_sec(*predictors[i], features, batch, out);
+      std::printf(" %-13.0f", rate);
+      json.add_rate(backends[i], batch, 1, rate);
+      if (batch == data.rows()) {
+        if (backends[i] == "encoded" || backends[i] == "simd:flint") {
+          best_baseline = std::max(best_baseline, rate);
+        }
+        if (backends[i] == "layout:auto") layout_auto_rate = rate;
+      }
+    }
+    std::printf("\n");
+  }
+
+  // --- Sweep 2: threads x {best baseline, layout:auto}. --------------------
+  std::printf("\n--- thread sweep (batch=%zu, samples/sec) ---\n",
+              data.rows());
+  std::printf("%-8s %-14s %-14s\n", "threads", "simd:flint", "layout:auto");
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    double rates[2] = {0, 0};
+    const char* pair[2] = {"simd:flint", "layout:auto"};
+    for (int i = 0; i < 2; ++i) {
+      flint::predict::PredictorOptions opt;
+      opt.block_size = 256;
+      opt.threads = threads;
+      const auto p = flint::predict::make_predictor(forest, pair[i], opt);
+      verify(*p);
+      rates[i] = samples_per_sec(*p, features, data.rows(), out);
+      json.add_rate(pair[i], data.rows(), threads, rates[i]);
+    }
+    std::printf("%-8u %-14.0f %-14.0f\n", threads, rates[0], rates[1]);
+  }
+
+  // --- Sweep 3: single-sample latency (interleaved lockstep path). ---------
+  std::printf("\n--- single-sample latency (us/sample) ---\n");
+  const std::size_t cols = forest.feature_count();
+  for (std::size_t i = 0; i < backends.size(); ++i) {
+    const auto& p = *predictors[i];
+    std::size_t r = 0;
+    std::int32_t sink = 0;
+    const auto t = flint::harness::measure(
+        [&] {
+          sink ^= p.predict_one({features.data() + r * cols, cols});
+          r = (r + 1) % data.rows();
+        },
+        0.02, 3);
+    (void)sink;
+    const double us = t.seconds_per_iteration * 1e6;
+    std::printf("  %-12s %8.2f\n", backends[i].c_str(), us);
+    json.add_row({{"backend", flint::harness::BenchValue::of(backends[i])},
+                  {"batch", flint::harness::BenchValue::of(std::size_t{1})},
+                  {"threads", flint::harness::BenchValue::of(1)},
+                  {"us_per_sample", flint::harness::BenchValue::of(us)}});
+  }
+
+  const double speedup =
+      best_baseline > 0 ? layout_auto_rate / best_baseline : 0.0;
+  json.set("layout_auto_vs_best_baseline", speedup);
+  std::printf(
+      "\n(acceptance: layout:auto >= 1.3x best of {encoded, simd:flint} on "
+      "the deep model -- %.2fx, %s%s)\n",
+      speedup, speedup >= 1.3 ? "MET" : "NOT MET on this host",
+      smoke ? "; smoke model is cache-resident, timing not meaningful" : "");
+  const std::string path = json.write();
+  if (!path.empty()) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <string>
 #include <vector>
 
 #include "core/flint.hpp"
@@ -134,4 +135,28 @@ BENCHMARK(BM_FlintRadixInclRemap);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): defaults --benchmark_out to
+// BENCH_micro_compare_op.json (google-benchmark's own JSON schema) so this
+// binary emits a machine-readable artifact like every other bench_*.
+// An explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro_compare_op.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

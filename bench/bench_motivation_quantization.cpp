@@ -4,15 +4,18 @@
 // test predictions that flip versus the exact float model, per dataset —
 // FLInt's row is zero by construction (verified, not assumed).
 #include <cstdio>
+#include <string>
 
 #include "data/split.hpp"
 #include "data/synth.hpp"
 #include "exec/interpreter.hpp"
+#include "harness/bench_json.hpp"
 #include "harness/machine_info.hpp"
 #include "quant/quantized.hpp"
 #include "trees/forest.hpp"
 
 int main() {
+  flint::harness::BenchJson json("motivation_quantization");
   std::printf("=== Motivation: fixed-point rounding vs FLInt ===\n");
   std::printf("host: %s\n\n",
               flint::harness::to_string(flint::harness::query_machine_info()).c_str());
@@ -33,7 +36,14 @@ int main() {
     for (const int bits : {6, 10, 16, 24, 30}) {
       const auto params = flint::quant::calibrate(split.train, bits);
       const flint::quant::QuantizedForestEngine<float> engine(forest, params);
-      std::printf(" %-8.4f", engine.mismatch_rate(forest, split.test));
+      const double rate = engine.mismatch_rate(forest, split.test);
+      std::printf(" %-8.4f", rate);
+      json.add_row({{"dataset", flint::harness::BenchValue::of(spec.name)},
+                    {"variant",
+                     flint::harness::BenchValue::of("q" +
+                                                    std::to_string(bits))},
+                    {"quant_bits", flint::harness::BenchValue::of(bits)},
+                    {"mismatch_rate", flint::harness::BenchValue::of(rate)}});
     }
     // FLInt: count mismatches instead of asserting, so the table itself is
     // the evidence.
@@ -46,8 +56,15 @@ int main() {
         ++flint_mismatches;
       }
     }
-    std::printf(" %-8.4f\n", static_cast<double>(flint_mismatches) /
-                                 static_cast<double>(split.test.rows()));
+    const double flint_rate = static_cast<double>(flint_mismatches) /
+                              static_cast<double>(split.test.rows());
+    std::printf(" %-8.4f\n", flint_rate);
+    // No quant_bits field: FLInt reinterprets bits, it does not round, so
+    // the column stays uniformly numeric for tooling.
+    json.add_row({{"dataset", flint::harness::BenchValue::of(spec.name)},
+                  {"variant", flint::harness::BenchValue::of("flint")},
+                  {"mismatch_rate",
+                   flint::harness::BenchValue::of(flint_rate)}});
   }
   std::printf(
       "\nshape: narrow fixed-point widths (6-10 bits) flip up to ~35%% of\n"

@@ -21,6 +21,7 @@
 
 #include "data/synth.hpp"
 #include "exec/simd/simd_engine.hpp"
+#include "harness/bench_json.hpp"
 #include "harness/machine_info.hpp"
 #include "harness/timer.hpp"
 #include "predict/predictor.hpp"
@@ -69,11 +70,16 @@ int main(int argc, char** argv) {
   fopt.tree.max_features = flint::trees::TrainOptions::kSqrtFeatures;
   const auto forest = flint::trees::train_forest(data, fopt);
 
+  flint::harness::BenchJson json("simd_throughput");
+  json.set("trees", fopt.n_trees);
+  json.set("total_nodes", forest.total_nodes());
   {
     const flint::exec::simd::SimdForestEngine<float> probe(
         forest, flint::exec::simd::SimdMode::Flint);
     std::printf("kernel: %s (%zu lanes)\n", probe.kernel_name(),
                 probe.lane_width());
+    json.set("kernel", probe.kernel_name());
+    json.set("lanes", probe.lane_width());
   }
   std::printf("model: %d trees, depth<=15, %zu nodes; pool: %zu samples\n\n",
               fopt.n_trees, forest.total_nodes(), data.rows());
@@ -103,11 +109,13 @@ int main(int argc, char** argv) {
   // The predictor configuration does not vary across batch sizes, so each
   // backend is built and bit-verified once, before the sweep.
   std::printf("--- batch-size sweep (1 thread) ---\n");
-  std::printf("%-8s %-14s %-14s %-14s %-12s\n", "batch", "encoded",
-              "simd:flint", "simd:float", "flint-speedup");
-  const char* backends[3] = {"encoded", "simd:flint", "simd:float"};
-  std::unique_ptr<flint::predict::Predictor<float>> predictors[3];
-  for (int b = 0; b < 3; ++b) {
+  std::printf("%-8s %-14s %-14s %-14s %-14s %-14s %-12s\n", "batch",
+              "encoded", "simd:flint", "simd:float", "layout:auto",
+              "layout:c16", "flint-speedup");
+  const char* backends[5] = {"encoded", "simd:flint", "simd:float",
+                             "layout:auto", "layout:c16"};
+  std::unique_ptr<flint::predict::Predictor<float>> predictors[5];
+  for (int b = 0; b < 5; ++b) {
     flint::predict::PredictorOptions opt;
     opt.block_size = 256;
     predictors[b] = flint::predict::make_predictor(forest, backends[b], opt);
@@ -118,14 +126,15 @@ int main(int argc, char** argv) {
        {std::size_t{64}, std::size_t{256}, std::size_t{1024},
         std::size_t{4096}, data.rows()}) {
     if (batch > data.rows()) continue;
-    double rate[3] = {0, 0, 0};
-    for (int b = 0; b < 3; ++b) {
+    double rate[5] = {0, 0, 0, 0, 0};
+    for (int b = 0; b < 5; ++b) {
       rate[b] = samples_per_sec(*predictors[b], features, batch, out);
+      json.add_rate(backends[b], batch, 1, rate[b]);
     }
     const double speedup = rate[1] / rate[0];
     if (batch >= 1024 && speedup >= 2.0) met_2x_at_1024 = true;
-    std::printf("%-8zu %-14.0f %-14.0f %-14.0f %.2fx\n", batch, rate[0],
-                rate[1], rate[2], speedup);
+    std::printf("%-8zu %-14.0f %-14.0f %-14.0f %-14.0f %-14.0f %.2fx\n",
+                batch, rate[0], rate[1], rate[2], rate[3], rate[4], speedup);
   }
 
   // --- Sweep 2: threads x lanes (ParallelPredictor over simd:flint). ------
@@ -142,6 +151,7 @@ int main(int argc, char** argv) {
     const double rate = samples_per_sec(*p, features, data.rows(), out);
     if (threads == 1) serial = rate;
     std::printf("%-8u %-14.0f %.2fx\n", threads, rate, rate / serial);
+    json.add_rate("simd:flint", data.rows(), threads, rate);
   }
 
   std::printf(

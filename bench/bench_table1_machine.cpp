@@ -6,10 +6,15 @@
 // substitution (see docs/BENCHMARKS.md).
 #include <cstdio>
 
+#include "harness/bench_json.hpp"
 #include "harness/machine_info.hpp"
 
 int main() {
   const auto info = flint::harness::query_machine_info();
+  flint::harness::BenchJson json("table1_machine");
+  json.set("ram_mb", static_cast<std::int64_t>(info.ram_mb));
+  json.set("kernel", info.kernel);
+  json.set("hostname", info.hostname);
   std::printf("=== Table I (machine details, host substitution) ===\n");
   std::printf("%-14s %s\n", "architecture", info.architecture.c_str());
   std::printf("%-14s %s\n", "cpu", info.cpu_model.c_str());

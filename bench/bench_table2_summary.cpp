@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "harness/bench_json.hpp"
 #include "harness/experiment.hpp"
 #include "harness/machine_info.hpp"
 #include "harness/report.hpp"
@@ -35,5 +36,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper X86 server reference: CAGS 0.88x/0.83x, FLInt 0.81x/0.79x,\n"
       "CAGS(FLInt) 0.71x/0.66x (overall / D>=20)\n");
+  BenchJson json("table2_summary");
+  add_run_records(json, records);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "harness/bench_json.hpp"
 #include "harness/experiment.hpp"
 #include "harness/machine_info.hpp"
 #include "harness/report.hpp"
@@ -31,5 +32,7 @@ int main(int argc, char** argv) {
   print_summary_table(std::cout, records, impls,
                       "geomean normalized time (1.00x = naive if-else)");
   std::printf("\npaper X86 server reference: FLInt ASM 0.89x overall, 0.70x D>=20\n");
+  BenchJson json("table3_asm_summary");
+  add_run_records(json, records);
   return 0;
 }

@@ -287,6 +287,7 @@ std::string usage() {
       "           [--labels yes|no] [--train-data <csv>]\n"
       "           backends: reference float flint encoded theorem1 theorem2\n"
       "                     radix simd:flint simd:float\n"
+      "                     layout:auto layout:c16 layout:c8\n"
       "                     jit:ifelse-{float,flint}\n"
       "                     jit:native-{float,flint} jit:cags-{float,flint}\n"
       "                     jit:asm-x86\n"

@@ -37,6 +37,11 @@ FlintForestEngine<T>::FlintForestEngine(const trees::Forest<T>& forest,
   if (forest.empty()) {
     throw std::invalid_argument("FlintForestEngine: empty forest");
   }
+  if (feature_count_ > 32767) {
+    throw std::invalid_argument(
+        "FlintForestEngine: feature count exceeds PackedNode's int16 "
+        "feature field (max 32767)");
+  }
   nodes_.reserve(forest.total_nodes());
   roots_.reserve(forest.size());
   for (std::size_t t = 0; t < forest.size(); ++t) {
@@ -45,7 +50,7 @@ FlintForestEngine<T>::FlintForestEngine(const trees::Forest<T>& forest,
     roots_.push_back(base);
     for (const auto& n : tree.nodes()) {
       PackedNode<T> p;
-      p.feature = n.feature;
+      p.feature = static_cast<std::int16_t>(n.feature);
       if (n.is_leaf()) {
         check_leaf_class(n.prediction, num_classes_, t);
         p.payload = static_cast<Signed>(n.prediction);

@@ -36,15 +36,28 @@ enum class FlintVariant { Encoded, Theorem1, Theorem2, RadixKey };
 /// and `payload` is the class id; for inner nodes `payload` is the encoded
 /// immediate (Encoded/RadixKey engines) or the raw split bits (Theorem
 /// engines).
+///
+/// Members are ordered widest-first and `feature` is narrowed to int16 (the
+/// engines gate feature_count <= 32767 at pack time) so the float node is
+/// exactly 16 bytes — four per cache line, no pad waste; the old
+/// {payload, int32 feature, left, right, sign_flip} order padded to 20.
+/// The double node is 24 bytes either way (int64 alignment), asserted below
+/// so a regression is a compile error.  Threshold payloads stay full-width:
+/// serialization round-trips remain bit-exact.
 template <typename T>
 struct PackedNode {
   using Signed = typename core::FloatTraits<T>::Signed;
   Signed payload = 0;
-  std::int32_t feature = -1;
   std::int32_t left = -1;
   std::int32_t right = -1;
+  std::int16_t feature = -1;
   std::uint8_t sign_flip = 0;  ///< Encoded engine: ThresholdMode::SignFlip
 };
+
+static_assert(sizeof(PackedNode<float>) == 16,
+              "PackedNode<float> must tile cache lines (4 per 64 B)");
+static_assert(sizeof(PackedNode<double>) == 24,
+              "PackedNode<double> gained pad bytes");
 
 /// Forest inference engine with a selectable comparison strategy.
 /// The engine keeps a packed copy of the forest; the source Forest object

@@ -1,0 +1,522 @@
+#include "exec/layout/compact.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+#include "exec/layout/kernels.hpp"
+#include "exec/pack_checks.hpp"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FLINT_PREFETCH(p) __builtin_prefetch((p))
+#else
+#define FLINT_PREFETCH(p) ((void)0)
+#endif
+
+namespace flint::exec::layout {
+
+namespace {
+
+/// -0.0 splits normalize to +0.0 before keying (core::encode_threshold_le
+/// semantics; build_key_tables applies the same rewrite).
+template <typename T>
+T normalize_zero(T split) {
+  return split == T{0} ? T{0} : split;
+}
+
+template <typename T, typename Node>
+constexpr bool identity_keys_for() {
+  // float thresholds ARE monotone int32 keys under to_radix_key, so the
+  // 16-byte float node skips the rank table (and the per-sample search).
+  return std::is_same_v<T, float> && sizeof(decltype(Node::key)) == 4;
+}
+
+std::int32_t argmax_first(const int* votes, int num_classes) {
+  std::int32_t best = 0;
+  for (int c = 1; c < num_classes; ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return best;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Packing: emission order (hot slab + preorder clusters), then node fill.
+// ---------------------------------------------------------------------------
+
+template <typename T, typename Node>
+std::optional<CompactForest<T, Node>> try_pack(const trees::Forest<T>& forest,
+                                               const LayoutPlan& plan,
+                                               const KeyTableSet<T>& tables,
+                                               std::string* why) {
+  using Key = decltype(Node::key);
+  auto fail = [&](std::string reason) -> std::optional<CompactForest<T, Node>> {
+    if (why) *why = std::move(reason);
+    return std::nullopt;
+  };
+
+  if (forest.empty()) return fail("empty forest");
+
+  CompactForest<T, Node> packed;
+  packed.num_classes = forest.num_classes();
+  packed.feature_count = forest.feature_count();
+  packed.identity_keys = identity_keys_for<T, Node>();
+  if (!packed.identity_keys) packed.tables = tables;
+
+  // Representability gates for the narrow fields.
+  constexpr std::int64_t key_max =
+      sizeof(Key) == 2 ? 32767 : 0x7FFF'FFFFll;
+  constexpr std::int64_t feature_max =
+      sizeof(decltype(Node::feature)) == 2 ? 32767 : 0x7FFF'FFFFll;
+  if (static_cast<std::int64_t>(packed.feature_count) > feature_max) {
+    return fail("feature index does not fit the node's feature field");
+  }
+  if (packed.num_classes > key_max) {
+    return fail("class id does not fit the node key");
+  }
+  if (!packed.identity_keys &&
+      static_cast<std::int64_t>(tables.max_table_size()) > key_max) {
+    return fail("a feature has more distinct thresholds than the node key "
+                "width can rank");
+  }
+  if (!packed.identity_keys &&
+      tables.features.size() != packed.feature_count) {
+    return fail("key table set does not match the forest's feature count");
+  }
+
+  // --- Pass 1: emission order. ---------------------------------------------
+  // A spine (a node and its chain of left descendants down to a leaf) is
+  // the atomic placement unit: the implicit-left rule welds it together.
+  // Spines whose branch depth is < hot_depth are emitted breadth-first
+  // across all trees into the shared hot slab; every other subtree is
+  // deferred and later emitted as one contiguous preorder cluster.
+  struct Item {
+    std::int32_t tree;
+    std::int32_t node;
+    std::uint32_t depth;
+  };
+  const std::size_t total = forest.total_nodes();
+  std::vector<std::vector<std::int32_t>> pos(forest.size());
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    pos[t].assign(forest.tree(t).size(), -1);
+  }
+  std::vector<Item> order;
+  order.reserve(total);
+  std::deque<Item> fifo;
+  std::vector<Item> cold;
+
+  auto emit_spine = [&](Item it) {
+    const auto& tree = forest.tree(static_cast<std::size_t>(it.tree));
+    std::int32_t n = it.node;
+    std::uint32_t d = it.depth;
+    while (true) {
+      pos[static_cast<std::size_t>(it.tree)][static_cast<std::size_t>(n)] =
+          static_cast<std::int32_t>(order.size());
+      order.push_back({it.tree, n, d});
+      const auto& nd = tree.node(n);
+      if (nd.is_leaf()) break;
+      const Item right{it.tree, nd.right, d + 1};
+      if (right.depth < plan.hot_depth) {
+        fifo.push_back(right);
+      } else {
+        cold.push_back(right);
+      }
+      n = nd.left;
+      ++d;
+    }
+  };
+
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    const Item root{static_cast<std::int32_t>(t), 0, 0};
+    if (plan.hot_depth == 0) {
+      cold.push_back(root);
+    } else {
+      fifo.push_back(root);
+    }
+  }
+  while (!fifo.empty()) {
+    const Item it = fifo.front();
+    fifo.pop_front();
+    emit_spine(it);
+  }
+  packed.hot_nodes = order.size();
+  // Cold phase: each deferred subtree as one preorder cluster (preorder
+  // emits a parent's left child immediately after it, satisfying the
+  // implicit-left rule within the cluster).
+  std::vector<std::int32_t> stack;
+  for (const Item& sub : cold) {
+    const auto& tree = forest.tree(static_cast<std::size_t>(sub.tree));
+    stack.assign(1, sub.node);
+    while (!stack.empty()) {
+      const std::int32_t n = stack.back();
+      stack.pop_back();
+      pos[static_cast<std::size_t>(sub.tree)][static_cast<std::size_t>(n)] =
+          static_cast<std::int32_t>(order.size());
+      order.push_back({sub.tree, n, 0});
+      const auto& nd = tree.node(n);
+      if (!nd.is_leaf()) {
+        stack.push_back(nd.right);  // popped second
+        stack.push_back(nd.left);   // popped first: lands at parent + 1
+      }
+    }
+  }
+  if (order.size() != total) {
+    throw std::logic_error("layout::try_pack: emission order dropped nodes");
+  }
+
+  // --- Pass 2: fill nodes (keys, offsets, roots). --------------------------
+  packed.nodes.resize(total);
+  packed.roots.resize(forest.size());
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    packed.roots[t] = pos[t][0];
+  }
+  for (std::size_t p = 0; p < total; ++p) {
+    const Item it = order[p];
+    const auto& tree = forest.tree(static_cast<std::size_t>(it.tree));
+    const auto& nd = tree.node(it.node);
+    Node out{};
+    if (nd.is_leaf()) {
+      check_leaf_class(nd.prediction, packed.num_classes,
+                       static_cast<std::size_t>(it.tree));
+      out.key = static_cast<Key>(nd.prediction);
+      // Feature 0 (any valid column), not -1: the branchless lockstep
+      // loops read keys[feature] before the leaf test resolves, exactly
+      // like the SoA kernels' clamped leaf column.
+      out.feature = 0;
+      out.right_off = -1;  // sign bit = leaf tag
+    } else {
+      const auto& tpos = pos[static_cast<std::size_t>(it.tree)];
+      if (tpos[static_cast<std::size_t>(nd.left)] !=
+          static_cast<std::int32_t>(p) + 1) {
+        throw std::logic_error(
+            "layout::try_pack: placement broke the implicit-left rule");
+      }
+      const std::int64_t off =
+          static_cast<std::int64_t>(tpos[static_cast<std::size_t>(nd.right)]) -
+          static_cast<std::int64_t>(p);
+      if (off <= 0 || off > 0x7FFF'FFFFll) {
+        throw std::logic_error(
+            "layout::try_pack: right child placed before its parent");
+      }
+      out.right_off = static_cast<std::int32_t>(off);
+      out.feature =
+          static_cast<decltype(Node::feature)>(nd.feature);
+      if (packed.identity_keys) {
+        out.key = static_cast<Key>(core::to_radix_key(
+            normalize_zero(nd.split)));
+      } else {
+        // rank_of_split normalizes -0.0 and verifies the exactness
+        // precondition (split present at its own rank).
+        out.key = static_cast<Key>(rank_of_split(
+            tables.features[static_cast<std::size_t>(nd.feature)],
+            nd.split));
+      }
+    }
+    packed.nodes[p] = out;
+  }
+  return packed;
+}
+
+// ---------------------------------------------------------------------------
+// Traversal.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Samples advanced in lockstep through one tree by the blocked path: the
+/// across-samples dual of the latency path's across-trees interleave.  One
+/// serial pointer chase per sample would leave the memory system idle
+/// between dependent node fetches; W independent chases overlap in the
+/// out-of-order window (the same memory-level parallelism the SoA kernels
+/// exploit, but each step costs one compact node load instead of gathers
+/// from five parallel arrays).
+constexpr std::size_t kBlockLockstep = 16;
+
+/// Blocked batch: remap a block of samples to narrow keys once, then
+/// stream each tree's node array across the whole block, kBlockLockstep
+/// samples in flight at a time.
+template <bool Prefetch, typename T, typename Node>
+void predict_blocked(const CompactForest<T, Node>& f, std::size_t block_size,
+                     const T* features, std::size_t n_samples,
+                     std::int32_t* out) {
+  using Key = typename CompactForest<T, Node>::Key;
+  const std::size_t cols = f.feature_count;
+  const auto classes = static_cast<std::size_t>(std::max(f.num_classes, 1));
+  const std::size_t trees = f.roots.size();
+  const Node* nodes = f.nodes.data();
+  std::vector<int> votes(block_size * classes);
+  std::vector<Key> keys(block_size * cols);
+  for (std::size_t base = 0; base < n_samples; base += block_size) {
+    const std::size_t block = std::min(block_size, n_samples - base);
+    for (std::size_t s = 0; s < block; ++s) {
+      f.remap(features + (base + s) * cols, keys.data() + s * cols);
+    }
+    std::fill(votes.begin(), votes.begin() + static_cast<std::ptrdiff_t>(
+                                                 block * classes), 0);
+    for (std::size_t t = 0; t < trees; ++t) {
+      const std::int32_t root = f.roots[t];
+      for (std::size_t s0 = 0; s0 < block; s0 += kBlockLockstep) {
+        const std::size_t g = std::min(kBlockLockstep, block - s0);
+        const Key* krow[kBlockLockstep];
+        std::int32_t cur[kBlockLockstep];
+        for (std::size_t r = 0; r < g; ++r) {
+          cur[r] = root;
+          krow[r] = keys.data() + (s0 + r) * cols;
+        }
+        // Branch-free lockstep rounds: finished lanes step by 0 on their
+        // leaf (leaves read key column 0, a valid index by construction)
+        // until the whole group converges — no per-lane liveness branches
+        // for the predictor to miss.
+        bool any_inner = true;
+        while (any_inner) {
+          any_inner = false;
+          for (std::size_t r = 0; r < g; ++r) {
+            const Node& nd = nodes[cur[r]];
+            const std::int32_t off = nd.right_off;
+            const bool leaf = off < 0;
+            const bool go =
+                krow[r][static_cast<std::size_t>(nd.feature)] <= nd.key;
+            if constexpr (Prefetch) {
+              FLINT_PREFETCH(&nodes[cur[r] + (leaf ? 0 : off)]);
+            }
+            cur[r] += leaf ? 0 : (go ? 1 : off);
+            any_inner |= !leaf;
+          }
+        }
+        for (std::size_t r = 0; r < g; ++r) {
+          ++votes[(s0 + r) * classes +
+                  static_cast<std::size_t>(
+                      static_cast<std::int32_t>(nodes[cur[r]].key))];
+        }
+      }
+    }
+    for (std::size_t s = 0; s < block; ++s) {
+      out[base + s] = argmax_first(votes.data() + s * classes,
+                                   static_cast<int>(classes));
+    }
+  }
+}
+
+/// Interleaved latency path: R trees of ONE sample advance in lockstep, so
+/// R independent node fetches are in flight per round instead of one
+/// serial pointer chase.  `votes` must hold num_classes zeroed slots.
+template <bool Prefetch, typename T, typename Node>
+void predict_one_interleaved(const CompactForest<T, Node>& f,
+                             std::size_t interleave,
+                             const typename CompactForest<T, Node>::Key* keys,
+                             int* votes) {
+  const Node* nodes = f.nodes.data();
+  const std::size_t trees = f.roots.size();
+  const std::size_t R = std::clamp<std::size_t>(interleave, 1, kMaxInterleave);
+  std::int32_t cur[kMaxInterleave];
+  for (std::size_t t0 = 0; t0 < trees; t0 += R) {
+    const std::size_t g = std::min(R, trees - t0);
+    for (std::size_t r = 0; r < g; ++r) {
+      cur[r] = f.roots[t0 + r];
+      FLINT_PREFETCH(&nodes[cur[r]]);
+    }
+    std::uint32_t alive = (1u << g) - 1u;  // g <= kMaxInterleave = 16
+    while (alive) {
+      for (std::size_t r = 0; r < g; ++r) {
+        if (!(alive & (1u << r))) continue;
+        const Node& nd = nodes[cur[r]];
+        const std::int32_t off = nd.right_off;
+        if (off < 0) {
+          ++votes[static_cast<std::int32_t>(nd.key)];
+          alive &= ~(1u << r);
+          continue;
+        }
+        if constexpr (Prefetch) {
+          FLINT_PREFETCH(&nodes[cur[r] + off]);
+        }
+        const std::int32_t next =
+            cur[r] + (keys[nd.feature] <= nd.key ? 1 : off);
+        FLINT_PREFETCH(&nodes[next]);  // overlaps with the other lanes
+        cur[r] = next;
+      }
+    }
+  }
+}
+
+#if defined(FLINT_SIMD_AVX2)
+/// AVX2 blocked batch: remap each block into feature-major int32 key tiles
+/// of 8 lanes (padded lanes zero-filled — they traverse to some leaf on
+/// well-defined inputs and their votes are ignored) and hand the walk to
+/// the vector kernel.  Works for any scalar T: after the remap the
+/// traversal only sees int32 keys and compact nodes.
+template <typename T, typename Node>
+void predict_blocked_avx2(const CompactForest<T, Node>& f,
+                          std::size_t block_size, const T* features,
+                          std::size_t n_samples, std::int32_t* out) {
+  constexpr std::size_t W = 8;
+  const std::size_t cols = f.feature_count;
+  const auto classes = static_cast<std::size_t>(std::max(f.num_classes, 1));
+  const std::size_t max_tiles = (block_size + W - 1) / W;
+  std::vector<std::int32_t> tiles(max_tiles * cols * W);
+  std::vector<int> votes(max_tiles * W * classes);
+  for (std::size_t base = 0; base < n_samples; base += block_size) {
+    const std::size_t block = std::min(block_size, n_samples - base);
+    const std::size_t n_tiles = (block + W - 1) / W;
+    for (std::size_t s = 0; s < block; ++s) {
+      f.remap32(features + (base + s) * cols,
+                tiles.data() + (s / W) * cols * W + (s % W), W);
+    }
+    for (std::size_t s = block; s < n_tiles * W; ++s) {
+      std::int32_t* lane = tiles.data() + (s / W) * cols * W + (s % W);
+      for (std::size_t c = 0; c < cols; ++c) lane[c * W] = 0;
+    }
+    std::fill(votes.begin(),
+              votes.begin() + static_cast<std::ptrdiff_t>(n_tiles * W *
+                                                          classes),
+              0);
+    predict_tiles_avx2(f.nodes.data(), f.roots.data(), f.roots.size(),
+                       tiles.data(), n_tiles, cols, votes.data(), classes);
+    for (std::size_t s = 0; s < block; ++s) {
+      out[base + s] = argmax_first(votes.data() + s * classes,
+                                   static_cast<int>(classes));
+    }
+  }
+}
+#endif  // FLINT_SIMD_AVX2
+
+/// Batches below this take the interleaved path (blocked amortization has
+/// nothing to amortize over).
+constexpr std::size_t kLatencyPathMaxBatch = 8;
+
+template <typename T, typename Node>
+void predict_batch_impl(const CompactForest<T, Node>& f,
+                        const LayoutPlan& plan, const T* features,
+                        std::size_t n_samples, std::int32_t* out) {
+  using Key = typename CompactForest<T, Node>::Key;
+  if (n_samples <= kLatencyPathMaxBatch) {
+    const std::size_t cols = f.feature_count;
+    const auto classes = static_cast<std::size_t>(std::max(f.num_classes, 1));
+    std::vector<Key> keys(cols);
+    std::vector<int> votes(classes);
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      f.remap(features + s * cols, keys.data());
+      std::fill(votes.begin(), votes.end(), 0);
+      if (plan.prefetch_opposite) {
+        predict_one_interleaved<true>(f, plan.interleave, keys.data(),
+                                      votes.data());
+      } else {
+        predict_one_interleaved<false>(f, plan.interleave, keys.data(),
+                                       votes.data());
+      }
+      out[s] = argmax_first(votes.data(), static_cast<int>(classes));
+    }
+    return;
+  }
+#if defined(FLINT_SIMD_AVX2)
+  // FLINT_LAYOUT_FORCE_SCALAR=1 pins the portable lockstep loop — used by
+  // the tests to cover the scalar path on hosts that would always take the
+  // vector kernel, and as an escape hatch when diagnosing either.  The
+  // node-count gate keeps the kernel's int32 BYTE offsets (index << 4/3)
+  // from wrapping on images past 2 GiB — such forests fall back to the
+  // scalar loop, whose indices stay element-scaled.
+  const char* force_scalar = std::getenv("FLINT_LAYOUT_FORCE_SCALAR");
+  const bool image_addressable =
+      f.nodes.size() <= static_cast<std::size_t>(
+                            std::numeric_limits<std::int32_t>::max()) /
+                            sizeof(Node);
+  if (!(force_scalar && force_scalar[0] == '1') && image_addressable &&
+      layout_avx2_supported()) {
+    predict_blocked_avx2(f, plan.block_size, features, n_samples, out);
+    return;
+  }
+#endif
+  if (plan.prefetch_opposite) {
+    predict_blocked<true>(f, plan.block_size, features, n_samples, out);
+  } else {
+    predict_blocked<false>(f, plan.block_size, features, n_samples, out);
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LayoutForestEngine.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+LayoutForestEngine<T>::LayoutForestEngine(const trees::Forest<T>& forest,
+                                          const LayoutPlan& plan,
+                                          const KeyTableSet<T>& tables)
+    : plan_(plan) {
+  if (forest.empty()) {
+    throw std::invalid_argument("LayoutForestEngine: empty forest");
+  }
+  plan_.block_size = std::max<std::size_t>(plan_.block_size, 1);
+  plan_.interleave = std::clamp<std::size_t>(plan_.interleave, 1,
+                                             kMaxInterleave);
+  std::string why;
+  if (plan_.width == NodeWidth::C16) {
+    auto packed = try_pack<T, CompactNode16>(forest, plan_, tables, &why);
+    if (!packed) {
+      throw std::invalid_argument("LayoutForestEngine(c16): " + why);
+    }
+    node_bytes_ = sizeof(CompactNode16);
+    hot_nodes_ = packed->hot_nodes;
+    packed_ = std::move(*packed);
+  } else if (plan_.width == NodeWidth::C8) {
+    auto packed = try_pack<T, CompactNode8>(forest, plan_, tables, &why);
+    if (!packed) {
+      throw std::invalid_argument("LayoutForestEngine(c8): " + why);
+    }
+    node_bytes_ = sizeof(CompactNode8);
+    hot_nodes_ = packed->hot_nodes;
+    packed_ = std::move(*packed);
+  } else {
+    throw std::invalid_argument(
+        "LayoutForestEngine: Wide is the factory fallback, not an engine "
+        "width");
+  }
+  num_classes_ = forest.num_classes();
+  feature_count_ = forest.feature_count();
+  tree_count_ = forest.size();
+  node_count_ = forest.total_nodes();
+}
+
+template <typename T>
+void LayoutForestEngine<T>::predict_batch(const T* features,
+                                          std::size_t n_samples,
+                                          std::int32_t* out) const {
+  if (n_samples == 0) return;
+  std::visit(
+      [&](const auto& packed) {
+        predict_batch_impl(packed, plan_, features, n_samples, out);
+      },
+      packed_);
+}
+
+template <typename T>
+std::int32_t LayoutForestEngine<T>::predict(std::span<const T> x) const {
+  std::int32_t result = -1;
+  predict_batch(x.data(), 1, &result);
+  return result;
+}
+
+template struct CompactForest<float, CompactNode16>;
+template struct CompactForest<float, CompactNode8>;
+template struct CompactForest<double, CompactNode16>;
+template struct CompactForest<double, CompactNode8>;
+template std::optional<CompactForest<float, CompactNode16>>
+try_pack<float, CompactNode16>(const trees::Forest<float>&, const LayoutPlan&,
+                               const KeyTableSet<float>&, std::string*);
+template std::optional<CompactForest<float, CompactNode8>>
+try_pack<float, CompactNode8>(const trees::Forest<float>&, const LayoutPlan&,
+                              const KeyTableSet<float>&, std::string*);
+template std::optional<CompactForest<double, CompactNode16>>
+try_pack<double, CompactNode16>(const trees::Forest<double>&,
+                                const LayoutPlan&, const KeyTableSet<double>&,
+                                std::string*);
+template std::optional<CompactForest<double, CompactNode8>>
+try_pack<double, CompactNode8>(const trees::Forest<double>&, const LayoutPlan&,
+                               const KeyTableSet<double>&, std::string*);
+template class LayoutForestEngine<float>;
+template class LayoutForestEngine<double>;
+
+}  // namespace flint::exec::layout

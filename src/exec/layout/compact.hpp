@@ -1,0 +1,208 @@
+// exec/layout/compact — cache-aware compact node formats and placement.
+//
+// Once FLInt reduces every split to one integer compare, random-forest
+// inference is memory-bound: the wide interpreter's 16/24-byte PackedNode
+// stream dominates, and deep-forest throughput degrades exactly where the
+// packed image spills out of cache.  This module re-packs a forest into
+// node formats engineered for the memory hierarchy:
+//
+//   CompactNode16 (16 B)  int32 key + int32 right offset + int32 feature
+//                         (+ explicit pad so four nodes tile a 64-byte
+//                         line and no node ever straddles one);
+//   CompactNode8  (8 B)   int16 key + int16 feature + int32 right offset —
+//                         half the bytes per fetched node, eight per line.
+//
+// Three layout tricks, applied to both widths:
+//
+//   * implicit left child — an inner node's left child is ALWAYS the next
+//     node (left = self + 1), so nodes store only a relative right offset
+//     (right = self + right_off).  Leaves are tagged in the offset's sign
+//     bit (right_off < 0) and carry their class id in `key`; no separate
+//     leaf array, no absolute child indices.
+//   * order-preserving threshold narrowing — node keys are either the raw
+//     int32 radix key (float/C16, no per-sample table lookup) or the
+//     feature's rank in a per-feature monotone key table (narrow.hpp);
+//     both make `x <= s` a single narrow integer compare, exactly.
+//   * placement — the left-spine of every subtree is contiguous by the
+//     implicit-left rule, so placement freedom is *where right subtrees
+//     go*.  hot_depth = 0 emits each tree in preorder (every subtree a
+//     contiguous cluster — the left-spine-contiguous specialization of
+//     vEB-style clustering under the implicit-left constraint).
+//     hot_depth = D additionally root-blocks the forest: the spines whose
+//     branch depth is < D, across ALL trees, are emitted breadth-first
+//     into one contiguous "hot slab" at the front of the node array (the
+//     working set every sample touches), and the subtrees hanging below
+//     the slab are emitted as preorder clusters behind it.
+//
+// Traversal comes in two shapes (dual of exec/simd's across-samples
+// lockstep): a blocked batch loop (remap a block of samples to narrow keys
+// once, then stream each tree's nodes across the block) and an interleaved
+// latency path that walks `plan.interleave` trees of ONE sample in
+// lockstep, so independent node fetches overlap in the out-of-order window,
+// optionally software-prefetching the right ("opposite" of the implicit
+// left) child ahead of the compare.
+//
+// Bit-identical to Forest::predict on every non-NaN input — the same
+// contract as every other engine, property-tested in tests/test_layout.cpp
+// and tests/test_predictor.cpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/flint.hpp"
+#include "exec/layout/narrow.hpp"
+#include "exec/layout/plan.hpp"
+#include "trees/forest.hpp"
+
+namespace flint::exec::layout {
+
+/// 16-byte compact node.  Inner: `key` is the narrowed threshold, right
+/// child at self + right_off (> 0), left child at self + 1.  Leaf:
+/// right_off < 0, `key` is the class id, and `feature` is 0 — a valid
+/// column, so branchless lockstep loops may read keys[feature] before the
+/// leaf test resolves.
+struct CompactNode16 {
+  std::int32_t key = 0;
+  std::int32_t right_off = -1;
+  std::int32_t feature = -1;
+  std::int32_t line_pad_ = 0;  ///< 4 nodes tile a 64 B line; none straddles
+};
+static_assert(sizeof(CompactNode16) == 16, "CompactNode16 must stay 16 bytes");
+
+/// 8-byte compact node: same scheme with int16 key/feature.
+struct CompactNode8 {
+  std::int16_t key = 0;
+  std::int16_t feature = -1;
+  std::int32_t right_off = -1;
+};
+static_assert(sizeof(CompactNode8) == 8, "CompactNode8 must stay 8 bytes");
+
+/// A forest packed into one compact node array.  `Node` is CompactNode16
+/// or CompactNode8; `Key` follows its key field.
+template <typename T, typename Node>
+struct CompactForest {
+  using Key = decltype(Node::key);
+
+  int num_classes = 0;
+  std::size_t feature_count = 0;
+  std::size_t hot_nodes = 0;     ///< nodes in the hot slab (0 for pure DFS)
+  bool identity_keys = false;    ///< float/C16: key = radix key, table-free
+  std::vector<Node> nodes;       ///< all trees, placement per LayoutPlan
+  std::vector<std::int32_t> roots;  ///< position of each tree's root
+  KeyTableSet<T> tables;         ///< rank tables (empty when identity_keys)
+
+  /// Remaps one sample to narrow comparison keys; `out` needs
+  /// feature_count slots.  Thread-safe.
+  void remap(const T* x, Key* out) const {
+    if (identity_keys) {
+      for (std::size_t f = 0; f < feature_count; ++f) {
+        out[f] = static_cast<Key>(core::to_radix_key(x[f]));
+      }
+    } else {
+      for (std::size_t f = 0; f < feature_count; ++f) {
+        out[f] = static_cast<Key>(tables.features[f].rank(x[f]));
+      }
+    }
+  }
+
+  /// Same remap widened to int32 and written at `stride`-element spacing —
+  /// feature f lands at out[f * stride].  With stride = 8 this writes one
+  /// lane of the AVX2 kernels' feature-major key tiles directly.
+  void remap32(const T* x, std::int32_t* out, std::size_t stride) const {
+    if (identity_keys) {
+      for (std::size_t f = 0; f < feature_count; ++f) {
+        out[f * stride] =
+            static_cast<std::int32_t>(core::to_radix_key(x[f]));
+      }
+    } else {
+      for (std::size_t f = 0; f < feature_count; ++f) {
+        out[f * stride] = tables.features[f].rank(x[f]);
+      }
+    }
+  }
+};
+
+/// Packs `forest` per `plan` (width + hot_depth are consulted; Wide is not
+/// packable).  Returns std::nullopt and sets `why` when the model cannot be
+/// represented at this width (rank/feature/class overflow) — the factory
+/// then falls back to the next wider format.  `tables` is shared with the
+/// caller (built once per forest, reused across fallback attempts).
+template <typename T, typename Node>
+[[nodiscard]] std::optional<CompactForest<T, Node>> try_pack(
+    const trees::Forest<T>& forest, const LayoutPlan& plan,
+    const KeyTableSet<T>& tables, std::string* why = nullptr);
+
+/// Compact-layout execution engine: owns one packed forest at the plan's
+/// width and serves both traversal shapes.  The source Forest does not need
+/// to outlive it.  predict/predict_batch are const-thread-safe (all vote
+/// and key scratch is function-local), so ParallelPredictor can partition
+/// batches without cloning.
+template <typename T>
+class LayoutForestEngine {
+ public:
+  /// Packs with `plan` (width must be C16 or C8 — Wide is the factory's
+  /// fallback, not an engine mode).  Throws std::invalid_argument when the
+  /// forest is empty or not representable at the requested width.
+  LayoutForestEngine(const trees::Forest<T>& forest, const LayoutPlan& plan,
+                     const KeyTableSet<T>& tables);
+
+  [[nodiscard]] const LayoutPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] std::size_t feature_count() const noexcept {
+    return feature_count_;
+  }
+  [[nodiscard]] std::size_t tree_count() const noexcept { return tree_count_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return node_count_; }
+  /// Bytes per packed node (16 or 8).
+  [[nodiscard]] std::size_t node_bytes() const noexcept { return node_bytes_; }
+  /// Nodes in the shared hot slab (0 under pure DFS placement).
+  [[nodiscard]] std::size_t hot_node_count() const noexcept {
+    return hot_nodes_;
+  }
+
+  /// Classifies `n_samples` row-major samples into `out`.  Small batches
+  /// take the interleaved latency path, larger ones the blocked loop.
+  void predict_batch(const T* features, std::size_t n_samples,
+                     std::int32_t* out) const;
+
+  /// Majority-vote class for one sample (interleaved lockstep traversal).
+  [[nodiscard]] std::int32_t predict(std::span<const T> x) const;
+
+ private:
+  LayoutPlan plan_;
+  int num_classes_ = 0;
+  std::size_t feature_count_ = 0;
+  std::size_t tree_count_ = 0;
+  std::size_t node_count_ = 0;
+  std::size_t node_bytes_ = 0;
+  std::size_t hot_nodes_ = 0;
+  std::variant<CompactForest<T, CompactNode16>, CompactForest<T, CompactNode8>>
+      packed_;
+};
+
+extern template struct CompactForest<float, CompactNode16>;
+extern template struct CompactForest<float, CompactNode8>;
+extern template struct CompactForest<double, CompactNode16>;
+extern template struct CompactForest<double, CompactNode8>;
+extern template std::optional<CompactForest<float, CompactNode16>>
+try_pack<float, CompactNode16>(const trees::Forest<float>&, const LayoutPlan&,
+                               const KeyTableSet<float>&, std::string*);
+extern template std::optional<CompactForest<float, CompactNode8>>
+try_pack<float, CompactNode8>(const trees::Forest<float>&, const LayoutPlan&,
+                              const KeyTableSet<float>&, std::string*);
+extern template std::optional<CompactForest<double, CompactNode16>>
+try_pack<double, CompactNode16>(const trees::Forest<double>&,
+                                const LayoutPlan&, const KeyTableSet<double>&,
+                                std::string*);
+extern template std::optional<CompactForest<double, CompactNode8>>
+try_pack<double, CompactNode8>(const trees::Forest<double>&, const LayoutPlan&,
+                               const KeyTableSet<double>&, std::string*);
+extern template class LayoutForestEngine<float>;
+extern template class LayoutForestEngine<double>;
+
+}  // namespace flint::exec::layout

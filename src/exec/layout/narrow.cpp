@@ -1,0 +1,74 @@
+#include "exec/layout/narrow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace flint::exec::layout {
+
+template <typename T>
+KeyTableSet<T> build_key_tables(const trees::Forest<T>& forest) {
+  using Signed = typename core::FloatTraits<T>::Signed;
+  KeyTableSet<T> set;
+  set.features.resize(forest.feature_count());
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    for (const auto& n : forest.tree(t).nodes()) {
+      if (n.is_leaf()) continue;
+      // Split -0.0 is normalized to +0.0 before keying, exactly as
+      // core::encode_threshold_le does: FLInt orders -0.0 < +0.0 while the
+      // IEEE reference treats them as equal, and the rewrite makes
+      // `x <= -0.0` agree for every input.
+      const T split = n.split == T{0} ? T{0} : n.split;
+      set.features[static_cast<std::size_t>(n.feature)].sorted.push_back(
+          core::to_radix_key(split));
+    }
+  }
+  for (std::size_t f = 0; f < set.features.size(); ++f) {
+    auto& keys = set.features[f].sorted;
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    keys.shrink_to_fit();
+    // Exactness check: strictly ascending (std::unique guarantees it, but
+    // the narrowing contract hangs on it) and every key at its own rank.
+    for (std::size_t i = 0; i + 1 < keys.size(); ++i) {
+      if (!(keys[i] < keys[i + 1])) {
+        throw std::logic_error("build_key_tables: table for feature " +
+                               std::to_string(f) + " is not strictly sorted");
+      }
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const Signed key = keys[i];
+      if (set.features[f].rank_of_key(key) != static_cast<std::int32_t>(i)) {
+        throw std::logic_error(
+            "build_key_tables: rank round-trip failed for feature " +
+            std::to_string(f) + " entry " + std::to_string(i));
+      }
+    }
+  }
+  return set;
+}
+
+template <typename T>
+std::int32_t rank_of_split(const KeyTable<T>& table, T split) {
+  const T normalized = split == T{0} ? T{0} : split;  // -0.0 -> +0.0
+  const auto radix = core::to_radix_key(normalized);
+  const std::int32_t rank = table.rank_of_key(radix);
+  if (static_cast<std::size_t>(rank) >= table.size() ||
+      table.sorted[static_cast<std::size_t>(rank)] != radix) {
+    throw std::logic_error(
+        "rank_of_split: split missing from its feature's key table");
+  }
+  return rank;
+}
+
+template struct KeyTable<float>;
+template struct KeyTable<double>;
+template struct KeyTableSet<float>;
+template struct KeyTableSet<double>;
+template KeyTableSet<float> build_key_tables<float>(const trees::Forest<float>&);
+template KeyTableSet<double> build_key_tables<double>(
+    const trees::Forest<double>&);
+template std::int32_t rank_of_split<float>(const KeyTable<float>&, float);
+template std::int32_t rank_of_split<double>(const KeyTable<double>&, double);
+
+}  // namespace flint::exec::layout

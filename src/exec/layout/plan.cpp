@@ -1,0 +1,151 @@
+#include "exec/layout/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unistd.h>
+
+namespace flint::exec::layout {
+
+const char* to_string(NodeWidth w) {
+  switch (w) {
+    case NodeWidth::C16: return "c16";
+    case NodeWidth::C8: return "c8";
+    case NodeWidth::Wide: return "wide";
+  }
+  return "?";
+}
+
+std::string LayoutPlan::describe() const {
+  std::string s = to_string(width);
+  s += hot_depth ? "/slab" + std::to_string(hot_depth) : "/dfs";
+  s += "/il" + std::to_string(interleave);
+  if (prefetch_opposite) s += "/pf";
+  return s;
+}
+
+CacheInfo detect_cache_info() {
+  CacheInfo info;
+#ifdef _SC_LEVEL2_CACHE_SIZE
+  const long l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (l2 > 0) info.l2_bytes = static_cast<std::size_t>(l2);
+#endif
+#ifdef _SC_LEVEL3_CACHE_SIZE
+  const long l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
+  if (l3 > 0) info.llc_bytes = static_cast<std::size_t>(l3);
+#endif
+  return info;
+}
+
+bool width_fits(NodeWidth width, const NarrowFit& fit) {
+  return width_unfit_reason(width, fit).empty();
+}
+
+std::string width_unfit_reason(NodeWidth width, const NarrowFit& fit) {
+  switch (width) {
+    case NodeWidth::Wide:
+      return {};
+    case NodeWidth::C16:
+      if (fit.feature_count > 0x7FFF'FFFFu) {
+        return "feature index does not fit the int32 node field";
+      }
+      return {};
+    case NodeWidth::C8:
+      if (!fit.ranks_fit_int16) {
+        return "a feature has more than 32767 distinct thresholds "
+               "(rank does not fit the int16 node key)";
+      }
+      if (fit.feature_count > 32767) {
+        return "feature index does not fit the int16 node field";
+      }
+      if (fit.num_classes > 32767) {
+        return "class id does not fit the int16 node key";
+      }
+      return {};
+  }
+  return "unknown node width";
+}
+
+namespace {
+
+std::size_t node_bytes(NodeWidth w) { return w == NodeWidth::C8 ? 8 : 16; }
+
+}  // namespace
+
+LayoutPlan auto_plan(const trees::ForestStats& stats, const NarrowFit& fit,
+                     std::size_t block_size, const CacheInfo& cache,
+                     std::optional<NodeWidth> force_width) {
+  const std::size_t l2 = cache.l2_bytes ? cache.l2_bytes : 256u * 1024;
+
+  LayoutPlan plan;
+  // Blocked traversal streams each tree's node array once per block, so
+  // larger blocks amortize the stream further; floor the knob at a size
+  // where that amortization has leveled off (raised again below once the
+  // image is known to spill L2).
+  plan.block_size = std::max<std::size_t>(block_size, 256);
+
+  // Width: narrow to 8 bytes only once the 16-byte image spills L2 by a
+  // wide margin (2x) AND the per-sample rank remap is amortized — the
+  // remap is one binary search per feature (~log2 of that feature's split
+  // count, from the cached per-feature stats), which must stay a small
+  // fraction of the traversal work (trees x mean leaf depth) it buys
+  // back.  c16-float needs no table at all.  A forced width (pinned
+  // layout:c16/c8 backend) skips the choice but still gets placement and
+  // traversal tuned for its own image size below.
+  if (force_width) {
+    plan.width = *force_width;
+  } else {
+    plan.width = NodeWidth::C16;
+    double remap_cost = 0.0;  // binary-search steps per sample remap
+    for (const auto& f : stats.features) {
+      remap_cost += std::log2(1.0 + static_cast<double>(f.splits));
+    }
+    const double walk =
+        static_cast<double>(stats.trees.size()) * stats.mean_leaf_depth;
+    if (width_fits(NodeWidth::C8, fit) &&
+        stats.total_nodes * node_bytes(NodeWidth::C16) > 2 * l2 &&
+        remap_cost * 4.0 < walk) {
+      plan.width = NodeWidth::C8;
+    }
+  }
+  if (!width_fits(plan.width, fit)) {
+    plan.width = NodeWidth::Wide;
+    return plan;
+  }
+  const std::size_t image = stats.total_nodes * node_bytes(plan.width);
+
+  // Placement: root-block the top levels once the image outgrows L2 (the
+  // per-core cache the hot loop actually lives in; VM-reported LLC sizes
+  // are unreliable).  Slab estimate: levels 0..d-1 contribute up to
+  // 2^d - 1 spine starts per tree, and each start's spine runs to a leaf
+  // — about (mean_leaf_depth - d) nodes — so the slab holds roughly
+  // starts x spine_length nodes.  Pick the deepest level whose estimate
+  // stays within half of L2.
+  if (image > l2) {
+    const double budget = static_cast<double>(l2) / 2.0;
+    const double mld = stats.mean_leaf_depth > 0.0
+                           ? stats.mean_leaf_depth
+                           : static_cast<double>(stats.max_depth);
+    auto slab_bytes = [&](std::size_t d) {
+      const double starts = static_cast<double>(stats.trees.size()) *
+                            (static_cast<double>(std::size_t{1} << d) - 1.0);
+      const double spine = std::max(1.0, mld - static_cast<double>(d) + 1.0);
+      return starts * spine *
+             static_cast<double>(node_bytes(plan.width));
+    };
+    std::size_t d = 0;
+    while (d < 8 && d + 1 < stats.max_depth && slab_bytes(d + 1) <= budget) {
+      ++d;
+    }
+    plan.hot_depth = d;
+    plan.prefetch_opposite = true;
+    plan.block_size = std::max<std::size_t>(plan.block_size, 1024);
+  }
+
+  // Latency path: enough independent chases to cover a miss, bounded by the
+  // ensemble.
+  plan.interleave = std::clamp<std::size_t>(stats.trees.size(), 1,
+                                            image > l2 ? 8 : 4);
+  return plan;
+}
+
+}  // namespace flint::exec::layout

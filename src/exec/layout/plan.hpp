@@ -1,0 +1,114 @@
+// exec/layout/plan — the layout auto-tuner: picks node width, placement and
+// traversal for a forest at predictor-creation time.
+//
+// The decision inputs are all cheap, pre-computed summaries — nothing here
+// re-walks trees:
+//
+//   * trees::ForestStats        — per-tree depth/node counts, total nodes,
+//                                 per-feature split counts and ranges (one
+//                                 DFS, cached); the split counts price the
+//                                 c8 rank remap, the shape fields size the
+//                                 hot slab;
+//   * layout::KeyTableSet       — per-feature distinct-threshold counts
+//                                 (built once, reused by the packer);
+//   * the host cache hierarchy  — L2/LLC sizes via sysconf, with fixed
+//                                 fallbacks when the kernel does not report
+//                                 them.
+//
+// Decision rules (documented in docs/ARCHITECTURE.md):
+//
+//   width      c8 when every feature's rank fits int16, the c16 image
+//              would spill L2 by 2x, *and* the per-sample rank remap
+//              (one ~log2(splits_f) binary search per feature, priced from
+//              the per-feature split counts) stays a small fraction of the
+//              traversal work it buys back; else c16; Wide only when even
+//              c16 cannot represent the model (feature index or class id
+//              overflow — fall back to the proven wide interpreter).
+//   hot_depth  0 (pure per-tree DFS clustering) while the packed image fits
+//              L2; otherwise the deepest root-block level whose slab
+//              estimate stays within half of L2, so every tree's top levels
+//              survive across block boundaries.
+//   interleave trees walked in lockstep on the single-sample latency path:
+//              enough independent pointer chases to cover a memory access,
+//              capped by the ensemble size and kMaxInterleave.
+//   prefetch   opposite-child software prefetch on, once the image exceeds
+//              L2 (the right-child line is the probable miss; left is the
+//              adjacent node by construction).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "trees/tree_stats.hpp"
+
+namespace flint::exec::layout {
+
+/// Compact node width; Wide means "do not re-pack, use the wide
+/// interpreter" (make_predictor falls back to the encoded engine).
+enum class NodeWidth { C16, C8, Wide };
+
+[[nodiscard]] const char* to_string(NodeWidth w);
+
+/// Upper bound on trees traversed in lockstep by the latency path (bounds
+/// the cursor array on the stack).
+inline constexpr std::size_t kMaxInterleave = 16;
+
+/// Everything the compact engine needs to know about how to lay out and
+/// traverse one forest.  Produced by auto_plan or assembled by hand (the
+/// tests pin exact configurations).
+struct LayoutPlan {
+  NodeWidth width = NodeWidth::C16;
+  /// Root-block levels packed into the shared hot slab; 0 = pure per-tree
+  /// DFS (subtree-clustered) placement.
+  std::size_t hot_depth = 0;
+  /// Samples per cache block of the batched path.
+  std::size_t block_size = 64;
+  /// Trees walked in lockstep per sample on the latency path, in
+  /// [1, kMaxInterleave].
+  std::size_t interleave = 4;
+  /// Software-prefetch the right (non-implicit) child while descending.
+  bool prefetch_opposite = false;
+
+  /// Short descriptor for names/bench labels, e.g. "c8/slab4/il8".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Host cache sizes consulted by the tuner.  Zero fields are replaced by
+/// conservative defaults (256 KiB L2, 8 MiB LLC).
+struct CacheInfo {
+  std::size_t l2_bytes = 0;
+  std::size_t llc_bytes = 0;
+};
+
+/// Best-effort detection via sysconf(_SC_LEVEL*_CACHE_SIZE).
+[[nodiscard]] CacheInfo detect_cache_info();
+
+/// Narrowing fitness extracted from the key tables (see narrow.hpp).
+struct NarrowFit {
+  bool ranks_fit_int16 = false;     ///< every per-feature table <= 32767 keys
+  std::size_t feature_count = 0;
+  int num_classes = 0;
+};
+
+/// Picks width + placement + traversal for a forest; `stats` and `fit` are
+/// the cached summaries described in the file comment.  Deterministic given
+/// its inputs (tests pass a fixed CacheInfo).  `force_width` pins the node
+/// width (the layout:c16/c8 backends) — placement and traversal are then
+/// tuned for THAT width's image size, not the width auto would have chosen;
+/// the caller must have checked width_fits first.
+[[nodiscard]] LayoutPlan auto_plan(
+    const trees::ForestStats& stats, const NarrowFit& fit,
+    std::size_t block_size, const CacheInfo& cache = detect_cache_info(),
+    std::optional<NodeWidth> force_width = std::nullopt);
+
+/// True iff a forest with these properties is representable at `width`
+/// (feature index, class id and rank ranges all fit the node fields).
+[[nodiscard]] bool width_fits(NodeWidth width, const NarrowFit& fit);
+
+/// Human-readable reason a width does not fit (for error messages); empty
+/// when width_fits.
+[[nodiscard]] std::string width_unfit_reason(NodeWidth width,
+                                             const NarrowFit& fit);
+
+}  // namespace flint::exec::layout

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "exec/layout/narrow.hpp"
 #include "exec/pack_checks.hpp"
 
 namespace flint::exec::simd {
@@ -56,6 +57,27 @@ SoaForest<T>::SoaForest(const trees::Forest<T>& forest)
         right.push_back(n.right + base);
       }
     }
+  }
+}
+
+template <typename T>
+void SoaForest<T>::build_narrow_keys(const layout::KeyTableSet<T>& tables) {
+  if (tables.features.size() != feature_count) {
+    throw std::invalid_argument(
+        "build_narrow_keys: key table set does not match the forest's "
+        "feature count");
+  }
+  narrow_key.resize(node_count());
+  for (std::size_t n = 0; n < node_count(); ++n) {
+    if (feature[n] < 0) {
+      // Leaf: `threshold` already holds the class id; mirror it.
+      narrow_key[n] = static_cast<std::int32_t>(threshold[n]);
+      continue;
+    }
+    // `split` holds the raw value; rank_of_split applies the same -0.0
+    // normalization and exactness check as the compact packer.
+    narrow_key[n] = layout::rank_of_split(
+        tables.features[static_cast<std::size_t>(feature[n])], split[n]);
   }
 }
 

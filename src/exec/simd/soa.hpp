@@ -46,6 +46,11 @@
 #include "core/flint.hpp"
 #include "trees/forest.hpp"
 
+namespace flint::exec::layout {
+template <typename T>
+struct KeyTableSet;  // exec/layout/narrow.hpp
+}  // namespace flint::exec::layout
+
 namespace flint::exec::simd {
 
 /// Structure-of-arrays packing of a trained forest (all trees concatenated,
@@ -69,6 +74,20 @@ struct SoaForest {
   std::vector<std::int32_t> left;     ///< leaf: own index (self-loop)
   std::vector<std::int32_t> right;    ///< leaf: own index (self-loop)
   std::vector<std::int32_t> roots;
+
+  /// Narrowed per-node threshold keys (exec/layout/narrow.hpp): populated
+  /// by build_narrow_keys, `narrow_key[n]` is the rank of node n's split in
+  /// its feature's monotone key table (leaves: class id).  With samples
+  /// remapped through the same tables, `rank(x) <= narrow_key[n]` decides
+  /// exactly like the unified compare above — a half-width gather for
+  /// kernels that opt in, and the bridge the layout:* engines share with
+  /// the simd:* backends.  Empty until built.
+  std::vector<std::int32_t> narrow_key;
+
+  /// Fills narrow_key from `tables` (one table per feature, covering every
+  /// split of this forest).  Throws std::invalid_argument on a table set
+  /// that does not match the forest.
+  void build_narrow_keys(const layout::KeyTableSet<T>& tables);
 };
 
 /// Transposes `n_rows` row-major rows (stride `cols`) into feature-major

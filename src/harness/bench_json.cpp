@@ -1,0 +1,189 @@
+#include "harness/bench_json.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <thread>
+
+#include "harness/experiment.hpp"
+#include "harness/machine_info.hpp"
+
+#ifndef FLINT_GIT_SHA
+#define FLINT_GIT_SHA "unknown"
+#endif
+
+namespace flint::harness {
+
+BenchValue BenchValue::of(std::string v) {
+  BenchValue out;
+  out.kind = Kind::String;
+  out.s = std::move(v);
+  return out;
+}
+BenchValue BenchValue::of(const char* v) { return of(std::string(v)); }
+BenchValue BenchValue::of(double v) {
+  BenchValue out;
+  out.kind = Kind::Number;
+  out.d = v;
+  return out;
+}
+BenchValue BenchValue::of(std::int64_t v) {
+  BenchValue out;
+  out.kind = Kind::Integer;
+  out.i = v;
+  return out;
+}
+BenchValue BenchValue::of(std::size_t v) {
+  return of(static_cast<std::int64_t>(v));
+}
+BenchValue BenchValue::of(int v) { return of(static_cast<std::int64_t>(v)); }
+BenchValue BenchValue::of(unsigned v) {
+  return of(static_cast<std::int64_t>(v));
+}
+BenchValue BenchValue::of(bool v) {
+  BenchValue out;
+  out.kind = Kind::Boolean;
+  out.b = v;
+  return out;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_value(std::string& out, const BenchValue& v) {
+  char buf[48];
+  switch (v.kind) {
+    case BenchValue::Kind::String:
+      append_escaped(out, v.s);
+      break;
+    case BenchValue::Kind::Number:
+      std::snprintf(buf, sizeof buf, "%.10g", v.d);
+      out += buf;
+      break;
+    case BenchValue::Kind::Integer:
+      std::snprintf(buf, sizeof buf, "%" PRId64, v.i);
+      out += buf;
+      break;
+    case BenchValue::Kind::Boolean:
+      out += v.b ? "true" : "false";
+      break;
+  }
+}
+
+void append_fields(std::string& out,
+                   const std::vector<std::pair<std::string, BenchValue>>& kv) {
+  bool first = true;
+  for (const auto& [key, value] : kv) {
+    if (!first) out += ", ";
+    first = false;
+    append_escaped(out, key);
+    out += ": ";
+    append_value(out, value);
+  }
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string name) : name_(std::move(name)) {
+  set("bench", name_);
+  const char* sha = std::getenv("FLINT_GIT_SHA");
+  set("git_sha", sha && sha[0] ? sha : FLINT_GIT_SHA);
+  const MachineInfo info = query_machine_info();
+  set("cpu", info.cpu_model);
+  set("arch", info.architecture);
+  set("logical_cores", info.logical_cores);
+  set("hardware_concurrency",
+      static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  set("unix_time", static_cast<std::int64_t>(std::time(nullptr)));
+}
+
+BenchJson::~BenchJson() {
+  if (!written_) write();
+}
+
+void BenchJson::set_value(const std::string& key, BenchValue value) {
+  for (auto& [k, v] : header_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  header_.emplace_back(key, std::move(value));
+}
+
+void BenchJson::add_row(
+    std::vector<std::pair<std::string, BenchValue>> fields) {
+  rows_.push_back(std::move(fields));
+}
+
+void BenchJson::add_rate(const std::string& backend, std::size_t batch,
+                         unsigned threads, double samples_per_sec) {
+  add_row({{"backend", BenchValue::of(backend)},
+           {"batch", BenchValue::of(batch)},
+           {"threads", BenchValue::of(threads)},
+           {"samples_per_sec", BenchValue::of(samples_per_sec)}});
+}
+
+std::string BenchJson::write() {
+  written_ = true;
+  const char* dir = std::getenv("FLINT_BENCH_JSON_DIR");
+  std::string path = dir && dir[0] ? std::string(dir) + "/" : std::string();
+  path += "BENCH_" + name_ + ".json";
+
+  std::string out = "{";
+  append_fields(out, header_);
+  out += ", \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += r ? ",\n  {" : "\n  {";
+    append_fields(out, rows_[r]);
+    out += "}";
+  }
+  out += rows_.empty() ? "]}\n" : "\n]}\n";
+
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+    return {};
+  }
+  f << out;
+  return path;
+}
+
+void add_run_records(BenchJson& json, std::span<const RunRecord> records) {
+  for (const auto& r : records) {
+    json.add_row({{"dataset", BenchValue::of(r.dataset)},
+                  {"trees", BenchValue::of(r.n_trees)},
+                  {"depth", BenchValue::of(r.depth)},
+                  {"impl", BenchValue::of(to_string(r.impl))},
+                  {"ns_per_sample", BenchValue::of(r.ns_per_sample)},
+                  {"normalized", BenchValue::of(r.normalized)},
+                  {"total_nodes", BenchValue::of(r.total_nodes)},
+                  {"object_bytes", BenchValue::of(r.object_bytes)},
+                  {"verified", BenchValue::of(r.verified)}});
+  }
+}
+
+}  // namespace flint::harness

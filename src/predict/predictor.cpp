@@ -16,6 +16,9 @@
 #include "codegen/cgen_ifelse.hpp"
 #include "codegen/cgen_native.hpp"
 #include "exec/interpreter.hpp"
+#include "exec/layout/compact.hpp"
+#include "exec/layout/narrow.hpp"
+#include "exec/layout/plan.hpp"
 #include "exec/simd/simd_engine.hpp"
 
 namespace flint::predict {
@@ -285,6 +288,39 @@ class SimdPredictor final : public Predictor<T> {
   exec::simd::SimdForestEngine<T> engine_;
 };
 
+/// Compact cache-aware layout backend: LayoutForestEngine re-packs the
+/// forest into 16- or 8-byte nodes with implicit left children, hot-slab /
+/// DFS-clustered placement and narrowed threshold keys (exec/layout/).
+/// The engine's predict_batch is blocked + const-thread-safe, so the
+/// wrapper only adapts naming and shape plumbing.
+template <typename T>
+class LayoutPredictor final : public Predictor<T> {
+ public:
+  LayoutPredictor(const trees::Forest<T>& forest,
+                  const exec::layout::LayoutPlan& plan,
+                  const exec::layout::KeyTableSet<T>& tables)
+      : engine_(forest, plan, tables) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "layout:" + engine_.plan().describe();
+  }
+  [[nodiscard]] int num_classes() const noexcept override {
+    return engine_.num_classes();
+  }
+  [[nodiscard]] std::size_t feature_count() const noexcept override {
+    return engine_.feature_count();
+  }
+
+ protected:
+  void do_predict_batch(const T* features, std::size_t n_samples,
+                        std::int32_t* out) const override {
+    engine_.predict_batch(features, n_samples, out);
+  }
+
+ private:
+  exec::layout::LayoutForestEngine<T> engine_;
+};
+
 /// Semantics baseline: per-sample Forest::predict over an owned model copy.
 template <typename T>
 class ReferencePredictor final : public Predictor<T> {
@@ -521,6 +557,10 @@ std::vector<std::string> simd_backends() {
   return {"simd:flint", "simd:float"};
 }
 
+std::vector<std::string> layout_backends() {
+  return {"layout:auto", "layout:c16", "layout:c8"};
+}
+
 std::vector<std::string> jit_backends() {
   return {"jit:ifelse-float", "jit:ifelse-flint", "jit:native-float",
           "jit:native-flint", "jit:cags-float", "jit:cags-flint",
@@ -529,8 +569,8 @@ std::vector<std::string> jit_backends() {
 
 bool is_known_backend(std::string_view backend) {
   if (backend == "flint") return true;  // factory alias for "encoded"
-  for (const auto& list :
-       {interpreter_backends(), simd_backends(), jit_backends()}) {
+  for (const auto& list : {interpreter_backends(), simd_backends(),
+                           layout_backends(), jit_backends()}) {
     for (const auto& name : list) {
       if (name == backend) return true;
     }
@@ -546,6 +586,9 @@ std::string backend_help() {
   }
   help += "|flint";
   for (const auto& name : simd_backends()) {
+    help += "|" + name;
+  }
+  for (const auto& name : layout_backends()) {
     help += "|" + name;
   }
   for (const auto& name : jit_backends()) {
@@ -593,6 +636,51 @@ std::unique_ptr<Predictor<T>> make_jit_predictor(
                                            forest.feature_count());
 }
 
+/// Builds a compact-layout predictor.  `mode` is "auto", "c16" or "c8".
+/// The key tables and forest stats are computed once here and shared by
+/// the auto-tuner and the packer (no tree is walked twice); "auto" falls
+/// back down the width chain (c8 -> c16 -> wide encoded interpreter) while
+/// the pinned widths throw when the model cannot be narrowed.
+template <typename T>
+std::unique_ptr<Predictor<T>> make_layout_predictor(
+    const trees::Forest<T>& forest, std::string_view mode,
+    const PredictorOptions& options) {
+  namespace layout = exec::layout;
+  const trees::ForestStats stats = trees::forest_stats(forest);
+  const layout::KeyTableSet<T> tables = layout::build_key_tables(forest);
+  layout::NarrowFit fit;
+  fit.ranks_fit_int16 = tables.fits_int16();
+  fit.feature_count = forest.feature_count();
+  fit.num_classes = forest.num_classes();
+
+  std::optional<layout::NodeWidth> force_width;
+  if (mode == "c16" || mode == "c8") {
+    force_width = mode == "c16" ? layout::NodeWidth::C16
+                                : layout::NodeWidth::C8;
+    const std::string reason = layout::width_unfit_reason(*force_width, fit);
+    if (!reason.empty()) {
+      throw std::invalid_argument("make_predictor: layout:" +
+                                  std::string(mode) + " cannot pack this "
+                                  "model (" + reason + ")");
+    }
+  } else if (mode != "auto") {
+    throw std::invalid_argument("make_predictor: unknown backend 'layout:" +
+                                std::string(mode) + "' (" + backend_help() +
+                                ")");
+  }
+  // Placement/traversal are tuned for the width actually packed (a pinned
+  // width gets its own image-size decisions, not auto's).
+  const layout::LayoutPlan plan =
+      layout::auto_plan(stats, fit, options.block_size,
+                        layout::detect_cache_info(), force_width);
+  if (plan.width == layout::NodeWidth::Wide) {
+    // Nothing compact fits: serve through the proven wide interpreter.
+    return std::make_unique<FlintEnginePredictor<T>>(
+        forest, exec::FlintVariant::Encoded, options.block_size);
+  }
+  return std::make_unique<LayoutPredictor<T>>(forest, plan, tables);
+}
+
 }  // namespace
 
 template <typename T>
@@ -623,6 +711,8 @@ std::unique_ptr<Predictor<T>> make_predictor(const trees::Forest<T>& forest,
   } else if (backend == "simd:float") {
     predictor = std::make_unique<SimdPredictor<T>>(
         forest, exec::simd::SimdMode::Float, options.block_size);
+  } else if (backend.rfind("layout:", 0) == 0) {
+    predictor = make_layout_predictor(forest, backend.substr(7), options);
   } else if (backend.rfind("jit:", 0) == 0) {
     predictor = make_jit_predictor(forest, backend.substr(4), options);
   } else {

@@ -123,6 +123,15 @@ struct PredictorOptions {
 ///                             with FLInt integer compares (AVX2/NEON when
 ///                             built and supported, scalar lanes otherwise)
 ///   simd:float                SimdForestEngine, hardware-float compares
+///   layout:auto               LayoutForestEngine behind the LayoutPlan
+///                             auto-tuner (exec/layout/plan.hpp): compact
+///                             node width + hot-slab placement + traversal
+///                             picked from forest stats and cache sizes;
+///                             falls back to the wide encoded engine when
+///                             no compact width fits
+///   layout:c16 | layout:c8    LayoutForestEngine pinned to 16- or 8-byte
+///                             compact nodes (throws when the model cannot
+///                             be narrowed to that width)
 ///   jit:ifelse-float          generated if-else C, hardware-float compares
 ///   jit:ifelse-flint          generated if-else C, FLInt integer compares
 ///   jit:native-float          generated array-walking native tree, float
@@ -139,6 +148,8 @@ template <typename T>
 [[nodiscard]] std::vector<std::string> interpreter_backends();
 /// Backend names of the data-parallel SoA traversal engines (exec/simd).
 [[nodiscard]] std::vector<std::string> simd_backends();
+/// Backend names of the compact cache-aware layouts (exec/layout).
+[[nodiscard]] std::vector<std::string> layout_backends();
 /// Backend names routed through codegen + in-process compilation.
 [[nodiscard]] std::vector<std::string> jit_backends();
 /// One-line vocabulary string for CLI usage/error messages.

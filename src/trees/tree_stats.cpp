@@ -43,21 +43,25 @@ std::vector<BranchStats> collect_branch_stats(const Forest<T>& forest,
   return all;
 }
 
-template <typename T>
-TreeShape tree_shape(const Tree<T>& tree) {
+namespace {
+
+/// Single-DFS core of tree_shape/forest_stats: leaves, depth, leaf-depth
+/// sum and split-sign counts in one walk.  `on_split`, when non-null, sees
+/// every inner node (for the per-feature aggregation of forest_stats).
+template <typename T, typename OnSplit>
+TreeShape tree_shape_walk(const Tree<T>& tree, OnSplit&& on_split) {
   TreeShape shape;
   shape.nodes = tree.size();
-  shape.leaves = tree.leaf_count();
-  shape.depth = tree.depth();
   if (tree.empty()) return shape;
-  // Leaf-depth average via DFS.
   std::uint64_t depth_sum = 0;
   std::vector<std::pair<std::int32_t, std::size_t>> stack{{0, 0}};
   while (!stack.empty()) {
     const auto [i, d] = stack.back();
     stack.pop_back();
     const Node<T>& n = tree.node(i);
+    if (d > shape.depth) shape.depth = d;
     if (n.is_leaf()) {
+      ++shape.leaves;
       depth_sum += d;
     } else {
       if (n.split < T{0}) {
@@ -65,6 +69,7 @@ TreeShape tree_shape(const Tree<T>& tree) {
       } else {
         ++shape.nonnegative_splits;
       }
+      on_split(n);
       stack.emplace_back(n.left, d + 1);
       stack.emplace_back(n.right, d + 1);
     }
@@ -73,6 +78,41 @@ TreeShape tree_shape(const Tree<T>& tree) {
       shape.leaves ? static_cast<double>(depth_sum) / static_cast<double>(shape.leaves)
                    : 0.0;
   return shape;
+}
+
+}  // namespace
+
+template <typename T>
+TreeShape tree_shape(const Tree<T>& tree) {
+  return tree_shape_walk(tree, [](const Node<T>&) {});
+}
+
+template <typename T>
+ForestStats forest_stats(const Forest<T>& forest) {
+  ForestStats stats;
+  stats.trees.reserve(forest.size());
+  stats.features.resize(forest.feature_count());
+  double leaf_depth_sum = 0.0;  // sum over all leaves of their depth
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    const TreeShape shape =
+        tree_shape_walk(forest.tree(t), [&](const Node<T>& n) {
+          auto& f = stats.features[static_cast<std::size_t>(n.feature)];
+          const double s = static_cast<double>(n.split);
+          if (f.splits == 0 || s < f.min_split) f.min_split = s;
+          if (f.splits == 0 || s > f.max_split) f.max_split = s;
+          ++f.splits;
+        });
+    stats.total_nodes += shape.nodes;
+    stats.total_leaves += shape.leaves;
+    if (shape.depth > stats.max_depth) stats.max_depth = shape.depth;
+    leaf_depth_sum += shape.mean_leaf_depth * static_cast<double>(shape.leaves);
+    stats.trees.push_back(shape);
+  }
+  stats.mean_leaf_depth =
+      stats.total_leaves
+          ? leaf_depth_sum / static_cast<double>(stats.total_leaves)
+          : 0.0;
+  return stats;
 }
 
 template BranchStats collect_branch_stats<float>(const Tree<float>&,
@@ -85,5 +125,7 @@ template std::vector<BranchStats> collect_branch_stats<double>(
     const Forest<double>&, const data::Dataset<double>&);
 template TreeShape tree_shape<float>(const Tree<float>&);
 template TreeShape tree_shape<double>(const Tree<double>&);
+template ForestStats forest_stats<float>(const Forest<float>&);
+template ForestStats forest_stats<double>(const Forest<double>&);
 
 }  // namespace flint::trees

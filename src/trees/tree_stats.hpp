@@ -36,7 +36,9 @@ template <typename T>
 [[nodiscard]] std::vector<BranchStats> collect_branch_stats(
     const Forest<T>& forest, const data::Dataset<T>& dataset);
 
-/// Aggregate shape metrics for reporting.
+/// Aggregate shape metrics for reporting.  Computed in a single DFS —
+/// depth, leaf count and split-sign counts come out of one walk instead of
+/// one tree traversal per field (Tree::depth + Tree::leaf_count + a DFS).
 struct TreeShape {
   std::size_t nodes = 0;
   std::size_t leaves = 0;
@@ -48,5 +50,31 @@ struct TreeShape {
 
 template <typename T>
 [[nodiscard]] TreeShape tree_shape(const Tree<T>& tree);
+
+/// Per-feature split-value summary across the whole forest.
+struct FeatureSplitStats {
+  std::uint64_t splits = 0;   ///< inner nodes testing this feature
+  double min_split = 0.0;     ///< smallest split value (valid iff splits > 0)
+  double max_split = 0.0;     ///< largest split value (valid iff splits > 0)
+};
+
+/// Whole-forest structural summary, computed once (one DFS per tree) and
+/// meant to be passed around instead of re-walking trees: the layout
+/// auto-tuner (exec/layout/plan.hpp) sizes the hot slab from the per-tree
+/// depth/node counts and prices the c8 rank remap from the per-feature
+/// split counts; the split ranges are exposed for reports and inspection
+/// tools; the packers read total_nodes for reservation — none of them
+/// touch Tree again.
+struct ForestStats {
+  std::vector<TreeShape> trees;           ///< aligned with Forest::tree indices
+  std::vector<FeatureSplitStats> features;  ///< indexed by feature id
+  std::size_t total_nodes = 0;
+  std::size_t total_leaves = 0;
+  std::size_t max_depth = 0;              ///< max over trees
+  double mean_leaf_depth = 0.0;           ///< over all leaves of all trees
+};
+
+template <typename T>
+[[nodiscard]] ForestStats forest_stats(const Forest<T>& forest);
 
 }  // namespace flint::trees

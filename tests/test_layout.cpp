@@ -1,0 +1,424 @@
+// Property tests for the exec/layout subsystem: FLInt order-preserving
+// threshold narrowing must be exact on adversarial bit patterns (signed
+// zeros, denormals, infinities, adjacent patterns), the compact node
+// engines must be bit-identical to Forest::predict at every width x
+// placement x traversal configuration, width fallback must engage when a
+// feature's thresholds cannot be ranked at the narrow width, and the
+// narrowed SoA keys must decide exactly like the unified SIMD compare.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/flint.hpp"
+#include "data/synth.hpp"
+#include "exec/layout/compact.hpp"
+#include "exec/layout/narrow.hpp"
+#include "exec/layout/plan.hpp"
+#include "exec/simd/soa.hpp"
+#include "predict/predictor.hpp"
+#include "trees/forest.hpp"
+#include "trees/tree_stats.hpp"
+
+namespace {
+
+namespace layout = flint::exec::layout;
+using flint::core::to_radix_key;
+using flint::core::total_order;
+
+/// Adversarial float pool: special patterns, their bit neighbors, and the
+/// neighbors of every value in `seed_values`.
+std::vector<float> adversarial_pool(std::vector<float> seed_values) {
+  std::vector<float> pool = {0.0f,
+                             -0.0f,
+                             std::numeric_limits<float>::denorm_min(),
+                             -std::numeric_limits<float>::denorm_min(),
+                             std::numeric_limits<float>::min(),
+                             -std::numeric_limits<float>::min(),
+                             std::numeric_limits<float>::infinity(),
+                             -std::numeric_limits<float>::infinity(),
+                             std::numeric_limits<float>::max(),
+                             std::numeric_limits<float>::lowest(),
+                             1.0f,
+                             -1.0f,
+                             3.5f,
+                             -3.5f};
+  pool.insert(pool.end(), seed_values.begin(), seed_values.end());
+  // Adjacent bit patterns of everything so far (one ulp in both directions
+  // through the raw integer reading), skipping NaNs and the int32 edges
+  // (si_bits(-0.0f) is INT32_MIN; stepping past it has no neighbor).
+  const std::size_t base = pool.size();
+  for (std::size_t i = 0; i < base; ++i) {
+    const std::int64_t bits = flint::core::si_bits(pool[i]);
+    for (const int delta : {-1, 1}) {
+      const std::int64_t nb = bits + delta;
+      if (nb < std::numeric_limits<std::int32_t>::min() ||
+          nb > std::numeric_limits<std::int32_t>::max()) {
+        continue;
+      }
+      const float v =
+          flint::core::from_si_bits<float>(static_cast<std::int32_t>(nb));
+      if (!std::isnan(v)) pool.push_back(v);
+    }
+  }
+  return pool;
+}
+
+TEST(KeyTable, RankPreservesFlintOrderOnAdversarialThresholds) {
+  const auto thresholds = adversarial_pool({});
+  layout::KeyTable<float> table;
+  for (const float t : thresholds) table.sorted.push_back(to_radix_key(t));
+  std::sort(table.sorted.begin(), table.sorted.end());
+  table.sorted.erase(std::unique(table.sorted.begin(), table.sorted.end()),
+                     table.sorted.end());
+
+  // Probe values: the thresholds themselves, their neighbors, randoms.
+  auto probes = adversarial_pool(thresholds);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<float> uniform(-1e6f, 1e6f);
+  for (int i = 0; i < 200; ++i) probes.push_back(uniform(rng));
+
+  for (const float x : probes) {
+    const std::int32_t rx = table.rank(x);
+    for (const float t : thresholds) {
+      const std::int32_t rt = table.rank(t);
+      // x <= t in the FLInt total order iff rank(x) <= rank(t): the
+      // narrowing contract every compact node relies on.
+      const bool flint_le = total_order(x, t) <= 0;
+      ASSERT_EQ(rx <= rt, flint_le)
+          << "x=" << x << " t=" << t << " rank(x)=" << rx
+          << " rank(t)=" << rt;
+    }
+  }
+}
+
+TEST(KeyTable, StrictOrderOnAdjacentBitPatterns) {
+  // Adjacent representable floats must get strictly increasing ranks when
+  // both are in the table — narrowing may never merge distinct thresholds.
+  const float base = 1.5f;
+  const auto bits = flint::core::si_bits(base);
+  layout::KeyTable<float> table;
+  for (int d = -3; d <= 3; ++d) {
+    table.sorted.push_back(to_radix_key(flint::core::from_si_bits<float>(
+        bits + d)));
+  }
+  std::sort(table.sorted.begin(), table.sorted.end());
+  for (std::size_t i = 0; i + 1 < table.sorted.size(); ++i) {
+    ASSERT_LT(table.sorted[i], table.sorted[i + 1]);
+    ASSERT_LT(table.rank_of_key(table.sorted[i]),
+              table.rank_of_key(table.sorted[i + 1]));
+  }
+}
+
+TEST(KeyTable, BuildFromForestCoversEverySplitExactly) {
+  const auto data =
+      flint::data::generate<float>(flint::data::magic_spec(), 11, 900);
+  flint::trees::ForestOptions opt;
+  opt.n_trees = 5;
+  opt.tree.max_depth = 8;
+  const auto forest = flint::trees::train_forest(data, opt);
+  const auto tables = layout::build_key_tables(forest);
+  ASSERT_EQ(tables.features.size(), forest.feature_count());
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    for (const auto& n : forest.tree(t).nodes()) {
+      if (n.is_leaf()) continue;
+      const float split = n.split == 0.0f ? 0.0f : n.split;
+      const auto& table =
+          tables.features[static_cast<std::size_t>(n.feature)];
+      const auto rank =
+          static_cast<std::size_t>(table.rank_of_key(to_radix_key(split)));
+      ASSERT_LT(rank, table.size());
+      EXPECT_EQ(table.sorted[rank], to_radix_key(split));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine bit-identity across width x placement x traversal.
+// ---------------------------------------------------------------------------
+
+class LayoutEngine : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto data =
+        flint::data::generate<float>(flint::data::magic_spec(), 5, 1200);
+    flint::trees::ForestOptions opt;
+    opt.n_trees = 9;
+    opt.tree.max_depth = 10;
+    opt.tree.max_features = flint::trees::TrainOptions::kSqrtFeatures;
+    forest_ = flint::trees::train_forest(data, opt);
+    tables_ = layout::build_key_tables(forest_);
+  }
+
+  std::vector<float> adversarial_features(std::size_t n, std::uint64_t seed) {
+    std::vector<float> splits;
+    for (std::size_t t = 0; t < forest_.size(); ++t) {
+      for (const auto& nd : forest_.tree(t).nodes()) {
+        if (!nd.is_leaf()) splits.push_back(nd.split);
+      }
+    }
+    const auto pool = adversarial_pool(splits);
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+    std::uniform_int_distribution<int> kind(0, 2);
+    std::uniform_real_distribution<float> uniform(-50.0f, 50.0f);
+    std::vector<float> features(n * forest_.feature_count());
+    for (auto& v : features) {
+      v = kind(rng) == 0 ? pool[pick(rng)] : uniform(rng);
+    }
+    return features;
+  }
+
+  flint::trees::Forest<float> forest_;
+  layout::KeyTableSet<float> tables_;
+};
+
+TEST_F(LayoutEngine, BitIdenticalAcrossWidthPlacementTraversal) {
+  const std::size_t n = 523;  // prime: partial blocks everywhere
+  const auto features = adversarial_features(n, 3);
+  const std::size_t cols = forest_.feature_count();
+  std::vector<std::int32_t> expected(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    expected[s] = forest_.predict({features.data() + s * cols, cols});
+  }
+  for (const auto width : {layout::NodeWidth::C16, layout::NodeWidth::C8}) {
+    for (const std::size_t hot_depth : {std::size_t{0}, std::size_t{3}}) {
+      for (const std::size_t interleave : {std::size_t{1}, std::size_t{8}}) {
+        layout::LayoutPlan plan;
+        plan.width = width;
+        plan.hot_depth = hot_depth;
+        plan.interleave = interleave;
+        plan.block_size = 48;
+        plan.prefetch_opposite = hot_depth != 0;
+        const layout::LayoutForestEngine<float> engine(forest_, plan,
+                                                       tables_);
+        EXPECT_EQ(engine.node_bytes(),
+                  width == layout::NodeWidth::C16 ? 16u : 8u);
+        EXPECT_EQ(engine.hot_node_count() > 0, hot_depth > 0);
+        std::vector<std::int32_t> out(n, -1);
+        engine.predict_batch(features.data(), n, out.data());
+        ASSERT_EQ(out, expected) << plan.describe();
+        // Small batches route through the interleaved latency path; the
+        // head of the batch must agree with the blocked result.
+        std::vector<std::int32_t> small(3, -1);
+        engine.predict_batch(features.data(), 3, small.data());
+        for (std::size_t s = 0; s < 3; ++s) {
+          ASSERT_EQ(small[s], expected[s]) << plan.describe();
+        }
+        ASSERT_EQ(engine.predict({features.data(), cols}), expected[0])
+            << plan.describe();
+      }
+    }
+  }
+}
+
+TEST_F(LayoutEngine, ScalarLockstepPathMatchesVectorPath) {
+  // FLINT_LAYOUT_FORCE_SCALAR pins the portable blocked loop, so this
+  // covers it even on hosts where the AVX2 kernel would always dispatch.
+  const std::size_t n = 211;
+  const auto features = adversarial_features(n, 23);
+  const std::size_t cols = forest_.feature_count();
+  std::vector<std::int32_t> expected(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    expected[s] = forest_.predict({features.data() + s * cols, cols});
+  }
+  setenv("FLINT_LAYOUT_FORCE_SCALAR", "1", 1);
+  for (const auto width : {layout::NodeWidth::C16, layout::NodeWidth::C8}) {
+    layout::LayoutPlan plan;
+    plan.width = width;
+    plan.block_size = 32;
+    plan.prefetch_opposite = true;
+    const layout::LayoutForestEngine<float> engine(forest_, plan, tables_);
+    std::vector<std::int32_t> out(n, -1);
+    engine.predict_batch(features.data(), n, out.data());
+    EXPECT_EQ(out, expected) << plan.describe();
+  }
+  unsetenv("FLINT_LAYOUT_FORCE_SCALAR");
+}
+
+TEST_F(LayoutEngine, PackedInvariants) {
+  layout::LayoutPlan plan;
+  plan.width = layout::NodeWidth::C16;
+  plan.hot_depth = 2;
+  std::string why;
+  const auto packed = layout::try_pack<float, layout::CompactNode16>(
+      forest_, plan, tables_, &why);
+  ASSERT_TRUE(packed.has_value()) << why;
+  EXPECT_EQ(packed->nodes.size(), forest_.total_nodes());
+  EXPECT_EQ(packed->roots.size(), forest_.size());
+  EXPECT_GT(packed->hot_nodes, 0u);
+  EXPECT_LT(packed->hot_nodes, packed->nodes.size());
+  std::size_t leaves = 0;
+  for (std::size_t i = 0; i < packed->nodes.size(); ++i) {
+    const auto& nd = packed->nodes[i];
+    if (nd.right_off < 0) {
+      ++leaves;
+      EXPECT_GE(nd.key, 0);
+      EXPECT_LT(nd.key, forest_.num_classes());
+    } else {
+      // Implicit left child and forward-only right offsets.
+      ASSERT_LT(i + 1, packed->nodes.size());
+      ASSERT_LT(i + static_cast<std::size_t>(nd.right_off),
+                packed->nodes.size());
+      EXPECT_GE(nd.feature, 0);
+      EXPECT_LT(static_cast<std::size_t>(nd.feature),
+                forest_.feature_count());
+    }
+  }
+  std::size_t expected_leaves = 0;
+  for (std::size_t t = 0; t < forest_.size(); ++t) {
+    expected_leaves += forest_.tree(t).leaf_count();
+  }
+  EXPECT_EQ(leaves, expected_leaves);
+}
+
+// ---------------------------------------------------------------------------
+// Width fallback when thresholds cannot be ranked narrow.
+// ---------------------------------------------------------------------------
+
+/// One tree with > 32767 distinct thresholds on feature 0 (a right-leaning
+/// chain), so int16 ranks cannot represent the table.
+flint::trees::Forest<float> wide_threshold_forest(std::int32_t splits) {
+  flint::trees::Tree<float> tree(1);
+  std::int32_t prev = -1;
+  for (std::int32_t i = 0; i < splits; ++i) {
+    const auto split = tree.add_split(0, static_cast<float>(i));
+    const auto leaf = tree.add_leaf(i % 2);
+    if (prev >= 0) {
+      tree.link(prev, tree.node(prev).left, split);
+    }
+    tree.link(split, leaf, split);  // right patched next iteration / below
+    prev = split;
+  }
+  const auto last = tree.add_leaf(0);
+  tree.link(prev, tree.node(prev).left, last);
+  return flint::trees::Forest<float>(
+      std::vector<flint::trees::Tree<float>>{std::move(tree)}, 2);
+}
+
+TEST(LayoutFallback, NarrowWidthRejectedWideWidthServes) {
+  const auto forest = wide_threshold_forest(33000);
+  const auto tables = layout::build_key_tables(forest);
+  EXPECT_FALSE(tables.fits_int16());
+  layout::NarrowFit fit;
+  fit.ranks_fit_int16 = tables.fits_int16();
+  fit.feature_count = forest.feature_count();
+  fit.num_classes = forest.num_classes();
+  EXPECT_FALSE(layout::width_fits(layout::NodeWidth::C8, fit));
+  EXPECT_FALSE(layout::width_unfit_reason(layout::NodeWidth::C8, fit).empty());
+  EXPECT_TRUE(layout::width_fits(layout::NodeWidth::C16, fit));
+
+  // Pinning c8 must throw; auto must still serve, bit-identically.
+  EXPECT_THROW((void)flint::predict::make_predictor(forest, "layout:c8"),
+               std::invalid_argument);
+  const auto predictor = flint::predict::make_predictor(forest, "layout:auto");
+  std::vector<float> xs = {-1.0f, 0.5f, 123.5f, 5000.25f, 32999.5f, 40000.0f};
+  for (const float x : xs) {
+    EXPECT_EQ(predictor->predict_one({&x, 1}), forest.predict({&x, 1}))
+        << "x=" << x;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Auto-tuner decisions.
+// ---------------------------------------------------------------------------
+
+TEST(AutoPlan, SmallModelStaysWideCachedAndUnslabbed) {
+  flint::trees::ForestStats stats;
+  stats.trees.resize(10);
+  stats.total_nodes = 1000;  // 16 KiB at c16: fits any L2
+  stats.max_depth = 8;
+  layout::NarrowFit fit{true, 10, 4};
+  const layout::CacheInfo cache{256 * 1024, 8 * 1024 * 1024};
+  const auto plan = layout::auto_plan(stats, fit, 64, cache);
+  EXPECT_EQ(plan.width, layout::NodeWidth::C16);
+  EXPECT_EQ(plan.hot_depth, 0u);
+  EXPECT_FALSE(plan.prefetch_opposite);
+}
+
+TEST(AutoPlan, DeepModelNarrowsBlocksAndPrefetches) {
+  flint::trees::ForestStats stats;
+  stats.trees.resize(256);
+  stats.total_nodes = 4 * 1000 * 1000;  // 64 MiB at c16: beyond LLC
+  stats.max_depth = 16;
+  stats.mean_leaf_depth = 14.0;
+  // Ten features sharing ~2M splits: the rank remap (~10 binary searches)
+  // is well amortized by 256 trees x 14 levels of traversal.
+  stats.features.resize(10);
+  for (auto& f : stats.features) f.splits = 200000;
+  layout::NarrowFit fit{true, 10, 4};
+  const layout::CacheInfo cache{256 * 1024, 8 * 1024 * 1024};
+  const auto plan = layout::auto_plan(stats, fit, 64, cache);
+  EXPECT_EQ(plan.width, layout::NodeWidth::C8);
+  EXPECT_GT(plan.hot_depth, 0u);
+  EXPECT_TRUE(plan.prefetch_opposite);
+  EXPECT_GE(plan.interleave, 4u);
+  EXPECT_LE(plan.interleave, layout::kMaxInterleave);
+}
+
+TEST(AutoPlan, UnnarrowableModelFallsBackToWide) {
+  flint::trees::ForestStats stats;
+  stats.trees.resize(4);
+  stats.total_nodes = 4 * 1000 * 1000;
+  stats.max_depth = 20;
+  layout::NarrowFit fit;
+  fit.ranks_fit_int16 = false;
+  fit.feature_count = std::size_t{1} << 33;  // no int32 feature field either
+  fit.num_classes = 2;
+  const layout::CacheInfo cache{256 * 1024, 8 * 1024 * 1024};
+  const auto plan = layout::auto_plan(stats, fit, 64, cache);
+  EXPECT_EQ(plan.width, layout::NodeWidth::Wide);
+}
+
+// ---------------------------------------------------------------------------
+// Narrowed SoA keys decide exactly like the unified SIMD compare.
+// ---------------------------------------------------------------------------
+
+TEST_F(LayoutEngine, SoaNarrowKeysMatchUnifiedCompare) {
+  flint::exec::simd::SoaForest<float> soa(forest_);
+  EXPECT_TRUE(soa.narrow_key.empty());
+  soa.build_narrow_keys(tables_);
+  ASSERT_EQ(soa.narrow_key.size(), soa.node_count());
+
+  const auto features = adversarial_features(64, 17);
+  for (std::size_t n = 0; n < soa.node_count(); ++n) {
+    if (soa.feature[n] < 0) {
+      // Leaves mirror the class id.
+      EXPECT_EQ(soa.narrow_key[n],
+                static_cast<std::int32_t>(soa.threshold[n]));
+      continue;
+    }
+    const auto& table =
+        tables_.features[static_cast<std::size_t>(soa.feature[n])];
+    for (const float x : features) {
+      const auto xi = flint::core::si_bits(x);
+      const bool unified = (xi ^ soa.xor_mask[n]) <= soa.threshold[n];
+      const bool narrow = table.rank(x) <= soa.narrow_key[n];
+      ASSERT_EQ(unified, narrow)
+          << "node " << n << " x=" << x << " split=" << soa.split[n];
+    }
+  }
+}
+
+TEST(LayoutDouble, DoubleWidthEnginesMatchForestPredict) {
+  const auto data =
+      flint::data::generate<double>(flint::data::wine_spec(), 3, 700);
+  flint::trees::ForestOptions opt;
+  opt.n_trees = 5;
+  opt.tree.max_depth = 8;
+  const auto forest = flint::trees::train_forest(data, opt);
+  for (const char* backend : {"layout:auto", "layout:c16", "layout:c8"}) {
+    const auto predictor = flint::predict::make_predictor(forest, backend);
+    std::vector<std::int32_t> out(data.rows());
+    predictor->predict_batch(data, out);
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      ASSERT_EQ(out[r], forest.predict(data.row(r)))
+          << backend << " row " << r;
+    }
+  }
+}
+
+}  // namespace

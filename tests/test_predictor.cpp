@@ -135,6 +135,11 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& info) { return info.param.substr(5); });
 
 INSTANTIATE_TEST_SUITE_P(
+    LayoutBackends, BackendEquivalence,
+    ::testing::Values("layout:auto", "layout:c16", "layout:c8"),
+    [](const auto& info) { return info.param.substr(7); });
+
+INSTANTIATE_TEST_SUITE_P(
     JitBackends, BackendEquivalence,
     ::testing::Values("jit:ifelse-float", "jit:ifelse-flint",
                       "jit:native-float", "jit:native-flint", "jit:cags-float",
@@ -156,7 +161,8 @@ TEST_F(TrainedForest, BlockSizeDoesNotChangeResults) {
     PredictorOptions opt;
     opt.block_size = block;
     for (const char* backend :
-         {"float", "encoded", "radix", "simd:flint", "simd:float"}) {
+         {"float", "encoded", "radix", "simd:flint", "simd:float",
+          "layout:auto", "layout:c16", "layout:c8"}) {
       const auto predictor = make_predictor(forest_, backend, opt);
       std::vector<std::int32_t> out(n);
       predictor->predict_batch(features, n, out);
@@ -205,7 +211,8 @@ TEST_F(TrainedForest, ParallelViaFactoryAndRepeatedBatches) {
 // backend shape — no division by zero in the blocked loops, no empty block
 // dispatched to pool workers, and the output span untouched.
 TEST_F(TrainedForest, EmptyBatchIsNoOp) {
-  for (const char* backend : {"reference", "encoded", "simd:flint"}) {
+  for (const char* backend :
+       {"reference", "encoded", "simd:flint", "layout:auto"}) {
     PredictorOptions opt;
     const auto predictor = make_predictor(forest_, backend, opt);
     std::vector<float> no_features;
@@ -231,7 +238,8 @@ TEST_F(TrainedForest, EmptyBatchIsNoOp) {
 // from IEEE comparison semantics (README "NaN/zero semantics").
 TEST_F(TrainedForest, NanFeaturesAreRejected) {
   const std::size_t cols = forest_.feature_count();
-  for (const char* backend : {"reference", "encoded", "simd:flint"}) {
+  for (const char* backend :
+       {"reference", "encoded", "simd:flint", "layout:auto"}) {
     const auto predictor = make_predictor(forest_, backend);
     std::vector<float> features(cols * 3, 1.0f);
     features[cols + 1] = std::numeric_limits<float>::quiet_NaN();
@@ -339,7 +347,8 @@ TEST(PredictorDouble, DoubleWidthBackendsMatchForestPredict) {
   const auto forest = flint::trees::train_forest(full, opt);
   for (const char* backend :
        {"reference", "float", "encoded", "theorem1", "theorem2", "radix",
-        "simd:flint", "simd:float", "jit:ifelse-flint"}) {
+        "simd:flint", "simd:float", "layout:auto", "layout:c16", "layout:c8",
+        "jit:ifelse-flint"}) {
     const auto predictor = make_predictor(forest, backend);
     std::vector<std::int32_t> out(full.rows());
     predictor->predict_batch(full, out);
@@ -355,6 +364,8 @@ TEST(PredictorNames, BackendListsAreConsistent) {
   EXPECT_EQ(interp.size(), 6u);
   const auto simd = flint::predict::simd_backends();
   EXPECT_EQ(simd.size(), 2u);
+  const auto layout = flint::predict::layout_backends();
+  EXPECT_EQ(layout.size(), 3u);
   const auto jit = flint::predict::jit_backends();
   EXPECT_EQ(jit.size(), 7u);
   const auto help = flint::predict::backend_help();
@@ -363,6 +374,10 @@ TEST(PredictorNames, BackendListsAreConsistent) {
   }
   for (const auto& name : simd) {
     EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+  for (const auto& name : layout) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+    EXPECT_TRUE(flint::predict::is_known_backend(name)) << name;
   }
 }
 
