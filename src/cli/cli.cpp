@@ -2,7 +2,10 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iostream>
+#include <istream>
 #include <map>
+#include <memory>
 #include <ostream>
 #include <set>
 #include <stdexcept>
@@ -17,6 +20,7 @@
 #include "data/split.hpp"
 #include "data/synth.hpp"
 #include "predict/predictor.hpp"
+#include "serve/server.hpp"
 #include "trees/forest.hpp"
 #include "trees/serialize.hpp"
 #include "trees/tree_stats.hpp"
@@ -253,6 +257,143 @@ int cmd_codegen(const Args& args, std::ostream& out) {
   return 0;
 }
 
+/// Parses one serve-protocol request line: samples separated by ';',
+/// features by ','.  Throws std::invalid_argument on malformed floats or
+/// ragged sample widths (the server's own shape gate sees only the total).
+std::vector<float> parse_request_line(const std::string& line,
+                                      std::size_t& n_samples) {
+  std::vector<float> features;
+  n_samples = 0;
+  std::size_t sample_width = 0;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    const std::size_t sample_end = std::min(line.find(';', pos), line.size());
+    std::size_t width = 0;
+    std::size_t cursor = pos;
+    while (cursor < sample_end) {
+      const std::size_t value_end =
+          std::min(line.find(',', cursor), sample_end);
+      const std::string token = line.substr(cursor, value_end - cursor);
+      std::size_t parsed = 0;
+      float value = 0.0f;
+      try {
+        value = std::stof(token, &parsed);
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      if (parsed != token.size() || token.empty()) {
+        throw std::invalid_argument("malformed feature value '" + token + "'");
+      }
+      features.push_back(value);
+      ++width;
+      cursor = value_end + 1;
+    }
+    if (width > 0) {
+      if (sample_width == 0) {
+        sample_width = width;
+      } else if (width != sample_width) {
+        throw std::invalid_argument(
+            "ragged request: sample " + std::to_string(n_samples) + " has " +
+            std::to_string(width) + " features, previous samples " +
+            std::to_string(sample_width));
+      }
+      ++n_samples;
+    }
+    pos = sample_end + 1;
+  }
+  if (n_samples == 0) {
+    throw std::invalid_argument("empty request line");
+  }
+  return features;
+}
+
+int cmd_serve(const Args& args, std::istream& in, std::ostream& out) {
+  const std::string model_path = args.require("model");
+  const std::string engine_name = args.get("engine", "layout:auto");
+  const long max_batch = args.get_long("max-batch", 1024);
+  const long max_delay_us = args.get_long("max-delay-us", 200);
+  const long workers = args.get_long("workers", 1);
+  const long threads = args.get_long("threads", 1);
+  const long batch = args.get_long("batch", 256);
+  if (max_batch < 1) throw std::invalid_argument("--max-batch must be >= 1");
+  if (max_delay_us < 0 || max_delay_us > 10'000'000) {
+    throw std::invalid_argument("--max-delay-us must be in [0, 10000000]");
+  }
+  if (workers < 0 || workers > 4096) {
+    throw std::invalid_argument("--workers must be in [0, 4096] (0 = all cores)");
+  }
+  if (threads < 0 || threads > 4096) {
+    throw std::invalid_argument("--threads must be in [0, 4096] (0 = all cores)");
+  }
+  if (batch < 1) throw std::invalid_argument("--batch must be >= 1");
+  args.check_all_used();
+
+  predict::PredictorOptions popt;
+  popt.threads = static_cast<unsigned>(threads);
+  popt.block_size = static_cast<std::size_t>(batch);
+  const auto load = [&](const std::string& path) -> serve::PredictorPtr {
+    const auto forest = trees::load_forest<float>(path);
+    return serve::PredictorPtr(
+        predict::make_predictor(forest, engine_name, popt));
+  };
+
+  serve::ServeOptions sopt;
+  sopt.max_batch = static_cast<std::size_t>(max_batch);
+  sopt.max_delay_us = static_cast<std::uint32_t>(max_delay_us);
+  sopt.workers = static_cast<unsigned>(workers);
+  serve::InferenceServer server(sopt);
+  server.registry().install("default", load(model_path));
+  out << "serving 'default' v1 (engine " << engine_name << ", max_batch "
+      << max_batch << ", max_delay_us " << max_delay_us << ", workers "
+      << server.worker_count() << ")\n"
+      << "protocol: 'f1,f2,...[;f1,f2,...]' predicts | 'swap <model>' | "
+         "'stats' | 'quit'\n";
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "quit") break;
+    if (line == "stats") {
+      const auto m = server.metrics();
+      out << "stats: requests=" << m.requests << " rejected=" << m.rejected
+          << " batches=" << m.batches << " mean_batch="
+          << m.mean_batch_samples << " p50_us=" << m.p50_latency_us
+          << " p99_us=" << m.p99_latency_us << "\n";
+      continue;
+    }
+    if (line.rfind("swap ", 0) == 0) {
+      try {
+        const auto version =
+            server.registry().install("default", load(line.substr(5)));
+        out << "ok swapped 'default' to v" << version << "\n";
+      } catch (const std::exception& e) {
+        out << "err " << e.what() << "\n";
+      }
+      continue;
+    }
+    try {
+      std::size_t n_samples = 0;
+      const auto features = parse_request_line(line, n_samples);
+      auto future = server.submit(features, n_samples);
+      const auto predictions = future.get();
+      out << "ok ";
+      for (std::size_t i = 0; i < predictions.size(); ++i) {
+        out << (i ? "," : "") << predictions[i];
+      }
+      out << "\n";
+    } catch (const std::exception& e) {
+      out << "err " << e.what() << "\n";
+    }
+  }
+  server.stop();
+  const auto m = server.metrics();
+  out << "served " << m.requests << " requests (" << m.samples
+      << " samples) in " << m.batches << " batches; p99 "
+      << m.p99_latency_us << " us\n";
+  return 0;
+}
+
 int cmd_inspect(const Args& args, std::ostream& out) {
   const auto forest = trees::load_forest<float>(args.require("model"));
   args.check_all_used();
@@ -294,6 +435,12 @@ std::string usage() {
       "           (--threads 0 = all cores; --batch = samples per cache\n"
       "           block; jit:cags-* needs --train-data; see\n"
       "           docs/ARCHITECTURE.md)\n"
+      "  serve    --model <model> [--engine <backend>] [--max-batch N]\n"
+      "           [--max-delay-us N] [--workers N] [--threads N] [--batch N]\n"
+      "           long-lived micro-batching server over a stdin line\n"
+      "           protocol: 'f1,f2,...[;f1,f2,...]' predicts a request,\n"
+      "           'swap <model>' hot-swaps, 'stats' prints metrics, 'quit'\n"
+      "           drains and exits (see docs/ARCHITECTURE.md \"Serving\")\n"
       "  codegen  --model <model> --out <dir> [--flavor <flavor>]\n"
       "           [--prefix name] [--train-data <csv>] [--kernel-budget N]\n"
       "           flavors: ifelse-float ifelse-flint cags-float cags-flint\n"
@@ -301,7 +448,8 @@ std::string usage() {
       "  inspect  --model <model>\n";
 }
 
-int run(std::span<const std::string> args, std::ostream& out, std::ostream& err) {
+int run(std::span<const std::string> args, std::istream& in,
+        std::ostream& out, std::ostream& err) {
   if (args.empty() || args[0] == "--help" || args[0] == "help") {
     out << usage();
     return args.empty() ? 2 : 0;
@@ -313,6 +461,7 @@ int run(std::span<const std::string> args, std::ostream& out, std::ostream& err)
     if (command == "gen") return cmd_gen(parsed, out);
     if (command == "train") return cmd_train(parsed, out);
     if (command == "predict") return cmd_predict(parsed, out);
+    if (command == "serve") return cmd_serve(parsed, in, out);
     if (command == "codegen") return cmd_codegen(parsed, out);
     if (command == "inspect") return cmd_inspect(parsed, out);
     err << "unknown command '" << command << "'\n\n" << usage();
@@ -321,6 +470,11 @@ int run(std::span<const std::string> args, std::ostream& out, std::ostream& err)
     err << "flint-forest " << command << ": " << e.what() << "\n";
     return 2;
   }
+}
+
+int run(std::span<const std::string> args, std::ostream& out,
+        std::ostream& err) {
+  return run(args, std::cin, out, err);
 }
 
 }  // namespace flint::cli

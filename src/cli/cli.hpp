@@ -8,8 +8,9 @@
 //   codegen  emit C or assembly for a model (all five flavors + both ISAs)
 //   inspect  structural report of a saved model
 //
-// `run` is the whole tool: it parses `args` (excluding argv[0]), writes
-// human output to `out`, diagnostics to `err`, and returns the process exit
+// `run` is the whole tool: it parses `args` (excluding argv[0]), reads
+// interactive input (the `serve` line protocol) from `in`, writes human
+// output to `out`, diagnostics to `err`, and returns the process exit
 // code.  main() in tools/flint_forest_main.cpp is a two-line wrapper, so
 // every code path is exercisable in-process by the test suite.
 #pragma once
@@ -21,6 +22,11 @@
 namespace flint::cli {
 
 /// Entry point; never throws (errors become exit code 2 + message on err).
+/// `in` feeds the interactive subcommands (serve's line protocol).
+[[nodiscard]] int run(std::span<const std::string> args, std::istream& in,
+                      std::ostream& out, std::ostream& err);
+
+/// Convenience overload reading interactive input from std::cin.
 [[nodiscard]] int run(std::span<const std::string> args, std::ostream& out,
                       std::ostream& err);
 

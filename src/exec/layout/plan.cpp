@@ -1,7 +1,11 @@
 #include "exec/layout/plan.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <unistd.h>
 
 namespace flint::exec::layout {
@@ -23,6 +27,84 @@ std::string LayoutPlan::describe() const {
   return s;
 }
 
+std::size_t parse_sysfs_cache_size(std::string_view text) {
+  std::size_t i = 0;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  std::size_t value = 0;
+  std::size_t digits = 0;
+  while (i < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i]))) {
+    value = value * 10 + static_cast<std::size_t>(text[i] - '0');
+    ++i;
+    ++digits;
+  }
+  if (digits == 0) return 0;
+  if (i < text.size()) {
+    switch (std::tolower(static_cast<unsigned char>(text[i]))) {
+      case 'k': value <<= 10; ++i; break;
+      case 'm': value <<= 20; ++i; break;
+      case 'g': value <<= 30; ++i; break;
+      default: break;
+    }
+  }
+  while (i < text.size()) {
+    if (!std::isspace(static_cast<unsigned char>(text[i]))) return 0;
+    ++i;
+  }
+  return value;
+}
+
+CacheInfo cache_info_from_sysfs(const std::string& cache_dir) {
+  CacheInfo info;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(cache_dir, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("index", 0) != 0) continue;
+
+    const auto read_line = [&](const char* file) {
+      std::string line;
+      std::ifstream f(entry.path() / file);
+      if (f) std::getline(f, line);
+      return line;
+    };
+    const std::string type = read_line("type");
+    if (type == "Instruction") continue;  // Data/Unified only
+    const std::string level_text = read_line("level");
+    const std::string size_text = read_line("size");
+    if (level_text.empty()) continue;
+    const long level = std::strtol(level_text.c_str(), nullptr, 10);
+    const std::size_t size = parse_sysfs_cache_size(size_text);
+    if (size == 0) continue;
+    if (level == 2) {
+      info.l2_bytes = std::max(info.l2_bytes, size);
+    } else if (level >= 3) {
+      info.llc_bytes = std::max(info.llc_bytes, size);
+    }
+  }
+  return info;
+}
+
+CacheInfo sanitize_cache_info(CacheInfo info) {
+  // Documented defaults for hosts where neither probe reports anything
+  // (musl sysconf returns -1; many container images mount no sysfs cache
+  // topology): a deliberately mid-range 1 MiB L2 / 8 MiB LLC.
+  constexpr std::size_t kDefaultL2 = std::size_t{1} << 20;
+  constexpr std::size_t kDefaultLlc = std::size_t{8} << 20;
+  if (info.l2_bytes == 0) info.l2_bytes = kDefaultL2;
+  if (info.llc_bytes == 0) info.llc_bytes = kDefaultLlc;
+  info.l2_bytes = std::clamp(info.l2_bytes, std::size_t{32} << 10,
+                             std::size_t{64} << 20);
+  info.llc_bytes = std::clamp(info.llc_bytes, std::size_t{512} << 10,
+                              std::size_t{1} << 30);
+  info.llc_bytes = std::max(info.llc_bytes, info.l2_bytes);
+  return info;
+}
+
 CacheInfo detect_cache_info() {
   CacheInfo info;
 #ifdef _SC_LEVEL2_CACHE_SIZE
@@ -33,7 +115,16 @@ CacheInfo detect_cache_info() {
   const long l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
   if (l3 > 0) info.llc_bytes = static_cast<std::size_t>(l3);
 #endif
-  return info;
+  // sysconf commonly yields -1/0 on musl and inside containers; fill the
+  // gaps from the sysfs topology, then default + clamp (the documented
+  // fallback chain in plan.hpp).
+  if (info.l2_bytes == 0 || info.llc_bytes == 0) {
+    const CacheInfo sysfs =
+        cache_info_from_sysfs("/sys/devices/system/cpu/cpu0/cache");
+    if (info.l2_bytes == 0) info.l2_bytes = sysfs.l2_bytes;
+    if (info.llc_bytes == 0) info.llc_bytes = sysfs.llc_bytes;
+  }
+  return sanitize_cache_info(info);
 }
 
 bool width_fits(NodeWidth width, const NarrowFit& fit) {

@@ -11,9 +11,9 @@
 //                                 hot slab;
 //   * layout::KeyTableSet       — per-feature distinct-threshold counts
 //                                 (built once, reused by the packer);
-//   * the host cache hierarchy  — L2/LLC sizes via sysconf, with fixed
-//                                 fallbacks when the kernel does not report
-//                                 them.
+//   * the host cache hierarchy  — L2/LLC sizes via sysconf, falling back to
+//                                 the sysfs cache topology and then to
+//                                 clamped defaults (see detect_cache_info).
 //
 // Decision rules (documented in docs/ARCHITECTURE.md):
 //
@@ -74,15 +74,45 @@ struct LayoutPlan {
   [[nodiscard]] std::string describe() const;
 };
 
-/// Host cache sizes consulted by the tuner.  Zero fields are replaced by
-/// conservative defaults (256 KiB L2, 8 MiB LLC).
+/// Host cache sizes consulted by the tuner.  detect_cache_info() never
+/// returns zero fields; a hand-assembled CacheInfo with zeros (tests) falls
+/// back to auto_plan's conservative 256 KiB L2 guard.
 struct CacheInfo {
   std::size_t l2_bytes = 0;
   std::size_t llc_bytes = 0;
 };
 
-/// Best-effort detection via sysconf(_SC_LEVEL*_CACHE_SIZE).
+/// Best-effort detection, as a fallback chain (each link fills only the
+/// fields the previous ones left at zero):
+///
+///   1. sysconf(_SC_LEVEL2/3_CACHE_SIZE) — returns -1 or 0 on musl and in
+///      many container/cgroup setups, so it cannot be trusted alone;
+///   2. the sysfs cache topology
+///      (/sys/devices/system/cpu/cpu0/cache/index*/{level,type,size});
+///   3. documented defaults: 1 MiB L2, 8 MiB LLC.
+///
+/// The merged result is passed through sanitize_cache_info, so callers
+/// always see plausible, clamped, non-zero sizes.
 [[nodiscard]] CacheInfo detect_cache_info();
+
+/// Parses one sysfs cache `size` value — decimal digits with an optional
+/// K/M/G suffix (case-insensitive) and trailing whitespace, e.g. "512K",
+/// "8M".  Returns 0 when the text does not parse.
+[[nodiscard]] std::size_t parse_sysfs_cache_size(std::string_view text);
+
+/// Reads L2/LLC sizes from a sysfs-style cache directory (`cache_dir`
+/// containing index*/{level,type,size}, normally
+/// /sys/devices/system/cpu/cpu0/cache).  Instruction caches are skipped;
+/// the deepest level >= 3 wins the LLC slot.  Fields stay zero when nothing
+/// is readable.  Parameterized on the directory so the fallback chain is
+/// unit-testable against a fake tree (tests/test_layout.cpp).
+[[nodiscard]] CacheInfo cache_info_from_sysfs(const std::string& cache_dir);
+
+/// Final link of the chain: fills zero fields with the documented defaults
+/// (1 MiB L2, 8 MiB LLC) and clamps implausible probe results into
+/// [32 KiB, 64 MiB] for L2 and [512 KiB, 1 GiB] for the LLC, keeping
+/// llc >= l2.
+[[nodiscard]] CacheInfo sanitize_cache_info(CacheInfo info);
 
 /// Narrowing fitness extracted from the key tables (see narrow.hpp).
 struct NarrowFit {

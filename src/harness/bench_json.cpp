@@ -10,8 +10,21 @@
 #include "harness/experiment.hpp"
 #include "harness/machine_info.hpp"
 
+// Build-time revision stamp, regenerated on every build by the
+// flint_git_sha custom target (cmake/git_sha.cmake) so rebuilding after new
+// commits without re-running CMake cannot stamp artifacts with a stale
+// configure-time SHA.  Absent in non-CMake builds (e.g. syntax-only
+// checks), hence the guarded include and fallbacks.
+#if defined(__has_include)
+#if __has_include("flint_git_sha.inc")
+#include "flint_git_sha.inc"
+#endif
+#endif
 #ifndef FLINT_GIT_SHA
 #define FLINT_GIT_SHA "unknown"
+#endif
+#ifndef FLINT_GIT_DIRTY
+#define FLINT_GIT_DIRTY 0
 #endif
 
 namespace flint::harness {
@@ -111,6 +124,7 @@ BenchJson::BenchJson(std::string name) : name_(std::move(name)) {
   set("bench", name_);
   const char* sha = std::getenv("FLINT_GIT_SHA");
   set("git_sha", sha && sha[0] ? sha : FLINT_GIT_SHA);
+  set("git_dirty", static_cast<bool>(FLINT_GIT_DIRTY));
   const MachineInfo info = query_machine_info();
   set("cpu", info.cpu_model);
   set("arch", info.architecture);

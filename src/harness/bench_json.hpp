@@ -6,7 +6,9 @@
 //
 //   {
 //     "bench": "<name>",
-//     "git_sha": "<configure-time sha, FLINT_GIT_SHA env overrides>",
+//     "git_sha": "<build-time sha (cmake/git_sha.cmake stamp, regenerated
+//                  every build); FLINT_GIT_SHA env overrides>",
+//     "git_dirty": <true when the stamped checkout had uncommitted changes>,
 //     "host": { "cpu": ..., "arch": ..., "logical_cores": ... },
 //     "unix_time": <seconds>,
 //     ...header fields set by the bench...,

@@ -89,7 +89,9 @@ codegen::GeneratedCode generate_for(const Cell& cell, Impl impl,
 /// Simple bounded parallel-for over [0, n) using std::thread workers.
 void parallel_for(std::size_t n, unsigned threads,
                   const std::function<void(std::size_t)>& body) {
-  if (threads == 0) threads = std::thread::hardware_concurrency();
+  // Not hardware_concurrency(): respect cgroup CPU quotas in containers
+  // (same reasoning as ParallelPredictor's pool sizing).
+  if (threads == 0) threads = predict::available_parallelism();
   if (threads <= 1 || n <= 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;

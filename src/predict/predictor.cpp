@@ -4,7 +4,9 @@
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -22,6 +24,55 @@
 #include "exec/simd/simd_engine.hpp"
 
 namespace flint::predict {
+
+// ---------------------------------------------------------------------------
+// Available parallelism: hardware_concurrency capped by the cgroup quota.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Ceiling division of two positive quota values into whole CPUs.
+unsigned quota_to_cpus(long quota_us, long period_us) {
+  const long cpus = (quota_us + period_us - 1) / period_us;
+  return static_cast<unsigned>(std::max(1l, cpus));
+}
+
+}  // namespace
+
+unsigned cgroup_cpu_quota(const std::string& cgroup_root) {
+  // cgroup v2: one file, "<quota> <period>" in microseconds or "max <period>".
+  {
+    std::ifstream f(cgroup_root + "/cpu.max");
+    if (f) {
+      std::string quota;
+      long period = 0;
+      if (f >> quota >> period) {
+        if (quota == "max") return 0;  // explicit "no limit"
+        char* end = nullptr;
+        const long q = std::strtol(quota.c_str(), &end, 10);
+        if (end != nullptr && *end == '\0' && q > 0 && period > 0) {
+          return quota_to_cpus(q, period);
+        }
+      }
+      return 0;  // v2 hierarchy present but malformed: treat as unlimited
+    }
+  }
+  // cgroup v1: quota and period in separate files; quota -1 = unlimited.
+  std::ifstream fq(cgroup_root + "/cpu/cpu.cfs_quota_us");
+  std::ifstream fp(cgroup_root + "/cpu/cpu.cfs_period_us");
+  long quota = 0;
+  long period = 0;
+  if ((fq >> quota) && (fp >> period) && quota > 0 && period > 0) {
+    return quota_to_cpus(quota, period);
+  }
+  return 0;
+}
+
+unsigned available_parallelism() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned quota = cgroup_cpu_quota();
+  return quota ? std::min(hw, quota) : hw;
+}
 
 // ---------------------------------------------------------------------------
 // Predictor base: shape validation + conveniences.
@@ -506,7 +557,9 @@ ParallelPredictor<T>::ParallelPredictor(std::unique_ptr<Predictor<T>> inner,
     throw std::invalid_argument("ParallelPredictor: null inner predictor");
   }
   if (threads == 0) {
-    threads = std::max(1u, std::thread::hardware_concurrency());
+    // Not hardware_concurrency(): inside a cgroup CPU quota (containers),
+    // that would spawn one worker per host core and thrash the quota.
+    threads = available_parallelism();
   }
   // The calling thread participates in every batch, so the pool itself only
   // needs threads - 1 workers; one "thread" means plain inline execution.

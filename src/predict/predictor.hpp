@@ -93,6 +93,24 @@ class Predictor {
                                 std::int32_t* out) const = 0;
 };
 
+/// CPU parallelism actually available to this process: the smaller of
+/// hardware_concurrency() and the cgroup CPU quota, when one applies.  In a
+/// container limited to 2 CPUs on a 64-core host, hardware_concurrency()
+/// still reports 64 — sizing a pool from it spawns 62 threads that thrash
+/// against the quota.  Never returns 0.  This is what `threads == 0` means
+/// everywhere in this layer (ParallelPredictor, PredictorOptions, the CLI's
+/// `--threads 0`, the serve runtime's `workers == 0`).
+[[nodiscard]] unsigned available_parallelism();
+
+/// Testable core of available_parallelism: reads the CPU quota from a
+/// cgroup filesystem rooted at `cgroup_root` — v2 `cpu.max` ("<quota>
+/// <period>" in microseconds, or "max" for unlimited) first, then v1
+/// `cpu/cpu.cfs_quota_us` + `cpu/cpu.cfs_period_us` (-1 quota = unlimited).
+/// Returns the quota in whole CPUs (rounded up, at least 1), or 0 when no
+/// quota applies or nothing is readable.
+[[nodiscard]] unsigned cgroup_cpu_quota(
+    const std::string& cgroup_root = "/sys/fs/cgroup");
+
 /// Knobs for make_predictor.
 struct PredictorOptions {
   /// Samples per cache block of the blocked interpreter backends: each
@@ -100,7 +118,8 @@ struct PredictorOptions {
   /// node array is read once per block instead of once per sample.
   std::size_t block_size = 64;
   /// > 1 wraps the backend in a ParallelPredictor with this many workers;
-  /// 0 means hardware_concurrency().
+  /// 0 means available_parallelism() (hardware_concurrency capped by the
+  /// cgroup CPU quota).
   unsigned threads = 1;
   /// Compiler settings for the "jit:" backends.
   jit::JitOptions jit;
@@ -204,8 +223,8 @@ class JitPredictor final : public Predictor<T> {
 template <typename T>
 class ParallelPredictor final : public Predictor<T> {
  public:
-  /// `threads == 0` means hardware_concurrency(); `block_size` is the unit
-  /// of work handed to a worker (samples).
+  /// `threads == 0` means available_parallelism(); `block_size` is the
+  /// unit of work handed to a worker (samples).
   ParallelPredictor(std::unique_ptr<Predictor<T>> inner, unsigned threads,
                     std::size_t block_size = 256);
   ~ParallelPredictor() override;

@@ -1,0 +1,471 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "harness/bench_json.hpp"
+
+namespace flint::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double microseconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/// Latency reservoir bound: past this many records the buffer becomes a
+/// ring (oldest samples overwritten), so a long-running server's
+/// percentiles track the recent window instead of growing without bound.
+/// Kept modest (64k doubles = 512 KiB) because metrics() copies the buffer
+/// under the metrics mutex — a huge reservoir would stall workers'
+/// post-batch accounting for the duration of the copy.
+constexpr std::size_t kMaxLatencySamples = std::size_t{1} << 16;
+
+std::size_t histogram_bucket(std::size_t batch_samples) {
+  std::size_t bucket = 0;
+  while ((std::size_t{2} << bucket) <= batch_samples &&
+         bucket + 1 < kBatchHistogramBuckets) {
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ModelRegistry.
+// ---------------------------------------------------------------------------
+
+std::uint64_t ModelRegistry::install(const std::string& name,
+                                     PredictorPtr predictor) {
+  if (name.empty()) {
+    throw std::invalid_argument("ModelRegistry: model name must be non-empty");
+  }
+  if (!predictor) {
+    throw std::invalid_argument("ModelRegistry: null predictor for '" + name +
+                                "'");
+  }
+  std::lock_guard lk(mutex_);
+  if (default_name_.empty()) default_name_ = name;
+  for (auto& entry : models_) {
+    if (entry.name == name) {
+      // The hot swap: one shared_ptr flip under the lock.  Snapshots taken
+      // by earlier resolve() calls keep the old predictor alive until their
+      // batches finish.
+      entry.predictor = std::move(predictor);
+      return ++entry.version;
+    }
+  }
+  models_.push_back(ModelEntry{name, 1, std::move(predictor)});
+  return 1;
+}
+
+ModelEntry ModelRegistry::resolve(std::string_view name) const {
+  std::lock_guard lk(mutex_);
+  if (models_.empty()) {
+    throw std::invalid_argument("ModelRegistry: no models installed");
+  }
+  const std::string_view wanted = name.empty() ? default_name_ : name;
+  for (const auto& entry : models_) {
+    if (entry.name == wanted) return entry;
+  }
+  throw std::invalid_argument("ModelRegistry: unknown model '" +
+                              std::string(name) + "'");
+}
+
+std::vector<ModelEntry> ModelRegistry::list() const {
+  std::lock_guard lk(mutex_);
+  return models_;
+}
+
+// ---------------------------------------------------------------------------
+// InferenceServer.
+// ---------------------------------------------------------------------------
+
+struct InferenceServer::Impl {
+  struct Request {
+    PredictorPtr predictor;
+    std::vector<float> features;
+    std::size_t n_samples = 0;
+    std::promise<std::vector<std::int32_t>> promise;
+    Clock::time_point enqueued;
+  };
+
+  /// A formed micro-batch.  All requests share one predictor snapshot (the
+  /// hot-swap invariant) and, unless zero_copy, one coalesced feature
+  /// buffer.  On the zero-copy path the single request's own buffer is the
+  /// execution buffer.
+  struct Batch {
+    PredictorPtr predictor;
+    std::vector<Request> requests;
+    std::vector<float> coalesced;
+    std::size_t n_samples = 0;
+    bool zero_copy = false;
+  };
+
+  explicit Impl(const ServeOptions& options) : options(options) {
+    const unsigned workers =
+        std::max(1u, options.workers ? options.workers
+                                     : predict::available_parallelism());
+    worker_threads.reserve(workers);
+    try {
+      batcher_thread = std::thread([this] { batcher_loop(); });
+      for (unsigned i = 0; i < workers; ++i) {
+        worker_threads.emplace_back([this] { worker_loop(); });
+      }
+    } catch (...) {
+      // Thread exhaustion mid-spawn: join what started (destroying a
+      // joinable std::thread would terminate) and surface the error.
+      stop();
+      throw;
+    }
+  }
+
+  // -- batcher ------------------------------------------------------------
+
+  void batcher_loop() {
+    std::unique_lock lk(queue_mutex);
+    for (;;) {
+      queue_cv.wait(lk, [&] { return stopping || !queue.empty(); });
+      if (queue.empty()) {
+        if (stopping) break;
+        continue;
+      }
+      // Dynamic flush: wait for a full block or the oldest request's delay
+      // budget, whichever first.  A single request that already fills the
+      // block (queued_samples >= max_batch) skips the wait entirely.  On
+      // shutdown the wait is skipped so the queue drains immediately.
+      if (!stopping && queued_samples < options.max_batch &&
+          options.max_delay_us > 0) {
+        const auto deadline =
+            queue.front().enqueued +
+            std::chrono::microseconds(options.max_delay_us);
+        while (!stopping && queued_samples < options.max_batch &&
+               Clock::now() < deadline) {
+          queue_cv.wait_until(lk, deadline);
+        }
+        if (queue.empty()) continue;
+      }
+      Batch batch = form_batch_locked();
+      lk.unlock();
+      coalesce(batch);
+      {
+        std::lock_guard bl(batch_mutex);
+        batches.push_back(std::move(batch));
+      }
+      batch_cv.notify_one();
+      lk.lock();
+    }
+    lk.unlock();
+    {
+      std::lock_guard bl(batch_mutex);
+      batcher_done = true;
+    }
+    batch_cv.notify_all();
+  }
+
+  /// Pops the head request plus every queued neighbor that shares its
+  /// predictor snapshot, up to max_batch samples.  A request larger than
+  /// max_batch still forms a (single-request) batch — requests are never
+  /// split.  Caller holds queue_mutex.
+  Batch form_batch_locked() {
+    Batch batch;
+    batch.requests.push_back(std::move(queue.front()));
+    queue.pop_front();
+    batch.predictor = batch.requests.front().predictor;
+    batch.n_samples = batch.requests.front().n_samples;
+    queued_samples -= batch.n_samples;
+    while (!queue.empty() && batch.n_samples < options.max_batch) {
+      Request& next = queue.front();
+      if (next.predictor.get() != batch.predictor.get()) break;
+      if (batch.n_samples + next.n_samples > options.max_batch) break;
+      batch.n_samples += next.n_samples;
+      queued_samples -= next.n_samples;
+      batch.requests.push_back(std::move(next));
+      queue.pop_front();
+    }
+    return batch;
+  }
+
+  /// Builds the contiguous execution buffer.  One-request batches run
+  /// zero-copy on the request's own storage.
+  static void coalesce(Batch& batch) {
+    if (batch.requests.size() == 1) {
+      batch.zero_copy = true;
+      return;
+    }
+    std::size_t total = 0;
+    for (const Request& r : batch.requests) total += r.features.size();
+    batch.coalesced.reserve(total);
+    for (const Request& r : batch.requests) {
+      batch.coalesced.insert(batch.coalesced.end(), r.features.begin(),
+                             r.features.end());
+    }
+  }
+
+  // -- workers ------------------------------------------------------------
+
+  void worker_loop() {
+    for (;;) {
+      Batch batch;
+      {
+        std::unique_lock bl(batch_mutex);
+        batch_cv.wait(bl, [&] { return batcher_done || !batches.empty(); });
+        if (batches.empty()) return;  // batcher done and nothing left
+        batch = std::move(batches.front());
+        batches.pop_front();
+      }
+      execute(batch);
+    }
+  }
+
+  void execute(Batch& batch) {
+    const float* buffer = batch.zero_copy
+                              ? batch.requests.front().features.data()
+                              : batch.coalesced.data();
+    std::vector<std::int32_t> out(batch.n_samples);
+    try {
+      batch.predictor->predict_batch_prevalidated(buffer, batch.n_samples,
+                                                  out.data());
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      for (Request& r : batch.requests) r.promise.set_exception(error);
+      return;
+    }
+    const auto done = Clock::now();
+    // Metrics before fulfillment: a client that observes its result must
+    // also observe the counters/latency of the batch that produced it.
+    {
+      std::lock_guard ml(metrics_mutex);
+      ++metrics.batches;
+      if (batch.zero_copy) ++metrics.zero_copy_batches;
+      ++metrics.batch_size_histogram[histogram_bucket(batch.n_samples)];
+      batched_samples += batch.n_samples;
+      for (const Request& r : batch.requests) {
+        const double us = microseconds_between(r.enqueued, done);
+        if (latencies.size() < kMaxLatencySamples) {
+          latencies.push_back(us);
+        } else {
+          latencies[latency_cursor % kMaxLatencySamples] = us;
+        }
+        ++latency_cursor;
+      }
+    }
+    std::size_t offset = 0;
+    for (Request& r : batch.requests) {
+      std::vector<std::int32_t> slice(
+          out.begin() + static_cast<std::ptrdiff_t>(offset),
+          out.begin() + static_cast<std::ptrdiff_t>(offset + r.n_samples));
+      offset += r.n_samples;
+      r.promise.set_value(std::move(slice));
+    }
+  }
+
+  // -- shutdown -----------------------------------------------------------
+
+  void stop() {
+    std::lock_guard sl(stop_mutex);
+    if (joined) return;
+    {
+      std::lock_guard lk(queue_mutex);
+      stopping = true;
+    }
+    queue_cv.notify_all();
+    // joinable() guards the partially-constructed case (ctor cleanup).
+    if (batcher_thread.joinable()) {
+      batcher_thread.join();  // drains the request queue into final batches
+    } else {
+      std::lock_guard bl(batch_mutex);
+      batcher_done = true;  // no batcher ever ran to set it
+    }
+    batch_cv.notify_all();
+    for (auto& t : worker_threads) {
+      if (t.joinable()) t.join();  // drain the batch queue
+    }
+    joined = true;
+  }
+
+  ServeOptions options;
+
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<Request> queue;
+  std::size_t queued_samples = 0;
+  bool stopping = false;
+
+  std::mutex batch_mutex;
+  std::condition_variable batch_cv;
+  std::deque<Batch> batches;
+  bool batcher_done = false;
+
+  std::mutex metrics_mutex;
+  ServeMetrics metrics;
+  std::uint64_t batched_samples = 0;
+  std::vector<double> latencies;
+  std::size_t latency_cursor = 0;
+
+  std::mutex stop_mutex;
+  bool joined = false;
+
+  std::thread batcher_thread;
+  std::vector<std::thread> worker_threads;
+};
+
+InferenceServer::InferenceServer(const ServeOptions& options)
+    : options_(options) {
+  if (options_.max_batch == 0) {
+    throw std::invalid_argument("InferenceServer: max_batch must be >= 1");
+  }
+  if (options_.queue_capacity == 0) {
+    throw std::invalid_argument(
+        "InferenceServer: queue_capacity must be >= 1");
+  }
+  impl_ = std::make_unique<Impl>(options_);
+}
+
+InferenceServer::~InferenceServer() {
+  if (impl_) impl_->stop();
+}
+
+void InferenceServer::stop() { impl_->stop(); }
+
+unsigned InferenceServer::worker_count() const noexcept {
+  return static_cast<unsigned>(impl_->worker_threads.size());
+}
+
+std::future<std::vector<std::int32_t>> InferenceServer::submit(
+    std::span<const float> features, std::size_t n_samples,
+    std::string_view model) {
+  std::promise<std::vector<std::int32_t>> promise;
+  std::future<std::vector<std::int32_t>> future = promise.get_future();
+  // Rejection path: the typed error rides the future, so a bad request
+  // fails alone — by construction it is never enqueued, never batched.
+  const auto reject = [&](std::exception_ptr error) {
+    promise.set_exception(std::move(error));
+    std::lock_guard ml(impl_->metrics_mutex);
+    ++impl_->metrics.rejected;
+    return std::move(future);
+  };
+
+  ModelEntry entry;
+  try {
+    entry = registry_.resolve(model);
+  } catch (const std::invalid_argument&) {
+    return reject(std::current_exception());
+  }
+  const std::size_t width = entry.predictor->feature_count();
+  if (features.size() != n_samples * width) {
+    return reject(std::make_exception_ptr(std::invalid_argument(
+        "serve: feature span holds " + std::to_string(features.size()) +
+        " values, expected " + std::to_string(n_samples * width) + " (" +
+        std::to_string(n_samples) + " samples x " + std::to_string(width) +
+        " features of model '" + entry.name + "')")));
+  }
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (std::isnan(features[i])) {
+      return reject(std::make_exception_ptr(std::invalid_argument(
+          "serve: NaN feature at sample " + std::to_string(i / width) +
+          ", feature " + std::to_string(i % width) +
+          " (FLInt's total order is NaN-free; see README \"NaN/zero "
+          "semantics\")")));
+    }
+  }
+  if (n_samples == 0) {
+    promise.set_value({});
+    return future;
+  }
+
+  {
+    std::unique_lock lk(impl_->queue_mutex);
+    if (impl_->stopping) {
+      lk.unlock();
+      return reject(std::make_exception_ptr(
+          std::runtime_error("serve: server is stopped")));
+    }
+    if (impl_->queue.size() >= options_.queue_capacity) {
+      lk.unlock();
+      return reject(std::make_exception_ptr(std::runtime_error(
+          "serve: request queue full (" +
+          std::to_string(options_.queue_capacity) + " requests)")));
+    }
+    Impl::Request request;
+    request.predictor = std::move(entry.predictor);
+    request.features.assign(features.begin(), features.end());
+    request.n_samples = n_samples;
+    request.promise = std::move(promise);
+    request.enqueued = Clock::now();
+    impl_->queue.push_back(std::move(request));
+    impl_->queued_samples += n_samples;
+    const std::size_t depth = impl_->queue.size();
+    lk.unlock();
+    impl_->queue_cv.notify_one();
+    std::lock_guard ml(impl_->metrics_mutex);
+    ++impl_->metrics.requests;
+    impl_->metrics.samples += n_samples;
+    impl_->metrics.max_queue_depth =
+        std::max(impl_->metrics.max_queue_depth, depth);
+  }
+  return future;
+}
+
+ServeMetrics InferenceServer::metrics() const {
+  std::vector<double> window;
+  ServeMetrics snapshot;
+  {
+    std::lock_guard ml(impl_->metrics_mutex);
+    snapshot = impl_->metrics;
+    snapshot.mean_batch_samples =
+        impl_->metrics.batches
+            ? static_cast<double>(impl_->batched_samples) /
+                  static_cast<double>(impl_->metrics.batches)
+            : 0.0;
+    window = impl_->latencies;
+  }
+  if (!window.empty()) {
+    std::sort(window.begin(), window.end());
+    const auto quantile = [&](double q) {
+      const std::size_t idx = std::min(
+          window.size() - 1,
+          static_cast<std::size_t>(q * static_cast<double>(window.size())));
+      return window[idx];
+    };
+    snapshot.p50_latency_us = quantile(0.50);
+    snapshot.p99_latency_us = quantile(0.99);
+    snapshot.max_latency_us = window.back();
+  }
+  return snapshot;
+}
+
+void add_serve_metrics(harness::BenchJson& json, const ServeMetrics& metrics,
+                       const std::string& prefix) {
+  json.set(prefix + "requests",
+           static_cast<std::int64_t>(metrics.requests));
+  json.set(prefix + "rejected",
+           static_cast<std::int64_t>(metrics.rejected));
+  json.set(prefix + "samples", static_cast<std::int64_t>(metrics.samples));
+  json.set(prefix + "batches", static_cast<std::int64_t>(metrics.batches));
+  json.set(prefix + "zero_copy_batches",
+           static_cast<std::int64_t>(metrics.zero_copy_batches));
+  json.set(prefix + "max_queue_depth", metrics.max_queue_depth);
+  json.set(prefix + "mean_batch_samples", metrics.mean_batch_samples);
+  json.set(prefix + "p50_latency_us", metrics.p50_latency_us);
+  json.set(prefix + "p99_latency_us", metrics.p99_latency_us);
+  json.set(prefix + "max_latency_us", metrics.max_latency_us);
+  for (std::size_t b = 0; b < metrics.batch_size_histogram.size(); ++b) {
+    if (metrics.batch_size_histogram[b] == 0) continue;
+    json.set(prefix + "batch_hist_p2_" + std::to_string(b),
+             static_cast<std::int64_t>(metrics.batch_size_histogram[b]));
+  }
+}
+
+}  // namespace flint::serve

@@ -1,0 +1,178 @@
+// serve — the long-lived inference runtime: converts kernel throughput into
+// served QPS by coalescing concurrent small requests into micro-batches.
+//
+// The FLInt engines only reach their headline rates at batch >= ~1024
+// (docs/BENCHMARKS.md), but a serving workload arrives as many tiny
+// concurrent requests.  InferenceServer closes that gap:
+//
+//   submit() ──> MPSC request queue ──> batcher ──> batch queue ──> workers
+//                (mutex + cv)           (dynamic      (mutex + cv)  (drain via
+//                                       micro-batch)               Predictor)
+//
+//   * the batcher flushes a formed batch when either `max_batch` samples are
+//     queued or the oldest queued request has waited `max_delay_us`,
+//     whichever comes first; a batch holding a single request executes
+//     zero-copy, directly on that request's own buffer instead of a
+//     coalesced one — in particular a request that alone fills a block
+//     flushes immediately and is never re-copied;
+//   * workers drain formed batches through the existing
+//     Predictor::predict_batch_prevalidated fast path — validation (shape +
+//     NaN) happened per request at submit(), so a poisoned request fails
+//     only its own future and never reaches a batch its neighbors share;
+//   * every submit() returns a std::future that carries either the
+//     predictions or the typed error (std::invalid_argument for shape/NaN/
+//     unknown-model rejection, std::runtime_error for queue-full and
+//     post-shutdown submits);
+//   * models live in a ModelRegistry: named, versioned, hot-swappable.  A
+//     request pins its predictor snapshot (shared_ptr) at submit time and a
+//     batch only coalesces requests pinned to the same snapshot, so a swap
+//     under load can never produce a result from a half-swapped model —
+//     in-flight batches simply finish on the predictor they started with;
+//   * stop() (and the destructor) drains: queued requests are flushed into
+//     final batches and completed, never dropped.
+//
+// Metrics (request/batch counters, queue depth high-water mark, a log2
+// batch-size histogram and p50/p99/max request latency) are sampled with
+// metrics() and exported through the BENCH_*.json machinery with
+// add_serve_metrics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace flint::harness {
+class BenchJson;
+}
+
+namespace flint::serve {
+
+using PredictorPtr = std::shared_ptr<const predict::Predictor<float>>;
+
+/// One named, versioned model as resolved from the registry.
+struct ModelEntry {
+  std::string name;
+  std::uint64_t version = 0;  ///< bumped by every install() under this name
+  PredictorPtr predictor;
+};
+
+/// Named model store with atomic hot-swap.  install() publishes a new
+/// predictor under a name by flipping the shared_ptr inside one lock;
+/// resolve() returns a snapshot whose predictor stays valid (shared
+/// ownership) for as long as the caller holds it, so in-flight work is
+/// never invalidated by a concurrent swap.
+class ModelRegistry {
+ public:
+  /// Publishes `predictor` under `name`, replacing any previous version;
+  /// returns the new version number (1 for a first install).  The first
+  /// name ever installed becomes the default model.
+  std::uint64_t install(const std::string& name, PredictorPtr predictor);
+
+  /// Snapshot of a model; empty `name` resolves the default model.  Throws
+  /// std::invalid_argument for an unknown name or an empty registry.
+  [[nodiscard]] ModelEntry resolve(std::string_view name = {}) const;
+
+  /// Snapshot of every installed model (one entry per name).
+  [[nodiscard]] std::vector<ModelEntry> list() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<ModelEntry> models_;  // few models: linear scan under the lock
+  std::string default_name_;
+};
+
+/// Batching/pool knobs of an InferenceServer.
+struct ServeOptions {
+  /// Flush a forming batch once this many samples are queued (a single
+  /// request at or beyond it flushes immediately).
+  std::size_t max_batch = 1024;
+  /// Flush once the oldest queued request has waited this long, even if the
+  /// batch is not full; 0 disperses every request as its own batch.
+  std::uint32_t max_delay_us = 200;
+  /// Batch-execution worker threads; 0 means available_parallelism().
+  unsigned workers = 1;
+  /// submit() rejects (queue-full error on the future) beyond this many
+  /// queued requests — the backpressure bound.
+  std::size_t queue_capacity = 65536;
+};
+
+/// Number of log2 buckets of the batch-size histogram (bucket i counts
+/// batches of 2^i .. 2^(i+1)-1 samples).
+inline constexpr std::size_t kBatchHistogramBuckets = 24;
+
+/// Point-in-time counters and latency percentiles of a server.
+struct ServeMetrics {
+  std::uint64_t requests = 0;          ///< accepted into the queue
+  std::uint64_t rejected = 0;          ///< failed validation/backpressure
+  std::uint64_t samples = 0;           ///< samples across accepted requests
+  std::uint64_t batches = 0;           ///< batches executed
+  /// Single-request batches, executed on the request's own buffer without
+  /// a coalescing copy (batch-1 dispatch configs count every batch here).
+  std::uint64_t zero_copy_batches = 0;
+  std::size_t max_queue_depth = 0;     ///< request-queue high-water mark
+  double mean_batch_samples = 0.0;
+  double p50_latency_us = 0.0;  ///< submit -> future-fulfilled, per request
+  double p99_latency_us = 0.0;
+  double max_latency_us = 0.0;
+  std::array<std::uint64_t, kBatchHistogramBuckets> batch_size_histogram{};
+};
+
+/// The serving runtime (see the file comment for the pipeline).  All public
+/// methods are thread-safe; submit() may be called from any number of
+/// producer threads.
+class InferenceServer {
+ public:
+  /// Starts the batcher and worker threads immediately.  Models are
+  /// installed through registry(); submits before the first install are
+  /// rejected with a typed error on the future.
+  explicit InferenceServer(const ServeOptions& options = {});
+  /// stop()s (drains, never drops) and joins.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  [[nodiscard]] ModelRegistry& registry() noexcept { return registry_; }
+
+  /// Enqueues `n_samples` row-major samples against `model` (empty = the
+  /// default model) and returns the future of their predictions, in order.
+  /// `features` is copied, so the caller's buffer may be reused as soon as
+  /// submit returns.  Rejection (bad shape, NaN feature, unknown model,
+  /// queue full, server stopped) is delivered as the future's exception and
+  /// fails only this request.  n_samples == 0 resolves immediately.
+  [[nodiscard]] std::future<std::vector<std::int32_t>> submit(
+      std::span<const float> features, std::size_t n_samples,
+      std::string_view model = {});
+
+  /// Drains every queued request into final batches, completes them, and
+  /// joins all threads.  Idempotent; implied by the destructor.  Requests
+  /// submitted after (or concurrently with) stop may be rejected, but a
+  /// request whose submit() returned an accepting future is always
+  /// completed.
+  void stop();
+
+  [[nodiscard]] ServeMetrics metrics() const;
+  [[nodiscard]] const ServeOptions& options() const noexcept { return options_; }
+  [[nodiscard]] unsigned worker_count() const noexcept;
+
+ private:
+  struct Impl;
+  ServeOptions options_;
+  ModelRegistry registry_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Writes a metrics snapshot into a BENCH_*.json header (prefixed keys) —
+/// the serve runtime's export path into the repo's bench artifact tooling.
+void add_serve_metrics(harness::BenchJson& json, const ServeMetrics& metrics,
+                       const std::string& prefix = "serve_");
+
+}  // namespace flint::serve

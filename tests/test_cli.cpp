@@ -28,6 +28,15 @@ CliResult run_cli(std::initializer_list<std::string> args) {
   return {code, out.str(), err.str()};
 }
 
+CliResult run_cli_with_input(std::initializer_list<std::string> args,
+                             const std::string& input) {
+  const std::vector<std::string> v(args);
+  std::istringstream in(input);
+  std::ostringstream out, err;
+  const int code = flint::cli::run(v, in, out, err);
+  return {code, out.str(), err.str()};
+}
+
 class CliWorkflow : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -128,6 +137,54 @@ TEST_F(CliWorkflow, PredictEmptyDatasetAndSimdEngines) {
     ASSERT_EQ(predict.code, 0) << engine << ": " << predict.err;
     EXPECT_NE(predict.out.find("accuracy"), std::string::npos);
   }
+}
+
+// The serve subcommand speaks a line protocol over the injected input
+// stream: predictions, stats, a hot swap and a clean drain on EOF/quit.
+TEST_F(CliWorkflow, ServeLineProtocol) {
+  ASSERT_EQ(run_cli({"gen", "--dataset", "wine", "--rows", "120", "--out",
+                     csv_}).code, 0);
+  ASSERT_EQ(run_cli({"train", "--data", csv_, "--trees", "3", "--depth", "4",
+                     "--out", model_}).code, 0);
+  const std::string model_v2 = (dir_ / "model_v2.forest").string();
+  ASSERT_EQ(run_cli({"train", "--data", csv_, "--trees", "3", "--depth", "4",
+                     "--seed", "99", "--out", model_v2}).code, 0);
+
+  // wine has 11 features; one 1-sample and one 2-sample request, a stats
+  // probe, a hot swap, a post-swap request, and malformed lines.
+  const std::string one = "1,2,3,4,5,6,7,8,9,10,11";
+  // The second request and the quit use CRLF endings (regression: the
+  // protocol must strip '\r' like the CSV reader does).
+  const std::string protocol = one + "\n" + one + ";" + one + "\r\n" +
+                               "stats\n" +
+                               "swap " + model_v2 + "\n" +
+                               "swap /nonexistent.forest\n" +
+                               one + "\n" +
+                               "1,2,bogus\n" +
+                               "1,2;1,2,3\n" +
+                               "quit\r\n";
+  auto serve = run_cli_with_input(
+      {"serve", "--model", model_, "--engine", "encoded", "--max-delay-us",
+       "100", "--workers", "2"},
+      protocol);
+  ASSERT_EQ(serve.code, 0) << serve.err;
+  EXPECT_NE(serve.out.find("serving 'default' v1"), std::string::npos)
+      << serve.out;
+  EXPECT_NE(serve.out.find("ok "), std::string::npos) << serve.out;
+  EXPECT_NE(serve.out.find("stats: requests="), std::string::npos);
+  EXPECT_NE(serve.out.find("ok swapped 'default' to v2"), std::string::npos);
+  EXPECT_NE(serve.out.find("err "), std::string::npos);  // bad swap + floats
+  EXPECT_NE(serve.out.find("malformed feature value 'bogus'"),
+            std::string::npos);
+  EXPECT_NE(serve.out.find("ragged request"), std::string::npos);
+  EXPECT_NE(serve.out.find("served 3 requests"), std::string::npos)
+      << serve.out;
+
+  // Option validation.
+  EXPECT_EQ(run_cli_with_input({"serve", "--model", model_, "--max-batch",
+                                "0"}, "").code, 2);
+  EXPECT_EQ(run_cli_with_input({"serve", "--model", "/nonexistent.forest"},
+                               "").code, 2);
 }
 
 TEST_F(CliWorkflow, PredictLabelsOutput) {

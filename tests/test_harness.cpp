@@ -2,8 +2,12 @@
 // report aggregation, and a miniature end-to-end run_grid execution.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
+#include "harness/bench_json.hpp"
 #include "harness/experiment.hpp"
 #include "harness/machine_info.hpp"
 #include "harness/report.hpp"
@@ -67,6 +71,36 @@ TEST(MachineInfo, QueryReturnsPlausibleData) {
   EXPECT_FALSE(info.architecture.empty());
   EXPECT_GT(info.logical_cores, 0);
   EXPECT_FALSE(to_string(info).empty());
+}
+
+// Regression (stale bench SHA): BENCH_*.json used to embed a
+// configure-time git SHA, so rebuilding after new commits without a CMake
+// re-run stamped artifacts with the wrong revision.  The stamp is now a
+// build-time generated header that also records the dirty state; this test
+// pins the env override and the presence of both fields in the artifact.
+TEST(BenchJsonStamp, WritesGitShaAndDirtyFields) {
+  const auto dir =
+      std::filesystem::path(::testing::TempDir()) / "flint_bench_json";
+  std::filesystem::create_directories(dir);
+  ASSERT_EQ(setenv("FLINT_BENCH_JSON_DIR", dir.c_str(), 1), 0);
+  ASSERT_EQ(setenv("FLINT_GIT_SHA", "cafe123", 1), 0);
+  std::string path;
+  {
+    BenchJson json("stamp_test");
+    json.add_rate("encoded", 64, 1, 1000.0);
+    path = json.write();
+  }
+  unsetenv("FLINT_GIT_SHA");
+  unsetenv("FLINT_BENCH_JSON_DIR");
+  ASSERT_FALSE(path.empty());
+  std::ifstream f(path);
+  ASSERT_TRUE(f.is_open()) << path;
+  std::stringstream content;
+  content << f.rdbuf();
+  const std::string text = content.str();
+  EXPECT_NE(text.find("\"git_sha\": \"cafe123\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"git_dirty\": "), std::string::npos) << text;
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ImplNames, RoundTrip) {

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <random>
 #include <string>
@@ -371,6 +373,102 @@ TEST(AutoPlan, UnnarrowableModelFallsBackToWide) {
   const layout::CacheInfo cache{256 * 1024, 8 * 1024 * 1024};
   const auto plan = layout::auto_plan(stats, fit, 64, cache);
   EXPECT_EQ(plan.width, layout::NodeWidth::Wide);
+}
+
+// ---------------------------------------------------------------------------
+// Cache probe fallback chain (regression: sysconf(_SC_LEVEL*_CACHE_SIZE)
+// returns -1/0 on musl and in many containers, which used to leave the
+// tuner with zero cache sizes; the chain now falls back to sysfs, then to
+// documented clamped defaults).
+// ---------------------------------------------------------------------------
+
+TEST(CacheProbe, ParsesSysfsSizeStrings) {
+  EXPECT_EQ(layout::parse_sysfs_cache_size("512K"), 512u << 10);
+  EXPECT_EQ(layout::parse_sysfs_cache_size("512K\n"), 512u << 10);
+  EXPECT_EQ(layout::parse_sysfs_cache_size("8M"), 8u << 20);
+  EXPECT_EQ(layout::parse_sysfs_cache_size("1G"), std::size_t{1} << 30);
+  EXPECT_EQ(layout::parse_sysfs_cache_size("4096"), 4096u);  // plain bytes
+  EXPECT_EQ(layout::parse_sysfs_cache_size(" 64k "), 64u << 10);
+  EXPECT_EQ(layout::parse_sysfs_cache_size(""), 0u);
+  EXPECT_EQ(layout::parse_sysfs_cache_size("K"), 0u);
+  EXPECT_EQ(layout::parse_sysfs_cache_size("12Q"), 0u);
+  EXPECT_EQ(layout::parse_sysfs_cache_size("12K extra"), 0u);
+}
+
+class FakeSysfsCache : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) / "flint_fake_cache";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void add_index(const std::string& name, const std::string& level,
+                 const std::string& type, const std::string& size) {
+    const auto index = dir_ / name;
+    std::filesystem::create_directories(index);
+    std::ofstream(index / "level") << level << "\n";
+    std::ofstream(index / "type") << type << "\n";
+    std::ofstream(index / "size") << size << "\n";
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FakeSysfsCache, ReadsLevelsAndSkipsInstructionCaches) {
+  add_index("index0", "1", "Data", "32K");
+  add_index("index1", "1", "Instruction", "32K");
+  add_index("index2", "2", "Unified", "512K");
+  add_index("index3", "3", "Unified", "16384K");
+  const auto info = layout::cache_info_from_sysfs(dir_.string());
+  EXPECT_EQ(info.l2_bytes, 512u << 10);
+  EXPECT_EQ(info.llc_bytes, 16384u << 10);
+}
+
+TEST_F(FakeSysfsCache, MissingOrPartialTopologyLeavesZeros) {
+  // Empty dir and a non-existent dir both yield zeros (chain continues).
+  EXPECT_EQ(layout::cache_info_from_sysfs(dir_.string()).l2_bytes, 0u);
+  EXPECT_EQ(layout::cache_info_from_sysfs("/nonexistent/cache").l2_bytes, 0u);
+  // An L2-only topology (no L3, common on small VMs) fills only l2.
+  add_index("index0", "2", "Unified", "1024K");
+  const auto info = layout::cache_info_from_sysfs(dir_.string());
+  EXPECT_EQ(info.l2_bytes, 1024u << 10);
+  EXPECT_EQ(info.llc_bytes, 0u);
+  // Unparseable size files are skipped, not misread.
+  add_index("index1", "3", "Unified", "garbage");
+  EXPECT_EQ(layout::cache_info_from_sysfs(dir_.string()).llc_bytes, 0u);
+}
+
+TEST(CacheProbe, SanitizeFillsDefaultsAndClamps) {
+  // The documented defaults when every probe fails: 1 MiB L2, 8 MiB LLC.
+  const auto defaults = layout::sanitize_cache_info({});
+  EXPECT_EQ(defaults.l2_bytes, std::size_t{1} << 20);
+  EXPECT_EQ(defaults.llc_bytes, std::size_t{8} << 20);
+  // Implausible probe results are clamped into sane bounds.
+  const auto tiny = layout::sanitize_cache_info({1, 1});
+  EXPECT_EQ(tiny.l2_bytes, std::size_t{32} << 10);
+  EXPECT_EQ(tiny.llc_bytes, std::size_t{512} << 10);
+  const auto huge = layout::sanitize_cache_info(
+      {std::size_t{1} << 40, std::size_t{1} << 40});
+  EXPECT_EQ(huge.l2_bytes, std::size_t{64} << 20);
+  EXPECT_EQ(huge.llc_bytes, std::size_t{1} << 30);
+  // The LLC is never reported smaller than L2.
+  const auto inverted =
+      layout::sanitize_cache_info({16u << 20, 1u << 20});
+  EXPECT_GE(inverted.llc_bytes, inverted.l2_bytes);
+}
+
+TEST(CacheProbe, DetectNeverReturnsZeroSizes) {
+  // The regression: in containers where sysconf reports -1/0 the old probe
+  // returned zero fields and the tuner mis-sized the hot slab.  The chain
+  // must now always end in plausible non-zero values.
+  const auto info = layout::detect_cache_info();
+  EXPECT_GE(info.l2_bytes, std::size_t{32} << 10);
+  EXPECT_LE(info.l2_bytes, std::size_t{64} << 20);
+  EXPECT_GE(info.llc_bytes, std::size_t{512} << 10);
+  EXPECT_LE(info.llc_bytes, std::size_t{1} << 30);
+  EXPECT_GE(info.llc_bytes, info.l2_bytes);
 }
 
 // ---------------------------------------------------------------------------

@@ -5,9 +5,12 @@
 // under thread count and block size.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/split.hpp"
@@ -357,6 +360,74 @@ TEST(PredictorDouble, DoubleWidthBackendsMatchForestPredict) {
           << backend << " row " << r;
     }
   }
+}
+
+// Regression (cgroup quotas): pools sized from hardware_concurrency()
+// ignore container CPU limits — in a 2-CPU-quota cgroup on a 64-core host
+// they spawn 63 workers and thrash.  cgroup_cpu_quota is the injectable
+// quota reader (fake cgroup roots below); available_parallelism() caps
+// hardware_concurrency with it and is what `threads == 0` now means.
+class FakeCgroup : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::path(::testing::TempDir()) / "flint_fake_cgroup";
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  void write_file(const std::string& relative, const std::string& content) {
+    const auto path = root_ / relative;
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream(path) << content;
+  }
+
+  std::filesystem::path root_;
+};
+
+TEST_F(FakeCgroup, V2QuotaRoundsUpToWholeCpus) {
+  write_file("cpu.max", "200000 100000\n");
+  EXPECT_EQ(flint::predict::cgroup_cpu_quota(root_.string()), 2u);
+  write_file("cpu.max", "150000 100000\n");  // 1.5 CPUs -> 2 workers
+  EXPECT_EQ(flint::predict::cgroup_cpu_quota(root_.string()), 2u);
+  write_file("cpu.max", "50000 100000\n");  // half a CPU -> still 1 worker
+  EXPECT_EQ(flint::predict::cgroup_cpu_quota(root_.string()), 1u);
+}
+
+TEST_F(FakeCgroup, V2UnlimitedAndMalformedMeanNoQuota) {
+  write_file("cpu.max", "max 100000\n");
+  EXPECT_EQ(flint::predict::cgroup_cpu_quota(root_.string()), 0u);
+  write_file("cpu.max", "banana\n");
+  EXPECT_EQ(flint::predict::cgroup_cpu_quota(root_.string()), 0u);
+  write_file("cpu.max", "");
+  EXPECT_EQ(flint::predict::cgroup_cpu_quota(root_.string()), 0u);
+}
+
+TEST_F(FakeCgroup, V1QuotaAndUnlimited) {
+  write_file("cpu/cpu.cfs_quota_us", "250000\n");
+  write_file("cpu/cpu.cfs_period_us", "100000\n");
+  EXPECT_EQ(flint::predict::cgroup_cpu_quota(root_.string()), 3u);
+  write_file("cpu/cpu.cfs_quota_us", "-1\n");  // v1 "no limit"
+  EXPECT_EQ(flint::predict::cgroup_cpu_quota(root_.string()), 0u);
+}
+
+TEST_F(FakeCgroup, V2HierarchyTakesPrecedenceOverV1) {
+  write_file("cpu.max", "100000 100000\n");
+  write_file("cpu/cpu.cfs_quota_us", "800000\n");
+  write_file("cpu/cpu.cfs_period_us", "100000\n");
+  EXPECT_EQ(flint::predict::cgroup_cpu_quota(root_.string()), 1u);
+}
+
+TEST_F(FakeCgroup, MissingRootMeansNoQuota) {
+  EXPECT_EQ(flint::predict::cgroup_cpu_quota(
+                (root_ / "does_not_exist").string()),
+            0u);
+}
+
+TEST(AvailableParallelism, PositiveAndCappedByHardware) {
+  const unsigned n = flint::predict::available_parallelism();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, std::max(1u, std::thread::hardware_concurrency()));
 }
 
 TEST(PredictorNames, BackendListsAreConsistent) {

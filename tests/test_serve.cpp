@@ -1,0 +1,327 @@
+// Concurrency and correctness tests for the serve/ runtime: micro-batched
+// results must be bit-identical to per-sample Forest::predict under any
+// producer mix; a poisoned request fails alone while coalesced neighbors
+// succeed; hot-swap under load never yields a half-swapped result; and
+// shutdown with a non-empty queue drains instead of dropping.  This suite
+// also runs under TSan in CI (FLINT_SANITIZE_THREAD).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/split.hpp"
+#include "data/synth.hpp"
+#include "predict/predictor.hpp"
+#include "serve/server.hpp"
+#include "trees/forest.hpp"
+
+namespace {
+
+using flint::serve::InferenceServer;
+using flint::serve::ModelRegistry;
+using flint::serve::PredictorPtr;
+using flint::serve::ServeOptions;
+
+PredictorPtr wrap(const flint::trees::Forest<float>& forest,
+                  const std::string& backend = "encoded") {
+  return PredictorPtr(flint::predict::make_predictor(forest, backend));
+}
+
+class ServeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto full =
+        flint::data::generate<float>(flint::data::magic_spec(), 7, 1200);
+    split_ = flint::data::train_test_split(full, 0.3, 7);
+    flint::trees::ForestOptions opt;
+    opt.n_trees = 7;
+    opt.tree.max_depth = 8;
+    opt.tree.max_features = flint::trees::TrainOptions::kSqrtFeatures;
+    forest_a_ = flint::trees::train_forest(split_.train, opt);
+    opt.tree.seed = 4242;
+    forest_b_ = flint::trees::train_forest(split_.train, opt);
+    cols_ = forest_a_.feature_count();
+    rows_ = split_.test.rows();
+    pool_.resize(rows_ * cols_);
+    ref_a_.resize(rows_);
+    ref_b_.resize(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const auto row = split_.test.row(r);
+      std::copy(row.begin(), row.begin() + cols_, pool_.begin() + r * cols_);
+      ref_a_[r] = forest_a_.predict(row);
+      ref_b_[r] = forest_b_.predict(row);
+    }
+  }
+
+  std::vector<float> rows_from(std::size_t first, std::size_t n) const {
+    std::vector<float> out(n * cols_);
+    for (std::size_t s = 0; s < n; ++s) {
+      std::copy_n(pool_.data() + ((first + s) % rows_) * cols_, cols_,
+                  out.data() + s * cols_);
+    }
+    return out;
+  }
+
+  /// True iff `got` matches `ref` on rows first.. (wrapping) in full.
+  bool matches(const std::vector<std::int32_t>& ref, std::size_t first,
+               const std::vector<std::int32_t>& got) const {
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      if (got[s] != ref[(first + s) % rows_]) return false;
+    }
+    return true;
+  }
+
+  flint::data::TrainTestSplit<float> split_;
+  flint::trees::Forest<float> forest_a_;
+  flint::trees::Forest<float> forest_b_;
+  std::size_t cols_ = 0;
+  std::size_t rows_ = 0;
+  std::vector<float> pool_;
+  std::vector<std::int32_t> ref_a_;
+  std::vector<std::int32_t> ref_b_;
+};
+
+TEST_F(ServeFixture, RegistryInstallResolveVersioning) {
+  ModelRegistry registry;
+  EXPECT_THROW((void)registry.resolve(), std::invalid_argument);
+  EXPECT_EQ(registry.install("magic", wrap(forest_a_)), 1u);
+  EXPECT_EQ(registry.install("wine", wrap(forest_b_)), 1u);
+  EXPECT_EQ(registry.install("magic", wrap(forest_b_)), 2u);  // hot swap
+  EXPECT_EQ(registry.resolve().name, "magic");  // first install = default
+  EXPECT_EQ(registry.resolve("wine").version, 1u);
+  EXPECT_EQ(registry.resolve("magic").version, 2u);
+  EXPECT_EQ(registry.list().size(), 2u);
+  EXPECT_THROW((void)registry.resolve("nope"), std::invalid_argument);
+  EXPECT_THROW(registry.install("", wrap(forest_a_)), std::invalid_argument);
+  EXPECT_THROW(registry.install("x", nullptr), std::invalid_argument);
+}
+
+TEST_F(ServeFixture, MixedBatchSizesBitIdenticalSequential) {
+  ServeOptions opt;
+  opt.max_batch = 32;
+  opt.max_delay_us = 100;
+  opt.workers = 2;
+  InferenceServer server(opt);
+  server.registry().install("default", wrap(forest_a_));
+  for (std::size_t i = 0; i < 60; ++i) {
+    const std::size_t n = 1 + (i % 9);
+    const std::size_t first = (i * 31) % rows_;
+    auto got = server.submit(rows_from(first, n), n).get();
+    ASSERT_EQ(got.size(), n);
+    EXPECT_TRUE(matches(ref_a_, first, got)) << "request " << i;
+  }
+  const auto m = server.metrics();
+  EXPECT_EQ(m.requests, 60u);
+  EXPECT_GT(m.batches, 0u);
+  EXPECT_EQ(m.rejected, 0u);
+}
+
+// The tentpole property: N producer threads x mixed batch sizes must be
+// bit-identical to sequential Forest::predict — coalescing, slicing and
+// result routing lose nothing.
+TEST_F(ServeFixture, ConcurrentProducersBitIdentical) {
+  for (const char* backend : {"encoded", "layout:auto"}) {
+    ServeOptions opt;
+    opt.max_batch = 64;
+    opt.max_delay_us = 200;
+    opt.workers = 4;
+    InferenceServer server(opt);
+    server.registry().install("default", wrap(forest_a_, backend));
+    std::atomic<int> failures{0};
+    std::vector<std::thread> producers;
+    for (unsigned p = 0; p < 8; ++p) {
+      producers.emplace_back([&, p] {
+        for (std::size_t i = 0; i < 120; ++i) {
+          const std::size_t n = 1 + ((p + i) % 17);
+          const std::size_t first = (p * 997 + i * 13) % rows_;
+          auto got = server.submit(rows_from(first, n), n).get();
+          if (got.size() != n || !matches(ref_a_, first, got)) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : producers) t.join();
+    EXPECT_EQ(failures.load(), 0) << backend;
+    const auto m = server.metrics();
+    EXPECT_EQ(m.requests, 8u * 120u) << backend;
+    EXPECT_LE(m.p50_latency_us, m.p99_latency_us) << backend;
+    std::uint64_t histogram_total = 0;
+    for (const auto count : m.batch_size_histogram) histogram_total += count;
+    EXPECT_EQ(histogram_total, m.batches) << backend;
+  }
+}
+
+// Error isolation: a poisoned request (NaN feature or wrong width) fails
+// only its own future — concurrent neighbors that could have coalesced
+// with it still succeed.
+TEST_F(ServeFixture, PoisonedRequestFailsAlone) {
+  ServeOptions opt;
+  opt.max_batch = 128;
+  opt.max_delay_us = 500;  // wide window: neighbors *would* coalesce
+  opt.workers = 2;
+  InferenceServer server(opt);
+  server.registry().install("default", wrap(forest_a_));
+
+  std::vector<std::future<std::vector<std::int32_t>>> good;
+  for (std::size_t i = 0; i < 10; ++i) {
+    good.push_back(server.submit(rows_from(i, 2), 2));
+  }
+  auto poisoned = rows_from(3, 2);
+  poisoned[cols_ + 1] = std::numeric_limits<float>::quiet_NaN();
+  auto nan_future = server.submit(poisoned, 2);
+  auto short_future = server.submit(rows_from(0, 2), 3);  // wrong width
+  for (std::size_t i = 0; i < 10; ++i) {
+    good.push_back(server.submit(rows_from(i + 20, 2), 2));
+  }
+
+  try {
+    (void)nan_future.get();
+    FAIL() << "NaN request must fail";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("NaN"), std::string::npos);
+  }
+  EXPECT_THROW((void)short_future.get(), std::invalid_argument);
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    const std::size_t first = i < 10 ? i : i + 10;
+    auto got = good[i].get();
+    EXPECT_TRUE(matches(ref_a_, first, got)) << "neighbor " << i;
+  }
+  const auto m = server.metrics();
+  EXPECT_EQ(m.rejected, 2u);
+  EXPECT_EQ(m.requests, 20u);
+}
+
+// Hot-swap invariant: under concurrent load a swap never yields a response
+// mixing model versions, and a request submitted after install() returned
+// is always served by the new version.
+TEST_F(ServeFixture, HotSwapUnderLoadNeverMixesVersions) {
+  ServeOptions opt;
+  opt.max_batch = 64;
+  opt.max_delay_us = 200;
+  opt.workers = 4;
+  InferenceServer server(opt);
+  server.registry().install("default", wrap(forest_a_));
+  std::atomic<int> mixed{0};
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < 250; ++i) {
+        const std::size_t n = 2 + ((p + i) % 7);
+        const std::size_t first = (p * 811 + i * 11) % rows_;
+        auto got = server.submit(rows_from(first, n), n).get();
+        if (!matches(ref_a_, first, got) && !matches(ref_b_, first, got)) {
+          mixed.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(server.registry().install("default", wrap(forest_b_)), 2u);
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(mixed.load(), 0);
+
+  // Post-swap submits resolve the new snapshot.
+  auto got = server.submit(rows_from(5, 4), 4).get();
+  EXPECT_TRUE(matches(ref_b_, 5, got));
+}
+
+// Shutdown contract: stop() with a non-empty queue drains — every accepted
+// request completes with a correct result, none is dropped.  The huge
+// max_delay pins the requests in the queue until stop() forces the flush.
+TEST_F(ServeFixture, ShutdownDrainsNonEmptyQueue) {
+  ServeOptions opt;
+  opt.max_batch = 1u << 20;       // sample-count flush unreachable
+  opt.max_delay_us = 30'000'000;  // delay flush unreachable in test time
+  opt.workers = 2;
+  InferenceServer server(opt);
+  server.registry().install("default", wrap(forest_a_));
+  std::vector<std::future<std::vector<std::int32_t>>> futures;
+  for (std::size_t i = 0; i < 40; ++i) {
+    futures.push_back(server.submit(rows_from(i * 3, 2), 2));
+  }
+  server.stop();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    auto got = futures[i].get();  // would block forever if dropped
+    EXPECT_TRUE(matches(ref_a_, i * 3, got)) << "request " << i;
+  }
+  // Submits after stop are rejected with a typed error, not lost silently.
+  auto late = server.submit(rows_from(0, 1), 1);
+  EXPECT_THROW((void)late.get(), std::runtime_error);
+  // stop() is idempotent.
+  EXPECT_NO_THROW(server.stop());
+}
+
+TEST_F(ServeFixture, BackpressureRejectsBeyondQueueCapacity) {
+  ServeOptions opt;
+  opt.max_batch = 1u << 20;
+  opt.max_delay_us = 30'000'000;  // batcher holds the queue during the test
+  opt.workers = 1;
+  opt.queue_capacity = 4;
+  InferenceServer server(opt);
+  server.registry().install("default", wrap(forest_a_));
+  std::vector<std::future<std::vector<std::int32_t>>> accepted;
+  for (std::size_t i = 0; i < 4; ++i) {
+    accepted.push_back(server.submit(rows_from(i, 1), 1));
+  }
+  auto overflow = server.submit(rows_from(0, 1), 1);
+  try {
+    (void)overflow.get();
+    FAIL() << "expected queue-full rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("queue full"), std::string::npos);
+  }
+  server.stop();  // drains the four accepted requests
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    EXPECT_TRUE(matches(ref_a_, i, accepted[i].get()));
+  }
+}
+
+TEST_F(ServeFixture, NamedModelsRouteIndependently) {
+  InferenceServer server{ServeOptions{}};
+  server.registry().install("a", wrap(forest_a_));
+  server.registry().install("b", wrap(forest_b_));
+  auto got_a = server.submit(rows_from(2, 3), 3, "a").get();
+  auto got_b = server.submit(rows_from(2, 3), 3, "b").get();
+  auto got_default = server.submit(rows_from(2, 3), 3).get();  // = "a"
+  EXPECT_TRUE(matches(ref_a_, 2, got_a));
+  EXPECT_TRUE(matches(ref_b_, 2, got_b));
+  EXPECT_EQ(got_default, got_a);
+  auto unknown = server.submit(rows_from(0, 1), 1, "zzz");
+  EXPECT_THROW((void)unknown.get(), std::invalid_argument);
+}
+
+TEST_F(ServeFixture, ZeroCopySingleLargeRequest) {
+  ServeOptions opt;
+  opt.max_batch = 16;  // the request below alone fills a block
+  opt.max_delay_us = 10'000;
+  opt.workers = 1;
+  InferenceServer server(opt);
+  server.registry().install("default", wrap(forest_a_));
+  // Larger than max_batch: never split, dispatched without re-coalescing.
+  auto got = server.submit(rows_from(0, 50), 50).get();
+  ASSERT_EQ(got.size(), 50u);
+  EXPECT_TRUE(matches(ref_a_, 0, got));
+  const auto m = server.metrics();
+  EXPECT_EQ(m.zero_copy_batches, 1u);
+  EXPECT_EQ(m.batches, 1u);
+  // An empty request resolves immediately without touching the queue.
+  auto empty = server.submit({}, 0);
+  EXPECT_TRUE(empty.get().empty());
+}
+
+TEST_F(ServeFixture, SubmitBeforeAnyInstallIsRejected) {
+  InferenceServer server{ServeOptions{}};
+  auto future = server.submit(rows_from(0, 1), 1);
+  EXPECT_THROW((void)future.get(), std::invalid_argument);
+  const auto m = server.metrics();
+  EXPECT_EQ(m.rejected, 1u);
+  EXPECT_EQ(m.requests, 0u);
+}
+
+}  // namespace
