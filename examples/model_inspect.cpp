@@ -1,14 +1,19 @@
 // model_inspect — model lifecycle and introspection: train, serialize to
 // disk, reload bit-exactly, and report the structural statistics that drive
 // the paper's code generators (tree shapes, negative-split counts feeding
-// the Theorem 2 SignFlip path, branch skew feeding CAGS).
+// the Theorem 2 SignFlip path, branch skew feeding CAGS) plus the model-IR
+// view: leaf-value type, aggregation mode and per-tree leaf-value ranges
+// (model/forest_model.hpp).
 //
 // Run: ./examples/model_inspect [dataset]   (default: sensorless)
 #include <cstdio>
+#include <random>
 #include <string>
 
 #include "data/split.hpp"
 #include "data/synth.hpp"
+#include "model/forest_model.hpp"
+#include "model/model_io.hpp"
 #include "trees/forest.hpp"
 #include "trees/serialize.hpp"
 #include "trees/tree_stats.hpp"
@@ -66,5 +71,67 @@ int main(int argc, char** argv) {
   }
   std::printf("\nneg-spl nodes take the Theorem 2 SignFlip path in FLInt codegen;\n"
               "max-skew close to 0.50 means CAGS branch swapping has traction.\n");
-  return mismatches == 0 ? 0 : 1;
+
+  // --- Model-IR view (model/forest_model.hpp). -----------------------------
+  // The trained forest as a ForestModel: a majority-vote ClassId model...
+  const auto vote_model = flint::model::from_vote_forest(forest);
+  std::printf("\nmodel IR: leaf kind '%s', aggregation '%s', link '%s' — %s\n",
+              flint::model::to_string(vote_model.leaf_kind),
+              flint::model::to_string(vote_model.aggregation.mode),
+              flint::model::to_string(vote_model.aggregation.link),
+              vote_model.describe().c_str());
+
+  // ...and the same structure re-leaved as an additive score model (what an
+  // imported GBDT looks like after `flint-forest convert`): every leaf gets
+  // a row in the leaf-value table, aggregation becomes sum+sigmoid.
+  flint::model::ForestModel<float> gbdt;
+  gbdt.leaf_kind = flint::model::LeafKind::Scalar;
+  gbdt.aggregation.mode = flint::model::AggregationMode::SumScores;
+  gbdt.aggregation.link = flint::model::Link::Sigmoid;
+  gbdt.n_outputs = 1;
+  std::mt19937 rng(19);
+  std::uniform_real_distribution<float> margin(-0.7f, 0.7f);
+  std::int32_t next_row = 0;
+  std::vector<flint::trees::Tree<float>> releaved;
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    auto tree = forest.tree(t);
+    for (std::size_t i = 0; i < tree.size(); ++i) {
+      auto& node = tree.node(static_cast<std::int32_t>(i));
+      if (!node.is_leaf()) continue;
+      node.prediction = next_row++;
+      gbdt.leaf_values.push_back(margin(rng));
+    }
+    releaved.push_back(std::move(tree));
+  }
+  gbdt.forest = flint::trees::Forest<float>(std::move(releaved), next_row);
+  if (const std::string err = gbdt.validate(); !err.empty()) {
+    std::printf("score-model validation FAILED: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("score IR:  leaf kind '%s', aggregation '%s', link '%s' — %s\n",
+              flint::model::to_string(gbdt.leaf_kind),
+              flint::model::to_string(gbdt.aggregation.mode),
+              flint::model::to_string(gbdt.aggregation.link),
+              gbdt.describe().c_str());
+  const auto ranges = flint::model::per_tree_leaf_ranges(gbdt);
+  std::printf("%-5s %-12s %-12s\n", "tree", "leaf-min", "leaf-max");
+  for (std::size_t t = 0; t < ranges.size(); ++t) {
+    std::printf("%-5zu %-12.5f %-12.5f\n", t, static_cast<double>(ranges[t].lo),
+                static_cast<double>(ranges[t].hi));
+  }
+
+  // v2 container round trip, bit-exact like the v1 path above.
+  const std::string v2_path = "model_" + name + ".v2";
+  flint::model::save_model(v2_path, gbdt);
+  const auto v2_back = flint::model::load_any_model<float>(v2_path);
+  std::size_t v2_mismatches = 0;
+  for (std::size_t r = 0; r < split.test.rows(); ++r) {
+    if (v2_back.forest.predict(split.test.row(r)) !=
+        gbdt.forest.predict(split.test.row(r))) {
+      ++v2_mismatches;
+    }
+  }
+  std::printf("v2 container saved to %s; reload mismatches: %zu (must be 0)\n",
+              v2_path.c_str(), v2_mismatches);
+  return mismatches == 0 && v2_mismatches == 0 ? 0 : 1;
 }

@@ -19,6 +19,9 @@
 #include "data/csv.hpp"
 #include "data/split.hpp"
 #include "data/synth.hpp"
+#include "model/forest_model.hpp"
+#include "model/loaders.hpp"
+#include "model/model_io.hpp"
 #include "predict/predictor.hpp"
 #include "serve/server.hpp"
 #include "trees/forest.hpp"
@@ -137,10 +140,11 @@ int cmd_train(const Args& args, std::ostream& out) {
 }
 
 int cmd_predict(const Args& args, std::ostream& out) {
-  const auto forest = trees::load_forest<float>(args.require("model"));
+  const auto model = model::load_any_model<float>(args.require("model"));
   const auto dataset = data::load_csv<float>(args.require("data"));
   const std::string engine_name = args.get("engine", "flint");
   const bool print_labels = args.get("labels", "no") == "yes";
+  const std::string output_mode = args.get("output", "classes");
   const std::string stats_csv = args.get("train-data", "");
   const long threads = args.get_long("threads", 1);
   const long batch = args.get_long("batch", 64);
@@ -152,6 +156,20 @@ int cmd_predict(const Args& args, std::ostream& out) {
   }
   if (batch < 1) {
     throw std::invalid_argument("--batch must be >= 1");
+  }
+  if (output_mode != "classes" && output_mode != "scores") {
+    throw std::invalid_argument("--output must be classes or scores");
+  }
+  if (output_mode == "scores" && model.is_vote()) {
+    throw std::invalid_argument(
+        "--output scores needs an additive leaf-value model (GBDT, "
+        "soft-vote, regression); this is a majority-vote forest — see "
+        "docs/MODEL_FORMATS.md");
+  }
+  if (output_mode == "classes" && !model.is_classifier()) {
+    throw std::invalid_argument(
+        "model '" + model.describe() +
+        "' is a regression model; use --output scores");
   }
   predict::PredictorOptions popt;
   popt.threads = static_cast<unsigned>(threads);
@@ -169,29 +187,50 @@ int cmd_predict(const Args& args, std::ostream& out) {
       throw std::invalid_argument("unknown backend '" + engine_name + "' (" +
                                   predict::backend_help() + ")");
     }
-    out << "accuracy n/a over 0 rows (engine: " << engine_name << ")\n";
+    if (output_mode == "scores") {
+      out << "scored 0 rows x " << model.n_outputs << " outputs (engine: "
+          << engine_name << ")\n";
+    } else {
+      out << "accuracy n/a over 0 rows (engine: " << engine_name << ")\n";
+    }
     return 0;
   }
-  // The CAGS codegen backends need branch statistics from training data.
+  // The CAGS codegen backends need branch statistics from training data
+  // (score models route jit:* to the interpreter fallback, no stats).
   std::vector<trees::BranchStats> stats;
-  if (engine_name.rfind("jit:cags", 0) == 0) {
+  if (model.is_vote() && engine_name.rfind("jit:cags", 0) == 0) {
     if (stats_csv.empty()) {
       throw std::invalid_argument(
           "--engine " + engine_name + " needs --train-data <csv> for branch statistics");
     }
     const auto train = data::load_csv<float>(stats_csv);
-    if (train.cols() < forest.feature_count()) {
+    if (train.cols() < model.forest.feature_count()) {
       throw std::invalid_argument(
           "--train-data has fewer features than the model");
     }
-    stats = trees::collect_branch_stats(forest, train);
+    stats = trees::collect_branch_stats(model.forest, train);
     popt.branch_stats = stats;
   }
-  if (dataset.cols() < forest.feature_count()) {
+  if (dataset.cols() < model.forest.feature_count()) {
     throw std::invalid_argument("data has fewer features than the model");
   }
 
-  const auto predictor = predict::make_predictor(forest, engine_name, popt);
+  const auto predictor = predict::make_predictor(model, engine_name, popt);
+  if (output_mode == "scores") {
+    const auto k = static_cast<std::size_t>(predictor->num_outputs());
+    std::vector<float> scores(dataset.rows() * k);
+    predictor->predict_scores(dataset, scores);
+    out.precision(9);  // round-trip float precision for downstream diffing
+    for (std::size_t r = 0; r < dataset.rows(); ++r) {
+      for (std::size_t j = 0; j < k; ++j) {
+        out << (j ? "," : "") << scores[r * k + j];
+      }
+      out << "\n";
+    }
+    out << "scored " << dataset.rows() << " rows x " << k
+        << " outputs (engine: " << predictor->name() << ")\n";
+    return 0;
+  }
   std::vector<std::int32_t> predictions(dataset.rows());
   predictor->predict_batch(dataset, predictions);
 
@@ -203,6 +242,39 @@ int cmd_predict(const Args& args, std::ostream& out) {
   out << "accuracy " << (static_cast<double>(hits) /
                          static_cast<double>(dataset.rows()))
       << " over " << dataset.rows() << " rows (engine: " << engine_name << ")\n";
+  return 0;
+}
+
+int cmd_convert(const Args& args, std::ostream& out) {
+  const std::string in_path = args.require("in");
+  const std::string out_path = args.require("out");
+  const std::string format_name = args.get("format", "auto");
+  args.check_all_used();
+  model::ForestModel<float> model;
+  if (format_name == "auto") {
+    model = model::load_external_model<float>(in_path);
+  } else if (format_name == "native") {
+    model = model::load_external_model<float>(in_path,
+                                              model::ModelFormat::Native);
+  } else if (format_name == "xgboost-json") {
+    model = model::load_external_model<float>(in_path,
+                                              model::ModelFormat::XgboostJson);
+  } else if (format_name == "lightgbm-text") {
+    model = model::load_external_model<float>(
+        in_path, model::ModelFormat::LightgbmText);
+  } else if (format_name == "sklearn-json") {
+    model = model::load_external_model<float>(in_path,
+                                              model::ModelFormat::SklearnJson);
+  } else {
+    throw std::invalid_argument(
+        "unknown --format '" + format_name +
+        "' (auto|native|xgboost-json|lightgbm-text|sklearn-json)");
+  }
+  model::save_model(out_path, model);
+  out << "converted " << model.describe() << ", "
+      << model.forest.total_nodes() << " nodes, "
+      << model.forest.feature_count() << " features\n"
+      << "model saved to " << out_path << "\n";
   return 0;
 }
 
@@ -332,9 +404,14 @@ int cmd_serve(const Args& args, std::istream& in, std::ostream& out) {
   popt.threads = static_cast<unsigned>(threads);
   popt.block_size = static_cast<std::size_t>(batch);
   const auto load = [&](const std::string& path) -> serve::PredictorPtr {
-    const auto forest = trees::load_forest<float>(path);
+    const auto model = model::load_any_model<float>(path);
+    if (!model.is_classifier()) {
+      throw std::invalid_argument(
+          "serve needs a classifier; '" + model.describe() +
+          "' is a regression model (score serving: predict --output scores)");
+    }
     return serve::PredictorPtr(
-        predict::make_predictor(forest, engine_name, popt));
+        predict::make_predictor(model, engine_name, popt));
   };
 
   serve::ServeOptions sopt;
@@ -395,11 +472,19 @@ int cmd_serve(const Args& args, std::istream& in, std::ostream& out) {
 }
 
 int cmd_inspect(const Args& args, std::ostream& out) {
-  const auto forest = trees::load_forest<float>(args.require("model"));
+  const auto model = model::load_any_model<float>(args.require("model"));
   args.check_all_used();
-  out << "forest: " << forest.size() << " trees, " << forest.num_classes()
+  const auto& forest = model.forest;
+  out << "model: " << model.describe() << "\n"
+      << "forest: " << forest.size() << " trees, "
+      << (model.is_vote() ? forest.num_classes() : model.num_classes())
       << " classes, " << forest.feature_count() << " features, "
       << forest.total_nodes() << " nodes\n";
+  if (!model.is_vote()) {
+    out << "leaf values: " << model.leaf_rows() << " rows x "
+        << model.n_outputs << " outputs, link "
+        << model::to_string(model.aggregation.link) << "\n";
+  }
   for (std::size_t t = 0; t < forest.size(); ++t) {
     const auto shape = trees::tree_shape(forest.tree(t));
     out << "  tree " << t << ": " << shape.nodes << " nodes, " << shape.leaves
@@ -423,9 +508,17 @@ std::string usage() {
       "           [--rows N] [--seed N]\n"
       "  train    --data <csv> --out <model> [--trees N] [--depth N]\n"
       "           [--seed N] [--features sqrt|all]\n"
+      "  convert  --in <model-file> --out <model>\n"
+      "           [--format auto|native|xgboost-json|lightgbm-text|\n"
+      "                     sklearn-json]\n"
+      "           imports an externally trained ensemble (XGBoost JSON\n"
+      "           dump, LightGBM text model, sklearn-forest JSON) into the\n"
+      "           native v2 format with bit-exact thresholds; 'auto'\n"
+      "           sniffs the format from content (docs/MODEL_FORMATS.md)\n"
       "  predict  --model <model> --data <csv>\n"
       "           [--engine <backend>] [--threads N] [--batch N]\n"
-      "           [--labels yes|no] [--train-data <csv>]\n"
+      "           [--labels yes|no] [--output classes|scores]\n"
+      "           [--train-data <csv>]\n"
       "           backends: reference float flint encoded theorem1 theorem2\n"
       "                     radix simd:flint simd:float\n"
       "                     layout:auto layout:c16 layout:c8\n"
@@ -433,8 +526,11 @@ std::string usage() {
       "                     jit:native-{float,flint} jit:cags-{float,flint}\n"
       "                     jit:asm-x86\n"
       "           (--threads 0 = all cores; --batch = samples per cache\n"
-      "           block; jit:cags-* needs --train-data; see\n"
-      "           docs/ARCHITECTURE.md)\n"
+      "           block; jit:cags-* needs --train-data; --output scores\n"
+      "           prints per-sample score vectors for additive leaf-value\n"
+      "           models — GBDT margins/probabilities, soft-vote averages,\n"
+      "           regression values; see docs/ARCHITECTURE.md and\n"
+      "           docs/MODEL_FORMATS.md)\n"
       "  serve    --model <model> [--engine <backend>] [--max-batch N]\n"
       "           [--max-delay-us N] [--workers N] [--threads N] [--batch N]\n"
       "           long-lived micro-batching server over a stdin line\n"
@@ -460,6 +556,7 @@ int run(std::span<const std::string> args, std::istream& in,
     const Args parsed(rest);
     if (command == "gen") return cmd_gen(parsed, out);
     if (command == "train") return cmd_train(parsed, out);
+    if (command == "convert") return cmd_convert(parsed, out);
     if (command == "predict") return cmd_predict(parsed, out);
     if (command == "serve") return cmd_serve(parsed, in, out);
     if (command == "codegen") return cmd_codegen(parsed, out);

@@ -235,27 +235,30 @@ namespace {
 /// from five parallel arrays).
 constexpr std::size_t kBlockLockstep = 16;
 
-/// Blocked batch: remap a block of samples to narrow keys once, then
-/// stream each tree's node array across the whole block, kBlockLockstep
-/// samples in flight at a time.
-template <bool Prefetch, typename T, typename Node>
-void predict_blocked(const CompactForest<T, Node>& f, std::size_t block_size,
-                     const T* features, std::size_t n_samples,
-                     std::int32_t* out) {
+/// Blocked remap + lockstep traversal shared by the vote and score
+/// epilogues: remap a block of samples to narrow keys once, then stream
+/// each tree's node array across the whole block, kBlockLockstep samples
+/// in flight at a time.  `block_begin(base, block)` / `block_end(base,
+/// block)` bracket each block; `on_leaf(global_sample, local_sample,
+/// leaf_key)` fires once per (tree, sample) with the converged leaf's key
+/// payload.
+template <bool Prefetch, typename T, typename Node, typename BlockBegin,
+          typename OnLeaf, typename BlockEnd>
+void blocked_traverse(const CompactForest<T, Node>& f, std::size_t block_size,
+                      const T* features, std::size_t n_samples,
+                      BlockBegin&& block_begin, OnLeaf&& on_leaf,
+                      BlockEnd&& block_end) {
   using Key = typename CompactForest<T, Node>::Key;
   const std::size_t cols = f.feature_count;
-  const auto classes = static_cast<std::size_t>(std::max(f.num_classes, 1));
   const std::size_t trees = f.roots.size();
   const Node* nodes = f.nodes.data();
-  std::vector<int> votes(block_size * classes);
   std::vector<Key> keys(block_size * cols);
   for (std::size_t base = 0; base < n_samples; base += block_size) {
     const std::size_t block = std::min(block_size, n_samples - base);
+    block_begin(base, block);
     for (std::size_t s = 0; s < block; ++s) {
       f.remap(features + (base + s) * cols, keys.data() + s * cols);
     }
-    std::fill(votes.begin(), votes.begin() + static_cast<std::ptrdiff_t>(
-                                                 block * classes), 0);
     for (std::size_t t = 0; t < trees; ++t) {
       const std::int32_t root = f.roots[t];
       for (std::size_t s0 = 0; s0 < block; s0 += kBlockLockstep) {
@@ -287,17 +290,38 @@ void predict_blocked(const CompactForest<T, Node>& f, std::size_t block_size,
           }
         }
         for (std::size_t r = 0; r < g; ++r) {
-          ++votes[(s0 + r) * classes +
-                  static_cast<std::size_t>(
-                      static_cast<std::int32_t>(nodes[cur[r]].key))];
+          on_leaf(base + s0 + r, s0 + r,
+                  static_cast<std::int32_t>(nodes[cur[r]].key));
         }
       }
     }
-    for (std::size_t s = 0; s < block; ++s) {
-      out[base + s] = argmax_first(votes.data() + s * classes,
-                                   static_cast<int>(classes));
-    }
+    block_end(base, block);
   }
+}
+
+/// Vote epilogue over the blocked traversal.
+template <bool Prefetch, typename T, typename Node>
+void predict_blocked(const CompactForest<T, Node>& f, std::size_t block_size,
+                     const T* features, std::size_t n_samples,
+                     std::int32_t* out) {
+  const auto classes = static_cast<std::size_t>(std::max(f.num_classes, 1));
+  std::vector<int> votes(block_size * classes);
+  blocked_traverse<Prefetch>(
+      f, block_size, features, n_samples,
+      [&](std::size_t, std::size_t block) {
+        std::fill(votes.begin(),
+                  votes.begin() + static_cast<std::ptrdiff_t>(block * classes),
+                  0);
+      },
+      [&](std::size_t, std::size_t s, std::int32_t key) {
+        ++votes[s * classes + static_cast<std::size_t>(key)];
+      },
+      [&](std::size_t base, std::size_t block) {
+        for (std::size_t s = 0; s < block; ++s) {
+          out[base + s] = argmax_first(votes.data() + s * classes,
+                                       static_cast<int>(classes));
+        }
+      });
 }
 
 /// Interleaved latency path: R trees of ONE sample advance in lockstep, so
@@ -381,6 +405,27 @@ void predict_blocked_avx2(const CompactForest<T, Node>& f,
   }
 }
 #endif  // FLINT_SIMD_AVX2
+
+/// Float-accumulate epilogue over the same blocked traversal: each lane's
+/// leaf key indexes a leaf-value row added into the sample's score row.
+/// The tree loop stays outermost, so every sample accumulates in tree
+/// order — the same summation order as the reference per-tree loop
+/// (docs/MODEL_FORMATS.md "Numerical contract").  `out` rows are
+/// pre-initialized by the caller.
+template <bool Prefetch, typename T, typename Node>
+void score_blocked(const CompactForest<T, Node>& f, std::size_t block_size,
+                   const T* features, std::size_t n_samples,
+                   const T* leaf_values, std::size_t n_outputs, T* out) {
+  blocked_traverse<Prefetch>(
+      f, block_size, features, n_samples,
+      [](std::size_t, std::size_t) {},
+      [&](std::size_t global, std::size_t, std::int32_t key) {
+        const T* lv = leaf_values + static_cast<std::size_t>(key) * n_outputs;
+        T* srow = out + global * n_outputs;
+        for (std::size_t j = 0; j < n_outputs; ++j) srow[j] += lv[j];
+      },
+      [](std::size_t, std::size_t) {});
+}
 
 /// Batches below this take the interleaved path (blocked amortization has
 /// nothing to amortize over).
@@ -488,6 +533,41 @@ void LayoutForestEngine<T>::predict_batch(const T* features,
   std::visit(
       [&](const auto& packed) {
         predict_batch_impl(packed, plan_, features, n_samples, out);
+      },
+      packed_);
+}
+
+template <typename T>
+void LayoutForestEngine<T>::predict_scores(const T* features,
+                                           std::size_t n_samples,
+                                           std::span<const T> leaf_values,
+                                           std::size_t n_outputs,
+                                           std::span<const T> base,
+                                           T* out) const {
+  if (n_samples == 0) return;
+  if (n_outputs == 0 || leaf_values.size() % n_outputs != 0) {
+    throw std::invalid_argument(
+        "LayoutForestEngine::predict_scores: leaf_values is not a multiple "
+        "of n_outputs");
+  }
+  if (!base.empty() && base.size() != n_outputs) {
+    throw std::invalid_argument(
+        "LayoutForestEngine::predict_scores: base size mismatch");
+  }
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    for (std::size_t j = 0; j < n_outputs; ++j) {
+      out[s * n_outputs + j] = base.empty() ? T{0} : base[j];
+    }
+  }
+  std::visit(
+      [&](const auto& packed) {
+        if (plan_.prefetch_opposite) {
+          score_blocked<true>(packed, plan_.block_size, features, n_samples,
+                              leaf_values.data(), n_outputs, out);
+        } else {
+          score_blocked<false>(packed, plan_.block_size, features, n_samples,
+                               leaf_values.data(), n_outputs, out);
+        }
       },
       packed_);
 }

@@ -170,6 +170,19 @@ class LayoutForestEngine {
   void predict_batch(const T* features, std::size_t n_samples,
                      std::int32_t* out) const;
 
+  /// Float-accumulate epilogue for additive leaf-value models
+  /// (model/forest_model.hpp): each leaf's compact `key` payload indexes a
+  /// row of `leaf_values` (`n_outputs` values per row) and
+  /// `out[s*n_outputs+j]` becomes base[j] (zeros when `base` is empty)
+  /// plus the sum of the rows the sample's trees land on, accumulated in
+  /// tree order over the same remapped-key blocked lockstep traversal as
+  /// predict_batch.  Row indices must fit the packed key width — the same
+  /// pack-time gate that bounds class ids.  Thread-safe; zero samples =
+  /// no-op.
+  void predict_scores(const T* features, std::size_t n_samples,
+                      std::span<const T> leaf_values, std::size_t n_outputs,
+                      std::span<const T> base, T* out) const;
+
   /// Majority-vote class for one sample (interleaved lockstep traversal).
   [[nodiscard]] std::int32_t predict(std::span<const T> x) const;
 

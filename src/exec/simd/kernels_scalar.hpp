@@ -22,16 +22,49 @@
 
 namespace flint::exec::simd {
 
+/// One tile of W lanes stepped through one tree until every lane rests on
+/// its self-looping leaf; `idx[l]` holds each lane's final node index.
+/// `Flint` selects the unified integer compare (see soa.hpp); otherwise
+/// hardware float `<=`.  The traversal shared by the vote and score
+/// kernels below.
+template <typename T, std::size_t W, bool Flint>
+inline void traverse_tile_scalar(const SoaForest<T>& f, const T* x,
+                                 std::int32_t root, std::int32_t (&idx)[W]) {
+  using Signed = typename core::FloatTraits<T>::Signed;
+  for (std::size_t l = 0; l < W; ++l) idx[l] = root;
+  while (true) {
+    std::int32_t feat[W];
+    bool any_inner = false;
+    for (std::size_t l = 0; l < W; ++l) {
+      feat[l] = f.feature[static_cast<std::size_t>(idx[l])];
+      any_inner |= feat[l] >= 0;
+    }
+    if (!any_inner) break;
+    for (std::size_t l = 0; l < W; ++l) {
+      const auto node = static_cast<std::size_t>(idx[l]);
+      // Leaf lanes read feature column 0 (any valid column) and then
+      // self-loop via left == right == node; see soa.hpp.
+      const auto fi = static_cast<std::size_t>(feat[l] < 0 ? 0 : feat[l]);
+      bool go_left;
+      if constexpr (Flint) {
+        const Signed xi = core::si_bits(x[fi * W + l]);
+        go_left = (xi ^ f.xor_mask[node]) <= f.threshold[node];
+      } else {
+        go_left = x[fi * W + l] <= f.split[node];
+      }
+      idx[l] = go_left ? f.left[node] : f.right[node];
+    }
+  }
+}
+
 /// Runs every tree of `f` over `n_tiles` feature-major tiles of W lanes and
 /// accumulates per-lane votes: votes[(t*W + l) * num_classes + c] gains one
 /// count per tree that classifies lane l of tile t as class c.  The caller
-/// zero-initializes `votes` and computes the argmax.  `Flint` selects the
-/// unified integer compare (see soa.hpp); otherwise hardware float `<=`.
-/// Thread-safe: touches only its arguments.
+/// zero-initializes `votes` and computes the argmax.  Thread-safe: touches
+/// only its arguments.
 template <typename T, std::size_t W, bool Flint>
 void predict_tiles_scalar(const SoaForest<T>& f, const T* tiles,
                           std::size_t n_tiles, int* votes) {
-  using Signed = typename core::FloatTraits<T>::Signed;
   const auto classes =
       static_cast<std::size_t>(f.num_classes < 1 ? 1 : f.num_classes);
   const std::size_t cols = f.feature_count;
@@ -40,35 +73,45 @@ void predict_tiles_scalar(const SoaForest<T>& f, const T* tiles,
     for (std::size_t tile = 0; tile < n_tiles; ++tile) {
       const T* x = tiles + tile * cols * W;
       std::int32_t idx[W];
-      for (std::size_t l = 0; l < W; ++l) idx[l] = root;
-      while (true) {
-        std::int32_t feat[W];
-        bool any_inner = false;
-        for (std::size_t l = 0; l < W; ++l) {
-          feat[l] = f.feature[static_cast<std::size_t>(idx[l])];
-          any_inner |= feat[l] >= 0;
-        }
-        if (!any_inner) break;
-        for (std::size_t l = 0; l < W; ++l) {
-          const auto node = static_cast<std::size_t>(idx[l]);
-          // Leaf lanes read feature column 0 (any valid column) and then
-          // self-loop via left == right == node; see soa.hpp.
-          const auto fi = static_cast<std::size_t>(feat[l] < 0 ? 0 : feat[l]);
-          bool go_left;
-          if constexpr (Flint) {
-            const Signed xi = core::si_bits(x[fi * W + l]);
-            go_left = (xi ^ f.xor_mask[node]) <= f.threshold[node];
-          } else {
-            go_left = x[fi * W + l] <= f.split[node];
-          }
-          idx[l] = go_left ? f.left[node] : f.right[node];
-        }
-      }
+      traverse_tile_scalar<T, W, Flint>(f, x, root, idx);
       int* vrow = votes + tile * W * classes;
       for (std::size_t l = 0; l < W; ++l) {
         const auto c = static_cast<std::size_t>(
             f.threshold[static_cast<std::size_t>(idx[l])]);
         ++vrow[l * classes + c];
+      }
+    }
+  }
+}
+
+/// Float-accumulate epilogue of the same lockstep traversal: instead of
+/// voting, each lane's leaf payload indexes a row of `leaf_values`
+/// (n_outputs values per row; see model/forest_model.hpp) which is added
+/// into the lane's score row.  The tree loop is outermost, so every
+/// sample's scores accumulate in tree order — the same summation order as
+/// the reference per-tree loop, which keeps backends bit-identical on
+/// identical inputs (docs/MODEL_FORMATS.md "Numerical contract").  The
+/// caller initializes `scores` (base offsets or zeros).  Thread-safe:
+/// touches only its arguments.
+template <typename T, std::size_t W, bool Flint>
+void score_tiles_scalar(const SoaForest<T>& f, const T* tiles,
+                        std::size_t n_tiles, const T* leaf_values,
+                        std::size_t n_outputs, T* scores) {
+  const std::size_t cols = f.feature_count;
+  for (std::size_t t = 0; t < f.tree_count(); ++t) {
+    const std::int32_t root = f.roots[t];
+    for (std::size_t tile = 0; tile < n_tiles; ++tile) {
+      const T* x = tiles + tile * cols * W;
+      std::int32_t idx[W];
+      traverse_tile_scalar<T, W, Flint>(f, x, root, idx);
+      T* srow = scores + tile * W * n_outputs;
+      for (std::size_t l = 0; l < W; ++l) {
+        const auto row = static_cast<std::size_t>(
+            f.threshold[static_cast<std::size_t>(idx[l])]);
+        const T* lv = leaf_values + row * n_outputs;
+        for (std::size_t j = 0; j < n_outputs; ++j) {
+          srow[l * n_outputs + j] += lv[j];
+        }
       }
     }
   }

@@ -1,6 +1,7 @@
 #include "exec/simd/simd_engine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <type_traits>
 #include <vector>
 
@@ -80,6 +81,57 @@ void SimdForestEngine<T>::predict_batch(const T* features,
       }
       out[base + s] = best;
     }
+  }
+}
+
+template <typename T>
+void SimdForestEngine<T>::predict_scores(const T* features,
+                                         std::size_t n_samples,
+                                         std::span<const T> leaf_values,
+                                         std::size_t n_outputs,
+                                         std::span<const T> base,
+                                         T* out) const {
+  if (n_samples == 0) return;
+  if (n_outputs == 0 || leaf_values.size() % n_outputs != 0) {
+    throw std::invalid_argument(
+        "SimdForestEngine::predict_scores: leaf_values is not a multiple of "
+        "n_outputs");
+  }
+  if (!base.empty() && base.size() != n_outputs) {
+    throw std::invalid_argument(
+        "SimdForestEngine::predict_scores: base size mismatch");
+  }
+  // The score path always runs the width-generic scalar lockstep kernel:
+  // the vector kernels' vote epilogue does not apply, and the fixed width
+  // keeps the accumulation order identical on every host.
+  constexpr std::size_t W = kScalarWidth<T>;
+  const std::size_t cols = soa_.feature_count;
+  const std::size_t block_tiles =
+      std::max<std::size_t>(1, (block_tiles_ * width_ + W - 1) / W);
+  const std::size_t block_samples = block_tiles * W;
+  std::vector<T> tiles(block_tiles * cols * W);
+  std::vector<T> scores(block_samples * n_outputs);
+  for (std::size_t b = 0; b < n_samples; b += block_samples) {
+    const std::size_t count = std::min(block_samples, n_samples - b);
+    const std::size_t n_tiles = (count + W - 1) / W;
+    transpose_tiles(features + b * cols, count, cols, W, tiles.data());
+    for (std::size_t s = 0; s < n_tiles * W; ++s) {
+      for (std::size_t j = 0; j < n_outputs; ++j) {
+        scores[s * n_outputs + j] = base.empty() ? T{0} : base[j];
+      }
+    }
+    if (mode_ == SimdMode::Flint) {
+      score_tiles_scalar<T, W, true>(soa_, tiles.data(), n_tiles,
+                                     leaf_values.data(), n_outputs,
+                                     scores.data());
+    } else {
+      score_tiles_scalar<T, W, false>(soa_, tiles.data(), n_tiles,
+                                      leaf_values.data(), n_outputs,
+                                      scores.data());
+    }
+    std::copy(scores.begin(),
+              scores.begin() + static_cast<std::ptrdiff_t>(count * n_outputs),
+              out + b * n_outputs);
   }
 }
 

@@ -66,6 +66,17 @@ class SimdForestEngine {
   void predict_batch(const T* features, std::size_t n_samples,
                      std::int32_t* out) const;
 
+  /// Float-accumulate epilogue for additive leaf-value models
+  /// (model/forest_model.hpp): every leaf payload indexes a row of
+  /// `leaf_values` (`n_outputs` values per row), and `out[s*n_outputs+j]`
+  /// becomes base[j] (zeros when `base` is empty) plus the sum of the rows
+  /// the sample's trees land on, accumulated in tree order.  Runs the
+  /// width-generic scalar lockstep kernel at the same unified FLInt /
+  /// float compare as predict_batch.  Thread-safe; zero samples = no-op.
+  void predict_scores(const T* features, std::size_t n_samples,
+                      std::span<const T> leaf_values, std::size_t n_outputs,
+                      std::span<const T> base, T* out) const;
+
   /// Majority-vote class for one sample (a batch of one).
   [[nodiscard]] std::int32_t predict(std::span<const T> x) const;
 

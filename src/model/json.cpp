@@ -1,0 +1,335 @@
+#include "model/json.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace flint::model {
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) {
+    throw std::runtime_error(std::string("json: expected bool, got ") +
+                             kind_name());
+  }
+  return bool_;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::Number) {
+    throw std::runtime_error(std::string("json: expected number, got ") +
+                             kind_name());
+  }
+  return number_;
+}
+
+long long JsonValue::as_int() const {
+  const double d = as_double();
+  const auto i = static_cast<long long>(d);
+  if (static_cast<double>(i) != d) {
+    throw std::runtime_error("json: expected integer, got '" + string_ + "'");
+  }
+  return i;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) {
+    throw std::runtime_error(std::string("json: expected string, got ") +
+                             kind_name());
+  }
+  return string_;
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (kind_ != Kind::Array) {
+    throw std::runtime_error(std::string("json: expected array, got ") +
+                             kind_name());
+  }
+  return *array_;
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (kind_ != Kind::Object) {
+    throw std::runtime_error(std::string("json: expected object, got ") +
+                             kind_name());
+  }
+  return *object_;
+}
+
+const std::string& JsonValue::raw_number() const {
+  if (kind_ != Kind::Number) {
+    throw std::runtime_error(std::string("json: expected number, got ") +
+                             kind_name());
+  }
+  return string_;
+}
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const JsonValue* v = get(key);
+  if (!v) throw std::runtime_error("json: missing key '" + key + "'");
+  return *v;
+}
+
+const char* JsonValue::kind_name() const noexcept {
+  switch (kind_) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return "bool";
+    case Kind::Number: return "number";
+    case Kind::String: return "string";
+    case Kind::Array: return "array";
+    case Kind::Object: return "object";
+  }
+  return "?";
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw std::runtime_error("json: " + std::to_string(line) + ":" +
+                             std::to_string(col) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "', got '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    // Depth bound: malformed input ("[[[[..." repeated) must throw, not
+    // exhaust the stack.  512 is far beyond any real model dump's nesting.
+    if (++depth_ > 512) fail("nesting deeper than 512 levels");
+    JsonValue v = parse_value_inner();
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_value_inner() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::String;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't':
+        if (consume_literal("true")) {
+          JsonValue v;
+          v.kind_ = JsonValue::Kind::Bool;
+          v.bool_ = true;
+          return v;
+        }
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) {
+          JsonValue v;
+          v.kind_ = JsonValue::Kind::Bool;
+          v.bool_ = false;
+          return v;
+        }
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return {};
+        // "nan" is not valid JSON; model dumpers write NaN (handled below).
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject fields;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+    } else {
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        fields[std::move(key)] = parse_value();
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        break;
+      }
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::Object;
+    v.object_ = std::make_shared<const JsonObject>(std::move(fields));
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+    } else {
+      while (true) {
+        items.push_back(parse_value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        break;
+      }
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::Array;
+    v.array_ = std::make_shared<const JsonArray>(std::move(items));
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          // Minimal UTF-8 encoding; surrogate pairs are not reassembled
+          // (feature names never need them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    // NaN / Infinity / -Infinity: emitted by some model dumpers.
+    if (consume_literal("NaN") || consume_literal("Infinity") ||
+        consume_literal("-Infinity") || consume_literal("nan") ||
+        consume_literal("inf") || consume_literal("-inf")) {
+      const std::string token = text_.substr(start, pos_ - start);
+      JsonValue v;
+      v.kind_ = JsonValue::Kind::Number;
+      v.string_ = token;
+      v.number_ = std::strtod(token.c_str(), nullptr);
+      return v;
+    }
+    // Decimal or hex-float token: delegate validation to strtod, then check
+    // the consumed span is exactly one token.
+    const char* begin = text_.c_str() + start;
+    char* end = nullptr;
+    const double d = std::strtod(begin, &end);
+    if (end == begin) fail("expected a value");
+    pos_ = start + static_cast<std::size_t>(end - begin);
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::Number;
+    v.number_ = d;
+    v.string_ = text_.substr(start, pos_ - start);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
+};
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+}  // namespace flint::model

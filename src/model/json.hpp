@@ -1,0 +1,87 @@
+// model/json — minimal recursive-descent JSON reader for the external-model
+// loaders (XGBoost dumps, sklearn exports).
+//
+// Two deliberate deviations from a general-purpose JSON library:
+//
+//   * numbers keep their RAW TOKEN alongside the parsed double.  Bit-exact
+//     threshold ingestion (docs/MODEL_FORMATS.md) re-parses the token with
+//     strtof/strtod at the loader's precision, so a producer that prints
+//     round-trip decimals (or hex floats) is recovered to the exact stored
+//     bits — parsing to double first and narrowing would double-round.
+//   * hex-float literals (0x1.99999ap-4) and the special tokens
+//     NaN/Infinity/-Infinity are accepted where a number is expected.
+//     Strict JSON cannot carry them, but model dumpers emit them and the
+//     loaders want to reject NaN thresholds with a real message instead of
+//     a parse error.
+//
+// The reader is strict about everything else (UTF-8 passes through opaque)
+// and reports 1-based line/column positions on malformed input.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace flint::model {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// std::map, not unordered: deterministic iteration keeps loader error
+/// messages and tests stable.
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// One parsed JSON value.  Arrays/objects own their children; the tree is
+/// immutable after parse_json returns.
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_number() const noexcept { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const noexcept { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const noexcept { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const noexcept { return kind_ == Kind::Object; }
+
+  /// Value accessors; each throws std::runtime_error naming the actual kind
+  /// when the value is not of the requested kind.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  /// Checked integer narrowing: throws when the number has a fractional
+  /// part or does not fit.
+  [[nodiscard]] long long as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+  /// Raw number token exactly as it appeared in the input ("0.1",
+  /// "0x1.99999ap-4", "-Infinity").  Only valid for numbers.
+  [[nodiscard]] const std::string& raw_number() const;
+
+  /// Object field lookup: get() returns nullptr when absent, at() throws
+  /// std::runtime_error naming the missing key.
+  [[nodiscard]] const JsonValue* get(const std::string& key) const;
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+
+  [[nodiscard]] const char* kind_name() const noexcept;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;  ///< String payload, or the raw token for numbers
+  std::shared_ptr<const JsonArray> array_;
+  std::shared_ptr<const JsonObject> object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected).  Throws std::runtime_error with a 1-based line:column position
+/// on malformed input.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+}  // namespace flint::model

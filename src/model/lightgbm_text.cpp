@@ -1,0 +1,287 @@
+// LightGBM text-model ingestion (docs/MODEL_FORMATS.md "LightGBM").
+//
+// Source shape: Booster.save_model() output — a key=value header block
+// followed by one "Tree=N" block per tree whose node structure is six
+// parallel arrays over internal nodes (split_feature / threshold /
+// decision_type / left_child / right_child) plus leaf_value; child entries
+// >= 0 index internal nodes, negative entries encode leaf index -(v)-1.
+//
+// LightGBM's numerical decision is `x <= threshold` — exactly this repo's
+// rule, no transform needed.  Thresholds are float64-native: parsed with
+// strtod and, for ForestModel<float>, narrowed round-toward-minus-infinity
+// (exact on float inputs; loaders.hpp).  Categorical splits are rejected.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "model/loader_util.hpp"
+#include "model/loaders.hpp"
+
+namespace flint::model {
+
+namespace {
+
+using detail::load_fail;
+
+/// One key=value block ("tree" header or a Tree=N section).
+using Block = std::map<std::string, std::string>;
+
+std::vector<std::string> split_tokens(const std::string& s) {
+  std::istringstream is(s);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Full-token integer parse with loader context ("3junk" is rejected, and
+/// a corrupt token names the tree/array it sits in instead of "stol").
+long parse_long(const std::string& token, const std::string& where,
+                const std::string& what) {
+  std::size_t pos = 0;
+  try {
+    const long v = std::stol(token, &pos);
+    if (pos == token.size() && !token.empty()) return v;
+  } catch (const std::exception&) {
+  }
+  load_fail(where, "bad " + what + " '" + token + "'");
+}
+
+long require_long(const Block& block, const std::string& key,
+                  const std::string& where) {
+  const auto it = block.find(key);
+  if (it == block.end()) load_fail(where, "missing " + key + "=");
+  return parse_long(it->second, where, key);
+}
+
+template <typename T>
+trees::Tree<T> build_tree(const Block& block, std::size_t feature_count,
+                          std::int32_t base_row, std::size_t& n_leaves_out,
+                          const std::string& where) {
+  const long num_leaves = require_long(block, "num_leaves", where);
+  if (num_leaves < 1) load_fail(where, "num_leaves < 1");
+  n_leaves_out = static_cast<std::size_t>(num_leaves);
+  trees::Tree<T> tree(feature_count);
+  if (num_leaves == 1) {
+    // Single-leaf tree (LightGBM emits these when a boosting round finds
+    // no useful split); payload is this tree's only leaf-value row.
+    tree.add_leaf(base_row);
+    return tree;
+  }
+  const long n_inner = num_leaves - 1;
+  auto arr = [&](const std::string& key) {
+    const auto it = block.find(key);
+    if (it == block.end()) load_fail(where, "missing " + key + "=");
+    auto tokens = split_tokens(it->second);
+    if (tokens.size() != static_cast<std::size_t>(n_inner)) {
+      load_fail(where, key + " has " + std::to_string(tokens.size()) +
+                           " entries, expected " + std::to_string(n_inner));
+    }
+    return tokens;
+  };
+  const auto split_feature = arr("split_feature");
+  const auto threshold = arr("threshold");
+  const auto left_child = arr("left_child");
+  const auto right_child = arr("right_child");
+  // decision_type is optional (older dumps omit it: all-numerical).
+  std::vector<std::string> decision_type;
+  if (block.count("decision_type")) decision_type = arr("decision_type");
+
+  // Emit internal nodes 0..n_inner-1 in order, then resolve children:
+  // non-negative child = internal index, negative = leaf -(v)-1, whose
+  // payload is base_row + leaf index.
+  std::vector<std::int32_t> inner_pos(static_cast<std::size_t>(n_inner));
+  for (long i = 0; i < n_inner; ++i) {
+    const std::string node_where = where + " split " + std::to_string(i);
+    if (!decision_type.empty()) {
+      const long dt = parse_long(decision_type[static_cast<std::size_t>(i)],
+                                 node_where, "decision_type");
+      if (dt & 1) {
+        load_fail(node_where,
+                  "categorical split (FLInt orders floats; categorical "
+                  "models are not convertible)");
+      }
+      // missing_type lives in bits 2-3: None=0, Zero=1, NaN=2.  Zero means
+      // LightGBM routes x == 0.0 to the default direction REGARDLESS of
+      // the threshold — semantics a plain `x <= t` cannot express, so such
+      // models are rejected rather than silently mispredicted.  NaN
+      // routing is moot here: NaN inputs are rejected at the predictor
+      // boundary.
+      if (((dt >> 2) & 3) == 1) {
+        load_fail(node_where,
+                  "zero_as_missing split routing is not convertible "
+                  "(retrain with zero_as_missing=false)");
+      }
+    }
+    const long feature = parse_long(split_feature[static_cast<std::size_t>(i)],
+                                    node_where, "split_feature");
+    if (feature < 0 || static_cast<std::size_t>(feature) >= feature_count) {
+      load_fail(node_where, "split_feature out of range");
+    }
+    const double t = detail::parse_token_f64(
+        threshold[static_cast<std::size_t>(i)], node_where);
+    detail::check_threshold_finite(t, node_where);
+    inner_pos[static_cast<std::size_t>(i)] = tree.add_split(
+        static_cast<std::int32_t>(feature), detail::narrow_threshold_le<T>(t));
+  }
+  auto resolve = [&](const std::string& token,
+                     const std::string& node_where) -> std::int32_t {
+    const long v = parse_long(token, node_where, "child index");
+    if (v >= 0) {
+      if (v >= n_inner) load_fail(node_where, "child index out of range");
+      return inner_pos[static_cast<std::size_t>(v)];
+    }
+    const long leaf = -v - 1;
+    if (leaf >= num_leaves) load_fail(node_where, "leaf index out of range");
+    return tree.add_leaf(base_row + static_cast<std::int32_t>(leaf));
+  };
+  for (long i = 0; i < n_inner; ++i) {
+    const std::string node_where = where + " split " + std::to_string(i);
+    const std::int32_t left =
+        resolve(left_child[static_cast<std::size_t>(i)], node_where);
+    const std::int32_t right =
+        resolve(right_child[static_cast<std::size_t>(i)], node_where);
+    tree.link(inner_pos[static_cast<std::size_t>(i)], left, right);
+  }
+  return tree;
+}
+
+}  // namespace
+
+template <typename T>
+ForestModel<T> load_lightgbm_text(const std::string& content) {
+  // Cut the file into the header block and Tree=N blocks.
+  Block header;
+  std::vector<Block> tree_blocks;
+  Block* current = &header;
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line == "tree") continue;
+    if (line.rfind("end of trees", 0) == 0) break;
+    // boosting=rf writes this bare flag: prediction is then the MEAN of
+    // tree outputs, not the sum — silently converting would be off by a
+    // factor of n_trees.
+    if (line == "average_output") {
+      load_fail("lightgbm",
+                "average_output (boosting=rf) models are not supported "
+                "(prediction is a mean, not a sum)");
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;  // prose sections (feature_importances:)
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "Tree") {
+      tree_blocks.emplace_back();
+      current = &tree_blocks.back();
+      continue;
+    }
+    (*current)[key] = value;
+  }
+  if (tree_blocks.empty()) {
+    load_fail("lightgbm", "no Tree= blocks found");
+  }
+  // linear_tree leaves predict leaf_const + sum(leaf_coeff * x); the plain
+  // leaf_value array the converter reads is only half the model.
+  if (const auto it = header.find("linear_tree");
+      it != header.end() && it->second != "0") {
+    load_fail("lightgbm", "linear_tree models are not supported "
+                          "(leaves carry linear functions, not constants)");
+  }
+  const long max_feature_idx = require_long(header, "max_feature_idx", "lightgbm");
+  if (max_feature_idx < 0) load_fail("lightgbm", "max_feature_idx < 0");
+  const std::size_t feature_count =
+      static_cast<std::size_t>(max_feature_idx) + 1;
+  long num_class = 1;
+  if (header.count("num_class")) {
+    num_class = require_long(header, "num_class", "lightgbm");
+  }
+  std::string objective = "regression";
+  if (const auto it = header.find("objective"); it != header.end()) {
+    objective = it->second;
+  }
+
+  Link link = Link::None;
+  int k = 1;
+  if (objective.rfind("binary", 0) == 0) {
+    // LightGBM predicts 1/(1+exp(-sigmoid*score)); our Link::Sigmoid has
+    // no scale parameter, so anything but the default sigmoid=1 would
+    // silently change every probability — reject it like multiclassova.
+    const std::size_t param = objective.find("sigmoid:");
+    if (param != std::string::npos) {
+      const std::string value =
+          objective.substr(param + 8, objective.find(' ', param) - (param + 8));
+      if (detail::parse_token_f64(value, "lightgbm objective") != 1.0) {
+        load_fail("lightgbm", "binary objective with sigmoid=" + value +
+                                  " is not supported (only sigmoid=1)");
+      }
+    }
+    link = Link::Sigmoid;
+    k = 1;
+  } else if (objective.rfind("multiclassova", 0) == 0) {
+    load_fail("lightgbm", "multiclassova (one-vs-all) is not supported; "
+                          "train with objective=multiclass");
+  } else if (objective.rfind("multiclass", 0) == 0) {
+    if (num_class < 2) load_fail("lightgbm", "multiclass needs num_class >= 2");
+    if (tree_blocks.size() % static_cast<std::size_t>(num_class) != 0) {
+      load_fail("lightgbm",
+                std::to_string(tree_blocks.size()) + " trees is not a "
+                "multiple of num_class " + std::to_string(num_class) +
+                " (round-robin class assignment would scramble outputs)");
+    }
+    link = Link::Softmax;
+    k = static_cast<int>(num_class);
+  } else if (objective.rfind("regression", 0) == 0 || objective.empty()) {
+    link = Link::None;
+    k = 1;
+  } else {
+    load_fail("lightgbm", "unsupported objective '" + objective +
+                              "' (regression*|binary|multiclass)");
+  }
+
+  ForestModel<T> model;
+  model.leaf_kind = k == 1 ? LeafKind::Scalar : LeafKind::ScoreVector;
+  model.aggregation.mode = AggregationMode::SumScores;
+  model.aggregation.link = link;
+  model.n_outputs = k;
+
+  std::vector<trees::Tree<T>> built;
+  built.reserve(tree_blocks.size());
+  std::int32_t next_row = 0;
+  for (std::size_t t = 0; t < tree_blocks.size(); ++t) {
+    const std::string where = "lightgbm tree " + std::to_string(t);
+    std::size_t n_leaves = 0;
+    built.push_back(build_tree<T>(tree_blocks[t], feature_count, next_row,
+                                  n_leaves, where));
+    const auto it = tree_blocks[t].find("leaf_value");
+    if (it == tree_blocks[t].end()) load_fail(where, "missing leaf_value=");
+    const auto tokens = split_tokens(it->second);
+    if (tokens.size() != n_leaves) {
+      load_fail(where, "leaf_value has " + std::to_string(tokens.size()) +
+                           " entries, expected " + std::to_string(n_leaves));
+    }
+    const int column = k == 1 ? 0 : static_cast<int>(t) % k;
+    for (const std::string& tok : tokens) {
+      const double v = detail::parse_token_f64(tok, where);
+      for (int j = 0; j < k; ++j) {
+        model.leaf_values.push_back(j == column ? detail::narrow_value<T>(v)
+                                                : T{0});
+      }
+    }
+    next_row += static_cast<std::int32_t>(n_leaves);
+  }
+  model.forest = trees::Forest<T>(std::move(built), next_row);
+
+  if (const std::string err = model.validate(); !err.empty()) {
+    load_fail("lightgbm", "converted model invalid: " + err);
+  }
+  return model;
+}
+
+template ForestModel<float> load_lightgbm_text<float>(const std::string&);
+template ForestModel<double> load_lightgbm_text<double>(const std::string&);
+
+}  // namespace flint::model

@@ -1,0 +1,83 @@
+// model/loader_util — internal helpers shared by the external-model
+// loaders: native-precision number parsing and the exact threshold
+// transforms (< to <=, float64 to float32 narrowing) documented in
+// loaders.hpp.  Not installed API; include from src/model/*.cpp only.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace flint::model::detail {
+
+[[noreturn]] inline void load_fail(const std::string& where,
+                                   const std::string& what) {
+  throw std::runtime_error("model: " + where + ": " + what);
+}
+
+/// Parses a full number token at float32 precision (strtof: one correctly
+/// rounded step from the decimal/hex text to the float, no double-rounding).
+inline float parse_token_f32(const std::string& token,
+                             const std::string& where) {
+  if (token.empty()) load_fail(where, "empty number token");
+  char* end = nullptr;
+  const float v = std::strtof(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    load_fail(where, "bad number token '" + token + "'");
+  }
+  return v;
+}
+
+/// Parses a full number token at float64 precision.
+inline double parse_token_f64(const std::string& token,
+                              const std::string& where) {
+  if (token.empty()) load_fail(where, "empty number token");
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    load_fail(where, "bad number token '" + token + "'");
+  }
+  return v;
+}
+
+/// `x < t` to `x <= pred(t)`: exact for every non-NaN value of T because
+/// no representable value lies strictly between pred(t) and t.
+template <typename T>
+[[nodiscard]] inline T lt_to_le(T t) {
+  return std::nextafter(t, -std::numeric_limits<T>::infinity());
+}
+
+/// Narrows a float64 `x <= t` threshold to T without changing any
+/// comparison outcome on T-typed inputs: round toward -infinity.  For the
+/// adjacent floats a < t < b, every float x satisfies (x <= t) == (x <= a),
+/// so the round-down choice is exact; round-to-nearest could pick b and
+/// flip the outcome at x == b.  Exact (identity) when t is representable.
+template <typename T>
+[[nodiscard]] inline T narrow_threshold_le(double t) {
+  if constexpr (sizeof(T) == 8) {
+    return t;
+  } else {
+    float f = static_cast<float>(t);
+    if (static_cast<double>(f) > t) {
+      f = std::nextafterf(f, -std::numeric_limits<float>::infinity());
+    }
+    return f;
+  }
+}
+
+/// Leaf VALUES (summands, not comparisons) narrow round-to-nearest.
+template <typename T>
+[[nodiscard]] inline T narrow_value(double v) {
+  return static_cast<T>(v);
+}
+
+inline void check_threshold_finite(double t, const std::string& where) {
+  // +-inf is rejected too: `x < -inf` has no <=-form at any precision
+  // (pred(-inf) is -inf itself, which flips the x == -inf outcome), and no
+  // trainer emits non-finite splits.
+  if (!std::isfinite(t)) load_fail(where, "non-finite split threshold");
+}
+
+}  // namespace flint::model::detail

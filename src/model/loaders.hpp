@@ -1,0 +1,94 @@
+// model/loaders — external-model ingestion into the ForestModel IR.
+//
+// Three front-ends, one contract (docs/MODEL_FORMATS.md):
+//
+//   * XGBoost JSON dump   (Booster.dump_model(..., dump_format="json"),
+//                          optionally wrapped with objective/base_score)
+//   * LightGBM text model (Booster.save_model(), the "Tree=N" blocks)
+//   * sklearn JSON export (the documented {"format":"sklearn-forest"} shape)
+//
+// Threshold ingestion is bit-exact in the sense that matters to FLInt: the
+// comparison each engine executes is EXACTLY the comparison the source
+// model defines, for every input at the model's feature precision.
+//
+//   * Number tokens are parsed at the source model's native width
+//     (strtof for XGBoost's float32 models, strtod for LightGBM/sklearn's
+//     float64), so round-trip decimals and hex floats recover the exact
+//     stored bits — no double-rounding through an intermediate type.
+//   * XGBoost's `x < t` splits become `x <= pred(t)` (the largest float
+//     below t): equivalent for every non-NaN float input, exact by the
+//     density of the format.
+//   * Loading a float64-native model into ForestModel<float> rounds each
+//     threshold toward -infinity to the nearest float: `x <= t` and
+//     `x <= round_down(t)` agree for EVERY float32 x, so narrowing is
+//     exact on float inputs even when the threshold itself is not
+//     representable.  (Leaf VALUES narrow round-to-nearest; they are
+//     summands, not comparisons, and the documented score tolerances
+//     absorb it.  Load as ForestModel<double> for bit-exact scores.)
+//
+// All loaders throw std::runtime_error naming the offending node/field on
+// malformed input, NaN or non-finite thresholds, or categorical splits
+// (FLInt is an ordering of floats; categorical models are out of scope).
+#pragma once
+
+#include <string>
+
+#include "model/forest_model.hpp"
+
+namespace flint::model {
+
+/// External formats convert accepts; Native is the repo's own v1/v2 text.
+enum class ModelFormat { Native, XgboostJson, LightgbmText, SklearnJson };
+
+[[nodiscard]] const char* to_string(ModelFormat format);
+
+/// Sniffs the format from file content (not the extension): native files
+/// start with "forest"/"tree", LightGBM text contains "Tree=" blocks, JSON
+/// documents are split on XGBoost's "nodeid"/"learner" markers vs the
+/// sklearn export's "format" tag.  Throws when nothing matches.
+[[nodiscard]] ModelFormat detect_model_format(const std::string& content);
+
+/// Parses an XGBoost JSON dump.  Accepts either the bare tree array or a
+/// wrapper object {"objective": ..., "base_score": ..., "num_class": ...,
+/// "trees": [...]} (see docs/MODEL_FORMATS.md for how the dump is
+/// produced).  `n_features` 0 means infer from the deepest feature index.
+template <typename T>
+[[nodiscard]] ForestModel<T> load_xgboost_json(const std::string& content,
+                                               std::size_t n_features = 0);
+
+/// Parses a LightGBM text model (save_model output).
+template <typename T>
+[[nodiscard]] ForestModel<T> load_lightgbm_text(const std::string& content);
+
+/// Parses the sklearn-forest JSON export.
+template <typename T>
+[[nodiscard]] ForestModel<T> load_sklearn_json(const std::string& content);
+
+/// Reads `path`, detects the format (or honors `format`), and dispatches.
+/// Native files go through model_io's load_any_model.
+template <typename T>
+[[nodiscard]] ForestModel<T> load_external_model(const std::string& path);
+template <typename T>
+[[nodiscard]] ForestModel<T> load_external_model(const std::string& path,
+                                                 ModelFormat format);
+
+extern template ForestModel<float> load_xgboost_json<float>(const std::string&,
+                                                            std::size_t);
+extern template ForestModel<double> load_xgboost_json<double>(
+    const std::string&, std::size_t);
+extern template ForestModel<float> load_lightgbm_text<float>(const std::string&);
+extern template ForestModel<double> load_lightgbm_text<double>(
+    const std::string&);
+extern template ForestModel<float> load_sklearn_json<float>(const std::string&);
+extern template ForestModel<double> load_sklearn_json<double>(
+    const std::string&);
+extern template ForestModel<float> load_external_model<float>(
+    const std::string&);
+extern template ForestModel<double> load_external_model<double>(
+    const std::string&);
+extern template ForestModel<float> load_external_model<float>(
+    const std::string&, ModelFormat);
+extern template ForestModel<double> load_external_model<double>(
+    const std::string&, ModelFormat);
+
+}  // namespace flint::model

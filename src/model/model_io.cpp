@@ -1,0 +1,278 @@
+#include "model/model_io.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+#include "trees/serialize.hpp"
+
+namespace flint::model {
+
+namespace {
+
+template <typename T>
+using BitsOf = std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>;
+
+template <typename T>
+std::string hex_bits(T v) {
+  std::ostringstream hex;
+  hex << std::hex << static_cast<std::uint64_t>(std::bit_cast<BitsOf<T>>(v));
+  return hex.str();
+}
+
+template <typename T>
+T parse_bits(trees::LineReader& reader, const std::string& token,
+             const std::string& line) {
+  return trees::parse_hex_bits<T>(reader, token, line, "value bits");
+}
+
+/// Parses a "<keyword> ..." line, failing with the keyword it wanted and
+/// the token it found.
+std::istringstream expect_keyword(trees::LineReader& reader,
+                                  const std::string& line,
+                                  const std::string& keyword) {
+  std::istringstream ls(line);
+  std::string tag;
+  if (!(ls >> tag) || tag != keyword) {
+    reader.fail("expected '" + keyword + " ...' (near '" + tag + "')", line);
+  }
+  return ls;
+}
+
+}  // namespace
+
+template <typename T>
+void write_model(std::ostream& out, const ForestModel<T>& model) {
+  out << "forest v2 " << model.forest.size() << '\n';
+  out << "kind " << to_string(model.leaf_kind) << '\n';
+  out << "agg " << to_string(model.aggregation.mode) << '\n';
+  out << "link " << to_string(model.aggregation.link) << '\n';
+  out << "outputs " << model.n_outputs << '\n';
+  out << "classes "
+      << (model.is_vote() ? model.forest.num_classes() : model.num_classes())
+      << '\n';
+  if (!model.is_vote()) {
+    if (!model.aggregation.base_score.empty()) {
+      out << "base";
+      for (const T v : model.aggregation.base_score) {
+        out << ' ' << hex_bits(v);
+      }
+      out << '\n';
+    }
+    const auto k = static_cast<std::size_t>(model.n_outputs);
+    out << "leaf_values " << model.leaf_rows() << ' ' << k << '\n';
+    for (std::size_t r = 0; r < model.leaf_rows(); ++r) {
+      out << 'v';
+      for (std::size_t j = 0; j < k; ++j) {
+        out << ' ' << hex_bits(model.leaf_values[r * k + j]);
+      }
+      out << '\n';
+    }
+  }
+  for (std::size_t t = 0; t < model.forest.size(); ++t) {
+    trees::write_tree(out, model.forest.tree(t));
+  }
+}
+
+template <typename T>
+ForestModel<T> read_model(std::istream& in) {
+  trees::LineReader reader(in);
+  const std::string header_line = reader.next();
+  std::istringstream header(header_line);
+  std::string tag, version;
+  std::size_t n_trees = 0;
+  if (!(header >> tag >> version >> n_trees) || tag != "forest" ||
+      version != "v2") {
+    reader.fail("expected 'forest v2 <trees>' header", header_line);
+  }
+
+  ForestModel<T> model;
+  {
+    std::string line = reader.next();
+    auto ls = expect_keyword(reader, line, "kind");
+    std::string kind;
+    if (!(ls >> kind)) reader.fail("missing leaf kind", line);
+    try {
+      model.leaf_kind = leaf_kind_from_string(kind);
+    } catch (const std::invalid_argument& e) {
+      reader.fail(e.what(), line);
+    }
+  }
+  {
+    std::string line = reader.next();
+    auto ls = expect_keyword(reader, line, "agg");
+    std::string mode;
+    if (!(ls >> mode)) reader.fail("missing aggregation mode", line);
+    try {
+      model.aggregation.mode = aggregation_mode_from_string(mode);
+    } catch (const std::invalid_argument& e) {
+      reader.fail(e.what(), line);
+    }
+  }
+  {
+    std::string line = reader.next();
+    auto ls = expect_keyword(reader, line, "link");
+    std::string link;
+    if (!(ls >> link)) reader.fail("missing link", line);
+    try {
+      model.aggregation.link = link_from_string(link);
+    } catch (const std::invalid_argument& e) {
+      reader.fail(e.what(), line);
+    }
+  }
+  int outputs = 0;
+  {
+    std::string line = reader.next();
+    auto ls = expect_keyword(reader, line, "outputs");
+    if (!(ls >> outputs) || outputs < 0) {
+      reader.fail("bad outputs count", line);
+    }
+    model.n_outputs = outputs;
+  }
+  int classes = 0;
+  {
+    std::string line = reader.next();
+    auto ls = expect_keyword(reader, line, "classes");
+    if (!(ls >> classes) || classes < 0) {
+      reader.fail("bad classes count", line);
+    }
+  }
+
+  std::size_t rows = 0;
+  if (model.leaf_kind != LeafKind::ClassId) {
+    std::string line = reader.next();
+    std::istringstream probe(line);
+    std::string first;
+    probe >> first;
+    if (first == "base") {
+      std::string tok;
+      while (probe >> tok) {
+        model.aggregation.base_score.push_back(
+            parse_bits<T>(reader, tok, line));
+      }
+      if (model.aggregation.base_score.size() !=
+          static_cast<std::size_t>(outputs)) {
+        reader.fail("base line has " +
+                        std::to_string(model.aggregation.base_score.size()) +
+                        " values, expected " + std::to_string(outputs),
+                    line);
+      }
+      line = reader.next();
+    }
+    auto ls = expect_keyword(reader, line, "leaf_values");
+    std::size_t k = 0;
+    if (!(ls >> rows >> k) || k != static_cast<std::size_t>(outputs) ||
+        rows == 0) {
+      reader.fail("bad leaf_values header (expected 'leaf_values <rows> " +
+                      std::to_string(outputs) + "')",
+                  line);
+    }
+    if (rows > static_cast<std::size_t>(0x7FFF'FFFF)) {
+      reader.fail("leaf-value table too large (rows must fit int32)", line);
+    }
+    model.leaf_values.reserve(rows * k);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::string vline = reader.next();
+      std::istringstream vs(vline);
+      std::string vtag;
+      if (!(vs >> vtag) || vtag != "v") {
+        reader.fail("expected leaf-value row " + std::to_string(r) +
+                        " (near '" + vtag + "')",
+                    vline);
+      }
+      for (std::size_t j = 0; j < k; ++j) {
+        std::string tok;
+        if (!(vs >> tok)) {
+          reader.fail("leaf-value row " + std::to_string(r) + " has fewer "
+                          "than " + std::to_string(k) + " values",
+                      vline);
+        }
+        model.leaf_values.push_back(parse_bits<T>(reader, tok, vline));
+      }
+    }
+  }
+
+  std::vector<trees::Tree<T>> forest_trees;
+  forest_trees.reserve(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    forest_trees.push_back(trees::read_tree<T>(reader));
+  }
+  const int structural_classes =
+      model.leaf_kind == LeafKind::ClassId ? classes : static_cast<int>(rows);
+  model.forest =
+      trees::Forest<T>(std::move(forest_trees), structural_classes);
+
+  if (const std::string err = model.validate(); !err.empty()) {
+    throw std::runtime_error("model: invalid v2 container: " + err);
+  }
+  if (classes != model.num_classes()) {
+    throw std::runtime_error(
+        "model: v2 header declares " + std::to_string(classes) +
+        " classes but the aggregation derives " +
+        std::to_string(model.num_classes()));
+  }
+  return model;
+}
+
+template <typename T>
+void save_model(const std::string& path, const ForestModel<T>& model) {
+  if (const std::string err = model.validate(); !err.empty()) {
+    throw std::runtime_error("model: refusing to save invalid model: " + err);
+  }
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("model: cannot open '" + path + "' for writing");
+  }
+  write_model(out, model);
+  if (!out) throw std::runtime_error("model: write failure on '" + path + "'");
+}
+
+template <typename T>
+ForestModel<T> load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("model: cannot open '" + path + "'");
+  return read_model<T>(in);
+}
+
+template <typename T>
+ForestModel<T> load_any_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("model: cannot open '" + path + "'");
+  // Version sniff: first content line decides v1 (bare forest) vs v2.
+  // LineReader owns the "what counts as a content line" rule (comments,
+  // blanks, CRLF), so the sniffer can never disagree with the parsers.
+  std::string version;
+  {
+    trees::LineReader sniffer(in);
+    std::string line;
+    if (sniffer.try_next(line)) {
+      std::istringstream ls(line);
+      std::string tag;
+      ls >> tag >> version;
+    }
+  }
+  in.clear();
+  in.seekg(0);
+  if (version == "v2") return read_model<T>(in);
+  ForestModel<T> model = from_vote_forest(trees::read_forest<T>(in));
+  if (const std::string err = model.validate(); !err.empty()) {
+    throw std::runtime_error("model: invalid v1 forest: " + err);
+  }
+  return model;
+}
+
+template void write_model<float>(std::ostream&, const ForestModel<float>&);
+template void write_model<double>(std::ostream&, const ForestModel<double>&);
+template ForestModel<float> read_model<float>(std::istream&);
+template ForestModel<double> read_model<double>(std::istream&);
+template void save_model<float>(const std::string&, const ForestModel<float>&);
+template void save_model<double>(const std::string&, const ForestModel<double>&);
+template ForestModel<float> load_model<float>(const std::string&);
+template ForestModel<double> load_model<double>(const std::string&);
+template ForestModel<float> load_any_model<float>(const std::string&);
+template ForestModel<double> load_any_model<double>(const std::string&);
+
+}  // namespace flint::model

@@ -1,0 +1,148 @@
+// sklearn-forest JSON ingestion (docs/MODEL_FORMATS.md "scikit-learn").
+//
+// Source shape: the documented export of a fitted RandomForestClassifier /
+// RandomForestRegressor — per-tree parallel arrays straight out of
+// sklearn's tree_ attribute (children_left / children_right / feature /
+// threshold / value), leaf sentinel children_left[i] == -1.  sklearn's
+// split rule is `x <= threshold`, matching this repo's rule directly;
+// thresholds are float64-native and narrow round-toward-minus-infinity for
+// float models (exact on float inputs; loaders.hpp).
+//
+// Aggregation: sklearn predicts by AVERAGING per-tree outputs (normalized
+// class proportions for classifiers, means for regressors).  Leaf rows are
+// normalized and pre-scaled by 1/n_trees at load, so the engines' plain
+// sum epilogue reproduces predict_proba / regressor predict directly.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "model/json.hpp"
+#include "model/loader_util.hpp"
+#include "model/loaders.hpp"
+
+namespace flint::model {
+
+namespace {
+
+using detail::load_fail;
+
+}  // namespace
+
+template <typename T>
+ForestModel<T> load_sklearn_json(const std::string& content) {
+  const JsonValue doc = parse_json(content);
+  if (!doc.is_object() || !doc.get("format") ||
+      doc.at("format").as_string() != "sklearn-forest") {
+    load_fail("sklearn", "missing {\"format\": \"sklearn-forest\"} tag");
+  }
+  const std::string model_type = doc.at("model_type").as_string();
+  bool classifier = false;
+  if (model_type == "random_forest_classifier" || model_type == "classifier") {
+    classifier = true;
+  } else if (model_type != "random_forest_regressor" &&
+             model_type != "regressor") {
+    load_fail("sklearn", "unsupported model_type '" + model_type +
+                             "' (random_forest_classifier|"
+                             "random_forest_regressor)");
+  }
+  const auto n_features =
+      static_cast<std::size_t>(doc.at("n_features").as_int());
+  if (n_features == 0) load_fail("sklearn", "n_features must be >= 1");
+  int k = 1;
+  if (classifier) {
+    k = static_cast<int>(doc.at("n_classes").as_int());
+    if (k < 2) load_fail("sklearn", "classifier needs n_classes >= 2");
+  }
+  const JsonArray& tree_array = doc.at("trees").as_array();
+  if (tree_array.empty()) load_fail("sklearn", "model has no trees");
+  const double inv_trees = 1.0 / static_cast<double>(tree_array.size());
+
+  ForestModel<T> model;
+  model.leaf_kind = classifier ? LeafKind::ScoreVector : LeafKind::Scalar;
+  model.aggregation.mode = AggregationMode::SumScores;
+  model.aggregation.link = Link::None;
+  model.n_outputs = k;
+
+  std::vector<trees::Tree<T>> built;
+  built.reserve(tree_array.size());
+  std::int32_t next_row = 0;
+  for (std::size_t t = 0; t < tree_array.size(); ++t) {
+    const std::string where = "sklearn tree " + std::to_string(t);
+    const JsonValue& jt = tree_array[t];
+    const JsonArray& left = jt.at("children_left").as_array();
+    const JsonArray& right = jt.at("children_right").as_array();
+    const JsonArray& feature = jt.at("feature").as_array();
+    const JsonArray& threshold = jt.at("threshold").as_array();
+    const JsonArray& value = jt.at("value").as_array();
+    const std::size_t n_nodes = left.size();
+    if (right.size() != n_nodes || feature.size() != n_nodes ||
+        threshold.size() != n_nodes || value.size() != n_nodes ||
+        n_nodes == 0) {
+      load_fail(where, "ragged or empty node arrays");
+    }
+    trees::Tree<T> tree(n_features);
+    // sklearn node order is already root-first; emit 1:1, fixing up child
+    // links afterwards (indices are preserved).
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      const std::string node_where = where + " node " + std::to_string(i);
+      const long long l = left[i].as_int();
+      const long long r = right[i].as_int();
+      if (l < 0) {
+        if (r >= 0) load_fail(node_where, "half-leaf node (left<0, right>=0)");
+        // Leaf: its value row becomes one leaf-value table row.
+        const JsonArray& row = value[i].as_array();
+        if (row.size() != static_cast<std::size_t>(k)) {
+          load_fail(node_where, "value row has " + std::to_string(row.size()) +
+                                    " entries, expected " + std::to_string(k));
+        }
+        double sum = 0.0;
+        std::vector<double> vals(row.size());
+        for (std::size_t j = 0; j < row.size(); ++j) {
+          vals[j] = detail::parse_token_f64(row[j].raw_number(), node_where);
+          if (!std::isfinite(vals[j])) load_fail(node_where, "non-finite value");
+          sum += vals[j];
+        }
+        for (std::size_t j = 0; j < row.size(); ++j) {
+          double v = vals[j];
+          if (classifier) {
+            // Raw leaf rows may be counts (older exports) or proportions
+            // (sklearn >= 1.4): normalizing is a no-op for the latter.
+            if (sum <= 0.0) load_fail(node_where, "leaf row sums to zero");
+            v /= sum;
+          }
+          model.leaf_values.push_back(detail::narrow_value<T>(v * inv_trees));
+        }
+        tree.add_leaf(next_row++);
+        continue;
+      }
+      if (l >= static_cast<long long>(n_nodes) ||
+          r >= static_cast<long long>(n_nodes) || r < 0) {
+        load_fail(node_where, "child index out of range");
+      }
+      const long long f = feature[i].as_int();
+      if (f < 0 || static_cast<std::size_t>(f) >= n_features) {
+        load_fail(node_where, "feature index out of range");
+      }
+      const double th =
+          detail::parse_token_f64(threshold[i].raw_number(), node_where);
+      detail::check_threshold_finite(th, node_where);
+      const std::int32_t self = tree.add_split(
+          static_cast<std::int32_t>(f), detail::narrow_threshold_le<T>(th));
+      (void)self;
+      tree.link(static_cast<std::int32_t>(i), static_cast<std::int32_t>(l),
+                static_cast<std::int32_t>(r));
+    }
+    built.push_back(std::move(tree));
+  }
+  model.forest = trees::Forest<T>(std::move(built), next_row);
+
+  if (const std::string err = model.validate(); !err.empty()) {
+    load_fail("sklearn", "converted model invalid: " + err);
+  }
+  return model;
+}
+
+template ForestModel<float> load_sklearn_json<float>(const std::string&);
+template ForestModel<double> load_sklearn_json<double>(const std::string&);
+
+}  // namespace flint::model

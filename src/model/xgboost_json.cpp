@@ -1,0 +1,240 @@
+// XGBoost JSON-dump ingestion (docs/MODEL_FORMATS.md "XGBoost").
+//
+// Source shape: the per-tree recursive dump of
+// Booster.dump_model(..., dump_format="json") — inner nodes carry
+// split/split_condition/yes/no/children, leaves carry "leaf".  XGBoost
+// models are float32-native, so number tokens are parsed with strtof (one
+// correctly rounded step) and the `x < t` split rule becomes
+// `x <= pred(t)` exactly (loaders.hpp).
+//
+// Aggregation: every XGBoost ensemble is additive.  Leaves become rows of
+// the leaf-value table; for multi-class objectives tree i contributes to
+// class i % num_class, realized as a one-hot row, so the execution layers
+// stay a single "sum rows over trees" epilogue for every objective.
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "model/json.hpp"
+#include "model/loader_util.hpp"
+#include "model/loaders.hpp"
+
+namespace flint::model {
+
+namespace {
+
+using detail::load_fail;
+
+/// "f12", "12" or a numeric feature id.
+std::int32_t parse_feature_id(const JsonValue& split, const std::string& where) {
+  if (split.is_number()) {
+    const long long f = split.as_int();
+    if (f < 0 || f > std::numeric_limits<std::int32_t>::max()) {
+      load_fail(where, "feature index out of range");
+    }
+    return static_cast<std::int32_t>(f);
+  }
+  const std::string& name = split.as_string();
+  std::size_t digits = 0;
+  if (!name.empty() && (name[0] == 'f' || name[0] == 'x')) digits = 1;
+  if (digits >= name.size()) {
+    load_fail(where, "unsupported feature name '" + name +
+                         "' (expected f<k> or an integer; dump the model "
+                         "without feature names)");
+  }
+  std::int32_t f = 0;
+  for (std::size_t i = digits; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      load_fail(where, "unsupported feature name '" + name + "'");
+    }
+    // Overflow gate: untrusted input must not wrap int32 (UB) into a
+    // bogus-but-positive feature index.
+    if (f > (std::numeric_limits<std::int32_t>::max() - 9) / 10) {
+      load_fail(where, "feature index '" + name + "' out of range");
+    }
+    f = f * 10 + (name[i] - '0');
+  }
+  return f;
+}
+
+template <typename T>
+struct TreeBuilder {
+  trees::Tree<T> tree{0};
+  std::vector<T> leaf_values;  ///< one scalar per leaf, in payload order
+  std::int32_t base_row = 0;   ///< global row index of this tree's leaf 0
+  std::int32_t max_feature = -1;
+
+  /// Emits `node` and its subtree; returns its index.  `depth` bounds the
+  /// recursion: a crafted dump with a pathologically deep node chain must
+  /// throw, not exhaust the stack (512 dwarfs any trainable tree depth).
+  std::int32_t emit(const JsonValue& node, int depth = 0) {
+    if (depth > 512) {
+      load_fail("xgboost", "tree deeper than 512 levels");
+    }
+    const std::string where =
+        "xgboost node " + (node.get("nodeid")
+                               ? std::to_string(node.at("nodeid").as_int())
+                               : std::string("?"));
+    if (const JsonValue* leaf = node.get("leaf")) {
+      const T value = [&] {
+        if constexpr (sizeof(T) == 4) {
+          return detail::parse_token_f32(leaf->raw_number(), where);
+        } else {
+          // float32-native model: strtof then widen, both exact.
+          return static_cast<T>(
+              detail::parse_token_f32(leaf->raw_number(), where));
+        }
+      }();
+      const auto local = static_cast<std::int32_t>(leaf_values.size());
+      leaf_values.push_back(value);
+      return tree.add_leaf(base_row + local);
+    }
+    const JsonValue* cond = node.get("split_condition");
+    if (!cond || !cond->is_number()) {
+      load_fail(where, "inner node without numeric split_condition");
+    }
+    detail::check_threshold_finite(cond->as_double(), where);
+    const std::int32_t feature = parse_feature_id(node.at("split"), where);
+    max_feature = std::max(max_feature, feature);
+    // x < t goes to "yes"; our rule is x <= s goes left.
+    const T split = [&] {
+      if constexpr (sizeof(T) == 4) {
+        return detail::lt_to_le(detail::parse_token_f32(cond->raw_number(), where));
+      } else {
+        return detail::lt_to_le(static_cast<T>(
+            detail::parse_token_f32(cond->raw_number(), where)));
+      }
+    }();
+    const long long yes = node.at("yes").as_int();
+    const long long no = node.at("no").as_int();
+    const JsonArray& children = node.at("children").as_array();
+    if (children.size() != 2) {
+      load_fail(where, "expected exactly 2 children, got " +
+                           std::to_string(children.size()));
+    }
+    const JsonValue* yes_child = nullptr;
+    const JsonValue* no_child = nullptr;
+    for (const JsonValue& c : children) {
+      const long long id = c.at("nodeid").as_int();
+      if (id == yes) yes_child = &c;
+      if (id == no) no_child = &c;
+    }
+    if (!yes_child || !no_child || yes_child == no_child) {
+      load_fail(where, "children do not match yes/no node ids");
+    }
+    const std::int32_t self = tree.add_split(feature, split);
+    const std::int32_t left = emit(*yes_child, depth + 1);
+    const std::int32_t right = emit(*no_child, depth + 1);
+    tree.link(self, left, right);
+    return self;
+  }
+};
+
+}  // namespace
+
+template <typename T>
+ForestModel<T> load_xgboost_json(const std::string& content,
+                                 std::size_t n_features) {
+  const JsonValue doc = parse_json(content);
+
+  std::string objective = "reg:squarederror";
+  int num_class = 0;
+  double base_score = 0.0;  // margin space; see docs/MODEL_FORMATS.md
+  bool has_base = false;
+  const JsonArray* tree_array = nullptr;
+  if (doc.is_array()) {
+    tree_array = &doc.as_array();
+  } else {
+    if (const JsonValue* o = doc.get("objective")) objective = o->as_string();
+    if (const JsonValue* n = doc.get("num_class")) {
+      num_class = static_cast<int>(n->as_int());
+    }
+    if (const JsonValue* b = doc.get("base_score")) {
+      base_score = b->as_double();
+      has_base = true;
+    }
+    if (const JsonValue* f = doc.get("n_features")) {
+      n_features = static_cast<std::size_t>(f->as_int());
+    }
+    tree_array = &doc.at("trees").as_array();
+  }
+  if (tree_array->empty()) load_fail("xgboost", "model has no trees");
+
+  Link link = Link::None;
+  int k = 1;
+  if (objective.rfind("binary:logistic", 0) == 0 ||
+      objective.rfind("binary:logitraw", 0) == 0) {
+    link = objective == "binary:logitraw" ? Link::None : Link::Sigmoid;
+    k = 1;
+  } else if (objective.rfind("multi:", 0) == 0) {
+    if (num_class < 2) {
+      load_fail("xgboost", "objective '" + objective +
+                               "' needs num_class >= 2 in the wrapper");
+    }
+    if (tree_array->size() % static_cast<std::size_t>(num_class) != 0) {
+      load_fail("xgboost",
+                std::to_string(tree_array->size()) + " trees is not a "
+                "multiple of num_class " + std::to_string(num_class) +
+                " (round-robin class assignment would scramble outputs)");
+    }
+    link = Link::Softmax;
+    k = num_class;
+  } else if (objective.rfind("reg:", 0) == 0 ||
+             objective == "regression") {
+    link = Link::None;
+    k = 1;
+  } else {
+    load_fail("xgboost", "unsupported objective '" + objective +
+                             "' (binary:logistic|binary:logitraw|multi:*|"
+                             "reg:*)");
+  }
+
+  ForestModel<T> model;
+  model.leaf_kind = k == 1 ? LeafKind::Scalar : LeafKind::ScoreVector;
+  model.aggregation.mode = AggregationMode::SumScores;
+  model.aggregation.link = link;
+  model.n_outputs = k;
+  if (has_base) {
+    model.aggregation.base_score.assign(static_cast<std::size_t>(k),
+                                        detail::narrow_value<T>(base_score));
+  }
+
+  std::vector<trees::Tree<T>> built;
+  built.reserve(tree_array->size());
+  std::int32_t max_feature = -1;
+  std::int32_t next_row = 0;
+  for (std::size_t t = 0; t < tree_array->size(); ++t) {
+    TreeBuilder<T> b;
+    b.base_row = next_row;
+    const std::int32_t root = b.emit((*tree_array)[t]);
+    if (root != 0) load_fail("xgboost", "tree root must be emitted first");
+    max_feature = std::max(max_feature, b.max_feature);
+    // One leaf-value row per leaf; multi-class trees write one-hot rows in
+    // their class column (tree t contributes to class t % k).
+    const int column = k == 1 ? 0 : static_cast<int>(t) % k;
+    for (const T v : b.leaf_values) {
+      for (int j = 0; j < k; ++j) {
+        model.leaf_values.push_back(j == column ? v : T{0});
+      }
+    }
+    next_row += static_cast<std::int32_t>(b.leaf_values.size());
+    built.push_back(std::move(b.tree));
+  }
+  const auto features =
+      std::max(n_features, static_cast<std::size_t>(max_feature + 1));
+  if (features == 0) load_fail("xgboost", "model uses no features");
+  for (auto& tree : built) tree.set_feature_count(features);
+  model.forest = trees::Forest<T>(std::move(built), next_row);
+
+  if (const std::string err = model.validate(); !err.empty()) {
+    load_fail("xgboost", "converted model invalid: " + err);
+  }
+  return model;
+}
+
+template ForestModel<float> load_xgboost_json<float>(const std::string&,
+                                                     std::size_t);
+template ForestModel<double> load_xgboost_json<double>(const std::string&,
+                                                       std::size_t);
+
+}  // namespace flint::model

@@ -138,6 +138,80 @@ void Predictor<T>::predict_batch(const data::Dataset<T>& dataset,
 }
 
 template <typename T>
+void Predictor<T>::predict_scores(std::span<const T> features,
+                                  std::size_t n_samples,
+                                  std::span<T> out) const {
+  if (!supports_scores()) {
+    throw std::logic_error(
+        "predict_scores: backend '" + name() +
+        "' exposes no scores (majority-vote model; build the predictor from "
+        "an additive leaf-value ForestModel)");
+  }
+  if (features.size() != n_samples * feature_count()) {
+    throw std::invalid_argument(
+        "predict_scores: feature span holds " +
+        std::to_string(features.size()) + " values, expected " +
+        std::to_string(n_samples * feature_count()) + " (" +
+        std::to_string(n_samples) + " samples x " +
+        std::to_string(feature_count()) + " features)");
+  }
+  const auto k = static_cast<std::size_t>(num_outputs());
+  if (out.size() < n_samples * k) {
+    throw std::invalid_argument(
+        "predict_scores: output span holds " + std::to_string(out.size()) +
+        " values, needs " + std::to_string(n_samples * k) + " (" +
+        std::to_string(n_samples) + " samples x " + std::to_string(k) +
+        " outputs)");
+  }
+  if (n_samples == 0) return;
+  // Same NaN gate as predict_batch: FLInt orders NaN bit patterns instead
+  // of comparing unordered, so NaN inputs are where backends could diverge.
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (std::isnan(features[i])) {
+      throw std::invalid_argument(
+          "predict_scores: NaN feature at sample " +
+          std::to_string(i / feature_count()) + ", feature " +
+          std::to_string(i % feature_count()) +
+          " (FLInt's total order is NaN-free; see README \"NaN/zero "
+          "semantics\")");
+    }
+  }
+  do_predict_scores(features.data(), n_samples, out.data());
+}
+
+template <typename T>
+void Predictor<T>::predict_scores(const data::Dataset<T>& dataset,
+                                  std::span<T> out) const {
+  if (dataset.cols() < feature_count()) {
+    throw std::invalid_argument(
+        "predict_scores: dataset has fewer features than the model");
+  }
+  if (dataset.cols() == feature_count()) {
+    predict_scores(dataset.values(), dataset.rows(), out);
+    return;
+  }
+  // Wider dataset: compact the leading feature_count() values of every row
+  // once, exactly like predict_batch's Dataset overload.
+  const std::size_t cols = feature_count();
+  std::vector<T> compact(dataset.rows() * cols);
+  for (std::size_t r = 0; r < dataset.rows(); ++r) {
+    const auto row = dataset.row(r);
+    std::copy(row.begin(), row.begin() + cols, compact.begin() + r * cols);
+  }
+  predict_scores(compact, dataset.rows(), out);
+}
+
+template <typename T>
+void Predictor<T>::do_predict_scores(const T* /*features*/,
+                                     std::size_t /*n_samples*/,
+                                     T* /*out*/) const {
+  // Unreachable through predict_scores (the supports_scores gate throws
+  // first); direct prevalidated calls on a vote backend land here.
+  throw std::logic_error("do_predict_scores: backend '" + name() +
+                         "' exposes no scores");
+}
+
+template <typename T>
 std::int32_t Predictor<T>::predict_one(std::span<const T> x) const {
   // first() below has an out-of-bounds precondition (UB), so the shape
   // error must be thrown before slicing, not left to predict_batch.
@@ -198,18 +272,21 @@ struct EngineKeys<Engine, std::void_t<typename Engine::Signed>> {
   using type = typename Engine::Signed;
 };
 
-/// The one blocked batch loop both engine families share (see the section
-/// comment above).  `Engine` needs num_classes/tree_count/predict_tree;
-/// the key-remap step compiles in only for engines with a key type.
-template <typename T, typename Engine>
-void blocked_predict_batch(const Engine& engine, std::size_t cols,
-                           std::size_t block_size, const T* features,
-                           std::size_t n_samples, std::int32_t* out) {
+/// The one blocked tree-scan skeleton both epilogues (vote and score)
+/// share: samples cut into blocks, keys remapped once per block for keyed
+/// engines, then every tree's payload streamed across the block.
+/// `block_begin(base, count)` / `block_end(base, count)` bracket each
+/// block; `on_payload(global_sample, local_sample, payload)` consumes one
+/// tree's leaf payload.  `Engine` needs tree_count/predict_tree; the
+/// key-remap step compiles in only for engines with a key type.
+template <typename T, typename Engine, typename BlockBegin, typename OnPayload,
+          typename BlockEnd>
+void blocked_tree_scan(const Engine& engine, std::size_t cols,
+                       std::size_t block_size, const T* features,
+                       std::size_t n_samples, BlockBegin&& block_begin,
+                       OnPayload&& on_payload, BlockEnd&& block_end) {
   using Keys = EngineKeys<Engine>;
-  const auto classes =
-      static_cast<std::size_t>(std::max(engine.num_classes(), 1));
   const std::size_t trees = engine.tree_count();
-  std::vector<int> votes(block_size * classes);
   std::vector<typename Keys::type> keys;
   if constexpr (Keys::keyed) {
     if (engine.needs_keys()) keys.resize(block_size * cols);
@@ -217,7 +294,7 @@ void blocked_predict_batch(const Engine& engine, std::size_t cols,
 
   for (std::size_t base = 0; base < n_samples; base += block_size) {
     const std::size_t block = std::min(block_size, n_samples - base);
-    std::fill(votes.begin(), votes.begin() + block * classes, 0);
+    block_begin(base, block);
     if constexpr (Keys::keyed) {
       if (!keys.empty()) {
         for (std::size_t s = 0; s < block; ++s) {
@@ -229,24 +306,45 @@ void blocked_predict_batch(const Engine& engine, std::size_t cols,
     for (std::size_t t = 0; t < trees; ++t) {
       for (std::size_t s = 0; s < block; ++s) {
         const std::span<const T> row{features + (base + s) * cols, cols};
-        std::int32_t c;
+        std::int32_t payload;
         if constexpr (Keys::keyed) {
           const std::span<const typename Keys::type> key_row =
               keys.empty() ? std::span<const typename Keys::type>{}
                            : std::span<const typename Keys::type>{
                                  keys.data() + s * cols, cols};
-          c = engine.predict_tree(t, row, key_row);
+          payload = engine.predict_tree(t, row, key_row);
         } else {
-          c = engine.predict_tree(t, row);
+          payload = engine.predict_tree(t, row);
         }
-        ++votes[s * classes + static_cast<std::size_t>(c)];
+        on_payload(base + s, s, payload);
       }
     }
-    for (std::size_t s = 0; s < block; ++s) {
-      out[base + s] = argmax_votes(votes.data() + s * classes,
-                                   static_cast<int>(classes));
-    }
+    block_end(base, block);
   }
+}
+
+/// Vote epilogue over the blocked scan (see the section comment above).
+template <typename T, typename Engine>
+void blocked_predict_batch(const Engine& engine, std::size_t cols,
+                           std::size_t block_size, const T* features,
+                           std::size_t n_samples, std::int32_t* out) {
+  const auto classes =
+      static_cast<std::size_t>(std::max(engine.num_classes(), 1));
+  std::vector<int> votes(block_size * classes);
+  blocked_tree_scan(
+      engine, cols, block_size, features, n_samples,
+      [&](std::size_t, std::size_t block) {
+        std::fill(votes.begin(), votes.begin() + block * classes, 0);
+      },
+      [&](std::size_t, std::size_t s, std::int32_t c) {
+        ++votes[s * classes + static_cast<std::size_t>(c)];
+      },
+      [&](std::size_t base, std::size_t block) {
+        for (std::size_t s = 0; s < block; ++s) {
+          out[base + s] = argmax_votes(votes.data() + s * classes,
+                                       static_cast<int>(classes));
+        }
+      });
 }
 
 template <typename T>
@@ -372,6 +470,250 @@ class LayoutPredictor final : public Predictor<T> {
   exec::layout::LayoutForestEngine<T> engine_;
 };
 
+// ---------------------------------------------------------------------------
+// Score backends: float-accumulate epilogues for additive leaf-value models
+// (model::ForestModel with SumScores aggregation).  Every backend
+// accumulates each sample's leaf-value rows IN TREE ORDER — the reference
+// summation order — so raw sums are bit-identical across reference,
+// interpreter, SIMD and layout paths on identical inputs, and the link
+// (applied once, in double) preserves that (docs/MODEL_FORMATS.md
+// "Numerical contract").
+// ---------------------------------------------------------------------------
+
+/// The semantic half of a ForestModel a score backend needs at run time
+/// (the structural forest lives inside each backend's packed engine).
+template <typename T>
+struct ScoreSpec {
+  std::vector<T> leaf_values;  ///< rows x n_outputs
+  std::vector<T> base;         ///< per-output base margin (empty = zeros)
+  int n_outputs = 1;
+  model::Link link = model::Link::None;
+  int num_classes = 0;  ///< 0 = regression (predict_batch unavailable)
+
+  static ScoreSpec from(const model::ForestModel<T>& m) {
+    return {m.leaf_values, m.aggregation.base_score, m.n_outputs,
+            m.aggregation.link, m.num_classes()};
+  }
+
+  void init_rows(std::size_t n_samples, T* out) const {
+    const auto k = static_cast<std::size_t>(n_outputs);
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      for (std::size_t j = 0; j < k; ++j) {
+        out[s * k + j] = base.empty() ? T{0} : base[j];
+      }
+    }
+  }
+};
+
+/// Common glue: class plumbing, link application, and score -> class
+/// reduction (argmax first-max for k > 1; sigmoid margin > 0 for k == 1,
+/// the boundary falling to class 0 like a vote tie).  Subclasses provide
+/// accumulate_scores = base + per-tree leaf-row sums, NO link.
+template <typename T>
+class ScorePredictorBase : public Predictor<T> {
+ public:
+  ScorePredictorBase(ScoreSpec<T> spec, std::size_t feature_count)
+      : spec_(std::move(spec)), feature_count_(feature_count) {}
+
+  [[nodiscard]] int num_classes() const noexcept override {
+    return spec_.num_classes;
+  }
+  [[nodiscard]] int num_outputs() const noexcept override {
+    return spec_.n_outputs;
+  }
+  [[nodiscard]] std::size_t feature_count() const noexcept override {
+    return feature_count_;
+  }
+
+ protected:
+  virtual void accumulate_scores(const T* features, std::size_t n_samples,
+                                 T* out) const = 0;
+
+  void do_predict_scores(const T* features, std::size_t n_samples,
+                         T* out) const override {
+    accumulate_scores(features, n_samples, out);
+    model::apply_link(spec_.link, n_samples,
+                      static_cast<std::size_t>(spec_.n_outputs), out);
+  }
+
+  void do_predict_batch(const T* features, std::size_t n_samples,
+                        std::int32_t* out) const override {
+    if (spec_.num_classes <= 0) {
+      throw std::logic_error(
+          "predict_batch: '" + this->name() +
+          "' serves a regression model with no classes; use predict_scores");
+    }
+    const auto k = static_cast<std::size_t>(spec_.n_outputs);
+    std::vector<T> scores(n_samples * k);
+    accumulate_scores(features, n_samples, scores.data());
+    // Links never change an argmax, so classes reduce from the raw sums
+    // directly — model::class_from_raw is the single home of the rule.
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      out[s] = model::class_from_raw(spec_.n_outputs, scores.data() + s * k);
+    }
+  }
+
+  ScoreSpec<T> spec_;
+  std::size_t feature_count_;
+};
+
+/// Score semantics baseline: per-sample, per-tree Tree::predict over an
+/// owned forest copy — the accumulation every other score backend is
+/// property-tested against.
+template <typename T>
+class ReferenceScorePredictor final : public ScorePredictorBase<T> {
+ public:
+  explicit ReferenceScorePredictor(const model::ForestModel<T>& m)
+      : ScorePredictorBase<T>(ScoreSpec<T>::from(m), m.forest.feature_count()),
+        forest_(m.forest) {}
+
+  [[nodiscard]] std::string name() const override { return "reference"; }
+
+ protected:
+  void accumulate_scores(const T* features, std::size_t n_samples,
+                         T* out) const override {
+    const auto& spec = this->spec_;
+    const auto k = static_cast<std::size_t>(spec.n_outputs);
+    const std::size_t cols = forest_.feature_count();
+    spec.init_rows(n_samples, out);
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      const std::span<const T> row{features + s * cols, cols};
+      T* srow = out + s * k;
+      for (std::size_t t = 0; t < forest_.size(); ++t) {
+        const auto leaf_row =
+            static_cast<std::size_t>(forest_.tree(t).predict(row));
+        const T* lv = spec.leaf_values.data() + leaf_row * k;
+        for (std::size_t j = 0; j < k; ++j) srow[j] += lv[j];
+      }
+    }
+  }
+
+ private:
+  trees::Forest<T> forest_;
+};
+
+/// Score epilogue over the same blocked scan: the vote bin becomes a
+/// leaf-row add.  Works for FlintForestEngine (all variants, keys compiled
+/// in for RadixKey) and FloatForestEngine.
+template <typename T, typename Engine>
+void blocked_accumulate_scores(const Engine& engine, std::size_t cols,
+                               std::size_t block_size,
+                               const ScoreSpec<T>& spec, const T* features,
+                               std::size_t n_samples, T* out) {
+  const auto k = static_cast<std::size_t>(spec.n_outputs);
+  spec.init_rows(n_samples, out);
+  blocked_tree_scan(
+      engine, cols, block_size, features, n_samples,
+      [](std::size_t, std::size_t) {},
+      [&](std::size_t global, std::size_t, std::int32_t payload) {
+        const T* lv =
+            spec.leaf_values.data() + static_cast<std::size_t>(payload) * k;
+        T* srow = out + global * k;
+        for (std::size_t j = 0; j < k; ++j) srow[j] += lv[j];
+      },
+      [](std::size_t, std::size_t) {});
+}
+
+template <typename T>
+class FlintScorePredictor final : public ScorePredictorBase<T> {
+ public:
+  FlintScorePredictor(const model::ForestModel<T>& m,
+                      exec::FlintVariant variant, std::size_t block_size,
+                      std::string name = {})
+      : ScorePredictorBase<T>(ScoreSpec<T>::from(m), m.forest.feature_count()),
+        engine_(m.forest, variant),
+        block_size_(std::max<std::size_t>(block_size, 1)),
+        name_(name.empty() ? exec::to_string(variant) : std::move(name)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+ protected:
+  void accumulate_scores(const T* features, std::size_t n_samples,
+                         T* out) const override {
+    blocked_accumulate_scores(engine_, this->feature_count_, block_size_,
+                              this->spec_, features, n_samples, out);
+  }
+
+ private:
+  exec::FlintForestEngine<T> engine_;
+  std::size_t block_size_;
+  std::string name_;
+};
+
+template <typename T>
+class FloatScorePredictor final : public ScorePredictorBase<T> {
+ public:
+  FloatScorePredictor(const model::ForestModel<T>& m, std::size_t block_size)
+      : ScorePredictorBase<T>(ScoreSpec<T>::from(m), m.forest.feature_count()),
+        engine_(m.forest),
+        block_size_(std::max<std::size_t>(block_size, 1)) {}
+
+  [[nodiscard]] std::string name() const override { return "float"; }
+
+ protected:
+  void accumulate_scores(const T* features, std::size_t n_samples,
+                         T* out) const override {
+    blocked_accumulate_scores(engine_, this->feature_count_, block_size_,
+                              this->spec_, features, n_samples, out);
+  }
+
+ private:
+  exec::FloatForestEngine<T> engine_;
+  std::size_t block_size_;
+};
+
+/// SoA lane backend: SimdForestEngine's float-accumulate epilogue.
+template <typename T>
+class SimdScorePredictor final : public ScorePredictorBase<T> {
+ public:
+  SimdScorePredictor(const model::ForestModel<T>& m,
+                     exec::simd::SimdMode mode, std::size_t block_size)
+      : ScorePredictorBase<T>(ScoreSpec<T>::from(m), m.forest.feature_count()),
+        engine_(m.forest, mode, block_size) {}
+
+  [[nodiscard]] std::string name() const override {
+    return std::string("simd:") + exec::simd::to_string(engine_.mode());
+  }
+
+ protected:
+  void accumulate_scores(const T* features, std::size_t n_samples,
+                         T* out) const override {
+    engine_.predict_scores(features, n_samples, this->spec_.leaf_values,
+                           static_cast<std::size_t>(this->spec_.n_outputs),
+                           this->spec_.base, out);
+  }
+
+ private:
+  exec::simd::SimdForestEngine<T> engine_;
+};
+
+/// Compact-layout backend: leaf payloads are leaf-value row indices, so
+/// the key-width pack gates bound the table size exactly like class ids.
+template <typename T>
+class LayoutScorePredictor final : public ScorePredictorBase<T> {
+ public:
+  LayoutScorePredictor(const model::ForestModel<T>& m,
+                       const exec::layout::LayoutPlan& plan,
+                       const exec::layout::KeyTableSet<T>& tables)
+      : ScorePredictorBase<T>(ScoreSpec<T>::from(m), m.forest.feature_count()),
+        engine_(m.forest, plan, tables) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "layout:" + engine_.plan().describe();
+  }
+
+ protected:
+  void accumulate_scores(const T* features, std::size_t n_samples,
+                         T* out) const override {
+    engine_.predict_scores(features, n_samples, this->spec_.leaf_values,
+                           static_cast<std::size_t>(this->spec_.n_outputs),
+                           this->spec_.base, out);
+  }
+
+ private:
+  exec::layout::LayoutForestEngine<T> engine_;
+};
+
 /// Semantics baseline: per-sample Forest::predict over an owned model copy.
 template <typename T>
 class ReferencePredictor final : public Predictor<T> {
@@ -445,7 +787,9 @@ template <typename T>
 struct ParallelPredictor<T>::Pool {
   struct Job {
     const T* features = nullptr;
-    std::int32_t* out = nullptr;
+    std::int32_t* out = nullptr;     ///< class path (exclusive with scores)
+    T* out_scores = nullptr;         ///< score path
+    std::size_t n_outputs = 0;       ///< row stride of out_scores
     std::size_t n = 0;
     std::size_t block = 1;
     std::atomic<std::size_t> next{0};
@@ -500,8 +844,14 @@ struct ParallelPredictor<T>::Pool {
       if (start >= job.n) return;
       const std::size_t count = std::min(job.block, job.n - start);
       try {
-        inner.predict_batch_prevalidated(job.features + start * cols, count,
-                                         job.out + start);
+        if (job.out_scores) {
+          inner.predict_scores_prevalidated(
+              job.features + start * cols, count,
+              job.out_scores + start * job.n_outputs);
+        } else {
+          inner.predict_batch_prevalidated(job.features + start * cols, count,
+                                           job.out + start);
+        }
       } catch (...) {
         std::lock_guard lk(m);
         if (!error) error = std::current_exception();
@@ -598,6 +948,23 @@ void ParallelPredictor<T>::do_predict_batch(const T* features,
   pool_->run(job);
 }
 
+template <typename T>
+void ParallelPredictor<T>::do_predict_scores(const T* features,
+                                             std::size_t n_samples,
+                                             T* out) const {
+  if (pool_->threads.empty() || n_samples <= block_size_) {
+    inner_->predict_scores_prevalidated(features, n_samples, out);
+    return;
+  }
+  typename Pool::Job job;
+  job.features = features;
+  job.out_scores = out;
+  job.n_outputs = static_cast<std::size_t>(inner_->num_outputs());
+  job.n = n_samples;
+  job.block = block_size_;
+  pool_->run(job);
+}
+
 // ---------------------------------------------------------------------------
 // Factory.
 // ---------------------------------------------------------------------------
@@ -689,18 +1056,24 @@ std::unique_ptr<Predictor<T>> make_jit_predictor(
                                            forest.feature_count());
 }
 
-/// Builds a compact-layout predictor.  `mode` is "auto", "c16" or "c8".
-/// The key tables and forest stats are computed once here and shared by
-/// the auto-tuner and the packer (no tree is walked twice); "auto" falls
-/// back down the width chain (c8 -> c16 -> wide encoded interpreter) while
-/// the pinned widths throw when the model cannot be narrowed.
+/// The layout planning chain shared by the vote and score factories: key
+/// tables + forest stats computed once, "auto" falling back down the width
+/// chain (c8 -> c16 -> Wide), pinned widths validated against the narrow
+/// fitness.  `plan.width == Wide` tells the caller to serve through the
+/// wide encoded interpreter instead.
 template <typename T>
-std::unique_ptr<Predictor<T>> make_layout_predictor(
-    const trees::Forest<T>& forest, std::string_view mode,
-    const PredictorOptions& options) {
+struct LayoutChoice {
+  exec::layout::LayoutPlan plan;
+  exec::layout::KeyTableSet<T> tables;
+};
+
+template <typename T>
+LayoutChoice<T> choose_layout(const trees::Forest<T>& forest,
+                              std::string_view mode,
+                              const PredictorOptions& options) {
   namespace layout = exec::layout;
   const trees::ForestStats stats = trees::forest_stats(forest);
-  const layout::KeyTableSet<T> tables = layout::build_key_tables(forest);
+  layout::KeyTableSet<T> tables = layout::build_key_tables(forest);
   layout::NarrowFit fit;
   fit.ranks_fit_int16 = tables.fits_int16();
   fit.feature_count = forest.feature_count();
@@ -723,18 +1096,123 @@ std::unique_ptr<Predictor<T>> make_layout_predictor(
   }
   // Placement/traversal are tuned for the width actually packed (a pinned
   // width gets its own image-size decisions, not auto's).
-  const layout::LayoutPlan plan =
-      layout::auto_plan(stats, fit, options.block_size,
-                        layout::detect_cache_info(), force_width);
-  if (plan.width == layout::NodeWidth::Wide) {
+  return {layout::auto_plan(stats, fit, options.block_size,
+                            layout::detect_cache_info(), force_width),
+          std::move(tables)};
+}
+
+/// Builds a compact-layout predictor.  `mode` is "auto", "c16" or "c8".
+template <typename T>
+std::unique_ptr<Predictor<T>> make_layout_predictor(
+    const trees::Forest<T>& forest, std::string_view mode,
+    const PredictorOptions& options) {
+  const LayoutChoice<T> choice = choose_layout(forest, mode, options);
+  if (choice.plan.width == exec::layout::NodeWidth::Wide) {
     // Nothing compact fits: serve through the proven wide interpreter.
     return std::make_unique<FlintEnginePredictor<T>>(
         forest, exec::FlintVariant::Encoded, options.block_size);
   }
-  return std::make_unique<LayoutPredictor<T>>(forest, plan, tables);
+  return std::make_unique<LayoutPredictor<T>>(forest, choice.plan,
+                                              choice.tables);
+}
+
+/// Builds a compact-layout SCORE predictor via the same planning chain;
+/// the key-width fitness sees num_classes = leaf-value rows, so c8/c16 are
+/// only picked when the row index fits the packed key.  Falls back to the
+/// encoded interpreter accumulator when nothing compact fits.
+template <typename T>
+std::unique_ptr<Predictor<T>> make_layout_score_predictor(
+    const model::ForestModel<T>& m, std::string_view mode,
+    const PredictorOptions& options) {
+  const LayoutChoice<T> choice = choose_layout(m.forest, mode, options);
+  if (choice.plan.width == exec::layout::NodeWidth::Wide) {
+    return std::make_unique<FlintScorePredictor<T>>(
+        m, exec::FlintVariant::Encoded, options.block_size);
+  }
+  return std::make_unique<LayoutScorePredictor<T>>(m, choice.plan,
+                                                   choice.tables);
+}
+
+/// Score-model backend dispatch (the vote path reuses the forest factory).
+template <typename T>
+std::unique_ptr<Predictor<T>> make_score_predictor(
+    const model::ForestModel<T>& m, std::string_view backend,
+    const PredictorOptions& options) {
+  if (backend == "reference") {
+    return std::make_unique<ReferenceScorePredictor<T>>(m);
+  }
+  if (backend == "float") {
+    return std::make_unique<FloatScorePredictor<T>>(m, options.block_size);
+  }
+  if (backend == "flint" || backend == "encoded") {
+    return std::make_unique<FlintScorePredictor<T>>(
+        m, exec::FlintVariant::Encoded, options.block_size);
+  }
+  if (backend == "theorem1") {
+    return std::make_unique<FlintScorePredictor<T>>(
+        m, exec::FlintVariant::Theorem1, options.block_size);
+  }
+  if (backend == "theorem2") {
+    return std::make_unique<FlintScorePredictor<T>>(
+        m, exec::FlintVariant::Theorem2, options.block_size);
+  }
+  if (backend == "radix") {
+    return std::make_unique<FlintScorePredictor<T>>(
+        m, exec::FlintVariant::RadixKey, options.block_size);
+  }
+  if (backend == "simd:flint") {
+    return std::make_unique<SimdScorePredictor<T>>(
+        m, exec::simd::SimdMode::Flint, options.block_size);
+  }
+  if (backend == "simd:float") {
+    return std::make_unique<SimdScorePredictor<T>>(
+        m, exec::simd::SimdMode::Float, options.block_size);
+  }
+  if (backend.rfind("layout:", 0) == 0) {
+    return make_layout_score_predictor(m, backend.substr(7), options);
+  }
+  if (backend.rfind("jit:", 0) == 0) {
+    // The code generators emit class-returning classify() functions; for
+    // additive leaf-value models they fall back to the encoded FLInt
+    // interpreter (documented in make_predictor's contract).  Unknown jit
+    // names must still be rejected, not silently served.
+    if (!is_known_backend(backend)) {
+      throw std::invalid_argument("make_predictor: unknown backend '" +
+                                  std::string(backend) + "' (" +
+                                  backend_help() + ")");
+    }
+    return std::make_unique<FlintScorePredictor<T>>(
+        m, exec::FlintVariant::Encoded, options.block_size,
+        "encoded(fallback:" + std::string(backend) + ")");
+  }
+  throw std::invalid_argument("make_predictor: unknown backend '" +
+                              std::string(backend) + "' (" + backend_help() +
+                              ")");
 }
 
 }  // namespace
+
+template <typename T>
+std::unique_ptr<Predictor<T>> make_predictor(const model::ForestModel<T>& model,
+                                             std::string_view backend,
+                                             const PredictorOptions& options) {
+  if (const std::string err = model.validate(); !err.empty()) {
+    throw std::invalid_argument("make_predictor: invalid model: " + err);
+  }
+  if (model.is_vote()) {
+    // Majority-vote models ARE v1 forests semantically; every backend —
+    // including the real jit:* code paths — serves them unchanged.
+    return make_predictor(model.forest, backend, options);
+  }
+  std::unique_ptr<Predictor<T>> predictor =
+      make_score_predictor(model, backend, options);
+  if (options.threads != 1) {
+    predictor = std::make_unique<ParallelPredictor<T>>(
+        std::move(predictor), options.threads,
+        std::max<std::size_t>(options.block_size, 256));
+  }
+  return predictor;
+}
 
 template <typename T>
 std::unique_ptr<Predictor<T>> make_predictor(const trees::Forest<T>& forest,
@@ -793,5 +1271,11 @@ template std::unique_ptr<Predictor<float>> make_predictor<float>(
     const trees::Forest<float>&, std::string_view, const PredictorOptions&);
 template std::unique_ptr<Predictor<double>> make_predictor<double>(
     const trees::Forest<double>&, std::string_view, const PredictorOptions&);
+template std::unique_ptr<Predictor<float>> make_predictor<float>(
+    const model::ForestModel<float>&, std::string_view,
+    const PredictorOptions&);
+template std::unique_ptr<Predictor<double>> make_predictor<double>(
+    const model::ForestModel<double>&, std::string_view,
+    const PredictorOptions&);
 
 }  // namespace flint::predict

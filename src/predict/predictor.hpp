@@ -41,6 +41,7 @@
 #include "codegen/emit.hpp"
 #include "data/dataset.hpp"
 #include "jit/jit.hpp"
+#include "model/forest_model.hpp"
 #include "trees/forest.hpp"
 #include "trees/tree_stats.hpp"
 
@@ -56,6 +57,15 @@ class Predictor {
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual int num_classes() const noexcept = 0;
   [[nodiscard]] virtual std::size_t feature_count() const noexcept = 0;
+
+  /// Score outputs per sample (model::ForestModel::n_outputs) for backends
+  /// built from an additive leaf-value model; 0 for the classic
+  /// majority-vote backends, whose only product is a class id.
+  [[nodiscard]] virtual int num_outputs() const noexcept { return 0; }
+  /// True iff predict_scores is available (score-model backends).
+  [[nodiscard]] bool supports_scores() const noexcept {
+    return num_outputs() > 0;
+  }
 
   /// Classifies `n_samples` row-major samples.  `features` must hold exactly
   /// `n_samples * feature_count()` values, none of them NaN, and `out` at
@@ -84,6 +94,28 @@ class Predictor {
     do_predict_batch(features, n_samples, out);
   }
 
+  /// Final model scores for `n_samples` row-major samples:
+  /// `out[s*num_outputs()+j]` = base_score[j] + sum of leaf values over
+  /// trees, passed through the model's link (sigmoid probability, softmax
+  /// distribution, or the raw sum for link-free models; see
+  /// docs/MODEL_FORMATS.md "Numerical contract").  Shape/NaN validation
+  /// matches predict_batch; `out` needs n_samples * num_outputs() slots.
+  /// Throws std::logic_error for backends with num_outputs() == 0
+  /// (majority-vote models carry no leaf-value table).
+  void predict_scores(std::span<const T> features, std::size_t n_samples,
+                      std::span<T> out) const;
+
+  /// Convenience overload over a Dataset's backing storage; wider rows are
+  /// compacted to the model width exactly like predict_batch's overload.
+  void predict_scores(const data::Dataset<T>& dataset, std::span<T> out) const;
+
+  /// predict_batch_prevalidated's dual for the score path.
+  void predict_scores_prevalidated(const T* features, std::size_t n_samples,
+                                   T* out) const {
+    if (n_samples == 0) return;
+    do_predict_scores(features, n_samples, out);
+  }
+
   /// Fraction of dataset rows classified as labeled.
   [[nodiscard]] double accuracy(const data::Dataset<T>& dataset) const;
 
@@ -91,6 +123,12 @@ class Predictor {
   /// Shape-checked batch hook; must be const-thread-safe (see file comment).
   virtual void do_predict_batch(const T* features, std::size_t n_samples,
                                 std::int32_t* out) const = 0;
+
+  /// Shape-checked score hook; must be const-thread-safe.  The default
+  /// rejects the call — only score-model backends (num_outputs() > 0)
+  /// override it.
+  virtual void do_predict_scores(const T* features, std::size_t n_samples,
+                                 T* out) const;
 };
 
 /// CPU parallelism actually available to this process: the smaller of
@@ -161,6 +199,36 @@ struct PredictorOptions {
 template <typename T>
 [[nodiscard]] std::unique_ptr<Predictor<T>> make_predictor(
     const trees::Forest<T>& forest, std::string_view backend,
+    const PredictorOptions& options = {});
+
+/// Model-aware factory: builds a predictor for any ForestModel.
+/// Majority-vote models route through the forest factory above — every
+/// backend name works unchanged.  Additive leaf-value models (GBDT,
+/// soft-vote, regression) get float-accumulate backends:
+///
+///   reference                 per-sample per-tree accumulation over the
+///                             model copy (the score semantics baseline)
+///   float/encoded/flint/
+///   theorem1/theorem2/radix   blocked predict_tree accumulation over the
+///                             matching interpreter engine
+///   simd:flint | simd:float   SimdForestEngine::predict_scores (lockstep
+///                             lane traversal, float-accumulate epilogue)
+///   layout:auto|c16|c8        LayoutForestEngine::predict_scores (compact
+///                             nodes; the leaf payload is a leaf-value row
+///                             index, so the same key-width gates apply);
+///                             auto falls back to the encoded interpreter
+///                             when nothing compact fits
+///   jit:*                     falls back to the encoded interpreter (the
+///                             code generators emit class-returning
+///                             functions; the name records the fallback)
+///
+/// predict_batch on the result classifies via the aggregation (argmax /
+/// sigmoid threshold) when model.is_classifier(), and throws
+/// std::logic_error for regression models — predict_scores is their API.
+/// The model does not need to outlive the predictor.
+template <typename T>
+[[nodiscard]] std::unique_ptr<Predictor<T>> make_predictor(
+    const model::ForestModel<T>& model, std::string_view backend,
     const PredictorOptions& options = {});
 
 /// Backend names that need no JIT toolchain (interpreters + reference).
@@ -236,11 +304,16 @@ class ParallelPredictor final : public Predictor<T> {
   [[nodiscard]] std::size_t feature_count() const noexcept override {
     return inner_->feature_count();
   }
+  [[nodiscard]] int num_outputs() const noexcept override {
+    return inner_->num_outputs();
+  }
   [[nodiscard]] unsigned thread_count() const noexcept;
 
  protected:
   void do_predict_batch(const T* features, std::size_t n_samples,
                         std::int32_t* out) const override;
+  void do_predict_scores(const T* features, std::size_t n_samples,
+                         T* out) const override;
 
  private:
   struct Pool;  // jthread worker pool (definition in predictor.cpp)

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstdint>
 #include <fstream>
+#include <istream>
 #include <sstream>
 #include <stdexcept>
 
@@ -13,19 +14,67 @@ namespace {
 template <typename T>
 using BitsOf = std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>;
 
-[[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error("serialize: " + what);
-}
-
-std::string next_line(std::istream& in) {
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '#') return line;
+/// The index-th whitespace-delimited token of `line` (empty when absent),
+/// so error messages can name the offending token instead of echoing the
+/// whole line.
+std::string token_at(const std::string& line, std::size_t index) {
+  std::istringstream ls(line);
+  std::string token;
+  for (std::size_t i = 0; ls >> token; ++i) {
+    if (i == index) return token;
   }
-  fail("unexpected end of input");
+  return {};
 }
 
 }  // namespace
+
+std::string LineReader::next() {
+  std::string line;
+  if (!try_next(line)) {
+    fail("unexpected end of input");
+  }
+  return line;
+}
+
+bool LineReader::try_next(std::string& line) {
+  while (std::getline(in_, line)) {
+    ++line_no_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t i = 0;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i < line.size() && line[i] != '#') return true;
+  }
+  return false;
+}
+
+void LineReader::fail(const std::string& what, const std::string& line) const {
+  std::string msg = "serialize: line " + std::to_string(line_no_) + ": " + what;
+  if (!line.empty()) {
+    constexpr std::size_t kMaxContext = 60;
+    msg += ": \"" +
+           (line.size() > kMaxContext ? line.substr(0, kMaxContext) + "..."
+                                      : line) +
+           "\"";
+  }
+  throw std::runtime_error(msg);
+}
+
+template <typename T>
+T parse_hex_bits(const LineReader& reader, const std::string& token,
+                 const std::string& line, const std::string& what) {
+  std::uint64_t bits = 0;
+  std::istringstream hs(token);
+  char leftover = 0;
+  if (token.empty() || !(hs >> std::hex >> bits) || (hs >> leftover)) {
+    reader.fail("bad " + what + " (near '" + token + "')", line);
+  }
+  if constexpr (sizeof(T) == 4) {
+    if (bits > 0xFFFF'FFFFull) {
+      reader.fail(what + " '" + token + "' exceeds 32 bits", line);
+    }
+  }
+  return std::bit_cast<T>(static_cast<BitsOf<T>>(bits));
+}
 
 template <typename T>
 void write_tree(std::ostream& out, const Tree<T>& tree) {
@@ -39,34 +88,70 @@ void write_tree(std::ostream& out, const Tree<T>& tree) {
 }
 
 template <typename T>
-Tree<T> read_tree(std::istream& in) {
-  std::istringstream header(next_line(in));
+Tree<T> read_tree(LineReader& reader) {
+  const std::string header_line = reader.next();
+  std::istringstream header(header_line);
   std::string tag;
   std::size_t feature_count = 0;
   std::size_t n_nodes = 0;
-  if (!(header >> tag >> feature_count >> n_nodes) || tag != "tree") {
-    fail("expected 'tree <features> <nodes>' header");
+  if (!(header >> tag) || tag != "tree") {
+    reader.fail("expected 'tree <features> <nodes>' header (near '" +
+                    token_at(header_line, 0) + "')",
+                header_line);
+  }
+  if (!(header >> feature_count >> n_nodes)) {
+    reader.fail("bad tree header counts (near '" +
+                    token_at(header_line, 1) + " " +
+                    token_at(header_line, 2) + "')",
+                header_line);
   }
   Tree<T> tree(feature_count);
   for (std::size_t i = 0; i < n_nodes; ++i) {
-    std::istringstream ls(next_line(in));
+    const std::string line = reader.next();
+    std::istringstream ls(line);
     std::string ntag, hex;
     Node<T> node;
-    if (!(ls >> ntag >> node.feature >> hex >> node.left >> node.right >>
-          node.prediction) ||
-        ntag != "n") {
-      fail("bad node line " + std::to_string(i));
+    if (!(ls >> ntag) || ntag != "n") {
+      reader.fail("expected node " + std::to_string(i) + " (near '" +
+                      token_at(line, 0) + "')",
+                  line);
     }
-    std::uint64_t bits = 0;
-    std::istringstream hs(hex);
-    if (!(hs >> std::hex >> bits)) fail("bad split bits on node " + std::to_string(i));
-    node.split = std::bit_cast<T>(static_cast<BitsOf<T>>(bits));
+    if (!(ls >> node.feature >> hex >> node.left >> node.right >>
+          node.prediction)) {
+      // Replay the typed field sequence (int, hex token, int, int, int) to
+      // name the first token that failed to parse.
+      std::istringstream probe(line);
+      std::string tok;
+      probe >> tok;  // "n"
+      std::size_t field = 1;
+      for (; field <= 5; ++field) {
+        bool ok;
+        if (field == 2) {
+          std::string h;
+          ok = static_cast<bool>(probe >> h);
+        } else {
+          std::int32_t v;
+          ok = static_cast<bool>(probe >> v);
+        }
+        if (!ok) break;
+      }
+      reader.fail("bad node line (near '" + token_at(line, field) + "')",
+                  line);
+    }
+    node.split = parse_hex_bits<T>(reader, hex, line,
+                                   "split bits on node " + std::to_string(i));
     tree.add_node(node);
   }
   if (const std::string err = tree.validate(); !err.empty()) {
-    fail("invalid tree: " + err);
+    reader.fail("invalid tree: " + err);
   }
   return tree;
+}
+
+template <typename T>
+Tree<T> read_tree(std::istream& in) {
+  LineReader reader(in);
+  return read_tree<T>(reader);
 }
 
 template <typename T>
@@ -79,18 +164,35 @@ void write_forest(std::ostream& out, const Forest<T>& forest) {
 
 template <typename T>
 Forest<T> read_forest(std::istream& in) {
-  std::istringstream header(next_line(in));
+  LineReader reader(in);
+  const std::string header_line = reader.next();
+  std::istringstream header(header_line);
   std::string tag, version;
   int num_classes = 0;
   std::size_t n_trees = 0;
-  if (!(header >> tag >> version >> num_classes >> n_trees) || tag != "forest" ||
-      version != "v1") {
-    fail("expected 'forest v1 <classes> <trees>' header");
+  if (!(header >> tag >> version) || tag != "forest") {
+    reader.fail("expected 'forest v1 <classes> <trees>' header (near '" +
+                    token_at(header_line, 0) + "')",
+                header_line);
+  }
+  if (version == "v2") {
+    reader.fail(
+        "this is a v2 model container (typed leaves); load it with "
+        "model::load_model / load_any_model, not trees::load_forest");
+  }
+  if (version != "v1") {
+    reader.fail("unsupported forest version '" + version + "'", header_line);
+  }
+  if (!(header >> num_classes >> n_trees)) {
+    reader.fail("bad forest header counts (near '" +
+                    token_at(header_line, 2) + " " +
+                    token_at(header_line, 3) + "')",
+                header_line);
   }
   std::vector<Tree<T>> trees;
   trees.reserve(n_trees);
   for (std::size_t t = 0; t < n_trees; ++t) {
-    trees.push_back(read_tree<T>(in));
+    trees.push_back(read_tree<T>(reader));
     // Tree::validate cannot see the forest-level class count, but every
     // engine family — interpreters, SoA kernels, and generated jit code —
     // indexes a num_classes-wide vote array by leaf class ids without a
@@ -98,9 +200,9 @@ Forest<T> read_forest(std::istream& in) {
     // be rejected here.
     for (const auto& n : trees.back().nodes()) {
       if (n.is_leaf() && n.prediction >= num_classes) {
-        fail("tree " + std::to_string(t) + ": leaf class " +
-             std::to_string(n.prediction) + " out of range for " +
-             std::to_string(num_classes) + " classes");
+        reader.fail("tree " + std::to_string(t) + ": leaf class " +
+                    std::to_string(n.prediction) + " out of range for " +
+                    std::to_string(num_classes) + " classes");
       }
     }
   }
@@ -110,22 +212,31 @@ Forest<T> read_forest(std::istream& in) {
 template <typename T>
 void save_forest(const std::string& path, const Forest<T>& forest) {
   std::ofstream out(path);
-  if (!out) fail("cannot open '" + path + "' for writing");
+  if (!out) {
+    throw std::runtime_error("serialize: cannot open '" + path +
+                             "' for writing");
+  }
   write_forest(out, forest);
-  if (!out) fail("write failure on '" + path + "'");
+  if (!out) throw std::runtime_error("serialize: write failure on '" + path + "'");
 }
 
 template <typename T>
 Forest<T> load_forest(const std::string& path) {
   std::ifstream in(path);
-  if (!in) fail("cannot open '" + path + "'");
+  if (!in) throw std::runtime_error("serialize: cannot open '" + path + "'");
   return read_forest<T>(in);
 }
 
+template float parse_hex_bits<float>(const LineReader&, const std::string&,
+                                     const std::string&, const std::string&);
+template double parse_hex_bits<double>(const LineReader&, const std::string&,
+                                       const std::string&, const std::string&);
 template void write_tree<float>(std::ostream&, const Tree<float>&);
 template void write_tree<double>(std::ostream&, const Tree<double>&);
 template Tree<float> read_tree<float>(std::istream&);
 template Tree<double> read_tree<double>(std::istream&);
+template Tree<float> read_tree<float>(LineReader&);
+template Tree<double> read_tree<double>(LineReader&);
 template void write_forest<float>(std::ostream&, const Forest<float>&);
 template void write_forest<double>(std::ostream&, const Forest<double>&);
 template Forest<float> read_forest<float>(std::istream&);

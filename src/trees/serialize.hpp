@@ -4,10 +4,19 @@
 // round trip is bit-exact; this matters because FLInt's threshold encoding
 // and the generated immediates are functions of the exact bits.
 //
-// Format (line-oriented, '#' comments allowed):
+// v1 format (line-oriented, '#' comments allowed):
 //   forest v1 <num_classes> <n_trees>
 //   tree <feature_count> <n_nodes>
 //   n <feature> <split_bits_hex> <left> <right> <prediction>   (per node)
+//
+// The v2 container (typed leaves + aggregation + leaf-value table) wraps
+// the same tree blocks; it lives in model/model_io.hpp because it carries a
+// model::ForestModel.  load_forest on a v2 file fails with a message
+// pointing there.
+//
+// Parse errors throw std::runtime_error carrying the 1-based line number
+// and the offending token, e.g.
+//   serialize: line 7: bad node line (near 'xyz'): "n 3 xyz 1 2 -1"
 #pragma once
 
 #include <iosfwd>
@@ -18,11 +27,53 @@
 
 namespace flint::trees {
 
+/// Line-counting reader shared by the v1 forest parser and the v2 model
+/// parser (model/model_io.cpp): skips '#' comments and blank lines, tracks
+/// the 1-based number of the last line handed out, and formats every parse
+/// failure with that position.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// Next non-comment, non-blank line; throws via fail() at end of input.
+  [[nodiscard]] std::string next();
+
+  /// True and fills `line` when another content line exists; false at EOF.
+  [[nodiscard]] bool try_next(std::string& line);
+
+  /// 1-based number of the last line returned (0 before the first).
+  [[nodiscard]] std::size_t line_number() const noexcept { return line_no_; }
+
+  /// Throws std::runtime_error as "serialize: line <n>: <what>"; pass the
+  /// offending line text to append it (truncated) for context.
+  [[noreturn]] void fail(const std::string& what,
+                         const std::string& line = {}) const;
+
+ private:
+  std::istream& in_;
+  std::size_t line_no_ = 0;
+};
+
+/// Parses one hexadecimal bit-pattern token into T's exact bits (the
+/// storage form of every floating-point payload in v1 and v2 files).
+/// Rejects trailing characters and patterns wider than T, failing through
+/// `reader` so the message carries the line number, `what` and the token.
+template <typename T>
+[[nodiscard]] T parse_hex_bits(const LineReader& reader,
+                               const std::string& token,
+                               const std::string& line,
+                               const std::string& what);
+
 template <typename T>
 void write_tree(std::ostream& out, const Tree<T>& tree);
 
 template <typename T>
 [[nodiscard]] Tree<T> read_tree(std::istream& in);
+
+/// Reader-based form used by multi-section parsers (read_forest, the v2
+/// model container) so line numbers stay correct across blocks.
+template <typename T>
+[[nodiscard]] Tree<T> read_tree(LineReader& reader);
 
 template <typename T>
 void write_forest(std::ostream& out, const Forest<T>& forest);

@@ -46,14 +46,19 @@ std::vector<float> adversarial_features(const flint::trees::Forest<float>& fores
                             std::numeric_limits<float>::max(),
                             std::numeric_limits<float>::lowest()};
   std::mt19937_64 rng(seed);
-  std::uniform_int_distribution<std::size_t> pick_split(0, splits.size() - 1);
+  // Leaf-only forests (degenerate-ensemble tests) have no splits to hit;
+  // the distribution bound below must stay well-formed regardless.
+  std::uniform_int_distribution<std::size_t> pick_split(
+      0, splits.empty() ? 0 : splits.size() - 1);
   std::uniform_int_distribution<std::size_t> pick_special(0, std::size(specials) - 1);
   std::uniform_int_distribution<int> kind(0, 3);
   std::uniform_real_distribution<float> uniform(-100.0f, 100.0f);
   std::vector<float> features(n_samples * forest.feature_count());
   for (auto& v : features) {
     switch (kind(rng)) {
-      case 0: v = splits[pick_split(rng)]; break;
+      case 0:
+        v = splits.empty() ? uniform(rng) : splits[pick_split(rng)];
+        break;
       case 1: v = specials[pick_special(rng)]; break;
       default: v = uniform(rng);
     }
@@ -339,6 +344,104 @@ TEST_F(TrainedForest, UnknownBackendThrowsWithVocabulary) {
   // jit:cags-* without branch stats is rejected up front.
   EXPECT_THROW((void)make_predictor(forest_, "jit:cags-flint"),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate ensembles: single-node (leaf-only root) trees, single-tree
+// forests, and a forest whose every tree predicts the same class, checked
+// bit-identical to Forest::predict across the interpreter, SoA SIMD and
+// compact-layout backend families.
+// ---------------------------------------------------------------------------
+
+/// Backends every degenerate shape must survive (jit:* is out of scope for
+/// this satellite; the codegen suites cover it on regular shapes).
+const char* const kDegenerateBackends[] = {"encoded",     "simd:flint",
+                                           "simd:float",  "layout:auto",
+                                           "layout:c16",  "layout:c8"};
+
+void expect_backends_match(const flint::trees::Forest<float>& forest,
+                           std::size_t n_samples, std::uint64_t seed) {
+  const std::size_t cols = forest.feature_count();
+  const auto features = adversarial_features(forest, n_samples, seed);
+  std::vector<std::int32_t> expected(n_samples);
+  for (std::size_t s = 0; s < n_samples; ++s) {
+    expected[s] = forest.predict({features.data() + s * cols, cols});
+  }
+  for (const char* backend : kDegenerateBackends) {
+    const auto predictor = make_predictor(forest, backend);
+    std::vector<std::int32_t> got(n_samples, -1);
+    predictor->predict_batch(features, n_samples, got);
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      EXPECT_EQ(got[s], expected[s]) << backend << " sample " << s;
+    }
+    // Single-sample path too (layout's interleaved latency route).
+    const auto one = predictor->predict_one({features.data(), cols});
+    EXPECT_EQ(one, expected[0]) << backend;
+  }
+}
+
+TEST(DegenerateEnsembles, LeafOnlyRootTrees) {
+  // Every tree is a lone leaf; class 2 has two votes and must win.
+  std::vector<flint::trees::Tree<float>> trees;
+  for (const int cls : {2, 0, 2, 1}) {
+    flint::trees::Tree<float> t(3);
+    t.add_leaf(cls);
+    trees.push_back(std::move(t));
+  }
+  const flint::trees::Forest<float> forest(std::move(trees), 3);
+  expect_backends_match(forest, 64, 41);
+}
+
+TEST(DegenerateEnsembles, MixedLeafOnlyAndRealTrees) {
+  // A leaf-only tree inside an otherwise normal forest: the packers must
+  // place a root that is also a leaf next to deep spines.
+  std::vector<flint::trees::Tree<float>> trees;
+  flint::trees::Tree<float> deep(2);
+  {
+    const auto root = deep.add_split(0, 0.25f);
+    const auto inner = deep.add_split(1, -1.5f);
+    const auto l0 = deep.add_leaf(0);
+    const auto l2 = deep.add_leaf(2);
+    const auto l1 = deep.add_leaf(1);
+    deep.link(root, inner, l1);
+    deep.link(inner, l0, l2);
+  }
+  trees.push_back(std::move(deep));
+  {
+    flint::trees::Tree<float> lone(2);
+    lone.add_leaf(2);
+    trees.push_back(std::move(lone));
+  }
+  const flint::trees::Forest<float> forest(std::move(trees), 3);
+  expect_backends_match(forest, 64, 43);
+}
+
+TEST(DegenerateEnsembles, SingleTreeForest) {
+  const auto ds = flint::data::generate<float>(flint::data::eye_spec(), 5, 300);
+  flint::trees::ForestOptions opt;
+  opt.n_trees = 1;
+  opt.tree.max_depth = 6;
+  const auto forest = flint::trees::train_forest(ds, opt);
+  ASSERT_EQ(forest.size(), 1u);
+  expect_backends_match(forest, 128, 47);
+}
+
+TEST(DegenerateEnsembles, EveryTreePredictsTheSameClass) {
+  // Real splits, constant leaves: vote arrays get all counts in one bin.
+  std::vector<flint::trees::Tree<float>> trees;
+  for (int i = 0; i < 4; ++i) {
+    flint::trees::Tree<float> t(3);
+    const auto root = t.add_split(i % 3, 0.5f + static_cast<float>(i));
+    const auto inner = t.add_split((i + 1) % 3, -0.25f);
+    const auto l1 = t.add_leaf(1);
+    const auto l2 = t.add_leaf(1);
+    const auto l3 = t.add_leaf(1);
+    t.link(root, inner, l3);
+    t.link(inner, l1, l2);
+    trees.push_back(std::move(t));
+  }
+  const flint::trees::Forest<float> forest(std::move(trees), 4);
+  expect_backends_match(forest, 64, 53);
 }
 
 TEST(PredictorDouble, DoubleWidthBackendsMatchForestPredict) {

@@ -308,6 +308,58 @@ TEST(Serialize, MalformedInputThrows) {
                std::runtime_error);
 }
 
+/// Extracts what() from the parse failure of `content` via read_forest.
+std::string forest_parse_error(const std::string& content) {
+  std::istringstream in(content);
+  try {
+    (void)flint::trees::read_forest<float>(in);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Serialize, ErrorsCarryLineNumbersAndTokens) {
+  // Corrupt split bits on the second node line = physical line 4 (the
+  // comment line counts; line numbers are positions in the FILE).
+  const std::string corrupt =
+      "# comment\n"
+      "forest v1 2 1\n"
+      "tree 1 3\n"
+      "n 0 zzzz 1 2 -1\n"
+      "n -1 0 -1 -1 0\n"
+      "n -1 0 -1 -1 1\n";
+  const std::string err = forest_parse_error(corrupt);
+  EXPECT_NE(err.find("line 4"), std::string::npos) << err;
+  EXPECT_NE(err.find("zzzz"), std::string::npos) << err;
+
+  // Truncated file: the header promises a node that never arrives; the
+  // error points one past the last line read.
+  const std::string truncated =
+      "forest v1 2 1\n"
+      "tree 1 3\n"
+      "n 0 3f800000 1 2 -1\n"
+      "n -1 0 -1 -1 0\n";
+  const std::string trunc_err = forest_parse_error(truncated);
+  EXPECT_NE(trunc_err.find("line 4"), std::string::npos) << trunc_err;
+  EXPECT_NE(trunc_err.find("end of input"), std::string::npos) << trunc_err;
+
+  // Non-numeric child index: the offending token is named.
+  const std::string bad_child =
+      "forest v1 2 1\n"
+      "tree 1 1\n"
+      "n -1 0 oops -1 0\n";
+  const std::string child_err = forest_parse_error(bad_child);
+  EXPECT_NE(child_err.find("line 3"), std::string::npos) << child_err;
+  EXPECT_NE(child_err.find("oops"), std::string::npos) << child_err;
+
+  // Wrong header tag: names the token it saw.
+  const std::string bad_header = "woods v1 2 1\n";
+  const std::string header_err = forest_parse_error(bad_header);
+  EXPECT_NE(header_err.find("line 1"), std::string::npos) << header_err;
+  EXPECT_NE(header_err.find("woods"), std::string::npos) << header_err;
+}
+
 TEST(TreeStats, BranchProbabilitiesSumCorrectly) {
   const auto t = example_tree();
   flint::data::Dataset<float> ds("probe", 2);

@@ -1,0 +1,85 @@
+#!/bin/sh
+# check_convert_roundtrip.sh — the CI "Convert roundtrip" gate.
+#
+# For every vendored external-model fixture (tests/fixtures/external/):
+#   1. `flint-forest convert` ingests it into the native v2 format;
+#   2. the converted model reloads and predicts the fixture's input CSV;
+#   3. class predictions must equal the committed expectations EXACTLY;
+#   4. score predictions must match the committed expectations within the
+#      documented tolerance (|diff| <= 1e-6 absolute — the expectations
+#      are float32 round-trip prints, so this is ~2 ULP at these scales;
+#      see docs/MODEL_FORMATS.md "Numerical contract").
+#
+# Usage: tools/check_convert_roundtrip.sh <flint-forest-binary> [source-root]
+set -eu
+
+bin=${1:?usage: check_convert_roundtrip.sh <flint-forest-binary> [source-root]}
+root=${2:-$(dirname "$0")/..}
+fixtures="$root/tests/fixtures/external"
+work=$(mktemp -d "${TMPDIR:-/tmp}/flint_convert_XXXXXX")
+trap 'rm -rf "$work"' EXIT
+
+status=0
+
+check_scores() {
+    # $1 got, $2 want: numeric compare of comma-separated rows.
+    awk -F, 'NR==FNR { for (i=1;i<=NF;i++) want[FNR","i]=$i; rows=FNR; next }
+        {
+          for (i=1;i<=NF;i++) {
+            d = $i - want[FNR","i]; if (d < 0) d = -d
+            if (d > 1e-6) {
+              printf "  score mismatch row %d col %d: got %s want %s\n", \
+                     FNR, i, $i, want[FNR","i]
+              bad = 1
+            }
+          }
+        }
+        END { if (FNR != rows) { print "  row count mismatch"; bad = 1 }
+              exit bad }' "$2" "$1"
+}
+
+for model in xgb_binary.json lgbm_regression.txt sklearn_multiclass.json; do
+    stem=${model%%.*}
+    echo "== $model"
+    "$bin" convert --in "$fixtures/$model" --out "$work/$stem.v2"
+
+    # Score roundtrip (every fixture commits expected scores).
+    "$bin" predict --model "$work/$stem.v2" \
+        --data "$fixtures/${stem}_input.csv" --output scores \
+        --engine layout:auto \
+        | sed '$d' > "$work/$stem.scores"       # drop the summary line
+    if ! check_scores "$work/$stem.scores" \
+         "$fixtures/${stem}_expected_scores.txt"; then
+        echo "FAIL: $model scores diverge from committed expectations" >&2
+        status=1
+    fi
+
+    # Class roundtrip (classifier fixtures; exact agreement required).
+    if [ -f "$fixtures/${stem}_expected_classes.txt" ]; then
+        "$bin" predict --model "$work/$stem.v2" \
+            --data "$fixtures/${stem}_input.csv" --labels yes \
+            --engine simd:flint \
+            | sed '$d' > "$work/$stem.classes"
+        if ! diff -u "$fixtures/${stem}_expected_classes.txt" \
+             "$work/$stem.classes" > /dev/null; then
+            echo "FAIL: $model classes diverge from committed expectations" >&2
+            diff -u "$fixtures/${stem}_expected_classes.txt" \
+                 "$work/$stem.classes" | head -10 >&2 || true
+            status=1
+        fi
+        # The input CSV's label column IS the expected class: the CLI's own
+        # accuracy readout must therefore be 1.
+        acc=$("$bin" predict --model "$work/$stem.v2" \
+              --data "$fixtures/${stem}_input.csv" --engine encoded \
+              | sed -n 's/^accuracy \([0-9.]*\).*/\1/p')
+        if [ "$acc" != "1" ]; then
+            echo "FAIL: $model accuracy $acc != 1 on its own expectations" >&2
+            status=1
+        fi
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "convert roundtrip: all fixtures reproduce their committed predictions"
+fi
+exit $status

@@ -1,0 +1,432 @@
+#!/usr/bin/env python3
+"""Generates the vendored external-model fixtures under tests/fixtures/external.
+
+Produces one model file per supported ingestion format plus, for each, an
+input CSV and committed reference predictions:
+
+  xgb_binary.json        XGBoost JSON dump wrapper, binary:logistic
+  lgbm_regression.txt    LightGBM text model, objective=regression
+  sklearn_multiclass.json  sklearn-forest export, 3-class soft vote
+
+The oracle here mirrors the C++ float32 pipeline EXACTLY (stdlib only, no
+xgboost/lightgbm needed):
+
+  * every threshold/leaf/feature value is evaluated at the precision the
+    loader produces (strtof rounding for XGBoost's float32-native dumps,
+    round-toward-minus-infinity float32 narrowing for the float64-native
+    LightGBM/sklearn files — see src/model/loader_util.hpp);
+  * leaf-value accumulation runs in float32, base first then trees in
+    order — the summation order every score backend uses — so expected
+    scores are bit-comparable, not just approximately right;
+  * links (sigmoid/softmax) are evaluated in double and rounded once to
+    float32, matching model::apply_link.
+
+The generator asserts every sample's decision margin is comfortably wider
+than float32 accumulation noise, so expected CLASSES are exact.
+
+Run from the repo root:  python3 tools/make_external_fixtures.py
+The outputs are committed; rerunning must be a no-op (fixed seed).
+"""
+
+import json
+import math
+import os
+import random
+import struct
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "tests",
+                       "fixtures", "external")
+
+
+def f32(x: float) -> float:
+    """Round a double to the nearest float32 (what strtof/static_cast do)."""
+    return struct.unpack("f", struct.pack("f", x))[0]
+
+
+def f32_next_down(f: float) -> float:
+    """nextafterf(f, -inf) for a float32-representable f."""
+    if f == 0.0:
+        return struct.unpack("f", struct.pack("I", 0x80000001))[0]
+    bits = struct.unpack("I", struct.pack("f", f))[0]
+    bits = bits - 1 if f > 0 else bits + 1
+    return struct.unpack("f", struct.pack("I", bits))[0]
+
+
+def f32_down(x: float) -> float:
+    """Largest float32 <= x (loader_util narrow_threshold_le<float>)."""
+    f = f32(x)
+    return f32_next_down(f) if f > x else f
+
+
+def fmt(x: float) -> str:
+    """Round-trip decimal for a float32-representable value."""
+    return repr(x)
+
+
+def q(x: float) -> float:
+    """Quantize to a float32-and-decimal-exact grid (n/256)."""
+    return round(x * 256.0) / 256.0
+
+
+class Rng:
+    def __init__(self, seed):
+        self.r = random.Random(seed)
+
+    def grid(self, lo, hi):
+        return q(self.r.uniform(lo, hi))
+
+
+# ---------------------------------------------------------------------------
+# Generic tree structure: nested dict {feature, threshold, left, right} or
+# {leaf: value}.  Split rule is attached per format at evaluation time.
+# ---------------------------------------------------------------------------
+
+def random_tree(rng, n_features, depth, leaf_fn):
+    if depth == 0 or rng.r.random() < 0.2:
+        return {"leaf": leaf_fn()}
+    return {
+        "feature": rng.r.randrange(n_features),
+        "threshold": rng.grid(-2.0, 2.0),
+        "left": random_tree(rng, n_features, depth - 1, leaf_fn),
+        "right": random_tree(rng, n_features, depth - 1, leaf_fn),
+    }
+
+
+def eval_tree(node, x, less_than):
+    """Walks with the source model's own rule on already-rounded values."""
+    while "leaf" not in node:
+        v = x[node["feature"]]
+        t = node["eff_threshold"]
+        go_left = (v < t) if less_than else (v <= t)
+        node = node["left"] if go_left else node["right"]
+    return node["eff_leaf"]
+
+
+def annotate(node, thr_fn, leaf_fn):
+    """Stamps the loader-precision threshold/leaf value onto each node."""
+    if "leaf" in node:
+        node["eff_leaf"] = leaf_fn(node["leaf"])
+        return
+    node["eff_threshold"] = thr_fn(node["threshold"])
+    annotate(node["left"], thr_fn, leaf_fn)
+    annotate(node["right"], thr_fn, leaf_fn)
+
+
+def collect_thresholds(node, out):
+    if "leaf" not in node:
+        out.append(node["eff_threshold"])
+        collect_thresholds(node["left"], out)
+        collect_thresholds(node["right"], out)
+
+
+def make_inputs(rng, trees, n_features, n_rows, accept=lambda row: True):
+    """Feature rows on the value grid, plus deliberate exact threshold hits
+    (x == t) to pin the <= / < boundary semantics.  `accept` rejects rows
+    whose decision margin is too thin for exact class expectations."""
+    thresholds = []
+    for t in trees:
+        collect_thresholds(t, thresholds)
+    rows = []
+    while len(rows) < n_rows:
+        row = [f32(rng.grid(-2.5, 2.5)) for _ in range(n_features)]
+        if thresholds and len(rows) % 3 == 0:
+            # Hit a threshold exactly on a random feature.
+            row[rng.r.randrange(n_features)] = f32(rng.r.choice(thresholds))
+        if accept(row):
+            rows.append(row)
+    return rows
+
+
+def accumulate_f32(base, per_tree_rows):
+    """base + rows summed with float32 arithmetic in tree order."""
+    acc = list(base)
+    for row in per_tree_rows:
+        for j in range(len(acc)):
+            acc[j] = f32(acc[j] + row[j])
+    return acc
+
+
+def sigmoid_f32(raw):
+    return f32(1.0 / (1.0 + math.exp(-raw)))
+
+
+def softmax_f32(raw):
+    hi = max(raw)
+    denom = sum(math.exp(v - hi) for v in raw)
+    return [f32(math.exp(v - hi) / denom) for v in raw]
+
+
+def write(path, text):
+    with open(path, "w") as f:
+        f.write(text)
+    print("wrote", path)
+
+
+def write_csv(path, rows, labels):
+    lines = ["# features..., label"]
+    for row, label in zip(rows, labels):
+        lines.append(",".join(fmt(v) for v in row) + "," + str(label))
+    write(path, "\n".join(lines) + "\n")
+
+
+def write_scores(path, scores):
+    write(path, "\n".join(",".join("%.9g" % v for v in row)
+                          for row in scores) + "\n")
+
+
+def write_classes(path, classes):
+    write(path, "\n".join(str(c) for c in classes) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# XGBoost: binary:logistic, float32-native, x < t rule.
+# ---------------------------------------------------------------------------
+
+def xgb_node_json(node, next_id):
+    nid = next_id[0]
+    next_id[0] += 1
+    if "leaf" in node:
+        return {"nodeid": nid, "leaf": node["leaf"]}
+    left = xgb_node_json(node["left"], next_id)
+    right = xgb_node_json(node["right"], next_id)
+    return {
+        "nodeid": nid,
+        "depth": 0,
+        "split": "f%d" % node["feature"],
+        "split_condition": node["threshold"],
+        "yes": left["nodeid"],
+        "no": right["nodeid"],
+        "missing": left["nodeid"],
+        "children": [left, right],
+    }
+
+
+def gen_xgboost(rng_seed, n_rows):
+    rng = Rng(rng_seed)
+    n_features, n_trees = 4, 5
+    trees = [random_tree(rng, n_features, 3, lambda: rng.grid(-0.5, 0.5))
+             for _ in range(n_trees)]
+    # One deliberately non-grid threshold: proves strtof ingestion of a
+    # non-terminating decimal ("0.1") is bit-exact.
+    for t in trees:
+        if "feature" in t:
+            t["threshold"] = 0.1
+            break
+    base_score = q(0.125)  # margin space (documented wrapper contract)
+    for t in trees:
+        annotate(t, thr_fn=f32, leaf_fn=f32)
+
+    def margin_of(x):
+        per_tree = [[eval_tree(t, x, less_than=True)] for t in trees]
+        return accumulate_f32([f32(base_score)], per_tree)[0]
+
+    rows = make_inputs(rng, trees, n_features, n_rows,
+                       accept=lambda x: abs(margin_of(x)) > 1e-3)
+    scores, classes = [], []
+    for x in rows:
+        margin = margin_of(x)
+        classes.append(1 if margin > 0 else 0)
+        scores.append([sigmoid_f32(margin)])
+
+    doc = {
+        "objective": "binary:logistic",
+        "base_score": base_score,
+        "n_features": n_features,
+        "trees": [xgb_node_json(t, [0]) for t in trees],
+    }
+    write(os.path.join(OUT_DIR, "xgb_binary.json"),
+          json.dumps(doc, indent=1) + "\n")
+    write_csv(os.path.join(OUT_DIR, "xgb_binary_input.csv"), rows, classes)
+    write_classes(os.path.join(OUT_DIR, "xgb_binary_expected_classes.txt"),
+                  classes)
+    write_scores(os.path.join(OUT_DIR, "xgb_binary_expected_scores.txt"),
+                 scores)
+
+
+# ---------------------------------------------------------------------------
+# LightGBM: regression, float64-native, x <= t rule.
+# ---------------------------------------------------------------------------
+
+def lgbm_arrays(tree):
+    """LightGBM parallel arrays: internal nodes preorder, leaves in
+    discovery order; child >= 0 internal, child < 0 encodes leaf ~index."""
+    split_feature, threshold, left_child, right_child, leaf_value = \
+        [], [], [], [], []
+
+    def emit(node):
+        if "leaf" in node:
+            leaf_value.append(node["leaf"])
+            return -len(leaf_value)
+        idx = len(split_feature)
+        split_feature.append(node["feature"])
+        threshold.append(node["threshold"])
+        left_child.append(None)
+        right_child.append(None)
+        left_child[idx] = emit(node["left"])
+        right_child[idx] = emit(node["right"])
+        return idx
+
+    emit(tree)
+    return split_feature, threshold, left_child, right_child, leaf_value
+
+
+def gen_lightgbm(rng_seed, n_rows):
+    rng = Rng(rng_seed)
+    n_features, n_trees = 3, 4
+    trees = [random_tree(rng, n_features, 3, lambda: rng.grid(-1.0, 1.0))
+             for _ in range(n_trees - 1)]
+    trees.append({"leaf": rng.grid(-0.25, 0.25)})  # single-leaf tree
+    # A float64 threshold that is NOT float32-representable: exercises the
+    # round-toward-minus-infinity narrowing.
+    if "feature" in trees[0]:
+        trees[0]["threshold"] = 0.30000000000000004
+    for t in trees:
+        annotate(t, thr_fn=f32_down, leaf_fn=f32)
+
+    rows = make_inputs(rng, trees, n_features, n_rows)
+    scores = []
+    for x in rows:
+        per_tree = [[eval_tree(t, x, less_than=False)] for t in trees]
+        scores.append(accumulate_f32([0.0], per_tree))
+
+    blocks = ["tree", "version=v3", "num_class=1", "num_tree_per_iteration=1",
+              "label_index=0", "max_feature_idx=%d" % (n_features - 1),
+              "objective=regression",
+              "feature_names=" + " ".join("f%d" % i
+                                          for i in range(n_features)), ""]
+    for i, t in enumerate(trees):
+        sf, th, lc, rc, lv = lgbm_arrays(t)
+        blocks.append("Tree=%d" % i)
+        blocks.append("num_leaves=%d" % len(lv))
+        blocks.append("num_cat=0")
+        if sf:
+            blocks.append("split_feature=" + " ".join(map(str, sf)))
+            blocks.append("threshold=" + " ".join(repr(v) for v in th))
+            blocks.append("decision_type=" + " ".join(["2"] * len(sf)))
+            blocks.append("left_child=" + " ".join(map(str, lc)))
+            blocks.append("right_child=" + " ".join(map(str, rc)))
+        blocks.append("leaf_value=" + " ".join(repr(v) for v in lv))
+        blocks.append("shrinkage=1")
+        blocks.append("")
+    blocks.append("end of trees")
+    write(os.path.join(OUT_DIR, "lgbm_regression.txt"),
+          "\n".join(blocks) + "\n")
+    write_csv(os.path.join(OUT_DIR, "lgbm_regression_input.csv"), rows,
+              [0] * len(rows))
+    write_scores(os.path.join(OUT_DIR, "lgbm_regression_expected_scores.txt"),
+                 scores)
+
+
+# ---------------------------------------------------------------------------
+# sklearn: 3-class soft-vote classifier, float64-native, x <= t rule.
+# ---------------------------------------------------------------------------
+
+def sklearn_arrays(tree, k, rng):
+    """sklearn-style parallel arrays (preorder, leaf sentinel -1/-2)."""
+    left, right, feature, threshold, value = [], [], [], [], []
+
+    def emit(node):
+        idx = len(left)
+        left.append(-1)
+        right.append(-1)
+        if "leaf" in node:
+            feature.append(-2)
+            threshold.append(-2.0)
+            value.append(node["leaf"])
+            return idx
+        feature.append(node["feature"])
+        threshold.append(node["threshold"])
+        value.append([0.0] * k)  # internal rows unused by the loader
+        left[idx] = emit(node["left"])
+        right[idx] = emit(node["right"])
+        return idx
+
+    emit(tree)
+    return left, right, feature, threshold, value
+
+
+def gen_sklearn(rng_seed, n_rows):
+    rng = Rng(rng_seed)
+    n_features, n_trees, k = 5, 4, 3
+
+    def leaf():
+        # Class-count rows (integers): normalization at load is exact-ish
+        # and mirrors older sklearn exports.
+        counts = [rng.r.randrange(0, 20) for _ in range(k)]
+        if sum(counts) == 0:
+            counts[rng.r.randrange(k)] = 1
+        return counts
+
+    trees = [random_tree(rng, n_features, 3, leaf) for _ in range(n_trees)]
+
+    def eff_leaf(counts):
+        s = float(sum(counts))
+        return [f32((c / s) * (1.0 / n_trees)) for c in counts]
+
+    for t in trees:
+        annotate(t, thr_fn=f32_down, leaf_fn=eff_leaf)
+
+    def raw_of(x):
+        per_tree = [eval_tree(t, x, less_than=False) for t in trees]
+        return accumulate_f32([0.0] * k, per_tree)
+
+    def margin_ok(x):
+        raw = raw_of(x)
+        order = sorted(range(k), key=lambda j: (-raw[j], j))
+        return raw[order[0]] - raw[order[1]] > 1e-3
+
+    rows = make_inputs(rng, trees, n_features, n_rows, accept=margin_ok)
+    scores, classes = [], []
+    for x in rows:
+        raw = raw_of(x)
+        classes.append(min(j for j in range(k)
+                           if raw[j] == max(raw)))  # first-maximum tie rule
+        scores.append(raw)  # link none: final scores are the sums
+
+    jt = []
+    for t in trees:
+        left, right, feature, threshold, value = sklearn_arrays(t, k, rng)
+        jt.append({
+            "children_left": left,
+            "children_right": right,
+            "feature": feature,
+            "threshold": threshold,
+            "value": value,
+        })
+    doc = {
+        "format": "sklearn-forest",
+        "model_type": "random_forest_classifier",
+        "n_features": n_features,
+        "n_classes": k,
+        "trees": jt,
+    }
+    text = json.dumps(doc, indent=1)
+    # Swap one decimal threshold for its hex-float spelling: the loaders
+    # accept C99 hex floats and must recover identical bits.
+    first = None
+    for t in trees:
+        if "feature" in t:
+            first = t["threshold"]
+            break
+    if first is not None:
+        text = text.replace(json.dumps(first), float(first).hex(), 1)
+    write(os.path.join(OUT_DIR, "sklearn_multiclass.json"), text + "\n")
+    write_csv(os.path.join(OUT_DIR, "sklearn_multiclass_input.csv"), rows,
+              classes)
+    write_classes(
+        os.path.join(OUT_DIR, "sklearn_multiclass_expected_classes.txt"),
+        classes)
+    write_scores(
+        os.path.join(OUT_DIR, "sklearn_multiclass_expected_scores.txt"),
+        scores)
+
+
+def main():
+    os.makedirs(OUT_DIR, exist_ok=True)
+    gen_xgboost(rng_seed=11, n_rows=24)
+    gen_lightgbm(rng_seed=23, n_rows=24)
+    gen_sklearn(rng_seed=37, n_rows=24)
+
+
+if __name__ == "__main__":
+    main()
