@@ -42,6 +42,7 @@ struct FloatTraits<float> {
   using Unsigned = std::uint32_t;
   static constexpr Signed sign_mask = std::int32_t{1} << 31;
   static constexpr Unsigned abs_mask = 0x7FFF'FFFFu;
+  static constexpr Unsigned exp_mask = 0x7F80'0000u;
   static constexpr const char* c_int_type = "int32_t";
   static constexpr int bits = 32;
 };
@@ -52,6 +53,7 @@ struct FloatTraits<double> {
   using Unsigned = std::uint64_t;
   static constexpr Signed sign_mask = std::int64_t{1} << 63;
   static constexpr Unsigned abs_mask = 0x7FFF'FFFF'FFFF'FFFFull;
+  static constexpr Unsigned exp_mask = 0x7FF0'0000'0000'0000ull;
   static constexpr const char* c_int_type = "int64_t";
   static constexpr int bits = 64;
 };
@@ -69,6 +71,18 @@ template <FlintFloat T>
 template <FlintFloat T>
 [[nodiscard]] constexpr T from_si_bits(typename FloatTraits<T>::Signed bits) noexcept {
   return std::bit_cast<T>(bits);
+}
+
+/// NaN test on the two's-complement reading itself: a pattern is NaN iff its
+/// magnitude bits exceed the exponent mask (all-ones exponent, non-zero
+/// mantissa).  This is the integer-side isnan every missing-value-aware
+/// engine uses, so NaN routing never needs a float comparison.
+template <FlintFloat T>
+[[nodiscard]] constexpr bool is_nan_bits(
+    typename FloatTraits<T>::Signed bits) noexcept {
+  using U = typename FloatTraits<T>::Unsigned;
+  return (static_cast<U>(bits) & FloatTraits<T>::abs_mask) >
+         FloatTraits<T>::exp_mask;
 }
 
 // ---------------------------------------------------------------------------

@@ -65,6 +65,15 @@ Dataset<T> read_csv(std::istream& in, const std::string& name) {
                std::to_string(fields.size() - 1));
     }
     for (std::size_t i = 0; i + 1 < fields.size(); ++i) {
+      // An empty feature field is a missing value (the convention of every
+      // booster's CSV tooling) and reads as quiet NaN; whether NaN is
+      // accepted downstream is the predictor's MissingPolicy, not the
+      // reader's concern.  The label column stays strict — an empty label
+      // is a malformed row, not a missing feature.
+      if (fields[i].empty()) {
+        features.push_back(std::numeric_limits<T>::quiet_NaN());
+        continue;
+      }
       features.push_back(parse_scalar<T>(fields[i], name, line_no));
     }
     const int label = parse_scalar<int>(fields.back(), name, line_no);

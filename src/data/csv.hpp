@@ -15,8 +15,10 @@
 namespace flint::data {
 
 /// Parses a dataset from a stream.  `name` is attached to the result.
-/// Throws std::runtime_error with a 1-based line number on malformed input
-/// (wrong column count, non-numeric field, non-integer/negative label).
+/// An empty feature field reads as quiet NaN (a missing value; the label
+/// column stays strict).  Throws std::runtime_error with a 1-based line
+/// number on malformed input (wrong column count, non-numeric field,
+/// non-integer/negative label).
 template <typename T>
 [[nodiscard]] Dataset<T> read_csv(std::istream& in, const std::string& name);
 

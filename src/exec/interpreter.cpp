@@ -1,7 +1,9 @@
 #include "exec/interpreter.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <type_traits>
 
 #include "exec/pack_checks.hpp"
 
@@ -26,6 +28,23 @@ T normalize_zero(T split) {
   return split == T{0} ? T{0} : split;
 }
 
+/// Copies a tree's category-set slots into an engine-level pool, returning
+/// the engine slot base for that tree (engine slot = base + tree slot).
+template <typename T>
+std::size_t append_cat_slots(const trees::Tree<T>& tree,
+                             std::vector<std::uint32_t>& words,
+                             std::vector<std::int32_t>& offsets,
+                             std::vector<std::int32_t>& sizes) {
+  const std::size_t base = offsets.size();
+  for (std::int32_t s = 0; s < tree.cat_slot_count(); ++s) {
+    const auto set = tree.cat_set(s);
+    offsets.push_back(static_cast<std::int32_t>(words.size()));
+    sizes.push_back(static_cast<std::int32_t>(set.size()));
+    words.insert(words.end(), set.begin(), set.end());
+  }
+  return base;
+}
+
 }  // namespace
 
 template <typename T>
@@ -47,6 +66,8 @@ FlintForestEngine<T>::FlintForestEngine(const trees::Forest<T>& forest,
   for (std::size_t t = 0; t < forest.size(); ++t) {
     const auto& tree = forest.tree(t);
     const std::size_t base = nodes_.size();
+    const std::size_t slot_base =
+        append_cat_slots(tree, cat_words_, cat_offsets_, cat_sizes_);
     roots_.push_back(base);
     for (const auto& n : tree.nodes()) {
       PackedNode<T> p;
@@ -57,21 +78,33 @@ FlintForestEngine<T>::FlintForestEngine(const trees::Forest<T>& forest,
       } else {
         p.left = n.left + static_cast<std::int32_t>(base);
         p.right = n.right + static_cast<std::int32_t>(base);
-        const T split = normalize_zero(n.split);
-        switch (variant_) {
-          case FlintVariant::Encoded: {
-            const auto enc = core::encode_threshold_le(split);
-            p.payload = enc.immediate;
-            p.sign_flip = enc.mode == core::ThresholdMode::SignFlip ? 1 : 0;
-            break;
+        if (n.default_left()) p.flags |= kPackedDefaultLeft;
+        if (n.is_categorical()) {
+          p.flags |= kPackedCategorical;
+          p.payload = static_cast<Signed>(
+              slot_base + static_cast<std::size_t>(n.cat_slot));
+        } else {
+          const T split = normalize_zero(n.split);
+          switch (variant_) {
+            case FlintVariant::Encoded: {
+              const auto enc = core::encode_threshold_le(split);
+              p.payload = enc.immediate;
+              if (enc.mode == core::ThresholdMode::SignFlip) {
+                p.flags |= kPackedSignFlip;
+              }
+              break;
+            }
+            case FlintVariant::RadixKey:
+              p.payload = core::to_radix_key(split);
+              break;
+            case FlintVariant::Theorem1:
+            case FlintVariant::Theorem2:
+              p.payload = core::si_bits(split);
+              break;
           }
-          case FlintVariant::RadixKey:
-            p.payload = core::to_radix_key(split);
-            break;
-          case FlintVariant::Theorem1:
-          case FlintVariant::Theorem2:
-            p.payload = core::si_bits(split);
-            break;
+        }
+        if (p.flags & (kPackedDefaultLeft | kPackedCategorical)) {
+          has_special_ = true;
         }
       }
       nodes_.push_back(p);
@@ -84,21 +117,38 @@ FlintForestEngine<T>::FlintForestEngine(const trees::Forest<T>& forest,
 }
 
 template <typename T>
-template <FlintVariant V>
+template <FlintVariant V, bool Special>
 std::int32_t FlintForestEngine<T>::predict_tree_impl(
     std::size_t root, std::span<const T> x,
     std::span<const Signed> keys) const {
   // The variant is a template parameter so the hot loop carries exactly one
-  // comparison sequence and no runtime dispatch.
+  // comparison sequence and no runtime dispatch.  The Special branch detects
+  // NaN from the FLInt integer form itself — (bits & abs_mask) > exp_mask —
+  // so the missing-value check stays inside integer arithmetic; the check
+  // precedes every compare, matching trees::Tree::leaf_for.
   std::size_t i = root;
   while (true) {
     const PackedNode<T>& n = nodes_[i];
     if (n.feature < 0) return static_cast<std::int32_t>(n.payload);
     const auto f = static_cast<std::size_t>(n.feature);
     bool go_left;
+    if constexpr (Special) {
+      const Signed raw = core::si_bits(x[f]);
+      if (core::is_nan_bits<T>(raw)) {
+        go_left = (n.flags & kPackedDefaultLeft) != 0;
+        i = static_cast<std::size_t>(go_left ? n.left : n.right);
+        continue;
+      }
+      if (n.flags & kPackedCategorical) {
+        go_left = trees::cat_contains(
+            cat_span(static_cast<std::size_t>(n.payload)), x[f]);
+        i = static_cast<std::size_t>(go_left ? n.left : n.right);
+        continue;
+      }
+    }
     if constexpr (V == FlintVariant::Encoded) {
       const Signed xi = core::si_bits(x[f]);
-      go_left = n.sign_flip
+      go_left = (n.flags & kPackedSignFlip)
                     ? (n.payload <= (xi ^ core::FloatTraits<T>::sign_mask))
                     : (xi <= n.payload);
     } else if constexpr (V == FlintVariant::Theorem1) {
@@ -114,7 +164,7 @@ std::int32_t FlintForestEngine<T>::predict_tree_impl(
 }
 
 template <typename T>
-template <FlintVariant V>
+template <FlintVariant V, bool Special>
 std::int32_t FlintForestEngine<T>::predict_impl(
     std::span<const T> x, std::span<const Signed> keys) const {
   // Vote accumulation mirrors Forest::predict (argmax, lowest id on ties).
@@ -122,7 +172,7 @@ std::int32_t FlintForestEngine<T>::predict_impl(
   int best_votes = 0;
   std::fill(vote_scratch_.begin(), vote_scratch_.end(), 0);
   for (const std::size_t root : roots_) {
-    const std::int32_t c = predict_tree_impl<V>(root, x, keys);
+    const std::int32_t c = predict_tree_impl<V, Special>(root, x, keys);
     const int v = ++vote_scratch_[static_cast<std::size_t>(c)];
     if (v > best_votes || (v == best_votes && c < best_class)) {
       best_votes = v;
@@ -134,19 +184,27 @@ std::int32_t FlintForestEngine<T>::predict_impl(
 
 template <typename T>
 std::int32_t FlintForestEngine<T>::predict(std::span<const T> x) const {
-  switch (variant_) {
-    case FlintVariant::Encoded:
-      return predict_impl<FlintVariant::Encoded>(x, {});
-    case FlintVariant::Theorem1:
-      return predict_impl<FlintVariant::Theorem1>(x, {});
-    case FlintVariant::Theorem2:
-      return predict_impl<FlintVariant::Theorem2>(x, {});
-    case FlintVariant::RadixKey: {
+  const auto run = [&](auto variant_tag) -> std::int32_t {
+    constexpr FlintVariant V = decltype(variant_tag)::value;
+    std::span<const Signed> keys;
+    if constexpr (V == FlintVariant::RadixKey) {
       for (std::size_t f = 0; f < feature_count_; ++f) {
         key_scratch_[f] = core::to_radix_key(x[f]);
       }
-      return predict_impl<FlintVariant::RadixKey>(x, key_scratch_);
+      keys = key_scratch_;
     }
+    return has_special_ ? predict_impl<V, true>(x, keys)
+                        : predict_impl<V, false>(x, keys);
+  };
+  switch (variant_) {
+    case FlintVariant::Encoded:
+      return run(std::integral_constant<FlintVariant, FlintVariant::Encoded>{});
+    case FlintVariant::Theorem1:
+      return run(std::integral_constant<FlintVariant, FlintVariant::Theorem1>{});
+    case FlintVariant::Theorem2:
+      return run(std::integral_constant<FlintVariant, FlintVariant::Theorem2>{});
+    case FlintVariant::RadixKey:
+      return run(std::integral_constant<FlintVariant, FlintVariant::RadixKey>{});
   }
   return 0;  // unreachable
 }
@@ -155,15 +213,20 @@ template <typename T>
 std::int32_t FlintForestEngine<T>::predict_tree(
     std::size_t t, std::span<const T> x, std::span<const Signed> keys) const {
   const std::size_t root = roots_[t];
+  const auto run = [&](auto variant_tag) -> std::int32_t {
+    constexpr FlintVariant V = decltype(variant_tag)::value;
+    return has_special_ ? predict_tree_impl<V, true>(root, x, keys)
+                        : predict_tree_impl<V, false>(root, x, keys);
+  };
   switch (variant_) {
     case FlintVariant::Encoded:
-      return predict_tree_impl<FlintVariant::Encoded>(root, x, keys);
+      return run(std::integral_constant<FlintVariant, FlintVariant::Encoded>{});
     case FlintVariant::Theorem1:
-      return predict_tree_impl<FlintVariant::Theorem1>(root, x, keys);
+      return run(std::integral_constant<FlintVariant, FlintVariant::Theorem1>{});
     case FlintVariant::Theorem2:
-      return predict_tree_impl<FlintVariant::Theorem2>(root, x, keys);
+      return run(std::integral_constant<FlintVariant, FlintVariant::Theorem2>{});
     case FlintVariant::RadixKey:
-      return predict_tree_impl<FlintVariant::RadixKey>(root, x, keys);
+      return run(std::integral_constant<FlintVariant, FlintVariant::RadixKey>{});
   }
   return 0;  // unreachable
 }
@@ -208,6 +271,8 @@ FloatForestEngine<T>::FloatForestEngine(const trees::Forest<T>& forest)
   for (std::size_t t = 0; t < forest.size(); ++t) {
     const auto& tree = forest.tree(t);
     const std::size_t base = nodes_.size();
+    const std::size_t slot_base =
+        append_cat_slots(tree, cat_words_, cat_offsets_, cat_sizes_);
     roots_.push_back(base);
     for (const auto& n : tree.nodes()) {
       FloatNode p;
@@ -220,6 +285,13 @@ FloatForestEngine<T>::FloatForestEngine(const trees::Forest<T>& forest)
         p.split = n.split;
         p.left = n.left + static_cast<std::int32_t>(base);
         p.right = n.right + static_cast<std::int32_t>(base);
+        if (n.default_left()) p.flags |= kPackedDefaultLeft;
+        if (n.is_categorical()) {
+          p.flags |= kPackedCategorical;
+          p.cat_slot = static_cast<std::int32_t>(
+              slot_base + static_cast<std::size_t>(n.cat_slot));
+        }
+        if (p.flags != 0) has_special_ = true;
       }
       nodes_.push_back(p);
     }
@@ -228,25 +300,43 @@ FloatForestEngine<T>::FloatForestEngine(const trees::Forest<T>& forest)
 }
 
 template <typename T>
+template <bool Special>
+std::int32_t FloatForestEngine<T>::predict_tree_impl(
+    std::size_t root, std::span<const T> x) const {
+  std::size_t i = root;
+  while (true) {
+    const FloatNode& n = nodes_[i];
+    if (n.feature < 0) return n.left;  // payload reuse for leaves
+    const T v = x[static_cast<std::size_t>(n.feature)];
+    bool go_left;
+    if constexpr (Special) {
+      if (std::isnan(v)) {
+        go_left = (n.flags & kPackedDefaultLeft) != 0;
+      } else if (n.flags & kPackedCategorical) {
+        go_left = trees::cat_contains(
+            cat_span(static_cast<std::size_t>(n.cat_slot)), v);
+      } else {
+        go_left = v <= n.split;
+      }
+    } else {
+      go_left = v <= n.split;
+    }
+    i = static_cast<std::size_t>(go_left ? n.left : n.right);
+  }
+}
+
+template <typename T>
 std::int32_t FloatForestEngine<T>::predict(std::span<const T> x) const {
   std::int32_t best_class = 0;
   int best_votes = 0;
   std::fill(vote_scratch_.begin(), vote_scratch_.end(), 0);
   for (const std::size_t root : roots_) {
-    std::size_t i = root;
-    while (true) {
-      const FloatNode& n = nodes_[i];
-      if (n.feature < 0) {
-        const std::int32_t c = n.left;
-        const int v = ++vote_scratch_[static_cast<std::size_t>(c)];
-        if (v > best_votes || (v == best_votes && c < best_class)) {
-          best_votes = v;
-          best_class = c;
-        }
-        break;
-      }
-      i = static_cast<std::size_t>(
-          x[static_cast<std::size_t>(n.feature)] <= n.split ? n.left : n.right);
+    const std::int32_t c = has_special_ ? predict_tree_impl<true>(root, x)
+                                        : predict_tree_impl<false>(root, x);
+    const int v = ++vote_scratch_[static_cast<std::size_t>(c)];
+    if (v > best_votes || (v == best_votes && c < best_class)) {
+      best_votes = v;
+      best_class = c;
     }
   }
   return best_class;
@@ -255,13 +345,8 @@ std::int32_t FloatForestEngine<T>::predict(std::span<const T> x) const {
 template <typename T>
 std::int32_t FloatForestEngine<T>::predict_tree(std::size_t t,
                                                 std::span<const T> x) const {
-  std::size_t i = roots_[t];
-  while (true) {
-    const FloatNode& n = nodes_[i];
-    if (n.feature < 0) return n.left;  // payload reuse for leaves
-    i = static_cast<std::size_t>(
-        x[static_cast<std::size_t>(n.feature)] <= n.split ? n.left : n.right);
-  }
+  return has_special_ ? predict_tree_impl<true>(roots_[t], x)
+                      : predict_tree_impl<false>(roots_[t], x);
 }
 
 template <typename T>

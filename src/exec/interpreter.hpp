@@ -15,8 +15,11 @@
 //                             feature vector is remapped once per sample.
 //
 // All engines are bit-exactly equivalent to Forest::predict for every
-// non-NaN input (property-tested); the paper's headline claim is that this
-// equivalence costs nothing — the benches quantify it.
+// input, including NaN routed by per-node default directions and
+// categorical membership splits (property-tested); the paper's headline
+// claim is that this equivalence costs nothing — the benches quantify it.
+// Forests without missing/categorical splits run the original
+// single-compare hot loop (the special checks are a dead template branch).
 #pragma once
 
 #include <cstdint>
@@ -32,10 +35,18 @@ enum class FlintVariant { Encoded, Theorem1, Theorem2, RadixKey };
 
 [[nodiscard]] const char* to_string(FlintVariant v);
 
+/// PackedNode flag bits.  The byte that used to hold only the Encoded
+/// engine's sign-flip bool now carries the missing/categorical semantics
+/// too — same 16/24-byte node sizes.
+inline constexpr std::uint8_t kPackedSignFlip = 1;     ///< ThresholdMode::SignFlip
+inline constexpr std::uint8_t kPackedDefaultLeft = 2;  ///< NaN routes left
+inline constexpr std::uint8_t kPackedCategorical = 4;  ///< payload = cat slot
+
 /// Flat node of the packed execution arrays.  For leaves `feature == -1`
 /// and `payload` is the class id; for inner nodes `payload` is the encoded
-/// immediate (Encoded/RadixKey engines) or the raw split bits (Theorem
-/// engines).
+/// immediate (Encoded/RadixKey engines), the raw split bits (Theorem
+/// engines), or — when kPackedCategorical is set — the engine-level
+/// category-set slot index.
 ///
 /// Members are ordered widest-first and `feature` is narrowed to int16 (the
 /// engines gate feature_count <= 32767 at pack time) so the float node is
@@ -51,7 +62,7 @@ struct PackedNode {
   std::int32_t left = -1;
   std::int32_t right = -1;
   std::int16_t feature = -1;
-  std::uint8_t sign_flip = 0;  ///< Encoded engine: ThresholdMode::SignFlip
+  std::uint8_t flags = 0;  ///< kPackedSignFlip | kPackedDefaultLeft | kPackedCategorical
 };
 
 static_assert(sizeof(PackedNode<float>) == 16,
@@ -100,19 +111,32 @@ class FlintForestEngine {
   [[nodiscard]] double accuracy(const data::Dataset<T>& dataset) const;
 
  private:
-  template <FlintVariant V>
+  /// `Special` compiles in the NaN-default-direction / categorical checks;
+  /// forests without such splits dispatch to the Special=false instantiation
+  /// and keep the original single-compare hot loop.
+  template <FlintVariant V, bool Special>
   [[nodiscard]] std::int32_t predict_tree_impl(std::size_t root,
                                                std::span<const T> x,
                                                std::span<const Signed> keys) const;
-  template <FlintVariant V>
+  template <FlintVariant V, bool Special>
   [[nodiscard]] std::int32_t predict_impl(std::span<const T> x,
                                           std::span<const Signed> keys) const;
+
+  [[nodiscard]] std::span<const std::uint32_t> cat_span(
+      std::size_t slot) const noexcept {
+    return {cat_words_.data() + static_cast<std::size_t>(cat_offsets_[slot]),
+            static_cast<std::size_t>(cat_sizes_[slot])};
+  }
 
   FlintVariant variant_;
   int num_classes_ = 0;
   std::size_t feature_count_ = 0;
+  bool has_special_ = false;           ///< any default-left / categorical node
   std::vector<PackedNode<T>> nodes_;   ///< all trees concatenated
   std::vector<std::size_t> roots_;     ///< root index of each tree in nodes_
+  std::vector<std::uint32_t> cat_words_;   ///< category bitsets, all slots
+  std::vector<std::int32_t> cat_offsets_;  ///< word offset per engine slot
+  std::vector<std::int32_t> cat_sizes_;    ///< word count per engine slot
   mutable std::vector<Signed> key_scratch_;  ///< RadixKey per-sample remap buffer
   mutable std::vector<int> vote_scratch_;    ///< per-call vote counts (no allocation)
 };
@@ -139,10 +163,27 @@ class FloatForestEngine {
     std::int32_t feature = -1;
     std::int32_t left = -1;
     std::int32_t right = -1;
+    std::int32_t cat_slot = -1;  ///< engine category-set slot, -1 = numeric
+    std::uint8_t flags = 0;      ///< kPackedDefaultLeft | kPackedCategorical
   };
+
+  template <bool Special>
+  [[nodiscard]] std::int32_t predict_tree_impl(std::size_t root,
+                                               std::span<const T> x) const;
+
+  [[nodiscard]] std::span<const std::uint32_t> cat_span(
+      std::size_t slot) const noexcept {
+    return {cat_words_.data() + static_cast<std::size_t>(cat_offsets_[slot]),
+            static_cast<std::size_t>(cat_sizes_[slot])};
+  }
+
   int num_classes_ = 0;
+  bool has_special_ = false;
   std::vector<FloatNode> nodes_;
   std::vector<std::size_t> roots_;
+  std::vector<std::uint32_t> cat_words_;
+  std::vector<std::int32_t> cat_offsets_;
+  std::vector<std::int32_t> cat_sizes_;
   mutable std::vector<int> vote_scratch_;    ///< per-call vote counts (no allocation)
 };
 

@@ -41,6 +41,14 @@ std::int32_t argmax_first(const int* votes, int num_classes) {
   return best;
 }
 
+void set_default_left(CompactNode16& n) { n.aux |= kC16DefaultLeft; }
+void set_categorical(CompactNode16& n) { n.aux |= kC16Categorical; }
+void set_default_left(CompactNode8& n) {
+  n.feature = static_cast<std::int16_t>(static_cast<std::uint16_t>(n.feature) |
+                                        kC8DefaultLeftBit);
+}
+void set_categorical(CompactNode8& n) { n.right_off |= kC8CategoricalBit; }
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -64,6 +72,7 @@ std::optional<CompactForest<T, Node>> try_pack(const trees::Forest<T>& forest,
   packed.num_classes = forest.num_classes();
   packed.feature_count = forest.feature_count();
   packed.identity_keys = identity_keys_for<T, Node>();
+  packed.has_special = forest.has_special_splits();
   if (!packed.identity_keys) packed.tables = tables;
 
   // Representability gates for the narrow fields.
@@ -85,6 +94,19 @@ std::optional<CompactForest<T, Node>> try_pack(const trees::Forest<T>& forest,
   if (!packed.identity_keys &&
       tables.features.size() != packed.feature_count) {
     return fail("key table set does not match the forest's feature count");
+  }
+  if (packed.has_special) {
+    // Categorical slots live in the node key (one engine slot per
+    // categorical node); count them up front for the width gate.
+    std::int64_t n_cat = 0;
+    for (std::size_t t = 0; t < forest.size(); ++t) {
+      for (const auto& n : forest.tree(t).nodes()) {
+        if (!n.is_leaf() && n.is_categorical()) ++n_cat;
+      }
+    }
+    if (n_cat > key_max) {
+      return fail("categorical slot index does not fit the node key");
+    }
   }
 
   // --- Pass 1: emission order. ---------------------------------------------
@@ -201,10 +223,30 @@ std::optional<CompactForest<T, Node>> try_pack(const trees::Forest<T>& forest,
         throw std::logic_error(
             "layout::try_pack: right child placed before its parent");
       }
+      if (packed.has_special && sizeof(Node) == 8 &&
+          off >= static_cast<std::int64_t>(kC8CategoricalBit)) {
+        // Special C8 forests borrow right_off bit 30 for the categorical
+        // tag, so their plain offsets must stay below it.
+        return fail("right-child offset does not fit the special-split C8 "
+                    "offset range");
+      }
       out.right_off = static_cast<std::int32_t>(off);
       out.feature =
           static_cast<decltype(Node::feature)>(nd.feature);
-      if (packed.identity_keys) {
+      if (nd.is_categorical()) {
+        // One engine slot per categorical node: the slot remembers its
+        // feature and bitset so per-sample membership precomputes per slot.
+        const auto slot = static_cast<std::int64_t>(packed.cat_slot_count());
+        const auto set = tree.cat_set(nd.cat_slot);
+        packed.cat_offsets.push_back(
+            static_cast<std::int32_t>(packed.cat_words.size()));
+        packed.cat_sizes.push_back(static_cast<std::int32_t>(set.size()));
+        packed.cat_words.insert(packed.cat_words.end(), set.begin(),
+                                set.end());
+        packed.cat_feature.push_back(nd.feature);
+        out.key = static_cast<Key>(slot);
+        set_categorical(out);
+      } else if (packed.identity_keys) {
         out.key = static_cast<Key>(core::to_radix_key(
             normalize_zero(nd.split)));
       } else {
@@ -214,6 +256,7 @@ std::optional<CompactForest<T, Node>> try_pack(const trees::Forest<T>& forest,
             tables.features[static_cast<std::size_t>(nd.feature)],
             nd.split));
       }
+      if (nd.default_left()) set_default_left(out);
     }
     packed.nodes[p] = out;
   }
@@ -242,8 +285,8 @@ constexpr std::size_t kBlockLockstep = 16;
 /// block)` bracket each block; `on_leaf(global_sample, local_sample,
 /// leaf_key)` fires once per (tree, sample) with the converged leaf's key
 /// payload.
-template <bool Prefetch, typename T, typename Node, typename BlockBegin,
-          typename OnLeaf, typename BlockEnd>
+template <bool Prefetch, bool Special, typename T, typename Node,
+          typename BlockBegin, typename OnLeaf, typename BlockEnd>
 void blocked_traverse(const CompactForest<T, Node>& f, std::size_t block_size,
                       const T* features, std::size_t n_samples,
                       BlockBegin&& block_begin, OnLeaf&& on_leaf,
@@ -251,13 +294,24 @@ void blocked_traverse(const CompactForest<T, Node>& f, std::size_t block_size,
   using Key = typename CompactForest<T, Node>::Key;
   const std::size_t cols = f.feature_count;
   const std::size_t trees = f.roots.size();
+  const std::size_t n_slots = f.cat_slot_count();
   const Node* nodes = f.nodes.data();
   std::vector<Key> keys(block_size * cols);
+  // Special side masks, remapped alongside the keys: NaN flags per feature
+  // and categorical membership per slot (see CompactForest::special_masks).
+  std::vector<std::uint8_t> nan_mask(Special ? block_size * cols : 0);
+  std::vector<std::uint8_t> member(
+      Special ? std::max<std::size_t>(block_size * n_slots, 1) : 0);
   for (std::size_t base = 0; base < n_samples; base += block_size) {
     const std::size_t block = std::min(block_size, n_samples - base);
     block_begin(base, block);
     for (std::size_t s = 0; s < block; ++s) {
       f.remap(features + (base + s) * cols, keys.data() + s * cols);
+      if constexpr (Special) {
+        f.special_masks(features + (base + s) * cols,
+                        nan_mask.data() + s * cols,
+                        member.data() + s * n_slots);
+      }
     }
     for (std::size_t t = 0; t < trees; ++t) {
       const std::int32_t root = f.roots[t];
@@ -280,12 +334,27 @@ void blocked_traverse(const CompactForest<T, Node>& f, std::size_t block_size,
             const Node& nd = nodes[cur[r]];
             const std::int32_t off = nd.right_off;
             const bool leaf = off < 0;
-            const bool go =
-                krow[r][static_cast<std::size_t>(nd.feature)] <= nd.key;
-            if constexpr (Prefetch) {
-              FLINT_PREFETCH(&nodes[cur[r] + (leaf ? 0 : off)]);
+            bool go;
+            std::int32_t step_off = off;
+            if constexpr (Special) {
+              if (!leaf) step_off = node_right_off(nd);
+              const auto fi = static_cast<std::size_t>(node_feature(nd));
+              const std::uint8_t* nrow = nan_mask.data() + (s0 + r) * cols;
+              if (nrow[fi]) {
+                go = node_default_left(nd);
+              } else if (node_categorical(nd)) {
+                go = member[(s0 + r) * n_slots +
+                            static_cast<std::size_t>(nd.key)] != 0;
+              } else {
+                go = krow[r][fi] <= nd.key;
+              }
+            } else {
+              go = krow[r][static_cast<std::size_t>(nd.feature)] <= nd.key;
             }
-            cur[r] += leaf ? 0 : (go ? 1 : off);
+            if constexpr (Prefetch) {
+              FLINT_PREFETCH(&nodes[cur[r] + (leaf ? 0 : step_off)]);
+            }
+            cur[r] += leaf ? 0 : (go ? 1 : step_off);
             any_inner |= !leaf;
           }
         }
@@ -300,13 +369,13 @@ void blocked_traverse(const CompactForest<T, Node>& f, std::size_t block_size,
 }
 
 /// Vote epilogue over the blocked traversal.
-template <bool Prefetch, typename T, typename Node>
+template <bool Prefetch, bool Special, typename T, typename Node>
 void predict_blocked(const CompactForest<T, Node>& f, std::size_t block_size,
                      const T* features, std::size_t n_samples,
                      std::int32_t* out) {
   const auto classes = static_cast<std::size_t>(std::max(f.num_classes, 1));
   std::vector<int> votes(block_size * classes);
-  blocked_traverse<Prefetch>(
+  blocked_traverse<Prefetch, Special>(
       f, block_size, features, n_samples,
       [&](std::size_t, std::size_t block) {
         std::fill(votes.begin(),
@@ -327,11 +396,12 @@ void predict_blocked(const CompactForest<T, Node>& f, std::size_t block_size,
 /// Interleaved latency path: R trees of ONE sample advance in lockstep, so
 /// R independent node fetches are in flight per round instead of one
 /// serial pointer chase.  `votes` must hold num_classes zeroed slots.
-template <bool Prefetch, typename T, typename Node>
+template <bool Prefetch, bool Special, typename T, typename Node>
 void predict_one_interleaved(const CompactForest<T, Node>& f,
                              std::size_t interleave,
                              const typename CompactForest<T, Node>::Key* keys,
-                             int* votes) {
+                             const std::uint8_t* nan_mask,
+                             const std::uint8_t* member, int* votes) {
   const Node* nodes = f.nodes.data();
   const std::size_t trees = f.roots.size();
   const std::size_t R = std::clamp<std::size_t>(interleave, 1, kMaxInterleave);
@@ -353,11 +423,25 @@ void predict_one_interleaved(const CompactForest<T, Node>& f,
           alive &= ~(1u << r);
           continue;
         }
-        if constexpr (Prefetch) {
-          FLINT_PREFETCH(&nodes[cur[r] + off]);
+        bool go;
+        std::int32_t step_off = off;
+        if constexpr (Special) {
+          step_off = node_right_off(nd);
+          const auto fi = static_cast<std::size_t>(node_feature(nd));
+          if (nan_mask[fi]) {
+            go = node_default_left(nd);
+          } else if (node_categorical(nd)) {
+            go = member[static_cast<std::size_t>(nd.key)] != 0;
+          } else {
+            go = keys[fi] <= nd.key;
+          }
+        } else {
+          go = keys[nd.feature] <= nd.key;
         }
-        const std::int32_t next =
-            cur[r] + (keys[nd.feature] <= nd.key ? 1 : off);
+        if constexpr (Prefetch) {
+          FLINT_PREFETCH(&nodes[cur[r] + step_off]);
+        }
+        const std::int32_t next = cur[r] + (go ? 1 : step_off);
         FLINT_PREFETCH(&nodes[next]);  // overlaps with the other lanes
         cur[r] = next;
       }
@@ -412,11 +496,11 @@ void predict_blocked_avx2(const CompactForest<T, Node>& f,
 /// order — the same summation order as the reference per-tree loop
 /// (docs/MODEL_FORMATS.md "Numerical contract").  `out` rows are
 /// pre-initialized by the caller.
-template <bool Prefetch, typename T, typename Node>
+template <bool Prefetch, bool Special, typename T, typename Node>
 void score_blocked(const CompactForest<T, Node>& f, std::size_t block_size,
                    const T* features, std::size_t n_samples,
                    const T* leaf_values, std::size_t n_outputs, T* out) {
-  blocked_traverse<Prefetch>(
+  blocked_traverse<Prefetch, Special>(
       f, block_size, features, n_samples,
       [](std::size_t, std::size_t) {},
       [&](std::size_t global, std::size_t, std::int32_t key) {
@@ -441,17 +525,43 @@ void predict_batch_impl(const CompactForest<T, Node>& f,
     const auto classes = static_cast<std::size_t>(std::max(f.num_classes, 1));
     std::vector<Key> keys(cols);
     std::vector<int> votes(classes);
+    std::vector<std::uint8_t> nan_mask(f.has_special ? cols : 0);
+    std::vector<std::uint8_t> member(
+        f.has_special ? std::max<std::size_t>(f.cat_slot_count(), 1) : 0);
     for (std::size_t s = 0; s < n_samples; ++s) {
       f.remap(features + s * cols, keys.data());
       std::fill(votes.begin(), votes.end(), 0);
-      if (plan.prefetch_opposite) {
-        predict_one_interleaved<true>(f, plan.interleave, keys.data(),
-                                      votes.data());
+      if (f.has_special) {
+        f.special_masks(features + s * cols, nan_mask.data(), member.data());
+        if (plan.prefetch_opposite) {
+          predict_one_interleaved<true, true>(f, plan.interleave, keys.data(),
+                                              nan_mask.data(), member.data(),
+                                              votes.data());
+        } else {
+          predict_one_interleaved<false, true>(f, plan.interleave, keys.data(),
+                                               nan_mask.data(), member.data(),
+                                               votes.data());
+        }
+      } else if (plan.prefetch_opposite) {
+        predict_one_interleaved<true, false>(f, plan.interleave, keys.data(),
+                                             nullptr, nullptr, votes.data());
       } else {
-        predict_one_interleaved<false>(f, plan.interleave, keys.data(),
-                                       votes.data());
+        predict_one_interleaved<false, false>(f, plan.interleave, keys.data(),
+                                              nullptr, nullptr, votes.data());
       }
       out[s] = argmax_first(votes.data(), static_cast<int>(classes));
+    }
+    return;
+  }
+  if (f.has_special) {
+    // Special forests always take the scalar blocked loop: the AVX2 kernel
+    // has no NaN/categorical path.
+    if (plan.prefetch_opposite) {
+      predict_blocked<true, true>(f, plan.block_size, features, n_samples,
+                                  out);
+    } else {
+      predict_blocked<false, true>(f, plan.block_size, features, n_samples,
+                                   out);
     }
     return;
   }
@@ -474,9 +584,11 @@ void predict_batch_impl(const CompactForest<T, Node>& f,
   }
 #endif
   if (plan.prefetch_opposite) {
-    predict_blocked<true>(f, plan.block_size, features, n_samples, out);
+    predict_blocked<true, false>(f, plan.block_size, features, n_samples,
+                                 out);
   } else {
-    predict_blocked<false>(f, plan.block_size, features, n_samples, out);
+    predict_blocked<false, false>(f, plan.block_size, features, n_samples,
+                                  out);
   }
 }
 
@@ -561,12 +673,24 @@ void LayoutForestEngine<T>::predict_scores(const T* features,
   }
   std::visit(
       [&](const auto& packed) {
-        if (plan_.prefetch_opposite) {
-          score_blocked<true>(packed, plan_.block_size, features, n_samples,
-                              leaf_values.data(), n_outputs, out);
+        if (packed.has_special) {
+          if (plan_.prefetch_opposite) {
+            score_blocked<true, true>(packed, plan_.block_size, features,
+                                      n_samples, leaf_values.data(),
+                                      n_outputs, out);
+          } else {
+            score_blocked<false, true>(packed, plan_.block_size, features,
+                                       n_samples, leaf_values.data(),
+                                       n_outputs, out);
+          }
+        } else if (plan_.prefetch_opposite) {
+          score_blocked<true, false>(packed, plan_.block_size, features,
+                                     n_samples, leaf_values.data(), n_outputs,
+                                     out);
         } else {
-          score_blocked<false>(packed, plan_.block_size, features, n_samples,
-                               leaf_values.data(), n_outputs, out);
+          score_blocked<false, false>(packed, plan_.block_size, features,
+                                      n_samples, leaf_values.data(),
+                                      n_outputs, out);
         }
       },
       packed_);

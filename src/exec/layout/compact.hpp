@@ -42,9 +42,12 @@
 // optionally software-prefetching the right ("opposite" of the implicit
 // left) child ahead of the compare.
 //
-// Bit-identical to Forest::predict on every non-NaN input — the same
-// contract as every other engine, property-tested in tests/test_layout.cpp
-// and tests/test_predictor.cpp.
+// Bit-identical to Forest::predict on every input — including NaN routed
+// by per-node default directions and categorical membership splits, via a
+// Special traversal that consults per-sample NaN/membership masks computed
+// once at remap time (tests/test_layout.cpp, tests/test_predictor.cpp,
+// tests/test_missing.cpp).  Forests without special splits take the
+// original mask-free paths.
 #pragma once
 
 #include <cstdint>
@@ -61,26 +64,70 @@
 
 namespace flint::exec::layout {
 
+/// CompactNode16 `aux` flag bits (the word that used to be pure line pad).
+inline constexpr std::int32_t kC16DefaultLeft = 1;  ///< NaN routes left
+inline constexpr std::int32_t kC16Categorical = 2;  ///< key = cat slot
+
 /// 16-byte compact node.  Inner: `key` is the narrowed threshold, right
 /// child at self + right_off (> 0), left child at self + 1.  Leaf:
 /// right_off < 0, `key` is the class id, and `feature` is 0 — a valid
 /// column, so branchless lockstep loops may read keys[feature] before the
-/// leaf test resolves.
+/// leaf test resolves.  `aux` carries the missing/categorical flags (zero
+/// on every node of a forest without such splits — the fast traversal
+/// never reads it); categorical nodes store their engine-level category
+/// slot in `key`.
 struct CompactNode16 {
   std::int32_t key = 0;
   std::int32_t right_off = -1;
   std::int32_t feature = -1;
-  std::int32_t line_pad_ = 0;  ///< 4 nodes tile a 64 B line; none straddles
+  std::int32_t aux = 0;  ///< flags; 4 nodes tile a 64 B line, none straddles
 };
 static_assert(sizeof(CompactNode16) == 16, "CompactNode16 must stay 16 bytes");
 
-/// 8-byte compact node: same scheme with int16 key/feature.
+/// 8-byte compact node: same scheme with int16 key/feature.  No spare word,
+/// so the missing/categorical bits hide in spare bits of existing fields:
+/// feature indices are gated <= 32767 at pack time, freeing feature bit 15
+/// for default-left, and right offsets of special forests are gated
+/// < 2^30, freeing right_off bit 30 for the categorical tag (the sign bit
+/// stays the leaf tag, tested first).  Both bits are zero in forests
+/// without special splits, so the fast traversal reads the fields raw.
 struct CompactNode8 {
   std::int16_t key = 0;
   std::int16_t feature = -1;
   std::int32_t right_off = -1;
 };
 static_assert(sizeof(CompactNode8) == 8, "CompactNode8 must stay 8 bytes");
+
+inline constexpr std::uint16_t kC8DefaultLeftBit = 0x8000u;  ///< feature bit 15
+inline constexpr std::int32_t kC8CategoricalBit = 1 << 30;   ///< right_off bit 30
+
+/// Flag/field accessors the Special traversal uses; the non-special path
+/// keeps reading the raw fields (bit-identical to the pre-missing layout).
+[[nodiscard]] inline bool node_default_left(const CompactNode16& n) noexcept {
+  return (n.aux & kC16DefaultLeft) != 0;
+}
+[[nodiscard]] inline bool node_categorical(const CompactNode16& n) noexcept {
+  return (n.aux & kC16Categorical) != 0;
+}
+[[nodiscard]] inline std::int32_t node_feature(const CompactNode16& n) noexcept {
+  return n.feature;
+}
+[[nodiscard]] inline std::int32_t node_right_off(const CompactNode16& n) noexcept {
+  return n.right_off;
+}
+[[nodiscard]] inline bool node_default_left(const CompactNode8& n) noexcept {
+  return (static_cast<std::uint16_t>(n.feature) & kC8DefaultLeftBit) != 0;
+}
+[[nodiscard]] inline bool node_categorical(const CompactNode8& n) noexcept {
+  return n.right_off >= 0 && (n.right_off & kC8CategoricalBit) != 0;
+}
+[[nodiscard]] inline std::int32_t node_feature(const CompactNode8& n) noexcept {
+  return static_cast<std::int32_t>(static_cast<std::uint16_t>(n.feature) &
+                                   ~kC8DefaultLeftBit);
+}
+[[nodiscard]] inline std::int32_t node_right_off(const CompactNode8& n) noexcept {
+  return n.right_off >= 0 ? (n.right_off & ~kC8CategoricalBit) : n.right_off;
+}
 
 /// A forest packed into one compact node array.  `Node` is CompactNode16
 /// or CompactNode8; `Key` follows its key field.
@@ -92,9 +139,46 @@ struct CompactForest {
   std::size_t feature_count = 0;
   std::size_t hot_nodes = 0;     ///< nodes in the hot slab (0 for pure DFS)
   bool identity_keys = false;    ///< float/C16: key = radix key, table-free
+  bool has_special = false;      ///< any default-left / categorical node
   std::vector<Node> nodes;       ///< all trees, placement per LayoutPlan
   std::vector<std::int32_t> roots;  ///< position of each tree's root
   KeyTableSet<T> tables;         ///< rank tables (empty when identity_keys)
+
+  /// Category side tables (has_special only): every categorical NODE owns
+  /// one engine slot (its compact `key`), so per-sample membership can be
+  /// precomputed per slot without consulting the node again.
+  std::vector<std::uint32_t> cat_words;   ///< category bitsets, all slots
+  std::vector<std::int32_t> cat_offsets;  ///< word offset per slot
+  std::vector<std::int32_t> cat_sizes;    ///< word count per slot
+  std::vector<std::int32_t> cat_feature;  ///< feature each slot tests
+
+  [[nodiscard]] std::size_t cat_slot_count() const noexcept {
+    return cat_feature.size();
+  }
+  [[nodiscard]] std::span<const std::uint32_t> cat_set_of_slot(
+      std::size_t s) const noexcept {
+    return {cat_words.data() + static_cast<std::size_t>(cat_offsets[s]),
+            static_cast<std::size_t>(cat_sizes[s])};
+  }
+
+  /// Per-sample side masks the Special traversal consults before any key
+  /// compare: `nan_out[f]` = 1 iff x[f] is NaN (detected from the integer
+  /// encoding, (bits & abs_mask) > exp_mask); `member_out[s]` = 1 iff
+  /// x[cat_feature[s]] is a member of slot s's category set.  `nan_out`
+  /// needs feature_count slots, `member_out` cat_slot_count() slots.
+  void special_masks(const T* x, std::uint8_t* nan_out,
+                     std::uint8_t* member_out) const {
+    for (std::size_t f = 0; f < feature_count; ++f) {
+      nan_out[f] = core::is_nan_bits<T>(core::si_bits(x[f])) ? 1 : 0;
+    }
+    for (std::size_t s = 0; s < cat_feature.size(); ++s) {
+      const T v = x[static_cast<std::size_t>(cat_feature[s])];
+      member_out[s] = (!core::is_nan_bits<T>(core::si_bits(v)) &&
+                       trees::cat_contains(cat_set_of_slot(s), v))
+                          ? 1
+                          : 0;
+    }
+  }
 
   /// Remaps one sample to narrow comparison keys; `out` needs
   /// feature_count slots.  Thread-safe.

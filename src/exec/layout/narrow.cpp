@@ -14,6 +14,9 @@ KeyTableSet<T> build_key_tables(const trees::Forest<T>& forest) {
   for (std::size_t t = 0; t < forest.size(); ++t) {
     for (const auto& n : forest.tree(t).nodes()) {
       if (n.is_leaf()) continue;
+      // Categorical nodes have no threshold: membership is decided from
+      // their bitset, never by rank, so they contribute no table entry.
+      if (n.is_categorical()) continue;
       // Split -0.0 is normalized to +0.0 before keying, exactly as
       // core::encode_threshold_le does: FLInt orders -0.0 < +0.0 while the
       // IEEE reference treats them as equal, and the rewrite makes

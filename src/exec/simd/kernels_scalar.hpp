@@ -27,7 +27,14 @@ namespace flint::exec::simd {
 /// `Flint` selects the unified integer compare (see soa.hpp); otherwise
 /// hardware float `<=`.  The traversal shared by the vote and score
 /// kernels below.
-template <typename T, std::size_t W, bool Flint>
+///
+/// `Special` compiles in the missing/categorical lane checks: NaN is
+/// detected from the integer form itself ((bits & abs_mask) > exp_mask) and
+/// routes by the node's default-direction flag; categorical nodes test
+/// bitset membership.  Leaf lanes have flags == 0 and self-loop exactly as
+/// before even when their (ignored) feature-0 read is NaN: flags 0 sends
+/// them right, and right == self.
+template <typename T, std::size_t W, bool Flint, bool Special = false>
 inline void traverse_tile_scalar(const SoaForest<T>& f, const T* x,
                                  std::int32_t root, std::int32_t (&idx)[W]) {
   using Signed = typename core::FloatTraits<T>::Signed;
@@ -45,12 +52,25 @@ inline void traverse_tile_scalar(const SoaForest<T>& f, const T* x,
       // Leaf lanes read feature column 0 (any valid column) and then
       // self-loop via left == right == node; see soa.hpp.
       const auto fi = static_cast<std::size_t>(feat[l] < 0 ? 0 : feat[l]);
+      const T xv = x[fi * W + l];
       bool go_left;
-      if constexpr (Flint) {
-        const Signed xi = core::si_bits(x[fi * W + l]);
+      if constexpr (Special) {
+        const Signed raw = core::si_bits(xv);
+        const std::uint8_t flg = f.flags[node];
+        if (core::is_nan_bits<T>(raw)) {
+          go_left = (flg & trees::kNodeDefaultLeft) != 0;
+        } else if (flg & trees::kNodeCategorical) {
+          go_left = trees::cat_contains(f.cat_set_of(node), xv);
+        } else if constexpr (Flint) {
+          go_left = (raw ^ f.xor_mask[node]) <= f.threshold[node];
+        } else {
+          go_left = xv <= f.split[node];
+        }
+      } else if constexpr (Flint) {
+        const Signed xi = core::si_bits(xv);
         go_left = (xi ^ f.xor_mask[node]) <= f.threshold[node];
       } else {
-        go_left = x[fi * W + l] <= f.split[node];
+        go_left = xv <= f.split[node];
       }
       idx[l] = go_left ? f.left[node] : f.right[node];
     }
@@ -62,7 +82,7 @@ inline void traverse_tile_scalar(const SoaForest<T>& f, const T* x,
 /// count per tree that classifies lane l of tile t as class c.  The caller
 /// zero-initializes `votes` and computes the argmax.  Thread-safe: touches
 /// only its arguments.
-template <typename T, std::size_t W, bool Flint>
+template <typename T, std::size_t W, bool Flint, bool Special = false>
 void predict_tiles_scalar(const SoaForest<T>& f, const T* tiles,
                           std::size_t n_tiles, int* votes) {
   const auto classes =
@@ -73,7 +93,7 @@ void predict_tiles_scalar(const SoaForest<T>& f, const T* tiles,
     for (std::size_t tile = 0; tile < n_tiles; ++tile) {
       const T* x = tiles + tile * cols * W;
       std::int32_t idx[W];
-      traverse_tile_scalar<T, W, Flint>(f, x, root, idx);
+      traverse_tile_scalar<T, W, Flint, Special>(f, x, root, idx);
       int* vrow = votes + tile * W * classes;
       for (std::size_t l = 0; l < W; ++l) {
         const auto c = static_cast<std::size_t>(
@@ -93,7 +113,7 @@ void predict_tiles_scalar(const SoaForest<T>& f, const T* tiles,
 /// identical inputs (docs/MODEL_FORMATS.md "Numerical contract").  The
 /// caller initializes `scores` (base offsets or zeros).  Thread-safe:
 /// touches only its arguments.
-template <typename T, std::size_t W, bool Flint>
+template <typename T, std::size_t W, bool Flint, bool Special = false>
 void score_tiles_scalar(const SoaForest<T>& f, const T* tiles,
                         std::size_t n_tiles, const T* leaf_values,
                         std::size_t n_outputs, T* scores) {
@@ -103,7 +123,7 @@ void score_tiles_scalar(const SoaForest<T>& f, const T* tiles,
     for (std::size_t tile = 0; tile < n_tiles; ++tile) {
       const T* x = tiles + tile * cols * W;
       std::int32_t idx[W];
-      traverse_tile_scalar<T, W, Flint>(f, x, root, idx);
+      traverse_tile_scalar<T, W, Flint, Special>(f, x, root, idx);
       T* srow = scores + tile * W * n_outputs;
       for (std::size_t l = 0; l < W; ++l) {
         const auto row = static_cast<std::size_t>(

@@ -31,6 +31,17 @@ SimdForestEngine<T>::SimdForestEngine(const trees::Forest<T>& forest,
   // Widest-first dispatch: specialized kernels exist for float only; double
   // always runs the width-generic scalar template.
   width_ = kScalarWidth<T>;
+  if (soa_.has_special) {
+    // Missing/categorical forests run the width-generic scalar kernel with
+    // the special lane checks compiled in; the vector kernels have no
+    // special path (yet) and would silently mis-route NaN.
+    kernel_ = mode_ == SimdMode::Flint
+                  ? &predict_tiles_scalar<T, kScalarWidth<T>, true, true>
+                  : &predict_tiles_scalar<T, kScalarWidth<T>, false, true>;
+    block_tiles_ = std::max<std::size_t>(
+        1, (std::max<std::size_t>(block_size, 1) + width_ - 1) / width_);
+    return;
+  }
   if (mode_ == SimdMode::Flint) {
     kernel_ = &predict_tiles_scalar<T, kScalarWidth<T>, true>;
   } else {
@@ -120,7 +131,17 @@ void SimdForestEngine<T>::predict_scores(const T* features,
         scores[s * n_outputs + j] = base.empty() ? T{0} : base[j];
       }
     }
-    if (mode_ == SimdMode::Flint) {
+    if (soa_.has_special) {
+      if (mode_ == SimdMode::Flint) {
+        score_tiles_scalar<T, W, true, true>(soa_, tiles.data(), n_tiles,
+                                             leaf_values.data(), n_outputs,
+                                             scores.data());
+      } else {
+        score_tiles_scalar<T, W, false, true>(soa_, tiles.data(), n_tiles,
+                                              leaf_values.data(), n_outputs,
+                                              scores.data());
+      }
+    } else if (mode_ == SimdMode::Flint) {
       score_tiles_scalar<T, W, true>(soa_, tiles.data(), n_tiles,
                                      leaf_values.data(), n_outputs,
                                      scores.data());

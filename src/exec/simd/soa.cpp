@@ -25,13 +25,30 @@ SoaForest<T>::SoaForest(const trees::Forest<T>& forest)
   right.reserve(total);
   roots.reserve(forest.size());
 
+  has_special = forest.has_special_splits();
+  if (has_special) {
+    flags.reserve(total);
+    cat_slot.reserve(total);
+  }
+
   for (std::size_t t = 0; t < forest.size(); ++t) {
     const auto& tree = forest.tree(t);
     const auto base = static_cast<std::int32_t>(feature.size());
+    const auto slot_base = static_cast<std::int32_t>(cat_offsets.size());
+    for (std::int32_t s = 0; s < tree.cat_slot_count(); ++s) {
+      const auto set = tree.cat_set(s);
+      cat_offsets.push_back(static_cast<std::int32_t>(cat_words.size()));
+      cat_sizes.push_back(static_cast<std::int32_t>(set.size()));
+      cat_words.insert(cat_words.end(), set.begin(), set.end());
+    }
     roots.push_back(base);
     for (const auto& n : tree.nodes()) {
       const auto self = static_cast<std::int32_t>(feature.size());
       feature.push_back(n.feature);
+      if (has_special) {
+        flags.push_back(n.is_leaf() ? std::uint8_t{0} : n.flags);
+        cat_slot.push_back(n.is_categorical() ? slot_base + n.cat_slot : -1);
+      }
       if (n.is_leaf()) {
         // The kernels index the vote matrix by this class id with no bounds
         // check on the hot path; see exec/pack_checks.hpp.
@@ -41,6 +58,14 @@ SoaForest<T>::SoaForest(const trees::Forest<T>& forest)
         split.push_back(T{0});
         left.push_back(self);
         right.push_back(self);
+      } else if (n.is_categorical()) {
+        // Membership is decided from cat_slot / cat_words; the numeric
+        // fields are inert zeros (the special kernel never compares them).
+        threshold.push_back(0);
+        xor_mask.push_back(0);
+        split.push_back(T{0});
+        left.push_back(n.left + base);
+        right.push_back(n.right + base);
       } else {
         const auto enc = core::encode_threshold_le(n.split);
         if (enc.mode == core::ThresholdMode::Direct) {
@@ -72,6 +97,12 @@ void SoaForest<T>::build_narrow_keys(const layout::KeyTableSet<T>& tables) {
     if (feature[n] < 0) {
       // Leaf: `threshold` already holds the class id; mirror it.
       narrow_key[n] = static_cast<std::int32_t>(threshold[n]);
+      continue;
+    }
+    if (has_special && cat_slot[n] >= 0) {
+      // Categorical nodes have no threshold to rank; the special traversal
+      // decides membership from cat_words and never reads narrow_key.
+      narrow_key[n] = 0;
       continue;
     }
     // `split` holds the raw value; rank_of_split applies the same -0.0

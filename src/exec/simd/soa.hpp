@@ -41,6 +41,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/flint.hpp"
@@ -67,6 +68,7 @@ struct SoaForest {
 
   int num_classes = 0;
   std::size_t feature_count = 0;
+  bool has_special = false;           ///< any default-left / categorical node
   std::vector<std::int32_t> feature;  ///< FI(n); -1 for leaves
   std::vector<Signed> threshold;      ///< unified immediate; leaf: class id
   std::vector<Signed> xor_mask;       ///< 0 (Direct) or abs_mask (SignFlip)
@@ -74,6 +76,26 @@ struct SoaForest {
   std::vector<std::int32_t> left;     ///< leaf: own index (self-loop)
   std::vector<std::int32_t> right;    ///< leaf: own index (self-loop)
   std::vector<std::int32_t> roots;
+
+  /// Missing/categorical side tables, populated only when the source forest
+  /// has such splits (has_special).  `flags[n]` carries the trees::Node flag
+  /// bits verbatim (kNodeDefaultLeft, kNodeCategorical); categorical nodes
+  /// store 0 in threshold/xor_mask/split and their engine-level category-
+  /// set slot in cat_slot.  Empty vectors otherwise — the fast kernels never
+  /// touch them.
+  std::vector<std::uint8_t> flags;
+  std::vector<std::int32_t> cat_slot;      ///< -1 for numeric nodes / leaves
+  std::vector<std::uint32_t> cat_words;    ///< category bitsets, all slots
+  std::vector<std::int32_t> cat_offsets;   ///< word offset per engine slot
+  std::vector<std::int32_t> cat_sizes;     ///< word count per engine slot
+
+  /// Category bitset of node `n` (precondition: cat_slot[n] >= 0).
+  [[nodiscard]] std::span<const std::uint32_t> cat_set_of(
+      std::size_t n) const noexcept {
+    const auto s = static_cast<std::size_t>(cat_slot[n]);
+    return {cat_words.data() + static_cast<std::size_t>(cat_offsets[s]),
+            static_cast<std::size_t>(cat_sizes[s])};
+  }
 
   /// Narrowed per-node threshold keys (exec/layout/narrow.hpp): populated
   /// by build_narrow_keys, `narrow_key[n]` is the rank of node n's split in

@@ -78,6 +78,9 @@ std::string ForestModel<T>::describe() const {
 template <typename T>
 std::string ForestModel<T>::validate() const {
   if (forest.empty()) return "empty forest";
+  if (zero_as_missing && !handles_missing) {
+    return "zero_as_missing implies handles_missing";
+  }
   for (std::size_t t = 0; t < forest.size(); ++t) {
     if (const std::string err = forest.tree(t).validate(); !err.empty()) {
       return "tree " + std::to_string(t) + ": " + err;

@@ -79,6 +79,14 @@ struct ForestModel {
   int n_outputs = 0;
   /// Row-major rows x n_outputs leaf-value table (empty for ClassId).
   std::vector<T> leaf_values;
+  /// Declared missing-value semantics: when true, NaN inputs are accepted
+  /// at the Predictor boundary and routed by each node's default-direction
+  /// flag; when false the boundary keeps its hard NaN gate.
+  bool handles_missing = false;
+  /// LightGBM zero_as_missing: inputs with |x| <= 1e-35 (LightGBM's
+  /// kZeroThreshold) are rewritten to NaN before routing.  Implies
+  /// handles_missing.
+  bool zero_as_missing = false;
 
   [[nodiscard]] bool is_vote() const noexcept {
     return leaf_kind == LeafKind::ClassId;

@@ -9,15 +9,29 @@
 // LightGBM's numerical decision is `x <= threshold` — exactly this repo's
 // rule, no transform needed.  Thresholds are float64-native: parsed with
 // strtod and, for ForestModel<float>, narrowed round-toward-minus-infinity
-// (exact on float inputs; loaders.hpp).  Categorical splits are rejected.
+// (exact on float inputs; loaders.hpp).
+//
+// decision_type is a bitfield: bit 0 = categorical split, bit 1 = default
+// direction (left), bits 2-3 = missing_type (0 = None, 1 = Zero, 2 = NaN).
+// Categorical splits become bitset-membership nodes (the threshold token
+// indexes the tree's cat_boundaries/cat_threshold arrays; membership goes
+// left, like LightGBM).  Missing routing maps onto the IR's per-node
+// default-direction flag: NaN-type nodes route NaN by bit 1; Zero-type
+// nodes additionally set the model's zero_as_missing, realized as a
+// |x| <= 1e-35 -> NaN rewrite at the predictor boundary; None-type nodes
+// in a missing-capable model route NaN the way LightGBM does — as if it
+// were 0.0.  Models mixing Zero- and NaN-type nodes are rejected (one
+// boundary rewrite cannot serve both).
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <span>
 #include <sstream>
 #include <vector>
 
 #include "model/loader_util.hpp"
 #include "model/loaders.hpp"
+#include "trees/tree.hpp"
 
 namespace flint::model {
 
@@ -56,10 +70,16 @@ long require_long(const Block& block, const std::string& key,
   return parse_long(it->second, where, key);
 }
 
+/// Missing-type codes of decision_type bits 2-3.
+enum : long { kMissingNone = 0, kMissingZero = 1, kMissingNaN = 2 };
+
+/// `model_missing` = some node anywhere in the model carries categorical or
+/// Zero/NaN missing routing, so every numerical node needs its NaN default
+/// derived (None-type nodes route NaN like 0.0, LightGBM's behavior).
 template <typename T>
 trees::Tree<T> build_tree(const Block& block, std::size_t feature_count,
                           std::int32_t base_row, std::size_t& n_leaves_out,
-                          const std::string& where) {
+                          bool model_missing, const std::string& where) {
   const long num_leaves = require_long(block, "num_leaves", where);
   if (num_leaves < 1) load_fail(where, "num_leaves < 1");
   n_leaves_out = static_cast<std::size_t>(num_leaves);
@@ -89,42 +109,96 @@ trees::Tree<T> build_tree(const Block& block, std::size_t feature_count,
   std::vector<std::string> decision_type;
   if (block.count("decision_type")) decision_type = arr("decision_type");
 
+  // Categorical side tables: the threshold token of a categorical split is
+  // an index c, whose bitset is cat_threshold[cat_boundaries[c] ..
+  // cat_boundaries[c+1]) (uint32 words, bit k = category k goes left).
+  long num_cat = 0;
+  if (block.count("num_cat")) num_cat = require_long(block, "num_cat", where);
+  std::vector<long> cat_boundaries;
+  std::vector<std::uint32_t> cat_words;
+  if (num_cat > 0) {
+    const auto bounds_it = block.find("cat_boundaries");
+    const auto words_it = block.find("cat_threshold");
+    if (bounds_it == block.end() || words_it == block.end()) {
+      load_fail(where, "num_cat > 0 without cat_boundaries=/cat_threshold=");
+    }
+    for (const std::string& tok : split_tokens(bounds_it->second)) {
+      cat_boundaries.push_back(parse_long(tok, where, "cat_boundaries"));
+    }
+    if (cat_boundaries.size() != static_cast<std::size_t>(num_cat) + 1) {
+      load_fail(where, "cat_boundaries has " +
+                           std::to_string(cat_boundaries.size()) +
+                           " entries, expected " + std::to_string(num_cat + 1));
+    }
+    for (const std::string& tok : split_tokens(words_it->second)) {
+      const long w = parse_long(tok, where, "cat_threshold");
+      if (w < 0 || w > 0xFFFFFFFFl) load_fail(where, "cat_threshold word out of range");
+      cat_words.push_back(static_cast<std::uint32_t>(w));
+    }
+  }
+
   // Emit internal nodes 0..n_inner-1 in order, then resolve children:
   // non-negative child = internal index, negative = leaf -(v)-1, whose
   // payload is base_row + leaf index.
   std::vector<std::int32_t> inner_pos(static_cast<std::size_t>(n_inner));
   for (long i = 0; i < n_inner; ++i) {
     const std::string node_where = where + " split " + std::to_string(i);
+    long dt = 0;
     if (!decision_type.empty()) {
-      const long dt = parse_long(decision_type[static_cast<std::size_t>(i)],
-                                 node_where, "decision_type");
-      if (dt & 1) {
-        load_fail(node_where,
-                  "categorical split (FLInt orders floats; categorical "
-                  "models are not convertible)");
-      }
-      // missing_type lives in bits 2-3: None=0, Zero=1, NaN=2.  Zero means
-      // LightGBM routes x == 0.0 to the default direction REGARDLESS of
-      // the threshold — semantics a plain `x <= t` cannot express, so such
-      // models are rejected rather than silently mispredicted.  NaN
-      // routing is moot here: NaN inputs are rejected at the predictor
-      // boundary.
-      if (((dt >> 2) & 3) == 1) {
-        load_fail(node_where,
-                  "zero_as_missing split routing is not convertible "
-                  "(retrain with zero_as_missing=false)");
-      }
+      dt = parse_long(decision_type[static_cast<std::size_t>(i)], node_where,
+                      "decision_type");
     }
+    const long missing_type = (dt >> 2) & 3;
+    if (missing_type == 3) load_fail(node_where, "bad missing_type 3");
     const long feature = parse_long(split_feature[static_cast<std::size_t>(i)],
                                     node_where, "split_feature");
     if (feature < 0 || static_cast<std::size_t>(feature) >= feature_count) {
       load_fail(node_where, "split_feature out of range");
     }
+    if (dt & 1) {
+      // Categorical membership split.
+      const long c = parse_long(threshold[static_cast<std::size_t>(i)],
+                                node_where, "categorical threshold index");
+      if (c < 0 || c >= num_cat) {
+        load_fail(node_where, "categorical threshold index out of range");
+      }
+      const long begin = cat_boundaries[static_cast<std::size_t>(c)];
+      const long end = cat_boundaries[static_cast<std::size_t>(c) + 1];
+      if (begin < 0 || end < begin ||
+          static_cast<std::size_t>(end) > cat_words.size()) {
+        load_fail(node_where, "cat_boundaries out of range");
+      }
+      if (begin == end) load_fail(node_where, "empty categorical bitset");
+      const std::span<const std::uint32_t> words{
+          cat_words.data() + begin, static_cast<std::size_t>(end - begin)};
+      // NaN at a categorical node: NaN-type routes it right; any other
+      // missing_type treats it as category 0 (LightGBM casts missing to 0),
+      // i.e. it follows category 0's membership.
+      const bool default_left = missing_type == kMissingNaN
+                                    ? false
+                                    : trees::cat_contains(words, T{0});
+      const std::int32_t slot = tree.add_cat_set(words);
+      inner_pos[static_cast<std::size_t>(i)] = tree.add_cat_split(
+          static_cast<std::int32_t>(feature), slot, default_left);
+      continue;
+    }
     const double t = detail::parse_token_f64(
         threshold[static_cast<std::size_t>(i)], node_where);
     detail::check_threshold_finite(t, node_where);
-    inner_pos[static_cast<std::size_t>(i)] = tree.add_split(
-        static_cast<std::int32_t>(feature), detail::narrow_threshold_le<T>(t));
+    // NaN default: Zero/NaN-type nodes route missing by decision_type's
+    // direction bit; None-type nodes in a missing-capable model route NaN
+    // as LightGBM does — converted to 0.0, so left iff 0.0 <= t.  In a
+    // model with no missing routing anywhere, no flag is set and the
+    // converted forest stays byte-identical to what this loader always
+    // produced.
+    bool default_left = false;
+    if (model_missing) {
+      default_left =
+          missing_type == kMissingNone ? (0.0 <= t) : (dt & 2) != 0;
+    }
+    inner_pos[static_cast<std::size_t>(i)] =
+        tree.add_split(static_cast<std::int32_t>(feature),
+                       detail::narrow_threshold_le<T>(t), default_left);
   }
   auto resolve = [&](const std::string& token,
                      const std::string& node_where) -> std::int32_t {
@@ -248,6 +322,34 @@ ForestModel<T> load_lightgbm_text(const std::string& content) {
   model.aggregation.link = link;
   model.n_outputs = k;
 
+  // Pre-scan every decision_type: the per-node NaN defaults of None-type
+  // nodes only exist when the model routes missing values at all, and the
+  // Zero/NaN missing flavors are mutually exclusive model-wide (one
+  // boundary rewrite serves the whole model).
+  bool any_categorical = false;
+  bool any_zero = false;
+  bool any_nan = false;
+  for (const Block& block : tree_blocks) {
+    const auto it = block.find("decision_type");
+    if (it == block.end()) continue;
+    for (const std::string& tok : split_tokens(it->second)) {
+      const long dt = parse_long(tok, "lightgbm decision_type", "decision_type");
+      if (dt & 1) any_categorical = true;
+      const long mt = (dt >> 2) & 3;
+      if (mt == kMissingZero) any_zero = true;
+      if (mt == kMissingNaN) any_nan = true;
+    }
+  }
+  if (any_zero && any_nan) {
+    load_fail("lightgbm",
+              "model mixes Zero and NaN missing_type nodes; one boundary "
+              "rewrite cannot serve both (retrain with a single missing "
+              "treatment)");
+  }
+  const bool model_missing = any_categorical || any_zero || any_nan;
+  model.handles_missing = model_missing;
+  model.zero_as_missing = any_zero;
+
   std::vector<trees::Tree<T>> built;
   built.reserve(tree_blocks.size());
   std::int32_t next_row = 0;
@@ -255,7 +357,7 @@ ForestModel<T> load_lightgbm_text(const std::string& content) {
     const std::string where = "lightgbm tree " + std::to_string(t);
     std::size_t n_leaves = 0;
     built.push_back(build_tree<T>(tree_blocks[t], feature_count, next_row,
-                                  n_leaves, where));
+                                  n_leaves, model_missing, where));
     const auto it = tree_blocks[t].find("leaf_value");
     if (it == tree_blocks[t].end()) load_fail(where, "missing leaf_value=");
     const auto tokens = split_tokens(it->second);

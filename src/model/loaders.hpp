@@ -26,9 +26,19 @@
 //     summands, not comparisons, and the documented score tolerances
 //     absorb it.  Load as ForestModel<double> for bit-exact scores.)
 //
+// Missing values and categorical splits are ingested, not rejected:
+// XGBoost's per-node "missing" id and sklearn's missing_go_to_left become
+// the IR's default-direction flag, LightGBM's decision_type contributes
+// default directions, zero_as_missing (ForestModel::zero_as_missing) and
+// bitset categorical splits.  Models that route missing values set
+// ForestModel::handles_missing, which make_predictor turns into a
+// NaN-admitting MissingPolicy; models without any missing routing convert
+// to byte-identical forests with the legacy hard NaN reject.
+//
 // All loaders throw std::runtime_error naming the offending node/field on
-// malformed input, NaN or non-finite thresholds, or categorical splits
-// (FLInt is an ordering of floats; categorical models are out of scope).
+// malformed input, NaN or non-finite thresholds, or the few shapes with no
+// exact realization (mixed Zero+NaN missing types, average_output,
+// linear_tree).
 #pragma once
 
 #include <string>

@@ -51,6 +51,11 @@ void write_model(std::ostream& out, const ForestModel<T>& model) {
   out << "agg " << to_string(model.aggregation.mode) << '\n';
   out << "link " << to_string(model.aggregation.link) << '\n';
   out << "outputs " << model.n_outputs << '\n';
+  // Optional missing-value semantics line; omitted for models without
+  // missing support so their v2 files are byte-identical to before.
+  if (model.handles_missing) {
+    out << "missing 1 " << (model.zero_as_missing ? 1 : 0) << '\n';
+  }
   out << "classes "
       << (model.is_vote() ? model.forest.num_classes() : model.num_classes())
       << '\n';
@@ -135,6 +140,24 @@ ForestModel<T> read_model(std::istream& in) {
   int classes = 0;
   {
     std::string line = reader.next();
+    // Optional `missing <handles> <zero_as_missing>` line (probe-style,
+    // like `base` below): absent means the pre-missing default (hard NaN
+    // gate at the predictor boundary).
+    {
+      std::istringstream probe(line);
+      std::string first;
+      probe >> first;
+      if (first == "missing") {
+        int handles = 0, zero = 0;
+        if (!(probe >> handles >> zero) || handles < 0 || handles > 1 ||
+            zero < 0 || zero > 1 || (zero && !handles)) {
+          reader.fail("bad missing line (expected 'missing 0|1 0|1')", line);
+        }
+        model.handles_missing = handles != 0;
+        model.zero_as_missing = zero != 0;
+        line = reader.next();
+      }
+    }
     auto ls = expect_keyword(reader, line, "classes");
     if (!(ls >> classes) || classes < 0) {
       reader.fail("bad classes count", line);

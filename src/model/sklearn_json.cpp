@@ -74,12 +74,20 @@ ForestModel<T> load_sklearn_json(const std::string& content) {
     const JsonArray& feature = jt.at("feature").as_array();
     const JsonArray& threshold = jt.at("threshold").as_array();
     const JsonArray& value = jt.at("value").as_array();
+    // Optional (sklearn >= 1.3, tree_.missing_go_to_left): per-node NaN
+    // default directions.  Exports without it keep the legacy NaN-reject
+    // contract.
+    const JsonArray* missing_left = nullptr;
+    if (const JsonValue* m = jt.get("missing_go_to_left")) {
+      missing_left = &m->as_array();
+    }
     const std::size_t n_nodes = left.size();
     if (right.size() != n_nodes || feature.size() != n_nodes ||
         threshold.size() != n_nodes || value.size() != n_nodes ||
-        n_nodes == 0) {
+        n_nodes == 0 || (missing_left && missing_left->size() != n_nodes)) {
       load_fail(where, "ragged or empty node arrays");
     }
+    model.handles_missing = model.handles_missing || missing_left != nullptr;
     trees::Tree<T> tree(n_features);
     // sklearn node order is already root-first; emit 1:1, fixing up child
     // links afterwards (indices are preserved).
@@ -126,8 +134,14 @@ ForestModel<T> load_sklearn_json(const std::string& content) {
       const double th =
           detail::parse_token_f64(threshold[i].raw_number(), node_where);
       detail::check_threshold_finite(th, node_where);
-      const std::int32_t self = tree.add_split(
-          static_cast<std::int32_t>(f), detail::narrow_threshold_le<T>(th));
+      bool default_left = false;
+      if (missing_left) {
+        const JsonValue& mv = (*missing_left)[i];
+        default_left = mv.is_number() ? mv.as_int() != 0 : mv.as_bool();
+      }
+      const std::int32_t self =
+          tree.add_split(static_cast<std::int32_t>(f),
+                         detail::narrow_threshold_le<T>(th), default_left);
       (void)self;
       tree.link(static_cast<std::int32_t>(i), static_cast<std::int32_t>(l),
                 static_cast<std::int32_t>(r));

@@ -63,6 +63,7 @@ struct TreeBuilder {
   std::vector<T> leaf_values;  ///< one scalar per leaf, in payload order
   std::int32_t base_row = 0;   ///< global row index of this tree's leaf 0
   std::int32_t max_feature = -1;
+  bool any_missing = false;    ///< some node carried a "missing" id
 
   /// Emits `node` and its subtree; returns its index.  `depth` bounds the
   /// recursion: a crafted dump with a pathologically deep node chain must
@@ -122,7 +123,21 @@ struct TreeBuilder {
     if (!yes_child || !no_child || yes_child == no_child) {
       load_fail(where, "children do not match yes/no node ids");
     }
-    const std::int32_t self = tree.add_split(feature, split);
+    // NaN routing: "missing" names the child missing values follow.  The
+    // yes child is our left (x < t), so missing == yes means default-left.
+    // Dumps without the field keep the IR's flag-free NaN-right default
+    // (and, with no "missing" anywhere, the model stays non-missing).
+    bool default_left = false;
+    if (const JsonValue* m = node.get("missing")) {
+      any_missing = true;
+      const long long miss = m->as_int();
+      if (miss == yes) {
+        default_left = true;
+      } else if (miss != no) {
+        load_fail(where, "missing id matches neither yes nor no");
+      }
+    }
+    const std::int32_t self = tree.add_split(feature, split, default_left);
     const std::int32_t left = emit(*yes_child, depth + 1);
     const std::int32_t right = emit(*no_child, depth + 1);
     tree.link(self, left, right);
@@ -209,6 +224,7 @@ ForestModel<T> load_xgboost_json(const std::string& content,
     const std::int32_t root = b.emit((*tree_array)[t]);
     if (root != 0) load_fail("xgboost", "tree root must be emitted first");
     max_feature = std::max(max_feature, b.max_feature);
+    model.handles_missing = model.handles_missing || b.any_missing;
     // One leaf-value row per leaf; multi-class trees write one-hot rows in
     // their class column (tree t contributes to class t % k).
     const int column = k == 1 ? 0 : static_cast<int>(t) % k;

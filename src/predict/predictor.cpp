@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -78,6 +79,61 @@ unsigned available_parallelism() {
 // Predictor base: shape validation + conveniences.
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// The boundary-rewrite predicate of MissingPolicy: zeros (when
+/// zero_as_missing) and NaN (when substitute_nan rewrites NaN to +inf).
+template <typename T>
+bool needs_missing_rewrite(const MissingPolicy& policy, T v) {
+  if (policy.zero_as_missing &&
+      std::fabs(v) <= static_cast<T>(kZeroAsMissingThreshold)) {
+    return true;
+  }
+  return policy.substitute_nan && std::isnan(v);
+}
+
+/// Rewrites a shape-checked batch per the missing policy.  zero_as_missing
+/// maps |x| <= kZeroAsMissingThreshold to the missing value; substitute_nan
+/// makes that value +infinity (instead of quiet NaN) and rewrites incoming
+/// NaN to it as well — against a forest with no default directions,
+/// `x <= t` sends +inf right at every finite split, which is exactly the
+/// flag-free missing contract (the factory refuses the one inexact shape, a
+/// +inf split).  Returns `features` untouched — no copy — when nothing
+/// needs rewriting.
+template <typename T>
+std::span<const T> missing_transform(const MissingPolicy& policy,
+                                     std::span<const T> features,
+                                     std::vector<T>& scratch) {
+  if (!policy.zero_as_missing && !policy.substitute_nan) return features;
+  std::size_t first = 0;
+  for (; first < features.size(); ++first) {
+    if (needs_missing_rewrite(policy, features[first])) break;
+  }
+  if (first == features.size()) return features;
+  scratch.assign(features.begin(), features.end());
+  apply_missing_rewrites<T>(
+      policy, std::span<T>(scratch.data() + first, scratch.size() - first));
+  return scratch;
+}
+
+}  // namespace
+
+template <typename T>
+void apply_missing_rewrites(const MissingPolicy& policy, std::span<T> data) {
+  if (!policy.zero_as_missing && !policy.substitute_nan) return;
+  const T missing = policy.substitute_nan
+                        ? std::numeric_limits<T>::infinity()
+                        : std::numeric_limits<T>::quiet_NaN();
+  for (T& v : data) {
+    if (needs_missing_rewrite(policy, v)) v = missing;
+  }
+}
+
+template void apply_missing_rewrites<float>(const MissingPolicy&,
+                                            std::span<float>);
+template void apply_missing_rewrites<double>(const MissingPolicy&,
+                                             std::span<double>);
+
 template <typename T>
 void Predictor<T>::predict_batch(std::span<const T> features,
                                  std::size_t n_samples,
@@ -93,21 +149,28 @@ void Predictor<T>::predict_batch(std::span<const T> features,
     throw std::invalid_argument("predict_batch: output span too small");
   }
   if (n_samples == 0) return;
-  // NaN gate: the FLInt engines order NaN bit patterns instead of comparing
-  // unordered, so NaN features are the one input class where backends could
-  // silently diverge from Forest::predict.  Rejecting them here keeps the
-  // bit-identical contract unconditional for every backend.
-  for (std::size_t i = 0; i < features.size(); ++i) {
-    if (std::isnan(features[i])) {
-      throw std::invalid_argument(
-          "predict_batch: NaN feature at sample " +
-          std::to_string(i / feature_count()) + ", feature " +
-          std::to_string(i % feature_count()) +
-          " (FLInt's total order is NaN-free; see README \"NaN/zero "
-          "semantics\")");
+  // Missing gate: unless the model declares missing support, NaN features
+  // are rejected — the FLInt engines order NaN bit patterns instead of
+  // comparing unordered, so for legacy models NaN is the one input class
+  // where backends could silently diverge from Forest::predict.
+  // Missing-capable models admit NaN (routed per-node by the backends'
+  // special paths) after the policy's boundary rewrites.
+  if (!missing_policy_.allow_nan) {
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      if (std::isnan(features[i])) {
+        throw std::invalid_argument(
+            "predict_batch: NaN feature at sample " +
+            std::to_string(i / feature_count()) + ", feature " +
+            std::to_string(i % feature_count()) +
+            " (this model declares no missing-value support; see README "
+            "\"NaN/zero semantics\")");
+      }
     }
   }
-  do_predict_batch(features.data(), n_samples, out.data());
+  std::vector<T> scratch;
+  const std::span<const T> data =
+      missing_transform<T>(missing_policy_, features, scratch);
+  do_predict_batch(data.data(), n_samples, out.data());
 }
 
 template <typename T>
@@ -164,19 +227,25 @@ void Predictor<T>::predict_scores(std::span<const T> features,
         " outputs)");
   }
   if (n_samples == 0) return;
-  // Same NaN gate as predict_batch: FLInt orders NaN bit patterns instead
-  // of comparing unordered, so NaN inputs are where backends could diverge.
-  for (std::size_t i = 0; i < features.size(); ++i) {
-    if (std::isnan(features[i])) {
-      throw std::invalid_argument(
-          "predict_scores: NaN feature at sample " +
-          std::to_string(i / feature_count()) + ", feature " +
-          std::to_string(i % feature_count()) +
-          " (FLInt's total order is NaN-free; see README \"NaN/zero "
-          "semantics\")");
+  // Same missing gate as predict_batch: legacy models reject NaN (FLInt
+  // orders NaN bit patterns instead of comparing unordered), missing-capable
+  // models route it per the policy after the boundary rewrites.
+  if (!missing_policy_.allow_nan) {
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      if (std::isnan(features[i])) {
+        throw std::invalid_argument(
+            "predict_scores: NaN feature at sample " +
+            std::to_string(i / feature_count()) + ", feature " +
+            std::to_string(i % feature_count()) +
+            " (this model declares no missing-value support; see README "
+            "\"NaN/zero semantics\")");
+      }
     }
   }
-  do_predict_scores(features.data(), n_samples, out.data());
+  std::vector<T> scratch;
+  const std::span<const T> data =
+      missing_transform<T>(missing_policy_, features, scratch);
+  do_predict_scores(data.data(), n_samples, out.data());
 }
 
 template <typename T>
@@ -351,13 +420,13 @@ template <typename T>
 class FlintEnginePredictor final : public Predictor<T> {
  public:
   FlintEnginePredictor(const trees::Forest<T>& forest,
-                       exec::FlintVariant variant, std::size_t block_size)
+                       exec::FlintVariant variant, std::size_t block_size,
+                       std::string name = {})
       : engine_(forest, variant),
-        block_size_(std::max<std::size_t>(block_size, 1)) {}
+        block_size_(std::max<std::size_t>(block_size, 1)),
+        name_(name.empty() ? exec::to_string(variant) : std::move(name)) {}
 
-  [[nodiscard]] std::string name() const override {
-    return exec::to_string(engine_.variant());
-  }
+  [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] int num_classes() const noexcept override {
     return engine_.num_classes();
   }
@@ -375,6 +444,7 @@ class FlintEnginePredictor final : public Predictor<T> {
  private:
   exec::FlintForestEngine<T> engine_;
   std::size_t block_size_;
+  std::string name_;
 };
 
 template <typename T>
@@ -1190,6 +1260,24 @@ std::unique_ptr<Predictor<T>> make_score_predictor(
                               ")");
 }
 
+/// Guard for MissingPolicy::substitute_nan (flag-free missing-capable
+/// forests): the +infinity rewrite routes right only against finite splits,
+/// so the one forest shape it cannot serve exactly — a +inf split with no
+/// default directions anywhere — is refused up front.
+template <typename T>
+void require_substitutable(const trees::Forest<T>& forest) {
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    for (const auto& n : forest.tree(t).nodes()) {
+      if (!n.is_leaf() && n.split == std::numeric_limits<T>::infinity()) {
+        throw std::invalid_argument(
+            "make_predictor: model declares missing-value support but its "
+            "forest has no default directions and a +inf split; NaN routing "
+            "cannot be represented — retrain or add default directions");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 template <typename T>
@@ -1199,17 +1287,26 @@ std::unique_ptr<Predictor<T>> make_predictor(const model::ForestModel<T>& model,
   if (const std::string err = model.validate(); !err.empty()) {
     throw std::invalid_argument("make_predictor: invalid model: " + err);
   }
+  std::unique_ptr<Predictor<T>> predictor;
   if (model.is_vote()) {
     // Majority-vote models ARE v1 forests semantically; every backend —
     // including the real jit:* code paths — serves them unchanged.
-    return make_predictor(model.forest, backend, options);
+    predictor = make_predictor(model.forest, backend, options);
+  } else {
+    predictor = make_score_predictor(model, backend, options);
+    if (options.threads != 1) {
+      predictor = std::make_unique<ParallelPredictor<T>>(
+          std::move(predictor), options.threads,
+          std::max<std::size_t>(options.block_size, 256));
+    }
   }
-  std::unique_ptr<Predictor<T>> predictor =
-      make_score_predictor(model, backend, options);
-  if (options.threads != 1) {
-    predictor = std::make_unique<ParallelPredictor<T>>(
-        std::move(predictor), options.threads,
-        std::max<std::size_t>(options.block_size, 256));
+  if (model.handles_missing) {
+    MissingPolicy policy;
+    policy.allow_nan = true;
+    policy.zero_as_missing = model.zero_as_missing;
+    policy.substitute_nan = !model.forest.has_special_splits();
+    if (policy.substitute_nan) require_substitutable(model.forest);
+    predictor->set_missing_policy(policy);
   }
   return predictor;
 }
@@ -1245,7 +1342,23 @@ std::unique_ptr<Predictor<T>> make_predictor(const trees::Forest<T>& forest,
   } else if (backend.rfind("layout:", 0) == 0) {
     predictor = make_layout_predictor(forest, backend.substr(7), options);
   } else if (backend.rfind("jit:", 0) == 0) {
-    predictor = make_jit_predictor(forest, backend.substr(4), options);
+    if (forest.has_special_splits()) {
+      // The code generators know nothing of default directions or
+      // categorical bitsets and would mis-route NaN; such forests are
+      // served through the encoded interpreter, the name recording the
+      // fallback.  Unknown jit names must still be rejected, not silently
+      // served.
+      if (!is_known_backend(backend)) {
+        throw std::invalid_argument("make_predictor: unknown backend '" +
+                                    std::string(backend) + "' (" +
+                                    backend_help() + ")");
+      }
+      predictor = std::make_unique<FlintEnginePredictor<T>>(
+          forest, exec::FlintVariant::Encoded, options.block_size,
+          "encoded(fallback:" + std::string(backend) + ")");
+    } else {
+      predictor = make_jit_predictor(forest, backend.substr(4), options);
+    }
   } else {
     throw std::invalid_argument("make_predictor: unknown backend '" +
                                 std::string(backend) + "' (" + backend_help() +
@@ -1257,6 +1370,12 @@ std::unique_ptr<Predictor<T>> make_predictor(const trees::Forest<T>& forest,
     predictor = std::make_unique<ParallelPredictor<T>>(
         std::move(predictor), options.threads,
         std::max<std::size_t>(options.block_size, 256));
+  }
+  if (forest.has_special_splits()) {
+    // A forest carrying default directions routes NaN itself; admit it.
+    MissingPolicy policy;
+    policy.allow_nan = true;
+    predictor->set_missing_policy(policy);
   }
   return predictor;
 }

@@ -20,11 +20,14 @@
 //     tests/test_predictor.cpp) — the paper's "accuracy unchanged" claim
 //     extended to the batched path;
 //   * NaN features are rejected with std::invalid_argument at the batch
-//     boundary.  The FLInt engines order NaN bit patterns deterministically
-//     but differently from IEEE comparison, so a NaN input is the one case
-//     where backends could silently diverge; refusing it keeps the
-//     bit-identical contract unconditional (see README "NaN/zero
-//     semantics");
+//     boundary unless the predictor's MissingPolicy allows them (the
+//     model-aware factory sets it when the model declares missing-value
+//     support).  The FLInt engines order NaN bit patterns deterministically
+//     but differently from IEEE comparison, so for legacy models a NaN
+//     input is the one case where backends could silently diverge; refusing
+//     it keeps the bit-identical contract unconditional.  Missing-capable
+//     models instead route NaN by each node's default direction —
+//     identically in every backend (see README "NaN/zero semantics");
 //   * do_predict_batch is const-thread-safe: concurrent calls on one object
 //     from different threads must not race.  All vote/key scratch is
 //     function-local, which is what lets ParallelPredictor partition a
@@ -47,6 +50,46 @@
 
 namespace flint::predict {
 
+/// LightGBM's kZeroThreshold: |x| at or below this counts as "zero" for
+/// models trained with zero_as_missing.
+inline constexpr double kZeroAsMissingThreshold = 1e-35;
+
+/// How a predictor treats missing values at the batch boundary.  The
+/// default is the hard NaN reject that keeps legacy models' bit-identical
+/// contract unconditional; the model-aware make_predictor overrides it on
+/// the OUTERMOST predictor from ForestModel::handles_missing /
+/// ::zero_as_missing, so the boundary rewrite runs exactly once even under
+/// a ParallelPredictor (whose workers dispatch prevalidated blocks).
+struct MissingPolicy {
+  /// NaN features pass the boundary and route per the forest's per-node
+  /// default directions (the trees/tree.hpp missing contract).
+  bool allow_nan = false;
+  /// |x| <= kZeroAsMissingThreshold is rewritten to a missing value before
+  /// dispatch (LightGBM zero_as_missing models).  Implies allow_nan.
+  bool zero_as_missing = false;
+  /// The forest carries no default-direction or categorical node, so the
+  /// backends run their unchanged legacy paths; NaN inputs are rewritten to
+  /// +infinity, which `x <= t` sends right at every finite split — exactly
+  /// the flag-free missing contract.  Set only by the factory, which
+  /// rejects the one model shape where the rewrite would be inexact (a
+  /// +inf split).
+  bool substitute_nan = false;
+};
+
+/// Rewrites `data` in place per `policy`: zero_as_missing maps
+/// |x| <= kZeroAsMissingThreshold to the missing value; substitute_nan
+/// makes that value +infinity and rewrites NaN to it as well.  This is
+/// exactly what predict_batch applies at its boundary — exposed for callers
+/// that dispatch prevalidated batches themselves (the serve runtime).
+/// No-op for policies without rewrites.
+template <typename T>
+void apply_missing_rewrites(const MissingPolicy& policy, std::span<T> data);
+
+extern template void apply_missing_rewrites<float>(const MissingPolicy&,
+                                                   std::span<float>);
+extern template void apply_missing_rewrites<double>(const MissingPolicy&,
+                                                    std::span<double>);
+
 /// Abstract batched forest classifier over feature scalar T.
 template <typename T>
 class Predictor {
@@ -68,11 +111,20 @@ class Predictor {
   }
 
   /// Classifies `n_samples` row-major samples.  `features` must hold exactly
-  /// `n_samples * feature_count()` values, none of them NaN, and `out` at
-  /// least one slot per sample; throws std::invalid_argument otherwise.
-  /// `n_samples == 0` is a valid no-op.
+  /// `n_samples * feature_count()` values — none of them NaN unless
+  /// missing_policy().allow_nan — and `out` at least one slot per sample;
+  /// throws std::invalid_argument otherwise.  `n_samples == 0` is a valid
+  /// no-op.
   void predict_batch(std::span<const T> features, std::size_t n_samples,
                      std::span<std::int32_t> out) const;
+
+  /// Missing-value treatment at the batch boundary (see MissingPolicy).
+  [[nodiscard]] const MissingPolicy& missing_policy() const noexcept {
+    return missing_policy_;
+  }
+  void set_missing_policy(const MissingPolicy& policy) noexcept {
+    missing_policy_ = policy;
+  }
 
   /// Convenience overload over a Dataset's backing storage.
   void predict_batch(const data::Dataset<T>& dataset,
@@ -83,7 +135,8 @@ class Predictor {
   [[nodiscard]] std::int32_t predict_one(std::span<const T> x) const;
 
   /// Runs the backend hook directly on a batch the *caller* has already
-  /// validated (shape and NaN gates skipped).  For decorators re-slicing a
+  /// validated (shape and NaN gates and the missing-policy boundary
+  /// rewrites skipped).  For decorators re-slicing a
   /// validated batch (ParallelPredictor's worker blocks) and for timing
   /// harnesses that hoist validation out of the measured region so the
   /// timer sees traversal cost, not the O(n x d) boundary scan.  Passing
@@ -129,6 +182,9 @@ class Predictor {
   /// override it.
   virtual void do_predict_scores(const T* features, std::size_t n_samples,
                                  T* out) const;
+
+ private:
+  MissingPolicy missing_policy_{};
 };
 
 /// CPU parallelism actually available to this process: the smaller of
@@ -196,6 +252,12 @@ struct PredictorOptions {
 ///   jit:cags-float            CAGS kernel layout (needs branch_stats)
 ///   jit:cags-flint            CAGS + FLInt (needs branch_stats)
 ///   jit:asm-x86               direct x86-64 assembly backend
+///
+/// Forests with default-direction or categorical nodes
+/// (Forest::has_special_splits) are served with NaN routing compiled in and
+/// the result's MissingPolicy accepts NaN; the jit:* names fall back to the
+/// encoded interpreter for them (the code generators know nothing of
+/// default directions), recording the fallback in the predictor name.
 template <typename T>
 [[nodiscard]] std::unique_ptr<Predictor<T>> make_predictor(
     const trees::Forest<T>& forest, std::string_view backend,
@@ -226,6 +288,10 @@ template <typename T>
 /// sigmoid threshold) when model.is_classifier(), and throws
 /// std::logic_error for regression models — predict_scores is their API.
 /// The model does not need to outlive the predictor.
+///
+/// Models with handles_missing get a MissingPolicy that admits NaN and
+/// applies the model's zero_as_missing rewrite at the batch boundary;
+/// models without it keep the hard NaN reject.
 template <typename T>
 [[nodiscard]] std::unique_ptr<Predictor<T>> make_predictor(
     const model::ForestModel<T>& model, std::string_view backend,

@@ -371,13 +371,20 @@ std::future<std::vector<std::int32_t>> InferenceServer::submit(
         std::to_string(n_samples) + " samples x " + std::to_string(width) +
         " features of model '" + entry.name + "')")));
   }
-  for (std::size_t i = 0; i < features.size(); ++i) {
-    if (std::isnan(features[i])) {
-      return reject(std::make_exception_ptr(std::invalid_argument(
-          "serve: NaN feature at sample " + std::to_string(i / width) +
-          ", feature " + std::to_string(i % width) +
-          " (FLInt's total order is NaN-free; see README \"NaN/zero "
-          "semantics\")")));
+  // Missing gate: mirrors Predictor::predict_batch.  Workers dispatch
+  // prevalidated batches, so this boundary owns both the legacy NaN reject
+  // and — for missing-capable models — the policy's rewrites (applied to
+  // the request's own copy below).
+  const predict::MissingPolicy policy = entry.predictor->missing_policy();
+  if (!policy.allow_nan) {
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      if (std::isnan(features[i])) {
+        return reject(std::make_exception_ptr(std::invalid_argument(
+            "serve: NaN feature at sample " + std::to_string(i / width) +
+            ", feature " + std::to_string(i % width) +
+            " (model '" + entry.name + "' declares no missing-value "
+            "support; see README \"NaN/zero semantics\")")));
+      }
     }
   }
   if (n_samples == 0) {
@@ -401,6 +408,7 @@ std::future<std::vector<std::int32_t>> InferenceServer::submit(
     Impl::Request request;
     request.predictor = std::move(entry.predictor);
     request.features.assign(features.begin(), features.end());
+    predict::apply_missing_rewrites<float>(policy, request.features);
     request.n_samples = n_samples;
     request.promise = std::move(promise);
     request.enqueued = Clock::now();

@@ -39,6 +39,13 @@ class Forest {
   [[nodiscard]] std::size_t feature_count() const {
     return trees_.empty() ? 0 : trees_.front().feature_count();
   }
+  /// True when any tree carries missing/categorical node semantics.
+  [[nodiscard]] bool has_special_splits() const noexcept {
+    for (const auto& t : trees_) {
+      if (t.has_special_splits()) return true;
+    }
+    return false;
+  }
 
   /// Majority-vote prediction with float comparisons (reference semantics
   /// for every other execution engine in this repo).

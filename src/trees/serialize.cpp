@@ -79,11 +79,33 @@ T parse_hex_bits(const LineReader& reader, const std::string& token,
 template <typename T>
 void write_tree(std::ostream& out, const Tree<T>& tree) {
   out << "tree " << tree.feature_count() << ' ' << tree.size() << '\n';
+  // Trees with missing/categorical semantics write the extended node form
+  // (trailing <flags> <cat_slot>) plus a `cats` block; plain trees keep the
+  // legacy 5-field lines so old files and new files of old models are
+  // byte-identical.
+  const bool special = tree.has_special_splits() || tree.cat_slot_count() > 0;
+  if (special && tree.cat_slot_count() > 0) {
+    out << "cats " << tree.cat_slot_count() << '\n';
+    for (std::int32_t s = 0; s < tree.cat_slot_count(); ++s) {
+      const auto words = tree.cat_set(s);
+      out << "c " << words.size();
+      for (const std::uint32_t w : words) {
+        std::ostringstream hex;
+        hex << std::hex << w;
+        out << ' ' << hex.str();
+      }
+      out << '\n';
+    }
+  }
   for (const auto& n : tree.nodes()) {
     std::ostringstream hex;
     hex << std::hex << static_cast<std::uint64_t>(std::bit_cast<BitsOf<T>>(n.split));
     out << "n " << n.feature << ' ' << hex.str() << ' ' << n.left << ' '
-        << n.right << ' ' << n.prediction << '\n';
+        << n.right << ' ' << n.prediction;
+    if (special) {
+      out << ' ' << static_cast<int>(n.flags) << ' ' << n.cat_slot;
+    }
+    out << '\n';
   }
 }
 
@@ -106,8 +128,7 @@ Tree<T> read_tree(LineReader& reader) {
                 header_line);
   }
   Tree<T> tree(feature_count);
-  for (std::size_t i = 0; i < n_nodes; ++i) {
-    const std::string line = reader.next();
+  const auto parse_node_line = [&](const std::string& line, std::size_t i) {
     std::istringstream ls(line);
     std::string ntag, hex;
     Node<T> node;
@@ -138,9 +159,67 @@ Tree<T> read_tree(LineReader& reader) {
       reader.fail("bad node line (near '" + token_at(line, field) + "')",
                   line);
     }
+    // Optional extended fields (missing/categorical semantics): a trailing
+    // `<flags> <cat_slot>` pair.  Legacy 5-field lines default to 0 / -1.
+    int flags = 0;
+    std::int32_t cat_slot = -1;
+    if (ls >> flags) {
+      if (!(ls >> cat_slot) || flags < 0 ||
+          flags > (kNodeDefaultLeft | kNodeCategorical)) {
+        reader.fail("bad node flags on node " + std::to_string(i), line);
+      }
+      node.flags = static_cast<std::uint8_t>(flags);
+      node.cat_slot = cat_slot;
+    }
     node.split = parse_hex_bits<T>(reader, hex, line,
                                    "split bits on node " + std::to_string(i));
     tree.add_node(node);
+  };
+  std::size_t first_node = 0;
+  if (n_nodes > 0) {
+    // The optional `cats` block sits between the tree header and node 0;
+    // probe the first content line and fall through when it is node 0.
+    const std::string line = reader.next();
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "cats") {
+      std::size_t n_slots = 0;
+      if (!(ls >> n_slots) || n_slots == 0) {
+        reader.fail("bad cats header (near '" + token_at(line, 1) + "')",
+                    line);
+      }
+      for (std::size_t s = 0; s < n_slots; ++s) {
+        const std::string cline = reader.next();
+        std::istringstream cs(cline);
+        std::string ctag;
+        std::size_t n_words = 0;
+        if (!(cs >> ctag >> n_words) || ctag != "c" || n_words == 0) {
+          reader.fail("bad category-set line for slot " + std::to_string(s),
+                      cline);
+        }
+        std::vector<std::uint32_t> words(n_words);
+        for (std::size_t w = 0; w < n_words; ++w) {
+          std::string token;
+          if (!(cs >> token)) {
+            reader.fail("category set slot " + std::to_string(s) + " has " +
+                            std::to_string(w) + " words, expected " +
+                            std::to_string(n_words),
+                        cline);
+          }
+          words[w] = std::bit_cast<std::uint32_t>(parse_hex_bits<float>(
+              reader, token, cline,
+              "category word on slot " + std::to_string(s)));
+        }
+        tree.add_cat_set(words);
+      }
+    } else {
+      parse_node_line(line, 0);
+      first_node = 1;
+    }
+  }
+  for (std::size_t i = first_node; i < n_nodes; ++i) {
+    parse_node_line(reader.next(), i);
   }
   if (const std::string err = tree.validate(); !err.empty()) {
     reader.fail("invalid tree: " + err);

@@ -7,7 +7,14 @@
 // v1 format (line-oriented, '#' comments allowed):
 //   forest v1 <num_classes> <n_trees>
 //   tree <feature_count> <n_nodes>
-//   n <feature> <split_bits_hex> <left> <right> <prediction>   (per node)
+//   cats <n_slots>                       (optional; categorical trees only)
+//   c <n_words> <word_hex> ...           (one line per category-set slot)
+//   n <feature> <split_bits_hex> <left> <right> <prediction> [<flags> <cat_slot>]
+//
+// The trailing <flags> <cat_slot> pair (missing-value default direction,
+// categorical membership) is written only for trees that carry such
+// semantics, so files of plain trees are byte-identical to the original
+// 5-field format.
 //
 // The v2 container (typed leaves + aggregation + leaf-value table) wraps
 // the same tree blocks; it lives in model/model_io.hpp because it carries a

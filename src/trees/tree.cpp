@@ -1,6 +1,7 @@
 #include "trees/tree.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace flint::trees {
@@ -29,6 +30,57 @@ std::int32_t Tree<T>::add_split(std::int32_t feature, T split) {
 }
 
 template <typename T>
+std::int32_t Tree<T>::add_split(std::int32_t feature, T split,
+                                bool default_left) {
+  const std::int32_t i = add_split(feature, split);
+  if (default_left) node(i).flags |= kNodeDefaultLeft;
+  return i;
+}
+
+template <typename T>
+std::int32_t Tree<T>::add_cat_split(std::int32_t feature, std::int32_t cat_slot,
+                                    bool default_left) {
+  if (feature < 0) {
+    throw std::invalid_argument("Tree::add_cat_split: negative feature");
+  }
+  if (cat_slot < 0 || cat_slot >= cat_slot_count()) {
+    throw std::invalid_argument("Tree::add_cat_split: cat_slot out of range");
+  }
+  Node<T> n;
+  n.feature = feature;
+  n.cat_slot = cat_slot;
+  n.flags = kNodeCategorical;
+  if (default_left) n.flags |= kNodeDefaultLeft;
+  return add_node(n);
+}
+
+template <typename T>
+std::int32_t Tree<T>::add_cat_set(std::span<const std::uint32_t> words) {
+  if (words.empty()) {
+    throw std::invalid_argument("Tree::add_cat_set: empty category set");
+  }
+  cat_offsets_.push_back(static_cast<std::int32_t>(cat_words_.size()));
+  cat_sizes_.push_back(static_cast<std::int32_t>(words.size()));
+  cat_words_.insert(cat_words_.end(), words.begin(), words.end());
+  return static_cast<std::int32_t>(cat_offsets_.size() - 1);
+}
+
+template <typename T>
+std::span<const std::uint32_t> Tree<T>::cat_set(std::int32_t slot) const {
+  const auto s = static_cast<std::size_t>(slot);
+  return {cat_words_.data() + cat_offsets_[s],
+          static_cast<std::size_t>(cat_sizes_[s])};
+}
+
+template <typename T>
+bool Tree<T>::has_special_splits() const noexcept {
+  for (const auto& n : nodes_) {
+    if (!n.is_leaf() && n.flags != 0) return true;
+  }
+  return false;
+}
+
+template <typename T>
 void Tree<T>::link(std::int32_t parent, std::int32_t left, std::int32_t right) {
   auto& p = node(parent);
   p.left = left;
@@ -45,7 +97,19 @@ std::int32_t Tree<T>::leaf_for(std::span<const T> x) const {
   std::int32_t i = 0;
   const Node<T>* n = &node(i);
   while (!n->is_leaf()) {
-    i = (x[static_cast<std::size_t>(n->feature)] <= n->split) ? n->left : n->right;
+    const T v = x[static_cast<std::size_t>(n->feature)];
+    bool go_left;
+    if (std::isnan(v)) {
+      // Missing routes by the default-direction flag.  Flagless nodes send
+      // NaN right — exactly what IEEE `v <= split` evaluates to, so legacy
+      // models keep their pre-missing-support behavior bit for bit.
+      go_left = n->default_left();
+    } else if (n->is_categorical()) {
+      go_left = cat_contains(cat_set(n->cat_slot), v);
+    } else {
+      go_left = v <= n->split;
+    }
+    i = go_left ? n->left : n->right;
     n = &node(i);
   }
   return i;
@@ -97,6 +161,14 @@ std::string Tree<T>::validate() const {
     if (feature_count_ != 0 &&
         static_cast<std::size_t>(n.feature) >= feature_count_) {
       return "node " + std::to_string(i) + " feature index out of range";
+    }
+    if (n.is_categorical()) {
+      if (n.cat_slot < 0 || n.cat_slot >= cat_slot_count()) {
+        return "categorical node " + std::to_string(i) +
+               " cat_slot out of range";
+      }
+    } else if (n.cat_slot != -1) {
+      return "numeric node " + std::to_string(i) + " carries a cat_slot";
     }
     if (n.left < 0 || n.left >= n_nodes || n.right < 0 || n.right >= n_nodes) {
       return "node " + std::to_string(i) + " child index out of range";

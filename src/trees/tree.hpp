@@ -6,6 +6,17 @@
 //
 //     next = (x[FI(n)] <= SP(n)) ? LC(n) : RC(n)
 //
+// extended with the repo-wide missing/categorical contract
+// (docs/ARCHITECTURE.md "NaN routing"):
+//
+//   * NaN features are tested FIRST, before any comparison, and route to
+//     LC(n) iff the node's default-left flag is set (so a node with no
+//     flags routes NaN right — exactly what `x <= s` evaluates to under
+//     IEEE, which keeps legacy models bit-identical);
+//   * categorical nodes replace the threshold test with bitset membership:
+//     go left iff trunc(x) is a member of the node's category set
+//     (negative values and values beyond the set are non-members).
+//
 // Nodes are stored in a flat vector (index 0 = root) so the same model feeds
 // the native-tree interpreters and all code generators without conversion.
 #pragma once
@@ -19,16 +30,41 @@ namespace flint::trees {
 
 inline constexpr std::int32_t kNoChild = -1;
 
+/// Node flag bits: NaN default direction and categorical-membership splits.
+inline constexpr std::uint8_t kNodeDefaultLeft = 1;  ///< NaN routes to LC(n)
+inline constexpr std::uint8_t kNodeCategorical = 2;  ///< bitset membership test
+
+/// Shared categorical membership rule: trunc(v) is a member iff its bit is
+/// set.  Negative values, values at/after the set's end, and NaN are
+/// non-members (callers route NaN by the default-direction flag *before*
+/// this test; the `!(v >= 0)` guard merely keeps the trunc well-defined).
+template <typename T>
+[[nodiscard]] inline bool cat_contains(std::span<const std::uint32_t> words,
+                                       T v) noexcept {
+  if (!(v >= T{0})) return false;
+  if (v >= static_cast<T>(words.size() * 32)) return false;
+  const auto idx = static_cast<std::uint32_t>(v);
+  return ((words[idx >> 5] >> (idx & 31u)) & 1u) != 0;
+}
+
 /// One tree node.  `feature == -1` marks a leaf.
 template <typename T>
 struct Node {
   std::int32_t feature = -1;    ///< FI(n); -1 for leaves
-  T split = T{0};               ///< SP(n)
+  T split = T{0};               ///< SP(n); unused for categorical nodes
   std::int32_t left = kNoChild;   ///< LC(n), node index
   std::int32_t right = kNoChild;  ///< RC(n), node index
   std::int32_t prediction = -1;   ///< PR(n), class id; valid for leaves
+  std::int32_t cat_slot = -1;     ///< category-set slot; -1 when numeric
+  std::uint8_t flags = 0;         ///< kNodeDefaultLeft | kNodeCategorical
 
   [[nodiscard]] bool is_leaf() const noexcept { return feature < 0; }
+  [[nodiscard]] bool default_left() const noexcept {
+    return (flags & kNodeDefaultLeft) != 0;
+  }
+  [[nodiscard]] bool is_categorical() const noexcept {
+    return (flags & kNodeCategorical) != 0;
+  }
 };
 
 /// A single decision tree over feature vectors of fixed width.
@@ -44,7 +80,23 @@ class Tree {
   /// Convenience builders used by the trainer and the tests.
   std::int32_t add_leaf(std::int32_t prediction);
   std::int32_t add_split(std::int32_t feature, T split);
+  /// Numeric split with an explicit NaN default direction.
+  std::int32_t add_split(std::int32_t feature, T split, bool default_left);
+  /// Categorical membership split over the category set in `cat_slot`.
+  std::int32_t add_cat_split(std::int32_t feature, std::int32_t cat_slot,
+                             bool default_left);
   void link(std::int32_t parent, std::int32_t left, std::int32_t right);
+
+  /// Registers a category bitset (32 categories per word) and returns its
+  /// slot id for add_cat_split.
+  std::int32_t add_cat_set(std::span<const std::uint32_t> words);
+  [[nodiscard]] std::span<const std::uint32_t> cat_set(std::int32_t slot) const;
+  [[nodiscard]] std::int32_t cat_slot_count() const noexcept {
+    return static_cast<std::int32_t>(cat_offsets_.size());
+  }
+  /// True when any node carries missing/categorical semantics (flags != 0);
+  /// engines use this to pick their NaN-aware paths.
+  [[nodiscard]] bool has_special_splits() const noexcept;
 
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
@@ -75,6 +127,10 @@ class Tree {
  private:
   std::size_t feature_count_ = 0;
   std::vector<Node<T>> nodes_;
+  // Category bitsets, slot-indexed views into one flat word pool.
+  std::vector<std::uint32_t> cat_words_;
+  std::vector<std::int32_t> cat_offsets_;
+  std::vector<std::int32_t> cat_sizes_;
 };
 
 extern template struct Node<float>;

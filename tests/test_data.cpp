@@ -8,6 +8,7 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -117,6 +118,45 @@ TEST(Csv, MalformedInputsReportLineNumbers) {
     std::istringstream in("1.0,-3\n");  // negative label
     EXPECT_THROW((void)flint::data::read_csv<float>(in, "t"), std::runtime_error);
   }
+}
+
+// Empty feature fields are missing values and must read as quiet NaN —
+// every booster's CSV tooling writes missing cells as nothing at all.  The
+// label column stays strict: an empty label is a malformed row.
+TEST(Csv, EmptyFeatureFieldReadsAsNaN) {
+  std::istringstream in("1.5,,0\n,2.5,1\n,,1\n");
+  const auto ds = flint::data::read_csv<float>(in, "t");
+  ASSERT_EQ(ds.rows(), 3u);
+  ASSERT_EQ(ds.cols(), 2u);
+  EXPECT_EQ(ds.row(0)[0], 1.5f);
+  EXPECT_TRUE(std::isnan(ds.row(0)[1]));
+  EXPECT_TRUE(std::isnan(ds.row(1)[0]));
+  EXPECT_EQ(ds.row(1)[1], 2.5f);
+  EXPECT_TRUE(std::isnan(ds.row(2)[0]));
+  EXPECT_TRUE(std::isnan(ds.row(2)[1]));
+  EXPECT_EQ(ds.label(2), 1);
+}
+
+TEST(Csv, EmptyLabelFieldThrows) {
+  std::istringstream in("1.5,2.5,\n");
+  EXPECT_THROW((void)flint::data::read_csv<float>(in, "t"),
+               std::runtime_error);
+}
+
+// A "nan" token round-trips through write_csv/read_csv (ostream prints NaN
+// as "nan", from_chars reads it back), so datasets with missing values
+// survive a save/load cycle.
+TEST(Csv, NanTokenRoundTrips) {
+  Dataset<float> ds("t", 2);
+  ds.add_row(std::vector<float>{std::numeric_limits<float>::quiet_NaN(), 7.0f},
+             0);
+  std::ostringstream out;
+  flint::data::write_csv(out, ds);
+  std::istringstream in(out.str());
+  const auto back = flint::data::read_csv<float>(in, "t");
+  ASSERT_EQ(back.rows(), 1u);
+  EXPECT_TRUE(std::isnan(back.row(0)[0]));
+  EXPECT_EQ(back.row(0)[1], 7.0f);
 }
 
 TEST(Csv, MissingFileThrows) {

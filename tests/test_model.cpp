@@ -338,14 +338,33 @@ TEST(Loaders, RejectsInexpressibleLightgbmModels) {
                    "tree\nmax_feature_idx=0\n"
                    "objective=binary sigmoid:0.5\n\n" + tree_block),
                std::runtime_error);
-  // zero_as_missing routing (missing_type=Zero in decision_type bits 2-3).
+  // Mixed Zero- and NaN-type missing routing: one boundary rewrite cannot
+  // serve both flavors at once.
+  const std::string mixed_missing =
+      "tree\nmax_feature_idx=0\nobjective=regression\n\n"
+      "Tree=0\nnum_leaves=3\nsplit_feature=0 0\nthreshold=1 2\n"
+      "decision_type=6 10\nleft_child=1 -2\nright_child=-1 -3\n"
+      "leaf_value=1 2 3\n\n"
+      "end of trees\n";
+  EXPECT_THROW((void)model::load_lightgbm_text<float>(mixed_missing),
+               std::runtime_error);
+}
+
+TEST(Loaders, LightgbmZeroAsMissingIngests) {
+  // missing_type=Zero (decision_type 6 = default-left | Zero) now converts:
+  // the model declares zero_as_missing and the split carries a default
+  // direction instead of being rejected.
   const std::string zero_missing =
       "tree\nmax_feature_idx=0\nobjective=regression\n\n"
       "Tree=0\nnum_leaves=2\nsplit_feature=0\nthreshold=1\n"
       "decision_type=6\nleft_child=-1\nright_child=-2\nleaf_value=1 2\n\n"
       "end of trees\n";
-  EXPECT_THROW((void)model::load_lightgbm_text<float>(zero_missing),
-               std::runtime_error);
+  const auto m = model::load_lightgbm_text<float>(zero_missing);
+  EXPECT_TRUE(m.handles_missing);
+  EXPECT_TRUE(m.zero_as_missing);
+  ASSERT_TRUE(m.forest.has_special_splits());
+  const auto& root = m.forest.tree(0).node(0);
+  EXPECT_TRUE(root.default_left());
 }
 
 TEST(Loaders, RejectsScrambledMulticlassTreeCounts) {

@@ -38,7 +38,8 @@ check_scores() {
               exit bad }' "$2" "$1"
 }
 
-for model in xgb_binary.json lgbm_regression.txt sklearn_multiclass.json; do
+for model in xgb_binary.json xgb_missing.json lgbm_regression.txt \
+             lgbm_categorical.txt sklearn_multiclass.json; do
     stem=${model%%.*}
     echo "== $model"
     "$bin" convert --in "$fixtures/$model" --out "$work/$stem.v2"

@@ -5,7 +5,9 @@ Produces one model file per supported ingestion format plus, for each, an
 input CSV and committed reference predictions:
 
   xgb_binary.json        XGBoost JSON dump wrapper, binary:logistic
+  xgb_missing.json       XGBoost with per-node "missing" ids and NaN inputs
   lgbm_regression.txt    LightGBM text model, objective=regression
+  lgbm_categorical.txt   LightGBM with categorical splits + zero_as_missing
   sklearn_multiclass.json  sklearn-forest export, 3-class soft vote
 
 The oracle here mirrors the C++ float32 pipeline EXACTLY (stdlib only, no
@@ -19,7 +21,14 @@ xgboost/lightgbm needed):
     order — the summation order every score backend uses — so expected
     scores are bit-comparable, not just approximately right;
   * links (sigmoid/softmax) are evaluated in double and rounded once to
-    float32, matching model::apply_link.
+    float32, matching model::apply_link;
+  * missing values follow the source library's own rule (XGBoost: NaN to
+    the "missing" child; LightGBM missing_type=Zero: |x| <= 1e-35 and NaN
+    to the decision_type default direction, NaN at categorical nodes cast
+    to category 0) — the loaders map those rules onto per-node default
+    directions plus the predictor's zero_as_missing boundary rewrite, and
+    the committed expectations prove the mapping is exact.  NaN features
+    are written as EMPTY CSV fields (the reader's missing convention).
 
 The generator asserts every sample's decision margin is comfortably wider
 than float32 accumulation noise, so expected CLASSES are exact.
@@ -165,7 +174,10 @@ def write(path, text):
 def write_csv(path, rows, labels):
     lines = ["# features..., label"]
     for row, label in zip(rows, labels):
-        lines.append(",".join(fmt(v) for v in row) + "," + str(label))
+        # NaN (missing) features are written as empty fields — the CSV
+        # reader's missing-value convention (data/csv.hpp).
+        lines.append(",".join("" if math.isnan(v) else fmt(v)
+                              for v in row) + "," + str(label))
     write(path, "\n".join(lines) + "\n")
 
 
@@ -189,6 +201,9 @@ def xgb_node_json(node, next_id):
         return {"nodeid": nid, "leaf": node["leaf"]}
     left = xgb_node_json(node["left"], next_id)
     right = xgb_node_json(node["right"], next_id)
+    # "missing" points at the default child; nodes without an explicit
+    # default keep XGBoost's dump convention of missing == yes.
+    default_left = node.get("default_left", True)
     return {
         "nodeid": nid,
         "depth": 0,
@@ -196,7 +211,7 @@ def xgb_node_json(node, next_id):
         "split_condition": node["threshold"],
         "yes": left["nodeid"],
         "no": right["nodeid"],
-        "missing": left["nodeid"],
+        "missing": (left if default_left else right)["nodeid"],
         "children": [left, right],
     }
 
@@ -240,6 +255,89 @@ def gen_xgboost(rng_seed, n_rows):
     write_classes(os.path.join(OUT_DIR, "xgb_binary_expected_classes.txt"),
                   classes)
     write_scores(os.path.join(OUT_DIR, "xgb_binary_expected_scores.txt"),
+                 scores)
+
+
+# ---------------------------------------------------------------------------
+# XGBoost with missing-value routing: every node carries a "missing" id
+# picked at random between yes and no, and a third of the input rows have
+# NaN holes.  Rule: NaN -> default child, else x < t.
+# ---------------------------------------------------------------------------
+
+def stamp_defaults(node, rng):
+    if "leaf" in node:
+        return
+    node["default_left"] = rng.r.random() < 0.5
+    stamp_defaults(node["left"], rng)
+    stamp_defaults(node["right"], rng)
+
+
+def eval_tree_xgb_missing(node, x):
+    while "leaf" not in node:
+        v = x[node["feature"]]
+        if math.isnan(v):
+            go_left = node["default_left"]
+        else:
+            go_left = v < node["eff_threshold"]
+        node = node["left"] if go_left else node["right"]
+    return node["eff_leaf"]
+
+
+def make_missing_inputs(rng, trees, n_features, n_rows, accept):
+    """Like make_inputs, but ~1/3 of rows get NaN holes (and the first row
+    is entirely missing — the all-defaults path)."""
+    thresholds = []
+    for t in trees:
+        collect_thresholds(t, thresholds)
+    rows = []
+    candidate = [float("nan")] * n_features
+    while len(rows) < n_rows:
+        if accept(candidate):
+            rows.append(candidate)
+        row = [f32(rng.grid(-2.5, 2.5)) for _ in range(n_features)]
+        if len(rows) % 3 == 1:
+            row[rng.r.randrange(n_features)] = float("nan")
+        elif thresholds and len(rows) % 3 == 2:
+            row[rng.r.randrange(n_features)] = f32(rng.r.choice(thresholds))
+        candidate = row
+    return rows
+
+
+def gen_xgb_missing(rng_seed, n_rows):
+    rng = Rng(rng_seed)
+    n_features, n_trees = 4, 5
+    trees = [random_tree(rng, n_features, 3, lambda: rng.grid(-0.5, 0.5))
+             for _ in range(n_trees)]
+    for t in trees:
+        stamp_defaults(t, rng)
+    base_score = q(0.125)
+    for t in trees:
+        annotate(t, thr_fn=f32, leaf_fn=f32)
+
+    def margin_of(x):
+        per_tree = [[eval_tree_xgb_missing(t, x)] for t in trees]
+        return accumulate_f32([f32(base_score)], per_tree)[0]
+
+    rows = make_missing_inputs(rng, trees, n_features, n_rows,
+                               accept=lambda x: abs(margin_of(x)) > 1e-3)
+    scores, classes = [], []
+    for x in rows:
+        margin = margin_of(x)
+        classes.append(1 if margin > 0 else 0)
+        scores.append([sigmoid_f32(margin)])
+
+    doc = {
+        "objective": "binary:logistic",
+        "base_score": base_score,
+        "n_features": n_features,
+        "trees": [xgb_node_json(t, [0]) for t in trees],
+    }
+    write(os.path.join(OUT_DIR, "xgb_missing.json"),
+          json.dumps(doc, indent=1) + "\n")
+    write_csv(os.path.join(OUT_DIR, "xgb_missing_input.csv"), rows, classes)
+    write_classes(os.path.join(OUT_DIR, "xgb_missing_expected_classes.txt"),
+                  classes)
+    write_scores(os.path.join(OUT_DIR, "xgb_missing_expected_scores.txt"),
                  scores)
 
 
@@ -315,6 +413,200 @@ def gen_lightgbm(rng_seed, n_rows):
               [0] * len(rows))
     write_scores(os.path.join(OUT_DIR, "lgbm_regression_expected_scores.txt"),
                  scores)
+
+
+# ---------------------------------------------------------------------------
+# LightGBM with categorical splits and missing_type=Zero everywhere:
+# numerical nodes route |x| <= 1e-35 and NaN to the decision_type default
+# bit; categorical nodes cast missing to category 0 and test bitset
+# membership (member -> left).  decision_type: cat = 5 (1|4), numerical =
+# 4 or 6 (Zero missing | default-left bit).
+# ---------------------------------------------------------------------------
+
+ZERO_THRESHOLD = 1e-35  # LightGBM kZeroThreshold / predict kZeroAsMissing
+
+
+def random_cat_tree(rng, n_features, cat_features, depth, leaf_fn):
+    if depth == 0 or rng.r.random() < 0.2:
+        return {"leaf": leaf_fn()}
+    feature = rng.r.randrange(n_features)
+    node = {
+        "feature": feature,
+        "left": random_cat_tree(rng, n_features, cat_features, depth - 1,
+                                leaf_fn),
+        "right": random_cat_tree(rng, n_features, cat_features, depth - 1,
+                                 leaf_fn),
+    }
+    if feature in cat_features:
+        n_cats = cat_features[feature]
+        node["cats"] = sorted(rng.r.sample(range(n_cats),
+                                           rng.r.randrange(1, 9)))
+    else:
+        node["threshold"] = rng.grid(-2.0, 2.0)
+        node["default_left"] = rng.r.random() < 0.5
+    return node
+
+
+def annotate_cat(node, thr_fn, leaf_fn):
+    """annotate() for trees that may hold categorical nodes."""
+    if "leaf" in node:
+        node["eff_leaf"] = leaf_fn(node["leaf"])
+        return
+    if "cats" not in node:
+        node["eff_threshold"] = thr_fn(node["threshold"])
+    annotate_cat(node["left"], thr_fn, leaf_fn)
+    annotate_cat(node["right"], thr_fn, leaf_fn)
+
+
+def cat_words(cats):
+    """uint32 bitset words sized to the largest member, LightGBM-style."""
+    n_words = max(cats) // 32 + 1
+    words = [0] * n_words
+    for c in cats:
+        words[c // 32] |= 1 << (c % 32)
+    return words
+
+
+def cat_member(cats, v):
+    """Mirror of trees::cat_contains on the node's bitset extent."""
+    if not v >= 0:
+        return False
+    if v >= (max(cats) // 32 + 1) * 32:
+        return False
+    return int(v) in cats
+
+
+def eval_tree_lgbm_missing(node, x):
+    """missing_type=Zero everywhere: NaN and |v| <= 1e-35 are missing."""
+    while "leaf" not in node:
+        v = x[node["feature"]]
+        if "cats" in node:
+            if math.isnan(v):
+                v = 0.0  # LightGBM casts missing to category 0
+            go_left = cat_member(node["cats"], v)
+        elif math.isnan(v) or abs(v) <= ZERO_THRESHOLD:
+            go_left = node["default_left"]
+        else:
+            go_left = v <= node["eff_threshold"]
+        node = node["left"] if go_left else node["right"]
+    return node["eff_leaf"]
+
+
+def lgbm_cat_arrays(tree):
+    """lgbm_arrays plus decision_type and the categorical side tables."""
+    split_feature, threshold, decision_type, left_child, right_child, \
+        leaf_value = [], [], [], [], [], []
+    cat_boundaries, cat_threshold = [0], []
+
+    def emit(node):
+        if "leaf" in node:
+            leaf_value.append(node["leaf"])
+            return -len(leaf_value)
+        idx = len(split_feature)
+        split_feature.append(node["feature"])
+        left_child.append(None)
+        right_child.append(None)
+        if "cats" in node:
+            threshold.append(str(len(cat_boundaries) - 1))
+            decision_type.append(5)  # categorical | missing_type Zero
+            cat_threshold.extend(cat_words(node["cats"]))
+            cat_boundaries.append(len(cat_threshold))
+        else:
+            threshold.append(repr(node["threshold"]))
+            decision_type.append(4 | (2 if node["default_left"] else 0))
+        left_child[idx] = emit(node["left"])
+        right_child[idx] = emit(node["right"])
+        return idx
+
+    emit(tree)
+    return (split_feature, threshold, decision_type, left_child, right_child,
+            leaf_value, cat_boundaries, cat_threshold)
+
+
+def gen_lgbm_categorical(rng_seed, n_rows):
+    rng = Rng(rng_seed)
+    n_features, n_trees = 4, 4
+    cat_features = {2: 40, 3: 40}  # two-word bitsets when cats cross 32
+    trees = [random_cat_tree(rng, n_features, cat_features, 3,
+                             lambda: rng.grid(-1.0, 1.0))
+             for _ in range(n_trees)]
+    for t in trees:
+        annotate_cat(t, thr_fn=f32_down, leaf_fn=f32)
+
+    def make_row(kind):
+        row = []
+        for f in range(n_features):
+            if f in cat_features:
+                pick = rng.r.random()
+                if pick < 0.50:
+                    row.append(float(rng.r.randrange(cat_features[f])))
+                elif pick < 0.65:
+                    row.append(0.0)  # category 0 == the missing cast target
+                elif pick < 0.80:
+                    row.append(float(rng.r.randrange(40, 80)))  # non-member
+                elif pick < 0.90:
+                    row.append(-3.0)  # negative category: never a member
+                else:
+                    row.append(float("nan"))
+            elif kind == 0:
+                row.append(0.0)  # zero_as_missing hits the default bit
+            elif kind == 1:
+                row.append(float("nan"))
+            else:
+                row.append(f32(rng.grid(-2.5, 2.5)))
+        return row
+
+    rows = [make_row(i % 3 if i % 2 else 2) for i in range(n_rows)]
+
+    def collect_num_thresholds(node, out):
+        if "leaf" in node:
+            return
+        if "cats" not in node:
+            out.append(node["eff_threshold"])
+        collect_num_thresholds(node["left"], out)
+        collect_num_thresholds(node["right"], out)
+
+    thresholds = []
+    for t in trees:
+        collect_num_thresholds(t, thresholds)
+    if thresholds:
+        for i in range(0, n_rows, 5):  # exact threshold hits on numericals
+            rows[i][rng.r.choice([0, 1])] = f32(rng.r.choice(thresholds))
+    scores = []
+    for x in rows:
+        per_tree = [[eval_tree_lgbm_missing(t, x)] for t in trees]
+        scores.append(accumulate_f32([0.0], per_tree))
+
+    blocks = ["tree", "version=v3", "num_class=1", "num_tree_per_iteration=1",
+              "label_index=0", "max_feature_idx=%d" % (n_features - 1),
+              "objective=regression",
+              "feature_names=" + " ".join("f%d" % i
+                                          for i in range(n_features)), ""]
+    for i, t in enumerate(trees):
+        sf, th, dt, lc, rc, lv, cb, ct = lgbm_cat_arrays(t)
+        blocks.append("Tree=%d" % i)
+        blocks.append("num_leaves=%d" % len(lv))
+        blocks.append("num_cat=%d" % (len(cb) - 1))
+        if sf:
+            blocks.append("split_feature=" + " ".join(map(str, sf)))
+            blocks.append("threshold=" + " ".join(th))
+            blocks.append("decision_type=" + " ".join(map(str, dt)))
+            blocks.append("left_child=" + " ".join(map(str, lc)))
+            blocks.append("right_child=" + " ".join(map(str, rc)))
+        if len(cb) > 1:
+            blocks.append("cat_boundaries=" + " ".join(map(str, cb)))
+            blocks.append("cat_threshold=" + " ".join(map(str, ct)))
+        blocks.append("leaf_value=" + " ".join(repr(v) for v in lv))
+        blocks.append("shrinkage=1")
+        blocks.append("")
+    blocks.append("end of trees")
+    write(os.path.join(OUT_DIR, "lgbm_categorical.txt"),
+          "\n".join(blocks) + "\n")
+    write_csv(os.path.join(OUT_DIR, "lgbm_categorical_input.csv"), rows,
+              [0] * len(rows))
+    write_scores(
+        os.path.join(OUT_DIR, "lgbm_categorical_expected_scores.txt"),
+        scores)
 
 
 # ---------------------------------------------------------------------------
@@ -424,7 +716,9 @@ def gen_sklearn(rng_seed, n_rows):
 def main():
     os.makedirs(OUT_DIR, exist_ok=True)
     gen_xgboost(rng_seed=11, n_rows=24)
+    gen_xgb_missing(rng_seed=53, n_rows=24)
     gen_lightgbm(rng_seed=23, n_rows=24)
+    gen_lgbm_categorical(rng_seed=71, n_rows=24)
     gen_sklearn(rng_seed=37, n_rows=24)
 
 
