@@ -1,0 +1,128 @@
+// fuzz/fuzz_common — shared scaffolding for the loader fuzz harnesses.
+//
+// Every harness defines the libFuzzer entry point
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t*, size_t)
+// and gets one of two drivers from this header:
+//
+//   * Under clang with -fsanitize=fuzzer (CMake defines
+//     FLINT_FUZZ_LIBFUZZER), libFuzzer supplies main() and mutates inputs
+//     coverage-guided.
+//   * Everywhere else (the GCC-only toolchain this repo is usually built
+//     with), a standalone main() replays each file or directory named on
+//     the command line through the target once — enough to run the seed
+//     corpora and any crash artifacts under ASan/UBSan (configure with
+//     -DFLINT_SANITIZE=ON) and to keep the harnesses compiled at all
+//     times.
+//
+// The contract every harness enforces: parsers may REJECT hostile input
+// only by throwing std::exception subclasses.  Any other escape — a crash,
+// a sanitizer report, an uncaught foreign exception, a std::bad_alloc from
+// an allocation bomb — is a finding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace flint::fuzz {
+
+/// The fuzzed bytes as a string (parsers here all take std::string /
+/// istream, and embedded NULs must survive the trip).
+inline std::string as_string(const std::uint8_t* data, std::size_t size) {
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+/// Runs one parse attempt under the harness exception policy: ordinary
+/// std::exception rejections are the expected failure mode and are
+/// swallowed; std::bad_alloc is trapped, because after the header-count
+/// hardening a parser that still dies allocating input-independent amounts
+/// is an allocation bomb worth reporting.
+template <typename Fn>
+inline void guard(Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::bad_alloc&) {
+    __builtin_trap();
+  } catch (const std::exception&) {
+    // Orderly rejection of hostile input: exactly what the parser is for.
+  }
+}
+
+/// Tiny deterministic PRNG (xorshift64*) so structure-aware mutators work
+/// identically under libFuzzer (seeded from its Seed argument) and in unit
+/// tests, with no libc rand() state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  std::uint64_t next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform in [0, n); n must be > 0.
+  std::size_t below(std::size_t n) { return static_cast<std::size_t>(next() % n); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace flint::fuzz
+
+#if !defined(FLINT_FUZZ_LIBFUZZER)
+
+namespace flint::fuzz::detail {
+
+inline int run_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace flint::fuzz::detail
+
+/// Standalone driver: replay every argument (file, or directory walked
+/// recursively) through the target.  Exit 0 means every input was handled
+/// without a crash; rejects are silent by design.
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::size_t ran = 0;
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg, ec)) {
+        if (entry.is_regular_file()) {
+          rc |= flint::fuzz::detail::run_file(entry.path());
+          ++ran;
+        }
+      }
+    } else {
+      rc |= flint::fuzz::detail::run_file(arg);
+      ++ran;
+    }
+  }
+  std::fprintf(stderr, "fuzz: replayed %zu input(s), no crashes\n", ran);
+  return rc;
+}
+
+#endif  // !FLINT_FUZZ_LIBFUZZER

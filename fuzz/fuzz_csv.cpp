@@ -1,0 +1,17 @@
+// Fuzz target: the CSV dataset reader (missing-value fields, CRLF,
+// label-column validation).
+#include "fuzz_common.hpp"
+
+#include <sstream>
+
+#include "data/csv.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text = flint::fuzz::as_string(data, size);
+  flint::fuzz::guard([&] {
+    std::istringstream in(text);
+    (void)flint::data::read_csv<float>(in, "fuzz");
+  });
+  return 0;
+}

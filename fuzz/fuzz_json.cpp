@@ -1,0 +1,19 @@
+// Fuzz target: the JSON scanner itself (model/json).  The deepest parser
+// in the loader stack — nesting depth, string escapes, number tokens.
+#include "fuzz_common.hpp"
+
+#include "model/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text = flint::fuzz::as_string(data, size);
+  flint::fuzz::guard([&] {
+    const auto v = flint::model::parse_json(text);
+    // Exercise the typed accessors on the root: they must reject wrong
+    // kinds by throwing, never by reading the inactive member.
+    flint::fuzz::guard([&] { (void)v.as_int(); });
+    flint::fuzz::guard([&] { (void)v.as_string(); });
+    flint::fuzz::guard([&] { (void)v.as_array(); });
+  });
+  return 0;
+}

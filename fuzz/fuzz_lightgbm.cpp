@@ -1,0 +1,17 @@
+// Fuzz target: the LightGBM text-model loader (categorical splits,
+// default-left bits, per-tree leaf tables).  Same accepted-implies-verified
+// oracle as the XGBoost harness.
+#include "fuzz_common.hpp"
+
+#include "model/loaders.hpp"
+#include "verify/verify.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text = flint::fuzz::as_string(data, size);
+  flint::fuzz::guard([&] {
+    const auto model = flint::model::load_lightgbm_text<float>(text);
+    if (!flint::verify::verify_model(model).ok()) __builtin_trap();
+  });
+  return 0;
+}

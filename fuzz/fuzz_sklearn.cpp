@@ -1,0 +1,16 @@
+// Fuzz target: the sklearn-forest JSON export loader.  Same
+// accepted-implies-verified oracle as the XGBoost harness.
+#include "fuzz_common.hpp"
+
+#include "model/loaders.hpp"
+#include "verify/verify.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text = flint::fuzz::as_string(data, size);
+  flint::fuzz::guard([&] {
+    const auto model = flint::model::load_sklearn_json<float>(text);
+    if (!flint::verify::verify_model(model).ok()) __builtin_trap();
+  });
+  return 0;
+}

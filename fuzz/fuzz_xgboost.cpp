@@ -1,0 +1,18 @@
+// Fuzz target: the XGBoost JSON dump loader.  Oracle: any model the
+// loader ACCEPTS must pass the static verifier end to end — an accepted
+// model with a broken invariant (dangling child, non-finite leaf, bad
+// rank narrowing) is as much a finding as a crash.
+#include "fuzz_common.hpp"
+
+#include "model/loaders.hpp"
+#include "verify/verify.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text = flint::fuzz::as_string(data, size);
+  flint::fuzz::guard([&] {
+    const auto model = flint::model::load_xgboost_json<float>(text);
+    if (!flint::verify::verify_model(model).ok()) __builtin_trap();
+  });
+  return 0;
+}

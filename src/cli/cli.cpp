@@ -27,6 +27,7 @@
 #include "trees/forest.hpp"
 #include "trees/serialize.hpp"
 #include "trees/tree_stats.hpp"
+#include "verify/verify.hpp"
 
 namespace flint::cli {
 
@@ -35,15 +36,22 @@ namespace {
 /// Minimal --key value parser; positional[0] is the subcommand.
 class Args {
  public:
-  explicit Args(std::span<const std::string> args) {
+  /// `flags` lists valueless boolean options (e.g. --json): present maps to
+  /// "yes" without consuming the next token.
+  explicit Args(std::span<const std::string> args,
+                std::initializer_list<const char*> flags = {}) {
+    const std::set<std::string> flag_names(flags.begin(), flags.end());
     for (std::size_t i = 0; i < args.size(); ++i) {
       const std::string& a = args[i];
       if (a.rfind("--", 0) == 0) {
         const std::string key = a.substr(2);
-        if (i + 1 >= args.size()) {
+        if (flag_names.count(key)) {
+          options_[key] = "yes";
+        } else if (i + 1 >= args.size()) {
           throw std::invalid_argument("missing value for --" + key);
+        } else {
+          options_[key] = args[++i];
         }
-        options_[key] = args[++i];
       } else {
         positional_.push_back(a);
       }
@@ -405,6 +413,19 @@ int cmd_serve(const Args& args, std::istream& in, std::ostream& out) {
   popt.block_size = static_cast<std::size_t>(batch);
   const auto load = [&](const std::string& path) -> serve::PredictorPtr {
     const auto model = model::load_any_model<float>(path);
+    // Static verification before the registry's shared_ptr flip: a corrupt
+    // hot-swap is rejected here, with node-level diagnostics, while the
+    // previous version keeps serving.
+    const auto report = verify::verify_model(model);
+    if (!report.ok()) {
+      const auto& d = report.diagnostics.front();
+      throw std::invalid_argument(
+          "model failed verification (" + d.check +
+          (d.node >= 0 ? " node " + std::to_string(d.node) : "") + ": " +
+          d.message + "; " +
+          std::to_string(report.diagnostics.size() + report.suppressed) +
+          " total — run flint-forest verify " + path + ")");
+    }
     if (!model.is_classifier()) {
       throw std::invalid_argument(
           "serve needs a classifier; '" + model.describe() +
@@ -469,6 +490,28 @@ int cmd_serve(const Args& args, std::istream& in, std::ostream& out) {
       << " samples) in " << m.batches << " batches; p99 "
       << m.p99_latency_us << " us\n";
   return 0;
+}
+
+int cmd_verify(const Args& args, std::ostream& out) {
+  // `verify <model>` and `verify --model <model>` both work; --json switches
+  // to the machine-readable report (one JSON object, diagnostics included).
+  std::string path = args.get("model", "");
+  const bool json = args.get("json", "no") != "no";
+  if (path.empty()) {
+    if (args.positional().empty()) {
+      throw std::invalid_argument("verify needs a model path");
+    }
+    path = args.positional().front();
+  }
+  args.check_all_used();
+  const auto report = verify::verify_file(path);
+  if (json) {
+    out << verify::to_json(report) << "\n";
+  } else {
+    out << path << ":\n";
+    verify::write_human(out, report);
+  }
+  return report.ok() ? 0 : 1;
 }
 
 int cmd_inspect(const Args& args, std::ostream& out) {
@@ -541,6 +584,14 @@ std::string usage() {
       "           [--prefix name] [--train-data <csv>] [--kernel-budget N]\n"
       "           flavors: ifelse-float ifelse-flint cags-float cags-flint\n"
       "                    native-float native-flint asm-x86 asm-armv8\n"
+      "  verify   <model> [--json]\n"
+      "           static forest verifier: checks the invariant catalog\n"
+      "           (offsets/reachability, leaf tags, payload bounds, rank\n"
+      "           monotonicity + exact threshold narrowing, NaN/categorical\n"
+      "           flag coherence, aggregation descriptors) over the model\n"
+      "           and every packed artifact without running a prediction;\n"
+      "           exit 0 = verified, 1 = diagnostics printed (--json for\n"
+      "           machine-readable output; see docs/VERIFICATION.md)\n"
       "  inspect  --model <model>\n";
 }
 
@@ -553,12 +604,15 @@ int run(std::span<const std::string> args, std::istream& in,
   const std::string command = args[0];
   const std::span<const std::string> rest = args.subspan(1);
   try {
-    const Args parsed(rest);
+    const Args parsed(rest, command == "verify"
+                                ? std::initializer_list<const char*>{"json"}
+                                : std::initializer_list<const char*>{});
     if (command == "gen") return cmd_gen(parsed, out);
     if (command == "train") return cmd_train(parsed, out);
     if (command == "convert") return cmd_convert(parsed, out);
     if (command == "predict") return cmd_predict(parsed, out);
     if (command == "serve") return cmd_serve(parsed, in, out);
+    if (command == "verify") return cmd_verify(parsed, out);
     if (command == "codegen") return cmd_codegen(parsed, out);
     if (command == "inspect") return cmd_inspect(parsed, out);
     err << "unknown command '" << command << "'\n\n" << usage();

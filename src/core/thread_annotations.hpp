@@ -1,0 +1,106 @@
+// core/thread_annotations — clang thread-safety analysis support.
+//
+// Two layers:
+//
+//   1. The FLINT_* annotation macros (clang's -Wthread-safety attribute
+//      set; no-ops under GCC/MSVC, so every build compiles identically and
+//      only the CI clang job enforces the proofs).
+//   2. Annotated lock types.  libstdc++'s std::mutex/std::lock_guard carry
+//      no capability attributes, so locking through them is invisible to
+//      the analysis; core::Mutex / core::MutexLock / core::UniqueLock are
+//      thin zero-overhead wrappers the analysis CAN see.  UniqueLock
+//      satisfies BasicLockable, so it drops straight into
+//      std::condition_variable_any::wait.
+//
+// Usage conventions in this codebase:
+//   * every mutex-guarded member is declared FLINT_GUARDED_BY(its mutex);
+//   * functions whose contract is "caller holds the lock" (the *_locked
+//     helpers) are declared FLINT_REQUIRES(lock);
+//   * condition-variable predicates are written as explicit while-loops in
+//     the locked scope, not as wait(lock, lambda) — the analysis does not
+//     know a predicate lambda runs under the lock, and the loop form keeps
+//     every guarded read inside the provably-locked region.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define FLINT_TS_ATTR(x) __attribute__((x))
+#else
+#define FLINT_TS_ATTR(x)  // no-op outside clang
+#endif
+
+#define FLINT_CAPABILITY(x) FLINT_TS_ATTR(capability(x))
+#define FLINT_SCOPED_CAPABILITY FLINT_TS_ATTR(scoped_lockable)
+#define FLINT_GUARDED_BY(x) FLINT_TS_ATTR(guarded_by(x))
+#define FLINT_PT_GUARDED_BY(x) FLINT_TS_ATTR(pt_guarded_by(x))
+#define FLINT_REQUIRES(...) \
+  FLINT_TS_ATTR(requires_capability(__VA_ARGS__))
+#define FLINT_ACQUIRE(...) \
+  FLINT_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define FLINT_RELEASE(...) \
+  FLINT_TS_ATTR(release_capability(__VA_ARGS__))
+#define FLINT_TRY_ACQUIRE(...) \
+  FLINT_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+#define FLINT_EXCLUDES(...) FLINT_TS_ATTR(locks_excluded(__VA_ARGS__))
+#define FLINT_NO_THREAD_SAFETY_ANALYSIS \
+  FLINT_TS_ATTR(no_thread_safety_analysis)
+
+namespace flint::core {
+
+/// std::mutex with the capability attribute the analysis needs.
+class FLINT_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() FLINT_ACQUIRE() { m_.lock(); }
+  void unlock() FLINT_RELEASE() { m_.unlock(); }
+  bool try_lock() FLINT_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock, equivalent of std::lock_guard<Mutex>.
+class FLINT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) FLINT_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() FLINT_RELEASE() { m_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Relockable RAII lock, equivalent of std::unique_lock<Mutex>.  The
+/// analysis tracks the held/released state across unlock()/lock() pairs
+/// (clang "relockable scoped capability"), and the BasicLockable surface
+/// makes it directly usable with std::condition_variable_any, which
+/// unlocks/relocks it internally around the actual wait.
+class FLINT_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) FLINT_ACQUIRE(m) : m_(m), held_(true) {
+    m_.lock();
+  }
+  ~UniqueLock() FLINT_RELEASE() {
+    if (held_) m_.unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() FLINT_ACQUIRE() {
+    m_.lock();
+    held_ = true;
+  }
+  void unlock() FLINT_RELEASE() {
+    m_.unlock();
+    held_ = false;
+  }
+
+ private:
+  Mutex& m_;
+  bool held_;
+};
+
+}  // namespace flint::core

@@ -110,6 +110,23 @@ class FlintForestEngine {
   /// Fraction of dataset rows classified as labeled.
   [[nodiscard]] double accuracy(const data::Dataset<T>& dataset) const;
 
+  /// Read-only view of the packed image, consumed by verify/ to prove the
+  /// pack preserved the source forest (the hot loops assume it blindly).
+  [[nodiscard]] std::span<const PackedNode<T>> nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] std::span<const std::size_t> roots() const noexcept {
+    return roots_;
+  }
+  [[nodiscard]] bool has_special() const noexcept { return has_special_; }
+  [[nodiscard]] std::size_t cat_slot_count() const noexcept {
+    return cat_offsets_.size();
+  }
+  [[nodiscard]] std::span<const std::uint32_t> cat_set_of_slot(
+      std::size_t slot) const noexcept {
+    return cat_span(slot);
+  }
+
  private:
   /// `Special` compiles in the NaN-default-direction / categorical checks;
   /// forests without such splits dispatch to the Special=false instantiation

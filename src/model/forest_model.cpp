@@ -78,6 +78,13 @@ std::string ForestModel<T>::describe() const {
 template <typename T>
 std::string ForestModel<T>::validate() const {
   if (forest.empty()) return "empty forest";
+  if (forest.feature_count() > trees::kMaxFeatureCount) {
+    // Allocation-bomb gate: engines and key tables size O(features) arrays
+    // from this declared count (see kMaxFeatureCount).
+    return "feature count " + std::to_string(forest.feature_count()) +
+           " exceeds the engine limit of " +
+           std::to_string(trees::kMaxFeatureCount);
+  }
   if (zero_as_missing && !handles_missing) {
     return "zero_as_missing implies handles_missing";
   }
@@ -90,6 +97,20 @@ std::string ForestModel<T>::validate() const {
              std::to_string(forest.tree(t).feature_count()) +
              " != forest feature count " +
              std::to_string(forest.feature_count());
+    }
+    // Tree::validate skips the feature-range check when the tree declares
+    // feature_count 0 (in-progress trees have no width yet), but a *model*
+    // with inner nodes must bound every feature index: predictors size
+    // input rows from feature_count(), so a container header understating
+    // it ("tree 0 3" with splits on f0) would read past the caller's
+    // buffer.  Mirrors the verifier's tree.feature_range.
+    for (const auto& n : forest.tree(t).nodes()) {
+      if (!n.is_leaf() &&
+          static_cast<std::size_t>(n.feature) >= forest.feature_count()) {
+        return "tree " + std::to_string(t) + ": feature " +
+               std::to_string(n.feature) + " outside [0, " +
+               std::to_string(forest.feature_count()) + ")";
+      }
     }
   }
   if (is_vote()) {
@@ -136,14 +157,15 @@ std::string ForestModel<T>::validate() const {
     return "base_score has " + std::to_string(aggregation.base_score.size()) +
            " entries, expected 0 or " + std::to_string(k);
   }
-  for (const T v : leaf_values) {
-    if (!std::isfinite(static_cast<double>(v))) {
-      return "non-finite leaf value";
+  for (std::size_t i = 0; i < leaf_values.size(); ++i) {
+    if (!std::isfinite(static_cast<double>(leaf_values[i]))) {
+      return "non-finite leaf value at row " + std::to_string(i / k) +
+             " output " + std::to_string(i % k);
     }
   }
-  for (const T v : aggregation.base_score) {
-    if (!std::isfinite(static_cast<double>(v))) {
-      return "non-finite base score";
+  for (std::size_t i = 0; i < aggregation.base_score.size(); ++i) {
+    if (!std::isfinite(static_cast<double>(aggregation.base_score[i]))) {
+      return "non-finite base score entry " + std::to_string(i);
     }
   }
   const auto rows = leaf_rows();

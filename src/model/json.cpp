@@ -1,5 +1,6 @@
 #include "model/json.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -23,6 +24,14 @@ double JsonValue::as_double() const {
 
 long long JsonValue::as_int() const {
   const double d = as_double();
+  // Range-gate BEFORE the cast: double -> long long is undefined for NaN
+  // and for values outside [-2^63, 2^63) (e.g. a hostile "1e300" node id).
+  // 2^63 is exactly representable as a double, so the half-open compare is
+  // itself exact.
+  constexpr double kTwo63 = 9223372036854775808.0;
+  if (!(d >= -kTwo63 && d < kTwo63)) {
+    throw std::runtime_error("json: integer out of range: '" + string_ + "'");
+  }
   const auto i = static_cast<long long>(d);
   if (static_cast<double>(i) != d) {
     throw std::runtime_error("json: expected integer, got '" + string_ + "'");
@@ -310,9 +319,14 @@ class JsonParser {
       return v;
     }
     // Decimal or hex-float token: delegate validation to strtod, then check
-    // the consumed span is exactly one token.
+    // the consumed span is exactly one token.  errno is cleared first so a
+    // prior library call's ERANGE cannot masquerade as ours; overflow maps
+    // to +-inf and underflow to 0/denormal, both of which downstream
+    // finiteness gates (check_threshold_finite, ForestModel::validate)
+    // already police — no silent wraparound is possible.
     const char* begin = text_.c_str() + start;
     char* end = nullptr;
+    errno = 0;
     const double d = std::strtod(begin, &end);
     if (end == begin) fail("expected a value");
     pos_ = start + static_cast<std::size_t>(end - begin);

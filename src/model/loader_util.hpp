@@ -4,6 +4,7 @@
 // loaders.hpp.  Not installed API; include from src/model/*.cpp only.
 #pragma once
 
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -19,25 +20,43 @@ namespace flint::model::detail {
 
 /// Parses a full number token at float32 precision (strtof: one correctly
 /// rounded step from the decimal/hex text to the float, no double-rounding).
+///
+/// errno discipline: strtof only SETS errno (it never clears it), so it is
+/// zeroed before the call and ERANGE is tested on the result — a stale
+/// ERANGE from an unrelated call must not reject a good token, and a real
+/// overflow must not silently load as +-inf.  An overflowing finite token
+/// (e.g. "1e9999") is rejected here with the token text; a literal
+/// inf/nan spelling sets no errno and passes through to the caller's own
+/// finiteness gates.  Underflow (ERANGE with a denormal/zero result) is a
+/// faithful parse and is accepted.
 inline float parse_token_f32(const std::string& token,
                              const std::string& where) {
   if (token.empty()) load_fail(where, "empty number token");
   char* end = nullptr;
+  errno = 0;
   const float v = std::strtof(token.c_str(), &end);
   if (end != token.c_str() + token.size()) {
     load_fail(where, "bad number token '" + token + "'");
   }
+  if (errno == ERANGE && (v == HUGE_VALF || v == -HUGE_VALF)) {
+    load_fail(where, "number token '" + token + "' overflows float32");
+  }
   return v;
 }
 
-/// Parses a full number token at float64 precision.
+/// Parses a full number token at float64 precision (same errno discipline
+/// as parse_token_f32).
 inline double parse_token_f64(const std::string& token,
                               const std::string& where) {
   if (token.empty()) load_fail(where, "empty number token");
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(token.c_str(), &end);
   if (end != token.c_str() + token.size()) {
     load_fail(where, "bad number token '" + token + "'");
+  }
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    load_fail(where, "number token '" + token + "' overflows float64");
   }
   return v;
 }

@@ -1,5 +1,6 @@
 #include "model/model_io.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <fstream>
@@ -196,7 +197,10 @@ ForestModel<T> read_model(std::istream& in) {
     if (rows > static_cast<std::size_t>(0x7FFF'FFFF)) {
       reader.fail("leaf-value table too large (rows must fit int32)", line);
     }
-    model.leaf_values.reserve(rows * k);
+    // Untrusted counts: rows fits int32 (checked above) but k is only
+    // gated >= 0, so rows * k can approach 2^62 — reserve a clamped hint
+    // (push_back grows geometrically) instead of pre-committing it.
+    model.leaf_values.reserve(std::min(rows * k, std::size_t{1} << 20));
     for (std::size_t r = 0; r < rows; ++r) {
       const std::string vline = reader.next();
       std::istringstream vs(vline);
@@ -219,7 +223,7 @@ ForestModel<T> read_model(std::istream& in) {
   }
 
   std::vector<trees::Tree<T>> forest_trees;
-  forest_trees.reserve(n_trees);
+  forest_trees.reserve(std::min(n_trees, std::size_t{4096}));
   for (std::size_t t = 0; t < n_trees; ++t) {
     forest_trees.push_back(trees::read_tree<T>(reader));
   }

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "codegen/asm_x86.hpp"
+#include "core/thread_annotations.hpp"
 #include "codegen/cgen_cags.hpp"
 #include "codegen/cgen_ifelse.hpp"
 #include "codegen/cgen_native.hpp"
@@ -874,19 +875,23 @@ struct ParallelPredictor<T>::Pool {
 
   ~Pool() {
     {
-      std::lock_guard lk(m);
+      core::MutexLock lk(m);
       for (auto& t : threads) t.request_stop();
     }
     cv.notify_all();
     // jthread destructors join.
   }
 
-  void worker_loop(std::stop_token st) {
+  // The interruptible wait's API demands the predicate-lambda form (the
+  // stop callback races with plain wait loops), and the analysis cannot
+  // see that such a predicate runs under the lock — so this one function
+  // is exempted instead of weakening the member annotations everywhere.
+  void worker_loop(std::stop_token st) FLINT_NO_THREAD_SAFETY_ANALYSIS {
     std::uint64_t seen = 0;
     while (true) {
       Job* job = nullptr;
       {
-        std::unique_lock lk(m);
+        core::UniqueLock lk(m);
         cv.wait(lk, st, [&] { return generation != seen; });
         if (generation == seen) return;  // woken by stop request
         seen = generation;
@@ -894,7 +899,7 @@ struct ParallelPredictor<T>::Pool {
       }
       drain(*job);
       {
-        std::lock_guard lk(m);
+        core::MutexLock lk(m);
         ++finished;
       }
       done_cv.notify_all();
@@ -923,7 +928,7 @@ struct ParallelPredictor<T>::Pool {
                                            job.out + start);
         }
       } catch (...) {
-        std::lock_guard lk(m);
+        core::MutexLock lk(m);
         if (!error) error = std::current_exception();
         return;
       }
@@ -933,9 +938,9 @@ struct ParallelPredictor<T>::Pool {
   /// Publishes the job, participates in it, waits for all workers, and
   /// rethrows the first worker exception if any.
   void run(Job& job) {
-    std::lock_guard serialize(job_mutex);  // one batch at a time per pool
+    core::MutexLock serialize(job_mutex);  // one batch at a time per pool
     {
-      std::lock_guard lk(m);
+      core::MutexLock lk(m);
       current = &job;
       finished = 0;
       error = nullptr;
@@ -944,8 +949,8 @@ struct ParallelPredictor<T>::Pool {
     cv.notify_all();
     drain(job);
     {
-      std::unique_lock lk(m);
-      done_cv.wait(lk, [&] { return finished == threads.size(); });
+      core::UniqueLock lk(m);
+      while (finished != threads.size()) done_cv.wait(lk);
       current = nullptr;
       if (error) {
         auto e = error;
@@ -956,14 +961,14 @@ struct ParallelPredictor<T>::Pool {
   }
 
   const Predictor<T>& inner;
-  std::mutex job_mutex;
-  std::mutex m;
+  core::Mutex job_mutex;
+  core::Mutex m;
   std::condition_variable_any cv;
-  std::condition_variable done_cv;
-  std::uint64_t generation = 0;
-  std::size_t finished = 0;
-  Job* current = nullptr;
-  std::exception_ptr error;
+  std::condition_variable_any done_cv;
+  std::uint64_t generation FLINT_GUARDED_BY(m) = 0;
+  std::size_t finished FLINT_GUARDED_BY(m) = 0;
+  Job* current FLINT_GUARDED_BY(m) = nullptr;
+  std::exception_ptr error FLINT_GUARDED_BY(m);
   std::vector<std::jthread> threads;
 };
 

@@ -6,11 +6,11 @@
 #include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "core/thread_annotations.hpp"
 #include "harness/bench_json.hpp"
 
 namespace flint::serve {
@@ -55,7 +55,7 @@ std::uint64_t ModelRegistry::install(const std::string& name,
     throw std::invalid_argument("ModelRegistry: null predictor for '" + name +
                                 "'");
   }
-  std::lock_guard lk(mutex_);
+  core::MutexLock lk(mutex_);
   if (default_name_.empty()) default_name_ = name;
   for (auto& entry : models_) {
     if (entry.name == name) {
@@ -71,7 +71,7 @@ std::uint64_t ModelRegistry::install(const std::string& name,
 }
 
 ModelEntry ModelRegistry::resolve(std::string_view name) const {
-  std::lock_guard lk(mutex_);
+  core::MutexLock lk(mutex_);
   if (models_.empty()) {
     throw std::invalid_argument("ModelRegistry: no models installed");
   }
@@ -84,7 +84,7 @@ ModelEntry ModelRegistry::resolve(std::string_view name) const {
 }
 
 std::vector<ModelEntry> ModelRegistry::list() const {
-  std::lock_guard lk(mutex_);
+  core::MutexLock lk(mutex_);
   return models_;
 }
 
@@ -134,9 +134,12 @@ struct InferenceServer::Impl {
   // -- batcher ------------------------------------------------------------
 
   void batcher_loop() {
-    std::unique_lock lk(queue_mutex);
+    core::UniqueLock lk(queue_mutex);
     for (;;) {
-      queue_cv.wait(lk, [&] { return stopping || !queue.empty(); });
+      // Condition predicates are written as explicit loops in the locked
+      // scope (not wait(lock, lambda)) so the thread-safety analysis sees
+      // every guarded read under the lock it requires.
+      while (!stopping && queue.empty()) queue_cv.wait(lk);
       if (queue.empty()) {
         if (stopping) break;
         continue;
@@ -160,7 +163,7 @@ struct InferenceServer::Impl {
       lk.unlock();
       coalesce(batch);
       {
-        std::lock_guard bl(batch_mutex);
+        core::MutexLock bl(batch_mutex);
         batches.push_back(std::move(batch));
       }
       batch_cv.notify_one();
@@ -168,7 +171,7 @@ struct InferenceServer::Impl {
     }
     lk.unlock();
     {
-      std::lock_guard bl(batch_mutex);
+      core::MutexLock bl(batch_mutex);
       batcher_done = true;
     }
     batch_cv.notify_all();
@@ -178,7 +181,7 @@ struct InferenceServer::Impl {
   /// predictor snapshot, up to max_batch samples.  A request larger than
   /// max_batch still forms a (single-request) batch — requests are never
   /// split.  Caller holds queue_mutex.
-  Batch form_batch_locked() {
+  Batch form_batch_locked() FLINT_REQUIRES(queue_mutex) {
     Batch batch;
     batch.requests.push_back(std::move(queue.front()));
     queue.pop_front();
@@ -219,8 +222,8 @@ struct InferenceServer::Impl {
     for (;;) {
       Batch batch;
       {
-        std::unique_lock bl(batch_mutex);
-        batch_cv.wait(bl, [&] { return batcher_done || !batches.empty(); });
+        core::UniqueLock bl(batch_mutex);
+        while (!batcher_done && batches.empty()) batch_cv.wait(bl);
         if (batches.empty()) return;  // batcher done and nothing left
         batch = std::move(batches.front());
         batches.pop_front();
@@ -246,7 +249,7 @@ struct InferenceServer::Impl {
     // Metrics before fulfillment: a client that observes its result must
     // also observe the counters/latency of the batch that produced it.
     {
-      std::lock_guard ml(metrics_mutex);
+      core::MutexLock ml(metrics_mutex);
       ++metrics.batches;
       if (batch.zero_copy) ++metrics.zero_copy_batches;
       ++metrics.batch_size_histogram[histogram_bucket(batch.n_samples)];
@@ -274,10 +277,10 @@ struct InferenceServer::Impl {
   // -- shutdown -----------------------------------------------------------
 
   void stop() {
-    std::lock_guard sl(stop_mutex);
+    core::MutexLock sl(stop_mutex);
     if (joined) return;
     {
-      std::lock_guard lk(queue_mutex);
+      core::MutexLock lk(queue_mutex);
       stopping = true;
     }
     queue_cv.notify_all();
@@ -285,7 +288,7 @@ struct InferenceServer::Impl {
     if (batcher_thread.joinable()) {
       batcher_thread.join();  // drains the request queue into final batches
     } else {
-      std::lock_guard bl(batch_mutex);
+      core::MutexLock bl(batch_mutex);
       batcher_done = true;  // no batcher ever ran to set it
     }
     batch_cv.notify_all();
@@ -297,25 +300,28 @@ struct InferenceServer::Impl {
 
   ServeOptions options;
 
-  std::mutex queue_mutex;
-  std::condition_variable queue_cv;
-  std::deque<Request> queue;
-  std::size_t queued_samples = 0;
-  bool stopping = false;
+  // core::Mutex + condition_variable_any (not std::mutex/_variable): the
+  // annotated wrapper is what makes these GUARDED_BY proofs checkable —
+  // see core/thread_annotations.hpp.
+  core::Mutex queue_mutex;
+  std::condition_variable_any queue_cv;
+  std::deque<Request> queue FLINT_GUARDED_BY(queue_mutex);
+  std::size_t queued_samples FLINT_GUARDED_BY(queue_mutex) = 0;
+  bool stopping FLINT_GUARDED_BY(queue_mutex) = false;
 
-  std::mutex batch_mutex;
-  std::condition_variable batch_cv;
-  std::deque<Batch> batches;
-  bool batcher_done = false;
+  core::Mutex batch_mutex;
+  std::condition_variable_any batch_cv;
+  std::deque<Batch> batches FLINT_GUARDED_BY(batch_mutex);
+  bool batcher_done FLINT_GUARDED_BY(batch_mutex) = false;
 
-  std::mutex metrics_mutex;
-  ServeMetrics metrics;
-  std::uint64_t batched_samples = 0;
-  std::vector<double> latencies;
-  std::size_t latency_cursor = 0;
+  core::Mutex metrics_mutex;
+  ServeMetrics metrics FLINT_GUARDED_BY(metrics_mutex);
+  std::uint64_t batched_samples FLINT_GUARDED_BY(metrics_mutex) = 0;
+  std::vector<double> latencies FLINT_GUARDED_BY(metrics_mutex);
+  std::size_t latency_cursor FLINT_GUARDED_BY(metrics_mutex) = 0;
 
-  std::mutex stop_mutex;
-  bool joined = false;
+  core::Mutex stop_mutex;
+  bool joined FLINT_GUARDED_BY(stop_mutex) = false;
 
   std::thread batcher_thread;
   std::vector<std::thread> worker_threads;
@@ -352,7 +358,7 @@ std::future<std::vector<std::int32_t>> InferenceServer::submit(
   // fails alone — by construction it is never enqueued, never batched.
   const auto reject = [&](std::exception_ptr error) {
     promise.set_exception(std::move(error));
-    std::lock_guard ml(impl_->metrics_mutex);
+    core::MutexLock ml(impl_->metrics_mutex);
     ++impl_->metrics.rejected;
     return std::move(future);
   };
@@ -393,7 +399,7 @@ std::future<std::vector<std::int32_t>> InferenceServer::submit(
   }
 
   {
-    std::unique_lock lk(impl_->queue_mutex);
+    core::UniqueLock lk(impl_->queue_mutex);
     if (impl_->stopping) {
       lk.unlock();
       return reject(std::make_exception_ptr(
@@ -417,7 +423,7 @@ std::future<std::vector<std::int32_t>> InferenceServer::submit(
     const std::size_t depth = impl_->queue.size();
     lk.unlock();
     impl_->queue_cv.notify_one();
-    std::lock_guard ml(impl_->metrics_mutex);
+    core::MutexLock ml(impl_->metrics_mutex);
     ++impl_->metrics.requests;
     impl_->metrics.samples += n_samples;
     impl_->metrics.max_queue_depth =
@@ -430,7 +436,7 @@ ServeMetrics InferenceServer::metrics() const {
   std::vector<double> window;
   ServeMetrics snapshot;
   {
-    std::lock_guard ml(impl_->metrics_mutex);
+    core::MutexLock ml(impl_->metrics_mutex);
     snapshot = impl_->metrics;
     snapshot.mean_batch_samples =
         impl_->metrics.batches

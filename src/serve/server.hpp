@@ -41,12 +41,12 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "predict/predictor.hpp"
 
 namespace flint::harness {
@@ -84,9 +84,10 @@ class ModelRegistry {
   [[nodiscard]] std::vector<ModelEntry> list() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<ModelEntry> models_;  // few models: linear scan under the lock
-  std::string default_name_;
+  mutable core::Mutex mutex_;
+  // Few models: linear scan under the lock.
+  std::vector<ModelEntry> models_ FLINT_GUARDED_BY(mutex_);
+  std::string default_name_ FLINT_GUARDED_BY(mutex_);
 };
 
 /// Batching/pool knobs of an InferenceServer.

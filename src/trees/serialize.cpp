@@ -1,5 +1,6 @@
 #include "trees/serialize.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <fstream>
@@ -198,6 +199,15 @@ Tree<T> read_tree(LineReader& reader) {
           reader.fail("bad category-set line for slot " + std::to_string(s),
                       cline);
         }
+        // Allocation bound: every word is a whitespace-separated token on
+        // THIS line, so a count exceeding the line length is a lie — reject
+        // it before sizing the vector (a hostile "c 99999999999" must not
+        // allocate gigabytes just to fail token-by-token later).
+        if (n_words > cline.size()) {
+          reader.fail("category-set word count " + std::to_string(n_words) +
+                          " exceeds line length",
+                      cline);
+        }
         std::vector<std::uint32_t> words(n_words);
         for (std::size_t w = 0; w < n_words; ++w) {
           std::string token;
@@ -269,7 +279,10 @@ Forest<T> read_forest(std::istream& in) {
                 header_line);
   }
   std::vector<Tree<T>> trees;
-  trees.reserve(n_trees);
+  // The header count is untrusted: reserve only a clamped hint (push_back
+  // grows geometrically past it) so "forest v1 2 99999999999" cannot
+  // pre-commit memory it never backs with tree blocks.
+  trees.reserve(std::min(n_trees, std::size_t{4096}));
   for (std::size_t t = 0; t < n_trees; ++t) {
     trees.push_back(read_tree<T>(reader));
     // Tree::validate cannot see the forest-level class count, but every

@@ -156,6 +156,16 @@ std::string Tree<T>::validate() const {
       if (n.left != kNoChild || n.right != kNoChild) {
         return "leaf node " + std::to_string(i) + " has children";
       }
+      // Engines force leaf flags/cat_slot on their packed images, so stray
+      // values here could never change a prediction — but they make the
+      // tree ambiguous (is it a leaf or a mangled split?), so a container
+      // carrying them is rejected rather than silently normalized.
+      if (n.flags != 0) {
+        return "leaf node " + std::to_string(i) + " carries split flags";
+      }
+      if (n.cat_slot != -1) {
+        return "leaf node " + std::to_string(i) + " carries a cat_slot";
+      }
       continue;
     }
     if (feature_count_ != 0 &&
@@ -169,6 +179,14 @@ std::string Tree<T>::validate() const {
       }
     } else if (n.cat_slot != -1) {
       return "numeric node " + std::to_string(i) + " carries a cat_slot";
+    } else if (std::isnan(n.split)) {
+      // +-inf is ordered and stays (an always-taken split round-trips the
+      // containers bit-exactly), but NaN has no integer rank: narrowing and
+      // the NaN -> +inf missing substitution both break on it (the
+      // verifier's tree.split_nan).  Rejecting here keeps loader-accepted
+      // models verify-clean, since every container parse funnels through
+      // this method.
+      return "numeric node " + std::to_string(i) + " has a NaN split";
     }
     if (n.left < 0 || n.left >= n_nodes || n.right < 0 || n.right >= n_nodes) {
       return "node " + std::to_string(i) + " child index out of range";

@@ -30,6 +30,15 @@ namespace flint::trees {
 
 inline constexpr std::int32_t kNoChild = -1;
 
+/// Engine-wide feature-count ceiling: PackedNode stores feature indices as
+/// int16, and every packed/SoA/key-table artifact allocates O(features)
+/// side tables, so a model declaring more features than this can neither
+/// execute nor be safely materialized.  ForestModel::validate (i.e. every
+/// loader) and the static verifier enforce it; a hostile header like
+/// "max_feature_idx=999999999" must be rejected before anything sizes an
+/// allocation from it.
+inline constexpr std::size_t kMaxFeatureCount = 32767;
+
 /// Node flag bits: NaN default direction and categorical-membership splits.
 inline constexpr std::uint8_t kNodeDefaultLeft = 1;  ///< NaN routes to LC(n)
 inline constexpr std::uint8_t kNodeCategorical = 2;  ///< bitset membership test

@@ -44,6 +44,16 @@ for model in xgb_binary.json xgb_missing.json lgbm_regression.txt \
     echo "== $model"
     "$bin" convert --in "$fixtures/$model" --out "$work/$stem.v2"
 
+    # Static verification: both the source fixture and the converted
+    # artifact must pass every invariant check (docs/VERIFICATION.md).
+    for artifact in "$fixtures/$model" "$work/$stem.v2"; do
+        if ! "$bin" verify "$artifact" > "$work/$stem.verify"; then
+            echo "FAIL: flint-forest verify rejects $artifact" >&2
+            cat "$work/$stem.verify" >&2
+            status=1
+        fi
+    done
+
     # Score roundtrip (every fixture commits expected scores).
     "$bin" predict --model "$work/$stem.v2" \
         --data "$fixtures/${stem}_input.csv" --output scores \

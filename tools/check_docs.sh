@@ -15,7 +15,7 @@ status=0
 mentions=$(grep -rhoE '[A-Za-z0-9_./-]*[A-Za-z0-9_-]+\.md' \
     --include='*.cpp' --include='*.hpp' --include='*.h' --include='*.md' \
     --include='*.sh' --include='*.yml' --include='CMakeLists.txt' \
-    src bench tests tools examples docs README.md CMakeLists.txt \
+    src bench tests tools examples fuzz docs README.md CMakeLists.txt \
     2>/dev/null | sort -u)
 
 for ref in $mentions; do
@@ -27,7 +27,8 @@ for ref in $mentions; do
 done
 
 # The doc suite itself must exist.
-for doc in README.md docs/ARCHITECTURE.md docs/BENCHMARKS.md; do
+for doc in README.md docs/ARCHITECTURE.md docs/BENCHMARKS.md \
+           docs/VERIFICATION.md; do
     if [ ! -f "$doc" ]; then
         echo "docs-check: required doc '$doc' is missing" >&2
         status=1

@@ -713,6 +713,163 @@ def gen_sklearn(rng_seed, n_rows):
         scores)
 
 
+# ---------------------------------------------------------------------------
+# Corrupt native containers for the static verifier (tests/fixtures/corrupt).
+#
+# Every file here must make `flint-forest verify <file>` exit non-zero with a
+# diagnostic naming the offending line or node — tests/test_verify.cpp walks
+# the whole directory and asserts exactly that, and the fuzz corpora seed
+# from it.  Each fixture derives from one of two tiny VALID containers (a v1
+# vote forest and a v2 scalar-regression model) by a single deliberate
+# corruption, documented in `#` comment lines the parsers skip.
+# ---------------------------------------------------------------------------
+
+CORRUPT_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "tests",
+                           "fixtures", "corrupt")
+
+# 0x3f000000 = 0.5f; a valid 3-node stump plus a lone-leaf tree.
+V1_BASE = [
+    "forest v1 2 2",
+    "tree 2 3",
+    "n 0 3f000000 1 2 -1",
+    "n -1 0 -1 -1 0",
+    "n -1 0 -1 -1 1",
+    "tree 2 1",
+    "n -1 0 -1 -1 1",
+]
+
+# Scalar regression: leaf predictions are rows into the leaf_values table
+# (0x3f800000 = 1.0f, 0x40000000 = 2.0f, 0x3f000000 = 0.5f).
+V2_BASE = [
+    "forest v2 2",
+    "kind scalar",
+    "agg sum",
+    "link none",
+    "outputs 1",
+    "classes 0",
+    "base 0",
+    "leaf_values 3 1",
+    "v 3f800000",
+    "v 40000000",
+    "v 3f000000",
+    "tree 2 3",
+    "n 0 3f000000 1 2 -1",
+    "n -1 0 -1 -1 0",
+    "n -1 0 -1 -1 1",
+    "tree 2 1",
+    "n -1 0 -1 -1 2",
+]
+
+
+def corrupted(base, note, replace=None, insert=None, drop_tail=0):
+    """One-corruption derivative of a valid base container: replacements by
+    base-line index, line (or line-block) insertions before an index, plus a
+    comment header naming the corruption and the diagnostic it must draw."""
+    lines = list(base)
+    if drop_tail:
+        lines = lines[:-drop_tail]
+    for idx, text in (replace or {}).items():
+        lines[idx] = text
+    for idx, text in sorted((insert or {}).items(), reverse=True):
+        lines[idx:idx] = [text] if isinstance(text, str) else list(text)
+    return ["# corrupt fixture: " + note,
+            "# must fail `flint-forest verify` (see tests/test_verify.cpp)",
+            ] + lines
+
+
+CORRUPT_FIXTURES = {
+    # --- v1 vote forests -------------------------------------------------
+    "v1_child_out_of_range.forest": corrupted(
+        V1_BASE, "root right child 99 outside [0, 3)",
+        replace={2: "n 0 3f000000 1 99 -1"}),
+    "v1_cycle.forest": corrupted(
+        V1_BASE, "node 1 made inner, left child loops back to the root",
+        replace={3: "n 1 3f000000 0 2 -1"}),
+    "v1_nan_split.forest": corrupted(
+        V1_BASE, "root split bits 7fc00000 (NaN) break rank narrowing",
+        replace={2: "n 0 7fc00000 1 2 -1"}),
+    "v1_orphan_node.forest": corrupted(
+        V1_BASE, "node 3 exists but no inner node points at it (0 parents)",
+        replace={1: "tree 2 4"},
+        insert={5: "n -1 0 -1 -1 0"}),
+    "v1_leaf_class_out_of_range.forest": corrupted(
+        V1_BASE, "leaf class 7 with a 2-class header (vote array overrun)",
+        replace={4: "n -1 0 -1 -1 7"}),
+    "v1_leaf_with_flags.forest": corrupted(
+        V1_BASE, "leaf carrying split flags (extended form, flags=1)",
+        replace={4: "n -1 0 -1 -1 1 1 -1"}),
+    "v1_feature_out_of_range.forest": corrupted(
+        V1_BASE, "root splits on f5 but the tree declares 2 features",
+        replace={2: "n 5 3f000000 1 2 -1"}),
+    "v1_zero_feature_count.forest": corrupted(
+        V1_BASE, "tree declares 0 features yet splits on f0 "
+                 "(predictors would size input rows as width 0)",
+        replace={1: "tree 0 3"}),
+    "v1_huge_tree_count.forest": corrupted(
+        V1_BASE, "header promises 99999999999 trees it never provides "
+                 "(allocation-bomb regression)",
+        replace={0: "forest v1 2 99999999999"}),
+    "v1_truncated.forest": corrupted(
+        V1_BASE, "file ends mid-tree (the last node line is missing)",
+        drop_tail=1),
+    # --- v2 typed-leaf models --------------------------------------------
+    "v2_leaf_row_out_of_range.v2": corrupted(
+        V2_BASE, "leaf row 9 with only 3 leaf-value rows",
+        replace={16: "n -1 0 -1 -1 9"}),
+    "v2_nonfinite_leaf_value.v2": corrupted(
+        V2_BASE, "leaf value bits 7f800000 (+inf) poison every score sum",
+        replace={8: "v 7f800000"}),
+    "v2_class_count_mismatch.v2": corrupted(
+        V2_BASE, "header claims 5 classes; the aggregation derives 0 "
+                 "(scalar sum + link none is regression)",
+        replace={5: "classes 5"}),
+    "v2_base_score_arity.v2": corrupted(
+        V2_BASE, "base line carries 2 values for a 1-output model",
+        replace={6: "base 0 0"}),
+    "v2_scalar_outputs_mismatch.v2": corrupted(
+        V2_BASE, "kind scalar with outputs 3 (scalar implies exactly 1)",
+        replace={4: "outputs 3",
+                 7: "leaf_values 3 3",
+                 8: "v 3f800000 3f800000 3f800000",
+                 9: "v 40000000 40000000 40000000",
+                 10: "v 3f000000 3f000000 3f000000"}),
+    "v2_bad_missing_line.v2": corrupted(
+        V2_BASE, "missing 0 1: zero_as_missing without handles_missing",
+        insert={5: "missing 0 1"}),
+    "v2_leaf_with_cat_slot.v2": corrupted(
+        V2_BASE, "leaf node carrying cat_slot 0 (leaf or mangled split?) — "
+                 "the shape the container fuzz harness flagged",
+        replace={11: "tree 2 3",
+                 12: "cats 1",
+                 13: "c 1 1",
+                 14: "n 0 3f000000 1 2 -1 0 -1"},
+        insert={15: ["n -1 0 -1 -1 0 0 0",
+                     "n -1 0 -1 -1 1 0 -1"]}),
+    "v2_huge_feature_count.v2": corrupted(
+        V2_BASE, "tree declares 999999999 features, far past the engine "
+                 "limit of 32767 (O(features) side tables)",
+        replace={11: "tree 999999999 3",
+                 12: "n 5000000 3f000000 1 2 -1"}),
+    "v2_huge_category_words.v2": corrupted(
+        V2_BASE, "category set claims 99999999999 words on a short line",
+        replace={11: "tree 2 3",
+                 12: "cats 1",
+                 13: "c 99999999999 1",
+                 14: "n 0 3f000000 1 2 -1 2 0"},
+        insert={15: ["n -1 0 -1 -1 0",
+                     "n -1 0 -1 -1 1"]}),
+    "v2_truncated.v2": corrupted(
+        V2_BASE, "file ends inside the leaf_values table",
+        drop_tail=8),
+}
+
+
+def gen_corrupt():
+    os.makedirs(CORRUPT_DIR, exist_ok=True)
+    for name, lines in sorted(CORRUPT_FIXTURES.items()):
+        write(os.path.join(CORRUPT_DIR, name), "\n".join(lines) + "\n")
+
+
 def main():
     os.makedirs(OUT_DIR, exist_ok=True)
     gen_xgboost(rng_seed=11, n_rows=24)
@@ -720,6 +877,7 @@ def main():
     gen_lightgbm(rng_seed=23, n_rows=24)
     gen_lgbm_categorical(rng_seed=71, n_rows=24)
     gen_sklearn(rng_seed=37, n_rows=24)
+    gen_corrupt()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,90 @@
+#!/bin/sh
+# run_fuzz_smoke.sh — seed and run every fuzz harness for a bounded time.
+#
+# Seeds each harness's corpus from the committed fixtures (tests/fixtures/
+# external/ plus native v1/v2 artifacts converted on the fly), then:
+#   * libFuzzer builds (clang, FLINT_FUZZ_LIBFUZZER): coverage-guided run,
+#     -max_total_time=$FUZZ_SECONDS per harness, with the matching
+#     dictionary from fuzz/dicts/;
+#   * standalone builds (GCC fallback driver): replay the corpus once —
+#     a crash/sanitizer regression gate, not exploration.
+#
+# Usage: tools/run_fuzz_smoke.sh <build-dir> [source-root]
+# Env:   FUZZ_SECONDS  per-harness budget in libFuzzer mode (default 60)
+set -eu
+
+build=${1:?usage: run_fuzz_smoke.sh <build-dir> [source-root]}
+root=${2:-$(dirname "$0")/..}
+fixtures="$root/tests/fixtures/external"
+corrupt="$root/tests/fixtures/corrupt"
+dicts="$root/fuzz/dicts"
+seconds=${FUZZ_SECONDS:-60}
+work=$(mktemp -d "${TMPDIR:-/tmp}/flint_fuzz_XXXXXX")
+trap 'rm -rf "$work"' EXIT
+
+status=0
+
+# Native artifacts for the container harness: convert two external fixtures
+# (one plain, one categorical+missing) so the corpus holds real v2 bytes.
+mkdir -p "$work/native"
+if [ -x "$build/flint-forest" ]; then
+    "$build/flint-forest" convert --in "$fixtures/xgb_binary.json" \
+        --out "$work/native/xgb_binary.v2"
+    "$build/flint-forest" convert --in "$fixtures/lgbm_categorical.txt" \
+        --out "$work/native/lgbm_categorical.v2"
+fi
+
+# seed_corpus <corpus-dir> <file>...
+seed_corpus() {
+    dir=$1; shift
+    mkdir -p "$dir"
+    for f in "$@"; do
+        [ -f "$f" ] && cp "$f" "$dir/" || true
+    done
+}
+
+# run_harness <name> <dict-or-empty> <seed-file>...
+run_harness() {
+    name=$1; dict=$2; shift 2
+    bin="$build/$name"
+    if [ ! -x "$bin" ]; then
+        echo "SKIP: $name not built (configure with -DFLINT_FUZZ=ON)" >&2
+        return
+    fi
+    corpus="$work/corpus_$name"
+    seed_corpus "$corpus" "$@"
+    # Corrupt fixtures are universal seeds: every parser must reject them
+    # gracefully, and they sit right next to interesting code paths.
+    if [ -d "$corrupt" ]; then
+        for f in "$corrupt"/*; do cp "$f" "$corpus/" 2>/dev/null || true; done
+    fi
+    echo "== $name"
+    if "$bin" -help=1 2>/dev/null | grep -q max_total_time; then
+        dictarg=""
+        [ -n "$dict" ] && [ -f "$dict" ] && dictarg="-dict=$dict"
+        "$bin" -max_total_time="$seconds" -max_len=65536 -rss_limit_mb=2048 \
+            $dictarg "$corpus" || status=1
+    else
+        "$bin" "$corpus" || status=1
+    fi
+}
+
+run_harness fuzz_json "$dicts/json.dict" \
+    "$fixtures/xgb_binary.json" "$fixtures/xgb_missing.json" \
+    "$fixtures/sklearn_multiclass.json"
+run_harness fuzz_xgboost "$dicts/xgboost.dict" \
+    "$fixtures/xgb_binary.json" "$fixtures/xgb_missing.json"
+run_harness fuzz_lightgbm "$dicts/lightgbm.dict" \
+    "$fixtures/lgbm_regression.txt" "$fixtures/lgbm_categorical.txt"
+run_harness fuzz_sklearn "$dicts/sklearn.dict" \
+    "$fixtures/sklearn_multiclass.json"
+run_harness fuzz_container "$dicts/container.dict" \
+    "$work/native/xgb_binary.v2" "$work/native/lgbm_categorical.v2"
+run_harness fuzz_csv "" \
+    "$fixtures/xgb_binary_input.csv" "$fixtures/lgbm_categorical_input.csv" \
+    "$fixtures/sklearn_multiclass_input.csv"
+
+if [ "$status" -eq 0 ]; then
+    echo "fuzz smoke: all harnesses completed without findings"
+fi
+exit $status
