@@ -350,26 +350,176 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
+  // Kernel budget shared by the overload and hot-swap gates: the worst case
+  // ahead of a request is one full block; measure it once directly and
+  // allow 10x for scheduler noise plus 5 ms slack (shared CI runners).
+  double block_us = 0.0;
+  {
+    const auto predictor = make_backend(forest_a, "layout:auto");
+    const std::size_t probe = 256;
+    const auto block = request_rows(pool, 0, probe);
+    std::vector<std::int32_t> out(probe);
+    const auto t0 = Clock::now();
+    predictor->predict_batch_prevalidated(block.data(), probe, out.data());
+    block_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+  }
+
+  // --- Overload gate: open-loop burst vs admission control + deadlines. ---
+  // An unpaced burst far beyond the sample bound, every request carrying a
+  // deadline.  Admission control must shed the excess with typed errors
+  // (kOverloaded/kQueueFull, counted as shed; kDeadlineExceeded as a miss)
+  // while the p99 of the requests it *did* admit and complete stays within
+  // 2x the unloaded p99 plus a measured kernel/scheduler budget.
+  std::printf("--- overload gate (burst admission control, %u workers) ---\n",
+              workers);
+  double p99_unloaded = 0.0;
+  {
+    flint::serve::ServeOptions uopt;
+    uopt.max_batch = 256;
+    uopt.max_delay_us = 200;
+    uopt.workers = workers;
+    flint::serve::InferenceServer unloaded(uopt);
+    unloaded.registry().install("default",
+                                make_backend(forest_a, "layout:auto"));
+    const std::size_t probes = smoke ? 200 : 500;
+    for (std::size_t i = 0; i < probes; ++i) {
+      const std::size_t row = (i * 31) % pool.rows;
+      const auto got = unloaded.submit(request_rows(pool, row, 1), 1).get();
+      if (!matches(pool, pool.ref_a, row, got)) {
+        std::fprintf(stderr,
+                     "FATAL: unloaded result diverges from Forest::predict\n");
+        return 1;
+      }
+    }
+    unloaded.stop();
+    p99_unloaded = unloaded.metrics().p99_latency_us;
+  }
+  // The deadline keeps admitted-but-stale requests from polluting the tail;
+  // the floor keeps the first batches executable on slow shared runners.
+  const double overload_deadline_us =
+      std::max(2.0 * p99_unloaded, 4.0 * block_us + 1000.0);
+  const double p99_bound_us = 2.0 * p99_unloaded + 10.0 * block_us + 5000.0;
+  {
+    flint::serve::ServeOptions oopt;
+    oopt.max_batch = 256;
+    oopt.max_delay_us = 200;
+    oopt.workers = workers;
+    oopt.queue_capacity = 1024;
+    oopt.sample_capacity = 1024;
+    flint::serve::InferenceServer overload(oopt);
+    overload.registry().install("default",
+                                make_backend(forest_a, "layout:auto"));
+    serve::SubmitOptions subopt;
+    subopt.deadline_us = static_cast<std::uint64_t>(overload_deadline_us);
+    const unsigned oclients = 4;
+    const std::size_t per = smoke ? 2000 : (full ? 8000 : 4000);
+    std::atomic<std::uint64_t> n_ok{0};
+    std::atomic<std::uint64_t> n_shed{0};
+    std::atomic<std::uint64_t> n_missed{0};
+    std::atomic<bool> fatal{false};
+    std::vector<std::thread> othreads;
+    othreads.reserve(oclients);
+    for (unsigned c = 0; c < oclients; ++c) {
+      othreads.emplace_back([&, c] {
+        std::vector<
+            std::pair<std::size_t, std::future<std::vector<std::int32_t>>>>
+            inflight;
+        inflight.reserve(per);
+        for (std::size_t i = 0; i < per; ++i) {
+          const std::size_t row = (c * 7919 + i) % pool.rows;
+          inflight.emplace_back(
+              row, overload.submit(request_rows(pool, row, 1), 1, "default",
+                                   subopt));
+        }
+        for (auto& [row, future] : inflight) {
+          try {
+            const auto got = future.get();
+            if (matches(pool, pool.ref_a, row, got)) {
+              n_ok.fetch_add(1);
+            } else {
+              fatal.store(true);  // wrong result
+            }
+          } catch (const serve::ServeError& e) {
+            switch (e.code()) {
+              case serve::ErrorCode::kQueueFull:
+              case serve::ErrorCode::kOverloaded:
+                n_shed.fetch_add(1);
+                break;
+              case serve::ErrorCode::kDeadlineExceeded:
+                n_missed.fetch_add(1);
+                break;
+              default:
+                fatal.store(true);  // no stall/stop/execution faults here
+            }
+          } catch (const std::exception&) {
+            fatal.store(true);  // untyped error escaping the serve runtime
+          }
+        }
+      });
+    }
+    for (auto& t : othreads) t.join();
+    overload.stop();
+    const auto om = overload.metrics();
+    const double total = static_cast<double>(oclients) * per;
+    const double shed_rate = n_shed.load() / total;
+    const double miss_rate = n_missed.load() / total;
+    std::printf("%-10s %-10s %-8s %-14s %-10s %-14s\n", "offered", "served",
+                "shed", "deadline_miss", "p99_us", "p99_bound_us");
+    std::printf("%-10.0f %-10llu %-8llu %-14llu %-10.0f %-14.0f\n", total,
+                static_cast<unsigned long long>(n_ok.load()),
+                static_cast<unsigned long long>(n_shed.load()),
+                static_cast<unsigned long long>(n_missed.load()),
+                om.p99_latency_us, p99_bound_us);
+    std::printf(
+        "shed_rate %.3f, deadline_miss_rate %.3f (deadline %.0f us, "
+        "unloaded p99 %.0f us)\n\n",
+        shed_rate, miss_rate, overload_deadline_us, p99_unloaded);
+    json.set("p99_unloaded_us", p99_unloaded);
+    json.set("p99_overload_us", om.p99_latency_us);
+    json.set("p99_overload_bound_us", p99_bound_us);
+    json.set("overload_deadline_us", overload_deadline_us);
+    json.set("overload_shed_rate", shed_rate);
+    json.set("overload_deadline_miss_rate", miss_rate);
+    flint::serve::add_serve_metrics(json, om, "overload_");
+    if (fatal.load()) {
+      std::fprintf(stderr,
+                   "FATAL: overload gate saw a wrong result or an untyped/"
+                   "unexpected error\n");
+      return 1;
+    }
+    if (n_ok.load() + n_shed.load() + n_missed.load() !=
+        static_cast<std::uint64_t>(total)) {
+      std::fprintf(stderr, "FATAL: overload gate lost a request (%llu of "
+                           "%.0f resolved)\n",
+                   static_cast<unsigned long long>(
+                       n_ok.load() + n_shed.load() + n_missed.load()),
+                   total);
+      return 1;
+    }
+    if (n_shed.load() == 0 || n_ok.load() == 0) {
+      std::fprintf(stderr,
+                   "FATAL: overload gate tested nothing (served=%llu "
+                   "shed=%llu — burst must both admit and shed)\n",
+                   static_cast<unsigned long long>(n_ok.load()),
+                   static_cast<unsigned long long>(n_shed.load()));
+      return 1;
+    }
+    if (om.p99_latency_us > p99_bound_us) {
+      std::fprintf(stderr,
+                   "FATAL: overload p99 %.0f us exceeds bound %.0f us "
+                   "(2x unloaded p99 %.0f us + kernel budget)\n",
+                   om.p99_latency_us, p99_bound_us, p99_unloaded);
+      return 1;
+    }
+  }
+
   // --- Hot-swap gate: 10k mixed-size requests, mid-run swap, p99 bound. ---
   std::printf("--- hot-swap gate (8 threads x 1250 mixed-size requests) ---\n");
   flint::serve::ServeOptions sopt;
   sopt.max_batch = 256;
   sopt.max_delay_us = 200;
   sopt.workers = workers;
-  // Kernel budget for the p99 bound: the worst case ahead of a request is
-  // one full block; measure it once directly and allow 10x for scheduler
-  // noise plus 5 ms slack (shared CI runners).
-  double block_us = 0.0;
-  {
-    const auto predictor = make_backend(forest_a, "layout:auto");
-    const auto block = request_rows(pool, 0, sopt.max_batch);
-    std::vector<std::int32_t> out(sopt.max_batch);
-    const auto t0 = Clock::now();
-    predictor->predict_batch_prevalidated(block.data(), sopt.max_batch,
-                                          out.data());
-    block_us =
-        std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
-  }
   const double p99_budget_us = sopt.max_delay_us + 10.0 * block_us + 5000.0;
 
   flint::serve::InferenceServer server(sopt);

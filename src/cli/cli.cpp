@@ -395,9 +395,16 @@ int cmd_serve(const Args& args, std::istream& in, std::ostream& out) {
   const long workers = args.get_long("workers", 1);
   const long threads = args.get_long("threads", 1);
   const long batch = args.get_long("batch", 256);
+  const long deadline_us = args.get_long("deadline-us", 0);
+  const std::string priority_name = args.get("priority", "normal");
+  const std::string shed_policy_name = args.get("shed-policy", "reject-new");
   if (max_batch < 1) throw std::invalid_argument("--max-batch must be >= 1");
   if (max_delay_us < 0 || max_delay_us > 10'000'000) {
     throw std::invalid_argument("--max-delay-us must be in [0, 10000000]");
+  }
+  if (deadline_us < 0 || deadline_us > 3'600'000'000L) {
+    throw std::invalid_argument(
+        "--deadline-us must be in [0, 3600000000] (0 = no deadline)");
   }
   if (workers < 0 || workers > 4096) {
     throw std::invalid_argument("--workers must be in [0, 4096] (0 = all cores)");
@@ -406,6 +413,24 @@ int cmd_serve(const Args& args, std::istream& in, std::ostream& out) {
     throw std::invalid_argument("--threads must be in [0, 4096] (0 = all cores)");
   }
   if (batch < 1) throw std::invalid_argument("--batch must be >= 1");
+  serve::SubmitOptions subopt;
+  subopt.deadline_us = static_cast<std::uint64_t>(deadline_us);
+  if (priority_name == "high") {
+    subopt.priority = serve::Priority::kHigh;
+  } else if (priority_name == "normal") {
+    subopt.priority = serve::Priority::kNormal;
+  } else if (priority_name == "low") {
+    subopt.priority = serve::Priority::kLow;
+  } else {
+    throw std::invalid_argument("--priority must be high, normal, or low");
+  }
+  serve::ShedPolicy shed_policy = serve::ShedPolicy::kRejectNew;
+  if (shed_policy_name == "priority-evict") {
+    shed_policy = serve::ShedPolicy::kPriorityEvict;
+  } else if (shed_policy_name != "reject-new") {
+    throw std::invalid_argument(
+        "--shed-policy must be reject-new or priority-evict");
+  }
   args.check_all_used();
 
   predict::PredictorOptions popt;
@@ -439,6 +464,7 @@ int cmd_serve(const Args& args, std::istream& in, std::ostream& out) {
   sopt.max_batch = static_cast<std::size_t>(max_batch);
   sopt.max_delay_us = static_cast<std::uint32_t>(max_delay_us);
   sopt.workers = static_cast<unsigned>(workers);
+  sopt.shed_policy = shed_policy;
   serve::InferenceServer server(sopt);
   server.registry().install("default", load(model_path));
   out << "serving 'default' v1 (engine " << engine_name << ", max_batch "
@@ -453,11 +479,7 @@ int cmd_serve(const Args& args, std::istream& in, std::ostream& out) {
     if (line.empty() || line[0] == '#') continue;
     if (line == "quit") break;
     if (line == "stats") {
-      const auto m = server.metrics();
-      out << "stats: requests=" << m.requests << " rejected=" << m.rejected
-          << " batches=" << m.batches << " mean_batch="
-          << m.mean_batch_samples << " p50_us=" << m.p50_latency_us
-          << " p99_us=" << m.p99_latency_us << "\n";
+      out << serve::serve_metrics_json(server.metrics()) << "\n";
       continue;
     }
     if (line.rfind("swap ", 0) == 0) {
@@ -473,7 +495,7 @@ int cmd_serve(const Args& args, std::istream& in, std::ostream& out) {
     try {
       std::size_t n_samples = 0;
       const auto features = parse_request_line(line, n_samples);
-      auto future = server.submit(features, n_samples);
+      auto future = server.submit(features, n_samples, "default", subopt);
       const auto predictions = future.get();
       out << "ok ";
       for (std::size_t i = 0; i < predictions.size(); ++i) {
@@ -576,10 +598,16 @@ std::string usage() {
       "           docs/MODEL_FORMATS.md)\n"
       "  serve    --model <model> [--engine <backend>] [--max-batch N]\n"
       "           [--max-delay-us N] [--workers N] [--threads N] [--batch N]\n"
+      "           [--deadline-us N] [--priority high|normal|low]\n"
+      "           [--shed-policy reject-new|priority-evict]\n"
       "           long-lived micro-batching server over a stdin line\n"
       "           protocol: 'f1,f2,...[;f1,f2,...]' predicts a request,\n"
-      "           'swap <model>' hot-swaps, 'stats' prints metrics, 'quit'\n"
-      "           drains and exits (see docs/ARCHITECTURE.md \"Serving\")\n"
+      "           'swap <model>' hot-swaps, 'stats' prints one JSON metrics\n"
+      "           line (health, shed/deadline-miss counters), 'quit' drains\n"
+      "           and exits; --deadline-us bounds each request's end-to-end\n"
+      "           latency (0 = none), --priority tags requests for the\n"
+      "           admission ladder, --shed-policy picks overload behaviour\n"
+      "           (see docs/ARCHITECTURE.md \"Serving\")\n"
       "  codegen  --model <model> --out <dir> [--flavor <flavor>]\n"
       "           [--prefix name] [--train-data <csv>] [--kernel-budget N]\n"
       "           flavors: ifelse-float ifelse-flint cags-float cags-flint\n"

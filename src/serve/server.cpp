@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <stdexcept>
@@ -12,6 +13,7 @@
 
 #include "core/thread_annotations.hpp"
 #include "harness/bench_json.hpp"
+#include "serve/faults.hpp"
 
 namespace flint::serve {
 
@@ -21,6 +23,12 @@ using Clock = std::chrono::steady_clock;
 
 double microseconds_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+std::int64_t to_us(Clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t.time_since_epoch())
+      .count();
 }
 
 /// Latency reservoir bound: past this many records the buffer becomes a
@@ -40,6 +48,46 @@ std::size_t histogram_bucket(std::size_t batch_samples) {
   return bucket;
 }
 
+/// Degrade-ladder thresholds over queue pressure (the max of the sample
+/// and request fill fractions).  Pure function of instantaneous pressure,
+/// so tests and metrics() agree with the batcher by construction.
+int degrade_level_from(std::size_t queued_samples, std::size_t queue_depth,
+                       const ServeOptions& options) {
+  const double sample_pressure =
+      static_cast<double>(queued_samples) /
+      static_cast<double>(options.sample_capacity);
+  const double request_pressure =
+      static_cast<double>(queue_depth) /
+      static_cast<double>(options.queue_capacity);
+  const double pressure = std::max(sample_pressure, request_pressure);
+  if (pressure >= 0.90) return 3;
+  if (pressure >= 0.75) return 2;
+  if (pressure >= 0.50) return 1;
+  return 0;
+}
+
+/// Maps any batch-assembly/execution exception to the typed contract:
+/// ServeError passes through, everything else (predictor throw, injected
+/// fault, std::bad_alloc from a coalesce/output allocation) becomes
+/// kExecutionFailed with the original message preserved.
+std::exception_ptr as_typed_execution_error(std::exception_ptr error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const ServeError&) {
+    return error;
+  } catch (const std::bad_alloc&) {
+    return std::make_exception_ptr(ServeError(
+        ErrorCode::kExecutionFailed, "allocation failure during batch"));
+  } catch (const std::exception& e) {
+    return std::make_exception_ptr(ServeError(
+        ErrorCode::kExecutionFailed,
+        std::string("batch execution failed: ") + e.what()));
+  } catch (...) {
+    return std::make_exception_ptr(
+        ServeError(ErrorCode::kExecutionFailed, "batch execution failed"));
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -55,6 +103,10 @@ std::uint64_t ModelRegistry::install(const std::string& name,
     throw std::invalid_argument("ModelRegistry: null predictor for '" + name +
                                 "'");
   }
+  // Mid-swap fault point: anything thrown from here on (a simulated
+  // allocation failure, a verification throw upstream in the caller) must
+  // leave the previous entry serving — the flip below is the only mutation.
+  faults::hit(faults::Site::kRegistryInstall);
   core::MutexLock lk(mutex_);
   if (default_name_.empty()) default_name_ = name;
   for (auto& entry : models_) {
@@ -99,29 +151,60 @@ struct InferenceServer::Impl {
     std::size_t n_samples = 0;
     std::promise<std::vector<std::int32_t>> promise;
     Clock::time_point enqueued;
+    Clock::time_point deadline = Clock::time_point::max();
+    Priority priority = Priority::kNormal;
   };
 
   /// A formed micro-batch.  All requests share one predictor snapshot (the
   /// hot-swap invariant) and, unless zero_copy, one coalesced feature
   /// buffer.  On the zero-copy path the single request's own buffer is the
-  /// execution buffer.
+  /// execution buffer.  Heap-allocated and shared between the executing
+  /// stage and the watchdog; the per-request settled flags make settlement
+  /// exactly-once even when a stalled stage and the watchdog race to
+  /// resolve the same promises.
   struct Batch {
     PredictorPtr predictor;
     std::vector<Request> requests;
     std::vector<float> coalesced;
     std::size_t n_samples = 0;
     bool zero_copy = false;
+    core::Mutex mu;
+    std::vector<char> settled FLINT_GUARDED_BY(mu);  // 1:1 with requests
+  };
+  using BatchPtr = std::shared_ptr<Batch>;
+
+  /// One pipeline-stage thread (the batcher or a worker) as the watchdog
+  /// sees it.  `current`/`busy_since_us` form the progress heartbeat: set
+  /// while the stage holds a batch, cleared when it is handed off.  On
+  /// fail-over the whole slot moves to `zombies` (the stalled thread still
+  /// references it) and a fresh slot takes its place.
+  struct Slot {
+    std::thread thread;
+    std::atomic<bool> abandoned{false};  ///< failed over; exit when seen
+    std::atomic<bool> done{false};       ///< thread function returned
   };
 
-  explicit Impl(const ServeOptions& options) : options(options) {
-    const unsigned workers =
-        std::max(1u, options.workers ? options.workers
-                                     : predict::available_parallelism());
-    worker_threads.reserve(workers);
+  explicit Impl(const ServeOptions& options)
+      : options(options),
+        n_workers(std::max(
+            1u, options.workers ? options.workers
+                                : predict::available_parallelism())) {
     try {
-      batcher_thread = std::thread([this] { batcher_loop(); });
-      for (unsigned i = 0; i < workers; ++i) {
-        worker_threads.emplace_back([this] { worker_loop(); });
+      {
+        core::MutexLock sl(slots_mutex);
+        // Heartbeat tables are sized before any stage thread exists.
+        worker_current.resize(n_workers);
+        worker_busy_since_us.assign(n_workers, 0);
+        batcher_slot = std::make_unique<Slot>();
+        spawn_batcher_locked(batcher_slot.get());
+        worker_slots.reserve(n_workers);
+        for (unsigned i = 0; i < n_workers; ++i) {
+          worker_slots.push_back(std::make_unique<Slot>());
+          spawn_worker_locked(worker_slots.back().get());
+        }
+      }
+      if (options.stall_timeout_us > 0) {
+        watchdog_thread = std::thread([this] { watchdog_loop(); });
       }
     } catch (...) {
       // Thread exhaustion mid-spawn: join what started (destroying a
@@ -131,71 +214,176 @@ struct InferenceServer::Impl {
     }
   }
 
+  void spawn_batcher_locked(Slot* slot) FLINT_REQUIRES(slots_mutex) {
+    slot->thread = std::thread([this, slot] {
+      batcher_loop(slot);
+      slot->done.store(true);
+    });
+  }
+
+  void spawn_worker_locked(Slot* slot) FLINT_REQUIRES(slots_mutex) {
+    slot->thread = std::thread([this, slot] {
+      worker_loop(slot);
+      slot->done.store(true);
+    });
+  }
+
   // -- batcher ------------------------------------------------------------
 
-  void batcher_loop() {
+  void batcher_loop(Slot* slot) {
     core::UniqueLock lk(queue_mutex);
     for (;;) {
+      if (slot->abandoned.load()) {
+        lk.unlock();
+        return;  // failed over; the replacement owns the queue now
+      }
       // Condition predicates are written as explicit loops in the locked
       // scope (not wait(lock, lambda)) so the thread-safety analysis sees
       // every guarded read under the lock it requires.
-      while (!stopping && queue.empty()) queue_cv.wait(lk);
+      while (!stopping && queue.empty() && !slot->abandoned.load()) {
+        queue_cv.wait(lk);
+      }
+      if (slot->abandoned.load()) {
+        lk.unlock();
+        return;
+      }
       if (queue.empty()) {
         if (stopping) break;
         continue;
       }
-      // Dynamic flush: wait for a full block or the oldest request's delay
-      // budget, whichever first.  A single request that already fills the
-      // block (queued_samples >= max_batch) skips the wait entirely.  On
+      // Deadline sweep before any flush decision: an expired-in-queue
+      // request is failed typed, never executed.  The sweep also
+      // recomputes earliest_deadline exactly.
+      std::vector<Request> expired = sweep_expired_locked();
+      if (!expired.empty()) {
+        lk.unlock();
+        fail_expired(std::move(expired));
+        lk.lock();
+        continue;  // re-evaluate with fresh queue state
+      }
+      const int level =
+          degrade_level_from(queued_samples, queue.size(), options);
+      // Degrade ladder, step 1+2a: under pressure the delay budget shrinks
+      // geometrically (4x per level) — a deep queue forms full batches
+      // with little extra waiting.
+      const std::uint32_t eff_delay = options.max_delay_us >> (2 * level);
+      // Step 2b: force larger batches — amortize per-batch overhead harder
+      // while the queue is drowning.
+      const std::size_t eff_max_batch =
+          level >= 2 ? options.max_batch * 2 : options.max_batch;
+      // Dynamic flush: wait for a full block, the oldest request's delay
+      // budget, or the tightest queued deadline — whichever first.  A
+      // single request that already fills the block skips the wait.  On
       // shutdown the wait is skipped so the queue drains immediately.
-      if (!stopping && queued_samples < options.max_batch &&
-          options.max_delay_us > 0) {
-        const auto deadline =
-            queue.front().enqueued +
-            std::chrono::microseconds(options.max_delay_us);
-        while (!stopping && queued_samples < options.max_batch &&
-               Clock::now() < deadline) {
-          queue_cv.wait_until(lk, deadline);
+      if (!stopping && queued_samples < eff_max_batch && eff_delay > 0) {
+        bool level_changed = false;
+        while (!stopping && !queue.empty() &&
+               queued_samples < eff_max_batch && !slot->abandoned.load()) {
+          // A pressure change mid-wait re-enters the cycle: the ladder's
+          // tighter (or relaxed) delay applies now, not after this wait.
+          if (degrade_level_from(queued_samples, queue.size(), options) !=
+              level) {
+            level_changed = true;
+            break;
+          }
+          Clock::time_point flush_at =
+              queue.front().enqueued + std::chrono::microseconds(eff_delay);
+          // Respect the tightest queued deadline, with headroom covering
+          // wakeup overshoot so the request makes dispatch instead of
+          // being swept at the boundary.
+          constexpr auto kDeadlineFlushHeadroom =
+              std::chrono::milliseconds(10);
+          if (earliest_deadline != Clock::time_point::max() &&
+              earliest_deadline - kDeadlineFlushHeadroom < flush_at) {
+            flush_at = earliest_deadline - kDeadlineFlushHeadroom;
+          }
+          if (faults::now() >= flush_at) break;
+          queue_cv.wait_until(lk, flush_at);
+        }
+        if (level_changed || queue.empty()) continue;
+        expired = sweep_expired_locked();
+        if (!expired.empty()) {
+          lk.unlock();
+          fail_expired(std::move(expired));
+          lk.lock();
+          continue;
         }
         if (queue.empty()) continue;
       }
-      Batch batch = form_batch_locked();
+      BatchPtr batch = form_batch_locked(eff_max_batch);
       lk.unlock();
-      coalesce(batch);
-      {
-        core::MutexLock bl(batch_mutex);
-        batches.push_back(std::move(batch));
-      }
-      batch_cv.notify_one();
+      assemble_and_commit(slot, batch);
       lk.lock();
     }
     lk.unlock();
-    {
-      core::MutexLock bl(batch_mutex);
-      batcher_done = true;
+    if (!slot->abandoned.load()) {
+      {
+        core::MutexLock bl(batch_mutex);
+        batcher_done = true;
+      }
+      batch_cv.notify_all();
     }
-    batch_cv.notify_all();
+  }
+
+  /// Removes every request whose deadline has passed and recomputes
+  /// earliest_deadline over the survivors.  Caller fails the returned
+  /// requests outside the lock.
+  std::vector<Request> sweep_expired_locked() FLINT_REQUIRES(queue_mutex) {
+    std::vector<Request> expired;
+    const Clock::time_point now = faults::now();
+    Clock::time_point earliest = Clock::time_point::max();
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (it->deadline < now) {
+        queued_samples -= it->n_samples;
+        expired.push_back(std::move(*it));
+        it = queue.erase(it);
+      } else {
+        earliest = std::min(earliest, it->deadline);
+        ++it;
+      }
+    }
+    earliest_deadline = earliest;
+    return expired;
+  }
+
+  void fail_expired(std::vector<Request> expired) {
+    const auto error = std::make_exception_ptr(ServeError(
+        ErrorCode::kDeadlineExceeded,
+        "deadline expired before dispatch (queue-time budget exhausted)"));
+    // Counters before settlement, like the fulfill path: a client that
+    // observes its error also observes the accounting for it.
+    {
+      core::MutexLock ml(metrics_mutex);
+      metrics.deadline_missed += expired.size();
+      metrics.failed += expired.size();
+    }
+    for (Request& r : expired) r.promise.set_exception(error);
   }
 
   /// Pops the head request plus every queued neighbor that shares its
-  /// predictor snapshot, up to max_batch samples.  A request larger than
-  /// max_batch still forms a (single-request) batch — requests are never
+  /// predictor snapshot, up to `eff_max_batch` samples.  A request larger
+  /// than that still forms a (single-request) batch — requests are never
   /// split.  Caller holds queue_mutex.
-  Batch form_batch_locked() FLINT_REQUIRES(queue_mutex) {
-    Batch batch;
-    batch.requests.push_back(std::move(queue.front()));
+  BatchPtr form_batch_locked(std::size_t eff_max_batch)
+      FLINT_REQUIRES(queue_mutex) {
+    BatchPtr batch = std::make_shared<Batch>();
+    batch->requests.push_back(std::move(queue.front()));
     queue.pop_front();
-    batch.predictor = batch.requests.front().predictor;
-    batch.n_samples = batch.requests.front().n_samples;
-    queued_samples -= batch.n_samples;
-    while (!queue.empty() && batch.n_samples < options.max_batch) {
+    batch->predictor = batch->requests.front().predictor;
+    batch->n_samples = batch->requests.front().n_samples;
+    queued_samples -= batch->n_samples;
+    while (!queue.empty() && batch->n_samples < eff_max_batch) {
       Request& next = queue.front();
-      if (next.predictor.get() != batch.predictor.get()) break;
-      if (batch.n_samples + next.n_samples > options.max_batch) break;
-      batch.n_samples += next.n_samples;
+      if (next.predictor.get() != batch->predictor.get()) break;
+      if (batch->n_samples + next.n_samples > eff_max_batch) break;
+      batch->n_samples += next.n_samples;
       queued_samples -= next.n_samples;
-      batch.requests.push_back(std::move(next));
+      batch->requests.push_back(std::move(next));
       queue.pop_front();
+    }
+    {
+      core::MutexLock bm(batch->mu);
+      batch->settled.assign(batch->requests.size(), 0);
     }
     return batch;
   }
@@ -203,6 +391,7 @@ struct InferenceServer::Impl {
   /// Builds the contiguous execution buffer.  One-request batches run
   /// zero-copy on the request's own storage.
   static void coalesce(Batch& batch) {
+    faults::hit(faults::Site::kBatcherCoalesce);
     if (batch.requests.size() == 1) {
       batch.zero_copy = true;
       return;
@@ -216,46 +405,167 @@ struct InferenceServer::Impl {
     }
   }
 
+  /// Coalesces a formed batch under watchdog observation and commits it to
+  /// the batch queue.  An assembly fault fails the batch typed; a fail-over
+  /// that lands mid-assembly (slot abandoned) drops the commit — the
+  /// watchdog already resolved the requests.
+  void assemble_and_commit(Slot* slot, const BatchPtr& batch) {
+    {
+      core::MutexLock sl(slots_mutex);
+      batcher_current = batch;
+      batcher_busy_since_us = to_us(faults::now());
+    }
+    bool assembled = false;
+    try {
+      faults::hit(faults::Site::kBatcherForm);
+      coalesce(*batch);
+      assembled = true;
+    } catch (...) {
+      fail_batch(*batch, as_typed_execution_error(std::current_exception()));
+    }
+    bool committed = false;
+    {
+      core::MutexLock sl(slots_mutex);
+      // If the watchdog abandoned this slot it already cleared the
+      // heartbeat and the replacement may have registered its own batch —
+      // a zombie must not touch the shared batcher state.
+      if (!slot->abandoned.load()) {
+        batcher_current.reset();
+        batcher_busy_since_us = 0;
+        if (assembled) {
+          core::MutexLock bl(batch_mutex);
+          batches.push_back(batch);
+          committed = true;
+        }
+      }
+    }
+    if (committed) {
+      batch_cv.notify_one();
+    } else if (assembled) {
+      // Failed over between assembly and commit: the watchdog resolved the
+      // requests already; this is a settle-guarded no-op backstop.
+      fail_batch(*batch,
+                 std::make_exception_ptr(ServeError(
+                     ErrorCode::kStalled, "batcher failed over mid-batch")));
+    }
+  }
+
   // -- workers ------------------------------------------------------------
 
-  void worker_loop() {
+  void worker_loop(Slot* slot) {
+    const std::size_t my_index = worker_index(slot);
     for (;;) {
-      Batch batch;
+      BatchPtr batch;
       {
         core::UniqueLock bl(batch_mutex);
-        while (!batcher_done && batches.empty()) batch_cv.wait(bl);
+        while (!batcher_done && batches.empty() && !slot->abandoned.load()) {
+          batch_cv.wait(bl);
+        }
+        if (slot->abandoned.load()) return;
         if (batches.empty()) return;  // batcher done and nothing left
         batch = std::move(batches.front());
         batches.pop_front();
       }
-      execute(batch);
+      {
+        core::MutexLock sl(slots_mutex);
+        worker_current[my_index] = batch;
+        worker_busy_since_us[my_index] = to_us(faults::now());
+      }
+      execute(*batch);
+      {
+        core::MutexLock sl(slots_mutex);
+        // An abandoned (failed-over) worker no longer owns its index: the
+        // watchdog cleared it and a replacement may have re-registered.
+        if (slot->abandoned.load()) return;
+        worker_current[my_index].reset();
+        worker_busy_since_us[my_index] = 0;
+      }
     }
   }
 
+  /// The heartbeat arrays are indexed by worker slot position; a respawn
+  /// reuses the slot's index, so a slot pointer maps to its index by
+  /// identity scan (cold path: twice per batch, tiny N).
+  std::size_t worker_index(Slot* slot) {
+    core::MutexLock sl(slots_mutex);
+    for (std::size_t i = 0; i < worker_slots.size(); ++i) {
+      if (worker_slots[i].get() == slot) return i;
+    }
+    return 0;  // unreachable: a live worker is always in the table
+  }
+
   void execute(Batch& batch) {
-    const float* buffer = batch.zero_copy
-                              ? batch.requests.front().features.data()
-                              : batch.coalesced.data();
-    std::vector<std::int32_t> out(batch.n_samples);
+    // Pre-execution deadline sweep: a request that expired while its batch
+    // sat in the batch queue is failed typed, never executed late.  Once
+    // the predict below starts, the batch runs to completion.
+    {
+      const Clock::time_point now = faults::now();
+      core::MutexLock bm(batch.mu);
+      std::vector<std::size_t> missed;
+      bool any_live = false;
+      for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+        if (batch.settled[i]) continue;
+        if (batch.requests[i].deadline < now) {
+          batch.settled[i] = 1;
+          missed.push_back(i);
+        } else {
+          any_live = true;
+        }
+      }
+      if (!missed.empty()) {
+        // Counters before settlement (see the fulfill path below).
+        {
+          core::MutexLock ml(metrics_mutex);
+          metrics.deadline_missed += missed.size();
+          metrics.failed += missed.size();
+        }
+        const auto error = std::make_exception_ptr(ServeError(
+            ErrorCode::kDeadlineExceeded,
+            "deadline expired before execution (queue-time budget "
+            "exhausted)"));
+        for (const std::size_t i : missed) {
+          batch.requests[i].promise.set_exception(error);
+        }
+      }
+      if (!any_live) return;  // whole batch expired: skip the predict
+    }
+    std::vector<std::int32_t> out;
     try {
+      faults::hit(faults::Site::kWorkerExecute);
+      const float* buffer = batch.zero_copy
+                                ? batch.requests.front().features.data()
+                                : batch.coalesced.data();
+      out.resize(batch.n_samples);
       batch.predictor->predict_batch_prevalidated(buffer, batch.n_samples,
                                                   out.data());
     } catch (...) {
-      const std::exception_ptr error = std::current_exception();
-      for (Request& r : batch.requests) r.promise.set_exception(error);
+      fail_batch(batch, as_typed_execution_error(std::current_exception()));
       return;
     }
-    const auto done = Clock::now();
-    // Metrics before fulfillment: a client that observes its result must
-    // also observe the counters/latency of the batch that produced it.
+    const auto done = faults::now();
+    // Settle and account under the batch lock: requests the watchdog
+    // already failed (a stall that resolved late) are skipped, and metrics
+    // are recorded before fulfillment so a client that observes its result
+    // also observes the counters/latency of the batch that produced it.
+    core::MutexLock bm(batch.mu);
+    std::vector<std::size_t> fulfill;
+    fulfill.reserve(batch.requests.size());
+    for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+      if (!batch.settled[i]) {
+        batch.settled[i] = 1;
+        fulfill.push_back(i);
+      }
+    }
     {
       core::MutexLock ml(metrics_mutex);
       ++metrics.batches;
       if (batch.zero_copy) ++metrics.zero_copy_batches;
       ++metrics.batch_size_histogram[histogram_bucket(batch.n_samples)];
       batched_samples += batch.n_samples;
-      for (const Request& r : batch.requests) {
-        const double us = microseconds_between(r.enqueued, done);
+      metrics.completed += fulfill.size();
+      for (const std::size_t i : fulfill) {
+        const double us =
+            microseconds_between(batch.requests[i].enqueued, done);
         if (latencies.size() < kMaxLatencySamples) {
           latencies.push_back(us);
         } else {
@@ -264,13 +574,126 @@ struct InferenceServer::Impl {
         ++latency_cursor;
       }
     }
-    std::size_t offset = 0;
-    for (Request& r : batch.requests) {
+    std::vector<std::size_t> offsets(batch.requests.size() + 1, 0);
+    for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+      offsets[i + 1] = offsets[i] + batch.requests[i].n_samples;
+    }
+    for (const std::size_t i : fulfill) {
       std::vector<std::int32_t> slice(
-          out.begin() + static_cast<std::ptrdiff_t>(offset),
-          out.begin() + static_cast<std::ptrdiff_t>(offset + r.n_samples));
-      offset += r.n_samples;
-      r.promise.set_value(std::move(slice));
+          out.begin() + static_cast<std::ptrdiff_t>(offsets[i]),
+          out.begin() + static_cast<std::ptrdiff_t>(offsets[i + 1]));
+      batch.requests[i].promise.set_value(std::move(slice));
+    }
+  }
+
+  /// Fails every not-yet-settled request of `batch` with `error`.
+  void fail_batch(Batch& batch, const std::exception_ptr& error) {
+    core::MutexLock bm(batch.mu);
+    std::vector<std::size_t> to_fail;
+    for (std::size_t i = 0; i < batch.requests.size(); ++i) {
+      if (batch.settled[i]) continue;
+      batch.settled[i] = 1;
+      to_fail.push_back(i);
+    }
+    if (to_fail.empty()) return;
+    {
+      core::MutexLock ml(metrics_mutex);
+      metrics.failed += to_fail.size();
+    }
+    for (const std::size_t i : to_fail) {
+      batch.requests[i].promise.set_exception(error);
+    }
+  }
+
+  // -- watchdog -----------------------------------------------------------
+
+  void watchdog_loop() {
+    const auto period = std::chrono::microseconds(std::clamp<std::uint32_t>(
+        options.stall_timeout_us / 8, 2'000, 250'000));
+    core::UniqueLock sl(slots_mutex);
+    while (!watchdog_stop) {
+      slots_cv.wait_for(sl, period);
+      if (watchdog_stop) break;
+      const std::int64_t now = to_us(faults::now());
+      if (is_stalled(batcher_busy_since_us, now)) {
+        fail_over_batcher_locked();
+      }
+      for (std::size_t i = 0; i < worker_slots.size(); ++i) {
+        if (is_stalled(worker_busy_since_us[i], now)) {
+          fail_over_worker_locked(i);
+        }
+      }
+      // Reap fail-over threads that have since come back and exited.
+      for (auto it = zombies.begin(); it != zombies.end();) {
+        if ((*it)->done.load()) {
+          (*it)->thread.join();
+          it = zombies.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool is_stalled(std::int64_t busy_since_us,
+                                std::int64_t now_us) const {
+    return busy_since_us != 0 &&
+           now_us - busy_since_us >
+               static_cast<std::int64_t>(options.stall_timeout_us);
+  }
+
+  void fail_over_batcher_locked() FLINT_REQUIRES(slots_mutex) {
+    BatchPtr stranded = std::move(batcher_current);
+    batcher_current.reset();
+    batcher_busy_since_us = 0;
+    batcher_slot->abandoned.store(true);
+    zombies.push_back(std::move(batcher_slot));
+    batcher_slot = std::make_unique<Slot>();
+    spawn_batcher_locked(batcher_slot.get());
+    queue_cv.notify_all();  // the replacement may have work waiting
+    if (stranded) {
+      fail_batch(*stranded,
+                 std::make_exception_ptr(ServeError(
+                     ErrorCode::kStalled,
+                     "batcher stalled mid-batch; failed over and respawned")));
+    }
+    core::MutexLock ml(metrics_mutex);
+    ++metrics.batcher_restarts;
+  }
+
+  void fail_over_worker_locked(std::size_t index) FLINT_REQUIRES(slots_mutex) {
+    BatchPtr stranded = std::move(worker_current[index]);
+    worker_current[index].reset();
+    worker_busy_since_us[index] = 0;
+    worker_slots[index]->abandoned.store(true);
+    zombies.push_back(std::move(worker_slots[index]));
+    worker_slots[index] = std::make_unique<Slot>();
+    spawn_worker_locked(worker_slots[index].get());
+    if (stranded) {
+      fail_batch(*stranded,
+                 std::make_exception_ptr(ServeError(
+                     ErrorCode::kStalled,
+                     "worker stalled mid-batch; failed over and respawned")));
+    }
+    core::MutexLock ml(metrics_mutex);
+    ++metrics.worker_restarts;
+  }
+
+  /// Fails requests displaced from the queue by priority eviction.  Called
+  /// outside queue_mutex.
+  void fail_victims(std::vector<Request> victims) {
+    if (victims.empty()) return;
+    const auto error = std::make_exception_ptr(ServeError(
+        ErrorCode::kOverloaded,
+        "evicted from the queue by higher-priority work",
+        std::max<std::uint32_t>(1000, options.max_delay_us * 2)));
+    {
+      core::MutexLock ml(metrics_mutex);
+      metrics.evicted += victims.size();
+      metrics.failed += victims.size();
+    }
+    for (Request& victim : victims) {
+      victim.promise.set_exception(error);
     }
   }
 
@@ -284,21 +707,46 @@ struct InferenceServer::Impl {
       stopping = true;
     }
     queue_cv.notify_all();
+    // Retire the watchdog first so no fail-over races the joins below.
+    {
+      core::MutexLock slk(slots_mutex);
+      watchdog_stop = true;
+    }
+    slots_cv.notify_all();
+    if (watchdog_thread.joinable()) watchdog_thread.join();
+    // Wake any injected stall: shutdown never waits out a stall budget.
+    faults::cancel_stalls();
+    std::thread batcher;
+    {
+      core::MutexLock slk(slots_mutex);
+      if (batcher_slot) batcher = std::move(batcher_slot->thread);
+    }
     // joinable() guards the partially-constructed case (ctor cleanup).
-    if (batcher_thread.joinable()) {
-      batcher_thread.join();  // drains the request queue into final batches
+    if (batcher.joinable()) {
+      batcher.join();  // drains the request queue into final batches
     } else {
       core::MutexLock bl(batch_mutex);
       batcher_done = true;  // no batcher ever ran to set it
     }
     batch_cv.notify_all();
-    for (auto& t : worker_threads) {
-      if (t.joinable()) t.join();  // drain the batch queue
+    std::vector<std::thread> threads;
+    {
+      core::MutexLock slk(slots_mutex);
+      for (auto& slot : worker_slots) {
+        if (slot) threads.push_back(std::move(slot->thread));
+      }
+      for (auto& zombie : zombies) {
+        threads.push_back(std::move(zombie->thread));
+      }
+    }
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();  // drain the batch queue; reap fail-overs
     }
     joined = true;
   }
 
   ServeOptions options;
+  const unsigned n_workers;
 
   // core::Mutex + condition_variable_any (not std::mutex/_variable): the
   // annotated wrapper is what makes these GUARDED_BY proofs checkable —
@@ -307,12 +755,30 @@ struct InferenceServer::Impl {
   std::condition_variable_any queue_cv;
   std::deque<Request> queue FLINT_GUARDED_BY(queue_mutex);
   std::size_t queued_samples FLINT_GUARDED_BY(queue_mutex) = 0;
+  /// Tightest deadline across the queue; may run stale-early after an
+  /// eviction or batch formation (causing at worst a premature flush,
+  /// never a late sweep) and is recomputed exactly by every sweep.
+  Clock::time_point earliest_deadline FLINT_GUARDED_BY(queue_mutex) =
+      Clock::time_point::max();
   bool stopping FLINT_GUARDED_BY(queue_mutex) = false;
 
   core::Mutex batch_mutex;
   std::condition_variable_any batch_cv;
-  std::deque<Batch> batches FLINT_GUARDED_BY(batch_mutex);
+  std::deque<BatchPtr> batches FLINT_GUARDED_BY(batch_mutex);
   bool batcher_done FLINT_GUARDED_BY(batch_mutex) = false;
+
+  // Watchdog-visible pipeline state: the stage slots, their progress
+  // heartbeats, and the fail-over zombie list.
+  core::Mutex slots_mutex;
+  std::condition_variable_any slots_cv;
+  std::unique_ptr<Slot> batcher_slot FLINT_GUARDED_BY(slots_mutex);
+  std::vector<std::unique_ptr<Slot>> worker_slots FLINT_GUARDED_BY(slots_mutex);
+  BatchPtr batcher_current FLINT_GUARDED_BY(slots_mutex);
+  std::int64_t batcher_busy_since_us FLINT_GUARDED_BY(slots_mutex) = 0;
+  std::vector<BatchPtr> worker_current FLINT_GUARDED_BY(slots_mutex);
+  std::vector<std::int64_t> worker_busy_since_us FLINT_GUARDED_BY(slots_mutex);
+  std::vector<std::unique_ptr<Slot>> zombies FLINT_GUARDED_BY(slots_mutex);
+  bool watchdog_stop FLINT_GUARDED_BY(slots_mutex) = false;
 
   core::Mutex metrics_mutex;
   ServeMetrics metrics FLINT_GUARDED_BY(metrics_mutex);
@@ -323,8 +789,7 @@ struct InferenceServer::Impl {
   core::Mutex stop_mutex;
   bool joined FLINT_GUARDED_BY(stop_mutex) = false;
 
-  std::thread batcher_thread;
-  std::vector<std::thread> worker_threads;
+  std::thread watchdog_thread;
 };
 
 InferenceServer::InferenceServer(const ServeOptions& options)
@@ -336,6 +801,10 @@ InferenceServer::InferenceServer(const ServeOptions& options)
     throw std::invalid_argument(
         "InferenceServer: queue_capacity must be >= 1");
   }
+  if (options_.sample_capacity == 0) {
+    throw std::invalid_argument(
+        "InferenceServer: sample_capacity must be >= 1");
+  }
   impl_ = std::make_unique<Impl>(options_);
 }
 
@@ -346,20 +815,23 @@ InferenceServer::~InferenceServer() {
 void InferenceServer::stop() { impl_->stop(); }
 
 unsigned InferenceServer::worker_count() const noexcept {
-  return static_cast<unsigned>(impl_->worker_threads.size());
+  return impl_->n_workers;
 }
 
 std::future<std::vector<std::int32_t>> InferenceServer::submit(
     std::span<const float> features, std::size_t n_samples,
-    std::string_view model) {
+    std::string_view model, const SubmitOptions& submit_options) {
   std::promise<std::vector<std::int32_t>> promise;
   std::future<std::vector<std::int32_t>> future = promise.get_future();
   // Rejection path: the typed error rides the future, so a bad request
   // fails alone — by construction it is never enqueued, never batched.
-  const auto reject = [&](std::exception_ptr error) {
+  const auto reject = [&](std::exception_ptr error, bool is_shed = false) {
+    {
+      core::MutexLock ml(impl_->metrics_mutex);
+      ++impl_->metrics.rejected;
+      if (is_shed) ++impl_->metrics.shed;
+    }
     promise.set_exception(std::move(error));
-    core::MutexLock ml(impl_->metrics_mutex);
-    ++impl_->metrics.rejected;
     return std::move(future);
   };
 
@@ -398,31 +870,112 @@ std::future<std::vector<std::int32_t>> InferenceServer::submit(
     return future;
   }
 
+  const auto now = faults::now();
+  Impl::Request request;
+  request.predictor = std::move(entry.predictor);
+  request.n_samples = n_samples;
+  request.enqueued = now;
+  request.priority = submit_options.priority;
+  if (submit_options.deadline_us > 0) {
+    request.deadline =
+        now + std::chrono::microseconds(submit_options.deadline_us);
+  }
+
+  // Backoff hint for shed work, scaled by how deep the degrade ladder is.
+  const auto retry_hint = [&](int level) {
+    return std::max<std::uint32_t>(
+        1000, options_.max_delay_us * static_cast<std::uint32_t>(1 + level));
+  };
+
+  std::vector<Impl::Request> victims;
   {
     core::UniqueLock lk(impl_->queue_mutex);
     if (impl_->stopping) {
       lk.unlock();
       return reject(std::make_exception_ptr(
-          std::runtime_error("serve: server is stopped")));
+          ServeError(ErrorCode::kStopped, "server is stopped")));
     }
-    if (impl_->queue.size() >= options_.queue_capacity) {
+    const int level = degrade_level_from(impl_->queued_samples,
+                                         impl_->queue.size(), options_);
+    // Cost-aware admission: a request that alone exceeds the sample bound
+    // can never be admitted, whatever the queue looks like.
+    if (n_samples > options_.sample_capacity) {
       lk.unlock();
-      return reject(std::make_exception_ptr(std::runtime_error(
-          "serve: request queue full (" +
-          std::to_string(options_.queue_capacity) + " requests)")));
+      return reject(
+          std::make_exception_ptr(ServeError(
+              ErrorCode::kOverloaded,
+              "request of " + std::to_string(n_samples) +
+                  " samples exceeds sample_capacity " +
+                  std::to_string(options_.sample_capacity),
+              retry_hint(level))),
+          /*is_shed=*/true);
     }
-    Impl::Request request;
-    request.predictor = std::move(entry.predictor);
+    // Degrade ladder, step 3: at the top of the ladder low-priority work
+    // is shed outright, before the hard bounds are even consulted.
+    if (level >= 3 && request.priority == Priority::kLow) {
+      lk.unlock();
+      return reject(std::make_exception_ptr(ServeError(
+                        ErrorCode::kOverloaded,
+                        "shedding low-priority work (degrade level " +
+                            std::to_string(level) + ")",
+                        retry_hint(level))),
+                    /*is_shed=*/true);
+    }
+    bool over_requests = impl_->queue.size() >= options_.queue_capacity;
+    bool over_samples =
+        impl_->queued_samples + n_samples > options_.sample_capacity;
+    if ((over_requests || over_samples) &&
+        options_.shed_policy == ShedPolicy::kPriorityEvict) {
+      // Evict queued strictly-lower-priority work, youngest first, until
+      // the incoming request fits (or no eligible victims remain).
+      std::size_t i = impl_->queue.size();
+      while (i > 0 && (impl_->queue.size() >= options_.queue_capacity ||
+                       impl_->queued_samples + n_samples >
+                           options_.sample_capacity)) {
+        --i;
+        if (impl_->queue[i].priority > request.priority) {
+          impl_->queued_samples -= impl_->queue[i].n_samples;
+          victims.push_back(std::move(impl_->queue[i]));
+          impl_->queue.erase(impl_->queue.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        }
+      }
+      over_requests = impl_->queue.size() >= options_.queue_capacity;
+      over_samples =
+          impl_->queued_samples + n_samples > options_.sample_capacity;
+    }
+    if (over_requests || over_samples) {
+      lk.unlock();
+      std::exception_ptr error;
+      if (over_requests) {
+        error = std::make_exception_ptr(ServeError(
+            ErrorCode::kQueueFull,
+            "request queue full (" + std::to_string(options_.queue_capacity) +
+                " requests)",
+            retry_hint(level)));
+      } else {
+        error = std::make_exception_ptr(ServeError(
+            ErrorCode::kOverloaded,
+            "sample capacity exhausted (" +
+                std::to_string(options_.sample_capacity) +
+                " samples queued)",
+            retry_hint(level)));
+      }
+      auto rejected_future = reject(std::move(error), /*is_shed=*/true);
+      impl_->fail_victims(std::move(victims));
+      return rejected_future;
+    }
     request.features.assign(features.begin(), features.end());
     predict::apply_missing_rewrites<float>(policy, request.features);
-    request.n_samples = n_samples;
     request.promise = std::move(promise);
-    request.enqueued = Clock::now();
     impl_->queue.push_back(std::move(request));
     impl_->queued_samples += n_samples;
+    impl_->earliest_deadline =
+        std::min(impl_->earliest_deadline, impl_->queue.back().deadline);
     const std::size_t depth = impl_->queue.size();
     lk.unlock();
     impl_->queue_cv.notify_one();
+    impl_->fail_victims(std::move(victims));
     core::MutexLock ml(impl_->metrics_mutex);
     ++impl_->metrics.requests;
     impl_->metrics.samples += n_samples;
@@ -445,6 +998,24 @@ ServeMetrics InferenceServer::metrics() const {
             : 0.0;
     window = impl_->latencies;
   }
+  bool draining = false;
+  {
+    core::MutexLock lk(impl_->queue_mutex);
+    snapshot.queued_samples = impl_->queued_samples;
+    snapshot.degrade_level = degrade_level_from(
+        impl_->queued_samples, impl_->queue.size(), options_);
+    draining = impl_->stopping;
+  }
+  bool fail_over_outstanding = false;
+  {
+    core::MutexLock sl(impl_->slots_mutex);
+    fail_over_outstanding = !impl_->zombies.empty();
+  }
+  snapshot.faults_injected = faults::fired_total();
+  snapshot.health = draining ? HealthState::kDraining
+                    : (snapshot.degrade_level > 0 || fail_over_outstanding)
+                        ? HealthState::kDegraded
+                        : HealthState::kHealthy;
   if (!window.empty()) {
     std::sort(window.begin(), window.end());
     const auto quantile = [&](double q) {
@@ -470,7 +1041,23 @@ void add_serve_metrics(harness::BenchJson& json, const ServeMetrics& metrics,
   json.set(prefix + "batches", static_cast<std::int64_t>(metrics.batches));
   json.set(prefix + "zero_copy_batches",
            static_cast<std::int64_t>(metrics.zero_copy_batches));
+  json.set(prefix + "completed",
+           static_cast<std::int64_t>(metrics.completed));
+  json.set(prefix + "failed", static_cast<std::int64_t>(metrics.failed));
+  json.set(prefix + "deadline_missed",
+           static_cast<std::int64_t>(metrics.deadline_missed));
+  json.set(prefix + "shed", static_cast<std::int64_t>(metrics.shed));
+  json.set(prefix + "evicted", static_cast<std::int64_t>(metrics.evicted));
+  json.set(prefix + "worker_restarts",
+           static_cast<std::int64_t>(metrics.worker_restarts));
+  json.set(prefix + "batcher_restarts",
+           static_cast<std::int64_t>(metrics.batcher_restarts));
+  json.set(prefix + "faults_injected",
+           static_cast<std::int64_t>(metrics.faults_injected));
+  json.set(prefix + "degrade_level", metrics.degrade_level);
+  json.set(prefix + "health", std::string(to_string(metrics.health)));
   json.set(prefix + "max_queue_depth", metrics.max_queue_depth);
+  json.set(prefix + "queued_samples", metrics.queued_samples);
   json.set(prefix + "mean_batch_samples", metrics.mean_batch_samples);
   json.set(prefix + "p50_latency_us", metrics.p50_latency_us);
   json.set(prefix + "p99_latency_us", metrics.p99_latency_us);
@@ -480,6 +1067,44 @@ void add_serve_metrics(harness::BenchJson& json, const ServeMetrics& metrics,
     json.set(prefix + "batch_hist_p2_" + std::to_string(b),
              static_cast<std::int64_t>(metrics.batch_size_histogram[b]));
   }
+}
+
+std::string serve_metrics_json(const ServeMetrics& metrics) {
+  const auto num = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    return std::string(buf);
+  };
+  std::string json = "{";
+  const auto field = [&json](const std::string& key,
+                             const std::string& value, bool quoted = false) {
+    if (json.size() > 1) json += ",";
+    json += "\"" + key + "\":";
+    json += quoted ? "\"" + value + "\"" : value;
+  };
+  field("health", to_string(metrics.health), /*quoted=*/true);
+  field("degrade_level", std::to_string(metrics.degrade_level));
+  field("requests", std::to_string(metrics.requests));
+  field("rejected", std::to_string(metrics.rejected));
+  field("samples", std::to_string(metrics.samples));
+  field("batches", std::to_string(metrics.batches));
+  field("zero_copy_batches", std::to_string(metrics.zero_copy_batches));
+  field("completed", std::to_string(metrics.completed));
+  field("failed", std::to_string(metrics.failed));
+  field("deadline_missed", std::to_string(metrics.deadline_missed));
+  field("shed", std::to_string(metrics.shed));
+  field("evicted", std::to_string(metrics.evicted));
+  field("worker_restarts", std::to_string(metrics.worker_restarts));
+  field("batcher_restarts", std::to_string(metrics.batcher_restarts));
+  field("faults_injected", std::to_string(metrics.faults_injected));
+  field("max_queue_depth", std::to_string(metrics.max_queue_depth));
+  field("queued_samples", std::to_string(metrics.queued_samples));
+  field("mean_batch_samples", num(metrics.mean_batch_samples));
+  field("p50_latency_us", num(metrics.p50_latency_us));
+  field("p99_latency_us", num(metrics.p99_latency_us));
+  field("max_latency_us", num(metrics.max_latency_us));
+  json += "}";
+  return json;
 }
 
 }  // namespace flint::serve

@@ -8,33 +8,54 @@
 //   submit() ──> MPSC request queue ──> batcher ──> batch queue ──> workers
 //                (mutex + cv)           (dynamic      (mutex + cv)  (drain via
 //                                       micro-batch)               Predictor)
+//                      ▲ admission control        ▲ watchdog (stall detection,
+//                        + deadline sweep           fail-over, respawn)
 //
-//   * the batcher flushes a formed batch when either `max_batch` samples are
-//     queued or the oldest queued request has waited `max_delay_us`,
+//   * the batcher flushes a formed batch when `max_batch` samples are
+//     queued, when the oldest queued request has waited `max_delay_us`, or
+//     when the tightest per-request deadline in the queue is reached —
 //     whichever comes first; a batch holding a single request executes
-//     zero-copy, directly on that request's own buffer instead of a
-//     coalesced one — in particular a request that alone fills a block
-//     flushes immediately and is never re-copied;
-//   * workers drain formed batches through the existing
-//     Predictor::predict_batch_prevalidated fast path — validation (shape +
-//     NaN) happened per request at submit(), so a poisoned request fails
-//     only its own future and never reaches a batch its neighbors share;
-//   * every submit() returns a std::future that carries either the
-//     predictions or the typed error (std::invalid_argument for shape/NaN/
-//     unknown-model rejection, std::runtime_error for queue-full and
-//     post-shutdown submits);
+//     zero-copy, directly on that request's own buffer;
+//   * per-request deadlines (SubmitOptions::deadline_us) bound time spent
+//     in the queue: a request whose deadline expires before dispatch is
+//     swept and failed with ErrorCode::kDeadlineExceeded instead of being
+//     executed late (a dispatched batch always runs to completion);
+//   * admission control bounds both queued requests (queue_capacity) and
+//     queued samples (sample_capacity — a single huge request cannot buy
+//     unbounded memory), sheds lowest-priority work first under
+//     ShedPolicy::kPriorityEvict, and under sustained overload walks a
+//     degrade ladder (shrink max_delay_us -> force larger batches -> shed
+//     low-priority admissions) driven by queue pressure;
+//   * every submit() returns a std::future carrying either the predictions
+//     or a typed error: std::invalid_argument for malformed requests
+//     (shape/NaN/unknown model), serve::ServeError (serve/errors.hpp) for
+//     every server condition — queue-full, overload shed, post-stop
+//     submit, deadline miss, watchdog fail-over, execution failure;
 //   * models live in a ModelRegistry: named, versioned, hot-swappable.  A
 //     request pins its predictor snapshot (shared_ptr) at submit time and a
 //     batch only coalesces requests pinned to the same snapshot, so a swap
-//     under load can never produce a result from a half-swapped model —
-//     in-flight batches simply finish on the predictor they started with;
+//     under load can never produce a result from a half-swapped model; a
+//     failed install (verification, allocation, injected fault) leaves the
+//     last-good entry serving;
+//   * a watchdog thread monitors batcher/worker progress: a stage stuck in
+//     one batch past stall_timeout_us is failed over — only the affected
+//     requests error (ErrorCode::kStalled), a replacement thread respawns,
+//     and the stalled thread is reaped when it comes back.  Health is a
+//     healthy/degraded/draining state machine exposed via metrics();
+//   * deterministic fault points for all of the above live in
+//     serve/faults.hpp (FLINT_FAULTS builds; no-ops otherwise) and the
+//     chaos suite tests/test_resilience.cpp holds the resilience contract:
+//     no request is ever silently dropped — every accepted future resolves
+//     exactly once, to a result or one typed error;
 //   * stop() (and the destructor) drains: queued requests are flushed into
-//     final batches and completed, never dropped.
+//     final batches and completed (or deadline-swept, typed), never
+//     dropped.
 //
-// Metrics (request/batch counters, queue depth high-water mark, a log2
-// batch-size histogram and p50/p99/max request latency) are sampled with
-// metrics() and exported through the BENCH_*.json machinery with
-// add_serve_metrics.
+// Metrics (request/batch/shed/deadline/restart counters, queue depth and
+// pressure, health state, a log2 batch-size histogram and p50/p99/max
+// request latency) are sampled with metrics(), exported through the
+// BENCH_*.json machinery with add_serve_metrics, and rendered as one JSON
+// line by serve_metrics_json (the CLI `stats` command).
 #pragma once
 
 #include <array>
@@ -48,6 +69,7 @@
 
 #include "core/thread_annotations.hpp"
 #include "predict/predictor.hpp"
+#include "serve/errors.hpp"
 
 namespace flint::harness {
 class BenchJson;
@@ -68,7 +90,9 @@ struct ModelEntry {
 /// predictor under a name by flipping the shared_ptr inside one lock;
 /// resolve() returns a snapshot whose predictor stays valid (shared
 /// ownership) for as long as the caller holds it, so in-flight work is
-/// never invalidated by a concurrent swap.
+/// never invalidated by a concurrent swap.  install() is strongly
+/// exception-safe: a throw (verification upstream, allocation, injected
+/// fault) leaves the previous entry untouched and serving.
 class ModelRegistry {
  public:
   /// Publishes `predictor` under `name`, replacing any previous version;
@@ -90,19 +114,88 @@ class ModelRegistry {
   std::string default_name_ FLINT_GUARDED_BY(mutex_);
 };
 
-/// Batching/pool knobs of an InferenceServer.
+/// Priority class of a request.  Lower value = more important; admission
+/// control sheds kLow first (degrade ladder), and ShedPolicy::kPriorityEvict
+/// displaces queued lower-priority work to admit higher-priority work.
+enum class Priority : std::uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+
+inline constexpr std::size_t kPriorityClasses = 3;
+
+inline const char* to_string(Priority p) noexcept {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kLow: return "low";
+  }
+  return "unknown";
+}
+
+/// What admission control does when a bound (queue_capacity or
+/// sample_capacity) is hit.
+enum class ShedPolicy : std::uint8_t {
+  /// Reject the incoming request (kQueueFull / kOverloaded on its future).
+  kRejectNew = 0,
+  /// Evict queued strictly-lower-priority requests (youngest first, failed
+  /// with kOverloaded + retry hint) to admit the incoming request; reject
+  /// the incoming request only if no such victims free enough room.
+  kPriorityEvict = 1,
+};
+
+/// Server health as exposed by metrics() and the serve CLI.
+enum class HealthState : std::uint8_t {
+  kHealthy = 0,   ///< no overload pressure, no outstanding fail-over
+  kDegraded = 1,  ///< degrade ladder active and/or a stalled stage is being
+                  ///< replaced; still serving
+  kDraining = 2,  ///< stop() in progress: completing queued work
+};
+
+inline const char* to_string(HealthState s) noexcept {
+  switch (s) {
+    case HealthState::kHealthy: return "healthy";
+    case HealthState::kDegraded: return "degraded";
+    case HealthState::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+/// Batching/pool/resilience knobs of an InferenceServer.
 struct ServeOptions {
   /// Flush a forming batch once this many samples are queued (a single
   /// request at or beyond it flushes immediately).
   std::size_t max_batch = 1024;
   /// Flush once the oldest queued request has waited this long, even if the
-  /// batch is not full; 0 disperses every request as its own batch.
+  /// batch is not full; 0 disperses every request as its own batch.  The
+  /// degrade ladder shrinks the effective value under queue pressure.
   std::uint32_t max_delay_us = 200;
   /// Batch-execution worker threads; 0 means available_parallelism().
   unsigned workers = 1;
-  /// submit() rejects (queue-full error on the future) beyond this many
-  /// queued requests — the backpressure bound.
+  /// submit() rejects (ErrorCode::kQueueFull) beyond this many queued
+  /// requests — the request-count backpressure bound.
   std::size_t queue_capacity = 65536;
+  /// submit() sheds (ErrorCode::kOverloaded) beyond this many queued
+  /// *samples* — the cost-aware admission bound; without it one huge
+  /// request slips past the request-count bound.
+  std::size_t sample_capacity = std::size_t{1} << 20;
+  /// What to do when a bound is hit (see ShedPolicy).
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+  /// Watchdog fail-over threshold: a batcher/worker stuck in one batch for
+  /// longer than this is failed over and respawned.  0 disables the
+  /// watchdog.  Keep generous: it must only ever fire on a genuinely
+  /// wedged stage, not on a slow batch.
+  std::uint32_t stall_timeout_us = 10'000'000;
+};
+
+/// Per-request submit options (deadline + priority class).
+struct SubmitOptions {
+  /// Queue-time budget in microseconds, relative to submit(); 0 = none.
+  /// A request still waiting (request queue or batch queue) when the
+  /// budget expires is swept and failed with ErrorCode::kDeadlineExceeded;
+  /// once a worker begins executing its batch the request runs to
+  /// completion even if the result lands after the deadline.  The batcher
+  /// flushes a forming batch early enough (small fixed headroom) for the
+  /// tightest queued deadline to make dispatch.
+  std::uint64_t deadline_us = 0;
+  Priority priority = Priority::kNormal;
 };
 
 /// Number of log2 buckets of the batch-size histogram (bucket i counts
@@ -112,13 +205,34 @@ inline constexpr std::size_t kBatchHistogramBuckets = 24;
 /// Point-in-time counters and latency percentiles of a server.
 struct ServeMetrics {
   std::uint64_t requests = 0;          ///< accepted into the queue
-  std::uint64_t rejected = 0;          ///< failed validation/backpressure
+  std::uint64_t rejected = 0;          ///< failed at submit: validation,
+                                       ///< backpressure, shed, stopped
   std::uint64_t samples = 0;           ///< samples across accepted requests
   std::uint64_t batches = 0;           ///< batches executed
   /// Single-request batches, executed on the request's own buffer without
   /// a coalescing copy (batch-1 dispatch configs count every batch here).
   std::uint64_t zero_copy_batches = 0;
+  std::uint64_t completed = 0;         ///< accepted requests fulfilled with
+                                       ///< a result
+  std::uint64_t failed = 0;            ///< accepted requests failed with a
+                                       ///< typed error (= deadline_missed +
+                                       ///< evicted + stall/execution
+                                       ///< failures)
+  std::uint64_t deadline_missed = 0;   ///< accepted, then swept expired
+  std::uint64_t shed = 0;              ///< rejections due to load (queue and
+                                       ///< sample bounds, degrade ladder,
+                                       ///< eviction shortfall) — subset of
+                                       ///< rejected
+  std::uint64_t evicted = 0;           ///< accepted, then displaced by
+                                       ///< higher-priority work
+  std::uint64_t worker_restarts = 0;   ///< watchdog worker fail-overs
+  std::uint64_t batcher_restarts = 0;  ///< watchdog batcher fail-overs
+  std::uint64_t faults_injected = 0;   ///< process-wide faults fired
+                                       ///< (FLINT_FAULTS builds; else 0)
   std::size_t max_queue_depth = 0;     ///< request-queue high-water mark
+  std::size_t queued_samples = 0;      ///< gauge at snapshot time
+  int degrade_level = 0;               ///< gauge: 0 normal .. 3 shedding
+  HealthState health = HealthState::kHealthy;
   double mean_batch_samples = 0.0;
   double p50_latency_us = 0.0;  ///< submit -> future-fulfilled, per request
   double p99_latency_us = 0.0;
@@ -131,8 +245,8 @@ struct ServeMetrics {
 /// producer threads.
 class InferenceServer {
  public:
-  /// Starts the batcher and worker threads immediately.  Models are
-  /// installed through registry(); submits before the first install are
+  /// Starts the batcher, worker and watchdog threads immediately.  Models
+  /// are installed through registry(); submits before the first install are
   /// rejected with a typed error on the future.
   explicit InferenceServer(const ServeOptions& options = {});
   /// stop()s (drains, never drops) and joins.
@@ -146,18 +260,23 @@ class InferenceServer {
   /// Enqueues `n_samples` row-major samples against `model` (empty = the
   /// default model) and returns the future of their predictions, in order.
   /// `features` is copied, so the caller's buffer may be reused as soon as
-  /// submit returns.  Rejection (bad shape, NaN feature, unknown model,
-  /// queue full, server stopped) is delivered as the future's exception and
-  /// fails only this request.  n_samples == 0 resolves immediately.
+  /// submit returns.  Rejection (bad shape, NaN feature, unknown model —
+  /// std::invalid_argument; queue full, overload shed, server stopped —
+  /// ServeError) is delivered as the future's exception and fails only
+  /// this request.  n_samples == 0 resolves immediately.  `submit_options`
+  /// carries the optional deadline and priority class.
   [[nodiscard]] std::future<std::vector<std::int32_t>> submit(
       std::span<const float> features, std::size_t n_samples,
-      std::string_view model = {});
+      std::string_view model = {},
+      const SubmitOptions& submit_options = {});
 
-  /// Drains every queued request into final batches, completes them, and
+  /// Drains every queued request into final batches and completes them
+  /// (deadline-expired requests are swept with their typed error), then
   /// joins all threads.  Idempotent; implied by the destructor.  Requests
-  /// submitted after (or concurrently with) stop may be rejected, but a
-  /// request whose submit() returned an accepting future is always
-  /// completed.
+  /// submitted after (or concurrently with) stop may be rejected with
+  /// ErrorCode::kStopped, but a request whose submit() returned an
+  /// accepting future is always resolved — result or typed error, exactly
+  /// once.
   void stop();
 
   [[nodiscard]] ServeMetrics metrics() const;
@@ -175,5 +294,9 @@ class InferenceServer {
 /// the serve runtime's export path into the repo's bench artifact tooling.
 void add_serve_metrics(harness::BenchJson& json, const ServeMetrics& metrics,
                        const std::string& prefix = "serve_");
+
+/// Renders a metrics snapshot as one line of JSON (no trailing newline) —
+/// the `stats` command of the serve CLI line protocol.
+[[nodiscard]] std::string serve_metrics_json(const ServeMetrics& metrics);
 
 }  // namespace flint::serve

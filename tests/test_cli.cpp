@@ -165,13 +165,20 @@ TEST_F(CliWorkflow, ServeLineProtocol) {
                                "quit\r\n";
   auto serve = run_cli_with_input(
       {"serve", "--model", model_, "--engine", "encoded", "--max-delay-us",
-       "100", "--workers", "2"},
+       "100", "--workers", "2", "--deadline-us", "30000000", "--priority",
+       "high", "--shed-policy", "priority-evict"},
       protocol);
   ASSERT_EQ(serve.code, 0) << serve.err;
   EXPECT_NE(serve.out.find("serving 'default' v1"), std::string::npos)
       << serve.out;
   EXPECT_NE(serve.out.find("ok "), std::string::npos) << serve.out;
-  EXPECT_NE(serve.out.find("stats: requests="), std::string::npos);
+  // `stats` prints the ServeMetrics snapshot as a single JSON line,
+  // including the health state and shed/deadline-miss counters.
+  EXPECT_NE(serve.out.find("{\"health\":\"healthy\""), std::string::npos)
+      << serve.out;
+  EXPECT_NE(serve.out.find("\"requests\":"), std::string::npos);
+  EXPECT_NE(serve.out.find("\"shed\":0"), std::string::npos);
+  EXPECT_NE(serve.out.find("\"deadline_missed\":0"), std::string::npos);
   EXPECT_NE(serve.out.find("ok swapped 'default' to v2"), std::string::npos);
   EXPECT_NE(serve.out.find("err "), std::string::npos);  // bad swap + floats
   EXPECT_NE(serve.out.find("malformed feature value 'bogus'"),
@@ -183,6 +190,12 @@ TEST_F(CliWorkflow, ServeLineProtocol) {
   // Option validation.
   EXPECT_EQ(run_cli_with_input({"serve", "--model", model_, "--max-batch",
                                 "0"}, "").code, 2);
+  EXPECT_EQ(run_cli_with_input({"serve", "--model", model_, "--deadline-us",
+                                "-1"}, "").code, 2);
+  EXPECT_EQ(run_cli_with_input({"serve", "--model", model_, "--priority",
+                                "urgent"}, "").code, 2);
+  EXPECT_EQ(run_cli_with_input({"serve", "--model", model_, "--shed-policy",
+                                "drop-all"}, "").code, 2);
   EXPECT_EQ(run_cli_with_input({"serve", "--model", "/nonexistent.forest"},
                                "").code, 2);
 }

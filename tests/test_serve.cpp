@@ -2,8 +2,10 @@
 // results must be bit-identical to per-sample Forest::predict under any
 // producer mix; a poisoned request fails alone while coalesced neighbors
 // succeed; hot-swap under load never yields a half-swapped result; and
-// shutdown with a non-empty queue drains instead of dropping.  This suite
-// also runs under TSan in CI (FLINT_SANITIZE_THREAD).
+// shutdown with a non-empty queue drains instead of dropping.  Server-side
+// rejections are asserted by ServeError code, not message text.  This suite
+// also runs under TSan in CI (FLINT_SANITIZE_THREAD); the stop-vs-submit
+// race test below exists specifically for that configuration.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -22,10 +24,27 @@
 
 namespace {
 
+using flint::serve::ErrorCode;
 using flint::serve::InferenceServer;
 using flint::serve::ModelRegistry;
 using flint::serve::PredictorPtr;
+using flint::serve::ServeError;
 using flint::serve::ServeOptions;
+
+/// Resolves `future`, expecting a ServeError; returns its code.
+template <typename Future>
+ErrorCode serve_error_code(Future& future) {
+  try {
+    (void)future.get();
+  } catch (const ServeError& e) {
+    return e.code();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "expected ServeError, got: " << e.what();
+    return ErrorCode::kExecutionFailed;
+  }
+  ADD_FAILURE() << "expected ServeError, future resolved with a value";
+  return ErrorCode::kExecutionFailed;
+}
 
 PredictorPtr wrap(const flint::trees::Forest<float>& forest,
                   const std::string& backend = "encoded") {
@@ -252,7 +271,7 @@ TEST_F(ServeFixture, ShutdownDrainsNonEmptyQueue) {
   }
   // Submits after stop are rejected with a typed error, not lost silently.
   auto late = server.submit(rows_from(0, 1), 1);
-  EXPECT_THROW((void)late.get(), std::runtime_error);
+  EXPECT_EQ(serve_error_code(late), ErrorCode::kStopped);
   // stop() is idempotent.
   EXPECT_NO_THROW(server.stop());
 }
@@ -273,13 +292,98 @@ TEST_F(ServeFixture, BackpressureRejectsBeyondQueueCapacity) {
   try {
     (void)overflow.get();
     FAIL() << "expected queue-full rejection";
-  } catch (const std::runtime_error& e) {
-    EXPECT_NE(std::string(e.what()).find("queue full"), std::string::npos);
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kQueueFull);
+    EXPECT_GT(e.retry_after_us(), 0u);  // Overloaded/QueueFull carry a hint
   }
   server.stop();  // drains the four accepted requests
   for (std::size_t i = 0; i < accepted.size(); ++i) {
     EXPECT_TRUE(matches(ref_a_, i, accepted[i].get()));
   }
+}
+
+// Regression for the backpressure unit bug: queue_capacity bounds queued
+// *requests*, so a few huge requests used to buy unbounded queued memory.
+// sample_capacity closes that hole — admission is cost-aware.
+TEST_F(ServeFixture, BackpressureBoundsQueuedSamples) {
+  ServeOptions opt;
+  opt.max_batch = 1u << 20;
+  opt.max_delay_us = 30'000'000;  // batcher holds the queue during the test
+  opt.workers = 1;
+  opt.queue_capacity = 1024;  // far from binding here
+  opt.sample_capacity = 200;
+  InferenceServer server(opt);
+  server.registry().install("default", wrap(forest_a_));
+  // A single request beyond sample_capacity is never admissible.
+  auto huge = server.submit(rows_from(0, 201), 201);
+  EXPECT_EQ(serve_error_code(huge), ErrorCode::kOverloaded);
+  // 80 samples queued (pressure 0.4: below the degrade ladder, so the
+  // batcher keeps waiting); a further 130 would cross the sample bound
+  // even though the request count (3) is nowhere near queue_capacity.
+  std::vector<std::future<std::vector<std::int32_t>>> accepted;
+  accepted.push_back(server.submit(rows_from(0, 40), 40));
+  accepted.push_back(server.submit(rows_from(40, 40), 40));
+  auto overflow = server.submit(rows_from(80, 130), 130);
+  try {
+    (void)overflow.get();
+    FAIL() << "expected sample-bound shed";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kOverloaded);
+    EXPECT_GT(e.retry_after_us(), 0u);
+  }
+  const auto m = server.metrics();
+  EXPECT_EQ(m.queued_samples, 80u);
+  EXPECT_EQ(m.shed, 2u);
+  server.stop();
+  EXPECT_TRUE(matches(ref_a_, 0, accepted[0].get()));
+  EXPECT_TRUE(matches(ref_a_, 40, accepted[1].get()));
+}
+
+// stop() racing concurrent submit(): every future a producer receives must
+// resolve — a correct result if admitted before the drain, or
+// ErrorCode::kStopped — never a broken promise or a hang.  Runs under TSan
+// in CI.
+TEST_F(ServeFixture, StopVsConcurrentSubmitRace) {
+  ServeOptions opt;
+  opt.max_batch = 32;
+  opt.max_delay_us = 100;
+  opt.workers = 2;
+  InferenceServer server(opt);
+  server.registry().install("default", wrap(forest_a_));
+  std::atomic<bool> go{false};
+  std::atomic<int> wrong{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> stopped{0};
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < 8; ++p) {
+    producers.emplace_back([&, p] {
+      while (!go.load()) std::this_thread::yield();
+      for (std::size_t i = 0; i < 200; ++i) {
+        const std::size_t first = (p * 131 + i * 7) % rows_;
+        auto future = server.submit(rows_from(first, 2), 2);
+        try {
+          auto got = future.get();
+          if (!matches(ref_a_, first, got)) wrong.fetch_add(1);
+          ok.fetch_add(1);
+        } catch (const ServeError& e) {
+          if (e.code() != ErrorCode::kStopped) wrong.fetch_add(1);
+          stopped.fetch_add(1);
+        } catch (...) {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  go.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.stop();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(ok.load() + stopped.load(), 8u * 200u);
+  // Accounting: accepted requests all resolved, one way or the other.
+  const auto m = server.metrics();
+  EXPECT_EQ(m.requests, m.completed + m.failed);
+  EXPECT_EQ(m.health, flint::serve::HealthState::kDraining);
 }
 
 TEST_F(ServeFixture, NamedModelsRouteIndependently) {
