@@ -192,8 +192,12 @@ int cmd_predict(const Args& args, std::ostream& out) {
     // jit:cags-* load the training CSV for branch stats) just to print
     // "n/a".
     if (!predict::is_known_backend(engine_name)) {
-      throw std::invalid_argument("unknown backend '" + engine_name + "' (" +
-                                  predict::backend_help() + ")");
+      std::string msg = "unknown backend '" + engine_name + "'";
+      if (const auto near = predict::suggest_backend(engine_name);
+          !near.empty()) {
+        msg += " (did you mean '" + near + "'?)";
+      }
+      throw std::invalid_argument(msg + " (" + predict::backend_help() + ")");
     }
     if (output_mode == "scores") {
       out << "scored 0 rows x " << model.n_outputs << " outputs (engine: "
@@ -203,9 +207,12 @@ int cmd_predict(const Args& args, std::ostream& out) {
     }
     return 0;
   }
-  // The CAGS codegen backends need branch statistics from training data
-  // (score models route jit:* to the interpreter fallback, no stats).
   std::vector<trees::BranchStats> stats;
+#ifdef FLINT_LEGACY_JIT
+  // The legacy CAGS backends need branch statistics from training data
+  // (score models route legacy jit:* to the interpreter fallback, no
+  // stats).  jit:layout needs nothing extra — the compact image carries
+  // everything the generator reads.
   if (model.is_vote() && engine_name.rfind("jit:cags", 0) == 0) {
     if (stats_csv.empty()) {
       throw std::invalid_argument(
@@ -219,6 +226,10 @@ int cmd_predict(const Args& args, std::ostream& out) {
     stats = trees::collect_branch_stats(model.forest, train);
     popt.branch_stats = stats;
   }
+#else
+  (void)stats;
+  (void)stats_csv;
+#endif
   if (dataset.cols() < model.forest.feature_count()) {
     throw std::invalid_argument("data has fewer features than the model");
   }
@@ -562,6 +573,33 @@ int cmd_inspect(const Args& args, std::ostream& out) {
 }  // namespace
 
 std::string usage() {
+  // The backend listing is composed from the predictor's own vocabulary so
+  // the help text can never drift from make_predictor's dispatch (retired
+  // names disappear here the moment the factory stops accepting them).
+  std::string backends;
+  {
+    std::vector<std::string> names = predict::interpreter_backends();
+    names.emplace_back("flint");
+    for (const auto& list : {predict::simd_backends(),
+                             predict::layout_backends(),
+                             predict::jit_backends()}) {
+      names.insert(names.end(), list.begin(), list.end());
+    }
+    std::string line = "           backends: ";
+    const std::string cont = "                     ";
+    bool first = true;
+    for (const auto& n : names) {
+      if (!first && line.size() + n.size() + 1 > 72) {
+        backends += line + "\n";
+        line = cont;
+        first = true;
+      }
+      if (!first) line += " ";
+      line += n;
+      first = false;
+    }
+    backends += line + "\n";
+  }
   return
       "flint-forest — random forest training, inference and FLInt code "
       "generation\n"
@@ -583,19 +621,15 @@ std::string usage() {
       "  predict  --model <model> --data <csv>\n"
       "           [--engine <backend>] [--threads N] [--batch N]\n"
       "           [--labels yes|no] [--output classes|scores]\n"
-      "           [--train-data <csv>]\n"
-      "           backends: reference float flint encoded theorem1 theorem2\n"
-      "                     radix simd:flint simd:float\n"
-      "                     layout:auto layout:c16 layout:c8\n"
-      "                     jit:ifelse-{float,flint}\n"
-      "                     jit:native-{float,flint} jit:cags-{float,flint}\n"
-      "                     jit:asm-x86\n"
+      "           [--train-data <csv>]\n" +
+      backends +
       "           (--threads 0 = all cores; --batch = samples per cache\n"
-      "           block; jit:cags-* needs --train-data; --output scores\n"
-      "           prints per-sample score vectors for additive leaf-value\n"
-      "           models — GBDT margins/probabilities, soft-vote averages,\n"
-      "           regression values; see docs/ARCHITECTURE.md and\n"
-      "           docs/MODEL_FORMATS.md)\n"
+      "           block; jit:layout compiles a model-specialized module\n"
+      "           from the compact layout image, reused via a content-hash\n"
+      "           compile cache; --output scores prints per-sample score\n"
+      "           vectors for additive leaf-value models — GBDT margins/\n"
+      "           probabilities, soft-vote averages, regression values;\n"
+      "           see docs/ARCHITECTURE.md and docs/MODEL_FORMATS.md)\n"
       "  serve    --model <model> [--engine <backend>] [--max-batch N]\n"
       "           [--max-delay-us N] [--workers N] [--threads N] [--batch N]\n"
       "           [--deadline-us N] [--priority high|normal|low]\n"

@@ -1,0 +1,92 @@
+// codegen/cgen_layout — the layout-artifact code generator (jit:layout).
+//
+// Unlike the legacy flavors, which each re-walked the source Forest, this
+// generator consumes the SAME CompactNode16 image the layout engine
+// executes (built once by exec/artifacts).  Emitted module, one C file:
+//
+//   * per tree within the unroll budget: a fully unrolled if/else function
+//     whose FLInt thresholds are immediates (Theorem 2 applied at generation
+//     time — recovered exactly from the compact image's radix/rank keys);
+//   * per tree over budget: the top hot_depth levels unrolled as an
+//     immediate "hot spine", handing off to a generic walker over an
+//     embedded compact node array (keys widened to full radix width so the
+//     per-sample remap never needs rank tables);
+//   * tile-blocked batch drivers — `<prefix>_predict_batch` (votes + argmax,
+//     lowest class id wins ties) and, for additive-score models,
+//     `<prefix>_accumulate_scores` (base-initialized rows, tree-order
+//     accumulation over an embedded leaf-value table);
+//   * NaN/categorical semantics generated, not fallback-interpreted: for
+//     special forests every numeric node consults a per-sample NaN mask
+//     before its integer compare (a bare radix compare would mis-route
+//     negative NaN bit patterns) and categorical nodes test precomputed
+//     membership masks, exactly mirroring CompactForest::special_masks.
+//
+// Bit-identical to Forest::predict / the layout engine's predict_scores on
+// every input (tests/test_codegen.cpp, tests/test_predictor.cpp,
+// tests/test_missing.cpp).
+#pragma once
+
+#include <span>
+
+#include "codegen/emit.hpp"
+#include "exec/layout/compact.hpp"
+#include "exec/layout/plan.hpp"
+
+namespace flint::codegen {
+
+/// Model semantics for generate_layout.  Vote models need only
+/// `num_classes`; additive-score models (vote == false) embed the leaf
+/// table: `leaf_values` is rows x n_outputs, `base` is the per-output
+/// offset (empty = zeros), and leaf payloads index rows.
+template <typename T>
+struct LayoutCGenSpec {
+  bool vote = true;
+  int num_classes = 0;
+  std::size_t n_outputs = 0;
+  std::span<const T> leaf_values;
+  std::span<const T> base;
+};
+
+struct LayoutCGenOptions {
+  std::string prefix = "forest";
+  /// Samples per generated tile; 0 = use plan.block_size.
+  std::size_t tile = 0;
+  /// Compile-time budget: a tree unrolls fully only while its node count
+  /// stays within per_tree_unroll_nodes AND the module-wide unrolled total
+  /// stays within total_unroll_nodes; over-budget trees degrade to the
+  /// hot-spine + embedded-walker body.
+  std::size_t per_tree_unroll_nodes = 512;
+  std::size_t total_unroll_nodes = 16384;
+  /// Per-tile scratch ceiling; the tile width is halved until the vote/key/
+  /// mask arrays fit (min 4).
+  std::size_t stack_budget_bytes = 48 * 1024;
+  /// Throughput-body layout ceiling: trees at most this deep (and free of
+  /// NaN/categorical specials) are emitted as padded complete-binary BFS
+  /// tables, so the branch-free descent becomes `j = 2j + 1 + carry` with no
+  /// child-offset loads at all.  Deeper trees keep the offset-stepping walk
+  /// (padding doubles per level, so the table would dwarf the real tree).
+  std::size_t complete_depth_max = 10;
+  /// Module-wide padded-slot ceiling across all complete-tree tables, a
+  /// compile-time/source-size budget; trees past it degrade to the
+  /// offset-stepping walk.
+  std::size_t complete_total_slots = std::size_t{1} << 18;
+};
+
+/// Generates the jit:layout module from a packed compact image.  `plan`
+/// supplies hot_depth (spine unroll depth) and the default tile width.
+template <typename T>
+[[nodiscard]] GeneratedCode generate_layout(
+    const exec::layout::CompactForest<T, exec::layout::CompactNode16>& image,
+    const exec::layout::LayoutPlan& plan, const LayoutCGenSpec<T>& spec,
+    const LayoutCGenOptions& options = {});
+
+extern template GeneratedCode generate_layout<float>(
+    const exec::layout::CompactForest<float, exec::layout::CompactNode16>&,
+    const exec::layout::LayoutPlan&, const LayoutCGenSpec<float>&,
+    const LayoutCGenOptions&);
+extern template GeneratedCode generate_layout<double>(
+    const exec::layout::CompactForest<double, exec::layout::CompactNode16>&,
+    const exec::layout::LayoutPlan&, const LayoutCGenSpec<double>&,
+    const LayoutCGenOptions&);
+
+}  // namespace flint::codegen

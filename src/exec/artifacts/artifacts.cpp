@@ -1,0 +1,135 @@
+#include "exec/artifacts/artifacts.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/hash.hpp"
+
+namespace flint::exec::artifacts {
+
+template <typename T>
+ExecArtifacts<T>::ExecArtifacts(const trees::Forest<T>& forest,
+                                std::size_t block_size,
+                                const layout::CacheInfo& cache,
+                                std::optional<layout::NodeWidth> force_width)
+    : forest_(&forest),
+      stats_(trees::forest_stats(forest)),
+      tables_(layout::build_key_tables(forest)) {
+  fit_.ranks_fit_int16 = tables_.fits_int16();
+  fit_.feature_count = forest.feature_count();
+  fit_.num_classes = forest.num_classes();
+  plan_ = layout::auto_plan(stats_, fit_, block_size, cache, force_width);
+}
+
+template <typename T>
+const layout::CompactForest<T, layout::CompactNode16>*
+ExecArtifacts<T>::try_compact16_at(std::size_t hot_depth, std::string* why) {
+  auto it = c16_.find(hot_depth);
+  if (it == c16_.end()) {
+    layout::LayoutPlan plan = plan_;
+    plan.width = layout::NodeWidth::C16;
+    plan.hot_depth = hot_depth;
+    std::string reason;
+    auto packed = layout::try_pack<T, layout::CompactNode16>(*forest_, plan,
+                                                             tables_, &reason);
+    it = c16_.emplace(hot_depth, std::move(packed)).first;
+    c16_why_[hot_depth] = reason;
+  }
+  if (!it->second) {
+    if (why != nullptr) *why = c16_why_[hot_depth];
+    return nullptr;
+  }
+  return &*it->second;
+}
+
+template <typename T>
+const layout::CompactForest<T, layout::CompactNode8>*
+ExecArtifacts<T>::try_compact8_at(std::size_t hot_depth, std::string* why) {
+  auto it = c8_.find(hot_depth);
+  if (it == c8_.end()) {
+    layout::LayoutPlan plan = plan_;
+    plan.width = layout::NodeWidth::C8;
+    plan.hot_depth = hot_depth;
+    std::string reason;
+    auto packed = layout::try_pack<T, layout::CompactNode8>(*forest_, plan,
+                                                            tables_, &reason);
+    it = c8_.emplace(hot_depth, std::move(packed)).first;
+    c8_why_[hot_depth] = reason;
+  }
+  if (!it->second) {
+    if (why != nullptr) *why = c8_why_[hot_depth];
+    return nullptr;
+  }
+  return &*it->second;
+}
+
+template <typename T>
+const layout::CompactForest<T, layout::CompactNode16>&
+ExecArtifacts<T>::compact16() {
+  std::string why;
+  const auto* packed = try_compact16_at(plan_.hot_depth, &why);
+  if (packed == nullptr) {
+    throw std::invalid_argument("ExecArtifacts::compact16: " + why);
+  }
+  return *packed;
+}
+
+template <typename T>
+const layout::CompactForest<T, layout::CompactNode8>&
+ExecArtifacts<T>::compact8() {
+  std::string why;
+  const auto* packed = try_compact8_at(plan_.hot_depth, &why);
+  if (packed == nullptr) {
+    throw std::invalid_argument("ExecArtifacts::compact8: " + why);
+  }
+  return *packed;
+}
+
+template <typename T>
+const FlintForestEngine<T>& ExecArtifacts<T>::packed_engine() {
+  if (!packed_) {
+    packed_.emplace(*forest_, FlintVariant::Encoded);
+  }
+  return *packed_;
+}
+
+template <typename T>
+const simd::SoaForest<T>& ExecArtifacts<T>::soa() {
+  if (!soa_) {
+    soa_.emplace(*forest_);
+    soa_->build_narrow_keys(tables_);
+  }
+  return *soa_;
+}
+
+template <typename T>
+std::uint64_t ExecArtifacts<T>::content_hash() const {
+  if (hash_) return *hash_;
+  core::Fnv1a64 h;
+  h.add(forest_->num_classes());
+  h.add(forest_->feature_count());
+  h.add(forest_->size());
+  for (const auto& tree : forest_->trees()) {
+    h.add(tree.size());
+    for (const auto& node : tree.nodes()) {
+      h.add(node.feature);
+      h.add(core::si_bits(node.split));
+      h.add(node.left);
+      h.add(node.right);
+      h.add(node.prediction);
+      h.add(node.cat_slot);
+      h.add(node.flags);
+    }
+    h.add(tree.cat_slot_count());
+    for (std::int32_t s = 0; s < tree.cat_slot_count(); ++s) {
+      h.add_span(tree.cat_set(s));
+    }
+  }
+  hash_ = h.digest();
+  return *hash_;
+}
+
+template class ExecArtifacts<float>;
+template class ExecArtifacts<double>;
+
+}  // namespace flint::exec::artifacts

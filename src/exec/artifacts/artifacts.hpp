@@ -1,0 +1,112 @@
+// exec/artifacts — the one-stop execution-artifact bundle.
+//
+// Every execution family used to re-derive its own view of the forest at
+// construction time: the wide interpreter packed PackedNode arrays, the SIMD
+// engine built SoA struct-of-arrays, the layout engine ran the auto-tuner
+// and packed CompactNode16/8 images, codegen walked the trees yet again, and
+// verify rebuilt all of them a second time to check images it never actually
+// executed.  ExecArtifacts centralizes that: built once per forest, it owns
+//
+//   * ForestStats            — shape/branch summaries (one DFS),
+//   * KeyTableSet            — per-feature monotone threshold tables,
+//   * NarrowFit + LayoutPlan — the auto-tuner verdict,
+//   * PackedNode image       — via the wide Encoded interpreter engine,
+//   * SoaForest              — SIMD arrays with narrowed keys,
+//   * CompactForest<16/8>    — compact images, cached per hot_depth,
+//   * content_hash           — a structural FNV-1a digest keying the JIT
+//                              compile cache.
+//
+// The eager part of construction is the cheap summary set (stats, tables,
+// plan); each packed image is built lazily on first access and cached, so a
+// predictor binds exactly one image and verify checks the same objects the
+// engines execute.  The bundle borrows the forest — it must outlive the
+// ExecArtifacts object (engines that need to survive the forest copy their
+// image out, as LayoutForestEngine's bind constructor does).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "exec/interpreter.hpp"
+#include "exec/layout/compact.hpp"
+#include "exec/layout/narrow.hpp"
+#include "exec/layout/plan.hpp"
+#include "exec/simd/soa.hpp"
+#include "trees/forest.hpp"
+#include "trees/tree_stats.hpp"
+
+namespace flint::exec::artifacts {
+
+template <typename T>
+class ExecArtifacts {
+ public:
+  /// Builds the summary artifacts (stats, key tables, narrowing fit, layout
+  /// plan).  Packed images are built lazily.  `forest` is borrowed.
+  explicit ExecArtifacts(
+      const trees::Forest<T>& forest, std::size_t block_size = 64,
+      const layout::CacheInfo& cache = layout::detect_cache_info(),
+      std::optional<layout::NodeWidth> force_width = std::nullopt);
+
+  [[nodiscard]] const trees::Forest<T>& forest() const noexcept {
+    return *forest_;
+  }
+  [[nodiscard]] const trees::ForestStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const layout::KeyTableSet<T>& tables() const noexcept {
+    return tables_;
+  }
+  [[nodiscard]] const layout::NarrowFit& fit() const noexcept { return fit_; }
+  [[nodiscard]] const layout::LayoutPlan& plan() const noexcept {
+    return plan_;
+  }
+
+  /// Compact images at a given hot_depth (cached per depth).  The plain
+  /// accessors pack at plan().hot_depth and throw std::invalid_argument with
+  /// the packer's reason when the model is not representable at that width;
+  /// the try_ variants return nullptr and set `why` instead (verify walks
+  /// every width without aborting).
+  const layout::CompactForest<T, layout::CompactNode16>& compact16();
+  const layout::CompactForest<T, layout::CompactNode8>& compact8();
+  const layout::CompactForest<T, layout::CompactNode16>* try_compact16_at(
+      std::size_t hot_depth, std::string* why = nullptr);
+  const layout::CompactForest<T, layout::CompactNode8>* try_compact8_at(
+      std::size_t hot_depth, std::string* why = nullptr);
+
+  /// The wide interpreter's packed image, via the Encoded engine (cached).
+  const FlintForestEngine<T>& packed_engine();
+
+  /// SIMD struct-of-arrays image with narrow keys built (cached).
+  const simd::SoaForest<T>& soa();
+
+  /// Structural content digest: forest topology, threshold bits, flags,
+  /// category bitsets, leaf payloads, class/feature counts.  Any split
+  /// mutation changes it.  Used (combined with model semantics and compiler
+  /// options) as the JIT compile-cache key.  Cached after first call.
+  [[nodiscard]] std::uint64_t content_hash() const;
+
+ private:
+  const trees::Forest<T>* forest_;
+  trees::ForestStats stats_;
+  layout::KeyTableSet<T> tables_;
+  layout::NarrowFit fit_;
+  layout::LayoutPlan plan_;
+  std::map<std::size_t,
+           std::optional<layout::CompactForest<T, layout::CompactNode16>>>
+      c16_;
+  std::map<std::size_t,
+           std::optional<layout::CompactForest<T, layout::CompactNode8>>>
+      c8_;
+  std::map<std::size_t, std::string> c16_why_;
+  std::map<std::size_t, std::string> c8_why_;
+  std::optional<FlintForestEngine<T>> packed_;
+  std::optional<simd::SoaForest<T>> soa_;
+  mutable std::optional<std::uint64_t> hash_;
+};
+
+extern template class ExecArtifacts<float>;
+extern template class ExecArtifacts<double>;
+
+}  // namespace flint::exec::artifacts

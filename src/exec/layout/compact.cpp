@@ -638,6 +638,40 @@ LayoutForestEngine<T>::LayoutForestEngine(const trees::Forest<T>& forest,
 }
 
 template <typename T>
+template <typename Node>
+void LayoutForestEngine<T>::bind_packed(CompactForest<T, Node> packed) {
+  if (packed.nodes.empty()) {
+    throw std::invalid_argument("LayoutForestEngine: empty packed image");
+  }
+  plan_.block_size = std::max<std::size_t>(plan_.block_size, 1);
+  plan_.interleave =
+      std::clamp<std::size_t>(plan_.interleave, 1, kMaxInterleave);
+  node_bytes_ = sizeof(Node);
+  hot_nodes_ = packed.hot_nodes;
+  num_classes_ = packed.num_classes;
+  feature_count_ = packed.feature_count;
+  tree_count_ = packed.roots.size();
+  node_count_ = packed.nodes.size();
+  packed_ = std::move(packed);
+}
+
+template <typename T>
+LayoutForestEngine<T>::LayoutForestEngine(
+    CompactForest<T, CompactNode16> packed, const LayoutPlan& plan)
+    : plan_(plan) {
+  plan_.width = NodeWidth::C16;
+  bind_packed(std::move(packed));
+}
+
+template <typename T>
+LayoutForestEngine<T>::LayoutForestEngine(CompactForest<T, CompactNode8> packed,
+                                          const LayoutPlan& plan)
+    : plan_(plan) {
+  plan_.width = NodeWidth::C8;
+  bind_packed(std::move(packed));
+}
+
+template <typename T>
 void LayoutForestEngine<T>::predict_batch(const T* features,
                                           std::size_t n_samples,
                                           std::int32_t* out) const {

@@ -235,6 +235,14 @@ class LayoutForestEngine {
   LayoutForestEngine(const trees::Forest<T>& forest, const LayoutPlan& plan,
                      const KeyTableSet<T>& tables);
 
+  /// Binds an already-packed image (exec/artifacts) without re-packing;
+  /// `plan.width` is overridden to match the image's node format.  Throws
+  /// std::invalid_argument on an empty image.
+  LayoutForestEngine(CompactForest<T, CompactNode16> packed,
+                     const LayoutPlan& plan);
+  LayoutForestEngine(CompactForest<T, CompactNode8> packed,
+                     const LayoutPlan& plan);
+
   [[nodiscard]] const LayoutPlan& plan() const noexcept { return plan_; }
   [[nodiscard]] int num_classes() const noexcept { return num_classes_; }
   [[nodiscard]] std::size_t feature_count() const noexcept {
@@ -271,6 +279,9 @@ class LayoutForestEngine {
   [[nodiscard]] std::int32_t predict(std::span<const T> x) const;
 
  private:
+  template <typename Node>
+  void bind_packed(CompactForest<T, Node> packed);
+
   LayoutPlan plan_;
   int num_classes_ = 0;
   std::size_t feature_count_ = 0;

@@ -18,6 +18,7 @@
 #include "data/synth.hpp"
 #include "harness/timer.hpp"
 #include "jit/jit.hpp"
+#include "predict/jit_predictor.hpp"
 #include "predict/predictor.hpp"
 #include "trees/tree_stats.hpp"
 

@@ -1,0 +1,50 @@
+#include "jit/cache.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace flint::jit {
+
+CompileCache& CompileCache::instance() {
+  static CompileCache cache;
+  return cache;
+}
+
+std::shared_ptr<const JitModule> CompileCache::get_or_compile(
+    std::uint64_t key, const std::function<codegen::GeneratedCode()>& make,
+    const JitOptions& options, bool* hit, double* compile_ms) {
+  {
+    std::lock_guard lock(mutex_);
+    if (auto it = modules_.find(key); it != modules_.end()) {
+      ++stats_.hits;
+      if (hit != nullptr) *hit = true;
+      if (compile_ms != nullptr) *compile_ms = 0.0;
+      return it->second;
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto module =
+      std::make_shared<const JitModule>(compile(make(), options));
+  const auto t1 = std::chrono::steady_clock::now();
+  if (hit != nullptr) *hit = false;
+  if (compile_ms != nullptr) {
+    *compile_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  }
+  std::lock_guard lock(mutex_);
+  ++stats_.misses;
+  auto [it, inserted] = modules_.try_emplace(key, std::move(module));
+  return it->second;  // first insert wins on a concurrent miss
+}
+
+CompileCacheStats CompileCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void CompileCache::clear() {
+  std::lock_guard lock(mutex_);
+  modules_.clear();
+  stats_ = {};
+}
+
+}  // namespace flint::jit

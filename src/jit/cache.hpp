@@ -1,0 +1,56 @@
+// jit/cache — process-wide content-hash compile cache for generated modules.
+//
+// Keyed by a caller-computed 64-bit content hash covering everything that
+// determines the generated object: forest structure + threshold bits, model
+// semantics (vote vs score, leaf tables), generator version, scalar width,
+// and the compiler options.  Two predictors built from the same model share
+// one compiled JitModule; mutating a threshold changes the hash and forces a
+// recompile.  Entries live for the process lifetime (a compiled module is a
+// few KiB; serving processes load a handful of models).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "jit/jit.hpp"
+
+namespace flint::jit {
+
+struct CompileCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+class CompileCache {
+ public:
+  static CompileCache& instance();
+
+  /// Returns the module cached under `key`, or generates (via `make`),
+  /// compiles and caches it.  `hit` and `compile_ms` report whether the
+  /// lookup was served from cache and the generate+compile wall time of a
+  /// miss (0.0 on a hit); either may be null.  Generation/compilation runs
+  /// outside the cache lock; if two threads miss on the same key
+  /// concurrently, the first insert wins and the loser's module is dropped.
+  std::shared_ptr<const JitModule> get_or_compile(
+      std::uint64_t key,
+      const std::function<codegen::GeneratedCode()>& make,
+      const JitOptions& options, bool* hit = nullptr,
+      double* compile_ms = nullptr);
+
+  [[nodiscard]] CompileCacheStats stats() const;
+
+  /// Drops all cached modules (tests only; in-flight shared_ptrs stay valid).
+  void clear();
+
+ private:
+  CompileCache() = default;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const JitModule>> modules_;
+  CompileCacheStats stats_;
+};
+
+}  // namespace flint::jit

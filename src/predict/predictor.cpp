@@ -15,15 +15,20 @@
 #include <utility>
 
 #include "codegen/asm_x86.hpp"
+#include "core/hash.hpp"
 #include "core/thread_annotations.hpp"
 #include "codegen/cgen_cags.hpp"
 #include "codegen/cgen_ifelse.hpp"
+#include "codegen/cgen_layout.hpp"
 #include "codegen/cgen_native.hpp"
+#include "exec/artifacts/artifacts.hpp"
 #include "exec/interpreter.hpp"
 #include "exec/layout/compact.hpp"
 #include "exec/layout/narrow.hpp"
 #include "exec/layout/plan.hpp"
 #include "exec/simd/simd_engine.hpp"
+#include "jit/cache.hpp"
+#include "predict/jit_predictor.hpp"
 
 namespace flint::predict {
 
@@ -785,6 +790,75 @@ class LayoutScorePredictor final : public ScorePredictorBase<T> {
   exec::layout::LayoutForestEngine<T> engine_;
 };
 
+/// jit:layout vote backend: a generated tile-blocked batch body compiled
+/// from the compact image (codegen/cgen_layout.hpp), shared through the
+/// process-wide compile cache.  Const-thread-safe: generated scratch is
+/// function-local (stack arrays).
+template <typename T>
+class LayoutJitPredictor final : public Predictor<T> {
+ public:
+  using BatchFn = void(const T*, long long, std::int32_t*);
+
+  LayoutJitPredictor(std::shared_ptr<const jit::JitModule> module,
+                     const std::string& symbol, int num_classes,
+                     std::size_t feature_count)
+      : module_(std::move(module)),
+        num_classes_(num_classes),
+        feature_count_(feature_count) {
+    batch_ = module_->function<BatchFn>(symbol);
+  }
+
+  [[nodiscard]] std::string name() const override { return "jit:layout"; }
+  [[nodiscard]] int num_classes() const noexcept override {
+    return num_classes_;
+  }
+  [[nodiscard]] std::size_t feature_count() const noexcept override {
+    return feature_count_;
+  }
+
+ protected:
+  void do_predict_batch(const T* features, std::size_t n_samples,
+                        std::int32_t* out) const override {
+    batch_(features, static_cast<long long>(n_samples), out);
+  }
+
+ private:
+  std::shared_ptr<const jit::JitModule> module_;
+  BatchFn* batch_ = nullptr;
+  int num_classes_ = 0;
+  std::size_t feature_count_ = 0;
+};
+
+/// jit:layout score backend: the generated accumulate-scores body embeds
+/// the leaf-value table and base offsets; link application and class
+/// reduction stay host-side in ScorePredictorBase, so results are
+/// bit-identical to the blocked interpreter accumulators.
+template <typename T>
+class LayoutJitScorePredictor final : public ScorePredictorBase<T> {
+ public:
+  using AccumFn = void(const T*, long long, T*);
+
+  LayoutJitScorePredictor(const model::ForestModel<T>& m,
+                          std::shared_ptr<const jit::JitModule> module,
+                          const std::string& symbol)
+      : ScorePredictorBase<T>(ScoreSpec<T>::from(m), m.forest.feature_count()),
+        module_(std::move(module)) {
+    accumulate_ = module_->function<AccumFn>(symbol);
+  }
+
+  [[nodiscard]] std::string name() const override { return "jit:layout"; }
+
+ protected:
+  void accumulate_scores(const T* features, std::size_t n_samples,
+                         T* out) const override {
+    accumulate_(features, static_cast<long long>(n_samples), out);
+  }
+
+ private:
+  std::shared_ptr<const jit::JitModule> module_;
+  AccumFn* accumulate_ = nullptr;
+};
+
 /// Semantics baseline: per-sample Forest::predict over an owned model copy.
 template <typename T>
 class ReferencePredictor final : public Predictor<T> {
@@ -1057,9 +1131,17 @@ std::vector<std::string> layout_backends() {
 }
 
 std::vector<std::string> jit_backends() {
-  return {"jit:ifelse-float", "jit:ifelse-flint", "jit:native-float",
-          "jit:native-flint", "jit:cags-float", "jit:cags-flint",
-          "jit:asm-x86"};
+  std::vector<std::string> names = {"jit:layout"};
+#ifdef FLINT_LEGACY_JIT
+  // Retired flavors, kept compiling behind -DFLINT_LEGACY_JIT=ON for
+  // comparison experiments; they never serve special (NaN/categorical)
+  // forests natively and fall back to the encoded interpreter there.
+  names.insert(names.end(),
+               {"jit:ifelse-float", "jit:ifelse-flint", "jit:native-float",
+                "jit:native-flint", "jit:cags-float", "jit:cags-flint",
+                "jit:asm-x86"});
+#endif
+  return names;
 }
 
 bool is_known_backend(std::string_view backend) {
@@ -1094,6 +1176,80 @@ std::string backend_help() {
 
 namespace {
 
+/// Plain Levenshtein distance; backend names are short (< 20 chars) so the
+/// quadratic DP is fine.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::string suggest_backend(std::string_view backend) {
+  std::vector<std::string> names;
+  for (auto& list : {interpreter_backends(), simd_backends(),
+                     layout_backends(), jit_backends()}) {
+    names.insert(names.end(), list.begin(), list.end());
+  }
+  names.emplace_back("flint");
+
+  std::string best;
+  std::size_t best_dist = std::numeric_limits<std::size_t>::max();
+  for (const auto& name : names) {
+    const std::size_t d = edit_distance(backend, name);
+    if (d < best_dist) {
+      best_dist = d;
+      best = name;
+    }
+  }
+  const std::size_t longest = std::max(backend.size(), best.size());
+  if (best_dist <= std::max<std::size_t>(2, longest / 3 + 1)) return best;
+
+  // No near-miss: fall back to the closest name in the same family, so any
+  // unknown "jit:..." still points at "jit:layout" etc.
+  const std::size_t colon = backend.find(':');
+  if (colon != std::string_view::npos) {
+    const std::string_view family = backend.substr(0, colon + 1);
+    best.clear();
+    best_dist = std::numeric_limits<std::size_t>::max();
+    for (const auto& name : names) {
+      if (name.rfind(family, 0) != 0) continue;
+      const std::size_t d = edit_distance(backend, name);
+      if (d < best_dist) {
+        best_dist = d;
+        best = name;
+      }
+    }
+    return best;  // empty when the family itself is unknown
+  }
+  return {};
+}
+
+namespace {
+
+/// All unknown-backend rejections flow through here so every error carries
+/// the nearest valid name plus the full vocabulary.
+[[noreturn]] void throw_unknown_backend(std::string_view backend) {
+  std::string msg =
+      "make_predictor: unknown backend '" + std::string(backend) + "'";
+  if (const std::string near = suggest_backend(backend); !near.empty()) {
+    msg += " (did you mean '" + near + "'?)";
+  }
+  msg += " (" + backend_help() + ")";
+  throw std::invalid_argument(msg);
+}
+
 template <typename T>
 std::unique_ptr<Predictor<T>> make_jit_predictor(
     const trees::Forest<T>& forest, std::string_view flavor,
@@ -1122,9 +1278,7 @@ std::unique_ptr<Predictor<T>> make_jit_predictor(
   } else if (flavor == "asm-x86") {
     code = codegen::generate_asm_x86(forest, copt);
   } else {
-    throw std::invalid_argument("make_predictor: unknown backend 'jit:" +
-                                std::string(flavor) + "' (" + backend_help() +
-                                ")");
+    throw_unknown_backend("jit:" + std::string(flavor));
   }
   return std::make_unique<JitPredictor<T>>(code, options.jit,
                                            forest.num_classes(),
@@ -1165,9 +1319,7 @@ LayoutChoice<T> choose_layout(const trees::Forest<T>& forest,
                                   "model (" + reason + ")");
     }
   } else if (mode != "auto") {
-    throw std::invalid_argument("make_predictor: unknown backend 'layout:" +
-                                std::string(mode) + "' (" + backend_help() +
-                                ")");
+    throw_unknown_backend("layout:" + std::string(mode));
   }
   // Placement/traversal are tuned for the width actually packed (a pinned
   // width gets its own image-size decisions, not auto's).
@@ -1208,6 +1360,123 @@ std::unique_ptr<Predictor<T>> make_layout_score_predictor(
                                                    choice.tables);
 }
 
+/// Bumped whenever generate_layout's output changes shape, so stale cache
+/// entries from an older generator can never be served.
+constexpr std::uint64_t kLayoutGenVersion = 2;
+
+/// jit:layout toolchain: the module is compiled on the machine that runs it,
+/// so target the host ISA and let the optimizer unroll the short fixed-trip
+/// lockstep loops — that is what turns the complete-table descent into
+/// vectorized gathers.  Callers who set their own extra_flags keep them.
+jit::JitOptions layout_jit_toolchain(const jit::JitOptions& base) {
+  jit::JitOptions tuned = base;
+  tuned.opt_level = std::max(tuned.opt_level, 3);
+  if (tuned.extra_flags.empty()) {
+    tuned.extra_flags = {"-march=native", "-funroll-loops"};
+  }
+  return tuned;
+}
+
+/// Content hash for the compile cache: everything that influences the
+/// generated object — forest content, scalar width, model semantics
+/// (vote vs. score, leaf table, base offsets), plan knobs the generator
+/// reads, and the JIT toolchain options.
+template <typename T>
+std::uint64_t layout_jit_key(std::uint64_t content, const jit::JitOptions& jopt,
+                             const codegen::LayoutCGenSpec<T>& spec,
+                             const exec::layout::LayoutPlan& plan) {
+  core::Fnv1a64 h;
+  h.add(kLayoutGenVersion);
+  h.add(content);
+  h.add(static_cast<std::uint32_t>(sizeof(T)));
+  h.add(static_cast<std::uint8_t>(spec.vote));
+  h.add(static_cast<std::uint64_t>(spec.n_outputs));
+  for (const T v : spec.leaf_values) h.add(core::si_bits(v));
+  for (const T v : spec.base) h.add(core::si_bits(v));
+  h.add_string(jopt.compiler);
+  h.add(jopt.opt_level);
+  for (const auto& flag : jopt.extra_flags) h.add_string(flag);
+  h.add(static_cast<std::uint32_t>(plan.hot_depth));
+  h.add(static_cast<std::uint64_t>(plan.block_size));
+  return h.digest();
+}
+
+/// jit:layout vote factory: one artifact build, one generated module,
+/// shared through the process-wide compile cache.
+template <typename T>
+std::unique_ptr<Predictor<T>> make_layout_jit_predictor(
+    const trees::Forest<T>& forest, const PredictorOptions& options) {
+  exec::artifacts::ExecArtifacts<T> art(forest, options.block_size);
+  const exec::layout::CompactForest<T, exec::layout::CompactNode16>* image;
+  try {
+    image = &art.compact16();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(
+        std::string("make_predictor: jit:layout cannot pack this model (") +
+        e.what() + ")");
+  }
+  codegen::LayoutCGenSpec<T> spec;
+  spec.vote = true;
+  spec.num_classes = forest.num_classes();
+  const auto gen = [&] {
+    return codegen::generate_layout(*image, art.plan(), spec);
+  };
+  const jit::JitOptions tuned = layout_jit_toolchain(options.jit);
+  std::shared_ptr<const jit::JitModule> module;
+  try {
+    module = jit::CompileCache::instance().get_or_compile(
+        layout_jit_key(art.content_hash(), tuned, spec, art.plan()), gen,
+        tuned);
+  } catch (const std::runtime_error&) {
+    // Host-tuned flags can be rejected by exotic toolchains; the portable
+    // flag set compiles the same module everywhere.
+    module = jit::CompileCache::instance().get_or_compile(
+        layout_jit_key(art.content_hash(), options.jit, spec, art.plan()),
+        gen, options.jit);
+  }
+  return std::make_unique<LayoutJitPredictor<T>>(
+      std::move(module), "forest_predict_batch", forest.num_classes(),
+      forest.feature_count());
+}
+
+/// jit:layout score factory: same pipeline, score-mode spec (leaf table and
+/// base offsets become generated immediates).
+template <typename T>
+std::unique_ptr<Predictor<T>> make_layout_jit_score_predictor(
+    const model::ForestModel<T>& m, const PredictorOptions& options) {
+  exec::artifacts::ExecArtifacts<T> art(m.forest, options.block_size);
+  const exec::layout::CompactForest<T, exec::layout::CompactNode16>* image;
+  try {
+    image = &art.compact16();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(
+        std::string("make_predictor: jit:layout cannot pack this model (") +
+        e.what() + ")");
+  }
+  codegen::LayoutCGenSpec<T> spec;
+  spec.vote = false;
+  spec.num_classes = m.num_classes();
+  spec.n_outputs = m.n_outputs;
+  spec.leaf_values = m.leaf_values;
+  spec.base = m.aggregation.base_score;
+  const auto gen = [&] {
+    return codegen::generate_layout(*image, art.plan(), spec);
+  };
+  const jit::JitOptions tuned = layout_jit_toolchain(options.jit);
+  std::shared_ptr<const jit::JitModule> module;
+  try {
+    module = jit::CompileCache::instance().get_or_compile(
+        layout_jit_key(art.content_hash(), tuned, spec, art.plan()), gen,
+        tuned);
+  } catch (const std::runtime_error&) {
+    module = jit::CompileCache::instance().get_or_compile(
+        layout_jit_key(art.content_hash(), options.jit, spec, art.plan()),
+        gen, options.jit);
+  }
+  return std::make_unique<LayoutJitScorePredictor<T>>(
+      m, std::move(module), "forest_accumulate_scores");
+}
+
 /// Score-model backend dispatch (the vote path reuses the forest factory).
 template <typename T>
 std::unique_ptr<Predictor<T>> make_score_predictor(
@@ -1246,23 +1515,20 @@ std::unique_ptr<Predictor<T>> make_score_predictor(
   if (backend.rfind("layout:", 0) == 0) {
     return make_layout_score_predictor(m, backend.substr(7), options);
   }
-  if (backend.rfind("jit:", 0) == 0) {
-    // The code generators emit class-returning classify() functions; for
-    // additive leaf-value models they fall back to the encoded FLInt
-    // interpreter (documented in make_predictor's contract).  Unknown jit
-    // names must still be rejected, not silently served.
-    if (!is_known_backend(backend)) {
-      throw std::invalid_argument("make_predictor: unknown backend '" +
-                                  std::string(backend) + "' (" +
-                                  backend_help() + ")");
-    }
+  if (backend == "jit:layout") {
+    return make_layout_jit_score_predictor(m, options);
+  }
+#ifdef FLINT_LEGACY_JIT
+  if (backend.rfind("jit:", 0) == 0 && is_known_backend(backend)) {
+    // The legacy code generators emit class-returning classify() functions
+    // only; for additive leaf-value models they fall back to the encoded
+    // FLInt interpreter, the name recording the fallback.
     return std::make_unique<FlintScorePredictor<T>>(
         m, exec::FlintVariant::Encoded, options.block_size,
         "encoded(fallback:" + std::string(backend) + ")");
   }
-  throw std::invalid_argument("make_predictor: unknown backend '" +
-                              std::string(backend) + "' (" + backend_help() +
-                              ")");
+#endif
+  throw_unknown_backend(backend);
 }
 
 /// Guard for MissingPolicy::substitute_nan (flag-free missing-capable
@@ -1346,28 +1612,27 @@ std::unique_ptr<Predictor<T>> make_predictor(const trees::Forest<T>& forest,
         forest, exec::simd::SimdMode::Float, options.block_size);
   } else if (backend.rfind("layout:", 0) == 0) {
     predictor = make_layout_predictor(forest, backend.substr(7), options);
-  } else if (backend.rfind("jit:", 0) == 0) {
+  } else if (backend == "jit:layout") {
+    // Generated from the same compact image the layout engine executes —
+    // NaN default directions and categorical masks are generated code, so
+    // special forests are served natively, never via interpreter fallback.
+    predictor = make_layout_jit_predictor(forest, options);
+#ifdef FLINT_LEGACY_JIT
+  } else if (backend.rfind("jit:", 0) == 0 && is_known_backend(backend)) {
     if (forest.has_special_splits()) {
-      // The code generators know nothing of default directions or
+      // The legacy code generators know nothing of default directions or
       // categorical bitsets and would mis-route NaN; such forests are
       // served through the encoded interpreter, the name recording the
-      // fallback.  Unknown jit names must still be rejected, not silently
-      // served.
-      if (!is_known_backend(backend)) {
-        throw std::invalid_argument("make_predictor: unknown backend '" +
-                                    std::string(backend) + "' (" +
-                                    backend_help() + ")");
-      }
+      // fallback.
       predictor = std::make_unique<FlintEnginePredictor<T>>(
           forest, exec::FlintVariant::Encoded, options.block_size,
           "encoded(fallback:" + std::string(backend) + ")");
     } else {
       predictor = make_jit_predictor(forest, backend.substr(4), options);
     }
+#endif
   } else {
-    throw std::invalid_argument("make_predictor: unknown backend '" +
-                                std::string(backend) + "' (" + backend_help() +
-                                ")");
+    throw_unknown_backend(backend);
   }
   if (options.threads != 1) {
     // The parallel chunk must be at least the cache block, or the chunking

@@ -41,9 +41,8 @@
 #include <string_view>
 #include <vector>
 
-#include "codegen/emit.hpp"
 #include "data/dataset.hpp"
-#include "jit/jit.hpp"
+#include "jit/options.hpp"
 #include "model/forest_model.hpp"
 #include "trees/forest.hpp"
 #include "trees/tree_stats.hpp"
@@ -96,7 +95,7 @@ class Predictor {
  public:
   virtual ~Predictor() = default;
 
-  /// Backend id, e.g. "encoded", "jit:ifelse-flint", "parallel(float,x4)".
+  /// Backend id, e.g. "encoded", "jit:layout", "parallel(float,x4)".
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual int num_classes() const noexcept = 0;
   [[nodiscard]] virtual std::size_t feature_count() const noexcept = 0;
@@ -217,7 +216,8 @@ struct PredictorOptions {
   unsigned threads = 1;
   /// Compiler settings for the "jit:" backends.
   jit::JitOptions jit;
-  /// Per-tree branch statistics; required by the "jit:cags-*" backends.
+  /// Per-tree branch statistics; required by the legacy "jit:cags-*"
+  /// backends (FLINT_LEGACY_JIT builds only).
   std::span<const trees::BranchStats> branch_stats;
 };
 
@@ -245,19 +245,23 @@ struct PredictorOptions {
 ///   layout:c16 | layout:c8    LayoutForestEngine pinned to 16- or 8-byte
 ///                             compact nodes (throws when the model cannot
 ///                             be narrowed to that width)
-///   jit:ifelse-float          generated if-else C, hardware-float compares
-///   jit:ifelse-flint          generated if-else C, FLInt integer compares
-///   jit:native-float          generated array-walking native tree, float
-///   jit:native-flint          generated native tree, FLInt
-///   jit:cags-float            CAGS kernel layout (needs branch_stats)
-///   jit:cags-flint            CAGS + FLInt (needs branch_stats)
-///   jit:asm-x86               direct x86-64 assembly backend
+///   jit:layout                generated C compiled in-process from the SAME
+///                             CompactNode16 image the layout engine
+///                             executes (exec/artifacts): FLInt thresholds
+///                             as immediates, tile-blocked batch bodies,
+///                             NaN/categorical routing generated — no
+///                             interpreter fallback; modules are shared
+///                             through a content-hash compile cache
+///                             (jit/cache.hpp)
+///
+/// The seven legacy flavors (jit:ifelse-*, jit:native-*, jit:cags-*,
+/// jit:asm-x86) are accepted only when the library is built with
+/// -DFLINT_LEGACY_JIT=ON; default builds reject them like any unknown name.
 ///
 /// Forests with default-direction or categorical nodes
 /// (Forest::has_special_splits) are served with NaN routing compiled in and
-/// the result's MissingPolicy accepts NaN; the jit:* names fall back to the
-/// encoded interpreter for them (the code generators know nothing of
-/// default directions), recording the fallback in the predictor name.
+/// the result's MissingPolicy accepts NaN — in every backend, jit:layout
+/// included.
 template <typename T>
 [[nodiscard]] std::unique_ptr<Predictor<T>> make_predictor(
     const trees::Forest<T>& forest, std::string_view backend,
@@ -280,9 +284,10 @@ template <typename T>
 ///                             index, so the same key-width gates apply);
 ///                             auto falls back to the encoded interpreter
 ///                             when nothing compact fits
-///   jit:*                     falls back to the encoded interpreter (the
-///                             code generators emit class-returning
-///                             functions; the name records the fallback)
+///   jit:layout                generated accumulate-scores body over the
+///                             compact image with the model's leaf-value
+///                             table embedded (tree-order accumulation,
+///                             bit-identical to the blocked interpreters)
 ///
 /// predict_batch on the result classifies via the aggregation (argmax /
 /// sigmoid threshold) when model.is_classifier(), and throws
@@ -313,41 +318,9 @@ template <typename T>
 /// where jit:* construction would compile and load code for nothing).
 [[nodiscard]] bool is_known_backend(std::string_view backend);
 
-/// Wraps a JIT-loaded classify symbol (ABI: `int f(const T*)`).  Owns the
-/// module; copies of the predictor share it.  Used by make_predictor for
-/// the "jit:" backends and directly by the experiment harness, which
-/// compiles its grid of modules up front.
-template <typename T>
-class JitPredictor final : public Predictor<T> {
- public:
-  /// Takes ownership of a loaded module and resolves `symbol` in it.
-  JitPredictor(jit::JitModule module, const std::string& symbol,
-               std::string flavor, int num_classes, std::size_t feature_count);
-  /// Compiles `code` and resolves its classify symbol.
-  JitPredictor(const codegen::GeneratedCode& code, const jit::JitOptions& jopt,
-               int num_classes, std::size_t feature_count);
-
-  [[nodiscard]] std::string name() const override { return "jit:" + flavor_; }
-  [[nodiscard]] int num_classes() const noexcept override { return num_classes_; }
-  [[nodiscard]] std::size_t feature_count() const noexcept override {
-    return feature_count_;
-  }
-  /// Size in bytes of the underlying shared object.
-  [[nodiscard]] std::size_t object_size() const noexcept {
-    return module_->object_size();
-  }
-
- protected:
-  void do_predict_batch(const T* features, std::size_t n_samples,
-                        std::int32_t* out) const override;
-
- private:
-  std::shared_ptr<jit::JitModule> module_;
-  jit::ClassifyFn<T>* classify_ = nullptr;
-  std::string flavor_;
-  int num_classes_ = 0;
-  std::size_t feature_count_ = 0;
-};
+/// Nearest valid backend name by edit distance (for "did you mean ...?"
+/// error messages); empty when nothing is plausibly close.
+[[nodiscard]] std::string suggest_backend(std::string_view backend);
 
 /// Decorator that spreads predict_batch over a persistent std::jthread
 /// worker pool.  Samples are handed out in blocks through an atomic cursor,
@@ -390,8 +363,6 @@ class ParallelPredictor final : public Predictor<T> {
 
 extern template class Predictor<float>;
 extern template class Predictor<double>;
-extern template class JitPredictor<float>;
-extern template class JitPredictor<double>;
 extern template class ParallelPredictor<float>;
 extern template class ParallelPredictor<double>;
 

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "exec/artifacts/artifacts.hpp"
 #include "exec/interpreter.hpp"
 #include "exec/layout/compact.hpp"
 #include "exec/layout/plan.hpp"
@@ -742,38 +743,32 @@ Report verify_model(const model::ForestModel<T>& m) {
   }
   const auto& forest = m.forest;
   try {
-    const auto tables = exec::layout::build_key_tables(forest);
-    verify_tables(forest, tables, report);
+    // One artifact build feeds every packed check below — verify_model
+    // inspects exactly the images the engines and the code generator bind,
+    // not freshly packed lookalikes.
+    exec::artifacts::ExecArtifacts<T> art(forest);
+    verify_tables(forest, art.tables(), report);
     report.artifacts_checked.push_back("tables");
     if (!report.ok()) return report;
 
-    const exec::FlintForestEngine<T> engine(forest,
-                                            exec::FlintVariant::Encoded);
-    verify_packed_nodes(forest, engine, report);
+    verify_packed_nodes(forest, art.packed_engine(), report);
     report.artifacts_checked.push_back("packed");
 
-    exec::simd::SoaForest<T> soa(forest);
-    soa.build_narrow_keys(tables);
-    verify_soa(forest, soa, tables, report);
+    verify_soa(forest, art.soa(), art.tables(), report);
     report.artifacts_checked.push_back("soa");
 
-    for (const std::uint32_t hot_depth : {0u, 4u}) {
-      exec::layout::LayoutPlan plan;
-      plan.hot_depth = hot_depth;
-      plan.width = exec::layout::NodeWidth::C16;
-      if (const auto c16 = exec::layout::try_pack<T, exec::layout::CompactNode16>(
-              forest, plan, tables)) {
-        verify_compact(forest, *c16, tables, report, "c16");
+    for (const std::size_t hot_depth : {std::size_t{0}, std::size_t{4}}) {
+      std::string why;
+      if (const auto* c16 = art.try_compact16_at(hot_depth, &why)) {
+        verify_compact(forest, *c16, art.tables(), report, "c16");
         if (hot_depth == 0 && c16->hot_nodes != 0) {
           report.add({"compact.hot", "c16", -1, -1,
                       "pure-DFS plan produced a hot slab"});
         }
         if (hot_depth == 0) report.artifacts_checked.push_back("c16");
       }
-      plan.width = exec::layout::NodeWidth::C8;
-      if (const auto c8 = exec::layout::try_pack<T, exec::layout::CompactNode8>(
-              forest, plan, tables)) {
-        verify_compact(forest, *c8, tables, report, "c8");
+      if (const auto* c8 = art.try_compact8_at(hot_depth, &why)) {
+        verify_compact(forest, *c8, art.tables(), report, "c8");
         if (hot_depth == 0) report.artifacts_checked.push_back("c8");
       }
     }

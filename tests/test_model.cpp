@@ -553,7 +553,7 @@ TEST(PredictScores, AllBackendsMatchPerTreeAccumulation) {
     for (const char* backend :
          {"reference", "float", "encoded", "theorem1", "theorem2", "radix",
           "simd:flint", "simd:float", "layout:auto", "layout:c16",
-          "jit:ifelse-flint"}) {
+          "jit:layout"}) {
       const auto predictor = predict::make_predictor(m, backend);
       ASSERT_TRUE(predictor->supports_scores()) << backend;
       EXPECT_EQ(predictor->num_outputs(), k) << backend;
@@ -569,11 +569,18 @@ TEST(PredictScores, AllBackendsMatchPerTreeAccumulation) {
   }
 }
 
-TEST(PredictScores, JitFallbackIsNamedAndServes) {
+TEST(PredictScores, JitLayoutServesScoresNatively) {
+  // jit:layout generates its own accumulate-scores body — no interpreter
+  // fallback, the predictor keeps the real backend name.
   const auto m = make_score_model(1, model::Link::Sigmoid);
-  const auto predictor = predict::make_predictor(m, "jit:native-flint");
-  EXPECT_NE(predictor->name().find("fallback"), std::string::npos)
-      << predictor->name();
+  const auto predictor = predict::make_predictor(m, "jit:layout");
+  EXPECT_EQ(predictor->name(), "jit:layout");
+#ifdef FLINT_LEGACY_JIT
+  // The retired flavors only emit classify(); score models fall back.
+  const auto legacy = predict::make_predictor(m, "jit:native-flint");
+  EXPECT_NE(legacy->name().find("fallback"), std::string::npos)
+      << legacy->name();
+#endif
   EXPECT_THROW((void)predict::make_predictor(m, "jit:nonsense"),
                std::invalid_argument);
 }

@@ -149,9 +149,13 @@ INSTANTIATE_TEST_SUITE_P(
 
 INSTANTIATE_TEST_SUITE_P(
     JitBackends, BackendEquivalence,
-    ::testing::Values("jit:ifelse-float", "jit:ifelse-flint",
+#ifdef FLINT_LEGACY_JIT
+    ::testing::Values("jit:layout", "jit:ifelse-float", "jit:ifelse-flint",
                       "jit:native-float", "jit:native-flint", "jit:cags-float",
                       "jit:cags-flint", "jit:asm-x86"),
+#else
+    ::testing::Values("jit:layout"),
+#endif
     [](const auto& info) {
       std::string name = info.param.substr(4);
       for (auto& c : name) {
@@ -341,9 +345,41 @@ TEST_F(TrainedForest, UnknownBackendThrowsWithVocabulary) {
     EXPECT_NE(message.find("warp"), std::string::npos);
     EXPECT_NE(message.find("theorem1"), std::string::npos) << message;
   }
+#ifdef FLINT_LEGACY_JIT
   // jit:cags-* without branch stats is rejected up front.
   EXPECT_THROW((void)make_predictor(forest_, "jit:cags-flint"),
                std::invalid_argument);
+#else
+  // Retired flavors are unknown names; the error steers to jit:layout.
+  try {
+    (void)make_predictor(forest_, "jit:cags-flint");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("jit:layout"), std::string::npos)
+        << e.what();
+  }
+#endif
+}
+
+TEST_F(TrainedForest, UnknownBackendSuggestsNearestName) {
+  // A near-miss typo suggests the intended name.
+  try {
+    (void)make_predictor(forest_, "layot:auto");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'layout:auto'"),
+              std::string::npos)
+        << e.what();
+  }
+  // An unknown name in a known family points at that family's member.
+  try {
+    (void)make_predictor(forest_, "jit:warp");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'jit:"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -454,7 +490,7 @@ TEST(PredictorDouble, DoubleWidthBackendsMatchForestPredict) {
   for (const char* backend :
        {"reference", "float", "encoded", "theorem1", "theorem2", "radix",
         "simd:flint", "simd:float", "layout:auto", "layout:c16", "layout:c8",
-        "jit:ifelse-flint"}) {
+        "jit:layout"}) {
     const auto predictor = make_predictor(forest, backend);
     std::vector<std::int32_t> out(full.rows());
     predictor->predict_batch(full, out);
@@ -541,7 +577,12 @@ TEST(PredictorNames, BackendListsAreConsistent) {
   const auto layout = flint::predict::layout_backends();
   EXPECT_EQ(layout.size(), 3u);
   const auto jit = flint::predict::jit_backends();
-  EXPECT_EQ(jit.size(), 7u);
+#ifdef FLINT_LEGACY_JIT
+  EXPECT_EQ(jit.size(), 8u);  // jit:layout + the seven retired flavors
+#else
+  EXPECT_EQ(jit.size(), 1u);
+  EXPECT_EQ(jit.front(), "jit:layout");
+#endif
   const auto help = flint::predict::backend_help();
   for (const auto& name : interp) {
     EXPECT_NE(help.find(name), std::string::npos) << name;
@@ -550,6 +591,10 @@ TEST(PredictorNames, BackendListsAreConsistent) {
     EXPECT_NE(help.find(name), std::string::npos) << name;
   }
   for (const auto& name : layout) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+    EXPECT_TRUE(flint::predict::is_known_backend(name)) << name;
+  }
+  for (const auto& name : jit) {
     EXPECT_NE(help.find(name), std::string::npos) << name;
     EXPECT_TRUE(flint::predict::is_known_backend(name)) << name;
   }
