@@ -27,6 +27,7 @@
 
 #include "data/synth.hpp"
 #include "exec/layout/plan.hpp"
+#include "exec/layout/quant4.hpp"
 #include "harness/bench_json.hpp"
 #include "harness/machine_info.hpp"
 #include "harness/timer.hpp"
@@ -123,9 +124,45 @@ int main(int argc, char** argv) {
     }
   };
 
-  std::vector<std::string> backends = {"encoded", "simd:flint", "layout:c16",
-                                       "layout:c8", "layout:auto",
+  std::vector<std::string> backends = {"encoded",    "simd:flint",
+                                       "layout:c16", "layout:c8",
+                                       "layout:q4",  "layout:auto",
                                        "jit:layout"};
+  // Quantization contract report for the 4-byte image: packed once here so
+  // the JSON artifact carries the per-model fitness/mismatch facts the
+  // acceptance criteria ask for.  layout:q4 only joins the bit-identity
+  // gate when the exact contract holds (synthetic training draws splits
+  // from the sample pool, so it always does here — the check keeps the
+  // bench honest on arbitrary models).
+  const auto tables = flint::exec::layout::build_key_tables(forest);
+  {
+    flint::exec::layout::LayoutPlan qplan_probe;
+    qplan_probe.width = flint::exec::layout::NodeWidth::Q4;
+    std::string q4_why;
+    const auto q4_img = flint::exec::layout::try_pack_q4<float>(
+        forest, qplan_probe, tables, false, &q4_why);
+    if (q4_img.has_value()) {
+      const auto& qp = q4_img->qplan;
+      json.set("q4_bits", qp.bits);
+      json.set("q4_exact_features", qp.exact_features());
+      json.set("q4_affine_features", qp.affine_features());
+      json.set("q4_all_exact", qp.all_exact());
+      json.set("q4_accuracy_contract", qp.accuracy_contract());
+      json.set("q4_min_fitness", qp.min_fitness());
+      json.set("q4_plan_report", flint::quant::report_json(qp));
+      std::printf("q4 contract: %s (%s)\n", qp.describe().c_str(),
+                  qp.all_exact() ? "bit-exact" : "affine fallback");
+      if (!q4_img->exact()) {
+        std::erase(backends, std::string("layout:q4"));
+        std::printf("  layout:q4 excluded from the bit-identity gate\n");
+      }
+    } else {
+      json.set("q4_pack_error", q4_why);
+      std::erase(backends, std::string("layout:q4"));
+      std::printf("q4 contract: not packable (%s)\n", q4_why.c_str());
+    }
+  }
+
   std::vector<std::unique_ptr<flint::predict::Predictor<float>>> predictors;
   std::printf("--- backends (verified bit-identical) ---\n");
   for (std::size_t i = 0; i < backends.size();) {
@@ -169,6 +206,7 @@ int main(int argc, char** argv) {
   double best_baseline = 0.0;  // encoded / simd:flint at the largest batch
   double layout_auto_rate = 0.0;
   double jit_layout_rate = 0.0;
+  double layout_q4_rate = 0.0;
   for (const std::size_t batch :
        {std::size_t{256}, std::size_t{4096}, data.rows()}) {
     if (batch > data.rows()) continue;
@@ -183,6 +221,7 @@ int main(int argc, char** argv) {
         }
         if (backends[i] == "layout:auto") layout_auto_rate = rate;
         if (backends[i] == "jit:layout") jit_layout_rate = rate;
+        if (backends[i] == "layout:q4") layout_q4_rate = rate;
       }
     }
     std::printf("\n");
@@ -227,6 +266,36 @@ int main(int argc, char** argv) {
                   {"batch", flint::harness::BenchValue::of(std::size_t{1})},
                   {"threads", flint::harness::BenchValue::of(1)},
                   {"us_per_sample", flint::harness::BenchValue::of(us)}});
+  }
+
+  // --- quant:affine: deliberately lossy, so it is measured (throughput +
+  // prediction-mismatch rate vs the exact forest) instead of verified. ------
+  try {
+    flint::predict::PredictorOptions opt;
+    opt.block_size = 256;
+    const auto affine = flint::predict::make_predictor(forest, "quant:affine",
+                                                       opt);
+    affine->predict_batch(features, data.rows(), out);
+    std::size_t mismatches = 0;
+    for (std::size_t r = 0; r < data.rows(); ++r) {
+      if (out[r] != reference[r]) ++mismatches;
+    }
+    const double mismatch_rate = static_cast<double>(mismatches) /
+                                 static_cast<double>(data.rows());
+    const double rate = samples_per_sec(*affine, features, data.rows(), out);
+    std::printf(
+        "\n--- quant:affine (lossy by contract) ---\n"
+        "  %-28s %12.0f samples/sec, mismatch %.4f\n",
+        affine->name().c_str(), rate, mismatch_rate);
+    json.add_row({{"backend", flint::harness::BenchValue::of("quant:affine")},
+                  {"batch", flint::harness::BenchValue::of(data.rows())},
+                  {"threads", flint::harness::BenchValue::of(1)},
+                  {"samples_per_sec", flint::harness::BenchValue::of(rate)},
+                  {"mismatch_rate",
+                   flint::harness::BenchValue::of(mismatch_rate)}});
+    json.set("quant_affine_mismatch_rate", mismatch_rate);
+  } catch (const std::exception& e) {
+    std::printf("\nquant:affine skipped (%s)\n", e.what());
   }
 
   const double speedup =
@@ -287,6 +356,53 @@ int main(int argc, char** argv) {
         batch_ratio, latency_ratio,
         batch_ratio >= 1.0 && latency_ratio >= 1.0 ? "MET"
                                                    : "NOT MET on this host");
+  }
+  if (layout_q4_rate > 0) {
+    // ISSUE 10 gate: the 4-byte quantized image must beat what the auto
+    // tuner would pick WITHOUT the q4 rung (auto itself now selects q4 on
+    // this model, so the honest baseline is auto re-planned with
+    // fit.allow_q4 = false — which resolves to one of the pinned widths
+    // already constructed above).  Paired rounds + median ratio for the
+    // same drift-cancelling reasons as the jit gate.
+    flint::exec::layout::NarrowFit fit;
+    fit.ranks_fit_int16 = tables.fits_int16();
+    fit.feature_count = forest.feature_count();
+    fit.num_classes = forest.num_classes();
+    fit.allow_q4 = false;
+    const auto noq4_plan = flint::exec::layout::auto_plan(stats, fit, 256,
+                                                          cache);
+    const char* baseline_backend =
+        noq4_plan.width == flint::exec::layout::NodeWidth::C8 ? "layout:c8"
+                                                              : "layout:c16";
+    const flint::predict::Predictor<float>* q4_p = nullptr;
+    const flint::predict::Predictor<float>* base_p = nullptr;
+    for (std::size_t i = 0; i < backends.size(); ++i) {
+      if (backends[i] == "layout:q4") q4_p = predictors[i].get();
+      if (backends[i] == baseline_backend) base_p = predictors[i].get();
+    }
+    if (q4_p != nullptr && base_p != nullptr) {
+      auto median = [](std::vector<double> v) {
+        std::sort(v.begin(), v.end());
+        return v[v.size() / 2];
+      };
+      std::vector<double> ratios;
+      for (int round = 0; round < 9; ++round) {
+        const double rq = samples_per_sec(*q4_p, features, data.rows(), out);
+        const double rb = samples_per_sec(*base_p, features, data.rows(), out);
+        ratios.push_back(rq / rb);
+      }
+      const double q4_ratio = median(ratios);
+      json.set("layout_q4_baseline", std::string("layout:auto[no-q4]=") +
+                                         baseline_backend);
+      json.set("layout_q4_vs_auto_no_q4", q4_ratio);
+      std::printf(
+          "(acceptance: layout:q4 >= 1.25x layout:auto[no-q4] (%s), paired "
+          "median of 9 rounds -- %.2fx, %s%s)\n",
+          baseline_backend, q4_ratio,
+          q4_ratio >= 1.25 ? "MET" : "NOT MET on this host",
+          smoke ? "; smoke model is cache-resident, timing not meaningful"
+                : "");
+    }
   }
   const std::string path = json.write();
   if (!path.empty()) std::printf("wrote %s\n", path.c_str());

@@ -11,7 +11,7 @@
 #include "exec/interpreter.hpp"
 #include "harness/bench_json.hpp"
 #include "harness/machine_info.hpp"
-#include "quant/quantized.hpp"
+#include "quant/quant_plan.hpp"
 #include "trees/forest.hpp"
 
 int main() {
@@ -34,8 +34,8 @@ int main() {
 
     std::printf("%-12s", spec.name.c_str());
     for (const int bits : {6, 10, 16, 24, 30}) {
-      const auto params = flint::quant::calibrate(split.train, bits);
-      const flint::quant::QuantizedForestEngine<float> engine(forest, params);
+      const auto plan = flint::quant::plan_from_dataset(split.train, bits);
+      const flint::quant::QuantForestEngine<float> engine(forest, plan);
       const double rate = engine.mismatch_rate(forest, split.test);
       std::printf(" %-8.4f", rate);
       json.add_row({{"dataset", flint::harness::BenchValue::of(spec.name)},

@@ -19,8 +19,10 @@
 #include "data/csv.hpp"
 #include "data/split.hpp"
 #include "data/synth.hpp"
+#include "exec/artifacts/artifacts.hpp"
 #include "model/forest_model.hpp"
 #include "model/loaders.hpp"
+#include "quant/quant_plan.hpp"
 #include "model/model_io.hpp"
 #include "predict/predictor.hpp"
 #include "serve/server.hpp"
@@ -549,8 +551,42 @@ int cmd_verify(const Args& args, std::ostream& out) {
 
 int cmd_inspect(const Args& args, std::ostream& out) {
   const auto model = model::load_any_model<float>(args.require("model"));
+  const bool json = args.get("json", "no") != "no";
   args.check_all_used();
   const auto& forest = model.forest;
+
+  // The auto-tuner's verdict plus the 4-byte image's quantization plan:
+  // which features keep the bit-exact rank contract, which fall back to
+  // the calibrated affine map, and the measured per-feature fitness.
+  exec::artifacts::ExecArtifacts<float> art(forest);
+  std::string q4_why;
+  const exec::layout::Q4Forest<float>* q4 =
+      art.try_q4_at(art.plan().hot_depth, &q4_why);
+
+  if (json) {
+    const auto escape = [](const std::string& s) {
+      std::string r;
+      for (const char c : s) {
+        if (c == '"' || c == '\\') r += '\\';
+        r += c;
+      }
+      return r;
+    };
+    out << "{\"model\": \"" << escape(model.describe()) << "\", \"trees\": "
+        << forest.size() << ", \"classes\": "
+        << (model.is_vote() ? forest.num_classes() : model.num_classes())
+        << ", \"features\": " << forest.feature_count()
+        << ", \"nodes\": " << forest.total_nodes() << ", \"plan\": \""
+        << escape(art.plan().describe()) << "\", \"quant\": ";
+    if (q4 != nullptr) {
+      out << quant::report_json(q4->qplan);
+    } else {
+      out << "null, \"quant_error\": \"" << escape(q4_why) << "\"";
+    }
+    out << "}\n";
+    return 0;
+  }
+
   out << "model: " << model.describe() << "\n"
       << "forest: " << forest.size() << " trees, "
       << (model.is_vote() ? forest.num_classes() : model.num_classes())
@@ -560,6 +596,25 @@ int cmd_inspect(const Args& args, std::ostream& out) {
     out << "leaf values: " << model.leaf_rows() << " rows x "
         << model.n_outputs << " outputs, link "
         << model::to_string(model.aggregation.link) << "\n";
+  }
+  out << "plan: " << art.plan().describe() << "\n";
+  if (q4 != nullptr) {
+    const auto& plan = q4->qplan;
+    out << "quant: " << plan.describe() << " ("
+        << (plan.all_exact()
+                ? "bit-exact"
+                : plan.accuracy_contract() ? "threshold-preserving affine"
+                                           : "lossy affine")
+        << ")\n";
+    for (std::size_t f = 0; f < plan.features.size(); ++f) {
+      const auto& fq = plan.features[f];
+      if (fq.exact()) continue;
+      out << "  feature " << f << ": affine, " << fq.quantized_distinct << "/"
+          << fq.distinct << " thresholds survive (fitness " << fq.fitness()
+          << ")\n";
+    }
+  } else {
+    out << "quant: not packable at 4 bytes (" << q4_why << ")\n";
   }
   for (std::size_t t = 0; t < forest.size(); ++t) {
     const auto shape = trees::tree_shape(forest.tree(t));
@@ -582,6 +637,7 @@ std::string usage() {
     names.emplace_back("flint");
     for (const auto& list : {predict::simd_backends(),
                              predict::layout_backends(),
+                             predict::quant_backends(),
                              predict::jit_backends()}) {
       names.insert(names.end(), list.begin(), list.end());
     }
@@ -654,7 +710,11 @@ std::string usage() {
       "           and every packed artifact without running a prediction;\n"
       "           exit 0 = verified, 1 = diagnostics printed (--json for\n"
       "           machine-readable output; see docs/VERIFICATION.md)\n"
-      "  inspect  --model <model>\n";
+      "  inspect  --model <model> [--json]\n"
+      "           model/forest summary plus the layout auto-tuner's plan\n"
+      "           and the 4-byte quantization report: per-feature exact vs\n"
+      "           affine contract and threshold-survival fitness (--json\n"
+      "           for the machine-readable per-feature report)\n";
 }
 
 int run(std::span<const std::string> args, std::istream& in,
@@ -666,7 +726,7 @@ int run(std::span<const std::string> args, std::istream& in,
   const std::string command = args[0];
   const std::span<const std::string> rest = args.subspan(1);
   try {
-    const Args parsed(rest, command == "verify"
+    const Args parsed(rest, command == "verify" || command == "inspect"
                                 ? std::initializer_list<const char*>{"json"}
                                 : std::initializer_list<const char*>{});
     if (command == "gen") return cmd_gen(parsed, out);

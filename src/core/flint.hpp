@@ -144,6 +144,18 @@ to_radix_key(T v) noexcept {
   return static_cast<S>(static_cast<U>(b) ^ flip);
 }
 
+/// Inverse of to_radix_key.  The remap flips the magnitude bits exactly
+/// when the (preserved) sign bit is set, so applying the same transform to
+/// a key recovers the original float pattern — it is an involution.
+template <FlintFloat T>
+[[nodiscard]] constexpr T from_radix_key(
+    typename FloatTraits<T>::Signed key) noexcept {
+  using S = typename FloatTraits<T>::Signed;
+  using U = typename FloatTraits<T>::Unsigned;
+  const U flip = static_cast<U>(key >> (FloatTraits<T>::bits - 1)) >> 1;
+  return from_si_bits<T>(static_cast<S>(static_cast<U>(key) ^ flip));
+}
+
 /// FP(a) >= FP(b) via the radix-key remap.
 template <FlintFloat T>
 [[nodiscard]] constexpr bool ge_radix(T a, T b) noexcept {

@@ -19,6 +19,17 @@ ExecArtifacts<T>::ExecArtifacts(const trees::Forest<T>& forest,
   fit_.feature_count = forest.feature_count();
   fit_.num_classes = forest.num_classes();
   plan_ = layout::auto_plan(stats_, fit_, block_size, cache, force_width);
+  // An auto Q4 verdict is tentative: the pack-time bit budget and the
+  // quantization contract (exact ranks, or threshold-preserving affine
+  // maps) decide whether the 4-byte image may serve.  Pack it now; on any
+  // failure demote and re-tune with the 4-byte rung closed.
+  if (!force_width && plan_.width == layout::NodeWidth::Q4) {
+    const layout::Q4Forest<T>* img = try_q4_at(plan_.hot_depth);
+    if (img == nullptr || !(img->exact() || img->qplan.accuracy_contract())) {
+      fit_.allow_q4 = false;
+      plan_ = layout::auto_plan(stats_, fit_, block_size, cache, force_width);
+    }
+  }
 }
 
 template <typename T>
@@ -64,6 +75,27 @@ ExecArtifacts<T>::try_compact8_at(std::size_t hot_depth, std::string* why) {
 }
 
 template <typename T>
+const layout::Q4Forest<T>* ExecArtifacts<T>::try_q4_at(std::size_t hot_depth,
+                                                       std::string* why) {
+  auto it = q4_.find(hot_depth);
+  if (it == q4_.end()) {
+    layout::LayoutPlan plan = plan_;
+    plan.width = layout::NodeWidth::Q4;
+    plan.hot_depth = hot_depth;
+    std::string reason;
+    auto packed = layout::try_pack_q4<T>(*forest_, plan, tables_,
+                                         /*force_affine=*/false, &reason);
+    it = q4_.emplace(hot_depth, std::move(packed)).first;
+    q4_why_[hot_depth] = reason;
+  }
+  if (!it->second) {
+    if (why != nullptr) *why = q4_why_[hot_depth];
+    return nullptr;
+  }
+  return &*it->second;
+}
+
+template <typename T>
 const layout::CompactForest<T, layout::CompactNode16>&
 ExecArtifacts<T>::compact16() {
   std::string why;
@@ -81,6 +113,16 @@ ExecArtifacts<T>::compact8() {
   const auto* packed = try_compact8_at(plan_.hot_depth, &why);
   if (packed == nullptr) {
     throw std::invalid_argument("ExecArtifacts::compact8: " + why);
+  }
+  return *packed;
+}
+
+template <typename T>
+const layout::Q4Forest<T>& ExecArtifacts<T>::q4() {
+  std::string why;
+  const auto* packed = try_q4_at(plan_.hot_depth, &why);
+  if (packed == nullptr) {
+    throw std::invalid_argument("ExecArtifacts::q4: " + why);
   }
   return *packed;
 }

@@ -13,6 +13,7 @@
 //   * PackedNode image       — via the wide Encoded interpreter engine,
 //   * SoaForest              — SIMD arrays with narrowed keys,
 //   * CompactForest<16/8>    — compact images, cached per hot_depth,
+//   * Q4Forest               — the 4-byte quantized image + its QuantPlan,
 //   * content_hash           — a structural FNV-1a digest keying the JIT
 //                              compile cache.
 //
@@ -33,6 +34,7 @@
 #include "exec/layout/compact.hpp"
 #include "exec/layout/narrow.hpp"
 #include "exec/layout/plan.hpp"
+#include "exec/layout/quant4.hpp"
 #include "exec/simd/soa.hpp"
 #include "trees/forest.hpp"
 #include "trees/tree_stats.hpp"
@@ -43,7 +45,14 @@ template <typename T>
 class ExecArtifacts {
  public:
   /// Builds the summary artifacts (stats, key tables, narrowing fit, layout
-  /// plan).  Packed images are built lazily.  `forest` is borrowed.
+  /// plan).  Packed images are built lazily — except when the auto-tuner
+  /// picks the 4-byte width: a Q4 plan is only tentative until the image
+  /// packs AND its quantization contract holds (bit-exact ranks, or every
+  /// affine feature preserving its thresholds), so that image is packed
+  /// eagerly here and the plan demoted (allow_q4 = false, re-tuned) when
+  /// the contract fails.  A pinned force_width skips the demotion — the
+  /// caller asked for that width and gets the packer's error instead.
+  /// `forest` is borrowed.
   explicit ExecArtifacts(
       const trees::Forest<T>& forest, std::size_t block_size = 64,
       const layout::CacheInfo& cache = layout::detect_cache_info(),
@@ -70,10 +79,13 @@ class ExecArtifacts {
   /// every width without aborting).
   const layout::CompactForest<T, layout::CompactNode16>& compact16();
   const layout::CompactForest<T, layout::CompactNode8>& compact8();
+  const layout::Q4Forest<T>& q4();
   const layout::CompactForest<T, layout::CompactNode16>* try_compact16_at(
       std::size_t hot_depth, std::string* why = nullptr);
   const layout::CompactForest<T, layout::CompactNode8>* try_compact8_at(
       std::size_t hot_depth, std::string* why = nullptr);
+  const layout::Q4Forest<T>* try_q4_at(std::size_t hot_depth,
+                                       std::string* why = nullptr);
 
   /// The wide interpreter's packed image, via the Encoded engine (cached).
   const FlintForestEngine<T>& packed_engine();
@@ -99,8 +111,10 @@ class ExecArtifacts {
   std::map<std::size_t,
            std::optional<layout::CompactForest<T, layout::CompactNode8>>>
       c8_;
+  std::map<std::size_t, std::optional<layout::Q4Forest<T>>> q4_;
   std::map<std::size_t, std::string> c16_why_;
   std::map<std::size_t, std::string> c8_why_;
+  std::map<std::size_t, std::string> q4_why_;
   std::optional<FlintForestEngine<T>> packed_;
   std::optional<simd::SoaForest<T>> soa_;
   mutable std::optional<std::uint64_t> hash_;

@@ -55,6 +55,115 @@ void set_categorical(CompactNode8& n) { n.right_off |= kC8CategoricalBit; }
 // Packing: emission order (hot slab + preorder clusters), then node fill.
 // ---------------------------------------------------------------------------
 
+template <typename T>
+EmissionOrder compute_emission_order(const trees::Forest<T>& forest,
+                                     std::size_t hot_depth) {
+  // A spine (a node and its chain of left descendants down to a leaf) is
+  // the atomic placement unit: the implicit-left rule welds it together.
+  // Spines whose branch depth is < hot_depth are emitted breadth-first
+  // across all trees into the shared hot slab; every other subtree is
+  // deferred and later emitted as one contiguous preorder cluster.
+  struct Item {
+    std::int32_t tree;
+    std::int32_t node;
+    std::uint32_t depth;
+  };
+  const std::size_t total = forest.total_nodes();
+  EmissionOrder eo;
+  eo.pos.resize(forest.size());
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    eo.pos[t].assign(forest.tree(t).size(), -1);
+  }
+  eo.order.reserve(total);
+  std::deque<Item> fifo;
+  std::vector<Item> cold;
+
+  auto emit_spine = [&](Item it) {
+    const auto& tree = forest.tree(static_cast<std::size_t>(it.tree));
+    std::int32_t n = it.node;
+    std::uint32_t d = it.depth;
+    while (true) {
+      eo.pos[static_cast<std::size_t>(it.tree)][static_cast<std::size_t>(n)] =
+          static_cast<std::int32_t>(eo.order.size());
+      eo.order.push_back({it.tree, n});
+      const auto& nd = tree.node(n);
+      if (nd.is_leaf()) break;
+      const Item right{it.tree, nd.right, d + 1};
+      if (right.depth < hot_depth) {
+        fifo.push_back(right);
+      } else {
+        cold.push_back(right);
+      }
+      n = nd.left;
+      ++d;
+    }
+  };
+
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    const Item root{static_cast<std::int32_t>(t), 0, 0};
+    if (hot_depth == 0) {
+      cold.push_back(root);
+    } else {
+      fifo.push_back(root);
+    }
+  }
+  while (!fifo.empty()) {
+    const Item it = fifo.front();
+    fifo.pop_front();
+    emit_spine(it);
+  }
+  eo.hot_nodes = eo.order.size();
+  // Cold phase: each deferred subtree as one preorder cluster (preorder
+  // emits a parent's left child immediately after it, satisfying the
+  // implicit-left rule within the cluster).
+  std::vector<std::int32_t> stack;
+  for (const Item& sub : cold) {
+    const auto& tree = forest.tree(static_cast<std::size_t>(sub.tree));
+    stack.assign(1, sub.node);
+    while (!stack.empty()) {
+      const std::int32_t n = stack.back();
+      stack.pop_back();
+      eo.pos[static_cast<std::size_t>(sub.tree)][static_cast<std::size_t>(n)] =
+          static_cast<std::int32_t>(eo.order.size());
+      eo.order.push_back({sub.tree, n});
+      const auto& nd = tree.node(n);
+      if (!nd.is_leaf()) {
+        stack.push_back(nd.right);  // popped second
+        stack.push_back(nd.left);   // popped first: lands at parent + 1
+      }
+    }
+  }
+  if (eo.order.size() != total) {
+    throw std::logic_error(
+        "layout::compute_emission_order: emission order dropped nodes");
+  }
+  // Placement invariants + the offset extent formats size their fields
+  // from: left child at parent + 1, right child strictly after its parent.
+  for (std::size_t p = 0; p < total; ++p) {
+    const EmissionItem it = eo.order[p];
+    const auto& tree = forest.tree(static_cast<std::size_t>(it.tree));
+    const auto& nd = tree.node(it.node);
+    if (nd.is_leaf()) continue;
+    const auto& tpos = eo.pos[static_cast<std::size_t>(it.tree)];
+    if (tpos[static_cast<std::size_t>(nd.left)] !=
+        static_cast<std::int32_t>(p) + 1) {
+      throw std::logic_error(
+          "layout::compute_emission_order: placement broke the implicit-left "
+          "rule");
+    }
+    const std::int64_t off =
+        static_cast<std::int64_t>(tpos[static_cast<std::size_t>(nd.right)]) -
+        static_cast<std::int64_t>(p);
+    if (off <= 0) {
+      throw std::logic_error(
+          "layout::compute_emission_order: right child placed before its "
+          "parent");
+    }
+    eo.max_right_offset = std::max(eo.max_right_offset, off);
+  }
+  return eo;
+}
+
 template <typename T, typename Node>
 std::optional<CompactForest<T, Node>> try_pack(const trees::Forest<T>& forest,
                                                const LayoutPlan& plan,
@@ -109,85 +218,11 @@ std::optional<CompactForest<T, Node>> try_pack(const trees::Forest<T>& forest,
     }
   }
 
-  // --- Pass 1: emission order. ---------------------------------------------
-  // A spine (a node and its chain of left descendants down to a leaf) is
-  // the atomic placement unit: the implicit-left rule welds it together.
-  // Spines whose branch depth is < hot_depth are emitted breadth-first
-  // across all trees into the shared hot slab; every other subtree is
-  // deferred and later emitted as one contiguous preorder cluster.
-  struct Item {
-    std::int32_t tree;
-    std::int32_t node;
-    std::uint32_t depth;
-  };
+  // --- Pass 1: emission order (shared placement pass). ---------------------
+  const EmissionOrder eo = compute_emission_order(forest, plan.hot_depth);
   const std::size_t total = forest.total_nodes();
-  std::vector<std::vector<std::int32_t>> pos(forest.size());
-  for (std::size_t t = 0; t < forest.size(); ++t) {
-    pos[t].assign(forest.tree(t).size(), -1);
-  }
-  std::vector<Item> order;
-  order.reserve(total);
-  std::deque<Item> fifo;
-  std::vector<Item> cold;
-
-  auto emit_spine = [&](Item it) {
-    const auto& tree = forest.tree(static_cast<std::size_t>(it.tree));
-    std::int32_t n = it.node;
-    std::uint32_t d = it.depth;
-    while (true) {
-      pos[static_cast<std::size_t>(it.tree)][static_cast<std::size_t>(n)] =
-          static_cast<std::int32_t>(order.size());
-      order.push_back({it.tree, n, d});
-      const auto& nd = tree.node(n);
-      if (nd.is_leaf()) break;
-      const Item right{it.tree, nd.right, d + 1};
-      if (right.depth < plan.hot_depth) {
-        fifo.push_back(right);
-      } else {
-        cold.push_back(right);
-      }
-      n = nd.left;
-      ++d;
-    }
-  };
-
-  for (std::size_t t = 0; t < forest.size(); ++t) {
-    const Item root{static_cast<std::int32_t>(t), 0, 0};
-    if (plan.hot_depth == 0) {
-      cold.push_back(root);
-    } else {
-      fifo.push_back(root);
-    }
-  }
-  while (!fifo.empty()) {
-    const Item it = fifo.front();
-    fifo.pop_front();
-    emit_spine(it);
-  }
-  packed.hot_nodes = order.size();
-  // Cold phase: each deferred subtree as one preorder cluster (preorder
-  // emits a parent's left child immediately after it, satisfying the
-  // implicit-left rule within the cluster).
-  std::vector<std::int32_t> stack;
-  for (const Item& sub : cold) {
-    const auto& tree = forest.tree(static_cast<std::size_t>(sub.tree));
-    stack.assign(1, sub.node);
-    while (!stack.empty()) {
-      const std::int32_t n = stack.back();
-      stack.pop_back();
-      pos[static_cast<std::size_t>(sub.tree)][static_cast<std::size_t>(n)] =
-          static_cast<std::int32_t>(order.size());
-      order.push_back({sub.tree, n, 0});
-      const auto& nd = tree.node(n);
-      if (!nd.is_leaf()) {
-        stack.push_back(nd.right);  // popped second
-        stack.push_back(nd.left);   // popped first: lands at parent + 1
-      }
-    }
-  }
-  if (order.size() != total) {
-    throw std::logic_error("layout::try_pack: emission order dropped nodes");
-  }
+  const auto& pos = eo.pos;
+  packed.hot_nodes = eo.hot_nodes;
 
   // --- Pass 2: fill nodes (keys, offsets, roots). --------------------------
   packed.nodes.resize(total);
@@ -196,7 +231,7 @@ std::optional<CompactForest<T, Node>> try_pack(const trees::Forest<T>& forest,
     packed.roots[t] = pos[t][0];
   }
   for (std::size_t p = 0; p < total; ++p) {
-    const Item it = order[p];
+    const EmissionItem it = eo.order[p];
     const auto& tree = forest.tree(static_cast<std::size_t>(it.tree));
     const auto& nd = tree.node(it.node);
     Node out{};
@@ -737,6 +772,10 @@ std::int32_t LayoutForestEngine<T>::predict(std::span<const T> x) const {
   return result;
 }
 
+template EmissionOrder compute_emission_order<float>(
+    const trees::Forest<float>&, std::size_t);
+template EmissionOrder compute_emission_order<double>(
+    const trees::Forest<double>&, std::size_t);
 template struct CompactForest<float, CompactNode16>;
 template struct CompactForest<float, CompactNode8>;
 template struct CompactForest<double, CompactNode16>;

@@ -211,6 +211,38 @@ struct CompactForest {
   }
 };
 
+/// One slot of an emission order: which source node sits at this packed
+/// position.
+struct EmissionItem {
+  std::int32_t tree = 0;
+  std::int32_t node = 0;
+};
+
+/// The placement pass shared by every packed node format.  Placement is
+/// geometry-independent — it decides only the ORDER nodes are emitted in
+/// (hot slab spines breadth-first across trees, then preorder cold
+/// clusters; see the file comment) — so formats whose field widths depend
+/// on the resulting offsets (the 4-byte quantized word sizes its offset
+/// bits from max_right_offset) can compute the order first and pick their
+/// geometry second.
+struct EmissionOrder {
+  std::vector<EmissionItem> order;  ///< packed position -> source node
+  std::vector<std::vector<std::int32_t>> pos;  ///< [tree][node] -> position
+  std::size_t hot_nodes = 0;  ///< leading nodes in the hot slab (0 = pure DFS)
+  /// Largest relative right-child offset any inner node needs (0 when the
+  /// forest is all leaves).
+  std::int64_t max_right_offset = 0;
+};
+
+/// Computes the emission order for `forest` at `hot_depth` and verifies the
+/// placement invariants every compact format relies on (left child at
+/// parent + 1, every right child after its parent, no node dropped).
+/// Throws std::logic_error when an invariant fails — impossible by
+/// construction; the check guards refactors.
+template <typename T>
+[[nodiscard]] EmissionOrder compute_emission_order(
+    const trees::Forest<T>& forest, std::size_t hot_depth);
+
 /// Packs `forest` per `plan` (width + hot_depth are consulted; Wide is not
 /// packable).  Returns std::nullopt and sets `why` when the model cannot be
 /// represented at this width (rank/feature/class overflow) — the factory
@@ -293,6 +325,10 @@ class LayoutForestEngine {
       packed_;
 };
 
+extern template EmissionOrder compute_emission_order<float>(
+    const trees::Forest<float>&, std::size_t);
+extern template EmissionOrder compute_emission_order<double>(
+    const trees::Forest<double>&, std::size_t);
 extern template struct CompactForest<float, CompactNode16>;
 extern template struct CompactForest<float, CompactNode8>;
 extern template struct CompactForest<double, CompactNode16>;

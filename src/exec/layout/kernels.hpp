@@ -43,6 +43,18 @@ void predict_tiles_avx2(const CompactNode8* nodes, const std::int32_t* roots,
                         std::size_t n_tiles, std::size_t cols, int* votes,
                         std::size_t classes);
 
+/// The 4-byte (layout:q4) walk: one gather per step fetches the whole node
+/// word, decoded with the forest's pack-time bit split (key_bits low,
+/// feature_bits above, right offset above that, sign bit = leaf).  `words`
+/// is the packed CompactNode4 image viewed as raw uint32s so this header
+/// needs no quant4.hpp include; tiles carry the batch-boundary quantized
+/// sample keys (already integers — no remap ran per block).
+void predict_tiles_q4_avx2(const std::uint32_t* words,
+                           const std::int32_t* roots, std::size_t trees,
+                           const std::int32_t* tiles, std::size_t n_tiles,
+                           std::size_t cols, int* votes, std::size_t classes,
+                           std::uint32_t key_bits, std::uint32_t feature_bits);
+
 #endif  // FLINT_SIMD_AVX2
 
 }  // namespace flint::exec::layout

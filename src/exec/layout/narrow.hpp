@@ -56,17 +56,24 @@ struct KeyTable {
 
   /// rank of a radix key: |{ k in sorted : k < key }| in [0, size()].
   [[nodiscard]] std::int32_t rank_of_key(Signed key) const noexcept {
-    // Branch-light binary search (sorted is strictly ascending).
-    std::size_t lo = 0, hi = sorted.size();
-    while (lo < hi) {
-      const std::size_t mid = lo + (hi - lo) / 2;
-      if (sorted[mid] < key) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
+    // Branchless lower bound (sorted is strictly ascending).  The classic
+    // lo/hi binary search takes a data-dependent branch every iteration;
+    // on the remap hot path (one search per feature per sample) those
+    // mispredictions dominated the narrow formats' per-sample cost — the
+    // layout:c8 smoke-model regression.  This halving form advances `base`
+    // by a conditional move instead, so the only branch is the loop
+    // counter, which predicts perfectly (trip count depends on size alone).
+    const Signed* base = sorted.data();
+    std::size_t n = sorted.size();
+    while (n > 1) {
+      const std::size_t half = n / 2;
+      base += (base[half - 1] < key) ? half : 0;  // cmov, not a branch
+      n -= half;
     }
-    return static_cast<std::int32_t>(lo);
+    const std::size_t last =
+        (n == 1 && *base < key) ? 1 : 0;  // element strictly below key
+    return static_cast<std::int32_t>(
+        static_cast<std::size_t>(base - sorted.data()) + last);
   }
 
   /// rank of a float value in the FLInt total order.

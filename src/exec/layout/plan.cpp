@@ -14,6 +14,7 @@ const char* to_string(NodeWidth w) {
   switch (w) {
     case NodeWidth::C16: return "c16";
     case NodeWidth::C8: return "c8";
+    case NodeWidth::Q4: return "q4";
     case NodeWidth::Wide: return "wide";
   }
   return "?";
@@ -152,13 +153,30 @@ std::string width_unfit_reason(NodeWidth width, const NarrowFit& fit) {
         return "class id does not fit the int16 node key";
       }
       return {};
+    case NodeWidth::Q4:
+      // Necessary static bounds only; the per-forest feature/offset/key
+      // bit split is resolved at pack time (try_pack_q4 reports the
+      // precise reason when the 31-bit budget cannot be met).
+      if (fit.feature_count > 32767) {
+        return "feature index does not fit the 4-byte node's feature bits";
+      }
+      if (fit.num_classes > 65535) {
+        return "class id does not fit the 4-byte node's key bits";
+      }
+      return {};
   }
   return "unknown node width";
 }
 
 namespace {
 
-std::size_t node_bytes(NodeWidth w) { return w == NodeWidth::C8 ? 8 : 16; }
+std::size_t node_bytes(NodeWidth w) {
+  switch (w) {
+    case NodeWidth::Q4: return 4;
+    case NodeWidth::C8: return 8;
+    default: return 16;
+  }
+}
 
 }  // namespace
 
@@ -192,9 +210,21 @@ LayoutPlan auto_plan(const trees::ForestStats& stats, const NarrowFit& fit,
     }
     const double walk =
         static_cast<double>(stats.trees.size()) * stats.mean_leaf_depth;
-    if (width_fits(NodeWidth::C8, fit) &&
-        stats.total_nodes * node_bytes(NodeWidth::C16) > 2 * l2 &&
-        remap_cost * 4.0 < walk) {
+    const bool cache_hostile =
+        stats.total_nodes * node_bytes(NodeWidth::C16) > 2 * l2;
+    const bool remap_amortized = remap_cost * 4.0 < walk;
+    // Narrow-width ladder, 4-byte first: q4 halves c8's image again and its
+    // remap runs once per batch rather than once per block, so whenever c8
+    // would have been worth the remap, q4 dominates it.  The caller
+    // (predictor factory / ExecArtifacts) packs eagerly and demotes via
+    // fit.allow_q4 = false when the bit budget or the quantization
+    // accuracy contract fails, so an auto Q4 plan that survives here is
+    // only tentative until the pack succeeds.
+    if (fit.allow_q4 && width_fits(NodeWidth::Q4, fit) && cache_hostile &&
+        remap_amortized) {
+      plan.width = NodeWidth::Q4;
+    } else if (width_fits(NodeWidth::C8, fit) && cache_hostile &&
+               remap_amortized) {
       plan.width = NodeWidth::C8;
     }
   }

@@ -45,8 +45,13 @@
 namespace flint::exec::layout {
 
 /// Compact node width; Wide means "do not re-pack, use the wide
-/// interpreter" (make_predictor falls back to the encoded engine).
-enum class NodeWidth { C16, C8, Wide };
+/// interpreter" (make_predictor falls back to the encoded engine).  Q4 is
+/// the 4-byte quantized word (exec/layout/quant4.hpp): feature/offset/key
+/// bit budgets are resolved per forest at pack time, so its static fit
+/// checks here are necessary-but-not-sufficient — callers that auto-tune
+/// Q4 must be prepared to demote when packing or the quantization contract
+/// fails (NarrowFit::allow_q4 is the demotion lever).
+enum class NodeWidth { C16, C8, Q4, Wide };
 
 [[nodiscard]] const char* to_string(NodeWidth w);
 
@@ -119,6 +124,12 @@ struct NarrowFit {
   bool ranks_fit_int16 = false;     ///< every per-feature table <= 32767 keys
   std::size_t feature_count = 0;
   int num_classes = 0;
+  /// Permission flag for the auto ladder only (pinned layout:q4 ignores
+  /// it): cleared by callers after a Q4 pack or contract failure, so
+  /// re-running auto_plan yields the best non-quantized plan.  Q4
+  /// packability depends on per-forest bit budgets known only at pack
+  /// time, hence this try-then-demote protocol instead of a static check.
+  bool allow_q4 = true;
 };
 
 /// Picks width + placement + traversal for a forest; `stats` and `fit` are

@@ -26,6 +26,7 @@
 #include "exec/layout/compact.hpp"
 #include "exec/layout/narrow.hpp"
 #include "exec/layout/plan.hpp"
+#include "exec/layout/quant4.hpp"
 #include "exec/simd/simd_engine.hpp"
 #include "jit/cache.hpp"
 #include "predict/jit_predictor.hpp"
@@ -546,6 +547,39 @@ class LayoutPredictor final : public Predictor<T> {
   exec::layout::LayoutForestEngine<T> engine_;
 };
 
+/// 4-byte quantized layout backend (layout:q4 / quant:affine): binds an
+/// already-packed Q4Forest — the factory packs once, checks the
+/// quantization contract, then hands the image over — and serves batches
+/// through the batch-boundary integer pipeline.
+template <typename T>
+class Q4LayoutPredictor final : public Predictor<T> {
+ public:
+  Q4LayoutPredictor(exec::layout::Q4Forest<T> packed,
+                    const exec::layout::LayoutPlan& plan,
+                    std::string name = {})
+      : engine_(std::move(packed), plan), name_(std::move(name)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return name_.empty() ? "layout:" + engine_.plan().describe() : name_;
+  }
+  [[nodiscard]] int num_classes() const noexcept override {
+    return engine_.num_classes();
+  }
+  [[nodiscard]] std::size_t feature_count() const noexcept override {
+    return engine_.feature_count();
+  }
+
+ protected:
+  void do_predict_batch(const T* features, std::size_t n_samples,
+                        std::int32_t* out) const override {
+    engine_.predict_batch(features, n_samples, out);
+  }
+
+ private:
+  exec::layout::Q4ForestEngine<T> engine_;
+  std::string name_;
+};
+
 // ---------------------------------------------------------------------------
 // Score backends: float-accumulate epilogues for additive leaf-value models
 // (model::ForestModel with SumScores aggregation).  Every backend
@@ -788,6 +822,37 @@ class LayoutScorePredictor final : public ScorePredictorBase<T> {
 
  private:
   exec::layout::LayoutForestEngine<T> engine_;
+};
+
+/// 4-byte quantized SCORE backend: leaf payloads are leaf-value row
+/// indices bounded by the q4 key mask at pack time; accumulation is tree-
+/// order like every other score backend.
+template <typename T>
+class Q4LayoutScorePredictor final : public ScorePredictorBase<T> {
+ public:
+  Q4LayoutScorePredictor(const model::ForestModel<T>& m,
+                         exec::layout::Q4Forest<T> packed,
+                         const exec::layout::LayoutPlan& plan,
+                         std::string name = {})
+      : ScorePredictorBase<T>(ScoreSpec<T>::from(m), m.forest.feature_count()),
+        engine_(std::move(packed), plan),
+        name_(std::move(name)) {}
+
+  [[nodiscard]] std::string name() const override {
+    return name_.empty() ? "layout:" + engine_.plan().describe() : name_;
+  }
+
+ protected:
+  void accumulate_scores(const T* features, std::size_t n_samples,
+                         T* out) const override {
+    engine_.predict_scores(features, n_samples, this->spec_.leaf_values,
+                           static_cast<std::size_t>(this->spec_.n_outputs),
+                           this->spec_.base, out);
+  }
+
+ private:
+  exec::layout::Q4ForestEngine<T> engine_;
+  std::string name_;
 };
 
 /// jit:layout vote backend: a generated tile-blocked batch body compiled
@@ -1127,7 +1192,11 @@ std::vector<std::string> simd_backends() {
 }
 
 std::vector<std::string> layout_backends() {
-  return {"layout:auto", "layout:c16", "layout:c8"};
+  return {"layout:auto", "layout:c16", "layout:c8", "layout:q4"};
+}
+
+std::vector<std::string> quant_backends() {
+  return {"quant:affine"};
 }
 
 std::vector<std::string> jit_backends() {
@@ -1147,7 +1216,8 @@ std::vector<std::string> jit_backends() {
 bool is_known_backend(std::string_view backend) {
   if (backend == "flint") return true;  // factory alias for "encoded"
   for (const auto& list : {interpreter_backends(), simd_backends(),
-                           layout_backends(), jit_backends()}) {
+                           layout_backends(), quant_backends(),
+                           jit_backends()}) {
     for (const auto& name : list) {
       if (name == backend) return true;
     }
@@ -1166,6 +1236,9 @@ std::string backend_help() {
     help += "|" + name;
   }
   for (const auto& name : layout_backends()) {
+    help += "|" + name;
+  }
+  for (const auto& name : quant_backends()) {
     help += "|" + name;
   }
   for (const auto& name : jit_backends()) {
@@ -1199,7 +1272,7 @@ std::size_t edit_distance(std::string_view a, std::string_view b) {
 std::string suggest_backend(std::string_view backend) {
   std::vector<std::string> names;
   for (auto& list : {interpreter_backends(), simd_backends(),
-                     layout_backends(), jit_backends()}) {
+                     layout_backends(), quant_backends(), jit_backends()}) {
     names.insert(names.end(), list.begin(), list.end());
   }
   names.emplace_back("flint");
@@ -1287,21 +1360,30 @@ std::unique_ptr<Predictor<T>> make_jit_predictor(
 
 /// The layout planning chain shared by the vote and score factories: key
 /// tables + forest stats computed once, "auto" falling back down the width
-/// chain (c8 -> c16 -> Wide), pinned widths validated against the narrow
-/// fitness.  `plan.width == Wide` tells the caller to serve through the
-/// wide encoded interpreter instead.
+/// chain (q4 -> c8 -> c16 -> Wide), pinned widths validated against the
+/// narrow fitness.  `plan.width == Wide` tells the caller to serve through
+/// the wide encoded interpreter instead.  When the plan lands on the
+/// 4-byte width, `q4` carries the image packed while deciding — an auto Q4
+/// verdict only stands once the pack succeeds AND the quantization
+/// contract holds (bit-exact ranks, or every affine feature preserving its
+/// thresholds); otherwise the plan is re-tuned with the 4-byte rung closed.
+/// A pinned layout:q4 skips the contract check (the caller asked for the
+/// quantized image, lossy or not) and throws when it cannot pack.
 template <typename T>
 struct LayoutChoice {
   exec::layout::LayoutPlan plan;
   exec::layout::KeyTableSet<T> tables;
+  std::optional<exec::layout::Q4Forest<T>> q4;
 };
 
 template <typename T>
 LayoutChoice<T> choose_layout(const trees::Forest<T>& forest,
                               std::string_view mode,
-                              const PredictorOptions& options) {
+                              const PredictorOptions& options,
+                              bool force_affine = false) {
   namespace layout = exec::layout;
   const trees::ForestStats stats = trees::forest_stats(forest);
+  const layout::CacheInfo cache = layout::detect_cache_info();
   layout::KeyTableSet<T> tables = layout::build_key_tables(forest);
   layout::NarrowFit fit;
   fit.ranks_fit_int16 = tables.fits_int16();
@@ -1309,9 +1391,10 @@ LayoutChoice<T> choose_layout(const trees::Forest<T>& forest,
   fit.num_classes = forest.num_classes();
 
   std::optional<layout::NodeWidth> force_width;
-  if (mode == "c16" || mode == "c8") {
-    force_width = mode == "c16" ? layout::NodeWidth::C16
-                                : layout::NodeWidth::C8;
+  if (mode == "c16" || mode == "c8" || mode == "q4") {
+    force_width = mode == "c16"  ? layout::NodeWidth::C16
+                  : mode == "c8" ? layout::NodeWidth::C8
+                                 : layout::NodeWidth::Q4;
     const std::string reason = layout::width_unfit_reason(*force_width, fit);
     if (!reason.empty()) {
       throw std::invalid_argument("make_predictor: layout:" +
@@ -1323,24 +1406,63 @@ LayoutChoice<T> choose_layout(const trees::Forest<T>& forest,
   }
   // Placement/traversal are tuned for the width actually packed (a pinned
   // width gets its own image-size decisions, not auto's).
-  return {layout::auto_plan(stats, fit, options.block_size,
-                            layout::detect_cache_info(), force_width),
-          std::move(tables)};
+  LayoutChoice<T> choice{layout::auto_plan(stats, fit, options.block_size,
+                                           cache, force_width),
+                         std::move(tables), std::nullopt};
+  if (choice.plan.width == layout::NodeWidth::Q4) {
+    std::string why;
+    auto packed = layout::try_pack_q4<T>(forest, choice.plan, choice.tables,
+                                         force_affine, &why);
+    if (force_width) {
+      if (!packed) {
+        throw std::invalid_argument("make_predictor: layout:q4 cannot pack "
+                                    "this model (" + why + ")");
+      }
+      choice.q4 = std::move(packed);
+    } else if (packed &&
+               (packed->exact() || packed->qplan.accuracy_contract())) {
+      choice.q4 = std::move(packed);
+    } else {
+      fit.allow_q4 = false;
+      choice.plan = layout::auto_plan(stats, fit, options.block_size, cache,
+                                      force_width);
+    }
+  }
+  return choice;
 }
 
-/// Builds a compact-layout predictor.  `mode` is "auto", "c16" or "c8".
+/// Builds a compact-layout predictor.  `mode` is "auto", "c16", "c8" or
+/// "q4".
 template <typename T>
 std::unique_ptr<Predictor<T>> make_layout_predictor(
     const trees::Forest<T>& forest, std::string_view mode,
     const PredictorOptions& options) {
-  const LayoutChoice<T> choice = choose_layout(forest, mode, options);
+  LayoutChoice<T> choice = choose_layout(forest, mode, options);
   if (choice.plan.width == exec::layout::NodeWidth::Wide) {
     // Nothing compact fits: serve through the proven wide interpreter.
     return std::make_unique<FlintEnginePredictor<T>>(
         forest, exec::FlintVariant::Encoded, options.block_size);
   }
+  if (choice.plan.width == exec::layout::NodeWidth::Q4) {
+    return std::make_unique<Q4LayoutPredictor<T>>(std::move(*choice.q4),
+                                                  choice.plan);
+  }
   return std::make_unique<LayoutPredictor<T>>(forest, choice.plan,
                                               choice.tables);
+}
+
+/// quant:affine — the deterministic lossy path: every feature with splits
+/// routes through its calibrated affine map inside the real 4-byte
+/// pipeline (same image format, kernels and batch-boundary quantization as
+/// layout:q4; only the per-feature quantizers differ).
+template <typename T>
+std::unique_ptr<Predictor<T>> make_quant_affine_predictor(
+    const trees::Forest<T>& forest, const PredictorOptions& options) {
+  LayoutChoice<T> choice =
+      choose_layout(forest, "q4", options, /*force_affine=*/true);
+  return std::make_unique<Q4LayoutPredictor<T>>(
+      std::move(*choice.q4), choice.plan,
+      "quant:affine(" + choice.plan.describe() + ")");
 }
 
 /// Builds a compact-layout SCORE predictor via the same planning chain;
@@ -1351,13 +1473,27 @@ template <typename T>
 std::unique_ptr<Predictor<T>> make_layout_score_predictor(
     const model::ForestModel<T>& m, std::string_view mode,
     const PredictorOptions& options) {
-  const LayoutChoice<T> choice = choose_layout(m.forest, mode, options);
+  LayoutChoice<T> choice = choose_layout(m.forest, mode, options);
   if (choice.plan.width == exec::layout::NodeWidth::Wide) {
     return std::make_unique<FlintScorePredictor<T>>(
         m, exec::FlintVariant::Encoded, options.block_size);
   }
+  if (choice.plan.width == exec::layout::NodeWidth::Q4) {
+    return std::make_unique<Q4LayoutScorePredictor<T>>(
+        m, std::move(*choice.q4), choice.plan);
+  }
   return std::make_unique<LayoutScorePredictor<T>>(m, choice.plan,
                                                    choice.tables);
+}
+
+template <typename T>
+std::unique_ptr<Predictor<T>> make_quant_affine_score_predictor(
+    const model::ForestModel<T>& m, const PredictorOptions& options) {
+  LayoutChoice<T> choice =
+      choose_layout(m.forest, "q4", options, /*force_affine=*/true);
+  return std::make_unique<Q4LayoutScorePredictor<T>>(
+      m, std::move(*choice.q4), choice.plan,
+      "quant:affine(" + choice.plan.describe() + ")");
 }
 
 /// Bumped whenever generate_layout's output changes shape, so stale cache
@@ -1515,6 +1651,9 @@ std::unique_ptr<Predictor<T>> make_score_predictor(
   if (backend.rfind("layout:", 0) == 0) {
     return make_layout_score_predictor(m, backend.substr(7), options);
   }
+  if (backend == "quant:affine") {
+    return make_quant_affine_score_predictor(m, options);
+  }
   if (backend == "jit:layout") {
     return make_layout_jit_score_predictor(m, options);
   }
@@ -1612,6 +1751,8 @@ std::unique_ptr<Predictor<T>> make_predictor(const trees::Forest<T>& forest,
         forest, exec::simd::SimdMode::Float, options.block_size);
   } else if (backend.rfind("layout:", 0) == 0) {
     predictor = make_layout_predictor(forest, backend.substr(7), options);
+  } else if (backend == "quant:affine") {
+    predictor = make_quant_affine_predictor(forest, options);
   } else if (backend == "jit:layout") {
     // Generated from the same compact image the layout engine executes —
     // NaN default directions and categorical masks are generated code, so

@@ -245,6 +245,19 @@ struct PredictorOptions {
 ///   layout:c16 | layout:c8    LayoutForestEngine pinned to 16- or 8-byte
 ///                             compact nodes (throws when the model cannot
 ///                             be narrowed to that width)
+///   layout:q4                 Q4ForestEngine pinned to 4-byte quantized
+///                             nodes (exec/layout/quant4.hpp): per-feature
+///                             exact-rank or calibrated-affine thresholds
+///                             under a QuantPlan, features quantized once
+///                             per batch, integer-only hot loop; the auto
+///                             tuner picks this width itself only when the
+///                             exactness/accuracy contract holds — pinning
+///                             accepts any packable image (lossy included)
+///   quant:affine              the 4-byte pipeline with every feature
+///                             forced through its calibrated affine map —
+///                             the deterministic lossy configuration the
+///                             quantization benches and accuracy gates
+///                             measure
 ///   jit:layout                generated C compiled in-process from the SAME
 ///                             CompactNode16 image the layout engine
 ///                             executes (exec/artifacts): FLInt thresholds
@@ -279,11 +292,14 @@ template <typename T>
 ///                             matching interpreter engine
 ///   simd:flint | simd:float   SimdForestEngine::predict_scores (lockstep
 ///                             lane traversal, float-accumulate epilogue)
-///   layout:auto|c16|c8        LayoutForestEngine::predict_scores (compact
-///                             nodes; the leaf payload is a leaf-value row
-///                             index, so the same key-width gates apply);
-///                             auto falls back to the encoded interpreter
-///                             when nothing compact fits
+///   layout:auto|c16|c8|q4     LayoutForestEngine / Q4ForestEngine
+///                             predict_scores (compact nodes; the leaf
+///                             payload is a leaf-value row index, so the
+///                             same key-width gates apply); auto falls back
+///                             to the encoded interpreter when nothing
+///                             compact fits
+///   quant:affine              Q4ForestEngine::predict_scores with the
+///                             all-affine plan
 ///   jit:layout                generated accumulate-scores body over the
 ///                             compact image with the model's leaf-value
 ///                             table embedded (tree-order accumulation,
@@ -308,6 +324,9 @@ template <typename T>
 [[nodiscard]] std::vector<std::string> simd_backends();
 /// Backend names of the compact cache-aware layouts (exec/layout).
 [[nodiscard]] std::vector<std::string> layout_backends();
+/// Backend names of the quantized-execution configurations (quant:affine —
+/// the 4-byte pipeline with the lossy all-affine plan pinned).
+[[nodiscard]] std::vector<std::string> quant_backends();
 /// Backend names routed through codegen + in-process compilation.
 [[nodiscard]] std::vector<std::string> jit_backends();
 /// One-line vocabulary string for CLI usage/error messages.

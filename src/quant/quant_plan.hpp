@@ -1,0 +1,199 @@
+// quant/quant_plan — per-feature quantization plans for integer-only
+// inference.
+//
+// The layout narrowing (exec/layout/narrow.hpp) proves that rank remapping
+// is *exact*: x <=_FLInt s  <=>  rank(x) <= rank(s) whenever the comparison
+// is against the finite split set of one feature.  A QuantPlan generalizes
+// that into a per-feature contract with two modes:
+//
+//   * Exact  — the feature's rank table fits the key budget (table size
+//     <= 2^bits - 1), so keys are ranks and every comparison is bit-exact.
+//   * Affine — the table is too large (or affine was forced): keys come
+//     from a calibrated affine map q(v) = clamp(round(v*scale + offset),
+//     q_lo, q_hi).  The map is monotone, so routing errors only occur when
+//     a sample and a split collapse into the same bucket — the classic
+//     fixed-point loss the paper's introduction argues against, now scoped
+//     to the features where exactness cannot fit and *measured* instead of
+//     assumed: each feature records how many distinct thresholds survive
+//     quantization (its "fitness"), and report_json() emits the
+//     machine-readable per-feature report `flint-forest inspect` surfaces.
+//
+// Two calibrations exist:
+//   * plan_from_tables  — forest-driven, for the q4 packed layout: exact
+//     where tables fit, affine scaled over the feature's split range.
+//   * plan_from_dataset — dataset-driven symmetric fixed-point (the
+//     motivation-bench baseline): every feature affine with
+//     scale = q_max / max|v|, reproducing the historical
+//     QuantizedForestEngine math bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "exec/layout/narrow.hpp"
+#include "trees/forest.hpp"
+
+namespace flint::quant {
+
+enum class FeatureMode : std::uint8_t {
+  Exact,   ///< keys are rank-table ranks; bit-exact contract
+  Affine,  ///< keys from a calibrated affine map; lossy contract
+};
+
+/// One feature's quantizer plus its fitness bookkeeping.
+struct FeatureQuant {
+  FeatureMode mode = FeatureMode::Exact;
+
+  // Affine parameters: q(v) = clamp(round(v * scale + offset), q_lo, q_hi).
+  // For Exact features scale/offset are unused and [q_lo, q_hi] records the
+  // key range ([0, table_size]; a sample ranking above every split maps to
+  // table_size).
+  double scale = 1.0;
+  double offset = 0.0;
+  std::int64_t q_lo = 0;
+  std::int64_t q_hi = 0;
+
+  // Fitness: how many of the feature's distinct thresholds survive the map.
+  std::size_t distinct = 0;            ///< distinct split values in the forest
+  std::size_t quantized_distinct = 0;  ///< distinct after quantization
+
+  [[nodiscard]] bool exact() const noexcept { return mode == FeatureMode::Exact; }
+
+  /// True when quantization keeps every threshold distinguishable (Exact
+  /// features trivially; Affine features when no two thresholds collapsed).
+  [[nodiscard]] bool preserves_thresholds() const noexcept {
+    return exact() || quantized_distinct == distinct;
+  }
+
+  /// Fraction of distinct thresholds that survive quantization, in (0, 1].
+  [[nodiscard]] double fitness() const noexcept {
+    if (exact() || distinct == 0) return 1.0;
+    return static_cast<double>(quantized_distinct) /
+           static_cast<double>(distinct);
+  }
+
+  /// Largest stored key this feature can produce (keys are stored shifted
+  /// to the unsigned range [0, q_hi - q_lo]).
+  [[nodiscard]] std::int64_t key_span() const noexcept { return q_hi - q_lo; }
+
+  /// Affine quantizer.  NaN maps to q_lo (callers route NaN by the
+  /// default-direction flag before any key comparison, so the value is
+  /// never consulted — it only has to be well-defined).
+  [[nodiscard]] std::int64_t quantize(double v) const noexcept;
+};
+
+/// Per-feature quantization plan for one forest.
+struct QuantPlan {
+  int bits = 16;  ///< key width budget; keys live in [0, 2^bits - 1]
+  std::vector<FeatureQuant> features;
+
+  [[nodiscard]] std::size_t feature_count() const noexcept {
+    return features.size();
+  }
+  [[nodiscard]] std::size_t exact_features() const noexcept;
+  [[nodiscard]] std::size_t affine_features() const noexcept;
+  /// True when every feature is Exact: the packed image is bit-exact.
+  [[nodiscard]] bool all_exact() const noexcept;
+  /// Accuracy contract: every Affine feature preserves all of its distinct
+  /// thresholds.  Weaker than all_exact (samples can still collapse into a
+  /// threshold's bucket) but strong enough that the auto-tuner accepts the
+  /// quantized image.
+  [[nodiscard]] bool accuracy_contract() const noexcept;
+  /// Minimum per-feature fitness (1.0 when there are no affine features).
+  [[nodiscard]] double min_fitness() const noexcept;
+  /// Short human summary, e.g. "bits=15 exact=12/14 fitness=0.96".
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Machine-readable per-feature fitness report (JSON object), surfaced by
+/// `flint-forest inspect --json` and the layout bench.
+[[nodiscard]] std::string report_json(const QuantPlan& plan);
+
+/// Forest-driven calibration against the exact rank tables.  Each feature
+/// is Exact when its table fits the key budget (size <= 2^bits - 1), else
+/// Affine over the feature's split range [min_split, max_split] mapped to
+/// [1, 2^bits - 1] (0 is reserved for "below every split").  With
+/// `force_affine` every tested feature takes the affine path — the lossy
+/// contract made deterministic for the quant:affine backend.  bits must be
+/// in [2, 16] (packed node keys); throws std::invalid_argument otherwise.
+template <typename T>
+[[nodiscard]] QuantPlan plan_from_tables(
+    const exec::layout::KeyTableSet<T>& tables, int bits,
+    bool force_affine = false);
+
+/// Dataset-driven symmetric fixed-point calibration (the motivation-bench
+/// baseline): every feature Affine with q(v) = clamp(round(v * scale),
+/// -q_max, +q_max), scale = q_max / max|v| over the dataset (1.0 for
+/// all-zero features), q_max = 2^(bits-1) - 1.  bits in [2, 31].  Throws
+/// std::invalid_argument on empty datasets or bits out of range.
+template <typename T>
+[[nodiscard]] QuantPlan plan_from_dataset(const data::Dataset<T>& dataset,
+                                          int bits);
+
+/// Fills each feature's distinct/quantized_distinct counts from the
+/// forest's actual split values (split -0.0 normalized to +0.0 first, as
+/// everywhere).  Exact features report distinct == quantized_distinct by
+/// construction.
+template <typename T>
+void annotate_thresholds(QuantPlan& plan, const trees::Forest<T>& forest);
+
+/// Quantizes one value with a symmetric `bits`-wide fixed-point scale —
+/// the historical motivation-bench primitive, kept as the single shared
+/// rounding rule (FeatureQuant::quantize reduces to it when offset == 0).
+[[nodiscard]] std::int32_t quantize(double value, double scale, int bits) noexcept;
+
+/// Reference engine over a quantization plan: walks the *original* forest
+/// with quantized splits and integer comparisons only.  Requires an
+/// all-affine plan (exact-mode execution is the packed q4 layout engine's
+/// job) and a forest without missing/categorical semantics.  This is the
+/// measurement harness behind bench_motivation_quantization: one
+/// quantization implementation, evaluated at plan level.
+template <typename T>
+class QuantForestEngine {
+ public:
+  QuantForestEngine(const trees::Forest<T>& forest, QuantPlan plan);
+
+  [[nodiscard]] std::int32_t predict(std::span<const T> x) const;
+
+  /// Fraction of rows where the quantized prediction differs from the
+  /// exact (floating-point) forest prediction.
+  [[nodiscard]] double mismatch_rate(const trees::Forest<T>& exact,
+                                     const data::Dataset<T>& dataset) const;
+
+  [[nodiscard]] double accuracy(const data::Dataset<T>& dataset) const;
+  [[nodiscard]] const QuantPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct QNode {
+    std::int64_t split_q = 0;
+    std::int32_t feature = -1;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+  };
+  QuantPlan plan_;
+  int num_classes_ = 0;
+  std::vector<QNode> nodes_;
+  std::vector<std::size_t> roots_;
+  mutable std::vector<std::int64_t> q_scratch_;
+  mutable std::vector<int> vote_scratch_;
+};
+
+extern template QuantPlan plan_from_tables<float>(
+    const exec::layout::KeyTableSet<float>&, int, bool);
+extern template QuantPlan plan_from_tables<double>(
+    const exec::layout::KeyTableSet<double>&, int, bool);
+extern template QuantPlan plan_from_dataset<float>(const data::Dataset<float>&,
+                                                   int);
+extern template QuantPlan plan_from_dataset<double>(
+    const data::Dataset<double>&, int);
+extern template void annotate_thresholds<float>(QuantPlan&,
+                                                const trees::Forest<float>&);
+extern template void annotate_thresholds<double>(QuantPlan&,
+                                                 const trees::Forest<double>&);
+extern template class QuantForestEngine<float>;
+extern template class QuantForestEngine<double>;
+
+}  // namespace flint::quant

@@ -653,6 +653,197 @@ void verify_compact(const trees::Forest<T>& forest,
   }
 }
 
+/// Q4Forest lockstep walk: the 4-byte image against the source forest.
+/// Same traversal discipline as verify_compact, plus the quantized-key
+/// contract: geometry bits must sum to the 31-bit budget, exact-mode keys
+/// must round-trip through their rank, affine-mode keys must reproduce the
+/// plan's own map (and that map must be monotone — a negative scale would
+/// invert every comparison).
+template <typename T>
+void verify_q4(const trees::Forest<T>& forest,
+               const exec::layout::Q4Forest<T>& f,
+               const exec::layout::KeyTableSet<T>& tables, Report& report) {
+  Sink s(report, "q4");
+  const exec::layout::Q4Geometry g = f.geom;
+  const auto size = static_cast<std::int64_t>(f.nodes.size());
+  if (f.roots.size() != forest.size() ||
+      f.nodes.size() != forest.total_nodes() ||
+      f.num_classes != forest.num_classes() ||
+      f.feature_count != forest.feature_count() ||
+      f.has_special != forest.has_special_splits()) {
+    s.add("q4.roots", -1, -1,
+          "packed shape does not match the source forest");
+    return;
+  }
+  if (g.key_bits + g.feature_bits + g.offset_bits != 31 || g.key_bits < 8 ||
+      g.key_bits > 16 || g.feature_bits < 1 || g.offset_bits < 1) {
+    s.add("q4.geometry", -1, -1,
+          "bit split " + std::to_string(g.key_bits) + "+" +
+              std::to_string(g.feature_bits) + "+" +
+              std::to_string(g.offset_bits) +
+              " violates the [leaf:1|off|feat|key] budget");
+    return;
+  }
+  if (f.qplan.bits != static_cast<int>(g.key_bits) ||
+      f.qplan.features.size() != forest.feature_count()) {
+    s.add("q4.plan", -1, -1,
+          "quantization plan does not cover the forest at the packed key "
+          "width");
+    return;
+  }
+  for (std::size_t fi = 0; fi < f.qplan.features.size(); ++fi) {
+    const auto& fq = f.qplan.features[fi];
+    if (!fq.exact() && !(fq.scale >= 0.0)) {
+      s.add("q4.plan", -1, static_cast<std::int64_t>(fi),
+            "affine scale is negative or NaN — the quantized order would "
+            "invert");
+    }
+  }
+  if (f.hot_nodes > f.nodes.size()) {
+    s.add("q4.hot", -1, -1,
+          "hot slab larger than the node array (" +
+              std::to_string(f.hot_nodes) + " > " +
+              std::to_string(f.nodes.size()) + ")");
+  }
+  if (f.cat_offsets.size() != f.cat_sizes.size() ||
+      f.cat_offsets.size() != f.cat_feature.size()) {
+    s.add("q4.cat", -1, -1, "category slot tables ragged");
+    return;
+  }
+  const bool flags_ok = f.has_special ? f.flags.size() == f.nodes.size()
+                                      : f.flags.empty();
+  if (!flags_ok) {
+    s.add("q4.structure", -1, -1,
+          "flags sidecar size does not match the special-split state");
+    return;
+  }
+  std::vector<std::uint8_t> seen(f.nodes.size(), 0);
+  std::vector<std::pair<std::int32_t, std::int64_t>> stack;
+  for (std::size_t t = 0; t < forest.size(); ++t) {
+    const auto& tree = forest.tree(t);
+    const auto ti = static_cast<std::int64_t>(t);
+    if (f.roots[t] < 0 || f.roots[t] >= size) {
+      s.add("q4.roots", ti, -1,
+            "root " + std::to_string(f.roots[t]) + " outside [0, " +
+                std::to_string(size) + ")");
+      continue;
+    }
+    stack.assign(1, {0, f.roots[t]});
+    while (!stack.empty()) {
+      const auto [i, p] = stack.back();
+      stack.pop_back();
+      if (p < 0 || p >= size) {
+        s.add("q4.offset", ti, p, "node index outside the array");
+        continue;
+      }
+      if (seen[static_cast<std::size_t>(p)]) {
+        s.add("q4.structure", ti, p,
+              "packed node reached twice (placement overlap)");
+        continue;
+      }
+      seen[static_cast<std::size_t>(p)] = 1;
+      ++report.nodes_checked;
+      const auto& n = tree.node(i);
+      const std::uint32_t w = f.nodes[static_cast<std::size_t>(p)].word;
+      const std::uint8_t fl =
+          f.has_special ? f.flags[static_cast<std::size_t>(p)] : 0;
+      if (n.is_leaf()) {
+        if (!g.is_leaf(w)) {
+          s.add("q4.leaf", ti, p,
+                "source leaf packed without the sign-bit leaf tag");
+          continue;
+        }
+        if (static_cast<std::int64_t>(g.key_of(w)) != n.prediction ||
+            g.feature_of(w) != 0 || g.offset_of(w) != 0 || fl != 0) {
+          s.add("q4.leaf", ti, p,
+                "leaf payload/feature/offset/flags diverged from the "
+                "source leaf");
+        }
+        continue;
+      }
+      if (g.is_leaf(w)) {
+        s.add("q4.offset", ti, p,
+              "source inner node packed with the leaf tag set");
+        continue;
+      }
+      const auto roff = static_cast<std::int64_t>(g.offset_of(w));
+      const std::int64_t left = p + 1;
+      const std::int64_t right = p + roff;
+      if (roff <= 0 || left >= size || right >= size) {
+        s.add("q4.offset", ti, p,
+              "child offsets (+1, +" + std::to_string(roff) +
+                  ") leave the array of " + std::to_string(size) + " nodes");
+        continue;
+      }
+      if (static_cast<std::int64_t>(g.feature_of(w)) != n.feature ||
+          ((fl & exec::layout::kQ4DefaultLeft) != 0) != n.default_left() ||
+          ((fl & exec::layout::kQ4Categorical) != 0) != n.is_categorical()) {
+        s.add("q4.structure", ti, p,
+              "feature/flags diverged from the source node");
+      }
+      if (n.is_categorical()) {
+        const auto slot = static_cast<std::int64_t>(g.key_of(w));
+        if (slot < 0 ||
+            slot >= static_cast<std::int64_t>(f.cat_slot_count())) {
+          s.add("q4.cat", ti, p,
+                "category slot " + std::to_string(slot) + " outside [0, " +
+                    std::to_string(f.cat_slot_count()) + ")");
+        } else {
+          const auto us = static_cast<std::size_t>(slot);
+          const auto off = f.cat_offsets[us];
+          const auto sz = f.cat_sizes[us];
+          const auto want = tree.cat_set(n.cat_slot);
+          if (f.cat_feature[us] != n.feature || off < 0 || sz < 0 ||
+              static_cast<std::size_t>(off) + static_cast<std::size_t>(sz) >
+                  f.cat_words.size() ||
+              static_cast<std::size_t>(sz) != want.size() ||
+              !std::equal(want.begin(), want.end(),
+                          f.cat_words.begin() + off)) {
+            s.add("q4.cat", ti, p,
+                  "category slot " + std::to_string(slot) +
+                      " feature/bitset diverged");
+          }
+        }
+      } else {
+        const auto& fq =
+            f.qplan.features[static_cast<std::size_t>(n.feature)];
+        std::optional<std::int64_t> want_key;
+        if (fq.exact()) {
+          if (static_cast<std::size_t>(n.feature) < tables.features.size()) {
+            const auto rank = checked_rank(
+                tables.features[static_cast<std::size_t>(n.feature)],
+                n.split);
+            if (rank) want_key = *rank;
+          }
+        } else {
+          want_key =
+              fq.quantize(static_cast<double>(normalize_zero(n.split))) -
+              fq.q_lo;
+        }
+        if (!want_key || *want_key < 0 ||
+            *want_key > static_cast<std::int64_t>(g.key_mask()) ||
+            static_cast<std::int64_t>(g.key_of(w)) != *want_key) {
+          s.add("q4.key", ti, p,
+                fq.exact()
+                    ? "quantized key does not reproduce the source "
+                      "threshold's rank exactly"
+                    : "quantized key does not reproduce the plan's affine "
+                      "map of the source threshold");
+        }
+      }
+      stack.push_back({n.right, right});
+      stack.push_back({n.left, left});
+    }
+  }
+  std::size_t visited = 0;
+  for (const auto v : seen) visited += v;
+  if (visited != f.nodes.size()) {
+    s.add("q4.orphan", -1, -1,
+          std::to_string(f.nodes.size() - visited) +
+              " packed nodes unreachable from every root");
+  }
+}
+
 }  // namespace
 
 template <typename T>
@@ -770,6 +961,14 @@ Report verify_model(const model::ForestModel<T>& m) {
       if (const auto* c8 = art.try_compact8_at(hot_depth, &why)) {
         verify_compact(forest, *c8, art.tables(), report, "c8");
         if (hot_depth == 0) report.artifacts_checked.push_back("c8");
+      }
+      if (const auto* q4 = art.try_q4_at(hot_depth, &why)) {
+        verify_q4(forest, *q4, art.tables(), report);
+        if (hot_depth == 0 && q4->hot_nodes != 0) {
+          report.add({"q4.hot", "q4", -1, -1,
+                      "pure-DFS plan produced a hot slab"});
+        }
+        if (hot_depth == 0) report.artifacts_checked.push_back("q4");
       }
     }
   } catch (const std::exception& e) {

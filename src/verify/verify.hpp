@@ -48,6 +48,11 @@
 //                         threshold, narrow_key, special)
 //   compact.*             CompactNode16/8 image diverges (roots, offset,
 //                         structure, key, leaf, cat, orphan, hot)
+//   q4.*                  4-byte quantized image diverges (roots, geometry,
+//                         plan, offset, structure, key, leaf, cat, orphan,
+//                         hot) — q4.key covers both contracts: exact ranks
+//                         must round-trip, affine keys must reproduce the
+//                         plan's own monotone map
 //   pack.exception        constructing an artifact threw
 //
 // verify_model is pure and allocation-bounded: it builds each packed form
@@ -68,7 +73,7 @@ namespace flint::verify {
 
 /// One invariant violation.  `check` is a stable id from the catalog above;
 /// `artifact` names the packed form ("model", "tables", "packed", "soa",
-/// "c16", "c8", "file"); `tree`/`node` are indices when the violation is
+/// "c16", "c8", "q4", "file"); `tree`/`node` are indices when the violation is
 /// node-level (-1 otherwise; `node` indexes the artifact's own node array
 /// for packed forms, the source tree's for model-level checks).
 struct Diagnostic {
@@ -97,8 +102,8 @@ struct Report {
 };
 
 /// Verifies a ForestModel plus every packed artifact built from it
-/// (PackedNode image, SoaForest + narrow keys, CompactNode16/8 at
-/// hot_depth 0 and 4, rank tables).  Packed artifacts are only attempted
+/// (PackedNode image, SoaForest + narrow keys, CompactNode16/8 and the
+/// 4-byte quantized Q4Forest at hot_depth 0 and 4, rank tables).  Packed artifacts are only attempted
 /// when the model-level checks pass — their constructors assume a
 /// structurally valid forest.
 template <typename T>

@@ -20,6 +20,7 @@
 #include "exec/layout/compact.hpp"
 #include "exec/layout/narrow.hpp"
 #include "exec/layout/plan.hpp"
+#include "exec/layout/quant4.hpp"
 #include "exec/simd/soa.hpp"
 #include "predict/predictor.hpp"
 #include "trees/forest.hpp"
@@ -353,12 +354,39 @@ TEST(AutoPlan, DeepModelNarrowsBlocksAndPrefetches) {
   for (auto& f : stats.features) f.splits = 200000;
   layout::NarrowFit fit{true, 10, 4};
   const layout::CacheInfo cache{256 * 1024, 8 * 1024 * 1024};
+  // The 4-byte ladder rung wins whenever c8 would have been worth it.
   const auto plan = layout::auto_plan(stats, fit, 64, cache);
-  EXPECT_EQ(plan.width, layout::NodeWidth::C8);
+  EXPECT_EQ(plan.width, layout::NodeWidth::Q4);
   EXPECT_GT(plan.hot_depth, 0u);
   EXPECT_TRUE(plan.prefetch_opposite);
   EXPECT_GE(plan.interleave, 4u);
   EXPECT_LE(plan.interleave, layout::kMaxInterleave);
+  // Demotion protocol: when the Q4 pack or its accuracy contract fails the
+  // caller clears allow_q4 and re-plans; the ladder must then land on c8
+  // with the same placement shape.
+  fit.allow_q4 = false;
+  const auto demoted = layout::auto_plan(stats, fit, 64, cache);
+  EXPECT_EQ(demoted.width, layout::NodeWidth::C8);
+  EXPECT_GT(demoted.hot_depth, 0u);
+  EXPECT_TRUE(demoted.prefetch_opposite);
+}
+
+// Regression: the smoke model (~360 KiB at c16) sits inside L2 x 2, where
+// narrowing buys no bandwidth but still pays the per-block rank remap — the
+// auto plan once picked c8 here and lost ~3.5x throughput.  Cache-resident
+// models must stay c16, with the q4 rung equally locked out.
+TEST(AutoPlan, CacheResidentModelNeverNarrows) {
+  flint::trees::ForestStats stats;
+  stats.trees.resize(24);
+  stats.total_nodes = 23000;  // ~360 KiB at c16: within 2x of a 256 KiB L2
+  stats.max_depth = 10;
+  stats.mean_leaf_depth = 8.0;
+  stats.features.resize(10);
+  for (auto& f : stats.features) f.splits = 1000;
+  layout::NarrowFit fit{true, 10, 2};
+  const layout::CacheInfo cache{256 * 1024, 8 * 1024 * 1024};
+  const auto plan = layout::auto_plan(stats, fit, 64, cache);
+  EXPECT_EQ(plan.width, layout::NodeWidth::C16);
 }
 
 TEST(AutoPlan, UnnarrowableModelFallsBackToWide) {
@@ -508,7 +536,8 @@ TEST(LayoutDouble, DoubleWidthEnginesMatchForestPredict) {
   opt.n_trees = 5;
   opt.tree.max_depth = 8;
   const auto forest = flint::trees::train_forest(data, opt);
-  for (const char* backend : {"layout:auto", "layout:c16", "layout:c8"}) {
+  for (const char* backend :
+       {"layout:auto", "layout:c16", "layout:c8", "layout:q4"}) {
     const auto predictor = flint::predict::make_predictor(forest, backend);
     std::vector<std::int32_t> out(data.rows());
     predictor->predict_batch(data, out);
@@ -516,6 +545,206 @@ TEST(LayoutDouble, DoubleWidthEnginesMatchForestPredict) {
       ASSERT_EQ(out[r], forest.predict(data.row(r)))
           << backend << " row " << r;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The 4-byte quantized format: geometry, pack invariants, engine
+// bit-identity on both key widths, and the contract bookkeeping.
+// ---------------------------------------------------------------------------
+
+TEST_F(LayoutEngine, Q4PackGeometryAndInvariants) {
+  layout::LayoutPlan plan;
+  plan.width = layout::NodeWidth::Q4;
+  plan.hot_depth = 2;
+  std::string why;
+  const auto packed =
+      layout::try_pack_q4<float>(forest_, plan, tables_, false, &why);
+  ASSERT_TRUE(packed.has_value()) << why;
+  const auto& g = packed->geom;
+  EXPECT_EQ(g.key_bits + g.feature_bits + g.offset_bits, 31u);
+  EXPECT_GE(g.key_bits, 8u);
+  EXPECT_LE(g.key_bits, 16u);
+  EXPECT_GE(g.feature_bits, 1u);
+  EXPECT_GE(g.offset_bits, 1u);
+  // magic's rank tables fit comfortably: the bit-exact contract must hold.
+  EXPECT_TRUE(packed->exact());
+  EXPECT_TRUE(packed->qplan.accuracy_contract());
+  EXPECT_EQ(packed->nodes.size(), forest_.total_nodes());
+  EXPECT_EQ(packed->roots.size(), forest_.size());
+  EXPECT_GT(packed->hot_nodes, 0u);
+  EXPECT_FALSE(packed->has_special);
+  EXPECT_TRUE(packed->flags.empty());
+  std::size_t leaves = 0;
+  for (std::size_t i = 0; i < packed->nodes.size(); ++i) {
+    const std::uint32_t w = packed->nodes[i].word;
+    if (g.is_leaf(w)) {
+      ++leaves;
+      EXPECT_LT(g.key_of(w),
+                static_cast<std::uint32_t>(forest_.num_classes()));
+      EXPECT_EQ(g.feature_of(w), 0u);
+      EXPECT_EQ(g.offset_of(w), 0u);
+    } else {
+      ASSERT_LT(i + 1, packed->nodes.size());  // implicit left child
+      ASSERT_LT(i + g.offset_of(w), packed->nodes.size());
+      EXPECT_GE(g.offset_of(w), 2u);  // right child is past the left subtree
+      EXPECT_LT(g.feature_of(w),
+                static_cast<std::uint32_t>(forest_.feature_count()));
+    }
+  }
+  std::size_t expected_leaves = 0;
+  for (std::size_t t = 0; t < forest_.size(); ++t) {
+    expected_leaves += forest_.tree(t).leaf_count();
+  }
+  EXPECT_EQ(leaves, expected_leaves);
+}
+
+TEST_F(LayoutEngine, Q4EngineBitIdenticalOnVectorScalarAndLatencyPaths) {
+  const std::size_t n = 523;
+  const auto features = adversarial_features(n, 29);
+  const std::size_t cols = forest_.feature_count();
+  std::vector<std::int32_t> expected(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    expected[s] = forest_.predict({features.data() + s * cols, cols});
+  }
+  for (const std::size_t hot_depth : {std::size_t{0}, std::size_t{3}}) {
+    layout::LayoutPlan plan;
+    plan.width = layout::NodeWidth::Q4;
+    plan.hot_depth = hot_depth;
+    plan.block_size = 48;
+    const layout::Q4ForestEngine<float> engine(forest_, plan, tables_);
+    EXPECT_EQ(engine.node_bytes(), 4u);
+    std::vector<std::int32_t> out(n, -1);
+    engine.predict_batch(features.data(), n, out.data());
+    ASSERT_EQ(out, expected) << "hot_depth=" << hot_depth;
+    // Small batches route through the interleaved latency path.
+    std::vector<std::int32_t> small(3, -1);
+    engine.predict_batch(features.data(), 3, small.data());
+    for (std::size_t s = 0; s < 3; ++s) ASSERT_EQ(small[s], expected[s]);
+    ASSERT_EQ(engine.predict({features.data(), cols}), expected[0]);
+  }
+  // Scalar lockstep path pinned via the env override.
+  setenv("FLINT_LAYOUT_FORCE_SCALAR", "1", 1);
+  layout::LayoutPlan plan;
+  plan.width = layout::NodeWidth::Q4;
+  plan.block_size = 32;
+  const layout::Q4ForestEngine<float> engine(forest_, plan, tables_);
+  std::vector<std::int32_t> out(n, -1);
+  engine.predict_batch(features.data(), n, out.data());
+  EXPECT_EQ(out, expected);
+  unsetenv("FLINT_LAYOUT_FORCE_SCALAR");
+}
+
+/// One-feature forest over an explicit threshold list (right-leaning
+/// chain), so the rank-table size — and with it the q4 key span / int8 vs
+/// int16 column-block width — is chosen by the test.
+flint::trees::Forest<float> chain_forest(const std::vector<float>& thresholds) {
+  flint::trees::Tree<float> tree(1);
+  std::int32_t prev = -1;
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const auto split = tree.add_split(0, thresholds[i]);
+    const auto leaf = tree.add_leaf(static_cast<std::int32_t>(i % 2));
+    if (prev >= 0) tree.link(prev, tree.node(prev).left, split);
+    tree.link(split, leaf, split);  // right patched next iteration / below
+    prev = split;
+  }
+  const auto last = tree.add_leaf(0);
+  tree.link(prev, tree.node(prev).left, last);
+  return flint::trees::Forest<float>(
+      std::vector<flint::trees::Tree<float>>{std::move(tree)}, 2);
+}
+
+// Adversarial narrowing at both quantized key widths: thresholds drawn
+// from the special-pattern pool (signed zeros, denormals, infinities,
+// adjacent bit patterns) must route bit-identically through the 4-byte
+// image, whether the batch column block narrows to int8 (small span) or
+// stays int16 (table > 255 ranks).
+TEST(Q4Narrow, AdversarialThresholdsExactAtInt8AndInt16KeySpans) {
+  // int8 span: the adversarial pool dedupes to well under 255 thresholds.
+  std::vector<float> small_thresholds;
+  for (const float t : adversarial_pool({})) {
+    if (!std::isnan(t)) small_thresholds.push_back(t);
+  }
+  // int16 span: > 255 distinct thresholds forces the uint16 column block.
+  std::vector<float> big_thresholds = small_thresholds;
+  for (int i = 0; i < 300; ++i) {
+    big_thresholds.push_back(static_cast<float>(i) * 0.5f + 100.0f);
+  }
+  for (const auto* thresholds : {&small_thresholds, &big_thresholds}) {
+    const auto forest = chain_forest(*thresholds);
+    const auto tables = layout::build_key_tables(forest);
+    layout::LayoutPlan plan;
+    plan.width = layout::NodeWidth::Q4;
+    const layout::Q4ForestEngine<float> engine(forest, plan, tables);
+    ASSERT_TRUE(engine.packed().exact());
+    const bool int8_block = engine.packed().max_key_span() <= 255;
+    EXPECT_EQ(int8_block, thresholds == &small_thresholds);
+    // Probes: thresholds, their bit neighbors, specials, uniforms.
+    auto probes = adversarial_pool(*thresholds);
+    std::mt19937_64 rng(31);
+    std::uniform_real_distribution<float> uniform(-300.0f, 300.0f);
+    for (int i = 0; i < 128; ++i) probes.push_back(uniform(rng));
+    std::vector<std::int32_t> out(probes.size(), -1);
+    engine.predict_batch(probes.data(), probes.size(), out.data());
+    for (std::size_t s = 0; s < probes.size(); ++s) {
+      ASSERT_EQ(out[s], forest.predict({&probes[s], 1}))
+          << (int8_block ? "int8" : "int16") << " span, probe bits 0x"
+          << std::hex << flint::core::si_bits(probes[s]);
+      ASSERT_EQ(engine.predict({&probes[s], 1}), out[s]);
+    }
+  }
+}
+
+TEST(Q4Contract, OversizedTableGoesAffineAndReportsCollapse) {
+  // 70k distinct thresholds cannot fit 16-bit keys: the feature must fall
+  // back to affine, collapse thresholds, and fail the accuracy contract —
+  // exactly the signal the auto ladder demotes on.
+  std::vector<float> thresholds(70000);
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    thresholds[i] = static_cast<float>(i);
+  }
+  const auto forest = chain_forest(thresholds);
+  const auto tables = layout::build_key_tables(forest);
+  layout::LayoutPlan plan;
+  plan.width = layout::NodeWidth::Q4;
+  std::string why;
+  const auto packed =
+      layout::try_pack_q4<float>(forest, plan, tables, false, &why);
+  ASSERT_TRUE(packed.has_value()) << why;
+  EXPECT_FALSE(packed->exact());
+  EXPECT_FALSE(packed->qplan.accuracy_contract());
+  EXPECT_LT(packed->qplan.min_fitness(), 1.0);
+  const auto& fq = packed->qplan.features[0];
+  EXPECT_EQ(fq.distinct, thresholds.size());
+  EXPECT_LT(fq.quantized_distinct, fq.distinct);
+  // A pinned lossy engine still constructs and serves monotone routing.
+  const layout::Q4ForestEngine<float> engine(*packed, plan);
+  const float probe = 12345.0f;
+  (void)engine.predict({&probe, 1});
+}
+
+TEST(Q4Contract, ForceAffineKeepsContractOnSmallTables) {
+  // quant:affine's pack path: every tested feature affine.  On a forest
+  // whose per-feature thresholds are far fewer than the key range, the
+  // affine map keeps all of them distinct — lossy contract, but the
+  // accuracy contract (and the fitness report) says no threshold merged.
+  const auto data =
+      flint::data::generate<float>(flint::data::wine_spec(), 19, 600);
+  flint::trees::ForestOptions opt;
+  opt.n_trees = 4;
+  opt.tree.max_depth = 6;
+  const auto forest = flint::trees::train_forest(data, opt);
+  const auto tables = layout::build_key_tables(forest);
+  layout::LayoutPlan plan;
+  plan.width = layout::NodeWidth::Q4;
+  std::string why;
+  const auto packed = layout::try_pack_q4<float>(forest, plan, tables,
+                                                 /*force_affine=*/true, &why);
+  ASSERT_TRUE(packed.has_value()) << why;
+  EXPECT_FALSE(packed->exact());
+  for (std::size_t f = 0; f < packed->qplan.features.size(); ++f) {
+    if (tables.features[f].size() == 0) continue;
+    EXPECT_FALSE(packed->qplan.features[f].exact()) << "feature " << f;
   }
 }
 

@@ -144,7 +144,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 INSTANTIATE_TEST_SUITE_P(
     LayoutBackends, BackendEquivalence,
-    ::testing::Values("layout:auto", "layout:c16", "layout:c8"),
+    ::testing::Values("layout:auto", "layout:c16", "layout:c8", "layout:q4"),
     [](const auto& info) { return info.param.substr(7); });
 
 INSTANTIATE_TEST_SUITE_P(
@@ -174,7 +174,7 @@ TEST_F(TrainedForest, BlockSizeDoesNotChangeResults) {
     opt.block_size = block;
     for (const char* backend :
          {"float", "encoded", "radix", "simd:flint", "simd:float",
-          "layout:auto", "layout:c16", "layout:c8"}) {
+          "layout:auto", "layout:c16", "layout:c8", "layout:q4"}) {
       const auto predictor = make_predictor(forest_, backend, opt);
       std::vector<std::int32_t> out(n);
       predictor->predict_batch(features, n, out);
@@ -251,7 +251,7 @@ TEST_F(TrainedForest, EmptyBatchIsNoOp) {
 TEST_F(TrainedForest, NanFeaturesAreRejected) {
   const std::size_t cols = forest_.feature_count();
   for (const char* backend :
-       {"reference", "encoded", "simd:flint", "layout:auto"}) {
+       {"reference", "encoded", "simd:flint", "layout:auto", "layout:q4"}) {
     const auto predictor = make_predictor(forest_, backend);
     std::vector<float> features(cols * 3, 1.0f);
     features[cols + 1] = std::numeric_limits<float>::quiet_NaN();
@@ -391,9 +391,10 @@ TEST_F(TrainedForest, UnknownBackendSuggestsNearestName) {
 
 /// Backends every degenerate shape must survive (jit:* is out of scope for
 /// this satellite; the codegen suites cover it on regular shapes).
-const char* const kDegenerateBackends[] = {"encoded",     "simd:flint",
-                                           "simd:float",  "layout:auto",
-                                           "layout:c16",  "layout:c8"};
+const char* const kDegenerateBackends[] = {"encoded",    "simd:flint",
+                                           "simd:float", "layout:auto",
+                                           "layout:c16", "layout:c8",
+                                           "layout:q4"};
 
 void expect_backends_match(const flint::trees::Forest<float>& forest,
                            std::size_t n_samples, std::uint64_t seed) {
@@ -490,7 +491,7 @@ TEST(PredictorDouble, DoubleWidthBackendsMatchForestPredict) {
   for (const char* backend :
        {"reference", "float", "encoded", "theorem1", "theorem2", "radix",
         "simd:flint", "simd:float", "layout:auto", "layout:c16", "layout:c8",
-        "jit:layout"}) {
+        "layout:q4", "jit:layout"}) {
     const auto predictor = make_predictor(forest, backend);
     std::vector<std::int32_t> out(full.rows());
     predictor->predict_batch(full, out);
@@ -575,7 +576,10 @@ TEST(PredictorNames, BackendListsAreConsistent) {
   const auto simd = flint::predict::simd_backends();
   EXPECT_EQ(simd.size(), 2u);
   const auto layout = flint::predict::layout_backends();
-  EXPECT_EQ(layout.size(), 3u);
+  EXPECT_EQ(layout.size(), 4u);
+  const auto quant = flint::predict::quant_backends();
+  EXPECT_EQ(quant.size(), 1u);
+  EXPECT_EQ(quant.front(), "quant:affine");
   const auto jit = flint::predict::jit_backends();
 #ifdef FLINT_LEGACY_JIT
   EXPECT_EQ(jit.size(), 8u);  // jit:layout + the seven retired flavors
@@ -595,6 +599,10 @@ TEST(PredictorNames, BackendListsAreConsistent) {
     EXPECT_TRUE(flint::predict::is_known_backend(name)) << name;
   }
   for (const auto& name : jit) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+    EXPECT_TRUE(flint::predict::is_known_backend(name)) << name;
+  }
+  for (const auto& name : quant) {
     EXPECT_NE(help.find(name), std::string::npos) << name;
     EXPECT_TRUE(flint::predict::is_known_backend(name)) << name;
   }
